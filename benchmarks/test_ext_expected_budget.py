@@ -1,0 +1,64 @@
+"""Extension: the expected-budget constraint (paper future work).
+
+Under the "discount rate" reading, money is only spent when a user
+redeems the discount, so the constraint becomes
+``EC(C) = sum_u c_u p_u(c_u) <= B``.  Since every user converts with
+probability <= 1, the expected spend of any configuration is at most its
+worst-case spend — the same budget therefore reaches more users, and the
+spread of expected-budget UD must dominate safe-budget UD.
+"""
+
+from __future__ import annotations
+
+from conftest import DATASET, SCALE, SEED, THETA, run_once
+
+from repro.core.expected_budget import (
+    coordinate_descent_expected,
+    expected_cost,
+    unified_discount_expected,
+)
+from repro.core.unified_discount import unified_discount
+from repro.experiments.runner import build_problem
+
+BUDGET = 10
+
+
+def test_ext_expected_budget(benchmark):
+    def extension():
+        problem = build_problem(DATASET, budget=BUDGET, scale=SCALE, seed=SEED)
+        hypergraph = problem.build_hypergraph(num_hyperedges=THETA, seed=SEED)
+        safe = unified_discount(problem, hypergraph)
+        expected = unified_discount_expected(problem, hypergraph)
+        refined = coordinate_descent_expected(
+            problem, hypergraph, expected.configuration, max_rounds=1, grid_step=0.1
+        )
+        return problem, safe, expected, refined
+
+    problem, safe, expected, refined = run_once(benchmark, extension)
+
+    print(f"\nExtension — expected-budget CIM ({DATASET}, B={BUDGET})")
+    print(
+        f"  safe-budget UD:     spread={safe.spread_estimate:8.2f}  "
+        f"targets={len(safe.targets):4d}  worst spend={safe.configuration.cost:6.2f}"
+    )
+    print(
+        f"  expected-budget UD: spread={expected.spread_estimate:8.2f}  "
+        f"targets={len(expected.targets):4d}  expected spend={expected.expected_spend:6.2f}  "
+        f"(worst {expected.configuration.cost:6.2f})"
+    )
+    print(
+        f"  expected-budget CD: spread={refined.objective_value:8.2f}  "
+        f"expected spend={refined.expected_spend:6.2f}"
+    )
+
+    # The relaxation reaches at least as many users and spreads further.
+    assert len(expected.targets) >= len(safe.targets)
+    assert expected.spread_estimate >= safe.spread_estimate - 1e-9
+    # Both respect their respective budgets.
+    assert safe.configuration.cost <= BUDGET + 1e-9
+    assert expected.expected_spend <= BUDGET + 1e-9
+    # CD preserves the expected spend and does not lose spread.
+    assert refined.objective_value >= expected.spread_estimate - 1e-6
+    assert abs(
+        expected_cost(refined.configuration, problem.population) - expected.expected_spend
+    ) < 0.05

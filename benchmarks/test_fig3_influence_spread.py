@@ -1,0 +1,56 @@
+"""Benchmark: regenerate Figure 3 (influence spread of IM / UD / CD).
+
+The paper's headline exhibit: expected influence spread (± one standard
+deviation over independent Monte-Carlo simulations) as the budget grows,
+for the three strategies, at each alpha.  The shape to reproduce:
+
+* CD >= UD >= IM at every budget,
+* all three grow with budget, and
+* the CIM advantage is largest on discount-sensitive populations.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import ALPHAS, BUDGETS, DATASET, SAMPLES, SCALE, SEED, THETA, run_once
+
+from repro.experiments.figures import figure3_influence_spread
+
+
+@pytest.mark.parametrize("alpha", ALPHAS)
+def test_fig3_influence_spread(benchmark, alpha):
+    rows = run_once(
+        benchmark,
+        figure3_influence_spread,
+        dataset=DATASET,
+        alpha=alpha,
+        budgets=BUDGETS,
+        scale=SCALE,
+        num_hyperedges=THETA,
+        evaluation_samples=SAMPLES,
+        seed=SEED,
+    )
+
+    print(f"\nFigure 3 — {DATASET}, alpha={alpha} (spread ± std)")
+    print(f"{'B':>5s} {'IM':>16s} {'UD':>16s} {'CD':>16s} {'CD/IM':>7s}")
+    for budget in BUDGETS:
+        cell = {r.method: r for r in rows if r.budget == budget}
+        ratio = cell["cd"].spread_mean / max(cell["im"].spread_mean, 1e-9)
+        print(
+            f"{budget:5.0f} "
+            f"{cell['im'].spread_mean:9.1f}±{cell['im'].spread_std:5.1f} "
+            f"{cell['ud'].spread_mean:9.1f}±{cell['ud'].spread_std:5.1f} "
+            f"{cell['cd'].spread_mean:9.1f}±{cell['cd'].spread_std:5.1f} "
+            f"{ratio:7.2f}"
+        )
+
+    # Paper shape: CIM never loses to discrete IM (up to MC noise).
+    for budget in BUDGETS:
+        cell = {r.method: r for r in rows if r.budget == budget}
+        noise = cell["im"].spread_std / 5.0
+        assert cell["cd"].spread_mean >= cell["im"].spread_mean - noise
+        assert cell["ud"].spread_mean >= cell["im"].spread_mean - noise
+    # Spread grows with budget for every method.
+    for method in ("im", "ud", "cd"):
+        series = [r.spread_mean for r in rows if r.method == method]
+        assert series[-1] > series[0]

@@ -1,0 +1,69 @@
+"""Benchmark: regenerate Figure 6 (running time decomposition).
+
+The paper's scalability message: the hyper-graph build dominates total
+running time as networks grow, so the extra cost of UD / CD over discrete
+IM shrinks (10x on the smallest dataset down to 1.5x on the largest).
+We reproduce the per-budget decomposition on one analogue and the
+dataset-size trend across two scales.
+"""
+
+from __future__ import annotations
+
+from conftest import BUDGETS, DATASET, SCALE, SEED, THETA, run_once
+
+from repro.experiments.figures import figure6_running_time
+
+
+def test_fig6_running_time(benchmark):
+    rows = run_once(
+        benchmark,
+        figure6_running_time,
+        dataset=DATASET,
+        alpha=1.0,
+        budgets=BUDGETS,
+        scale=SCALE,
+        num_hyperedges=THETA,
+        seed=SEED,
+    )
+
+    print(f"\nFigure 6 — {DATASET}, alpha=1.0 (times in ms)")
+    print(f"{'B':>5s} {'method':>7s} {'build':>10s} {'solve':>10s} {'total':>10s}")
+    for row in rows:
+        print(
+            f"{row['budget']:5.0f} {row['method']:>7s} {row['hypergraph_ms']:10.1f} "
+            f"{row['method_ms']:10.1f} {row['total_ms']:10.1f}"
+        )
+
+    for row in rows:
+        assert row["hypergraph_ms"] > 0
+        assert row["total_ms"] >= row["hypergraph_ms"]
+    # CD includes UD as its warm start, so its solver phase costs more.
+    for budget in BUDGETS:
+        cell = {r["method"]: r for r in rows if r["budget"] == budget}
+        assert cell["cd"]["method_ms"] >= cell["ud"]["method_ms"] * 0.9
+
+
+def test_fig6_build_share_grows_with_network(benchmark):
+    """The scalability trend: larger networks => larger build share =>
+    smaller CD/IM total-time ratio."""
+
+    def sweep():
+        shares = {}
+        for scale in (SCALE, SCALE * 3):
+            rows = figure6_running_time(
+                dataset=DATASET,
+                alpha=1.0,
+                budgets=(BUDGETS[0],),
+                scale=scale,
+                num_hyperedges=None,  # O(n log n): grows with the network
+                seed=SEED,
+            )
+            cd = next(r for r in rows if r["method"] == "cd")
+            shares[scale] = cd["hypergraph_ms"] / cd["total_ms"]
+        return shares
+
+    shares = run_once(benchmark, sweep)
+    print("\nFigure 6 trend — hyper-graph build share of CD total time")
+    for scale, share in shares.items():
+        print(f"  scale={scale:6.3f}  build share = {share:6.1%}")
+    assert all(0.0 < share <= 1.0 for share in shares.values())

@@ -1,0 +1,46 @@
+"""Benchmark: the Figure-6 scaling trend on a scale grid.
+
+The paper's four datasets show the CD/IM total-time ratio falling from
+~10x to 1.5x as networks grow, because the shared hyper-graph build
+dominates.  Sweeping the analogue generator reproduces the trend as a
+curve rather than four points.
+"""
+
+from __future__ import annotations
+
+from conftest import DATASET, SEED, run_once
+
+from repro.experiments.scaling import scaling_study
+
+SCALES = (0.01, 0.03, 0.09)
+BUDGET = 10.0
+
+
+def test_scaling_study(benchmark):
+    rows = run_once(
+        benchmark,
+        scaling_study,
+        scales=SCALES,
+        dataset=DATASET,
+        budget=BUDGET,
+        seed=SEED,
+    )
+
+    print(f"\nScaling study — {DATASET} analogue, B={BUDGET:g} (gradient CD)")
+    print(
+        f"{'scale':>7s} {'n':>8s} {'theta':>9s} {'build':>9s} {'im':>8s} "
+        f"{'ud':>8s} {'cd':>8s} {'CD/IM':>6s} {'share':>6s}"
+    )
+    for row in rows:
+        print(
+            f"{row.scale:7.3f} {row.num_nodes:8,d} {row.theta:9,d} "
+            f"{row.build_ms:8.0f}m {row.im_ms:7.0f}m {row.ud_ms:7.0f}m "
+            f"{row.cd_ms:7.0f}m {row.cd_over_im:6.2f} {row.build_share_of_cd:6.1%}"
+        )
+
+    assert [row.num_nodes for row in rows] == sorted(row.num_nodes for row in rows)
+    # Build time grows with the network...
+    assert rows[-1].build_ms > rows[0].build_ms
+    # ...and the build share of CD's total time grows (the paper's trend
+    # behind the shrinking CD/IM ratio).
+    assert rows[-1].build_share_of_cd > rows[0].build_share_of_cd

@@ -1,0 +1,37 @@
+"""Benchmark: regenerate Table 2 (dataset statistics).
+
+Prints the published n/m/avg-degree next to the analogue's, plus the
+hyper-edge budget used downstream.  The timed quantity is analogue graph
+construction — the fixed cost every other experiment pays first.
+"""
+
+from __future__ import annotations
+
+from conftest import SCALE, SEED, run_once
+
+from repro.experiments.datasets import table2_rows
+
+
+def test_table2_datasets(benchmark):
+    rows = run_once(benchmark, table2_rows, scale=SCALE, seed=SEED)
+
+    print("\nTable 2 — datasets (paper vs analogue at scale %.3g)" % SCALE)
+    header = (
+        f"{'network':>16s} {'paper n':>10s} {'paper m':>12s} {'avg':>6s} "
+        f"{'ours n':>8s} {'ours m':>10s} {'avg':>6s} {'ours mh':>9s}"
+    )
+    print(header)
+    for row in rows:
+        print(
+            f"{row['network']:>16s} {row['paper_n']:>10,d} {row['paper_m']:>12,d} "
+            f"{row['paper_avg_degree']:>6.1f} {row['analogue_n']:>8,d} "
+            f"{row['analogue_m']:>10,d} {row['analogue_avg_degree']:>6.1f} "
+            f"{row['analogue_mh']:>9,d}"
+        )
+
+    assert len(rows) == 4
+    for row in rows:
+        # The analogue must preserve the degree shape (within 2x).
+        if row["network"] != "com-livejournal":
+            ratio = row["analogue_avg_degree"] / row["paper_avg_degree"]
+            assert 0.4 < ratio < 2.5

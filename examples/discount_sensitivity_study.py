@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Scenario: how does the optimal discount policy react to user sensitivity?
+
+Reproduces the qualitative message of the paper's Theorem 6, Example 1 and
+Table 4 on one network:
+
+1. When *every* user is insensitive (``p(c) <= c``), continuous discounts
+   cannot beat free products — the discrete-IM solution is already optimal
+   (Theorem 6), and coordinate descent confirms it by staying at the
+   integer configuration.
+2. When users are sensitive (``p(c) >= c``), splitting the budget into
+   partial discounts wins, and the margin grows with sensitivity.
+3. On isolated nodes with linear curves (Example 1), spreading the budget
+   across everyone beats seeding any single user by a factor approaching n.
+
+Run:  python examples/discount_sensitivity_study.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    CIMProblem,
+    Configuration,
+    CurvePopulation,
+    IndependentCascade,
+    LinearCurve,
+    PowerCurve,
+    exact_ui_ic,
+    solve,
+)
+from repro.graphs import assign_weighted_cascade, erdos_renyi, isolated_nodes
+
+
+def sensitivity_sweep() -> None:
+    """UD/CD vs IM as the whole population's curve exponent varies."""
+    num_users = 300
+    graph = assign_weighted_cascade(erdos_renyi(num_users, 0.03, seed=5), alpha=1.0)
+    model = IndependentCascade(graph)
+    print("=== spread vs population sensitivity (budget 6) ===")
+    print(f"{'curve':>12s} {'im':>8s} {'ud':>8s} {'cd':>8s} {'cd gain':>8s}")
+    for exponent, label in ((2.0, "c^2"), (1.0, "c"), (0.5, "c^0.5"), (0.25, "c^0.25")):
+        population = CurvePopulation.uniform(num_users, PowerCurve(exponent))
+        problem = CIMProblem(model, population, budget=6.0)
+        hypergraph = problem.build_hypergraph(seed=6)
+        spreads = {}
+        for method in ("im", "ud", "cd"):
+            spreads[method] = solve(problem, method, hypergraph=hypergraph, seed=7).spread_estimate
+        gain = (spreads["cd"] / spreads["im"] - 1.0) * 100.0
+        print(
+            f"{label:>12s} {spreads['im']:8.1f} {spreads['ud']:8.1f} "
+            f"{spreads['cd']:8.1f} {gain:+7.1f}%"
+        )
+    print(
+        "\ninsensitive users (exponent >= 1): free products are optimal "
+        "(Theorem 6); sensitive users: partial discounts win.\n"
+    )
+
+
+def example1_isolated_nodes() -> None:
+    """The paper's Example 1, computed exactly."""
+    n, budget = 10, 1.0
+    graph = isolated_nodes(n)
+    population = CurvePopulation.uniform(n, LinearCurve())
+    print("=== Example 1: isolated nodes, linear curves, B = 1 ===")
+    single_seed = Configuration.integer([0], n)
+    uniform = Configuration.uniform(budget, n)
+    ui_seed = exact_ui_ic(graph, population.probabilities(single_seed.discounts))
+    ui_uniform = exact_ui_ic(graph, population.probabilities(uniform.discounts))
+    print(f"  one free product:        UI = {ui_seed:.4f}  (paper: 1)")
+    print(f"  1/n discount to all:     UI = {ui_uniform:.4f}  (paper: 1, as n -> inf)")
+    # With the concave sensitive curve the gap appears at finite n:
+    from repro import ConcaveCurve
+
+    sensitive = CurvePopulation.uniform(n, ConcaveCurve())
+    ui_seed_s = exact_ui_ic(graph, sensitive.probabilities(single_seed.discounts))
+    ui_uniform_s = exact_ui_ic(graph, sensitive.probabilities(uniform.discounts))
+    print(f"  sensitive curves, seed:  UI = {ui_seed_s:.4f}")
+    print(
+        f"  sensitive curves, split: UI = {ui_uniform_s:.4f}  "
+        f"({ui_uniform_s / ui_seed_s:.2f}x better)\n"
+    )
+
+
+def main() -> None:
+    np.set_printoptions(precision=3)
+    example1_isolated_nodes()
+    sensitivity_sweep()
+
+
+if __name__ == "__main__":
+    main()

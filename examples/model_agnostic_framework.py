@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Scenario: the framework is influence-model agnostic.
+
+The paper's central framework (Sections 4-7) never assumes a specific
+influence model.  This script demonstrates that claim concretely by
+solving the *same* discount-allocation problem under three models:
+
+* Independent Cascade (IC),
+* Linear Threshold (LT),
+* a custom triggering model ("top-2 influencers": each user is only
+  triggerable by the two in-neighbors with the strongest edges),
+
+using exactly the same solver code paths — RR-set polling works for any
+triggering model, and the general coordinate descent only needs a spread
+oracle.
+
+Run:  python examples/model_agnostic_framework.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    CIMProblem,
+    IndependentCascade,
+    LinearThreshold,
+    MonteCarloOracle,
+    TriggeringModel,
+    coordinate_descent,
+    paper_mixture,
+    solve,
+)
+from repro.core.configuration import Configuration
+from repro.graphs import assign_weighted_cascade, erdos_renyi
+
+
+def top2_trigger_sampler(node, in_neighbors, in_probs, rng):
+    """Triggering distribution: flip coins only for the 2 strongest in-edges."""
+    if in_neighbors.size == 0:
+        return in_neighbors
+    order = np.argsort(in_probs)[::-1][:2]
+    strongest = in_neighbors[order]
+    strongest_probs = in_probs[order]
+    return strongest[rng.random(strongest.size) < strongest_probs]
+
+
+def main() -> None:
+    num_users = 250
+    graph = assign_weighted_cascade(erdos_renyi(num_users, 0.03, seed=21), alpha=0.85)
+    population = paper_mixture(num_users, seed=22)
+    budget = 6.0
+
+    models = {
+        "independent cascade": IndependentCascade(graph),
+        "linear threshold": LinearThreshold(graph),
+        "top-2 triggering": TriggeringModel(graph, top2_trigger_sampler),
+    }
+
+    print("=== same CIM pipeline, three influence models ===")
+    print(f"{'model':>22s} {'im':>8s} {'ud':>8s} {'cd':>8s}")
+    for name, model in models.items():
+        problem = CIMProblem(model, population, budget=budget)
+        hypergraph = problem.build_hypergraph(num_hyperedges=20000, seed=23)
+        spreads = {
+            method: solve(problem, method, hypergraph=hypergraph, seed=24).spread_estimate
+            for method in ("im", "ud", "cd")
+        }
+        print(
+            f"{name:>22s} {spreads['im']:8.1f} {spreads['ud']:8.1f} {spreads['cd']:8.1f}"
+        )
+
+    # The *general* Algorithm-1 coordinate descent with a pure Monte-Carlo
+    # oracle — no RR sets, no model internals, just cascade samples.  Run on
+    # a smaller instance because MC oracles are expensive.
+    print("\n=== general coordinate descent with a Monte-Carlo oracle ===")
+    small_graph = assign_weighted_cascade(erdos_renyi(40, 0.08, seed=25), alpha=1.0)
+    small_population = paper_mixture(40, seed=26)
+    model = LinearThreshold(small_graph)
+    oracle = MonteCarloOracle(model, small_population, num_samples=400, seed=27)
+    initial = Configuration.uniform(3.0, 40)
+    result = coordinate_descent(
+        oracle,
+        budget=3.0,
+        initial=initial,
+        grid_step=0.25,
+        max_rounds=2,
+        coordinates=range(8),
+    )
+    print(
+        f"LT model, MC oracle: objective {oracle.evaluate(initial):.2f} "
+        f"-> {result.objective_value:.2f} after {result.rounds_run} rounds "
+        f"({result.pair_updates} pair updates)"
+    )
+
+
+if __name__ == "__main__":
+    main()

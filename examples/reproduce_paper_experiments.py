@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper at a reduced scale.
+
+Runs the full experiment harness — Table 2 datasets, Figure 3 spread
+curves, Figure 4 approximation bounds, Figure 5 discount sweeps, Figure 6
+running-time decomposition, Table 3 search-step study, Table 4 curve-mix
+sensitivity — and prints the same rows/series the paper reports.
+
+This is the orchestrated version of the per-exhibit benchmarks in
+``benchmarks/``; see EXPERIMENTS.md for the paper-vs-measured discussion.
+
+Run:  python examples/reproduce_paper_experiments.py [--scale 0.02]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments import (
+    figure3_influence_spread,
+    figure4_approximation_bound,
+    figure5_spread_vs_discount,
+    figure6_running_time,
+    table2_rows,
+    table3_search_step,
+    table4_sensitivity,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.02, help="analogue scale")
+    parser.add_argument(
+        "--dataset", default="wiki-vote", help="dataset analogue to run on"
+    )
+    args = parser.parse_args()
+    scale = args.scale
+    dataset = args.dataset
+
+    print("================ Table 2: datasets ================")
+    print(f"{'network':>16s} {'paper n':>10s} {'paper m':>11s} {'ours n':>8s} {'ours m':>9s}")
+    for row in table2_rows(scale=scale):
+        print(
+            f"{row['network']:>16s} {row['paper_n']:>10,d} {row['paper_m']:>11,d} "
+            f"{row['analogue_n']:>8,d} {row['analogue_m']:>9,d}"
+        )
+
+    budgets = (10, 20, 30, 40, 50)
+    for alpha in (0.7, 0.85, 1.0):
+        print(f"\n========= Figure 3: influence spread ({dataset}, alpha={alpha}) =========")
+        figure3_influence_spread(
+            dataset=dataset, alpha=alpha, budgets=budgets, scale=scale, verbose=True
+        )
+
+    print(f"\n========= Figure 4: approximation lower bound ({dataset}) =========")
+    figure4_approximation_bound(dataset=dataset, budgets=budgets, scale=scale, verbose=True)
+
+    print(f"\n========= Figure 5: spread vs unified discount ({dataset}) =========")
+    figure5_spread_vs_discount(dataset=dataset, budget=50, scale=scale, verbose=True)
+
+    print(f"\n========= Figure 6: running time ({dataset}) =========")
+    figure6_running_time(dataset=dataset, budgets=budgets, scale=scale, verbose=True)
+
+    print(f"\n========= Table 3: search-step effect ({dataset}) =========")
+    table3_search_step(dataset=dataset, budgets=budgets, scale=scale, verbose=True)
+
+    print(f"\n========= Table 4: curve-mix sensitivity ({dataset}) =========")
+    table4_sensitivity(dataset=dataset, budget=50, scale=scale, verbose=True)
+
+
+if __name__ == "__main__":
+    main()

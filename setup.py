@@ -1,0 +1,5 @@
+"""Setup shim: all metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

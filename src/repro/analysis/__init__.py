@@ -1,0 +1,30 @@
+"""Analysis tools: plan diagnostics, budget frontiers, strategy comparison."""
+
+from repro.analysis.frontier import BudgetFrontierPoint, budget_frontier
+from repro.analysis.influence import (
+    PlanOverlap,
+    influence_scores,
+    plan_overlap,
+    top_influencers,
+)
+from repro.analysis.plan import PlanSummary, compare_methods, summarize_plan
+from repro.analysis.robustness import (
+    RobustnessReport,
+    curve_misspecification,
+    edge_misspecification,
+)
+
+__all__ = [
+    "PlanSummary",
+    "summarize_plan",
+    "compare_methods",
+    "BudgetFrontierPoint",
+    "budget_frontier",
+    "RobustnessReport",
+    "curve_misspecification",
+    "edge_misspecification",
+    "influence_scores",
+    "top_influencers",
+    "PlanOverlap",
+    "plan_overlap",
+]

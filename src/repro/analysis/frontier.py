@@ -1,0 +1,80 @@
+"""Budget-frontier analysis: spread as a function of budget.
+
+Answers the planning question "how much budget is worth spending?" by
+sweeping the budget and recording, per strategy, the achieved spread and
+its marginal value (spread gained per extra budget unit).  Monotonicity of
+``UI`` (Theorem 5) makes each frontier non-decreasing; submodularity-like
+saturation makes marginal values fall — the knee of the curve is where
+spending should stop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.population import CurvePopulation
+from repro.core.problem import CIMProblem
+from repro.core.solvers import solve
+from repro.diffusion.base import DiffusionModel
+from repro.exceptions import SolverError
+from repro.rrset.hypergraph import RRHypergraph
+from repro.utils.rng import SeedLike
+
+__all__ = ["BudgetFrontierPoint", "budget_frontier"]
+
+
+@dataclass(frozen=True)
+class BudgetFrontierPoint:
+    """One point of the spread-vs-budget frontier."""
+
+    budget: float
+    spread: float
+    marginal: float  # spread gained per budget unit since the previous point
+
+
+def budget_frontier(
+    model: DiffusionModel,
+    population: CurvePopulation,
+    budgets: Sequence[float],
+    method: str = "cd",
+    hypergraph: Optional[RRHypergraph] = None,
+    num_hyperedges: Optional[int] = None,
+    seed: SeedLike = None,
+    **solver_options,
+) -> List[BudgetFrontierPoint]:
+    """Sweep ``budgets`` (ascending) and return the frontier for ``method``.
+
+    All budgets share one hyper-graph, so the frontier is internally
+    consistent (no estimator re-sampling noise between points).
+    """
+    budgets = [float(b) for b in budgets]
+    if not budgets:
+        raise SolverError("budgets must be non-empty")
+    if sorted(budgets) != budgets:
+        raise SolverError("budgets must be ascending")
+    if budgets[0] <= 0:
+        raise SolverError("budgets must be positive")
+
+    if hypergraph is None:
+        probe = CIMProblem(model, population, budget=budgets[0])
+        hypergraph = probe.build_hypergraph(num_hyperedges=num_hyperedges, seed=seed)
+
+    points: List[BudgetFrontierPoint] = []
+    previous_budget, previous_spread = 0.0, 0.0
+    for budget in budgets:
+        problem = CIMProblem(model, population, budget=budget)
+        result = solve(problem, method, hypergraph=hypergraph, seed=seed, **solver_options)
+        delta_budget = budget - previous_budget
+        marginal = (
+            (result.spread_estimate - previous_spread) / delta_budget
+            if delta_budget > 0
+            else 0.0
+        )
+        points.append(
+            BudgetFrontierPoint(
+                budget=budget, spread=result.spread_estimate, marginal=marginal
+            )
+        )
+        previous_budget, previous_spread = budget, result.spread_estimate
+    return points

@@ -1,0 +1,97 @@
+"""Per-user influence scores and plan-overlap analysis.
+
+Marketing questions the core solvers don't answer directly:
+
+* "who are our most influential users?" — :func:`influence_scores` ranks
+  every node by its singleton influence spread ``I({u})``, estimated for
+  free from the hyper-graph degrees (``n * deg_H(u) / theta`` is unbiased
+  for ``I({u})``);
+* "how different are these two plans, really?" — :func:`plan_overlap`
+  compares two configurations by shared targets, budget overlap and
+  rank correlation of the discounts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.configuration import Configuration
+from repro.exceptions import SolverError
+from repro.rrset.hypergraph import RRHypergraph
+
+__all__ = ["influence_scores", "top_influencers", "PlanOverlap", "plan_overlap"]
+
+
+def influence_scores(hypergraph: RRHypergraph) -> np.ndarray:
+    """Unbiased singleton influence estimate per node.
+
+    ``scores[u] = n * deg_H(u) / theta`` estimates ``I({u})`` — the
+    polling identity specialized to singletons.  One hyper-graph therefore
+    prices every user's influence simultaneously.
+    """
+    if hypergraph.num_hyperedges == 0:
+        raise SolverError("hyper-graph has no hyper-edges")
+    return (
+        hypergraph.num_nodes
+        * hypergraph.degrees().astype(np.float64)
+        / hypergraph.num_hyperedges
+    )
+
+
+def top_influencers(hypergraph: RRHypergraph, k: int) -> List[Tuple[int, float]]:
+    """The ``k`` nodes of highest singleton influence, with their scores.
+
+    Note these are *individually* influential users; a good seed set
+    avoids overlapping influence (that is what max-coverage greedy does),
+    so this ranking is a diagnostic, not a seeding strategy.
+    """
+    if k < 0:
+        raise SolverError(f"k must be non-negative, got {k}")
+    scores = influence_scores(hypergraph)
+    order = np.lexsort((np.arange(scores.size), -scores))[:k]
+    return [(int(u), float(scores[u])) for u in order]
+
+
+@dataclass(frozen=True)
+class PlanOverlap:
+    """Similarity measures between two discount plans."""
+
+    shared_targets: int
+    jaccard: float
+    budget_overlap: float  # sum of min(c_a, c_b) / max budget
+    discount_correlation: float  # Pearson r over the union support
+
+
+def plan_overlap(a: Configuration, b: Configuration) -> PlanOverlap:
+    """Compare two configurations on the same user universe."""
+    if len(a) != len(b):
+        raise SolverError("configurations cover different user universes")
+    support_a = set(a.support.tolist())
+    support_b = set(b.support.tolist())
+    shared = support_a & support_b
+    union = support_a | support_b
+    jaccard = len(shared) / len(union) if union else 1.0
+
+    overlap_mass = float(np.minimum(a.discounts, b.discounts).sum())
+    denom = max(a.cost, b.cost)
+    budget_overlap = overlap_mass / denom if denom > 0 else 1.0
+
+    if union:
+        union_arr = np.asarray(sorted(union), dtype=np.int64)
+        xs = a.discounts[union_arr]
+        ys = b.discounts[union_arr]
+        if np.std(xs) > 1e-12 and np.std(ys) > 1e-12:
+            correlation = float(np.corrcoef(xs, ys)[0, 1])
+        else:
+            correlation = 1.0 if np.allclose(xs, ys) else 0.0
+    else:
+        correlation = 1.0
+    return PlanOverlap(
+        shared_targets=len(shared),
+        jaccard=jaccard,
+        budget_overlap=budget_overlap,
+        discount_correlation=correlation,
+    )

@@ -1,0 +1,122 @@
+"""Campaign-plan diagnostics.
+
+A discount configuration is the *output* of the optimization; before a
+marketing team acts on it, they want to see what it actually does: how
+many users get targeted, at what discount levels, how the spend splits
+across user segments (curves), how many seeds to expect, and what spread
+that buys.  :func:`summarize_plan` computes these, and
+:func:`compare_methods` runs several solvers and tabulates their summaries
+side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.configuration import Configuration
+from repro.core.expected_budget import expected_cost
+from repro.core.problem import CIMProblem
+from repro.core.solvers import solve
+from repro.rrset.hypergraph import RRHypergraph
+from repro.utils.rng import SeedLike
+
+__all__ = ["PlanSummary", "summarize_plan", "compare_methods"]
+
+
+@dataclass
+class PlanSummary:
+    """What a discount configuration does, in marketing terms."""
+
+    num_targeted: int
+    worst_case_spend: float
+    expected_spend: float
+    expected_seeds: float
+    min_discount: float
+    max_discount: float
+    mean_discount: float
+    spend_by_curve: Dict[str, float] = field(default_factory=dict)
+    targets_by_curve: Dict[str, int] = field(default_factory=dict)
+    spread_estimate: Optional[float] = None
+
+    def as_text(self) -> str:
+        """Human-readable multi-line report."""
+        lines = [
+            f"targeted users:      {self.num_targeted}",
+            f"worst-case spend:    {self.worst_case_spend:.3f}",
+            f"expected spend:      {self.expected_spend:.3f}",
+            f"expected seed count: {self.expected_seeds:.3f}",
+            (
+                f"discount range:      {self.min_discount:.0%} - {self.max_discount:.0%} "
+                f"(mean {self.mean_discount:.0%})"
+            ),
+        ]
+        if self.spread_estimate is not None:
+            lines.append(f"estimated spread:    {self.spread_estimate:.2f}")
+        for curve_name in sorted(self.targets_by_curve):
+            lines.append(
+                f"  {curve_name:>12s}: {self.targets_by_curve[curve_name]:4d} users, "
+                f"spend {self.spend_by_curve[curve_name]:.3f}"
+            )
+        return "\n".join(lines)
+
+
+def summarize_plan(
+    configuration: Configuration,
+    problem: CIMProblem,
+    hypergraph: Optional[RRHypergraph] = None,
+) -> PlanSummary:
+    """Diagnose a discount plan against its problem instance.
+
+    ``hypergraph`` (optional) adds a Theorem-9 spread estimate.
+    """
+    population = problem.population
+    support = configuration.support
+    discounts = configuration.discounts
+    seed_probs = population.probabilities(discounts)
+
+    spend_by_curve: Dict[str, float] = {}
+    targets_by_curve: Dict[str, int] = {}
+    for node in support:
+        name = population.curve(int(node)).name
+        spend_by_curve[name] = spend_by_curve.get(name, 0.0) + float(discounts[node])
+        targets_by_curve[name] = targets_by_curve.get(name, 0) + 1
+
+    spread = None
+    if hypergraph is not None:
+        from repro.core.objective import HypergraphOracle
+
+        spread = HypergraphOracle(hypergraph, population).evaluate(configuration)
+
+    targeted_discounts = discounts[support] if support.size else np.zeros(0)
+    return PlanSummary(
+        num_targeted=int(support.size),
+        worst_case_spend=configuration.cost,
+        expected_spend=expected_cost(configuration, population),
+        expected_seeds=float(seed_probs.sum()),
+        min_discount=float(targeted_discounts.min()) if support.size else 0.0,
+        max_discount=float(targeted_discounts.max()) if support.size else 0.0,
+        mean_discount=float(targeted_discounts.mean()) if support.size else 0.0,
+        spend_by_curve=spend_by_curve,
+        targets_by_curve=targets_by_curve,
+        spread_estimate=spread,
+    )
+
+
+def compare_methods(
+    problem: CIMProblem,
+    methods: Sequence[str] = ("im", "ud", "cd"),
+    hypergraph: Optional[RRHypergraph] = None,
+    seed: SeedLike = None,
+    **solver_options,
+) -> Dict[str, PlanSummary]:
+    """Run several strategies and summarize each plan on a shared hyper-graph."""
+    if hypergraph is None:
+        hypergraph = problem.build_hypergraph(seed=seed)
+    summaries: Dict[str, PlanSummary] = {}
+    for method in methods:
+        result = solve(problem, method, hypergraph=hypergraph, seed=seed, **solver_options)
+        summaries[method] = summarize_plan(result.configuration, problem, hypergraph)
+    return summaries

@@ -1,0 +1,136 @@
+"""Robustness analysis: how fragile is a discount plan to misspecification?
+
+Two things the optimizer trusts are estimated, not known: the users'
+purchase-probability curves (Section 9.1 synthesizes them; Table 4 varies
+their mixture) and the edge propagation probabilities (the alpha
+parameter).  A plan optimized for one belief may be deployed into a
+different reality; these tools measure the damage.
+
+* :func:`curve_misspecification` — score one fixed configuration under
+  perturbed curve assignments (users' sensitivity re-drawn), reporting the
+  spread distribution across perturbations — the Table-4 question asked of
+  a *fixed plan* instead of re-optimized ones.
+* :func:`edge_misspecification` — score a fixed configuration while the
+  true alpha deviates from the assumed one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.configuration import Configuration
+from repro.core.population import CurvePopulation, paper_mixture
+from repro.core.problem import CIMProblem
+from repro.diffusion.independent_cascade import IndependentCascade
+from repro.exceptions import SolverError
+from repro.graphs.digraph import DiGraph
+from repro.graphs.weights import assign_weighted_cascade
+from repro.utils.rng import SeedLike, spawn_generators
+
+__all__ = ["RobustnessReport", "curve_misspecification", "edge_misspecification"]
+
+
+@dataclass(frozen=True)
+class RobustnessReport:
+    """Spread of one plan across perturbed worlds."""
+
+    nominal_spread: float
+    perturbed_spreads: List[float]
+
+    @property
+    def worst(self) -> float:
+        """Lowest spread seen across perturbations."""
+        return min(self.perturbed_spreads) if self.perturbed_spreads else self.nominal_spread
+
+    @property
+    def mean(self) -> float:
+        """Average spread across perturbations."""
+        if not self.perturbed_spreads:
+            return self.nominal_spread
+        return float(np.mean(self.perturbed_spreads))
+
+    @property
+    def worst_case_loss(self) -> float:
+        """Fractional spread loss in the worst perturbed world."""
+        if self.nominal_spread <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.worst / self.nominal_spread)
+
+
+def curve_misspecification(
+    configuration: Configuration,
+    problem: CIMProblem,
+    num_perturbations: int = 10,
+    sensitive_fraction: float = 0.85,
+    linear_fraction: float = 0.10,
+    insensitive_fraction: float = 0.05,
+    evaluation_samples: int = 2000,
+    seed: SeedLike = None,
+) -> RobustnessReport:
+    """Score a fixed plan under re-drawn curve assignments.
+
+    Keeps the *mixture fractions* but re-randomizes which user gets which
+    curve — modelling segment-membership uncertainty.  The nominal spread
+    uses the problem's own population.
+    """
+    if num_perturbations < 1:
+        raise SolverError("num_perturbations must be >= 1")
+    rngs = spawn_generators(seed, num_perturbations + 1)
+    nominal = problem.evaluate(
+        configuration, num_samples=evaluation_samples, seed=rngs[0]
+    ).mean
+
+    spreads: List[float] = []
+    for index in range(num_perturbations):
+        population = paper_mixture(
+            problem.num_nodes,
+            sensitive_fraction=sensitive_fraction,
+            linear_fraction=linear_fraction,
+            insensitive_fraction=insensitive_fraction,
+            seed=rngs[index + 1],
+        )
+        perturbed_problem = CIMProblem(problem.model, population, budget=problem.budget)
+        spreads.append(
+            perturbed_problem.evaluate(
+                configuration, num_samples=evaluation_samples, seed=rngs[index + 1]
+            ).mean
+        )
+    return RobustnessReport(nominal_spread=nominal, perturbed_spreads=spreads)
+
+
+def edge_misspecification(
+    configuration: Configuration,
+    graph: DiGraph,
+    population: CurvePopulation,
+    assumed_alpha: float,
+    true_alphas: Sequence[float],
+    evaluation_samples: int = 2000,
+    seed: SeedLike = None,
+) -> RobustnessReport:
+    """Score a fixed plan while the deployed world's alpha varies.
+
+    ``graph`` must carry *topology only* semantics here: weighted-cascade
+    probabilities are re-derived for each alpha.  The nominal spread uses
+    ``assumed_alpha``.
+    """
+    if not true_alphas:
+        raise SolverError("true_alphas must be non-empty")
+    rngs = spawn_generators(seed, len(true_alphas) + 1)
+
+    def spread_at(alpha: float, rng) -> float:
+        weighted = assign_weighted_cascade(graph, alpha=alpha)
+        problem = CIMProblem(
+            IndependentCascade(weighted), population, budget=max(configuration.cost, 1e-9)
+        )
+        return problem.evaluate(
+            configuration, num_samples=evaluation_samples, seed=rng
+        ).mean
+
+    nominal = spread_at(assumed_alpha, rngs[0])
+    spreads = [
+        spread_at(float(alpha), rngs[index + 1]) for index, alpha in enumerate(true_alphas)
+    ]
+    return RobustnessReport(nominal_spread=nominal, perturbed_spreads=spreads)

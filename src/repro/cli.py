@@ -1,0 +1,317 @@
+"""Command-line interface.
+
+Five subcommands cover the library's end-to-end workflow without writing
+Python::
+
+    repro-cim generate --model powerlaw --nodes 500 --alpha 1.0 -o net.txt
+    repro-cim inspect net.txt
+    repro-cim solve net.txt --method cd --budget 10 -o plan.json
+    repro-cim evaluate net.txt plan.json --samples 5000
+    repro-cim reproduce fig5 --scale 0.02
+
+``generate`` writes a SNAP-style edge list (probabilities included);
+``solve`` assigns the paper's curve mixture (fractions configurable),
+runs one solver and saves the resulting plan as JSON; ``evaluate`` scores
+a saved plan with independent Monte-Carlo simulations; ``reproduce``
+regenerates one paper exhibit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.exceptions import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-cim",
+        description="Continuous influence maximization (SIGMOD 2016 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic network")
+    gen.add_argument(
+        "--model",
+        choices=("erdos-renyi", "powerlaw", "barabasi-albert", "forest-fire"),
+        default="powerlaw",
+    )
+    gen.add_argument("--nodes", type=int, default=500)
+    gen.add_argument("--average-degree", type=float, default=10.0)
+    gen.add_argument("--edge-prob", type=float, default=0.02, help="erdos-renyi p")
+    gen.add_argument("--attach", type=int, default=3, help="barabasi-albert m")
+    gen.add_argument("--alpha", type=float, default=1.0, help="weighted-cascade alpha")
+    gen.add_argument("--seed", type=int, default=None)
+    gen.add_argument("-o", "--output", required=True)
+
+    insp = sub.add_parser("inspect", help="print statistics of an edge list")
+    insp.add_argument("graph")
+    insp.add_argument("--undirected", action="store_true")
+
+    slv = sub.add_parser("solve", help="compute a discount plan")
+    slv.add_argument("graph")
+    slv.add_argument("--method", default="cd")
+    slv.add_argument("--budget", type=float, required=True)
+    slv.add_argument("--sensitive", type=float, default=0.85)
+    slv.add_argument("--linear", type=float, default=0.10)
+    slv.add_argument("--insensitive", type=float, default=0.05)
+    slv.add_argument("--hyperedges", type=int, default=None)
+    slv.add_argument("--diffusion", choices=("ic", "lt"), default="ic")
+    slv.add_argument("--undirected", action="store_true")
+    slv.add_argument("--seed", type=int, default=None)
+    slv.add_argument("-o", "--output", default=None, help="save plan JSON here")
+
+    ev = sub.add_parser("evaluate", help="Monte-Carlo score a saved plan")
+    ev.add_argument("graph")
+    ev.add_argument("plan", help="plan JSON from `solve` (SolveResult or Configuration)")
+    ev.add_argument("--samples", type=int, default=2000)
+    ev.add_argument("--sensitive", type=float, default=0.85)
+    ev.add_argument("--linear", type=float, default=0.10)
+    ev.add_argument("--insensitive", type=float, default=0.05)
+    ev.add_argument("--diffusion", choices=("ic", "lt"), default="ic")
+    ev.add_argument("--undirected", action="store_true")
+    ev.add_argument("--seed", type=int, default=None)
+
+    sub.add_parser("selfcheck", help="verify the installation's internal consistency")
+
+    rpt = sub.add_parser("report", help="regenerate every exhibit into CSV files")
+    rpt.add_argument("output_dir")
+    rpt.add_argument("--dataset", default="wiki-vote")
+    rpt.add_argument("--scale", type=float, default=0.02)
+    rpt.add_argument("--hyperedges", type=int, default=6000)
+    rpt.add_argument("--samples", type=int, default=1000)
+    rpt.add_argument("--seed", type=int, default=2016)
+
+    rep = sub.add_parser("reproduce", help="regenerate a paper exhibit")
+    rep.add_argument(
+        "exhibit",
+        choices=("table2", "fig3", "fig4", "fig5", "fig6", "table3", "table4"),
+    )
+    rep.add_argument("--dataset", default="wiki-vote")
+    rep.add_argument("--alpha", type=float, default=1.0)
+    rep.add_argument("--scale", type=float, default=0.02)
+    rep.add_argument("--budget", type=float, default=20.0)
+    rep.add_argument("--seed", type=int, default=2016)
+
+    return parser
+
+
+def _load_graph(path: str, undirected: bool):
+    from repro.graphs.io import read_edge_list
+
+    graph, _ = read_edge_list(path, undirected=undirected)
+    return graph
+
+
+def _build_model(graph, diffusion: str):
+    from repro.diffusion.independent_cascade import IndependentCascade
+    from repro.diffusion.linear_threshold import LinearThreshold
+
+    if diffusion == "lt":
+        return LinearThreshold(graph)
+    return IndependentCascade(graph)
+
+
+def _build_population(num_nodes: int, args) -> "object":
+    from repro.core.population import paper_mixture
+
+    return paper_mixture(
+        num_nodes,
+        sensitive_fraction=args.sensitive,
+        linear_fraction=args.linear,
+        insensitive_fraction=args.insensitive,
+        seed=args.seed,
+    )
+
+
+def _cmd_generate(args) -> int:
+    from repro.graphs.generators import (
+        barabasi_albert,
+        erdos_renyi,
+        forest_fire,
+        powerlaw_configuration,
+    )
+    from repro.graphs.io import write_edge_list
+    from repro.graphs.weights import assign_weighted_cascade
+
+    if args.model == "erdos-renyi":
+        graph = erdos_renyi(args.nodes, args.edge_prob, seed=args.seed)
+    elif args.model == "barabasi-albert":
+        graph = barabasi_albert(args.nodes, args.attach, seed=args.seed)
+    elif args.model == "forest-fire":
+        graph = forest_fire(args.nodes, seed=args.seed)
+    else:
+        graph = powerlaw_configuration(
+            args.nodes, average_degree=args.average_degree, seed=args.seed
+        )
+    graph = assign_weighted_cascade(graph, alpha=args.alpha)
+    write_edge_list(graph, args.output, header=f"generated by repro-cim ({args.model})")
+    print(f"wrote {graph.num_nodes} nodes / {graph.num_edges} edges to {args.output}")
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    from repro.graphs.stats import describe
+
+    graph = _load_graph(args.graph, args.undirected)
+    stats = describe(graph)
+    print(stats.as_row())
+    print(
+        f"max out-degree {stats.max_out_degree}, max in-degree {stats.max_in_degree}, "
+        f"isolated {stats.num_isolated}"
+    )
+    return 0
+
+
+def _cmd_solve(args) -> int:
+    from repro.core.problem import CIMProblem
+    from repro.core.solvers import solve
+    from repro.io.serialization import save_solve_result
+
+    graph = _load_graph(args.graph, args.undirected)
+    model = _build_model(graph, args.diffusion)
+    population = _build_population(graph.num_nodes, args)
+    problem = CIMProblem(model, population, budget=args.budget)
+    result = solve(
+        problem, args.method, num_hyperedges=args.hyperedges, seed=args.seed
+    )
+    support = result.configuration.support
+    print(
+        f"{args.method}: estimated spread {result.spread_estimate:.2f}, "
+        f"{support.size} users targeted, spend {result.cost:.3f} / {args.budget:g}"
+    )
+    if args.output:
+        save_solve_result(result, args.output)
+        print(f"plan saved to {args.output}")
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    from pathlib import Path
+
+    from repro.core.problem import CIMProblem
+    from repro.exceptions import ConfigurationError
+    from repro.io.serialization import configuration_from_json, solve_result_from_json
+
+    graph = _load_graph(args.graph, args.undirected)
+    model = _build_model(graph, args.diffusion)
+    population = _build_population(graph.num_nodes, args)
+    text = Path(args.plan).read_text(encoding="utf-8")
+    try:
+        configuration = solve_result_from_json(text).configuration
+    except ConfigurationError:
+        configuration = configuration_from_json(text)
+    problem = CIMProblem(model, population, budget=max(configuration.cost, 1e-9))
+    estimate = problem.evaluate(configuration, num_samples=args.samples, seed=args.seed)
+    lo, hi = estimate.confidence_interval()
+    print(
+        f"spread {estimate.mean:.2f} ± {estimate.stddev:.2f} "
+        f"(95% CI [{lo:.2f}, {hi:.2f}], {args.samples} simulations)"
+    )
+    return 0
+
+
+def _cmd_reproduce(args) -> int:
+    from repro.experiments import (
+        figure3_influence_spread,
+        figure4_approximation_bound,
+        figure5_spread_vs_discount,
+        figure6_running_time,
+        table2_rows,
+        table3_search_step,
+        table4_sensitivity,
+    )
+
+    common = dict(dataset=args.dataset, scale=args.scale, seed=args.seed, verbose=True)
+    if args.exhibit == "table2":
+        for row in table2_rows(scale=args.scale, seed=args.seed):
+            print(
+                f"{row['network']:>16s}  paper n={row['paper_n']:,}  "
+                f"ours n={row['analogue_n']:,} m={row['analogue_m']:,}"
+            )
+    elif args.exhibit == "fig3":
+        from repro.experiments.ascii import multi_series_chart
+
+        rows = figure3_influence_spread(alpha=args.alpha, **common)
+        budgets = sorted({row.budget for row in rows})
+        series = {
+            method: [
+                next(r.spread_mean for r in rows if r.budget == b and r.method == method)
+                for b in budgets
+            ]
+            for method in ("im", "ud", "cd")
+        }
+        print()
+        print(multi_series_chart(budgets, series))
+    elif args.exhibit == "fig4":
+        figure4_approximation_bound(alpha=args.alpha, **common)
+    elif args.exhibit == "fig5":
+        from repro.experiments.ascii import sparkline
+
+        rows = figure5_spread_vs_discount(alpha=args.alpha, budget=args.budget, **common)
+        print(f"\n  spread vs c:  {sparkline([row['spread'] for row in rows])}")
+    elif args.exhibit == "fig6":
+        figure6_running_time(alpha=args.alpha, **common)
+    elif args.exhibit == "table3":
+        table3_search_step(alpha=args.alpha, **common)
+    elif args.exhibit == "table4":
+        table4_sensitivity(alpha=args.alpha, budget=args.budget, **common)
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.experiments.report import generate_full_report
+
+    written = generate_full_report(
+        args.output_dir,
+        dataset=args.dataset,
+        scale=args.scale,
+        num_hyperedges=args.hyperedges,
+        evaluation_samples=args.samples,
+        seed=args.seed,
+    )
+    for name, path in sorted(written.items()):
+        print(f"  {name}: {path}")
+    print(f"report written to {args.output_dir}")
+    return 0
+
+
+def _cmd_selfcheck(args) -> int:
+    from repro.selfcheck import run_selfcheck
+
+    results = run_selfcheck(verbose=True)
+    return 0 if all(result.passed for result in results) else 1
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "inspect": _cmd_inspect,
+    "solve": _cmd_solve,
+    "evaluate": _cmd_evaluate,
+    "reproduce": _cmd_reproduce,
+    "selfcheck": _cmd_selfcheck,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,114 @@
+"""Core CIM library: curves, configurations, problem, oracles, solvers."""
+
+from repro.core.cd_hypergraph import HypergraphCDResult, coordinate_descent_hypergraph
+from repro.core.configuration import Configuration
+from repro.core.coordinate_descent import (
+    CoordinateDescentResult,
+    coordinate_descent,
+    saturate_budget,
+)
+from repro.core.curves import (
+    INSENSITIVE,
+    LINEAR,
+    SENSITIVE,
+    CallableCurve,
+    ConcaveCurve,
+    LinearCurve,
+    LogisticCurve,
+    PiecewiseLinearCurve,
+    PowerCurve,
+    QuadraticCurve,
+    SeedProbabilityCurve,
+)
+from repro.core.curve_fitting import (
+    Observation,
+    fit_logistic_curve,
+    fit_piecewise_curve,
+    fit_power_curve,
+    pava,
+)
+from repro.core.estimation import theorem2_sample_count, theorem4_time_bound
+from repro.core.exact_lt import ExactLTComputer, exact_spread_lt, exact_ui_lt
+from repro.core.expected_budget import (
+    coordinate_descent_expected,
+    expected_cost,
+    invert_expected_cost,
+    unified_discount_expected,
+)
+from repro.core.exact import ExactICComputer, exact_spread_ic, exact_ui_ic
+from repro.core.objective import (
+    ExactOracle,
+    FixedSampleOracle,
+    HypergraphOracle,
+    MonteCarloOracle,
+    SpreadOracle,
+)
+from repro.core.population import CurvePopulation, paper_mixture
+from repro.core.problem import CIMProblem
+from repro.core.solvers import (
+    SolveResult,
+    available_methods,
+    register_solver,
+    solve,
+    unregister_solver,
+)
+from repro.core.unified_discount import (
+    UDGridPoint,
+    UDResult,
+    default_discount_grid,
+    unified_discount,
+)
+
+__all__ = [
+    "Configuration",
+    "CIMProblem",
+    "CurvePopulation",
+    "paper_mixture",
+    "SeedProbabilityCurve",
+    "LinearCurve",
+    "QuadraticCurve",
+    "ConcaveCurve",
+    "PowerCurve",
+    "LogisticCurve",
+    "PiecewiseLinearCurve",
+    "CallableCurve",
+    "SENSITIVE",
+    "LINEAR",
+    "INSENSITIVE",
+    "SpreadOracle",
+    "ExactOracle",
+    "MonteCarloOracle",
+    "HypergraphOracle",
+    "FixedSampleOracle",
+    "coordinate_descent",
+    "CoordinateDescentResult",
+    "saturate_budget",
+    "unified_discount",
+    "UDResult",
+    "UDGridPoint",
+    "default_discount_grid",
+    "coordinate_descent_hypergraph",
+    "HypergraphCDResult",
+    "solve",
+    "SolveResult",
+    "available_methods",
+    "register_solver",
+    "unregister_solver",
+    "ExactICComputer",
+    "exact_spread_ic",
+    "exact_ui_ic",
+    "theorem2_sample_count",
+    "theorem4_time_bound",
+    "expected_cost",
+    "invert_expected_cost",
+    "unified_discount_expected",
+    "coordinate_descent_expected",
+    "Observation",
+    "fit_piecewise_curve",
+    "fit_power_curve",
+    "fit_logistic_curve",
+    "pava",
+    "ExactLTComputer",
+    "exact_spread_lt",
+    "exact_ui_lt",
+]

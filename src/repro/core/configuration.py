@@ -1,0 +1,173 @@
+"""Discount configurations (the decision variable of the CIM problem).
+
+A configuration ``C = (c_1, ..., c_n)`` assigns each user a discount in
+``[0, 1]``; its *cost* is ``sum_u c_u`` and it is feasible for budget ``B``
+when the cost does not exceed ``B`` (Eq. 3).  *Integer* configurations
+(every ``c_u`` in ``{0, 1}``) encode classical discrete-IM seed sets
+(Eq. 4); *unified* configurations give one shared discount ``c`` to a
+chosen set (Section 7.2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.exceptions import BudgetError, ConfigurationError
+
+__all__ = ["Configuration"]
+
+_FEASIBILITY_TOLERANCE = 1e-9
+
+
+class Configuration:
+    """An immutable discount vector with feasibility helpers."""
+
+    __slots__ = ("_discounts",)
+
+    def __init__(self, discounts: Sequence[float]) -> None:
+        arr = np.array(discounts, dtype=np.float64, copy=True)
+        if arr.ndim != 1:
+            raise ConfigurationError(f"discounts must be a 1-D vector, got shape {arr.shape}")
+        if np.any(np.isnan(arr)):
+            raise ConfigurationError("discounts contain NaN")
+        if np.any(arr < -_FEASIBILITY_TOLERANCE) or np.any(arr > 1.0 + _FEASIBILITY_TOLERANCE):
+            raise ConfigurationError("every discount must lie in [0, 1]")
+        np.clip(arr, 0.0, 1.0, out=arr)
+        arr.setflags(write=False)
+        self._discounts = arr
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def zeros(cls, num_nodes: int) -> "Configuration":
+        """The all-zero (spend nothing) configuration."""
+        return cls(np.zeros(num_nodes))
+
+    @classmethod
+    def integer(cls, seeds: Iterable[int], num_nodes: int) -> "Configuration":
+        """Integer configuration: discount 1 on ``seeds``, 0 elsewhere.
+
+        This is the embedding of a discrete-IM seed set into CIM's
+        configuration space (Section 6).
+        """
+        arr = np.zeros(num_nodes)
+        seed_arr = np.asarray(list(seeds), dtype=np.int64)
+        if seed_arr.size and (seed_arr.min() < 0 or seed_arr.max() >= num_nodes):
+            raise ConfigurationError("seed id out of range")
+        arr[seed_arr] = 1.0
+        return cls(arr)
+
+    @classmethod
+    def unified(cls, nodes: Iterable[int], discount: float, num_nodes: int) -> "Configuration":
+        """Unified-discount configuration: ``discount`` on ``nodes``, else 0."""
+        arr = np.zeros(num_nodes)
+        node_arr = np.asarray(list(nodes), dtype=np.int64)
+        if node_arr.size and (node_arr.min() < 0 or node_arr.max() >= num_nodes):
+            raise ConfigurationError("node id out of range")
+        arr[node_arr] = discount
+        return cls(arr)
+
+    @classmethod
+    def uniform(cls, budget: float, num_nodes: int) -> "Configuration":
+        """Spread the budget evenly: ``c_u = min(1, B / n)`` for all ``u``.
+
+        The optimal strategy of the paper's Example 1 (isolated nodes with
+        linear curves).
+        """
+        if num_nodes <= 0:
+            raise ConfigurationError("num_nodes must be positive")
+        return cls(np.full(num_nodes, min(1.0, budget / num_nodes)))
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    @property
+    def discounts(self) -> np.ndarray:
+        """The (read-only) discount vector."""
+        return self._discounts
+
+    def __len__(self) -> int:
+        return int(self._discounts.size)
+
+    def __getitem__(self, node: int) -> float:
+        return float(self._discounts[node])
+
+    def __iter__(self):
+        return iter(self._discounts)
+
+    @property
+    def cost(self) -> float:
+        """Total spend ``sum_u c_u``."""
+        return float(self._discounts.sum())
+
+    @property
+    def support(self) -> np.ndarray:
+        """Ids of nodes receiving a strictly positive discount."""
+        return np.flatnonzero(self._discounts > 0.0)
+
+    @property
+    def is_integer(self) -> bool:
+        """Whether every discount is exactly 0 or 1 (an Eq.-4 configuration)."""
+        return bool(np.all((self._discounts == 0.0) | (self._discounts == 1.0)))
+
+    def seed_set(self) -> List[int]:
+        """The seed set encoded by an integer configuration."""
+        if not self.is_integer:
+            raise ConfigurationError("configuration is not integer")
+        return [int(u) for u in np.flatnonzero(self._discounts == 1.0)]
+
+    # ------------------------------------------------------------------
+    # feasibility
+    # ------------------------------------------------------------------
+    def is_feasible(self, budget: float) -> bool:
+        """Whether ``cost <= budget`` (within tolerance)."""
+        return self.cost <= budget + _FEASIBILITY_TOLERANCE
+
+    def require_feasible(self, budget: float) -> "Configuration":
+        """Raise :class:`BudgetError` unless feasible; returns ``self``."""
+        if not self.is_feasible(budget):
+            raise BudgetError(self.cost, budget)
+        return self
+
+    # ------------------------------------------------------------------
+    # functional updates
+    # ------------------------------------------------------------------
+    def with_discount(self, node: int, value: float) -> "Configuration":
+        """A copy with ``c_node`` replaced by ``value``."""
+        arr = self._discounts.copy()
+        arr[node] = value
+        return Configuration(arr)
+
+    def with_pair(self, i: int, c_i: float, j: int, c_j: float) -> "Configuration":
+        """A copy with the coordinate pair ``(i, j)`` replaced."""
+        arr = self._discounts.copy()
+        arr[i] = c_i
+        arr[j] = c_j
+        return Configuration(arr)
+
+    def dominates(self, other: "Configuration") -> bool:
+        """Pointwise ``self >= other`` (the partial order of Theorem 5)."""
+        if len(self) != len(other):
+            raise ConfigurationError("configurations have different lengths")
+        return bool(np.all(self._discounts >= other._discounts - 1e-12))
+
+    # ------------------------------------------------------------------
+    # dunder
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Configuration):
+            return NotImplemented
+        return np.array_equal(self._discounts, other._discounts)
+
+    def __hash__(self) -> int:
+        return hash(self._discounts.tobytes())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        support = self.support
+        return (
+            f"Configuration(n={len(self)}, cost={self.cost:.4g}, "
+            f"support={support.size})"
+        )

@@ -1,0 +1,274 @@
+"""Learning seed-probability curves from conversion data.
+
+Section 3 of the paper: "the best way to decide a user's seed probability
+function (purchase probability curve) is to learn from data.  Since seed
+probability functions can take many different forms, it is important to
+design a general marketing method that can handle all kinds of such
+functions."  The solvers here handle any valid curve; this module supplies
+the missing ingredient — estimators that turn logged
+``(discount offered, converted?)`` observations into valid curves:
+
+* :func:`fit_piecewise_curve` — nonparametric: bin the observations,
+  take empirical conversion rates, enforce monotonicity with the
+  pool-adjacent-violators algorithm (PAVA), and anchor the Section-3
+  endpoints ``p(0) = 0``, ``p(1) = 1``.
+* :func:`fit_power_curve` — parametric MLE for ``p(c) = c^a`` (the
+  paper's sensitive/insensitive families are ``a = 1/2''ish`` and
+  ``a = 2``); closed form: the score equation gives
+  ``a`` as the root of a 1-D monotone function, solved by bisection.
+* :func:`pava` — the isotonic-regression primitive, exposed because it is
+  independently useful.
+
+All fitters return ready-to-use
+:class:`~repro.core.curves.SeedProbabilityCurve` objects that pass
+``validate()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.curves import LogisticCurve, PiecewiseLinearCurve, PowerCurve
+from repro.exceptions import CurveError
+
+__all__ = [
+    "Observation",
+    "pava",
+    "fit_piecewise_curve",
+    "fit_power_curve",
+    "fit_logistic_curve",
+]
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One logged offer: the discount shown and whether the user converted."""
+
+    discount: float
+    converted: bool
+
+
+def _validate_observations(
+    observations: Sequence[Tuple[float, bool]],
+) -> Tuple[np.ndarray, np.ndarray]:
+    if not observations:
+        raise CurveError("need at least one observation")
+    discounts = np.empty(len(observations))
+    outcomes = np.empty(len(observations))
+    for index, obs in enumerate(observations):
+        if isinstance(obs, Observation):
+            discount, converted = obs.discount, obs.converted
+        else:
+            discount, converted = obs
+        if not 0.0 <= discount <= 1.0:
+            raise CurveError(f"observation {index}: discount {discount} not in [0, 1]")
+        discounts[index] = discount
+        outcomes[index] = 1.0 if converted else 0.0
+    return discounts, outcomes
+
+
+def pava(values: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Weighted isotonic regression (pool adjacent violators).
+
+    Returns the non-decreasing sequence minimizing the weighted squared
+    error to ``values``.
+
+    >>> pava(np.array([1.0, 3.0, 2.0]), np.array([1.0, 1.0, 1.0])).tolist()
+    [1.0, 2.5, 2.5]
+    """
+    values = np.asarray(values, dtype=np.float64)
+    weights = np.asarray(weights, dtype=np.float64)
+    if values.shape != weights.shape or values.ndim != 1:
+        raise CurveError("values and weights must be 1-D and equal length")
+    if np.any(weights <= 0.0):
+        raise CurveError("weights must be positive")
+    # Stack of (mean, weight, count) blocks.
+    blocks: List[List[float]] = []
+    for value, weight in zip(values, weights):
+        blocks.append([float(value), float(weight), 1])
+        while len(blocks) >= 2 and blocks[-2][0] > blocks[-1][0]:
+            mean_b, weight_b, count_b = blocks.pop()
+            mean_a, weight_a, count_a = blocks.pop()
+            total = weight_a + weight_b
+            blocks.append(
+                [(mean_a * weight_a + mean_b * weight_b) / total, total, count_a + count_b]
+            )
+    out = np.empty_like(values)
+    cursor = 0
+    for mean, _, count in blocks:
+        out[cursor : cursor + count] = mean
+        cursor += count
+    return out
+
+
+def fit_piecewise_curve(
+    observations: Sequence[Tuple[float, bool]],
+    num_bins: int = 10,
+    min_bin_count: int = 1,
+) -> PiecewiseLinearCurve:
+    """Nonparametric monotone fit of a purchase-probability curve.
+
+    Observations are grouped into ``num_bins`` equal-width discount bins;
+    each bin contributes its empirical conversion rate at its mean
+    discount, weighted by its count; PAVA enforces monotonicity; the
+    Section-3 endpoints are appended (overriding any conflicting empirical
+    rate at the exact boundaries, where the axioms are definitional).
+    """
+    if num_bins < 1:
+        raise CurveError(f"num_bins must be >= 1, got {num_bins}")
+    discounts, outcomes = _validate_observations(observations)
+
+    edges = np.linspace(0.0, 1.0, num_bins + 1)
+    bin_index = np.clip(np.digitize(discounts, edges) - 1, 0, num_bins - 1)
+    xs: List[float] = []
+    rates: List[float] = []
+    weights: List[float] = []
+    for b in range(num_bins):
+        mask = bin_index == b
+        count = int(mask.sum())
+        if count < min_bin_count or count == 0:
+            continue
+        xs.append(float(discounts[mask].mean()))
+        rates.append(float(outcomes[mask].mean()))
+        weights.append(float(count))
+    if not xs:
+        raise CurveError("no bin has enough observations")
+
+    iso = pava(np.asarray(rates), np.asarray(weights))
+    knots: List[Tuple[float, float]] = [(0.0, 0.0)]
+    for x, y in zip(xs, iso):
+        if 0.0 < x < 1.0:
+            # Clip into the open band so the endpoint knots stay extreme.
+            knots.append((x, float(np.clip(y, 0.0, 1.0))))
+    knots.append((1.0, 1.0))
+    # Deduplicate x-coordinates (PiecewiseLinearCurve needs strict increase)
+    # and re-run a final monotone pass including the endpoint anchors.
+    unique: List[Tuple[float, float]] = []
+    for x, y in knots:
+        if unique and abs(x - unique[-1][0]) < 1e-12:
+            unique[-1] = (unique[-1][0], max(unique[-1][1], y))
+        else:
+            unique.append((x, y))
+    ys = pava(
+        np.asarray([y for _, y in unique]),
+        np.ones(len(unique)),
+    )
+    ys[0], ys[-1] = 0.0, 1.0
+    ys = np.maximum.accumulate(np.clip(ys, 0.0, 1.0))
+    ys[-1] = 1.0
+    final = list(zip((x for x, _ in unique), ys))
+    return PiecewiseLinearCurve(final)
+
+
+def fit_power_curve(
+    observations: Sequence[Tuple[float, bool]],
+    min_exponent: float = 0.05,
+    max_exponent: float = 20.0,
+    tolerance: float = 1e-9,
+) -> PowerCurve:
+    """Maximum-likelihood fit of ``p(c) = c^a``.
+
+    The log-likelihood ``sum_i [y_i * a * log c_i + (1 - y_i) *
+    log(1 - c_i^a)]`` is concave in ``a``; its derivative is strictly
+    decreasing, so the MLE is the bisection root of the score function.
+    Observations at ``c = 0`` or ``c = 1`` carry no information about the
+    exponent (the axioms pin those values) and are ignored.
+    """
+    discounts, outcomes = _validate_observations(observations)
+    interior = (discounts > 0.0) & (discounts < 1.0)
+    discounts, outcomes = discounts[interior], outcomes[interior]
+    if discounts.size == 0:
+        raise CurveError("need at least one observation with 0 < discount < 1")
+    log_c = np.log(discounts)
+
+    def score(a: float) -> float:
+        powered = np.power(discounts, a)
+        # d/da log L = sum y*log c - (1-y) * c^a log c / (1 - c^a)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            negative_part = np.where(
+                outcomes < 0.5, powered * log_c / np.maximum(1.0 - powered, 1e-300), 0.0
+            )
+        return float((outcomes * log_c).sum() - negative_part.sum())
+
+    lo, hi = min_exponent, max_exponent
+    score_lo, score_hi = score(lo), score(hi)
+    # score is decreasing in a... (larger a, smaller p, conversions less
+    # likely). Clamp when the optimum sits at a boundary.
+    if score_lo <= 0.0:
+        return PowerCurve(lo)
+    if score_hi >= 0.0:
+        return PowerCurve(hi)
+    while hi - lo > tolerance:
+        mid = (lo + hi) / 2.0
+        if score(mid) > 0.0:
+            lo = mid
+        else:
+            hi = mid
+    return PowerCurve((lo + hi) / 2.0)
+
+
+def fit_logistic_curve(
+    observations: Sequence[Tuple[float, bool]],
+    steepness_bounds: Tuple[float, float] = (0.5, 30.0),
+    midpoint_bounds: Tuple[float, float] = (0.05, 0.95),
+    grid: int = 12,
+) -> LogisticCurve:
+    """Maximum-likelihood fit of the rescaled logistic family.
+
+    Fits the two parameters of
+    :class:`~repro.core.curves.LogisticCurve` (steepness ``k``, tipping
+    point ``mid``) by maximizing the Bernoulli log-likelihood.  A coarse
+    grid scan seeds a Nelder-Mead refinement (via scipy when available;
+    otherwise the best grid point is returned) — the likelihood surface
+    is smooth but not concave in ``(k, mid)``, so the scan guards against
+    bad local optima.
+    """
+    discounts, outcomes = _validate_observations(observations)
+    interior = (discounts > 0.0) & (discounts < 1.0)
+    discounts, outcomes = discounts[interior], outcomes[interior]
+    if discounts.size == 0:
+        raise CurveError("need at least one observation with 0 < discount < 1")
+
+    def negative_log_likelihood(params) -> float:
+        steepness, midpoint = params
+        if not steepness_bounds[0] <= steepness <= steepness_bounds[1]:
+            return float("inf")
+        if not midpoint_bounds[0] <= midpoint <= midpoint_bounds[1]:
+            return float("inf")
+        curve = LogisticCurve(steepness=float(steepness), midpoint=float(midpoint))
+        p = np.clip(curve(discounts), 1e-12, 1.0 - 1e-12)
+        return -float(
+            (outcomes * np.log(p) + (1.0 - outcomes) * np.log(1.0 - p)).sum()
+        )
+
+    steep_grid = np.linspace(steepness_bounds[0], steepness_bounds[1], grid)
+    mid_grid = np.linspace(midpoint_bounds[0], midpoint_bounds[1], grid)
+    best_params = None
+    best_value = float("inf")
+    for steepness in steep_grid:
+        for midpoint in mid_grid:
+            value = negative_log_likelihood((steepness, midpoint))
+            if value < best_value:
+                best_value = value
+                best_params = (float(steepness), float(midpoint))
+
+    try:
+        from scipy.optimize import minimize
+
+        refined = minimize(
+            negative_log_likelihood,
+            x0=np.asarray(best_params),
+            method="Nelder-Mead",
+            options={"xatol": 1e-5, "fatol": 1e-8, "maxiter": 400},
+        )
+        if refined.fun < best_value:
+            best_params = (float(refined.x[0]), float(refined.x[1]))
+    except ImportError:  # pragma: no cover - scipy is an optional extra
+        pass
+
+    steepness = float(np.clip(best_params[0], *steepness_bounds))
+    midpoint = float(np.clip(best_params[1], *midpoint_bounds))
+    return LogisticCurve(steepness=steepness, midpoint=midpoint)

@@ -1,0 +1,102 @@
+"""Sample-complexity formulas from Section 4 (Theorems 2 and 4).
+
+These bounds answer "how many Monte-Carlo calls guarantee an
+``(epsilon, delta)`` estimate of ``UI(C)``?":
+
+* Theorem 2 — with an exact influence-spread oracle,
+  ``N = n^2 ln(2/delta) / (2 eps^2 (sum_u p_u(c_u))^2)`` calls suffice.
+* Theorem 4 — under IC/LT each simulated cascade costs ``O(m)``, giving
+  total time ``O(m n^2 ln(1/delta) / (2 eps^2 (sum_u p_u(c_u))^2))``.
+
+Here ``eps`` is *relative* error: the estimate lands within
+``(1 ± eps) UI(C)`` with probability at least ``1 - delta``.  The bounds
+use ``UI(C) >= sum_u p_u(c_u)`` (each expected seed contributes at least
+itself) and Hoeffding's inequality with range ``[0, n]``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import EstimationError
+
+__all__ = [
+    "theorem2_sample_count",
+    "theorem4_time_bound",
+    "hoeffding_sample_count",
+    "hoeffding_confidence",
+]
+
+
+def _check_eps_delta(epsilon: float, delta: float) -> None:
+    if epsilon <= 0.0:
+        raise EstimationError(f"epsilon must be positive, got {epsilon}")
+    if not 0.0 < delta < 1.0:
+        raise EstimationError(f"delta must lie in (0, 1), got {delta}")
+
+
+def theorem2_sample_count(
+    num_nodes: int,
+    expected_seeds: float,
+    epsilon: float,
+    delta: float,
+) -> int:
+    """Theorem 2's oracle-call count for an ``(eps, delta)`` estimate.
+
+    Parameters
+    ----------
+    num_nodes:
+        ``n``.
+    expected_seeds:
+        ``sum_u p_u(c_u)`` — the expected seed count of the configuration
+        (assumed ``Omega(1)`` by the paper).
+    """
+    _check_eps_delta(epsilon, delta)
+    if expected_seeds <= 0.0:
+        raise EstimationError(
+            f"expected_seeds must be positive, got {expected_seeds}"
+        )
+    numerator = num_nodes * num_nodes * math.log(2.0 / delta)
+    denominator = 2.0 * epsilon * epsilon * expected_seeds * expected_seeds
+    return max(1, int(math.ceil(numerator / denominator)))
+
+
+def theorem4_time_bound(
+    num_nodes: int,
+    num_edges: int,
+    expected_seeds: float,
+    epsilon: float,
+    delta: float,
+) -> float:
+    """Theorem 4's total simulation-time bound for IC/LT (in edge-ops)."""
+    _check_eps_delta(epsilon, delta)
+    if expected_seeds <= 0.0:
+        raise EstimationError(
+            f"expected_seeds must be positive, got {expected_seeds}"
+        )
+    numerator = num_edges * num_nodes * num_nodes * math.log(1.0 / delta)
+    denominator = 2.0 * epsilon * epsilon * expected_seeds * expected_seeds
+    return numerator / denominator
+
+
+def hoeffding_sample_count(value_range: float, absolute_error: float, delta: float) -> int:
+    """Generic Hoeffding bound: samples for ``P(|mean err| > t) <= delta``.
+
+    For i.i.d. samples in ``[0, value_range]``,
+    ``N >= value_range^2 ln(2/delta) / (2 t^2)``.
+    """
+    if value_range <= 0.0:
+        raise EstimationError(f"value_range must be positive, got {value_range}")
+    _check_eps_delta(absolute_error, delta)
+    n = value_range * value_range * math.log(2.0 / delta) / (2.0 * absolute_error**2)
+    return max(1, int(math.ceil(n)))
+
+
+def hoeffding_confidence(value_range: float, absolute_error: float, num_samples: int) -> float:
+    """Probability bound ``delta`` achieved by ``num_samples`` samples."""
+    if value_range <= 0.0 or absolute_error <= 0.0 or num_samples <= 0:
+        raise EstimationError("all arguments must be positive")
+    exponent = -2.0 * num_samples * absolute_error**2 / (value_range * value_range)
+    return min(1.0, 2.0 * math.exp(exponent))

@@ -1,0 +1,123 @@
+"""Exact computation of ``I(S)`` and ``UI(C)`` under Linear Threshold.
+
+The LT model's live-edge distribution picks, for each node ``v``
+*independently*, at most one incoming edge: edge ``(u, v)`` with
+probability ``w(u, v)`` and no edge with probability ``1 - sum_u w(u, v)``
+(Kempe et al. 2003, Claim 2.6).  Enumerating the product space of per-node
+choices — ``prod_v (in_degree(v) + 1)`` outcomes — therefore yields exact
+LT spreads on small graphs, mirroring :mod:`repro.core.exact` for IC.
+
+Used by tests as ground truth for the LT simulator, the LT RR-set sampler
+and the hyper-graph estimator under LT.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.exceptions import EstimationError
+from repro.graphs.digraph import DiGraph
+
+__all__ = ["ExactLTComputer", "exact_spread_lt", "exact_ui_lt"]
+
+
+class ExactLTComputer:
+    """Pre-enumerates all LT live-edge outcomes of a small graph."""
+
+    def __init__(self, graph: DiGraph, max_outcomes: int = 200_000) -> None:
+        self.graph = graph
+        n = graph.num_nodes
+        # Per-node choice lists: (probability, source or None).
+        choices: List[List[tuple]] = []
+        outcome_count = 1
+        for v in range(n):
+            sources = graph.in_neighbors(v)
+            weights = graph.in_edge_probs(v)
+            total = float(weights.sum())
+            if total > 1.0 + 1e-9:
+                raise EstimationError(
+                    f"LT requires in-weight sums <= 1; node {v} has {total:.6f}"
+                )
+            node_choices = [(1.0 - total, None)]
+            node_choices.extend(
+                (float(w), int(u)) for u, w in zip(sources, weights)
+            )
+            choices.append(node_choices)
+            outcome_count *= len(node_choices)
+            if outcome_count > max_outcomes:
+                raise EstimationError(
+                    f"LT enumeration needs {outcome_count}+ outcomes "
+                    f"> max_outcomes={max_outcomes}"
+                )
+        self._outcome_probs: List[float] = []
+        self._reach_matrices: List[np.ndarray] = []
+        self._enumerate(choices)
+
+    def _enumerate(self, choices: List[List[tuple]]) -> None:
+        n = self.graph.num_nodes
+        for combo in itertools.product(*choices):
+            prob = 1.0
+            adjacency = np.zeros((n, n), dtype=bool)
+            for v, (p, source) in enumerate(combo):
+                prob *= p
+                if prob == 0.0:
+                    break
+                if source is not None:
+                    adjacency[source, v] = True
+            if prob == 0.0:
+                continue
+            reach = np.eye(n, dtype=bool)
+            frontier = adjacency.copy()
+            while frontier.any():
+                new_reach = reach | frontier
+                if np.array_equal(new_reach, reach):
+                    break
+                reach = new_reach
+                frontier = frontier @ adjacency
+            self._outcome_probs.append(prob)
+            self._reach_matrices.append(reach)
+
+    def spread(self, seeds: Sequence[int]) -> float:
+        """Exact LT influence spread ``I(S)``."""
+        seed_arr = np.unique(np.asarray(list(seeds), dtype=np.int64))
+        if seed_arr.size == 0:
+            return 0.0
+        if seed_arr.min() < 0 or seed_arr.max() >= self.graph.num_nodes:
+            raise EstimationError("seed id out of range")
+        total = 0.0
+        for prob, reach in zip(self._outcome_probs, self._reach_matrices):
+            total += prob * float(reach[seed_arr].any(axis=0).sum())
+        return total
+
+    def expected_spread(self, seed_probabilities: np.ndarray) -> float:
+        """Exact ``UI(C)`` under LT from per-node seed probabilities."""
+        q = np.asarray(seed_probabilities, dtype=np.float64)
+        if q.shape != (self.graph.num_nodes,):
+            raise EstimationError(
+                f"seed_probabilities must have length n={self.graph.num_nodes}"
+            )
+        if np.any(q < 0.0) or np.any(q > 1.0):
+            raise EstimationError("seed probabilities must lie in [0, 1]")
+        decline = 1.0 - q
+        total = 0.0
+        for prob, reach in zip(self._outcome_probs, self._reach_matrices):
+            survive = np.where(reach, decline[:, None], 1.0).prod(axis=0)
+            total += prob * float((1.0 - survive).sum())
+        return total
+
+
+def exact_spread_lt(graph: DiGraph, seeds: Sequence[int], max_outcomes: int = 200_000) -> float:
+    """One-shot exact LT ``I(S)``."""
+    return ExactLTComputer(graph, max_outcomes=max_outcomes).spread(seeds)
+
+
+def exact_ui_lt(
+    graph: DiGraph, seed_probabilities: np.ndarray, max_outcomes: int = 200_000
+) -> float:
+    """One-shot exact LT ``UI(C)``."""
+    return ExactLTComputer(graph, max_outcomes=max_outcomes).expected_spread(
+        seed_probabilities
+    )

@@ -1,0 +1,168 @@
+"""Spread oracles: interchangeable estimators of ``UI(C)``.
+
+The general coordinate-descent framework (Algorithm 1) is model-agnostic —
+it only needs a callable that scores configurations.  Three oracles with
+very different cost/accuracy profiles implement one protocol:
+
+* :class:`ExactOracle` — exact ``UI(C)`` by live-edge enumeration
+  (:mod:`repro.core.exact`); exponential in ``m``, for ground truth on toy
+  graphs.
+* :class:`MonteCarloOracle` — Theorem-2 sampling; unbiased, noisy, works
+  with *any* diffusion model.
+* :class:`HypergraphOracle` — Theorem-9 RR-set estimator; near-free
+  re-evaluation after the hyper-graph is built, for triggering models.
+
+A fourth, :class:`FixedSampleOracle`, reuses one common random-number
+realization across evaluations (common random numbers), which removes the
+comparison noise that plain Monte Carlo suffers when two configurations are
+close — the practical challenge discussed in Section 7.1.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from repro.core.configuration import Configuration
+from repro.core.population import CurvePopulation
+from repro.diffusion.base import DiffusionModel
+from repro.diffusion.montecarlo import estimate_configuration_spread
+from repro.exceptions import EstimationError
+from repro.rrset.estimator import HypergraphObjective
+from repro.rrset.hypergraph import RRHypergraph
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = [
+    "SpreadOracle",
+    "ExactOracle",
+    "MonteCarloOracle",
+    "HypergraphOracle",
+    "FixedSampleOracle",
+]
+
+
+class SpreadOracle(abc.ABC):
+    """Protocol: estimate ``UI(C)`` for feasible configurations."""
+
+    def __init__(self, population: CurvePopulation) -> None:
+        self.population = population
+
+    @abc.abstractmethod
+    def evaluate(self, configuration: Configuration) -> float:
+        """Return (an estimate of) ``UI(C)``."""
+
+    def __call__(self, configuration: Configuration) -> float:
+        return self.evaluate(configuration)
+
+
+class ExactOracle(SpreadOracle):
+    """Exact ``UI(C)`` on tiny IC graphs (see :mod:`repro.core.exact`)."""
+
+    def __init__(self, graph, population: CurvePopulation, max_edges: int = 20) -> None:
+        super().__init__(population)
+        # Import here to avoid a cycle: exact.py imports Configuration only.
+        from repro.core.exact import ExactICComputer
+
+        self._computer = ExactICComputer(graph, max_edges=max_edges)
+
+    def evaluate(self, configuration: Configuration) -> float:
+        seed_probs = self.population.probabilities(configuration.discounts)
+        return self._computer.expected_spread(seed_probs)
+
+
+class MonteCarloOracle(SpreadOracle):
+    """Theorem-2 Monte-Carlo estimation (fresh randomness per call)."""
+
+    def __init__(
+        self,
+        model: DiffusionModel,
+        population: CurvePopulation,
+        num_samples: int = 1000,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__(population)
+        if num_samples <= 0:
+            raise EstimationError(f"num_samples must be positive, got {num_samples}")
+        self.model = model
+        self.num_samples = num_samples
+        self._rng = as_generator(seed)
+
+    def evaluate(self, configuration: Configuration) -> float:
+        seed_probs = self.population.probabilities(configuration.discounts)
+        return estimate_configuration_spread(
+            self.model, seed_probs, num_samples=self.num_samples, seed=self._rng
+        ).mean
+
+
+class HypergraphOracle(SpreadOracle):
+    """Theorem-9 estimator over a fixed RR hyper-graph.
+
+    Stateless from the caller's perspective (each ``evaluate`` scores the
+    given configuration), but internally reuses one
+    :class:`HypergraphObjective` and resets its probability vector, so the
+    per-call cost is one vectorized survival rebuild.
+    """
+
+    def __init__(self, hypergraph: RRHypergraph, population: CurvePopulation) -> None:
+        super().__init__(population)
+        if hypergraph.num_nodes != population.num_nodes:
+            raise EstimationError("hyper-graph and population sizes differ")
+        self.hypergraph = hypergraph
+        self._objective = HypergraphObjective(
+            hypergraph, np.zeros(hypergraph.num_nodes)
+        )
+
+    def evaluate(self, configuration: Configuration) -> float:
+        seed_probs = self.population.probabilities(configuration.discounts)
+        self._objective.set_probabilities(seed_probs)
+        return self._objective.value()
+
+    def objective_for(self, configuration: Configuration) -> HypergraphObjective:
+        """A *fresh* incremental objective initialized at ``configuration``.
+
+        Used by the hyper-graph coordinate-descent solver, which mutates
+        coordinates in place.
+        """
+        seed_probs = self.population.probabilities(configuration.discounts)
+        return HypergraphObjective(self.hypergraph, seed_probs)
+
+
+class FixedSampleOracle(SpreadOracle):
+    """Common-random-numbers Monte Carlo.
+
+    Pre-draws, per sample, one uniform per node (for seed membership) and
+    one live-edge cascade realization seed; two configurations are then
+    compared on *identical* randomness.  This makes tiny objective
+    differences detectable — Theorem 7 warns per-iteration gains can be
+    near zero, where independent sampling would drown them in noise.
+    """
+
+    def __init__(
+        self,
+        model: DiffusionModel,
+        population: CurvePopulation,
+        num_samples: int = 200,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__(population)
+        if num_samples <= 0:
+            raise EstimationError(f"num_samples must be positive, got {num_samples}")
+        self.model = model
+        self.num_samples = num_samples
+        rng = as_generator(seed)
+        n = model.num_nodes
+        self._seed_uniforms = rng.random((num_samples, n))
+        self._cascade_seeds = rng.integers(0, 2**63, size=num_samples)
+
+    def evaluate(self, configuration: Configuration) -> float:
+        seed_probs = self.population.probabilities(configuration.discounts)
+        total = 0.0
+        for sample_index in range(self.num_samples):
+            members = np.flatnonzero(self._seed_uniforms[sample_index] < seed_probs)
+            if members.size == 0:
+                continue
+            cascade_rng = np.random.default_rng(int(self._cascade_seeds[sample_index]))
+            total += self.model.sample_cascade_size(members, cascade_rng)
+        return total / self.num_samples

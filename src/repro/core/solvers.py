@@ -1,0 +1,275 @@
+"""Uniform solver facade: one entry point for IM / UD / CD and baselines.
+
+``solve(problem, method=...)`` runs any registered strategy and returns a
+:class:`SolveResult` whose spread estimate is computed with the *same*
+Theorem-9 hyper-graph estimator for every method, so results are directly
+comparable (the experimental protocol of Section 9: all algorithms run on
+the same random hyper-graph ``H``).
+
+Registered methods
+------------------
+``im``       discrete influence maximization (RR-set max coverage),
+             embedded as an integer configuration with ``floor(B)`` seeds.
+``ud``       Unified Discount (Section 8).
+``cd``       Coordinate Descent warm-started from UD (Section 8).
+``cd-im``    Coordinate Descent warm-started from the IM integer
+             configuration (the Section-6 "no worse than IM" argument).
+``greedy``   greedy fractional allocation: the budget flows in small
+             increments to the best marginal-gain user (an alternative
+             heuristic the paper does not evaluate).
+``uniform``  spread the budget evenly over all users (Example 1 optimum).
+``random``   random feasible configuration (sanity floor).
+``degree``   integer configuration on the top out-degree nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.cd_hypergraph import coordinate_descent_hypergraph
+from repro.core.configuration import Configuration
+from repro.core.objective import HypergraphOracle
+from repro.core.problem import CIMProblem
+from repro.core.unified_discount import unified_discount
+from repro.discrete.heuristics import degree_seeds
+from repro.exceptions import SolverError
+from repro.rrset.coverage import max_coverage
+from repro.rrset.hypergraph import RRHypergraph
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.timing import TimingBreakdown
+
+__all__ = [
+    "SolveResult",
+    "solve",
+    "available_methods",
+    "register_solver",
+    "unregister_solver",
+]
+
+
+@dataclass
+class SolveResult:
+    """Outcome of one solver run."""
+
+    method: str
+    configuration: Configuration
+    spread_estimate: float
+    timings: TimingBreakdown = field(default_factory=TimingBreakdown)
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def cost(self) -> float:
+        """Budget actually spent by the returned configuration."""
+        return self.configuration.cost
+
+
+def _solve_im(problem, hypergraph, seed, options) -> tuple[Configuration, dict]:
+    k = int(np.floor(problem.budget + 1e-9))
+    if k == 0:
+        raise SolverError("discrete IM needs budget >= 1 (whole seeds)")
+    coverage = max_coverage(hypergraph, k)
+    config = Configuration.integer(coverage.seeds, problem.num_nodes)
+    return config, {"seeds": coverage.seeds, "coverage": coverage.covered}
+
+
+def _solve_ud(problem, hypergraph, seed, options) -> tuple[Configuration, dict]:
+    result = unified_discount(
+        problem,
+        hypergraph,
+        discount_grid=options.get("discount_grid"),
+        step=options.get("step", 0.05),
+    )
+    return result.configuration, {
+        "best_discount": result.best_discount,
+        "targets": result.targets,
+        "grid": result.grid,
+    }
+
+
+def _solve_cd(problem, hypergraph, seed, options) -> tuple[Configuration, dict]:
+    ud_result = unified_discount(
+        problem,
+        hypergraph,
+        discount_grid=options.get("discount_grid"),
+        step=options.get("step", 0.05),
+    )
+    cd_result = coordinate_descent_hypergraph(
+        problem,
+        hypergraph,
+        ud_result.configuration,
+        grid_step=options.get("grid_step", 0.01),
+        max_rounds=options.get("max_rounds", 10),
+        refine_iterations=options.get("refine_iterations", 25),
+    )
+    return cd_result.configuration, {
+        "warm_start": "ud",
+        "ud_discount": ud_result.best_discount,
+        "rounds_run": cd_result.rounds_run,
+        "pair_updates": cd_result.pair_updates,
+        "round_values": cd_result.round_values,
+        "converged": cd_result.converged,
+    }
+
+
+def _solve_cd_im(problem, hypergraph, seed, options) -> tuple[Configuration, dict]:
+    im_config, im_extras = _solve_im(problem, hypergraph, seed, options)
+    # An integer warm start is a fixed point of support-restricted pairwise
+    # CD: every support pair sits at (1, 1), so its feasible interval
+    # [max(0, B'-1), min(1, B')] collapses to the single point {1}.  Budget
+    # can only flow *out* of the seeds if promising zero coordinates join
+    # the pair set — we add the highest hyper-graph-degree non-seeds.
+    support = im_config.support
+    degrees = hypergraph.degrees()
+    by_degree = np.argsort(-degrees, kind="stable")
+    in_support = np.zeros(problem.num_nodes, dtype=bool)
+    in_support[support] = True
+    extra = [int(u) for u in by_degree if not in_support[u]][: max(1, support.size)]
+    coordinates = np.concatenate([support, np.asarray(extra, dtype=np.int64)])
+    cd_result = coordinate_descent_hypergraph(
+        problem,
+        hypergraph,
+        im_config,
+        grid_step=options.get("grid_step", 0.01),
+        max_rounds=options.get("max_rounds", 10),
+        refine_iterations=options.get("refine_iterations", 25),
+        coordinates=coordinates,
+    )
+    return cd_result.configuration, {
+        "warm_start": "im",
+        "im_seeds": im_extras["seeds"],
+        "rounds_run": cd_result.rounds_run,
+        "round_values": cd_result.round_values,
+    }
+
+
+def _solve_greedy(problem, hypergraph, seed, options) -> tuple[Configuration, dict]:
+    from repro.core.greedy_allocation import greedy_allocation
+
+    result = greedy_allocation(
+        problem, hypergraph, delta=options.get("delta", 0.05)
+    )
+    return result.configuration, {"increments": result.increments}
+
+
+def _solve_uniform(problem, hypergraph, seed, options) -> tuple[Configuration, dict]:
+    return Configuration.uniform(problem.budget, problem.num_nodes), {}
+
+
+def _solve_random(problem, hypergraph, seed, options) -> tuple[Configuration, dict]:
+    rng = as_generator(seed)
+    # Random point of the budget simplex via Dirichlet, clipped to [0, 1];
+    # clipping only lowers cost, so feasibility is preserved.
+    weights = rng.dirichlet(np.ones(problem.num_nodes))
+    discounts = np.minimum(1.0, weights * problem.budget)
+    return Configuration(discounts), {}
+
+
+def _solve_degree(problem, hypergraph, seed, options) -> tuple[Configuration, dict]:
+    k = int(np.floor(problem.budget + 1e-9))
+    if k == 0:
+        raise SolverError("degree seeding needs budget >= 1 (whole seeds)")
+    seeds = degree_seeds(problem.graph, k)
+    return Configuration.integer(seeds, problem.num_nodes), {"seeds": seeds}
+
+
+_SolverFn = Callable[[CIMProblem, RRHypergraph, SeedLike, dict], tuple]
+
+_REGISTRY: Dict[str, _SolverFn] = {
+    "im": _solve_im,
+    "ud": _solve_ud,
+    "cd": _solve_cd,
+    "cd-im": _solve_cd_im,
+    "greedy": _solve_greedy,
+    "uniform": _solve_uniform,
+    "random": _solve_random,
+    "degree": _solve_degree,
+}
+
+
+def available_methods() -> List[str]:
+    """Names accepted by :func:`solve`."""
+    return sorted(_REGISTRY)
+
+
+def register_solver(name: str, solver: _SolverFn, overwrite: bool = False) -> None:
+    """Register a custom strategy with :func:`solve`.
+
+    ``solver`` receives ``(problem, hypergraph, seed, options)`` and must
+    return ``(configuration, extras_dict)``; the returned configuration is
+    feasibility-checked and scored with the shared Theorem-9 estimator
+    like every built-in.  Overwriting a built-in requires
+    ``overwrite=True`` (guards against accidental shadowing).
+    """
+    if not name or not isinstance(name, str):
+        raise SolverError(f"solver name must be a non-empty string, got {name!r}")
+    if name in _REGISTRY and not overwrite:
+        raise SolverError(
+            f"solver {name!r} already registered; pass overwrite=True to replace"
+        )
+    if not callable(solver):
+        raise SolverError("solver must be callable")
+    _REGISTRY[name] = solver
+
+
+def unregister_solver(name: str) -> None:
+    """Remove a custom strategy (built-ins may also be removed — restart
+    the interpreter or re-register to restore them)."""
+    try:
+        del _REGISTRY[name]
+    except KeyError:
+        raise SolverError(f"no solver named {name!r}") from None
+
+
+def solve(
+    problem: CIMProblem,
+    method: str = "cd",
+    hypergraph: Optional[RRHypergraph] = None,
+    num_hyperedges: Optional[int] = None,
+    seed: SeedLike = None,
+    **options,
+) -> SolveResult:
+    """Run one CIM strategy end to end.
+
+    Parameters
+    ----------
+    problem:
+        The CIM instance.
+    method:
+        One of :func:`available_methods`.
+    hypergraph:
+        Pass a pre-built hyper-graph to share it across methods; otherwise
+        one is built (and its build time recorded in the ``hypergraph``
+        timing phase — the decomposition of Figure 6).
+    num_hyperedges / seed:
+        Hyper-graph size and RNG seed when building here.
+    options:
+        Method-specific knobs (``step``, ``grid_step``, ``max_rounds``...).
+    """
+    try:
+        solver = _REGISTRY[method]
+    except KeyError:
+        raise SolverError(
+            f"unknown method {method!r}; choose from {available_methods()}"
+        ) from None
+
+    timings = TimingBreakdown()
+    if hypergraph is None:
+        with timings.phase("hypergraph"):
+            hypergraph = problem.build_hypergraph(num_hyperedges=num_hyperedges, seed=seed)
+    with timings.phase(method):
+        configuration, extras = solver(problem, hypergraph, seed, options)
+
+    configuration.require_feasible(problem.budget)
+    oracle = HypergraphOracle(hypergraph, problem.population)
+    estimate = oracle.evaluate(configuration)
+    extras["num_hyperedges"] = hypergraph.num_hyperedges
+    return SolveResult(
+        method=method,
+        configuration=configuration,
+        spread_estimate=estimate,
+        timings=timings,
+        extras=extras,
+    )

@@ -1,0 +1,23 @@
+"""Diffusion substrate: influence models and Monte-Carlo simulation."""
+
+from repro.diffusion.base import DiffusionModel
+from repro.diffusion.independent_cascade import IndependentCascade
+from repro.diffusion.linear_threshold import LinearThreshold
+from repro.diffusion.montecarlo import (
+    SpreadEstimate,
+    estimate_configuration_spread,
+    estimate_spread,
+    sample_seed_set,
+)
+from repro.diffusion.triggering import TriggeringModel
+
+__all__ = [
+    "DiffusionModel",
+    "IndependentCascade",
+    "LinearThreshold",
+    "TriggeringModel",
+    "SpreadEstimate",
+    "estimate_spread",
+    "estimate_configuration_spread",
+    "sample_seed_set",
+]

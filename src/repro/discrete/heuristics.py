@@ -1,0 +1,79 @@
+"""Cheap seeding heuristics: degree, random, PageRank.
+
+Standard non-adaptive baselines from the IM literature; useful as sanity
+floors in experiments (any principled method should beat random) and as
+warm starts.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.exceptions import SolverError
+from repro.graphs.digraph import DiGraph
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = ["degree_seeds", "random_seeds", "pagerank_seeds", "pagerank_scores"]
+
+
+def _check_k(graph: DiGraph, k: int) -> int:
+    if k < 0:
+        raise SolverError(f"k must be non-negative, got {k}")
+    return min(k, graph.num_nodes)
+
+
+def degree_seeds(graph: DiGraph, k: int) -> List[int]:
+    """The ``k`` nodes of highest out-degree (ties by node id)."""
+    k = _check_k(graph, k)
+    degrees = graph.out_degrees()
+    order = np.lexsort((np.arange(graph.num_nodes), -degrees))
+    return [int(u) for u in order[:k]]
+
+
+def random_seeds(graph: DiGraph, k: int, seed: SeedLike = None) -> List[int]:
+    """``k`` distinct uniformly random nodes."""
+    k = _check_k(graph, k)
+    rng = as_generator(seed)
+    return [int(u) for u in rng.choice(graph.num_nodes, size=k, replace=False)]
+
+
+def pagerank_scores(
+    graph: DiGraph,
+    damping: float = 0.85,
+    max_iterations: int = 100,
+    tolerance: float = 1e-10,
+) -> np.ndarray:
+    """Power-iteration PageRank on the graph (uniform teleport).
+
+    Dangling nodes redistribute their mass uniformly, the textbook fix.
+    """
+    if not 0.0 < damping < 1.0:
+        raise SolverError(f"damping must lie in (0, 1), got {damping}")
+    n = graph.num_nodes
+    if n == 0:
+        return np.empty(0)
+    rank = np.full(n, 1.0 / n)
+    out_deg = graph.out_degrees().astype(np.float64)
+    dangling = out_deg == 0
+    sources = np.repeat(np.arange(n, dtype=np.int64), graph.out_degrees())
+    for _ in range(max_iterations):
+        contrib = np.where(dangling, 0.0, rank / np.maximum(out_deg, 1.0))
+        new_rank = np.zeros(n)
+        np.add.at(new_rank, graph.out_targets, contrib[sources])
+        dangling_mass = rank[dangling].sum() / n
+        new_rank = (1.0 - damping) / n + damping * (new_rank + dangling_mass)
+        if np.abs(new_rank - rank).sum() < tolerance:
+            rank = new_rank
+            break
+        rank = new_rank
+    return rank
+
+
+def pagerank_seeds(graph: DiGraph, k: int, damping: float = 0.85) -> List[int]:
+    """The ``k`` nodes of highest PageRank."""
+    k = _check_k(graph, k)
+    scores = pagerank_scores(graph, damping=damping)
+    order = np.lexsort((np.arange(graph.num_nodes), -scores))
+    return [int(u) for u in order[:k]]

@@ -1,0 +1,74 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to distinguish the failure categories below.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "NodeNotFoundError",
+    "CurveError",
+    "ConfigurationError",
+    "BudgetError",
+    "SolverError",
+    "ConvergenceWarning",
+    "EstimationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class GraphError(ReproError):
+    """Raised for structurally invalid graphs or malformed graph input."""
+
+
+class NodeNotFoundError(GraphError, KeyError):
+    """Raised when a node id is outside the graph's ``[0, n)`` range."""
+
+    def __init__(self, node: int, num_nodes: int) -> None:
+        super().__init__(f"node {node} not in graph with {num_nodes} nodes")
+        self.node = node
+        self.num_nodes = num_nodes
+
+
+class CurveError(ReproError, ValueError):
+    """Raised when a seed-probability curve violates the paper's axioms.
+
+    A valid curve must satisfy ``p(0) == 0``, ``p(1) == 1``, be monotone
+    non-decreasing and map ``[0, 1]`` into ``[0, 1]`` (Section 3 of the
+    paper).
+    """
+
+
+class ConfigurationError(ReproError, ValueError):
+    """Raised when a discount configuration is malformed.
+
+    Examples: wrong length, discounts outside ``[0, 1]``, NaNs.
+    """
+
+
+class BudgetError(ConfigurationError):
+    """Raised when a configuration or problem violates the budget constraint."""
+
+    def __init__(self, spent: float, budget: float) -> None:
+        super().__init__(f"configuration spends {spent:.6g} > budget {budget:.6g}")
+        self.spent = spent
+        self.budget = budget
+
+
+class SolverError(ReproError, RuntimeError):
+    """Raised when a solver cannot produce a feasible solution."""
+
+
+class ConvergenceWarning(UserWarning):
+    """Warned when an iterative solver stops before reaching its tolerance."""
+
+
+class EstimationError(ReproError, ValueError):
+    """Raised for invalid estimation parameters (epsilon, delta, samples)."""

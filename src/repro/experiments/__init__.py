@@ -1,0 +1,40 @@
+"""Experiment harness: datasets, runners and exhibit regeneration."""
+
+from repro.experiments.datasets import (
+    DATASETS,
+    DatasetSpec,
+    load_dataset,
+    table2_rows,
+)
+from repro.experiments.runner import ExperimentResult, run_methods
+from repro.experiments.figures import (
+    figure3_influence_spread,
+    figure4_approximation_bound,
+    figure5_spread_vs_discount,
+    figure6_running_time,
+)
+from repro.experiments.ascii import bar_chart, multi_series_chart, sparkline
+from repro.experiments.report import generate_full_report
+from repro.experiments.scaling import ScalingRow, scaling_study
+from repro.experiments.tables import table3_search_step, table4_sensitivity
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "load_dataset",
+    "table2_rows",
+    "ExperimentResult",
+    "run_methods",
+    "figure3_influence_spread",
+    "figure4_approximation_bound",
+    "figure5_spread_vs_discount",
+    "figure6_running_time",
+    "table3_search_step",
+    "table4_sensitivity",
+    "generate_full_report",
+    "scaling_study",
+    "ScalingRow",
+    "sparkline",
+    "bar_chart",
+    "multi_series_chart",
+]

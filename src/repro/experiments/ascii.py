@@ -1,0 +1,113 @@
+"""Terminal (ASCII) charts for experiment output.
+
+The paper's figures are line charts; for a CLI-only environment these
+helpers render the same series as Unicode block plots so trends (who
+wins, where curves peak) are visible straight from ``repro-cim
+reproduce`` output without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.exceptions import ReproError
+
+__all__ = ["sparkline", "bar_chart", "multi_series_chart"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line sparkline of a numeric series.
+
+    >>> sparkline([1, 2, 3, 2, 1])
+    '▁▅█▅▁'
+    """
+    values = [float(v) for v in values]
+    if not values:
+        raise ReproError("cannot sparkline an empty series")
+    lo, hi = min(values), max(values)
+    if hi - lo < 1e-12:
+        return _SPARK_LEVELS[0] * len(values)
+    scale = (len(_SPARK_LEVELS) - 1) / (hi - lo)
+    return "".join(_SPARK_LEVELS[int(round((v - lo) * scale))] for v in values)
+
+
+def bar_chart(
+    rows: Sequence[Tuple[str, float]],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart with labels and values.
+
+    >>> print(bar_chart([("im", 10.0), ("cd", 20.0)], width=10))
+    im █████      10
+    cd ██████████  20
+    """
+    rows = [(str(label), float(value)) for label, value in rows]
+    if not rows:
+        raise ReproError("cannot chart an empty row list")
+    peak = max(value for _, value in rows)
+    label_width = max(len(label) for label, _ in rows)
+    lines = []
+    for label, value in rows:
+        length = int(round(width * value / peak)) if peak > 0 else 0
+        bar = "█" * length
+        lines.append(
+            f"{label:>{label_width}s} {bar:<{width}s} {value:g}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def multi_series_chart(
+    x_values: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    height: int = 12,
+    width: int = 60,
+) -> str:
+    """A compact multi-series scatter/line chart on a character grid.
+
+    Each series gets a marker (its name's first letter, uppercased on
+    collision); shared extents; a legend and y-range footer.  Designed for
+    Figure-3-style "three curves vs budget" comparisons.
+    """
+    if not series:
+        raise ReproError("need at least one series")
+    x_values = [float(x) for x in x_values]
+    if not x_values:
+        raise ReproError("need at least one x value")
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ReproError(f"series {name!r} length differs from x_values")
+
+    all_y = [float(y) for ys in series.values() for y in ys]
+    y_lo, y_hi = min(all_y), max(all_y)
+    x_lo, x_hi = min(x_values), max(x_values)
+    y_span = max(y_hi - y_lo, 1e-12)
+    x_span = max(x_hi - x_lo, 1e-12)
+
+    grid = [[" "] * width for _ in range(height)]
+    markers: Dict[str, str] = {}
+    used: set = set()
+    for name in series:
+        marker = name[0]
+        if marker in used:
+            marker = marker.upper()
+        while marker in used:
+            marker = chr(ord(marker) + 1)
+        used.add(marker)
+        markers[name] = marker
+
+    for name, ys in series.items():
+        marker = markers[name]
+        for x, y in zip(x_values, ys):
+            col = int(round((x - x_lo) / x_span * (width - 1)))
+            row = height - 1 - int(round((float(y) - y_lo) / y_span * (height - 1)))
+            grid[row][col] = marker
+
+    lines = ["".join(row) for row in grid]
+    legend = "  ".join(f"{marker}={name}" for name, marker in markers.items())
+    footer = (
+        f"x: {x_lo:g}..{x_hi:g}   y: {y_lo:.1f}..{y_hi:.1f}   {legend}"
+    )
+    return "\n".join(lines + [footer])

@@ -1,0 +1,205 @@
+"""Regeneration of the paper's figures (data series, printed as tables).
+
+Each function returns the rows/series the corresponding figure plots and
+optionally pretty-prints them; benchmarks call these with reduced scales.
+
+* Figure 3 — influence spread of IM / UD / CD vs budget, per (dataset, α).
+* Figure 4 — approximation lower bound of the IM baseline vs budget.
+* Figure 5 — UD spread vs the unified discount ``c`` (α = 1, B = 50).
+* Figure 6 — running time of IM / UD / CD plus the hyper-graph build share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.problem import CIMProblem
+from repro.core.solvers import solve
+from repro.core.unified_discount import unified_discount
+from repro.experiments.runner import ExperimentResult, build_problem, run_methods
+from repro.rrset.hypergraph import RRHypergraph
+from repro.rrset.sample_size import approximation_lower_bound
+from repro.utils.rng import SeedLike, spawn_generators
+
+__all__ = [
+    "Figure3Row",
+    "figure3_influence_spread",
+    "figure4_approximation_bound",
+    "figure5_spread_vs_discount",
+    "figure6_running_time",
+]
+
+_FIG3_METHODS = ("im", "ud", "cd")
+
+
+@dataclass(frozen=True)
+class Figure3Row:
+    """One point of a Figure-3 panel: (dataset, alpha, budget, method)."""
+
+    dataset: str
+    alpha: float
+    budget: float
+    method: str
+    spread_mean: float
+    spread_std: float
+    hypergraph_ms: float
+    method_ms: float
+
+
+def _shared_hypergraph(problem: CIMProblem, num_hyperedges: Optional[int], seed) -> RRHypergraph:
+    return problem.build_hypergraph(num_hyperedges=num_hyperedges, seed=seed)
+
+
+def figure3_influence_spread(
+    dataset: str = "wiki-vote",
+    alpha: float = 1.0,
+    budgets: Sequence[float] = (10, 20, 30, 40, 50),
+    scale: float = 0.02,
+    num_hyperedges: Optional[int] = None,
+    evaluation_samples: int = 2000,
+    seed: SeedLike = 2016,
+    verbose: bool = False,
+) -> List[Figure3Row]:
+    """One panel of Figure 3: spread of IM / UD / CD as budget grows."""
+    rows: List[Figure3Row] = []
+    for budget in budgets:
+        problem = build_problem(dataset, budget=budget, alpha=alpha, scale=scale, seed=seed)
+        results = run_methods(
+            problem,
+            _FIG3_METHODS,
+            num_hyperedges=num_hyperedges,
+            evaluation_samples=evaluation_samples,
+            seed=seed,
+        )
+        for result in results:
+            rows.append(
+                Figure3Row(
+                    dataset=dataset,
+                    alpha=alpha,
+                    budget=budget,
+                    method=result.method,
+                    spread_mean=result.spread_mean,
+                    spread_std=result.spread_std,
+                    hypergraph_ms=result.hypergraph_ms,
+                    method_ms=result.method_ms,
+                )
+            )
+    if verbose:
+        print(f"Figure 3 panel — {dataset}, alpha={alpha}")
+        print(f"{'B':>6s} " + " ".join(f"{m:>16s}" for m in _FIG3_METHODS))
+        for budget in budgets:
+            cells = []
+            for method in _FIG3_METHODS:
+                row = next(
+                    r for r in rows if r.budget == budget and r.method == method
+                )
+                cells.append(f"{row.spread_mean:9.1f}±{row.spread_std:6.1f}")
+            print(f"{budget:6.0f} " + " ".join(cells))
+    return rows
+
+
+def figure4_approximation_bound(
+    dataset: str = "wiki-vote",
+    alpha: float = 1.0,
+    budgets: Sequence[int] = (10, 20, 30, 40, 50),
+    scale: float = 0.02,
+    num_hyperedges: Optional[int] = None,
+    seed: SeedLike = 2016,
+    verbose: bool = False,
+) -> Dict[int, float]:
+    """Figure 4: the ``1 - 1/e - eps`` bound of the IM baseline vs budget.
+
+    Uses the spread of the IM seed set (hyper-graph estimate) as the OPT
+    lower bound, exactly as the paper describes.
+    """
+    bounds: Dict[int, float] = {}
+    for budget in budgets:
+        problem = build_problem(dataset, budget=budget, alpha=alpha, scale=scale, seed=seed)
+        result = solve(problem, "im", num_hyperedges=num_hyperedges, seed=seed)
+        theta = int(result.extras["num_hyperedges"])
+        bounds[int(budget)] = approximation_lower_bound(
+            problem.num_nodes, int(budget), theta, result.spread_estimate
+        )
+    if verbose:
+        print(f"Figure 4 — {dataset}, alpha={alpha}")
+        for budget, bound in bounds.items():
+            print(f"  B={budget:3d}  approximation lower bound = {bound:.3f}")
+    return bounds
+
+
+def figure5_spread_vs_discount(
+    dataset: str = "wiki-vote",
+    alpha: float = 1.0,
+    budget: float = 50,
+    scale: float = 0.02,
+    step: float = 0.05,
+    num_hyperedges: Optional[int] = None,
+    seed: SeedLike = 2016,
+    verbose: bool = False,
+) -> List[Dict[str, float]]:
+    """Figure 5: UD spread at every unified discount on the grid."""
+    problem = build_problem(dataset, budget=budget, alpha=alpha, scale=scale, seed=seed)
+    hypergraph_rng, _ = spawn_generators(seed, 2)
+    hypergraph = _shared_hypergraph(problem, num_hyperedges, hypergraph_rng)
+    result = unified_discount(problem, hypergraph, step=step)
+    rows = [
+        {
+            "discount": point.discount,
+            "num_targets": point.num_targets,
+            "spread": point.spread_estimate,
+        }
+        for point in result.grid
+    ]
+    if verbose:
+        print(f"Figure 5 — {dataset}, alpha={alpha}, B={budget}")
+        for row in rows:
+            print(
+                f"  c={row['discount']:5.0%}  k={row['num_targets']:5.0f}  "
+                f"spread={row['spread']:9.1f}"
+            )
+        print(f"  best c = {result.best_discount:.0%}")
+    return rows
+
+
+def figure6_running_time(
+    dataset: str = "wiki-vote",
+    alpha: float = 1.0,
+    budgets: Sequence[float] = (10, 20, 30, 40, 50),
+    scale: float = 0.02,
+    num_hyperedges: Optional[int] = None,
+    seed: SeedLike = 2016,
+    verbose: bool = False,
+) -> List[Dict[str, float]]:
+    """Figure 6: per-method running time and the hyper-graph build share."""
+    rows: List[Dict[str, float]] = []
+    for budget in budgets:
+        problem = build_problem(dataset, budget=budget, alpha=alpha, scale=scale, seed=seed)
+        results = run_methods(
+            problem,
+            _FIG3_METHODS,
+            num_hyperedges=num_hyperedges,
+            evaluation_samples=1,  # Figure 6 measures solver time, not spread
+            seed=seed,
+        )
+        for result in results:
+            rows.append(
+                {
+                    "budget": float(budget),
+                    "method": result.method,
+                    "hypergraph_ms": result.hypergraph_ms,
+                    "method_ms": result.method_ms,
+                    "total_ms": result.total_ms,
+                }
+            )
+    if verbose:
+        print(f"Figure 6 — {dataset}, alpha={alpha} (times in ms)")
+        for row in rows:
+            print(
+                f"  B={row['budget']:5.0f} {row['method']:>4s} "
+                f"build={row['hypergraph_ms']:9.1f} solve={row['method_ms']:9.1f} "
+                f"total={row['total_ms']:9.1f}"
+            )
+    return rows

@@ -1,0 +1,169 @@
+"""Mutable graph construction finalized into immutable CSR :class:`DiGraph`.
+
+Typical usage::
+
+    builder = GraphBuilder()
+    builder.add_edge(0, 1)
+    builder.add_edge(1, 2, probability=0.3)
+    graph = builder.build()
+
+or, for bulk data, :func:`from_edges`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.graphs.digraph import DiGraph
+
+__all__ = ["GraphBuilder", "from_edges"]
+
+EdgeLike = Tuple[int, int]
+WeightedEdgeLike = Tuple[int, int, float]
+
+
+class GraphBuilder:
+    """Accumulates edges, then builds a validated :class:`DiGraph`.
+
+    Parameters
+    ----------
+    num_nodes:
+        Fix the node count up-front; if ``None`` the count is inferred as
+        ``max(node id) + 1`` at build time (isolated trailing nodes then need
+        an explicit count).
+    default_probability:
+        Probability assigned to edges added without one.
+
+    Duplicate directed edges are collapsed at build time, keeping the last
+    probability added — matching the semantics of re-assigning a weight.
+    """
+
+    def __init__(self, num_nodes: Optional[int] = None, default_probability: float = 1.0) -> None:
+        if num_nodes is not None and num_nodes < 0:
+            raise GraphError(f"num_nodes must be non-negative, got {num_nodes}")
+        if not 0.0 <= default_probability <= 1.0:
+            raise GraphError("default_probability must lie in [0, 1]")
+        self._num_nodes = num_nodes
+        self._default_probability = default_probability
+        self._sources: list[int] = []
+        self._targets: list[int] = []
+        self._probs: list[float] = []
+
+    def add_edge(self, source: int, target: int, probability: Optional[float] = None) -> "GraphBuilder":
+        """Add a directed edge; returns ``self`` for chaining."""
+        if source < 0 or target < 0:
+            raise GraphError(f"node ids must be non-negative, got ({source}, {target})")
+        if probability is None:
+            probability = self._default_probability
+        if not 0.0 <= probability <= 1.0:
+            raise GraphError(f"edge probability must lie in [0, 1], got {probability}")
+        if self._num_nodes is not None and (source >= self._num_nodes or target >= self._num_nodes):
+            raise GraphError(
+                f"edge ({source}, {target}) exceeds fixed node count {self._num_nodes}"
+            )
+        self._sources.append(source)
+        self._targets.append(target)
+        self._probs.append(probability)
+        return self
+
+    def add_undirected_edge(
+        self, u: int, v: int, probability: Optional[float] = None
+    ) -> "GraphBuilder":
+        """Add both directions ``(u, v)`` and ``(v, u)``.
+
+        This mirrors the paper's preprocessing (Section 9.1): "if a network
+        is undirected, every undirected edge (u, v) is processed as two
+        directed edges".
+        """
+        self.add_edge(u, v, probability)
+        self.add_edge(v, u, probability)
+        return self
+
+    def add_edges(self, edges: Iterable[Sequence[float]]) -> "GraphBuilder":
+        """Add many edges given as ``(u, v)`` or ``(u, v, probability)``."""
+        for edge in edges:
+            if len(edge) == 2:
+                self.add_edge(int(edge[0]), int(edge[1]))
+            elif len(edge) == 3:
+                self.add_edge(int(edge[0]), int(edge[1]), float(edge[2]))
+            else:
+                raise GraphError(f"edges must be 2- or 3-tuples, got {edge!r}")
+        return self
+
+    @property
+    def num_pending_edges(self) -> int:
+        """Number of edges added so far (before de-duplication)."""
+        return len(self._sources)
+
+    def build(self, allow_self_loops: bool = False) -> DiGraph:
+        """Finalize into an immutable CSR :class:`DiGraph`.
+
+        Self-loops are dropped by default (they never affect influence
+        spread); pass ``allow_self_loops=True`` to keep them.
+        """
+        sources = np.asarray(self._sources, dtype=np.int64)
+        targets = np.asarray(self._targets, dtype=np.int64)
+        probs = np.asarray(self._probs, dtype=np.float64)
+
+        if self._num_nodes is not None:
+            n = self._num_nodes
+        elif sources.size:
+            n = int(max(sources.max(), targets.max())) + 1
+        else:
+            n = 0
+
+        if not allow_self_loops and sources.size:
+            keep = sources != targets
+            sources, targets, probs = sources[keep], targets[keep], probs[keep]
+
+        if sources.size:
+            # Sort by (source, target); stable so the *last* duplicate wins
+            # when we subsequently keep the final entry of each group.
+            order = np.lexsort((targets, sources))
+            sources, targets, probs = sources[order], targets[order], probs[order]
+            key_change = np.empty(sources.size, dtype=bool)
+            key_change[-1] = True
+            key_change[:-1] = (sources[:-1] != sources[1:]) | (targets[:-1] != targets[1:])
+            sources, targets, probs = sources[key_change], targets[key_change], probs[key_change]
+
+        out_degree = np.bincount(sources, minlength=n) if sources.size else np.zeros(n, dtype=np.int64)
+        out_offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(out_degree, out=out_offsets[1:])
+        return DiGraph(n, out_offsets, targets.astype(np.int32), probs)
+
+
+def from_edges(
+    edges: Iterable[Sequence[float]],
+    num_nodes: Optional[int] = None,
+    default_probability: float = 1.0,
+    undirected: bool = False,
+) -> DiGraph:
+    """Build a :class:`DiGraph` from an iterable of edge tuples.
+
+    Parameters
+    ----------
+    edges:
+        ``(u, v)`` or ``(u, v, probability)`` tuples.
+    num_nodes:
+        Optional explicit node count (for trailing isolated nodes).
+    default_probability:
+        Probability used for 2-tuples.
+    undirected:
+        If true, each input edge is added in both directions.
+    """
+    builder = GraphBuilder(num_nodes=num_nodes, default_probability=default_probability)
+    for edge in edges:
+        if len(edge) == 2:
+            u, v, p = int(edge[0]), int(edge[1]), None
+        elif len(edge) == 3:
+            u, v, p = int(edge[0]), int(edge[1]), float(edge[2])
+        else:
+            raise GraphError(f"edges must be 2- or 3-tuples, got {edge!r}")
+        if undirected:
+            builder.add_undirected_edge(u, v, p)
+        else:
+            builder.add_edge(u, v, p)
+    return builder.build()

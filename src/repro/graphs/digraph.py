@@ -1,0 +1,232 @@
+"""Immutable CSR (compressed sparse row) directed graph.
+
+The whole library operates on this one graph type.  Nodes are dense integer
+ids ``0 .. n-1``.  Edges are stored twice — once in out-adjacency (CSR) and
+once in in-adjacency (CSC-like) — because forward diffusion walks
+out-neighbors while reverse-reachable (RR) sampling walks in-neighbors.
+
+Each directed edge carries a propagation probability in ``[0, 1]``; the
+probability arrays are aligned with the adjacency arrays, so the probability
+of edge ``(u, v)`` is found at the same index as ``v`` in ``u``'s
+out-neighbor slice.
+
+Construction goes through :class:`repro.graphs.build.GraphBuilder`; this
+class only validates and indexes already-sorted arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.exceptions import GraphError, NodeNotFoundError
+
+__all__ = ["DiGraph"]
+
+
+class DiGraph:
+    """A fixed directed graph with per-edge propagation probabilities.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes ``n``; node ids are ``0 .. n-1``.
+    out_offsets, out_targets:
+        CSR arrays: out-neighbors of ``u`` are
+        ``out_targets[out_offsets[u]:out_offsets[u + 1]]``.
+    out_probs:
+        Propagation probability of each out-edge, aligned with
+        ``out_targets``.
+
+    Notes
+    -----
+    The in-adjacency (transpose) arrays are derived in the constructor.  The
+    transpose preserves edge probabilities: the probability attached to the
+    reverse edge ``(v, u)`` equals the probability of the original edge
+    ``(u, v)``, exactly as required by the polling method of Section 8
+    ("the propagation probability of an edge (v, u) in G^T is pp_uv").
+    """
+
+    __slots__ = (
+        "num_nodes",
+        "num_edges",
+        "out_offsets",
+        "out_targets",
+        "out_probs",
+        "in_offsets",
+        "in_sources",
+        "in_probs",
+    )
+
+    def __init__(
+        self,
+        num_nodes: int,
+        out_offsets: np.ndarray,
+        out_targets: np.ndarray,
+        out_probs: np.ndarray,
+    ) -> None:
+        if num_nodes < 0:
+            raise GraphError(f"num_nodes must be non-negative, got {num_nodes}")
+        out_offsets = np.ascontiguousarray(out_offsets, dtype=np.int64)
+        out_targets = np.ascontiguousarray(out_targets, dtype=np.int32)
+        out_probs = np.ascontiguousarray(out_probs, dtype=np.float64)
+        if out_offsets.shape != (num_nodes + 1,):
+            raise GraphError(
+                f"out_offsets must have length n+1={num_nodes + 1}, got {out_offsets.shape}"
+            )
+        if out_offsets[0] != 0 or np.any(np.diff(out_offsets) < 0):
+            raise GraphError("out_offsets must start at 0 and be non-decreasing")
+        num_edges = int(out_offsets[-1])
+        if out_targets.shape != (num_edges,) or out_probs.shape != (num_edges,):
+            raise GraphError("out_targets/out_probs length must equal out_offsets[-1]")
+        if num_edges and (out_targets.min() < 0 or out_targets.max() >= num_nodes):
+            raise GraphError("edge target out of range")
+        if num_edges and (np.any(out_probs < 0.0) or np.any(out_probs > 1.0) or np.any(np.isnan(out_probs))):
+            raise GraphError("edge probabilities must lie in [0, 1]")
+
+        self.num_nodes = num_nodes
+        self.num_edges = num_edges
+        self.out_offsets = out_offsets
+        self.out_targets = out_targets
+        self.out_probs = out_probs
+        self.in_offsets, self.in_sources, self.in_probs = self._build_in_adjacency()
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    def _build_in_adjacency(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Derive the transpose adjacency from the out-CSR arrays."""
+        n = self.num_nodes
+        in_degree = np.bincount(self.out_targets, minlength=n).astype(np.int64)
+        in_offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(in_degree, out=in_offsets[1:])
+        sources = np.repeat(
+            np.arange(n, dtype=np.int32), np.diff(self.out_offsets).astype(np.int64)
+        )
+        # Stable sort groups edges by target while keeping sources ordered,
+        # so each in-neighbor slice comes out sorted as well.
+        order = np.argsort(self.out_targets, kind="stable")
+        in_sources = sources[order]
+        in_probs = self.out_probs[order]
+        return in_offsets, in_sources, in_probs
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise NodeNotFoundError(node, self.num_nodes)
+
+    def out_neighbors(self, node: int) -> np.ndarray:
+        """Out-neighbor ids of ``node`` (a CSR slice; do not mutate)."""
+        self._check_node(node)
+        return self.out_targets[self.out_offsets[node] : self.out_offsets[node + 1]]
+
+    def out_edge_probs(self, node: int) -> np.ndarray:
+        """Propagation probabilities aligned with :meth:`out_neighbors`."""
+        self._check_node(node)
+        return self.out_probs[self.out_offsets[node] : self.out_offsets[node + 1]]
+
+    def in_neighbors(self, node: int) -> np.ndarray:
+        """In-neighbor ids of ``node`` (a transpose-CSR slice)."""
+        self._check_node(node)
+        return self.in_sources[self.in_offsets[node] : self.in_offsets[node + 1]]
+
+    def in_edge_probs(self, node: int) -> np.ndarray:
+        """Probabilities of the edges *into* ``node``, aligned with
+        :meth:`in_neighbors`."""
+        self._check_node(node)
+        return self.in_probs[self.in_offsets[node] : self.in_offsets[node + 1]]
+
+    def out_degree(self, node: int) -> int:
+        """Number of out-edges of ``node``."""
+        self._check_node(node)
+        return int(self.out_offsets[node + 1] - self.out_offsets[node])
+
+    def in_degree(self, node: int) -> int:
+        """Number of in-edges of ``node``."""
+        self._check_node(node)
+        return int(self.in_offsets[node + 1] - self.in_offsets[node])
+
+    def out_degrees(self) -> np.ndarray:
+        """Vector of all out-degrees."""
+        return np.diff(self.out_offsets)
+
+    def in_degrees(self) -> np.ndarray:
+        """Vector of all in-degrees."""
+        return np.diff(self.in_offsets)
+
+    def edges(self) -> Iterator[Tuple[int, int, float]]:
+        """Iterate ``(source, target, probability)`` triples."""
+        for u in range(self.num_nodes):
+            lo, hi = self.out_offsets[u], self.out_offsets[u + 1]
+            for idx in range(lo, hi):
+                yield u, int(self.out_targets[idx]), float(self.out_probs[idx])
+
+    def has_edge(self, source: int, target: int) -> bool:
+        """Return whether the directed edge ``(source, target)`` exists."""
+        self._check_node(source)
+        self._check_node(target)
+        neighbors = self.out_neighbors(source)
+        # Neighbor slices are sorted by the builder, enabling binary search.
+        idx = int(np.searchsorted(neighbors, target))
+        return idx < neighbors.size and neighbors[idx] == target
+
+    def edge_probability(self, source: int, target: int) -> float:
+        """Probability of edge ``(source, target)``; raises if absent."""
+        neighbors = self.out_neighbors(source)
+        idx = int(np.searchsorted(neighbors, target))
+        if idx >= neighbors.size or neighbors[idx] != target:
+            raise GraphError(f"edge ({source}, {target}) does not exist")
+        return float(self.out_edge_probs(source)[idx])
+
+    # ------------------------------------------------------------------
+    # transformations
+    # ------------------------------------------------------------------
+    def transpose(self) -> "DiGraph":
+        """Return the transpose graph ``G^T`` (edge probabilities carried over)."""
+        transposed = DiGraph.__new__(DiGraph)
+        transposed.num_nodes = self.num_nodes
+        transposed.num_edges = self.num_edges
+        transposed.out_offsets = self.in_offsets
+        transposed.out_targets = self.in_sources
+        transposed.out_probs = self.in_probs
+        transposed.in_offsets = self.out_offsets
+        transposed.in_sources = self.out_targets
+        transposed.in_probs = self.out_probs
+        return transposed
+
+    def with_probabilities(self, probs: np.ndarray) -> "DiGraph":
+        """Return a copy of this graph with new out-edge probabilities.
+
+        ``probs`` must be aligned with ``out_targets`` (same edge order).
+        """
+        probs = np.ascontiguousarray(probs, dtype=np.float64)
+        if probs.shape != (self.num_edges,):
+            raise GraphError(
+                f"probs must have length m={self.num_edges}, got {probs.shape}"
+            )
+        return DiGraph(self.num_nodes, self.out_offsets, self.out_targets, probs)
+
+    # ------------------------------------------------------------------
+    # dunder
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.num_nodes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DiGraph(n={self.num_nodes}, m={self.num_edges})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DiGraph):
+            return NotImplemented
+        return (
+            self.num_nodes == other.num_nodes
+            and np.array_equal(self.out_offsets, other.out_offsets)
+            and np.array_equal(self.out_targets, other.out_targets)
+            and np.array_equal(self.out_probs, other.out_probs)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.num_nodes, self.num_edges))

@@ -1,0 +1,103 @@
+"""SNAP-style edge-list input/output.
+
+The SNAP text format is one edge per line — ``source<TAB>target`` — with
+``#`` comment lines.  An optional third column carries the edge probability.
+Node ids in the file may be arbitrary non-negative integers; they are
+remapped to a dense ``0..n-1`` range, and :func:`read_edge_list` returns the
+mapping so results can be reported in original ids.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+from repro.exceptions import GraphError
+from repro.graphs.build import GraphBuilder
+from repro.graphs.digraph import DiGraph
+
+__all__ = ["read_edge_list", "write_edge_list"]
+
+PathLike = Union[str, Path]
+
+
+def read_edge_list(
+    path: PathLike,
+    undirected: bool = False,
+    default_probability: float = 1.0,
+    relabel: bool = True,
+) -> Tuple[DiGraph, Dict[int, int]]:
+    """Read a SNAP-style edge list.
+
+    Parameters
+    ----------
+    path:
+        Text file with ``u v [probability]`` per line; ``#`` starts a comment.
+    undirected:
+        If true each line is added in both directions (the paper's
+        treatment of undirected networks).
+    default_probability:
+        Probability used when the line has no third column.
+    relabel:
+        If true (default) arbitrary ids are compacted to ``0..n-1``.
+
+    Returns
+    -------
+    (graph, id_map):
+        ``id_map`` maps original file id -> dense graph id (identity when
+        ``relabel=False``).
+    """
+    path = Path(path)
+    id_map: Dict[int, int] = {}
+
+    def dense(original: int) -> int:
+        if not relabel:
+            return original
+        if original not in id_map:
+            id_map[original] = len(id_map)
+        return id_map[original]
+
+    builder = GraphBuilder(default_probability=default_probability)
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, raw in enumerate(handle, start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            if len(parts) not in (2, 3):
+                raise GraphError(
+                    f"{path}:{line_number}: expected 'u v [prob]', got {raw!r}"
+                )
+            try:
+                u, v = dense(int(parts[0])), dense(int(parts[1]))
+                prob = float(parts[2]) if len(parts) == 3 else None
+            except ValueError as exc:
+                raise GraphError(f"{path}:{line_number}: unparsable edge {raw!r}") from exc
+            if undirected:
+                builder.add_undirected_edge(u, v, prob)
+            else:
+                builder.add_edge(u, v, prob)
+    graph = builder.build()
+    if not relabel:
+        id_map = {i: i for i in range(graph.num_nodes)}
+    return graph, id_map
+
+
+def write_edge_list(
+    graph: DiGraph,
+    path: PathLike,
+    write_probabilities: bool = True,
+    header: Optional[str] = None,
+) -> None:
+    """Write a graph as a SNAP-style edge list (dense 0-based ids)."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        if header:
+            for line in header.splitlines():
+                handle.write(f"# {line}\n")
+        handle.write(f"# nodes: {graph.num_nodes} edges: {graph.num_edges}\n")
+        for u, v, prob in graph.edges():
+            if write_probabilities:
+                handle.write(f"{u}\t{v}\t{prob:.10g}\n")
+            else:
+                handle.write(f"{u}\t{v}\n")

@@ -1,0 +1,87 @@
+"""Descriptive statistics over :class:`DiGraph` instances.
+
+Used to verify that benchmark-analogue graphs match the published shapes
+(Table 2 of the paper) and by the experiment harness's dataset reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.graphs.digraph import DiGraph
+
+__all__ = ["GraphStats", "describe", "weakly_connected_components", "largest_wcc_size"]
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Summary statistics of a directed graph."""
+
+    num_nodes: int
+    num_edges: int
+    average_degree: float
+    max_out_degree: int
+    max_in_degree: int
+    num_isolated: int
+    largest_wcc: int
+
+    def as_row(self) -> str:
+        """A one-line report in the style of the paper's Table 2."""
+        return (
+            f"n={self.num_nodes:>9,d}  m={self.num_edges:>11,d}  "
+            f"avg_deg={self.average_degree:6.2f}  wcc={self.largest_wcc:,d}"
+        )
+
+
+def weakly_connected_components(graph: DiGraph) -> List[np.ndarray]:
+    """Weakly connected components via iterative union over both directions."""
+    n = graph.num_nodes
+    component = np.full(n, -1, dtype=np.int64)
+    components: List[np.ndarray] = []
+    for start in range(n):
+        if component[start] >= 0:
+            continue
+        label = len(components)
+        stack = [start]
+        component[start] = label
+        members = [start]
+        while stack:
+            node = stack.pop()
+            for neighbor in np.concatenate(
+                (graph.out_neighbors(node), graph.in_neighbors(node))
+            ):
+                neighbor = int(neighbor)
+                if component[neighbor] < 0:
+                    component[neighbor] = label
+                    stack.append(neighbor)
+                    members.append(neighbor)
+        components.append(np.asarray(members, dtype=np.int64))
+    return components
+
+
+def largest_wcc_size(graph: DiGraph) -> int:
+    """Size of the largest weakly connected component (0 for empty graphs)."""
+    components = weakly_connected_components(graph)
+    if not components:
+        return 0
+    return max(len(c) for c in components)
+
+
+def describe(graph: DiGraph) -> GraphStats:
+    """Compute :class:`GraphStats` for ``graph``."""
+    out_deg = graph.out_degrees()
+    in_deg = graph.in_degrees()
+    isolated = int(np.count_nonzero((out_deg == 0) & (in_deg == 0)))
+    average = graph.num_edges / graph.num_nodes if graph.num_nodes else 0.0
+    return GraphStats(
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+        average_degree=average,
+        max_out_degree=int(out_deg.max()) if graph.num_nodes else 0,
+        max_in_degree=int(in_deg.max()) if graph.num_nodes else 0,
+        num_isolated=isolated,
+        largest_wcc=largest_wcc_size(graph),
+    )

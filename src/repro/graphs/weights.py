@@ -1,0 +1,68 @@
+"""Edge-probability assignment schemes.
+
+The paper (Section 9.1) uses the *weighted cascade* convention: the
+propagation probability of a directed edge ``(u, v)`` is
+``alpha / in_degree(v)`` with ``alpha`` in ``{0.7, 0.85, 1.0}``.  Two other
+standard schemes from the IM literature (constant and trivalency) are also
+provided for completeness.
+
+All functions return a *new* :class:`DiGraph`; the input is never mutated.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.graphs.digraph import DiGraph
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = [
+    "assign_weighted_cascade",
+    "assign_constant_probabilities",
+    "assign_trivalency_probabilities",
+]
+
+
+def assign_weighted_cascade(graph: DiGraph, alpha: float = 1.0) -> DiGraph:
+    """Weighted-cascade probabilities: ``p(u, v) = alpha / in_degree(v)``.
+
+    ``alpha`` must satisfy ``0 < alpha <= 1`` (the paper uses 0.7/0.85/1.0).
+    Every edge target has in-degree >= 1 by construction, so the formula is
+    always well defined.
+    """
+    if not 0.0 < alpha <= 1.0:
+        raise GraphError(f"alpha must lie in (0, 1], got {alpha}")
+    in_degrees = graph.in_degrees().astype(np.float64)
+    probs = alpha / in_degrees[graph.out_targets]
+    # in_degree(v) >= 1 whenever v appears as a target, and alpha <= 1,
+    # so probabilities are automatically in (0, 1].
+    return graph.with_probabilities(probs)
+
+
+def assign_constant_probabilities(graph: DiGraph, probability: float) -> DiGraph:
+    """Uniform probability on every edge (e.g. 0.01 or 0.1 in IC literature)."""
+    if not 0.0 <= probability <= 1.0:
+        raise GraphError(f"probability must lie in [0, 1], got {probability}")
+    return graph.with_probabilities(np.full(graph.num_edges, probability))
+
+
+def assign_trivalency_probabilities(
+    graph: DiGraph,
+    values: Sequence[float] = (0.1, 0.01, 0.001),
+    seed: SeedLike = None,
+) -> DiGraph:
+    """Trivalency scheme: each edge draws uniformly from ``values``.
+
+    The classic setting (Chen et al.) uses ``{0.1, 0.01, 0.001}``.
+    """
+    values_arr = np.asarray(values, dtype=np.float64)
+    if values_arr.size == 0:
+        raise GraphError("values must be non-empty")
+    if np.any(values_arr < 0.0) or np.any(values_arr > 1.0):
+        raise GraphError("all values must lie in [0, 1]")
+    rng = as_generator(seed)
+    probs = rng.choice(values_arr, size=graph.num_edges)
+    return graph.with_probabilities(probs)

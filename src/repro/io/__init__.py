@@ -1,0 +1,26 @@
+"""Persistence for configurations, solver results and experiment records."""
+
+from repro.io.serialization import (
+    configuration_from_json,
+    configuration_to_json,
+    load_configuration,
+    load_solve_result,
+    save_configuration,
+    save_solve_result,
+    solve_result_from_json,
+    solve_result_to_json,
+)
+from repro.io.records import read_records_csv, write_records_csv
+
+__all__ = [
+    "configuration_to_json",
+    "configuration_from_json",
+    "save_configuration",
+    "load_configuration",
+    "solve_result_to_json",
+    "solve_result_from_json",
+    "save_solve_result",
+    "load_solve_result",
+    "write_records_csv",
+    "read_records_csv",
+]

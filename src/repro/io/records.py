@@ -1,0 +1,69 @@
+"""CSV persistence for experiment records.
+
+The experiment harness produces lists of flat dict-like rows (Figure-3
+cells, Table-3 rows, ...); these helpers write and read them as CSV so
+long runs can be resumed, diffed and post-processed with standard tools.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+from repro.exceptions import ReproError
+
+__all__ = ["write_records_csv", "read_records_csv"]
+
+PathLike = Union[str, Path]
+
+
+def write_records_csv(records: Sequence[Dict[str, object]], path: PathLike) -> None:
+    """Write homogeneous dict records to CSV (columns from the union of keys).
+
+    Column order: keys of the first record first (insertion order), then any
+    extra keys from later records, sorted.
+    """
+    records = list(records)
+    if not records:
+        raise ReproError("cannot write an empty record list")
+    columns = list(records[0].keys())
+    extra = sorted({key for record in records for key in record} - set(columns))
+    columns += extra
+    with Path(path).open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns, restval="")
+        writer.writeheader()
+        for record in records:
+            writer.writerow({key: record.get(key, "") for key in columns})
+
+
+def _parse_cell(cell: str) -> object:
+    """Round-trip CSV cells back to int / float / bool where unambiguous."""
+    if cell == "":
+        return None
+    lowered = cell.lower()
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    try:
+        return int(cell)
+    except ValueError:
+        pass
+    try:
+        return float(cell)
+    except ValueError:
+        return cell
+
+
+def read_records_csv(path: PathLike) -> List[Dict[str, object]]:
+    """Read records written by :func:`write_records_csv`.
+
+    Numeric-looking cells are parsed back to ints/floats; empty cells to
+    ``None``.
+    """
+    with Path(path).open("r", encoding="utf-8", newline="") as handle:
+        reader = csv.DictReader(handle)
+        return [
+            {key: _parse_cell(value) for key, value in row.items()} for row in reader
+        ]

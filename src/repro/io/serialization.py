@@ -1,0 +1,152 @@
+"""JSON serialization for configurations and solver results.
+
+A marketing team that computed a discount plan needs to hand it to the
+campaign system; an experiment that ran for an hour needs its outputs on
+disk.  The formats here are plain JSON with a ``format`` tag and explicit
+versioning so files stay readable across library versions.
+
+Configurations are stored sparsely (``{node: discount}`` over the support)
+— real plans discount a tiny fraction of users, so this is both smaller
+and more auditable than a dense vector.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.core.configuration import Configuration
+from repro.core.solvers import SolveResult
+from repro.exceptions import ConfigurationError
+from repro.utils.timing import TimingBreakdown
+
+__all__ = [
+    "configuration_to_json",
+    "configuration_from_json",
+    "save_configuration",
+    "load_configuration",
+    "solve_result_to_json",
+    "solve_result_from_json",
+    "save_solve_result",
+    "load_solve_result",
+]
+
+PathLike = Union[str, Path]
+
+_CONFIGURATION_FORMAT = "repro.configuration.v1"
+_SOLVE_RESULT_FORMAT = "repro.solve_result.v1"
+
+
+def configuration_to_json(configuration: Configuration) -> str:
+    """Serialize a configuration to a JSON string (sparse support form)."""
+    support = configuration.support
+    payload = {
+        "format": _CONFIGURATION_FORMAT,
+        "num_nodes": len(configuration),
+        "discounts": {
+            str(int(node)): float(configuration[int(node)]) for node in support
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def configuration_from_json(text: str) -> Configuration:
+    """Parse a configuration serialized by :func:`configuration_to_json`."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"invalid configuration JSON: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("format") != _CONFIGURATION_FORMAT:
+        raise ConfigurationError(
+            f"not a {_CONFIGURATION_FORMAT} document: {payload.get('format')!r}"
+        )
+    num_nodes = payload.get("num_nodes")
+    if not isinstance(num_nodes, int) or num_nodes < 0:
+        raise ConfigurationError(f"invalid num_nodes: {num_nodes!r}")
+    discounts = np.zeros(num_nodes)
+    for key, value in payload.get("discounts", {}).items():
+        node = int(key)
+        if not 0 <= node < num_nodes:
+            raise ConfigurationError(f"node {node} out of range [0, {num_nodes})")
+        discounts[node] = float(value)
+    return Configuration(discounts)
+
+
+def save_configuration(configuration: Configuration, path: PathLike) -> None:
+    """Write a configuration to ``path`` as JSON."""
+    Path(path).write_text(configuration_to_json(configuration), encoding="utf-8")
+
+
+def load_configuration(path: PathLike) -> Configuration:
+    """Read a configuration from a JSON file."""
+    return configuration_from_json(Path(path).read_text(encoding="utf-8"))
+
+
+def _jsonable(value):
+    """Best-effort conversion of extras values to JSON-safe types."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    return repr(value)
+
+
+def solve_result_to_json(result: SolveResult) -> str:
+    """Serialize a :class:`SolveResult` (configuration, estimate, timings)."""
+    payload = {
+        "format": _SOLVE_RESULT_FORMAT,
+        "method": result.method,
+        "spread_estimate": float(result.spread_estimate),
+        "timings_ms": result.timings.as_millis(),
+        "extras": _jsonable(result.extras),
+        "configuration": json.loads(configuration_to_json(result.configuration)),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def solve_result_from_json(text: str) -> SolveResult:
+    """Parse a solver result serialized by :func:`solve_result_to_json`.
+
+    Timings are restored in seconds; extras come back as plain JSON types
+    (rich objects were flattened at save time).
+    """
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"invalid solve-result JSON: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("format") != _SOLVE_RESULT_FORMAT:
+        raise ConfigurationError(
+            f"not a {_SOLVE_RESULT_FORMAT} document: {payload.get('format')!r}"
+        )
+    configuration = configuration_from_json(json.dumps(payload["configuration"]))
+    timings = TimingBreakdown(
+        {name: ms / 1000.0 for name, ms in payload.get("timings_ms", {}).items()}
+    )
+    return SolveResult(
+        method=str(payload["method"]),
+        configuration=configuration,
+        spread_estimate=float(payload["spread_estimate"]),
+        timings=timings,
+        extras=dict(payload.get("extras", {})),
+    )
+
+
+def save_solve_result(result: SolveResult, path: PathLike) -> None:
+    """Write a solver result to ``path`` as JSON."""
+    Path(path).write_text(solve_result_to_json(result), encoding="utf-8")
+
+
+def load_solve_result(path: PathLike) -> SolveResult:
+    """Read a solver result from a JSON file."""
+    return solve_result_from_json(Path(path).read_text(encoding="utf-8"))

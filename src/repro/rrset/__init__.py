@@ -1,0 +1,25 @@
+"""Polling substrate: reverse-reachable sets, hypergraphs, coverage, bounds."""
+
+from repro.rrset.coverage import CoverageResult, max_coverage, weighted_max_coverage
+from repro.rrset.estimator import HypergraphObjective
+from repro.rrset.hypergraph import RRHypergraph
+from repro.rrset.sample_size import (
+    approximation_lower_bound,
+    default_num_rr_sets,
+    epsilon_for_theta,
+    theta_for_epsilon,
+)
+from repro.rrset.sampler import sample_rr_sets
+
+__all__ = [
+    "sample_rr_sets",
+    "RRHypergraph",
+    "HypergraphObjective",
+    "CoverageResult",
+    "max_coverage",
+    "weighted_max_coverage",
+    "default_num_rr_sets",
+    "epsilon_for_theta",
+    "theta_for_epsilon",
+    "approximation_lower_bound",
+]

@@ -1,0 +1,276 @@
+"""Theorem 9: unbiased hyper-graph estimator of ``UI(C)``.
+
+Given a random hyper-graph ``H`` with ``theta`` hyper-edges and a
+configuration ``C`` with seed probabilities ``q_u = p_u(c_u)``,
+
+    UI(C)  ≈  n / theta * sum_h [ 1 - prod_{u in h} (1 - q_u) ]
+
+is an unbiased estimator of the expected influence spread.  This module
+maintains that sum *incrementally*: the coordinate-descent solver changes
+one or two ``q`` values at a time and needs the objective restricted to
+those coordinates in closed form (the ``A1..A4`` coefficients of Eq. 9).
+
+Numerical representation
+------------------------
+A hyper-edge's *survival* ``prod (1 - q_u)`` hits exact zero when any member
+has ``q_u = 1`` (a certain seed).  To keep multiplicative updates exact we
+store, per hyper-edge, the count of zero factors plus the product of the
+non-zero factors; division by ``(1 - q_u)`` is then always well defined.
+:meth:`HypergraphObjective.rebuild` recomputes everything from scratch to
+wash out float drift after many updates.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.exceptions import EstimationError
+from repro.rrset.hypergraph import RRHypergraph
+
+__all__ = ["HypergraphObjective", "PairCoefficients"]
+
+_ONE_TOLERANCE = 1e-12
+
+
+class PairCoefficients:
+    """Closed-form restriction of the objective to coordinates ``(i, j)``.
+
+    With all other coordinates fixed, the hyper-graph objective as a
+    function of the two seed probabilities ``(q_i, q_j)`` is::
+
+        value(q_i, q_j) = base
+                        + scale * (s_i_only * (1 - (1-q_i))          # edges with i only
+                        ... equivalently:
+        covered(q_i, q_j) = covered_rest
+                          + sum_{h ∋ i, ∌ j} [1 - (1-q_i) * excl_h]
+                          + sum_{h ∌ i, ∋ j} [1 - (1-q_j) * excl_h]
+                          + sum_{h ∋ i, ∋ j} [1 - (1-q_i)(1-q_j) * excl_h]
+
+    which this class stores as the three survival sums ``s_i``, ``s_j``,
+    ``s_ij`` (each already excluding the contribution of i and/or j), the
+    number of incident edges per group, and the scale ``n / theta``.
+    """
+
+    __slots__ = ("scale", "base", "count_i", "count_j", "count_ij", "s_i", "s_j", "s_ij")
+
+    def __init__(
+        self,
+        scale: float,
+        base: float,
+        count_i: int,
+        count_j: int,
+        count_ij: int,
+        s_i: float,
+        s_j: float,
+        s_ij: float,
+    ) -> None:
+        self.scale = scale
+        self.base = base
+        self.count_i = count_i
+        self.count_j = count_j
+        self.count_ij = count_ij
+        self.s_i = s_i
+        self.s_j = s_j
+        self.s_ij = s_ij
+
+    def value(self, q_i: float, q_j: float) -> float:
+        """Objective value if the pair took seed probabilities ``(q_i, q_j)``."""
+        covered = (
+            self.count_i - (1.0 - q_i) * self.s_i
+            + self.count_j - (1.0 - q_j) * self.s_j
+            + self.count_ij - (1.0 - q_i) * (1.0 - q_j) * self.s_ij
+        )
+        return self.base + self.scale * covered
+
+    def value_vectorized(self, q_i: np.ndarray, q_j: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`value` over candidate arrays."""
+        q_i = np.asarray(q_i, dtype=np.float64)
+        q_j = np.asarray(q_j, dtype=np.float64)
+        covered = (
+            self.count_i - (1.0 - q_i) * self.s_i
+            + self.count_j - (1.0 - q_j) * self.s_j
+            + self.count_ij - (1.0 - q_i) * (1.0 - q_j) * self.s_ij
+        )
+        return self.base + self.scale * covered
+
+
+class HypergraphObjective:
+    """Incrementally maintained Theorem-9 estimate of ``UI(C)``."""
+
+    def __init__(self, hypergraph: RRHypergraph, seed_probabilities: np.ndarray) -> None:
+        self.hypergraph = hypergraph
+        probs = np.array(seed_probabilities, dtype=np.float64, copy=True)
+        if probs.shape != (hypergraph.num_nodes,):
+            raise EstimationError(
+                f"seed_probabilities must have length n={hypergraph.num_nodes}, "
+                f"got {probs.shape}"
+            )
+        if np.any(probs < 0.0) or np.any(probs > 1.0) or np.any(np.isnan(probs)):
+            raise EstimationError("seed probabilities must lie in [0, 1]")
+        self._probs = probs
+        self._zero_count = np.zeros(hypergraph.num_hyperedges, dtype=np.int64)
+        self._nonzero_prod = np.ones(hypergraph.num_hyperedges, dtype=np.float64)
+        self.rebuild()
+
+    # ------------------------------------------------------------------
+    # state
+    # ------------------------------------------------------------------
+    @property
+    def probabilities(self) -> np.ndarray:
+        """Copy of the current per-node seed probabilities."""
+        return self._probs.copy()
+
+    def probability(self, node: int) -> float:
+        """Current seed probability of ``node``."""
+        return float(self._probs[node])
+
+    def rebuild(self) -> None:
+        """Recompute all per-edge survival state from scratch."""
+        hg = self.hypergraph
+        self._zero_count[:] = 0
+        self._nonzero_prod[:] = 1.0
+        one_minus = 1.0 - self._probs
+        is_zero = one_minus <= _ONE_TOLERANCE
+        for edge_id in range(hg.num_hyperedges):
+            members = hg.hyperedge(edge_id)
+            zero_members = is_zero[members]
+            self._zero_count[edge_id] = int(zero_members.sum())
+            live = members[~zero_members]
+            if live.size:
+                self._nonzero_prod[edge_id] = float(np.prod(one_minus[live]))
+
+    def _survival(self, edge_ids: np.ndarray) -> np.ndarray:
+        """Survival ``prod (1 - q_u)`` of the given hyper-edges."""
+        out = np.where(self._zero_count[edge_ids] > 0, 0.0, self._nonzero_prod[edge_ids])
+        return out
+
+    def value(self) -> float:
+        """Current estimate ``n/theta * sum_h (1 - survival_h)``."""
+        hg = self.hypergraph
+        if hg.num_hyperedges == 0:
+            raise EstimationError("hyper-graph has no hyper-edges")
+        survival = np.where(self._zero_count > 0, 0.0, self._nonzero_prod)
+        covered = float((1.0 - survival).sum())
+        return hg.num_nodes * covered / hg.num_hyperedges
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def set_probability(self, node: int, q_new: float) -> None:
+        """Update coordinate ``node`` to seed probability ``q_new``."""
+        if not 0.0 <= q_new <= 1.0:
+            raise EstimationError(f"seed probability must lie in [0, 1], got {q_new}")
+        q_old = float(self._probs[node])
+        if q_old == q_new:
+            return
+        edges = self.hypergraph.incident_edges(node)
+        old_factor = 1.0 - q_old
+        new_factor = 1.0 - q_new
+        if old_factor <= _ONE_TOLERANCE:
+            self._zero_count[edges] -= 1
+        else:
+            self._nonzero_prod[edges] /= old_factor
+        if new_factor <= _ONE_TOLERANCE:
+            self._zero_count[edges] += 1
+        else:
+            self._nonzero_prod[edges] *= new_factor
+        self._probs[node] = q_new
+
+    def set_probabilities(self, probs: np.ndarray) -> None:
+        """Replace the whole probability vector and rebuild survival state."""
+        probs = np.asarray(probs, dtype=np.float64)
+        if probs.shape != self._probs.shape:
+            raise EstimationError("probability vector has wrong length")
+        if np.any(probs < 0.0) or np.any(probs > 1.0) or np.any(np.isnan(probs)):
+            raise EstimationError("seed probabilities must lie in [0, 1]")
+        self._probs = probs.copy()
+        self.rebuild()
+
+    # ------------------------------------------------------------------
+    # coordinate restrictions (the CD inner loop)
+    # ------------------------------------------------------------------
+    def _survival_excluding(self, edge_ids: np.ndarray, nodes: Tuple[int, ...]) -> np.ndarray:
+        """Per-edge survival with the factors of ``nodes`` divided out.
+
+        Every edge in ``edge_ids`` must actually contain all of ``nodes``.
+        """
+        zero_counts = self._zero_count[edge_ids].copy()
+        base = self._nonzero_prod[edge_ids].copy()
+        for node in nodes:
+            factor = 1.0 - float(self._probs[node])
+            if factor <= _ONE_TOLERANCE:
+                zero_counts -= 1
+            else:
+                base /= factor
+        return np.where(zero_counts > 0, 0.0, base)
+
+    def pair_coefficients(self, i: int, j: int) -> PairCoefficients:
+        """Closed-form objective restriction to coordinates ``(i, j)``.
+
+        This plays the role of the ``A1..A4`` coefficients of Eq. 9-10:
+        all hyper-edges not touching ``i`` or ``j`` contribute a constant,
+        while touching edges contribute terms linear in ``(1 - q_i)``,
+        ``(1 - q_j)`` and their product.
+        """
+        if i == j:
+            raise EstimationError("pair coordinates must be distinct")
+        hg = self.hypergraph
+        edges_i = hg.incident_edges(i)
+        edges_j = hg.incident_edges(j)
+        shared = np.intersect1d(edges_i, edges_j, assume_unique=True)
+        only_i = np.setdiff1d(edges_i, shared, assume_unique=True)
+        only_j = np.setdiff1d(edges_j, shared, assume_unique=True)
+
+        s_i = float(self._survival_excluding(only_i, (i,)).sum()) if only_i.size else 0.0
+        s_j = float(self._survival_excluding(only_j, (j,)).sum()) if only_j.size else 0.0
+        s_ij = float(self._survival_excluding(shared, (i, j)).sum()) if shared.size else 0.0
+
+        scale = hg.num_nodes / hg.num_hyperedges
+        # Contribution of all *other* edges = total value minus the current
+        # contribution of the touched edges.
+        q_i, q_j = float(self._probs[i]), float(self._probs[j])
+        touched_covered = (
+            only_i.size - (1.0 - q_i) * s_i
+            + only_j.size - (1.0 - q_j) * s_j
+            + shared.size - (1.0 - q_i) * (1.0 - q_j) * s_ij
+        )
+        base = self.value() - scale * touched_covered
+        return PairCoefficients(
+            scale=scale,
+            base=base,
+            count_i=int(only_i.size),
+            count_j=int(only_j.size),
+            count_ij=int(shared.size),
+            s_i=s_i,
+            s_j=s_j,
+            s_ij=s_ij,
+        )
+
+    def coordinate_value(self, node: int, q_candidate: float) -> float:
+        """Objective value if coordinate ``node`` took ``q_candidate``.
+
+        Does not mutate state; costs ``O(deg_H(node))``.
+        """
+        edges = self.hypergraph.incident_edges(node)
+        excl = self._survival_excluding(edges, (node,)) if edges.size else np.empty(0)
+        current = self._survival(edges) if edges.size else np.empty(0)
+        delta_covered = float((current - (1.0 - q_candidate) * excl).sum())
+        scale = self.hypergraph.num_nodes / self.hypergraph.num_hyperedges
+        return self.value() + scale * delta_covered
+
+    def gradient_coordinate(self, node: int) -> float:
+        """Partial derivative of the estimate w.r.t. ``q_node``.
+
+        By Eq. 6 the objective is linear in each ``q_u``; the slope is the
+        scaled sum of incident-edge survivals excluding ``u`` — the
+        hyper-graph analogue of
+        ``sum_S Pr[S; V-u, C] (I(S+u) - I(S))``.
+        """
+        edges = self.hypergraph.incident_edges(node)
+        if edges.size == 0:
+            return 0.0
+        excl = self._survival_excluding(edges, (node,))
+        scale = self.hypergraph.num_nodes / self.hypergraph.num_hyperedges
+        return scale * float(excl.sum())

@@ -1,0 +1,134 @@
+"""The random hyper-graph ``H`` of the polling framework.
+
+Nodes of ``H`` are the nodes of ``G``; each hyper-edge is one RR set.  The
+container stores both directions in CSR form:
+
+* hyper-edge -> member nodes (``edge_offsets`` / ``edge_nodes``), and
+* node -> incident hyper-edge ids (``node_offsets`` / ``node_edges``),
+
+so that coverage algorithms (which expand nodes) and estimators (which scan
+hyper-edges) both get contiguous slices.
+
+Key property (polling framework): for a fixed number of hyper-edges
+``theta``, ``n * deg_H(S) / theta`` is an unbiased estimator of the
+influence spread ``I(S)``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.diffusion.base import DiffusionModel
+from repro.exceptions import EstimationError
+from repro.rrset.sampler import sample_rr_sets
+from repro.utils.rng import SeedLike
+
+__all__ = ["RRHypergraph"]
+
+
+class RRHypergraph:
+    """Immutable hyper-graph built from a batch of RR sets."""
+
+    __slots__ = (
+        "num_nodes",
+        "num_hyperedges",
+        "edge_offsets",
+        "edge_nodes",
+        "node_offsets",
+        "node_edges",
+    )
+
+    def __init__(self, num_nodes: int, rr_sets: Sequence[np.ndarray]) -> None:
+        if num_nodes <= 0:
+            raise EstimationError(f"num_nodes must be positive, got {num_nodes}")
+        self.num_nodes = num_nodes
+        self.num_hyperedges = len(rr_sets)
+
+        sizes = np.fromiter((len(h) for h in rr_sets), dtype=np.int64, count=len(rr_sets))
+        self.edge_offsets = np.zeros(len(rr_sets) + 1, dtype=np.int64)
+        np.cumsum(sizes, out=self.edge_offsets[1:])
+        total = int(self.edge_offsets[-1])
+        self.edge_nodes = np.empty(total, dtype=np.int32)
+        for i, h in enumerate(rr_sets):
+            members = np.asarray(h, dtype=np.int32)
+            if members.size and (members.min() < 0 or members.max() >= num_nodes):
+                raise EstimationError(f"hyper-edge {i} contains out-of-range node")
+            self.edge_nodes[self.edge_offsets[i] : self.edge_offsets[i + 1]] = members
+
+        # Inverted index: node -> hyper-edge ids containing it.
+        degree = np.bincount(self.edge_nodes, minlength=num_nodes).astype(np.int64)
+        self.node_offsets = np.zeros(num_nodes + 1, dtype=np.int64)
+        np.cumsum(degree, out=self.node_offsets[1:])
+        self.node_edges = np.empty(total, dtype=np.int32)
+        edge_ids = np.repeat(np.arange(len(rr_sets), dtype=np.int32), sizes)
+        order = np.argsort(self.edge_nodes, kind="stable")
+        self.node_edges[:] = edge_ids[order]
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        model: DiffusionModel,
+        num_hyperedges: int,
+        seed: SeedLike = None,
+    ) -> "RRHypergraph":
+        """Sample ``num_hyperedges`` RR sets from ``model`` and index them."""
+        rr_sets = sample_rr_sets(model, num_hyperedges, seed=seed)
+        return cls(model.num_nodes, rr_sets)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def hyperedge(self, index: int) -> np.ndarray:
+        """Member nodes of hyper-edge ``index`` (CSR slice; do not mutate)."""
+        if not 0 <= index < self.num_hyperedges:
+            raise IndexError(f"hyper-edge {index} out of range")
+        return self.edge_nodes[self.edge_offsets[index] : self.edge_offsets[index + 1]]
+
+    def hyperedges(self) -> Iterable[np.ndarray]:
+        """Iterate all hyper-edges."""
+        for i in range(self.num_hyperedges):
+            yield self.hyperedge(i)
+
+    def incident_edges(self, node: int) -> np.ndarray:
+        """Ids of hyper-edges containing ``node``."""
+        if not 0 <= node < self.num_nodes:
+            raise IndexError(f"node {node} out of range")
+        return self.node_edges[self.node_offsets[node] : self.node_offsets[node + 1]]
+
+    def degree(self, node: int) -> int:
+        """Number of hyper-edges incident to ``node``."""
+        return int(self.node_offsets[node + 1] - self.node_offsets[node])
+
+    def degrees(self) -> np.ndarray:
+        """Vector of node degrees in ``H``."""
+        return np.diff(self.node_offsets)
+
+    def coverage(self, seeds: Sequence[int]) -> int:
+        """``deg_H(S)``: hyper-edges hit by at least one node of ``seeds``."""
+        covered: set[int] = set()
+        for node in seeds:
+            covered.update(self.incident_edges(int(node)).tolist())
+        return len(covered)
+
+    def estimate_spread(self, seeds: Sequence[int]) -> float:
+        """Unbiased estimator ``n * deg_H(S) / theta`` of ``I(S)``."""
+        if self.num_hyperedges == 0:
+            raise EstimationError("hyper-graph has no hyper-edges")
+        return self.num_nodes * self.coverage(seeds) / self.num_hyperedges
+
+    def average_edge_size(self) -> float:
+        """Mean RR-set size (proportional to hyper-graph build cost)."""
+        if self.num_hyperedges == 0:
+            return 0.0
+        return float(self.edge_nodes.size / self.num_hyperedges)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RRHypergraph(n={self.num_nodes}, theta={self.num_hyperedges}, "
+            f"avg_size={self.average_edge_size():.2f})"
+        )

@@ -1,0 +1,94 @@
+"""Sample-size bounds for the polling framework.
+
+How many hyper-edges ``theta`` do we need?
+
+* :func:`default_num_rr_sets` — the paper builds ``H`` by "simply setting
+  mh to a predefined number, usually in O(n log n)" (Section 8); this is
+  that default, with a tunable constant.
+* :func:`theta_for_epsilon` — Tang et al.'s lower bound making RR-set
+  greedy a ``(1 - 1/e - eps)``-approximation with probability ``1 - 1/n``:
+
+      theta  >=  2n * (1 - 1/e) * (log C(n, k) + log n + log 2) / (OPT * eps^2)
+
+* :func:`epsilon_for_theta` — the inversion used by the paper's Figure 4:
+  given a fixed ``theta`` and a lower bound on ``OPT`` (the spread actually
+  achieved), solve for ``eps`` and report ``1 - 1/e - eps`` as the
+  *approximation lower bound* of the discrete-IM run.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import EstimationError
+
+__all__ = [
+    "default_num_rr_sets",
+    "log_binomial",
+    "theta_for_epsilon",
+    "epsilon_for_theta",
+    "approximation_lower_bound",
+]
+
+_ONE_MINUS_INV_E = 1.0 - 1.0 / math.e
+
+
+def default_num_rr_sets(num_nodes: int, constant: float = 1.0) -> int:
+    """The ``O(n log n)`` default hyper-edge count of Section 8."""
+    if num_nodes <= 0:
+        raise EstimationError(f"num_nodes must be positive, got {num_nodes}")
+    return max(1, int(math.ceil(constant * num_nodes * math.log(max(num_nodes, 2)))))
+
+
+def log_binomial(n: int, k: int) -> float:
+    """``log C(n, k)`` via log-gamma (exact enough for the bounds here)."""
+    if k < 0 or k > n:
+        raise EstimationError(f"need 0 <= k <= n, got n={n}, k={k}")
+    return math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1)
+
+
+def theta_for_epsilon(
+    num_nodes: int, k: int, epsilon: float, opt_lower_bound: float
+) -> int:
+    """Tang et al.'s hyper-edge count for a ``(1 - 1/e - eps)`` guarantee."""
+    if epsilon <= 0.0:
+        raise EstimationError(f"epsilon must be positive, got {epsilon}")
+    if opt_lower_bound <= 0.0:
+        raise EstimationError(f"opt_lower_bound must be positive, got {opt_lower_bound}")
+    numerator = (
+        2.0
+        * num_nodes
+        * _ONE_MINUS_INV_E
+        * (log_binomial(num_nodes, k) + math.log(num_nodes) + math.log(2.0))
+    )
+    return max(1, int(math.ceil(numerator / (opt_lower_bound * epsilon * epsilon))))
+
+
+def epsilon_for_theta(
+    num_nodes: int, k: int, theta: int, opt_lower_bound: float
+) -> float:
+    """Invert :func:`theta_for_epsilon`: the ``eps`` a fixed ``theta`` buys."""
+    if theta <= 0:
+        raise EstimationError(f"theta must be positive, got {theta}")
+    if opt_lower_bound <= 0.0:
+        raise EstimationError(f"opt_lower_bound must be positive, got {opt_lower_bound}")
+    numerator = (
+        2.0
+        * num_nodes
+        * _ONE_MINUS_INV_E
+        * (log_binomial(num_nodes, k) + math.log(num_nodes) + math.log(2.0))
+    )
+    return math.sqrt(numerator / (opt_lower_bound * theta))
+
+
+def approximation_lower_bound(
+    num_nodes: int, k: int, theta: int, achieved_spread: float
+) -> float:
+    """Figure 4's quantity: ``1 - 1/e - eps`` using the achieved spread.
+
+    The spread of the greedy seed set is itself a lower bound on ``OPT``,
+    so plugging it into :func:`epsilon_for_theta` is conservative.  The
+    result is clamped below at 0 (a tiny ``theta`` proves nothing).
+    """
+    eps = epsilon_for_theta(num_nodes, k, theta, achieved_spread)
+    return max(0.0, _ONE_MINUS_INV_E - eps)

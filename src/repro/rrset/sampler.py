@@ -1,0 +1,66 @@
+"""Reverse-reachable set generation (the "poll" of Section 8).
+
+A poll picks a node ``v`` uniformly at random and runs a reverse cascade
+from ``v`` on the transpose graph; the reached set ``h`` is a *random
+hyper-edge*.  The intuition: nodes with high influence appear in many random
+hyper-edges.
+
+The model-specific reverse cascade is delegated to
+:meth:`repro.diffusion.base.DiffusionModel.sample_rr_set`, so this module
+works unchanged for IC, LT and general triggering models.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.diffusion.base import DiffusionModel
+from repro.exceptions import EstimationError
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = ["sample_rr_sets"]
+
+
+def sample_rr_sets(
+    model: DiffusionModel,
+    count: int,
+    seed: SeedLike = None,
+    roots: Optional[Sequence[int]] = None,
+) -> List[np.ndarray]:
+    """Generate ``count`` random RR sets.
+
+    Parameters
+    ----------
+    model:
+        Any diffusion model exposing ``sample_rr_set``.
+    count:
+        Number of hyper-edges ``theta`` to generate.
+    seed:
+        RNG seed (int / Generator / None).
+    roots:
+        Optional explicit poll roots (length ``count``); default draws roots
+        uniformly from ``V`` — the distribution required for the unbiased
+        estimators (Theorem 9 and the ``n * deg_H(S) / theta`` estimator of
+        the polling framework).
+
+    Returns
+    -------
+    List of int64 arrays; each contains the nodes of one hyper-edge
+    (its root is always included).
+    """
+    if count < 0:
+        raise EstimationError(f"count must be non-negative, got {count}")
+    if model.num_nodes == 0:
+        raise EstimationError("cannot sample RR sets of an empty graph")
+    rng = as_generator(seed)
+    if roots is None:
+        root_arr = rng.integers(0, model.num_nodes, size=count)
+    else:
+        root_arr = np.asarray(roots, dtype=np.int64)
+        if root_arr.shape != (count,):
+            raise EstimationError(
+                f"roots must have length {count}, got {root_arr.shape}"
+            )
+    return [model.sample_rr_set(int(root), rng) for root in root_arr]

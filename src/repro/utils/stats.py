@@ -1,0 +1,92 @@
+"""Streaming statistics used by the Monte-Carlo estimators.
+
+:class:`RunningStat` implements Welford's single-pass algorithm so spread
+estimators can report mean, variance and confidence intervals without
+retaining every sample.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Tuple
+
+import numpy as np
+
+__all__ = ["RunningStat", "mean_confidence_interval"]
+
+
+@dataclass
+class RunningStat:
+    """Welford single-pass mean/variance accumulator.
+
+    >>> s = RunningStat()
+    >>> for x in (1.0, 2.0, 3.0):
+    ...     s.add(x)
+    >>> s.mean
+    2.0
+    >>> round(s.variance, 6)
+    1.0
+    """
+
+    count: int = 0
+    mean: float = 0.0
+    _m2: float = field(default=0.0, repr=False)
+
+    def add(self, value: float) -> None:
+        """Fold one observation into the accumulator."""
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+
+    def add_many(self, values: Iterable[float]) -> None:
+        """Fold a batch of observations into the accumulator."""
+        arr = np.asarray(list(values) if not isinstance(values, np.ndarray) else values, dtype=float)
+        if arr.size == 0:
+            return
+        # Chan et al. parallel-merge update of Welford state.
+        batch_count = int(arr.size)
+        batch_mean = float(arr.mean())
+        batch_m2 = float(((arr - batch_mean) ** 2).sum())
+        delta = batch_mean - self.mean
+        total = self.count + batch_count
+        self._m2 += batch_m2 + delta * delta * self.count * batch_count / total
+        self.mean += delta * batch_count / total
+        self.count = total
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (0.0 until two observations exist)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stddev(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    @property
+    def stderr(self) -> float:
+        """Standard error of the mean."""
+        if self.count == 0:
+            return float("inf")
+        return self.stddev / math.sqrt(self.count)
+
+    def confidence_interval(self, z: float = 1.96) -> Tuple[float, float]:
+        """Normal-approximation confidence interval for the mean."""
+        half = z * self.stderr
+        return (self.mean - half, self.mean + half)
+
+
+def mean_confidence_interval(samples: np.ndarray, z: float = 1.96) -> Tuple[float, float, float]:
+    """Return ``(mean, lo, hi)`` for a batch of samples.
+
+    Convenience wrapper around :class:`RunningStat` for code that already
+    holds all samples in memory.
+    """
+    stat = RunningStat()
+    stat.add_many(np.asarray(samples, dtype=float))
+    lo, hi = stat.confidence_interval(z)
+    return stat.mean, lo, hi

@@ -1,0 +1,97 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.configuration import Configuration
+from repro.core.curves import ConcaveCurve, LinearCurve, QuadraticCurve
+from repro.core.population import CurvePopulation, paper_mixture
+from repro.core.problem import CIMProblem
+from repro.diffusion.independent_cascade import IndependentCascade
+from repro.graphs.build import from_edges
+from repro.graphs.generators import erdos_renyi, star_graph
+from repro.graphs.weights import assign_weighted_cascade
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def toy_star():
+    """The paper's Figure-1 toy graph: hub 0 -> 4 leaves, p = 0.1."""
+    return star_graph(4, probability=0.1)
+
+
+@pytest.fixture
+def toy_star_problem(toy_star):
+    """The Example-2 CIM instance (all-sensitive curves, B = 1)."""
+    population = CurvePopulation.uniform(5, ConcaveCurve())
+    return CIMProblem(IndependentCascade(toy_star), population, budget=1.0)
+
+
+@pytest.fixture
+def triangle_graph():
+    """3-node cycle with distinct probabilities (handy for exact math)."""
+    return from_edges([(0, 1, 0.5), (1, 2, 0.4), (2, 0, 0.3)], num_nodes=3)
+
+
+@pytest.fixture
+def small_dag():
+    """A small DAG with 6 nodes / 7 edges (exact computation feasible)."""
+    return from_edges(
+        [
+            (0, 1, 0.5),
+            (0, 2, 0.5),
+            (1, 3, 0.6),
+            (2, 3, 0.3),
+            (3, 4, 0.8),
+            (2, 5, 0.2),
+            (4, 5, 0.5),
+        ],
+        num_nodes=6,
+    )
+
+
+@pytest.fixture(scope="session")
+def medium_wc_graph():
+    """A 120-node weighted-cascade ER graph reused across slow tests."""
+    return assign_weighted_cascade(erdos_renyi(120, 0.05, seed=7), alpha=1.0)
+
+
+@pytest.fixture(scope="session")
+def medium_problem(medium_wc_graph):
+    """A session-scoped CIM problem on the medium graph."""
+    population = paper_mixture(medium_wc_graph.num_nodes, seed=8)
+    return CIMProblem(IndependentCascade(medium_wc_graph), population, budget=5.0)
+
+
+@pytest.fixture(scope="session")
+def medium_hypergraph(medium_problem):
+    """A shared RR hyper-graph for the medium problem."""
+    return medium_problem.build_hypergraph(num_hyperedges=8000, seed=9)
+
+
+@pytest.fixture
+def mixed_population():
+    """A 6-node population mixing the paper's three curve types."""
+    return CurvePopulation(
+        [
+            ConcaveCurve(),
+            ConcaveCurve(),
+            LinearCurve(),
+            LinearCurve(),
+            QuadraticCurve(),
+            ConcaveCurve(),
+        ]
+    )
+
+
+@pytest.fixture
+def feasible_config():
+    """A simple feasible configuration on 6 nodes."""
+    return Configuration([0.5, 0.0, 0.25, 0.0, 0.75, 0.0])

@@ -1,0 +1,137 @@
+"""Unit tests for hyper-graph coordinate descent (Section 8 CD)."""
+
+import numpy as np
+import pytest
+
+from repro.core.cd_hypergraph import coordinate_descent_hypergraph
+from repro.core.configuration import Configuration
+from repro.core.curves import ConcaveCurve
+from repro.core.objective import HypergraphOracle
+from repro.core.population import CurvePopulation, paper_mixture
+from repro.core.problem import CIMProblem
+from repro.core.unified_discount import unified_discount
+from repro.diffusion.independent_cascade import IndependentCascade
+from repro.exceptions import SolverError
+from repro.graphs.generators import erdos_renyi, star_graph
+from repro.graphs.weights import assign_weighted_cascade
+
+
+@pytest.fixture
+def cd_setup():
+    graph = assign_weighted_cascade(erdos_renyi(80, 0.08, seed=1), alpha=1.0)
+    population = paper_mixture(80, seed=2)
+    problem = CIMProblem(IndependentCascade(graph), population, budget=4.0)
+    hypergraph = problem.build_hypergraph(num_hyperedges=5000, seed=3)
+    ud = unified_discount(problem, hypergraph)
+    return problem, hypergraph, ud
+
+
+class TestCDHypergraph:
+    def test_improves_on_warm_start(self, cd_setup):
+        problem, hypergraph, ud = cd_setup
+        result = coordinate_descent_hypergraph(problem, hypergraph, ud.configuration)
+        assert result.objective_value >= ud.spread_estimate - 1e-6
+
+    def test_round_values_nondecreasing(self, cd_setup):
+        problem, hypergraph, ud = cd_setup
+        result = coordinate_descent_hypergraph(problem, hypergraph, ud.configuration)
+        values = result.round_values
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_budget_preserved(self, cd_setup):
+        problem, hypergraph, ud = cd_setup
+        result = coordinate_descent_hypergraph(problem, hypergraph, ud.configuration)
+        assert result.configuration.cost == pytest.approx(ud.configuration.cost, abs=1e-6)
+        assert result.configuration.is_feasible(problem.budget)
+
+    def test_objective_matches_oracle(self, cd_setup):
+        """The reported value must equal a fresh evaluation of the config."""
+        problem, hypergraph, ud = cd_setup
+        result = coordinate_descent_hypergraph(problem, hypergraph, ud.configuration)
+        oracle = HypergraphOracle(hypergraph, problem.population)
+        assert result.objective_value == pytest.approx(
+            oracle.evaluate(result.configuration), rel=1e-6
+        )
+
+    def test_respects_max_rounds(self, cd_setup):
+        problem, hypergraph, ud = cd_setup
+        result = coordinate_descent_hypergraph(
+            problem, hypergraph, ud.configuration, max_rounds=1
+        )
+        assert result.rounds_run == 1
+
+    def test_converges_within_ten_rounds(self, cd_setup):
+        """The paper: 'converges within 10 rounds in all cases'.
+
+        Run the grid-only variant (the paper's Section-7.1 trick); golden
+        refinement can keep polishing below any fixed tolerance forever.
+        """
+        problem, hypergraph, ud = cd_setup
+        result = coordinate_descent_hypergraph(
+            problem, hypergraph, ud.configuration, max_rounds=10, refine_iterations=0
+        )
+        assert result.converged
+
+    def test_untouched_coordinates_stay_zero(self, cd_setup):
+        """Pairs come from the warm-start support only (the paper's
+        efficiency measure), so zero coordinates stay zero."""
+        problem, hypergraph, ud = cd_setup
+        result = coordinate_descent_hypergraph(problem, hypergraph, ud.configuration)
+        zero_before = np.flatnonzero(ud.configuration.discounts == 0.0)
+        assert np.all(result.configuration.discounts[zero_before] == 0.0)
+
+    def test_explicit_coordinates(self, cd_setup):
+        problem, hypergraph, ud = cd_setup
+        support = ud.configuration.support[:3]
+        result = coordinate_descent_hypergraph(
+            problem, hypergraph, ud.configuration, coordinates=support
+        )
+        untouched = np.setdiff1d(ud.configuration.support, support)
+        assert np.allclose(
+            result.configuration.discounts[untouched],
+            ud.configuration.discounts[untouched],
+        )
+
+    def test_out_of_range_coordinates_rejected(self, cd_setup):
+        problem, hypergraph, ud = cd_setup
+        with pytest.raises(SolverError):
+            coordinate_descent_hypergraph(
+                problem, hypergraph, ud.configuration, coordinates=[0, 999]
+            )
+
+    def test_wrong_length_initial_rejected(self, cd_setup):
+        problem, hypergraph, _ = cd_setup
+        with pytest.raises(SolverError):
+            coordinate_descent_hypergraph(problem, hypergraph, Configuration([0.5]))
+
+    def test_single_support_returns_immediately(self, cd_setup):
+        problem, hypergraph, _ = cd_setup
+        config = Configuration.unified([0], 1.0, 80)
+        result = coordinate_descent_hypergraph(problem, hypergraph, config)
+        assert result.converged
+        assert result.configuration == config
+
+    def test_refinement_never_hurts(self, cd_setup):
+        problem, hypergraph, ud = cd_setup
+        plain = coordinate_descent_hypergraph(
+            problem, hypergraph, ud.configuration, refine_iterations=0
+        )
+        refined = coordinate_descent_hypergraph(
+            problem, hypergraph, ud.configuration, refine_iterations=25
+        )
+        assert refined.objective_value >= plain.objective_value - 1e-6
+
+
+class TestAgainstExactOptimum:
+    def test_toy_star_reaches_paper_configuration(self, toy_star_problem):
+        """On the Figure-1 toy graph CD must find the paper's optimum
+        c_hub ~ 0.38312 (we verify against a dense hyper-graph)."""
+        problem = toy_star_problem
+        hypergraph = problem.build_hypergraph(num_hyperedges=60000, seed=4)
+        initial = Configuration([0.2] * 5)
+        result = coordinate_descent_hypergraph(
+            problem, hypergraph, initial, grid_step=0.01, max_rounds=20
+        )
+        assert result.configuration[0] == pytest.approx(0.38312, abs=0.05)
+        # Exact optimum value is ~1.93534; allow hyper-graph noise.
+        assert result.objective_value == pytest.approx(1.93534, abs=0.08)

@@ -1,0 +1,153 @@
+"""Unit tests for discount configurations."""
+
+import numpy as np
+import pytest
+
+from repro.core.configuration import Configuration
+from repro.exceptions import BudgetError, ConfigurationError
+
+
+class TestConstruction:
+    def test_basic(self):
+        config = Configuration([0.1, 0.2, 0.3])
+        assert len(config) == 3
+        assert config.cost == pytest.approx(0.6)
+
+    def test_immutability(self):
+        config = Configuration([0.5])
+        with pytest.raises(ValueError):
+            config.discounts[0] = 0.9
+
+    def test_input_not_aliased(self):
+        source = np.array([0.5, 0.5])
+        config = Configuration(source)
+        source[0] = 0.9
+        assert config[0] == pytest.approx(0.5)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Configuration([1.5])
+        with pytest.raises(ConfigurationError):
+            Configuration([-0.2])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Configuration([np.nan])
+
+    def test_2d_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Configuration(np.zeros((2, 2)))
+
+
+class TestFactories:
+    def test_zeros(self):
+        config = Configuration.zeros(4)
+        assert config.cost == 0.0
+
+    def test_integer(self):
+        config = Configuration.integer([1, 3], 5)
+        assert config.discounts.tolist() == [0, 1, 0, 1, 0]
+        assert config.is_integer
+
+    def test_integer_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            Configuration.integer([7], 5)
+
+    def test_unified(self):
+        config = Configuration.unified([0, 2], 0.3, 4)
+        assert config.discounts.tolist() == pytest.approx([0.3, 0, 0.3, 0])
+
+    def test_uniform(self):
+        config = Configuration.uniform(2.0, 4)
+        assert config.discounts.tolist() == [0.5] * 4
+
+    def test_uniform_clamps_at_one(self):
+        config = Configuration.uniform(10.0, 4)
+        assert config.discounts.tolist() == [1.0] * 4
+
+    def test_uniform_zero_nodes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Configuration.uniform(1.0, 0)
+
+
+class TestViews:
+    def test_support(self):
+        config = Configuration([0.0, 0.5, 0.0, 0.1])
+        assert config.support.tolist() == [1, 3]
+
+    def test_getitem_and_iter(self):
+        config = Configuration([0.25, 0.75])
+        assert config[1] == pytest.approx(0.75)
+        assert list(config) == pytest.approx([0.25, 0.75])
+
+    def test_is_integer(self):
+        assert Configuration([0, 1, 0]).is_integer
+        assert not Configuration([0, 0.5]).is_integer
+
+    def test_seed_set(self):
+        assert Configuration([1, 0, 1]).seed_set() == [0, 2]
+
+    def test_seed_set_requires_integer(self):
+        with pytest.raises(ConfigurationError):
+            Configuration([0.5]).seed_set()
+
+
+class TestFeasibility:
+    def test_feasible(self):
+        config = Configuration([0.5, 0.5])
+        assert config.is_feasible(1.0)
+        assert config.is_feasible(2.0)
+        assert not config.is_feasible(0.9)
+
+    def test_require_feasible_raises_with_amounts(self):
+        config = Configuration([0.8, 0.8])
+        with pytest.raises(BudgetError) as excinfo:
+            config.require_feasible(1.0)
+        assert excinfo.value.spent == pytest.approx(1.6)
+        assert excinfo.value.budget == pytest.approx(1.0)
+
+    def test_require_feasible_returns_self(self):
+        config = Configuration([0.1])
+        assert config.require_feasible(1.0) is config
+
+
+class TestFunctionalUpdates:
+    def test_with_discount(self):
+        config = Configuration([0.1, 0.2])
+        updated = config.with_discount(0, 0.9)
+        assert updated[0] == pytest.approx(0.9)
+        assert config[0] == pytest.approx(0.1)
+
+    def test_with_pair(self):
+        config = Configuration([0.1, 0.2, 0.3])
+        updated = config.with_pair(0, 0.5, 2, 0.0)
+        assert updated.discounts.tolist() == pytest.approx([0.5, 0.2, 0.0])
+
+    def test_with_discount_validates(self):
+        config = Configuration([0.1])
+        with pytest.raises(ConfigurationError):
+            config.with_discount(0, 1.5)
+
+
+class TestOrdering:
+    def test_dominates(self):
+        big = Configuration([0.5, 0.5])
+        small = Configuration([0.4, 0.5])
+        assert big.dominates(small)
+        assert not small.dominates(big)
+        assert big.dominates(big)
+
+    def test_dominates_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            Configuration([0.5]).dominates(Configuration([0.5, 0.5]))
+
+    def test_equality_and_hash(self):
+        a = Configuration([0.1, 0.2])
+        b = Configuration([0.1, 0.2])
+        c = Configuration([0.2, 0.1])
+        assert a == b
+        assert a != c
+        assert hash(a) == hash(b)
+
+    def test_not_equal_other_type(self):
+        assert Configuration([0.1]) != [0.1]

@@ -1,0 +1,179 @@
+"""Unit tests for the general coordinate-descent framework (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.configuration import Configuration
+from repro.core.coordinate_descent import (
+    coordinate_descent,
+    pair_grid_candidates,
+    saturate_budget,
+)
+from repro.core.curves import ConcaveCurve, LinearCurve
+from repro.core.objective import ExactOracle
+from repro.core.population import CurvePopulation
+from repro.exceptions import ConfigurationError, SolverError
+from repro.graphs.generators import isolated_nodes, star_graph
+
+
+class TestSaturateBudget:
+    def test_fills_to_budget(self):
+        config = Configuration.zeros(4)
+        saturated = saturate_budget(config, 2.0)
+        assert saturated.cost == pytest.approx(2.0)
+
+    def test_respects_per_node_cap(self):
+        config = Configuration([0.9, 0.0, 0.0])
+        saturated = saturate_budget(config, 2.9)
+        assert saturated.cost == pytest.approx(2.9)
+        assert np.all(saturated.discounts <= 1.0)
+
+    def test_budget_above_n_caps_at_all_ones(self):
+        saturated = saturate_budget(Configuration.zeros(3), 10.0)
+        assert saturated.discounts.tolist() == [1.0, 1.0, 1.0]
+
+    def test_already_saturated_unchanged(self):
+        config = Configuration([0.5, 0.5])
+        assert saturate_budget(config, 1.0) == config
+
+    def test_over_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            saturate_budget(Configuration([1.0, 1.0]), 1.0)
+
+
+class TestPairGridCandidates:
+    def test_basic_interval(self):
+        cand_i, cand_j, pair_budget = pair_grid_candidates(0.3, 0.4, 0.1)
+        assert pair_budget == pytest.approx(0.7)
+        assert cand_i.min() == pytest.approx(0.0)
+        assert cand_i.max() == pytest.approx(0.7)
+        assert np.allclose(cand_i + cand_j, 0.7)
+
+    def test_interval_clipped_when_budget_above_one(self):
+        cand_i, _, _ = pair_grid_candidates(0.9, 0.8, 0.1)
+        # c_i in [max(0, 1.7 - 1), min(1, 1.7)] = [0.7, 1.0].
+        assert cand_i.min() == pytest.approx(0.7)
+        assert cand_i.max() == pytest.approx(1.0)
+
+    def test_incumbent_always_present(self):
+        cand_i, _, _ = pair_grid_candidates(0.333, 0.4, 0.25)
+        assert np.any(np.isclose(cand_i, 0.333))
+
+    def test_invalid_step(self):
+        with pytest.raises(SolverError):
+            pair_grid_candidates(0.3, 0.3, 0.0)
+
+
+class TestCoordinateDescent:
+    def test_isolated_nodes_linear_curves_spread_budget(self):
+        """Example-1 flavor: with sqrt curves, CD must spread the budget."""
+        from repro.core.curves import PowerCurve
+
+        n = 4
+        graph = isolated_nodes(n)
+        population = CurvePopulation.uniform(n, PowerCurve(0.5))
+        oracle = ExactOracle(graph, population)
+        initial = Configuration.integer([0], n)
+        result = coordinate_descent(oracle, 1.0, initial, grid_step=0.05, max_rounds=20)
+        # Optimal: 1/4 each giving 4 * 0.5 = 2.0 > 1.0 for the seed config.
+        assert result.objective_value > 1.8
+        assert np.all(result.configuration.discounts > 0.1)
+
+    def test_objective_nondecreasing(self, toy_star_problem):
+        problem = toy_star_problem
+        oracle = ExactOracle(problem.graph, problem.population)
+        initial = Configuration([0.2] * 5)
+        result = coordinate_descent(oracle, 1.0, initial, grid_step=0.02, max_rounds=10)
+        values = result.round_values
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_reaches_example2_optimum(self, toy_star_problem):
+        problem = toy_star_problem
+        oracle = ExactOracle(problem.graph, problem.population)
+        initial = Configuration([0.2] * 5)
+        result = coordinate_descent(oracle, 1.0, initial, grid_step=0.01, max_rounds=20)
+        # Exact optimum ~1.93534 at c_hub ~ 0.38312 (paper's configuration).
+        assert result.objective_value == pytest.approx(1.93534, abs=2e-3)
+        assert result.configuration[0] == pytest.approx(0.38312, abs=0.02)
+
+    def test_budget_preserved(self, toy_star_problem):
+        problem = toy_star_problem
+        oracle = ExactOracle(problem.graph, problem.population)
+        initial = Configuration([0.2] * 5)
+        result = coordinate_descent(oracle, 1.0, initial, grid_step=0.05, max_rounds=3)
+        assert result.configuration.cost == pytest.approx(1.0)
+
+    def test_feasible_throughout(self, toy_star_problem):
+        problem = toy_star_problem
+        oracle = ExactOracle(problem.graph, problem.population)
+        result = coordinate_descent(
+            oracle, 1.0, Configuration.zeros(5), grid_step=0.05, max_rounds=3
+        )
+        assert result.configuration.is_feasible(1.0 + 1e-9)
+
+    def test_coordinate_restriction(self, toy_star_problem):
+        problem = toy_star_problem
+        oracle = ExactOracle(problem.graph, problem.population)
+        initial = Configuration([0.5, 0.5, 0, 0, 0])
+        result = coordinate_descent(
+            oracle, 1.0, initial, grid_step=0.05, coordinates=[0, 1], max_rounds=5
+        )
+        # Untouched coordinates keep their initial values.
+        assert result.configuration[2] == 0.0
+        assert result.configuration[3] == 0.0
+
+    def test_single_coordinate_short_circuits(self, toy_star_problem):
+        problem = toy_star_problem
+        oracle = ExactOracle(problem.graph, problem.population)
+        result = coordinate_descent(
+            oracle, 1.0, Configuration([1, 0, 0, 0, 0]), coordinates=[0], max_rounds=5
+        )
+        assert result.converged
+        assert result.rounds_run == 0
+
+    def test_random_pair_strategy(self, toy_star_problem):
+        problem = toy_star_problem
+        oracle = ExactOracle(problem.graph, problem.population)
+        result = coordinate_descent(
+            oracle,
+            1.0,
+            Configuration([0.2] * 5),
+            grid_step=0.05,
+            pair_strategy="random",
+            max_rounds=5,
+            seed=1,
+        )
+        assert result.objective_value >= 1.89  # no worse than the start
+
+    def test_unknown_strategy_rejected(self, toy_star_problem):
+        problem = toy_star_problem
+        oracle = ExactOracle(problem.graph, problem.population)
+        with pytest.raises(SolverError):
+            coordinate_descent(
+                oracle, 1.0, Configuration([0.2] * 5), pair_strategy="nope"
+            )
+
+    def test_out_of_range_coordinates_rejected(self, toy_star_problem):
+        problem = toy_star_problem
+        oracle = ExactOracle(problem.graph, problem.population)
+        with pytest.raises(SolverError):
+            coordinate_descent(
+                oracle, 1.0, Configuration([0.2] * 5), coordinates=[0, 99]
+            )
+
+    def test_infeasible_initial_rejected(self, toy_star_problem):
+        problem = toy_star_problem
+        oracle = ExactOracle(problem.graph, problem.population)
+        from repro.exceptions import BudgetError
+
+        with pytest.raises(BudgetError):
+            coordinate_descent(oracle, 1.0, Configuration([0.5] * 5))
+
+    def test_never_worse_than_initial(self, toy_star_problem):
+        """Section 6: CD from any feasible start is no worse than the start."""
+        problem = toy_star_problem
+        oracle = ExactOracle(problem.graph, problem.population)
+        initial = Configuration.integer([0], 5)
+        start_value = oracle.evaluate(initial)
+        result = coordinate_descent(oracle, 1.0, initial, grid_step=0.05, max_rounds=5)
+        assert result.objective_value >= start_value - 1e-12

@@ -1,0 +1,179 @@
+"""Unit tests for learning curves from conversion data."""
+
+import numpy as np
+import pytest
+
+from repro.core.curve_fitting import (
+    Observation,
+    fit_logistic_curve,
+    fit_piecewise_curve,
+    fit_power_curve,
+    pava,
+)
+from repro.core.curves import ConcaveCurve, LogisticCurve, PowerCurve
+from repro.exceptions import CurveError
+
+
+def simulate_observations(curve, count, rng, lo=0.0, hi=1.0):
+    observations = []
+    for _ in range(count):
+        c = float(rng.uniform(lo, hi))
+        observations.append((c, bool(rng.random() < curve(c))))
+    return observations
+
+
+class TestPava:
+    def test_already_monotone_unchanged(self):
+        values = np.array([1.0, 2.0, 3.0])
+        assert pava(values, np.ones(3)).tolist() == [1.0, 2.0, 3.0]
+
+    def test_single_violation_pooled(self):
+        result = pava(np.array([1.0, 3.0, 2.0]), np.ones(3))
+        assert result.tolist() == [1.0, 2.5, 2.5]
+
+    def test_weights_matter(self):
+        # Heavy first element pulls the pooled mean down.
+        result = pava(np.array([1.0, 0.0]), np.array([3.0, 1.0]))
+        assert result[0] == pytest.approx(0.75)
+        assert result[1] == pytest.approx(0.75)
+
+    def test_output_monotone_always(self):
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            values = rng.normal(size=15)
+            weights = rng.uniform(0.5, 2.0, size=15)
+            result = pava(values, weights)
+            assert np.all(np.diff(result) >= -1e-12)
+
+    def test_preserves_weighted_mean(self):
+        rng = np.random.default_rng(2)
+        values = rng.normal(size=10)
+        weights = rng.uniform(0.5, 2.0, size=10)
+        result = pava(values, weights)
+        assert np.dot(result, weights) == pytest.approx(np.dot(values, weights))
+
+    def test_invalid_inputs(self):
+        with pytest.raises(CurveError):
+            pava(np.array([1.0]), np.array([0.0]))
+        with pytest.raises(CurveError):
+            pava(np.array([1.0, 2.0]), np.array([1.0]))
+
+
+class TestFitPiecewise:
+    def test_recovers_concave_curve(self):
+        rng = np.random.default_rng(3)
+        true = ConcaveCurve()
+        fit = fit_piecewise_curve(simulate_observations(true, 6000, rng), num_bins=10)
+        grid = np.linspace(0, 1, 21)
+        assert np.abs(fit(grid) - true(grid)).max() < 0.08
+
+    def test_recovers_logistic_curve(self):
+        rng = np.random.default_rng(4)
+        true = LogisticCurve(steepness=8.0, midpoint=0.6)
+        fit = fit_piecewise_curve(simulate_observations(true, 8000, rng), num_bins=12)
+        grid = np.linspace(0.1, 0.9, 9)
+        assert np.abs(fit(grid) - true(grid)).max() < 0.1
+
+    def test_result_is_valid_curve(self):
+        rng = np.random.default_rng(5)
+        fit = fit_piecewise_curve(simulate_observations(ConcaveCurve(), 500, rng))
+        fit.validate()  # endpoints, monotone, range
+
+    def test_valid_even_with_adversarial_noise(self):
+        """Pure-noise observations must still produce a *valid* curve."""
+        rng = np.random.default_rng(6)
+        observations = [(float(rng.uniform(0, 1)), bool(rng.random() < 0.5)) for _ in range(300)]
+        fit = fit_piecewise_curve(observations)
+        fit.validate()
+
+    def test_observation_dataclass_accepted(self):
+        observations = [Observation(0.3, True), Observation(0.7, False), Observation(0.5, True)]
+        fit = fit_piecewise_curve(observations, num_bins=2)
+        fit.validate()
+
+    def test_empty_rejected(self):
+        with pytest.raises(CurveError):
+            fit_piecewise_curve([])
+
+    def test_out_of_range_discount_rejected(self):
+        with pytest.raises(CurveError):
+            fit_piecewise_curve([(1.5, True)])
+
+    def test_min_bin_count_filtering(self):
+        observations = [(0.5, True)] * 10 + [(0.9, False)]
+        fit = fit_piecewise_curve(observations, num_bins=10, min_bin_count=5)
+        fit.validate()  # lone 0.9 observation ignored
+
+
+class TestFitPowerCurve:
+    @pytest.mark.parametrize("true_exponent", [0.5, 1.0, 2.0])
+    def test_recovers_exponent(self, true_exponent):
+        rng = np.random.default_rng(7)
+        true = PowerCurve(true_exponent)
+        observations = simulate_observations(true, 8000, rng, lo=0.01, hi=0.99)
+        fit = fit_power_curve(observations)
+        assert fit.exponent == pytest.approx(true_exponent, rel=0.15)
+
+    def test_more_data_tightens_estimate(self):
+        rng = np.random.default_rng(8)
+        true = PowerCurve(2.0)
+        small = fit_power_curve(simulate_observations(true, 300, rng, 0.01, 0.99))
+        big = fit_power_curve(simulate_observations(true, 30000, rng, 0.01, 0.99))
+        assert abs(big.exponent - 2.0) <= abs(small.exponent - 2.0) + 0.05
+
+    def test_boundary_observations_ignored(self):
+        rng = np.random.default_rng(9)
+        observations = simulate_observations(PowerCurve(1.0), 2000, rng, 0.01, 0.99)
+        with_boundary = observations + [(0.0, False), (1.0, True)] * 50
+        a = fit_power_curve(observations).exponent
+        b = fit_power_curve(with_boundary).exponent
+        assert a == pytest.approx(b, abs=1e-6)
+
+    def test_only_boundary_rejected(self):
+        with pytest.raises(CurveError):
+            fit_power_curve([(0.0, False), (1.0, True)])
+
+    def test_clamps_at_bounds(self):
+        # All conversions at tiny discounts: exponent driven to the floor.
+        observations = [(0.05, True)] * 100
+        fit = fit_power_curve(observations, min_exponent=0.1)
+        assert fit.exponent == pytest.approx(0.1)
+
+    def test_result_is_valid_curve(self):
+        rng = np.random.default_rng(10)
+        fit = fit_power_curve(simulate_observations(PowerCurve(1.5), 500, rng, 0.01, 0.99))
+        fit.validate()
+
+
+class TestFitLogisticCurve:
+    def test_recovers_parameters(self):
+        rng = np.random.default_rng(11)
+        true = LogisticCurve(steepness=9.0, midpoint=0.6)
+        observations = simulate_observations(true, 8000, rng, 0.01, 0.99)
+        fit = fit_logistic_curve(observations)
+        grid = np.linspace(0.05, 0.95, 10)
+        assert np.abs(fit(grid) - true(grid)).max() < 0.05
+
+    def test_midpoint_location(self):
+        rng = np.random.default_rng(12)
+        true = LogisticCurve(steepness=12.0, midpoint=0.3)
+        observations = simulate_observations(true, 8000, rng, 0.01, 0.99)
+        fit = fit_logistic_curve(observations)
+        assert fit.midpoint == pytest.approx(0.3, abs=0.07)
+
+    def test_result_is_valid_curve(self):
+        rng = np.random.default_rng(13)
+        observations = simulate_observations(LogisticCurve(), 500, rng, 0.01, 0.99)
+        fit_logistic_curve(observations).validate()
+
+    def test_only_boundary_rejected(self):
+        from repro.exceptions import CurveError
+
+        with pytest.raises(CurveError):
+            fit_logistic_curve([(0.0, False), (1.0, True)])
+
+    def test_parameters_respect_bounds(self):
+        rng = np.random.default_rng(14)
+        observations = simulate_observations(LogisticCurve(steepness=25.0), 1500, rng, 0.01, 0.99)
+        fit = fit_logistic_curve(observations, steepness_bounds=(1.0, 5.0))
+        assert 1.0 <= fit.steepness <= 5.0

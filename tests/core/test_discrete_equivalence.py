@@ -1,0 +1,116 @@
+"""Tests for Section 6: the relation between CIM and discrete IM.
+
+Theorem 6 / Corollary 1: with a monotone submodular influence function, an
+integer budget, and every user insensitive (``p_u(c) <= c``), the optimal
+objectives of CIM and discrete IM coincide — an integer configuration is
+optimal.  Example 1 shows the gap when users are *not* insensitive.
+
+We verify on tiny IC graphs by brute force over a dense feasible grid,
+using the exact oracle as ground truth.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.configuration import Configuration
+from repro.core.curves import ConcaveCurve, LinearCurve, PowerCurve, QuadraticCurve
+from repro.core.exact import ExactICComputer
+from repro.core.population import CurvePopulation
+from repro.graphs.build import from_edges
+from repro.graphs.generators import isolated_nodes, star_graph
+
+
+def brute_force_best(computer, population, budget, num_nodes, step=0.125):
+    """Exhaustively search the budget simplex on a grid."""
+    levels = np.arange(0.0, 1.0 + 1e-9, step)
+    best_value, best_config = -1.0, None
+    for combo in itertools.product(levels, repeat=num_nodes):
+        if sum(combo) > budget + 1e-9:
+            continue
+        value = computer.expected_spread(population.probabilities(np.asarray(combo)))
+        if value > best_value:
+            best_value, best_config = value, combo
+    return best_value, best_config
+
+
+def best_integer(computer, population, budget, num_nodes):
+    """Best integer configuration (the discrete-IM optimum)."""
+    best = -1.0
+    k = int(budget)
+    for seeds in itertools.combinations(range(num_nodes), k):
+        config = Configuration.integer(seeds, num_nodes)
+        value = computer.expected_spread(population.probabilities(config.discounts))
+        best = max(best, value)
+    return best
+
+
+class TestTheorem6:
+    @pytest.mark.parametrize("curve", [LinearCurve(), QuadraticCurve(), PowerCurve(3.0)])
+    def test_insensitive_users_integer_optimal(self, curve):
+        """With p(c) <= c the continuous optimum equals the integer one."""
+        g = from_edges([(0, 1, 0.6), (1, 2, 0.5), (0, 2, 0.3)], num_nodes=3)
+        computer = ExactICComputer(g)
+        population = CurvePopulation.uniform(3, curve)
+        assert population.all_insensitive()
+        continuous, _ = brute_force_best(computer, population, budget=1.0, num_nodes=3)
+        integer = best_integer(computer, population, budget=1.0, num_nodes=3)
+        assert continuous == pytest.approx(integer, abs=1e-9)
+
+    def test_sensitive_users_break_equivalence(self):
+        """Example-1 flavor: sensitive curves make fractional configs win."""
+        g = isolated_nodes(3)
+        computer = ExactICComputer(g)
+        population = CurvePopulation.uniform(3, ConcaveCurve())
+        continuous, config = brute_force_best(computer, population, budget=1.0, num_nodes=3)
+        integer = best_integer(computer, population, budget=1.0, num_nodes=3)
+        assert continuous > integer + 0.1
+        assert any(0.0 < c < 1.0 for c in config)  # truly fractional optimum
+
+    def test_gap_grows_with_network_size(self):
+        """Example 1: the CIM/IM ratio grows with n for sensitive users."""
+        ratios = []
+        for n in (2, 4, 8):
+            g = isolated_nodes(n)
+            computer = ExactICComputer(g)
+            population = CurvePopulation.uniform(n, PowerCurve(0.5))
+            uniform = Configuration.uniform(1.0, n)
+            continuous = computer.expected_spread(
+                population.probabilities(uniform.discounts)
+            )
+            integer = best_integer(computer, population, budget=1.0, num_nodes=n)
+            ratios.append(continuous / integer)
+        assert ratios[0] < ratios[1] < ratios[2]
+        # sqrt curve: uniform gives n * sqrt(1/n) = sqrt(n).
+        assert ratios[2] == pytest.approx(np.sqrt(8), rel=1e-6)
+
+    def test_linear_curves_isolated_nodes_tie(self):
+        """With p(c) = c on isolated nodes UI is linear: all feasible
+        full-budget configurations tie (both C and D achieve exactly B)."""
+        g = isolated_nodes(4)
+        computer = ExactICComputer(g)
+        population = CurvePopulation.uniform(4, LinearCurve())
+        uniform = computer.expected_spread(
+            population.probabilities(Configuration.uniform(1.0, 4).discounts)
+        )
+        seed = computer.expected_spread(
+            population.probabilities(Configuration.integer([0], 4).discounts)
+        )
+        assert uniform == pytest.approx(seed) == pytest.approx(1.0)
+
+
+class TestWarmStartDominance:
+    def test_cd_from_integer_config_no_worse(self, toy_star_problem):
+        """Section 6: running CD from the D solution never loses spread."""
+        from repro.core.coordinate_descent import coordinate_descent
+        from repro.core.objective import ExactOracle
+
+        problem = toy_star_problem
+        oracle = ExactOracle(problem.graph, problem.population)
+        integer = Configuration.integer([0], 5)
+        start = oracle.evaluate(integer)
+        result = coordinate_descent(oracle, 1.0, integer, grid_step=0.02, max_rounds=10)
+        assert result.objective_value >= start - 1e-12
+        # On the sensitive-curve star the improvement is strict.
+        assert result.objective_value > start + 0.05

@@ -1,0 +1,78 @@
+"""Unit tests for Theorem 2/4 sample-complexity formulas."""
+
+import math
+
+import pytest
+
+from repro.core.estimation import (
+    hoeffding_confidence,
+    hoeffding_sample_count,
+    theorem2_sample_count,
+    theorem4_time_bound,
+)
+from repro.exceptions import EstimationError
+
+
+class TestTheorem2:
+    def test_formula(self):
+        n, s, eps, delta = 100, 5.0, 0.1, 0.05
+        expected = math.ceil(n * n * math.log(2 / delta) / (2 * eps**2 * s**2))
+        assert theorem2_sample_count(n, s, eps, delta) == expected
+
+    def test_more_seeds_fewer_samples(self):
+        few = theorem2_sample_count(100, 1.0, 0.1, 0.05)
+        many = theorem2_sample_count(100, 10.0, 0.1, 0.05)
+        assert many < few
+
+    def test_tighter_epsilon_more_samples(self):
+        loose = theorem2_sample_count(100, 5.0, 0.2, 0.05)
+        tight = theorem2_sample_count(100, 5.0, 0.05, 0.05)
+        assert tight > loose
+
+    def test_invalid_args(self):
+        with pytest.raises(EstimationError):
+            theorem2_sample_count(100, 5.0, 0.0, 0.05)
+        with pytest.raises(EstimationError):
+            theorem2_sample_count(100, 5.0, 0.1, 1.0)
+        with pytest.raises(EstimationError):
+            theorem2_sample_count(100, 0.0, 0.1, 0.05)
+
+
+class TestTheorem4:
+    def test_scales_with_m(self):
+        small = theorem4_time_bound(100, 200, 5.0, 0.1, 0.05)
+        large = theorem4_time_bound(100, 2000, 5.0, 0.1, 0.05)
+        assert large == pytest.approx(10 * small)
+
+    def test_matches_theorem2_times_m(self):
+        """Theorem 4 = m * (Theorem-2 count with ln(1/delta))."""
+        n, m, s, eps, delta = 100, 500, 5.0, 0.1, 0.05
+        time_bound = theorem4_time_bound(n, m, s, eps, delta)
+        per_sim = m
+        sims = n * n * math.log(1 / delta) / (2 * eps**2 * s**2)
+        assert time_bound == pytest.approx(per_sim * sims)
+
+    def test_invalid_args(self):
+        with pytest.raises(EstimationError):
+            theorem4_time_bound(10, 20, -1.0, 0.1, 0.05)
+
+
+class TestHoeffding:
+    def test_sample_count_formula(self):
+        n = hoeffding_sample_count(value_range=10.0, absolute_error=0.5, delta=0.05)
+        expected = math.ceil(100 * math.log(40) / (2 * 0.25))
+        assert n == expected
+
+    def test_confidence_inverts_sample_count(self):
+        count = hoeffding_sample_count(10.0, 0.5, 0.05)
+        delta = hoeffding_confidence(10.0, 0.5, count)
+        assert delta <= 0.05 + 1e-9
+
+    def test_confidence_clamped_at_one(self):
+        assert hoeffding_confidence(10.0, 0.001, 1) == 1.0
+
+    def test_invalid_args(self):
+        with pytest.raises(EstimationError):
+            hoeffding_sample_count(0.0, 0.5, 0.05)
+        with pytest.raises(EstimationError):
+            hoeffding_confidence(1.0, 0.5, 0)

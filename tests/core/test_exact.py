@@ -1,0 +1,121 @@
+"""Unit tests for exact IC computation (the test suite's ground truth)."""
+
+import numpy as np
+import pytest
+
+from repro.core.exact import ExactICComputer, exact_spread_ic, exact_ui_ic
+from repro.diffusion.independent_cascade import IndependentCascade
+from repro.diffusion.montecarlo import estimate_configuration_spread, estimate_spread
+from repro.exceptions import EstimationError
+from repro.graphs.build import from_edges
+from repro.graphs.generators import isolated_nodes, path_graph, star_graph
+
+
+class TestExactSpread:
+    def test_single_edge(self):
+        g = from_edges([(0, 1, 0.3)], num_nodes=2)
+        assert exact_spread_ic(g, [0]) == pytest.approx(1.3)
+        assert exact_spread_ic(g, [1]) == pytest.approx(1.0)
+
+    def test_two_hop_chain(self):
+        g = from_edges([(0, 1, 0.5), (1, 2, 0.5)], num_nodes=3)
+        assert exact_spread_ic(g, [0]) == pytest.approx(1.75)
+
+    def test_star(self):
+        g = star_graph(4, probability=0.1)
+        assert exact_spread_ic(g, [0]) == pytest.approx(1.4)
+
+    def test_diamond_inclusion_exclusion(self):
+        # 0 -> 1 -> 3, 0 -> 2 -> 3 with all p = 0.5:
+        # P(3 active) = 1 - (1 - 0.25)^2 = 0.4375.
+        g = from_edges(
+            [(0, 1, 0.5), (0, 2, 0.5), (1, 3, 0.5), (2, 3, 0.5)], num_nodes=4
+        )
+        assert exact_spread_ic(g, [0]) == pytest.approx(1 + 0.5 + 0.5 + 0.4375)
+
+    def test_multiple_seeds(self):
+        g = from_edges([(0, 2, 0.5), (1, 2, 0.5)], num_nodes=3)
+        # P(2) = 1 - 0.25 = 0.75.
+        assert exact_spread_ic(g, [0, 1]) == pytest.approx(2.75)
+
+    def test_empty_seed_set(self):
+        g = path_graph(3)
+        assert exact_spread_ic(g, []) == 0.0
+
+    def test_isolated(self):
+        g = isolated_nodes(4)
+        assert exact_spread_ic(g, [0, 1]) == pytest.approx(2.0)
+
+    def test_seed_out_of_range(self):
+        g = path_graph(3)
+        with pytest.raises(EstimationError):
+            exact_spread_ic(g, [5])
+
+    def test_too_many_edges_rejected(self):
+        g = star_graph(25, probability=0.5)
+        with pytest.raises(EstimationError):
+            exact_spread_ic(g, [0], max_edges=20)
+
+    def test_matches_monte_carlo(self, small_dag):
+        ic = IndependentCascade(small_dag)
+        exact = exact_spread_ic(small_dag, [0])
+        mc = estimate_spread(ic, [0], num_samples=40000, seed=1)
+        assert exact == pytest.approx(mc.mean, abs=4 * mc.stderr + 1e-9)
+
+
+class TestExactUI:
+    def test_isolated_nodes_sum_of_probs(self):
+        g = isolated_nodes(3)
+        q = np.array([0.2, 0.5, 0.9])
+        assert exact_ui_ic(g, q) == pytest.approx(q.sum())
+
+    def test_certain_seed_reduces_to_spread(self, small_dag):
+        q = np.zeros(6)
+        q[0] = 1.0
+        assert exact_ui_ic(small_dag, q) == pytest.approx(exact_spread_ic(small_dag, [0]))
+
+    def test_zero_configuration(self, small_dag):
+        assert exact_ui_ic(small_dag, np.zeros(6)) == 0.0
+
+    def test_all_ones_gives_n(self, small_dag):
+        assert exact_ui_ic(small_dag, np.ones(6)) == pytest.approx(6.0)
+
+    def test_manual_two_node(self):
+        # 0 ->(p) 1 with seed probs (a, b):
+        # UI = a + [1 - (1-b)(1 - a p)].
+        a, b, p = 0.6, 0.3, 0.4
+        g = from_edges([(0, 1, p)], num_nodes=2)
+        expected = a + 1 - (1 - b) * (1 - a * p)
+        assert exact_ui_ic(g, np.array([a, b])) == pytest.approx(expected)
+
+    def test_matches_monte_carlo(self, small_dag):
+        q = np.array([0.5, 0.1, 0.3, 0.0, 0.2, 0.4])
+        exact = exact_ui_ic(small_dag, q)
+        ic = IndependentCascade(small_dag)
+        mc = estimate_configuration_spread(ic, q, num_samples=40000, seed=2)
+        assert exact == pytest.approx(mc.mean, abs=4 * mc.stderr + 1e-9)
+
+    def test_invalid_probabilities(self, small_dag):
+        with pytest.raises(EstimationError):
+            exact_ui_ic(small_dag, np.full(6, 1.5))
+        with pytest.raises(EstimationError):
+            exact_ui_ic(small_dag, np.zeros(3))
+
+
+class TestActivationProbabilities:
+    def test_per_node_probabilities(self):
+        g = from_edges([(0, 1, 0.5)], num_nodes=2)
+        computer = ExactICComputer(g)
+        probs = computer.activation_probabilities(np.array([0.8, 0.0]))
+        assert probs[0] == pytest.approx(0.8)
+        assert probs[1] == pytest.approx(0.8 * 0.5)
+
+    def test_sums_to_ui(self, small_dag):
+        computer = ExactICComputer(small_dag)
+        q = np.array([0.5, 0.1, 0.3, 0.0, 0.2, 0.4])
+        probs = computer.activation_probabilities(q)
+        assert probs.sum() == pytest.approx(computer.expected_spread(q))
+
+    def test_outcome_probabilities_sum_to_one(self, small_dag):
+        computer = ExactICComputer(small_dag)
+        assert sum(computer._outcome_probs) == pytest.approx(1.0)

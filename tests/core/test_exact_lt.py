@@ -1,0 +1,116 @@
+"""Unit tests for exact LT computation, cross-validated against the
+simulator and the RR-set machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core.exact_lt import ExactLTComputer, exact_spread_lt, exact_ui_lt
+from repro.diffusion.linear_threshold import LinearThreshold
+from repro.diffusion.montecarlo import estimate_configuration_spread, estimate_spread
+from repro.exceptions import EstimationError
+from repro.graphs.build import from_edges
+from repro.graphs.generators import isolated_nodes, path_graph
+from repro.rrset.estimator import HypergraphObjective
+from repro.rrset.hypergraph import RRHypergraph
+
+
+class TestExactSpreadLT:
+    def test_single_edge(self):
+        # LT with one in-edge of weight w: activation probability = w.
+        g = from_edges([(0, 1, 0.3)], num_nodes=2)
+        assert exact_spread_lt(g, [0]) == pytest.approx(1.3)
+
+    def test_chain(self):
+        # 0 ->(0.5) 1 ->(0.4) 2: I({0}) = 1 + 0.5 + 0.5 * 0.4.
+        g = from_edges([(0, 1, 0.5), (1, 2, 0.4)], num_nodes=3)
+        assert exact_spread_lt(g, [0]) == pytest.approx(1.7)
+
+    def test_additive_in_weights(self):
+        # Both 0 and 1 active, weights 0.5 + 0.5 = 1: node 2 always active.
+        g = from_edges([(0, 2, 0.5), (1, 2, 0.5)], num_nodes=3)
+        assert exact_spread_lt(g, [0, 1]) == pytest.approx(3.0)
+
+    def test_lt_differs_from_ic_semantics(self):
+        """Under LT with two weight-0.5 in-edges both active, activation is
+        certain; under IC it is 1 - 0.25 = 0.75 — the enumerator must give
+        the LT value."""
+        from repro.core.exact import exact_spread_ic
+
+        g = from_edges([(0, 2, 0.5), (1, 2, 0.5)], num_nodes=3)
+        lt = exact_spread_lt(g, [0, 1])
+        ic = exact_spread_ic(g, [0, 1])
+        assert lt == pytest.approx(3.0)
+        assert ic == pytest.approx(2.75)
+        assert lt > ic
+
+    def test_empty_seed_set(self):
+        g = path_graph(3, probability=0.5)
+        assert exact_spread_lt(g, []) == 0.0
+
+    def test_invalid_seed(self):
+        g = path_graph(3, probability=0.5)
+        with pytest.raises(EstimationError):
+            exact_spread_lt(g, [9])
+
+    def test_overweight_node_rejected(self):
+        g = from_edges([(0, 2, 0.7), (1, 2, 0.7)], num_nodes=3)
+        with pytest.raises(EstimationError):
+            ExactLTComputer(g)
+
+    def test_outcome_cap(self):
+        g = from_edges(
+            [(u, v, 0.1) for u in range(5) for v in range(5) if u != v], num_nodes=5
+        )
+        with pytest.raises(EstimationError):
+            ExactLTComputer(g, max_outcomes=10)
+
+    def test_outcome_probabilities_sum_to_one(self):
+        g = from_edges([(0, 1, 0.5), (1, 2, 0.4), (0, 2, 0.3)], num_nodes=3)
+        computer = ExactLTComputer(g)
+        assert sum(computer._outcome_probs) == pytest.approx(1.0)
+
+    def test_matches_simulator(self):
+        g = from_edges(
+            [(0, 1, 0.5), (1, 2, 0.4), (0, 2, 0.3), (2, 3, 0.6)], num_nodes=4
+        )
+        exact = exact_spread_lt(g, [0])
+        lt = LinearThreshold(g)
+        mc = estimate_spread(lt, [0], num_samples=40000, seed=1)
+        assert exact == pytest.approx(mc.mean, abs=4 * mc.stderr + 1e-9)
+
+
+class TestExactUILT:
+    def test_isolated_nodes(self):
+        g = isolated_nodes(3)
+        q = np.array([0.2, 0.5, 0.8])
+        assert exact_ui_lt(g, q) == pytest.approx(q.sum())
+
+    def test_certain_seed_reduces_to_spread(self):
+        g = from_edges([(0, 1, 0.5), (1, 2, 0.4)], num_nodes=3)
+        q = np.array([1.0, 0.0, 0.0])
+        assert exact_ui_lt(g, q) == pytest.approx(exact_spread_lt(g, [0]))
+
+    def test_matches_configuration_simulator(self):
+        g = from_edges([(0, 1, 0.5), (1, 2, 0.4), (0, 2, 0.3)], num_nodes=3)
+        q = np.array([0.6, 0.3, 0.1])
+        exact = exact_ui_lt(g, q)
+        lt = LinearThreshold(g)
+        mc = estimate_configuration_spread(lt, q, num_samples=40000, seed=2)
+        assert exact == pytest.approx(mc.mean, abs=4 * mc.stderr + 1e-9)
+
+    def test_matches_hypergraph_estimator(self):
+        """Theorem 9 holds for LT too: the RR estimator must match exact."""
+        g = from_edges([(0, 1, 0.5), (1, 2, 0.4), (0, 2, 0.3)], num_nodes=3)
+        q = np.array([0.6, 0.3, 0.1])
+        exact = exact_ui_lt(g, q)
+        lt = LinearThreshold(g)
+        hg = RRHypergraph.build(lt, 60000, seed=3)
+        estimate = HypergraphObjective(hg, q).value()
+        assert estimate == pytest.approx(exact, abs=0.04)
+
+    def test_invalid_probabilities(self):
+        g = path_graph(3, probability=0.5)
+        with pytest.raises(EstimationError):
+            exact_ui_lt(g, np.array([0.5, 0.5]))
+        with pytest.raises(EstimationError):
+            exact_ui_lt(g, np.array([0.5, 0.5, 1.5]))

@@ -1,0 +1,128 @@
+"""Unit tests for the expected-budget extension (paper future work)."""
+
+import numpy as np
+import pytest
+
+from repro.core.configuration import Configuration
+from repro.core.curves import ConcaveCurve, LinearCurve, QuadraticCurve
+from repro.core.expected_budget import (
+    coordinate_descent_expected,
+    expected_cost,
+    invert_expected_cost,
+    unified_discount_expected,
+)
+from repro.core.population import CurvePopulation, paper_mixture
+from repro.core.problem import CIMProblem
+from repro.core.unified_discount import unified_discount
+from repro.diffusion.independent_cascade import IndependentCascade
+from repro.exceptions import SolverError
+from repro.graphs.generators import erdos_renyi
+from repro.graphs.weights import assign_weighted_cascade
+
+
+@pytest.fixture(scope="module")
+def eb_setup():
+    graph = assign_weighted_cascade(erdos_renyi(60, 0.08, seed=1), alpha=1.0)
+    population = paper_mixture(60, seed=2)
+    problem = CIMProblem(IndependentCascade(graph), population, budget=3.0)
+    hypergraph = problem.build_hypergraph(num_hyperedges=3000, seed=3)
+    return problem, hypergraph
+
+
+class TestExpectedCost:
+    def test_formula(self):
+        population = CurvePopulation([LinearCurve(), QuadraticCurve()])
+        config = Configuration([0.5, 0.5])
+        # 0.5 * 0.5 + 0.5 * 0.25
+        assert expected_cost(config, population) == pytest.approx(0.375)
+
+    def test_never_exceeds_safe_cost(self):
+        population = paper_mixture(10, seed=4)
+        rng = np.random.default_rng(5)
+        for _ in range(20):
+            config = Configuration(rng.uniform(0, 1, size=10))
+            assert expected_cost(config, population) <= config.cost + 1e-12
+
+    def test_equals_safe_cost_for_certain_seeds(self):
+        population = paper_mixture(4, seed=6)
+        config = Configuration.integer([0, 2], 4)
+        assert expected_cost(config, population) == pytest.approx(config.cost)
+
+
+class TestInvertExpectedCost:
+    @pytest.mark.parametrize("curve", [LinearCurve(), QuadraticCurve(), ConcaveCurve()])
+    @pytest.mark.parametrize("target", [0.0, 0.1, 0.5, 0.9, 1.0])
+    def test_roundtrip(self, curve, target):
+        c = invert_expected_cost(curve, target)
+        assert c * curve(c) == pytest.approx(target, abs=1e-8)
+
+    def test_monotone_in_target(self):
+        curve = ConcaveCurve()
+        values = [invert_expected_cost(curve, t) for t in (0.1, 0.3, 0.6, 0.9)]
+        assert values == sorted(values)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(SolverError):
+            invert_expected_cost(LinearCurve(), 1.5)
+        with pytest.raises(SolverError):
+            invert_expected_cost(LinearCurve(), -0.1)
+
+
+class TestUnifiedDiscountExpected:
+    def test_spend_within_budget(self, eb_setup):
+        problem, hypergraph = eb_setup
+        result = unified_discount_expected(problem, hypergraph)
+        assert result.expected_spend <= problem.budget + 1e-9
+
+    def test_reaches_more_users_than_safe_budget(self, eb_setup):
+        """The point of the relaxation: discounts only paid on conversion,
+        so the same budget reaches more users and spreads further."""
+        problem, hypergraph = eb_setup
+        safe = unified_discount(problem, hypergraph)
+        expected = unified_discount_expected(problem, hypergraph)
+        assert len(expected.targets) >= len(safe.targets)
+        assert expected.spread_estimate >= safe.spread_estimate - 1e-9
+
+    def test_configuration_matches_targets(self, eb_setup):
+        problem, hypergraph = eb_setup
+        result = unified_discount_expected(problem, hypergraph)
+        assert sorted(result.configuration.support.tolist()) == sorted(result.targets)
+
+    def test_grid_trace(self, eb_setup):
+        problem, hypergraph = eb_setup
+        result = unified_discount_expected(problem, hypergraph, step=0.25)
+        assert len(result.grid) == 4
+        for point in result.grid:
+            assert point["expected_spend"] <= problem.budget + 1e-9
+
+    def test_invalid_grid(self, eb_setup):
+        problem, hypergraph = eb_setup
+        with pytest.raises(SolverError):
+            unified_discount_expected(problem, hypergraph, discount_grid=[2.0])
+
+
+class TestCoordinateDescentExpected:
+    def test_preserves_expected_spend_and_improves(self, eb_setup):
+        problem, hypergraph = eb_setup
+        warm = unified_discount_expected(problem, hypergraph)
+        result = coordinate_descent_expected(
+            problem, hypergraph, warm.configuration, max_rounds=1, grid_step=0.1
+        )
+        assert result.objective_value >= warm.spread_estimate - 1e-6
+        assert result.expected_spend == pytest.approx(warm.expected_spend, abs=0.02)
+
+    def test_round_values_nondecreasing(self, eb_setup):
+        problem, hypergraph = eb_setup
+        warm = unified_discount_expected(problem, hypergraph)
+        result = coordinate_descent_expected(
+            problem, hypergraph, warm.configuration, max_rounds=1, grid_step=0.1
+        )
+        values = result.round_values
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_single_support_short_circuits(self, eb_setup):
+        problem, hypergraph = eb_setup
+        config = Configuration.unified([0], 0.8, problem.num_nodes)
+        result = coordinate_descent_expected(problem, hypergraph, config)
+        assert result.converged
+        assert result.configuration == config

@@ -1,0 +1,104 @@
+"""Unit tests for greedy fractional budget allocation."""
+
+import numpy as np
+import pytest
+
+from repro.core.configuration import Configuration
+from repro.core.curves import ConcaveCurve, PowerCurve
+from repro.core.greedy_allocation import greedy_allocation
+from repro.core.population import CurvePopulation, paper_mixture
+from repro.core.problem import CIMProblem
+from repro.core.solvers import solve
+from repro.diffusion.independent_cascade import IndependentCascade
+from repro.exceptions import SolverError
+from repro.graphs.generators import erdos_renyi, isolated_nodes, star_graph
+from repro.graphs.weights import assign_weighted_cascade
+
+
+@pytest.fixture(scope="module")
+def greedy_setup():
+    graph = assign_weighted_cascade(erdos_renyi(80, 0.08, seed=1), alpha=1.0)
+    population = paper_mixture(80, seed=2)
+    problem = CIMProblem(IndependentCascade(graph), population, budget=4.0)
+    hypergraph = problem.build_hypergraph(num_hyperedges=4000, seed=3)
+    return problem, hypergraph
+
+
+class TestGreedyAllocation:
+    def test_budget_spent_exactly(self, greedy_setup):
+        problem, hypergraph = greedy_setup
+        result = greedy_allocation(problem, hypergraph, delta=0.05)
+        assert result.configuration.cost == pytest.approx(problem.budget)
+        assert result.increments == int(problem.budget / 0.05)
+
+    def test_discounts_are_delta_multiples(self, greedy_setup):
+        problem, hypergraph = greedy_setup
+        result = greedy_allocation(problem, hypergraph, delta=0.25)
+        remainders = np.mod(result.configuration.discounts, 0.25)
+        assert np.all((remainders < 1e-9) | (remainders > 0.25 - 1e-9))
+
+    def test_objective_matches_fresh_evaluation(self, greedy_setup):
+        from repro.core.objective import HypergraphOracle
+
+        problem, hypergraph = greedy_setup
+        result = greedy_allocation(problem, hypergraph, delta=0.1)
+        oracle = HypergraphOracle(hypergraph, problem.population)
+        assert result.objective_value == pytest.approx(
+            oracle.evaluate(result.configuration), rel=1e-9
+        )
+
+    def test_beats_uniform_and_random(self, greedy_setup):
+        problem, hypergraph = greedy_setup
+        greedy = greedy_allocation(problem, hypergraph).objective_value
+        uniform = solve(problem, "uniform", hypergraph=hypergraph).spread_estimate
+        random_alloc = solve(problem, "random", hypergraph=hypergraph, seed=4).spread_estimate
+        assert greedy > uniform
+        assert greedy > random_alloc
+
+    def test_competitive_with_cd(self, greedy_setup):
+        problem, hypergraph = greedy_setup
+        greedy = greedy_allocation(problem, hypergraph).objective_value
+        cd = solve(problem, "cd", hypergraph=hypergraph).spread_estimate
+        assert greedy >= 0.9 * cd
+
+    def test_hub_gets_budget_on_star(self):
+        graph = star_graph(6, probability=0.9)
+        population = CurvePopulation.uniform(7, ConcaveCurve())
+        problem = CIMProblem(IndependentCascade(graph), population, budget=1.0)
+        hypergraph = problem.build_hypergraph(num_hyperedges=4000, seed=5)
+        result = greedy_allocation(problem, hypergraph, delta=0.1)
+        assert result.configuration[0] == max(result.configuration.discounts)
+
+    def test_spreads_budget_on_isolated_nodes_with_concave_curves(self):
+        """Diminishing per-user returns push the greedy to diversify."""
+        n = 10
+        graph = isolated_nodes(n)
+        population = CurvePopulation.uniform(n, PowerCurve(0.5))
+        problem = CIMProblem(IndependentCascade(graph), population, budget=2.0)
+        hypergraph = problem.build_hypergraph(num_hyperedges=2000, seed=6)
+        result = greedy_allocation(problem, hypergraph, delta=0.1)
+        assert result.configuration.support.size >= 5
+
+    def test_registered_with_solve(self, greedy_setup):
+        problem, hypergraph = greedy_setup
+        result = solve(problem, "greedy", hypergraph=hypergraph, delta=0.1)
+        assert result.method == "greedy"
+        assert result.extras["increments"] == int(problem.budget / 0.1)
+
+    def test_invalid_delta(self, greedy_setup):
+        problem, hypergraph = greedy_setup
+        with pytest.raises(SolverError):
+            greedy_allocation(problem, hypergraph, delta=0.0)
+        with pytest.raises(SolverError):
+            greedy_allocation(problem, hypergraph, delta=1.5)
+
+    def test_saturated_nodes_skipped(self):
+        """With budget > n the allocation caps every user at 1.0."""
+        n = 3
+        graph = isolated_nodes(n)
+        population = CurvePopulation.uniform(n, ConcaveCurve())
+        problem = CIMProblem(IndependentCascade(graph), population, budget=3.0)
+        hypergraph = problem.build_hypergraph(num_hyperedges=500, seed=7)
+        result = greedy_allocation(problem, hypergraph, delta=0.5)
+        assert np.all(result.configuration.discounts <= 1.0)
+        assert result.configuration.cost == pytest.approx(3.0)

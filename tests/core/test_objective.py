@@ -1,0 +1,119 @@
+"""Unit tests for spread oracles."""
+
+import numpy as np
+import pytest
+
+from repro.core.configuration import Configuration
+from repro.core.curves import ConcaveCurve, LinearCurve
+from repro.core.objective import (
+    ExactOracle,
+    FixedSampleOracle,
+    HypergraphOracle,
+    MonteCarloOracle,
+)
+from repro.core.population import CurvePopulation
+from repro.diffusion.independent_cascade import IndependentCascade
+from repro.exceptions import EstimationError
+from repro.graphs.build import from_edges
+from repro.graphs.generators import star_graph
+from repro.rrset.hypergraph import RRHypergraph
+
+
+@pytest.fixture
+def star_setup():
+    graph = star_graph(4, probability=0.1)
+    population = CurvePopulation.uniform(5, ConcaveCurve())
+    model = IndependentCascade(graph)
+    return graph, population, model
+
+
+class TestExactOracle:
+    def test_example2_values(self, star_setup):
+        graph, population, _ = star_setup
+        oracle = ExactOracle(graph, population)
+        assert oracle.evaluate(Configuration.integer([0], 5)) == pytest.approx(1.4)
+        assert oracle.evaluate(Configuration([0.2] * 5)) == pytest.approx(1.89216, abs=1e-4)
+
+    def test_callable_protocol(self, star_setup):
+        graph, population, _ = star_setup
+        oracle = ExactOracle(graph, population)
+        config = Configuration.zeros(5)
+        assert oracle(config) == oracle.evaluate(config) == 0.0
+
+
+class TestMonteCarloOracle:
+    def test_agrees_with_exact(self, star_setup):
+        graph, population, model = star_setup
+        exact = ExactOracle(graph, population)
+        mc = MonteCarloOracle(model, population, num_samples=30000, seed=1)
+        config = Configuration([0.2] * 5)
+        assert mc.evaluate(config) == pytest.approx(exact.evaluate(config), abs=0.05)
+
+    def test_invalid_samples(self, star_setup):
+        _, population, model = star_setup
+        with pytest.raises(EstimationError):
+            MonteCarloOracle(model, population, num_samples=0)
+
+
+class TestHypergraphOracle:
+    def test_agrees_with_exact(self, star_setup):
+        graph, population, model = star_setup
+        hg = RRHypergraph.build(model, 40000, seed=2)
+        oracle = HypergraphOracle(hg, population)
+        exact = ExactOracle(graph, population)
+        config = Configuration([0.2] * 5)
+        assert oracle.evaluate(config) == pytest.approx(exact.evaluate(config), abs=0.05)
+
+    def test_repeated_evaluations_consistent(self, star_setup):
+        _, population, model = star_setup
+        hg = RRHypergraph.build(model, 5000, seed=3)
+        oracle = HypergraphOracle(hg, population)
+        a = Configuration([0.2] * 5)
+        b = Configuration.integer([0], 5)
+        value_a1 = oracle.evaluate(a)
+        oracle.evaluate(b)
+        value_a2 = oracle.evaluate(a)
+        assert value_a1 == pytest.approx(value_a2)
+
+    def test_size_mismatch_rejected(self, star_setup):
+        _, _, model = star_setup
+        hg = RRHypergraph.build(model, 100, seed=4)
+        with pytest.raises(EstimationError):
+            HypergraphOracle(hg, CurvePopulation.uniform(3, LinearCurve()))
+
+    def test_objective_for_returns_initialized_state(self, star_setup):
+        _, population, model = star_setup
+        hg = RRHypergraph.build(model, 5000, seed=5)
+        oracle = HypergraphOracle(hg, population)
+        config = Configuration([0.3, 0, 0, 0, 0.3])
+        objective = oracle.objective_for(config)
+        assert objective.value() == pytest.approx(oracle.evaluate(config))
+
+
+class TestFixedSampleOracle:
+    def test_deterministic_across_calls(self, star_setup):
+        _, population, model = star_setup
+        oracle = FixedSampleOracle(model, population, num_samples=100, seed=6)
+        config = Configuration([0.2] * 5)
+        assert oracle.evaluate(config) == oracle.evaluate(config)
+
+    def test_detects_dominance(self, star_setup):
+        """Common random numbers: a dominating configuration never scores
+        lower — the Section-7.1 noise problem solved."""
+        _, population, model = star_setup
+        oracle = FixedSampleOracle(model, population, num_samples=300, seed=7)
+        small = Configuration([0.2, 0.1, 0.1, 0.1, 0.1])
+        big = Configuration([0.25, 0.15, 0.15, 0.15, 0.15])
+        assert oracle.evaluate(big) >= oracle.evaluate(small)
+
+    def test_approximately_unbiased(self, star_setup):
+        graph, population, model = star_setup
+        exact = ExactOracle(graph, population)
+        oracle = FixedSampleOracle(model, population, num_samples=20000, seed=8)
+        config = Configuration([0.2] * 5)
+        assert oracle.evaluate(config) == pytest.approx(exact.evaluate(config), abs=0.06)
+
+    def test_invalid_samples(self, star_setup):
+        _, population, model = star_setup
+        with pytest.raises(EstimationError):
+            FixedSampleOracle(model, population, num_samples=-5)

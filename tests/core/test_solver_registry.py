@@ -1,0 +1,75 @@
+"""Unit tests for the solver registration API."""
+
+import pytest
+
+from repro.core.configuration import Configuration
+from repro.core.solvers import (
+    available_methods,
+    register_solver,
+    solve,
+    unregister_solver,
+)
+from repro.exceptions import SolverError
+
+
+def first_node_solver(problem, hypergraph, seed, options):
+    """A trivial custom strategy: one free product to node 0."""
+    return Configuration.integer([0], problem.num_nodes), {"custom": True}
+
+
+@pytest.fixture
+def registered():
+    register_solver("first-node", first_node_solver)
+    yield "first-node"
+    unregister_solver("first-node")
+
+
+class TestRegistry:
+    def test_registered_solver_usable(self, registered, medium_problem, medium_hypergraph):
+        result = solve(medium_problem, registered, hypergraph=medium_hypergraph)
+        assert result.method == registered
+        assert result.configuration.seed_set() == [0]
+        assert result.extras["custom"] is True
+        assert result.spread_estimate > 0  # scored like every built-in
+
+    def test_appears_in_available_methods(self, registered):
+        assert registered in available_methods()
+
+    def test_duplicate_name_rejected(self, registered):
+        with pytest.raises(SolverError, match="already registered"):
+            register_solver(registered, first_node_solver)
+
+    def test_overwrite_allowed_when_explicit(self, registered):
+        register_solver(registered, first_node_solver, overwrite=True)
+
+    def test_builtin_protected(self):
+        with pytest.raises(SolverError):
+            register_solver("cd", first_node_solver)
+
+    def test_invalid_name_or_callable(self):
+        with pytest.raises(SolverError):
+            register_solver("", first_node_solver)
+        with pytest.raises(SolverError):
+            register_solver("thing", "not callable")
+
+    def test_unregister_unknown(self):
+        with pytest.raises(SolverError):
+            unregister_solver("never-registered")
+
+    def test_custom_solver_feasibility_enforced(self, medium_problem, medium_hypergraph):
+        """A custom solver returning an infeasible configuration must fail
+        at the facade, not silently pass through."""
+
+        def overspender(problem, hypergraph, seed, options):
+            return Configuration(
+                [1.0] * problem.num_nodes
+            ), {}
+
+        register_solver("overspender", overspender)
+        try:
+            from repro.exceptions import BudgetError
+
+            with pytest.raises(BudgetError):
+                solve(medium_problem, "overspender", hypergraph=medium_hypergraph)
+        finally:
+            unregister_solver("overspender")

@@ -1,0 +1,127 @@
+"""Unit tests for the solver facade."""
+
+import numpy as np
+import pytest
+
+from repro.core.configuration import Configuration
+from repro.core.curves import ConcaveCurve
+from repro.core.population import CurvePopulation
+from repro.core.problem import CIMProblem
+from repro.core.solvers import available_methods, solve
+from repro.diffusion.independent_cascade import IndependentCascade
+from repro.exceptions import SolverError
+from repro.graphs.generators import erdos_renyi
+from repro.graphs.weights import assign_weighted_cascade
+
+
+class TestRegistry:
+    def test_available_methods(self):
+        methods = available_methods()
+        for expected in ("im", "ud", "cd", "cd-im", "uniform", "random", "degree"):
+            assert expected in methods
+
+    def test_unknown_method_rejected(self, medium_problem):
+        with pytest.raises(SolverError, match="unknown method"):
+            solve(medium_problem, "nope")
+
+
+class TestAllMethods:
+    @pytest.mark.parametrize("method", ["im", "ud", "cd", "cd-im", "uniform", "random", "degree"])
+    def test_feasible_output(self, method, medium_problem, medium_hypergraph):
+        result = solve(medium_problem, method, hypergraph=medium_hypergraph, seed=1)
+        assert result.configuration.is_feasible(medium_problem.budget)
+        assert len(result.configuration) == medium_problem.num_nodes
+        assert result.spread_estimate > 0.0
+        assert result.method == method
+
+    def test_im_integer_configuration(self, medium_problem, medium_hypergraph):
+        result = solve(medium_problem, "im", hypergraph=medium_hypergraph)
+        assert result.configuration.is_integer
+        assert len(result.configuration.seed_set()) == int(medium_problem.budget)
+
+    def test_ud_extras(self, medium_problem, medium_hypergraph):
+        result = solve(medium_problem, "ud", hypergraph=medium_hypergraph)
+        assert 0.0 < result.extras["best_discount"] <= 1.0
+        assert result.extras["targets"]
+
+    def test_cd_extras(self, medium_problem, medium_hypergraph):
+        result = solve(medium_problem, "cd", hypergraph=medium_hypergraph)
+        assert result.extras["warm_start"] == "ud"
+        assert result.extras["rounds_run"] >= 1
+
+    def test_paper_ordering(self, medium_problem, medium_hypergraph):
+        """The paper's headline: CD >= UD >= IM on the shared estimator."""
+        spreads = {
+            method: solve(medium_problem, method, hypergraph=medium_hypergraph, seed=2).spread_estimate
+            for method in ("im", "ud", "cd")
+        }
+        assert spreads["cd"] >= spreads["ud"] - 1e-6
+        assert spreads["ud"] >= spreads["im"] - 1e-6
+
+    def test_cd_im_no_worse_than_im(self, medium_problem, medium_hypergraph):
+        """Section 6: warm-starting CD from IM can only improve it."""
+        im = solve(medium_problem, "im", hypergraph=medium_hypergraph)
+        cd_im = solve(medium_problem, "cd-im", hypergraph=medium_hypergraph)
+        assert cd_im.spread_estimate >= im.spread_estimate - 1e-6
+
+    def test_cd_im_strictly_improves_on_sensitive_population(
+        self, medium_problem, medium_hypergraph
+    ):
+        """With discount-sensitive users, budget must flow out of the
+        integer seeds: cd-im's configuration cannot remain integer.
+
+        Regression guard: an integer start whose pair set is limited to its
+        own support is a fixed point (every support pair sits at (1, 1)),
+        so this test fails if cd-im stops adding zero coordinates.
+        """
+        im = solve(medium_problem, "im", hypergraph=medium_hypergraph)
+        cd_im = solve(medium_problem, "cd-im", hypergraph=medium_hypergraph)
+        assert not cd_im.configuration.is_integer
+        assert cd_im.spread_estimate > im.spread_estimate
+
+    def test_random_deterministic_with_seed(self, medium_problem, medium_hypergraph):
+        a = solve(medium_problem, "random", hypergraph=medium_hypergraph, seed=42)
+        b = solve(medium_problem, "random", hypergraph=medium_hypergraph, seed=42)
+        assert a.configuration == b.configuration
+
+    def test_uniform_configuration(self, medium_problem, medium_hypergraph):
+        result = solve(medium_problem, "uniform", hypergraph=medium_hypergraph)
+        expected = medium_problem.budget / medium_problem.num_nodes
+        assert np.allclose(result.configuration.discounts, expected)
+
+
+class TestHypergraphHandling:
+    def test_builds_hypergraph_when_missing(self, medium_problem):
+        result = solve(medium_problem, "im", num_hyperedges=500, seed=3)
+        assert "hypergraph" in result.timings.phases
+        assert result.extras["num_hyperedges"] == 500
+
+    def test_shared_hypergraph_not_rebuilt(self, medium_problem, medium_hypergraph):
+        result = solve(medium_problem, "im", hypergraph=medium_hypergraph)
+        assert "hypergraph" not in result.timings.phases
+        assert result.extras["num_hyperedges"] == medium_hypergraph.num_hyperedges
+
+    def test_method_phase_timed(self, medium_problem, medium_hypergraph):
+        result = solve(medium_problem, "cd", hypergraph=medium_hypergraph)
+        assert result.timings.phases["cd"] > 0.0
+
+
+class TestBudgetEdgeCases:
+    def test_fractional_budget_im_rejected(self):
+        graph = assign_weighted_cascade(erdos_renyi(30, 0.1, seed=4), alpha=1.0)
+        population = CurvePopulation.uniform(30, ConcaveCurve())
+        problem = CIMProblem(IndependentCascade(graph), population, budget=0.5)
+        with pytest.raises(SolverError):
+            solve(problem, "im", num_hyperedges=200, seed=5)
+
+    def test_fractional_budget_ud_works(self):
+        graph = assign_weighted_cascade(erdos_renyi(30, 0.1, seed=6), alpha=1.0)
+        population = CurvePopulation.uniform(30, ConcaveCurve())
+        problem = CIMProblem(IndependentCascade(graph), population, budget=0.5)
+        result = solve(problem, "ud", num_hyperedges=500, seed=7)
+        assert result.configuration.is_feasible(0.5)
+        assert result.configuration.cost > 0.0
+
+    def test_cost_property(self, medium_problem, medium_hypergraph):
+        result = solve(medium_problem, "im", hypergraph=medium_hypergraph)
+        assert result.cost == pytest.approx(result.configuration.cost)

@@ -1,0 +1,112 @@
+"""Unit tests for the Unified Discount algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.core.curves import ConcaveCurve
+from repro.core.population import CurvePopulation, paper_mixture
+from repro.core.problem import CIMProblem
+from repro.core.unified_discount import default_discount_grid, unified_discount
+from repro.diffusion.independent_cascade import IndependentCascade
+from repro.exceptions import SolverError
+from repro.graphs.generators import erdos_renyi, star_graph
+from repro.graphs.weights import assign_weighted_cascade
+
+
+@pytest.fixture
+def ud_setup():
+    graph = assign_weighted_cascade(erdos_renyi(80, 0.08, seed=1), alpha=1.0)
+    population = paper_mixture(80, seed=2)
+    problem = CIMProblem(IndependentCascade(graph), population, budget=4.0)
+    hypergraph = problem.build_hypergraph(num_hyperedges=5000, seed=3)
+    return problem, hypergraph
+
+
+class TestDiscountGrid:
+    def test_default_five_percent(self):
+        grid = default_discount_grid()
+        assert grid.size == 20
+        assert grid[0] == pytest.approx(0.05)
+        assert grid[-1] == pytest.approx(1.0)
+
+    def test_one_percent(self):
+        grid = default_discount_grid(0.01)
+        assert grid.size == 100
+
+    def test_invalid_step(self):
+        with pytest.raises(SolverError):
+            default_discount_grid(0.0)
+        with pytest.raises(SolverError):
+            default_discount_grid(1.5)
+
+
+class TestUnifiedDiscount:
+    def test_configuration_is_unified(self, ud_setup):
+        problem, hypergraph = ud_setup
+        result = unified_discount(problem, hypergraph)
+        support_values = result.configuration.discounts[result.configuration.support]
+        assert np.allclose(support_values, result.best_discount)
+
+    def test_budget_respected(self, ud_setup):
+        problem, hypergraph = ud_setup
+        result = unified_discount(problem, hypergraph)
+        assert result.configuration.is_feasible(problem.budget)
+
+    def test_target_count_matches_floor(self, ud_setup):
+        problem, hypergraph = ud_setup
+        result = unified_discount(problem, hypergraph)
+        k_max = int(np.floor(problem.budget / result.best_discount + 1e-9))
+        assert len(result.targets) <= k_max
+
+    def test_grid_trace_complete(self, ud_setup):
+        problem, hypergraph = ud_setup
+        result = unified_discount(problem, hypergraph, step=0.05)
+        assert len(result.grid) == 20  # every c affordable (k >= 1 at c = 1)
+        discounts = [point.discount for point in result.grid]
+        assert discounts == sorted(discounts)
+
+    def test_best_is_max_of_trace(self, ud_setup):
+        problem, hypergraph = ud_setup
+        result = unified_discount(problem, hypergraph)
+        best_point = max(result.grid, key=lambda p: p.spread_estimate)
+        assert result.spread_estimate == pytest.approx(best_point.spread_estimate)
+        assert result.best_discount == pytest.approx(best_point.discount)
+
+    def test_explicit_grid(self, ud_setup):
+        problem, hypergraph = ud_setup
+        result = unified_discount(problem, hypergraph, discount_grid=[0.5])
+        assert result.best_discount == pytest.approx(0.5)
+
+    def test_invalid_grid_values(self, ud_setup):
+        problem, hypergraph = ud_setup
+        with pytest.raises(SolverError):
+            unified_discount(problem, hypergraph, discount_grid=[0.0])
+        with pytest.raises(SolverError):
+            unified_discount(problem, hypergraph, discount_grid=[])
+
+    def test_fine_grid_no_worse(self, ud_setup):
+        """Table 3's premise: a finer grid can only improve the best value."""
+        problem, hypergraph = ud_setup
+        coarse = unified_discount(problem, hypergraph, step=0.05)
+        fine = unified_discount(problem, hypergraph, step=0.01)
+        assert fine.spread_estimate >= coarse.spread_estimate - 1e-9
+
+    def test_beats_free_products_with_sensitive_users(self):
+        """All-sensitive population: a partial unified discount must beat
+        the 100% (free product) column of the grid."""
+        graph = assign_weighted_cascade(erdos_renyi(60, 0.1, seed=4), alpha=1.0)
+        population = CurvePopulation.uniform(60, ConcaveCurve())
+        problem = CIMProblem(IndependentCascade(graph), population, budget=3.0)
+        hypergraph = problem.build_hypergraph(num_hyperedges=4000, seed=5)
+        result = unified_discount(problem, hypergraph)
+        full_price_point = next(p for p in result.grid if p.discount == pytest.approx(1.0))
+        assert result.spread_estimate > full_price_point.spread_estimate
+        assert result.best_discount < 1.0
+
+    def test_hub_targeted_on_star(self):
+        graph = star_graph(6, probability=0.9)
+        population = CurvePopulation.uniform(7, ConcaveCurve())
+        problem = CIMProblem(IndependentCascade(graph), population, budget=1.0)
+        hypergraph = problem.build_hypergraph(num_hyperedges=4000, seed=6)
+        result = unified_discount(problem, hypergraph)
+        assert 0 in result.targets

@@ -1,0 +1,126 @@
+"""Unit tests for the vectorized batch IC simulator.
+
+The batch engine is an independent implementation of IC (live-edge
+reachability with matrix ops vs per-cascade BFS), so agreement with the
+scalar simulator and the exact enumerator is strong evidence for both.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.exact import exact_spread_ic, exact_ui_ic
+from repro.diffusion.batch import (
+    batch_cascade_sizes_ic,
+    batch_configuration_spread_ic,
+    batch_spread_ic,
+)
+from repro.diffusion.independent_cascade import IndependentCascade
+from repro.diffusion.montecarlo import estimate_spread
+from repro.exceptions import EstimationError
+from repro.graphs.build import from_edges
+from repro.graphs.generators import erdos_renyi, isolated_nodes, path_graph, star_graph
+from repro.graphs.weights import assign_weighted_cascade
+
+
+class TestCorrectness:
+    def test_deterministic_chain(self):
+        g = path_graph(5, probability=1.0)
+        estimate = batch_spread_ic(g, [0], num_samples=50, seed=1)
+        assert estimate.mean == pytest.approx(5.0)
+        assert estimate.stddev == 0.0
+
+    def test_blocked_chain(self):
+        g = path_graph(5, probability=0.0)
+        estimate = batch_spread_ic(g, [0], num_samples=50, seed=2)
+        assert estimate.mean == pytest.approx(1.0)
+
+    def test_star_matches_exact(self):
+        g = star_graph(4, probability=0.1)
+        estimate = batch_spread_ic(g, [0], num_samples=40000, seed=3)
+        assert estimate.mean == pytest.approx(exact_spread_ic(g, [0]), abs=0.03)
+
+    def test_dag_matches_exact(self, small_dag):
+        estimate = batch_spread_ic(small_dag, [0], num_samples=40000, seed=4)
+        exact = exact_spread_ic(small_dag, [0])
+        assert estimate.mean == pytest.approx(exact, abs=4 * estimate.stderr + 1e-9)
+
+    def test_configuration_matches_exact(self, small_dag):
+        q = np.array([0.5, 0.1, 0.3, 0.0, 0.2, 0.4])
+        estimate = batch_configuration_spread_ic(small_dag, q, num_samples=40000, seed=5)
+        exact = exact_ui_ic(small_dag, q)
+        assert estimate.mean == pytest.approx(exact, abs=4 * estimate.stderr + 1e-9)
+
+    def test_agrees_with_scalar_engine(self):
+        g = assign_weighted_cascade(erdos_renyi(80, 0.08, seed=6), alpha=1.0)
+        seeds = [0, 1, 2]
+        batch = batch_spread_ic(g, seeds, num_samples=6000, seed=7)
+        scalar = estimate_spread(IndependentCascade(g), seeds, num_samples=6000, seed=8)
+        assert batch.mean == pytest.approx(scalar.mean, rel=0.08)
+
+    def test_isolated_nodes(self):
+        g = isolated_nodes(5)
+        estimate = batch_spread_ic(g, [0, 3], num_samples=20, seed=9)
+        assert estimate.mean == pytest.approx(2.0)
+
+    def test_cycle_reachability(self):
+        """Fixpoint iteration must close cycles, not just DAG layers."""
+        g = from_edges([(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)], num_nodes=3)
+        estimate = batch_spread_ic(g, [1], num_samples=20, seed=10)
+        assert estimate.mean == pytest.approx(3.0)
+
+
+class TestBatching:
+    def test_results_independent_of_batch_size(self):
+        """Distribution (not exact sample path) must match across batch
+        sizes: compare means with generous tolerance."""
+        g = assign_weighted_cascade(erdos_renyi(60, 0.1, seed=11), alpha=1.0)
+        small = batch_spread_ic(g, [0, 1], num_samples=4000, seed=12, batch_size=16)
+        large = batch_spread_ic(g, [0, 1], num_samples=4000, seed=12, batch_size=1024)
+        assert small.mean == pytest.approx(large.mean, rel=0.1)
+
+    def test_non_divisible_sample_count(self):
+        g = path_graph(4, probability=0.5)
+        sizes = batch_cascade_sizes_ic(
+            g, 101, np.random.default_rng(13), seeds=[0], batch_size=32
+        )
+        assert sizes.shape == (101,)
+
+    def test_deterministic_with_seed(self):
+        g = assign_weighted_cascade(erdos_renyi(50, 0.1, seed=14), alpha=1.0)
+        a = batch_spread_ic(g, [0], num_samples=500, seed=15)
+        b = batch_spread_ic(g, [0], num_samples=500, seed=15)
+        assert a.mean == b.mean
+
+
+class TestValidation:
+    def test_exactly_one_seed_source(self):
+        g = path_graph(3)
+        rng = np.random.default_rng(16)
+        with pytest.raises(EstimationError):
+            batch_cascade_sizes_ic(g, 10, rng)
+        with pytest.raises(EstimationError):
+            batch_cascade_sizes_ic(
+                g, 10, rng, seeds=[0], seed_probabilities=np.zeros(3)
+            )
+
+    def test_invalid_sample_count(self):
+        g = path_graph(3)
+        with pytest.raises(EstimationError):
+            batch_spread_ic(g, [0], num_samples=0)
+
+    def test_invalid_batch_size(self):
+        g = path_graph(3)
+        with pytest.raises(EstimationError):
+            batch_spread_ic(g, [0], num_samples=10, batch_size=0)
+
+    def test_seed_out_of_range(self):
+        g = path_graph(3)
+        with pytest.raises(EstimationError):
+            batch_spread_ic(g, [7], num_samples=10)
+
+    def test_bad_probability_vector(self):
+        g = path_graph(3)
+        with pytest.raises(EstimationError):
+            batch_configuration_spread_ic(g, np.array([0.5, 1.5, 0.0]), num_samples=10)
+        with pytest.raises(EstimationError):
+            batch_configuration_spread_ic(g, np.zeros(5), num_samples=10)

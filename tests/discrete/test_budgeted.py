@@ -1,0 +1,97 @@
+"""Unit tests for budgeted influence maximization."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion.independent_cascade import IndependentCascade
+from repro.discrete.budgeted import budgeted_max_coverage
+from repro.exceptions import SolverError
+from repro.graphs.generators import erdos_renyi
+from repro.graphs.weights import assign_weighted_cascade
+from repro.rrset.hypergraph import RRHypergraph
+
+
+def toy_hypergraph():
+    """Node 0 covers 4 edges; nodes 1 and 2 cover 3 each (disjoint)."""
+    return RRHypergraph(
+        3,
+        [
+            np.array([0]),
+            np.array([0]),
+            np.array([0]),
+            np.array([0]),
+            np.array([1]),
+            np.array([1]),
+            np.array([1]),
+            np.array([2]),
+            np.array([2]),
+            np.array([2]),
+        ],
+    )
+
+
+class TestBudgetedMaxCoverage:
+    def test_ratio_greedy_vs_single_best(self):
+        """The classic trap: a big node priced at the whole budget vs
+        cheap small nodes.  Greedy-by-ratio takes the cheap ones; the
+        single-best check must win when it covers more."""
+        hg = toy_hypergraph()
+        # Node 0 covers 4 at cost 10; nodes 1+2 cover 6 at cost 5+5.
+        result = budgeted_max_coverage(hg, costs=[10.0, 5.0, 5.0], budget=10.0)
+        assert sorted(result.seeds) == [1, 2]
+        assert result.covered == 6.0
+        assert not result.picked_single_best
+
+    def test_single_best_wins_when_it_covers_more(self):
+        # Cheap nodes have the better gain/cost ratio (1/0.9 > 10/10), so
+        # ratio-greedy grabs them first and can no longer afford node 0 —
+        # the single-best check must rescue the solution.
+        hg2 = RRHypergraph(
+            3, [np.array([0])] * 10 + [np.array([1]), np.array([2])]
+        )
+        result = budgeted_max_coverage(hg2, costs=[10.0, 0.9, 0.9], budget=10.0)
+        assert result.seeds == [0]
+        assert result.picked_single_best
+
+    def test_budget_respected(self):
+        hg = toy_hypergraph()
+        result = budgeted_max_coverage(hg, costs=[4.0, 3.0, 3.0], budget=6.5)
+        assert result.total_cost <= 6.5 + 1e-9
+
+    def test_unaffordable_nodes_skipped(self):
+        hg = toy_hypergraph()
+        result = budgeted_max_coverage(hg, costs=[100.0, 1.0, 1.0], budget=2.0)
+        assert 0 not in result.seeds
+        assert sorted(result.seeds) == [1, 2]
+
+    def test_uniform_costs_reduce_to_cardinality_greedy(self):
+        """With unit costs and budget k, the result matches k-max-coverage."""
+        from repro.rrset.coverage import max_coverage
+
+        g = assign_weighted_cascade(erdos_renyi(50, 0.1, seed=1), alpha=1.0)
+        hg = RRHypergraph.build(IndependentCascade(g), 2000, seed=2)
+        budgeted = budgeted_max_coverage(hg, costs=np.ones(50), budget=4.0)
+        plain = max_coverage(hg, 4)
+        assert set(budgeted.seeds) == set(plain.seeds)
+
+    def test_spread_estimate_scaling(self):
+        hg = toy_hypergraph()
+        result = budgeted_max_coverage(hg, costs=[1.0, 1.0, 1.0], budget=3.0)
+        assert result.spread_estimate == pytest.approx(
+            hg.num_nodes * result.covered / hg.num_hyperedges
+        )
+
+    def test_invalid_inputs(self):
+        hg = toy_hypergraph()
+        with pytest.raises(SolverError):
+            budgeted_max_coverage(hg, costs=[1.0, 1.0], budget=1.0)
+        with pytest.raises(SolverError):
+            budgeted_max_coverage(hg, costs=[0.0, 1.0, 1.0], budget=1.0)
+        with pytest.raises(SolverError):
+            budgeted_max_coverage(hg, costs=[1.0, 1.0, 1.0], budget=0.0)
+
+    def test_nothing_affordable(self):
+        hg = toy_hypergraph()
+        result = budgeted_max_coverage(hg, costs=[5.0, 5.0, 5.0], budget=1.0)
+        assert result.seeds == []
+        assert result.covered == 0.0

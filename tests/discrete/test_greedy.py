@@ -1,0 +1,62 @@
+"""Unit tests for Monte-Carlo CELF greedy."""
+
+import pytest
+
+from repro.diffusion.independent_cascade import IndependentCascade
+from repro.discrete.greedy import celf_greedy
+from repro.exceptions import SolverError
+from repro.graphs.build import from_edges
+from repro.graphs.generators import erdos_renyi, star_graph
+from repro.graphs.weights import assign_weighted_cascade
+
+
+class TestCelfGreedy:
+    def test_hub_first_on_star(self):
+        g = star_graph(5, probability=0.8)
+        ic = IndependentCascade(g)
+        seeds = celf_greedy(ic, 2, num_samples=300, seed=1)
+        assert seeds[0] == 0
+
+    def test_k_clamped_to_n(self):
+        ic = IndependentCascade(star_graph(2))
+        seeds = celf_greedy(ic, 10, num_samples=50, seed=2)
+        assert len(seeds) == 3
+
+    def test_no_duplicates(self):
+        g = assign_weighted_cascade(erdos_renyi(30, 0.15, seed=3), alpha=1.0)
+        ic = IndependentCascade(g)
+        seeds = celf_greedy(ic, 6, num_samples=100, seed=4)
+        assert len(seeds) == len(set(seeds))
+
+    def test_negative_k_rejected(self):
+        ic = IndependentCascade(star_graph(3))
+        with pytest.raises(SolverError):
+            celf_greedy(ic, -2)
+
+    def test_k_zero(self):
+        ic = IndependentCascade(star_graph(3))
+        assert celf_greedy(ic, 0) == []
+
+    def test_deterministic_chain_selection(self):
+        """On 0 -> 1 -> 2 (p = 1) the first pick must be node 0."""
+        g = from_edges([(0, 1, 1.0), (1, 2, 1.0)], num_nodes=3)
+        ic = IndependentCascade(g)
+        seeds = celf_greedy(ic, 1, num_samples=30, seed=5)
+        assert seeds == [0]
+
+    def test_agrees_with_ris_on_clear_instance(self):
+        """Both discrete-IM implementations should find the same seeds when
+        the optimum is unambiguous (two disconnected stars)."""
+        from repro.discrete.ris import ris_influence_maximization
+        from repro.graphs.build import GraphBuilder
+
+        builder = GraphBuilder(num_nodes=10, default_probability=0.9)
+        for leaf in range(1, 5):
+            builder.add_edge(0, leaf)
+        for leaf in range(6, 10):
+            builder.add_edge(5, leaf)
+        g = builder.build()
+        ic = IndependentCascade(g)
+        greedy = set(celf_greedy(ic, 2, num_samples=400, seed=6))
+        ris = set(ris_influence_maximization(ic, 2, num_hyperedges=4000, seed=7).seeds)
+        assert greedy == ris == {0, 5}

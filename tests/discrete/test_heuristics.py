@@ -1,0 +1,93 @@
+"""Unit tests for seeding heuristics."""
+
+import numpy as np
+import pytest
+
+from repro.discrete.heuristics import (
+    degree_seeds,
+    pagerank_scores,
+    pagerank_seeds,
+    random_seeds,
+)
+from repro.exceptions import SolverError
+from repro.graphs.build import from_edges
+from repro.graphs.generators import cycle_graph, erdos_renyi, star_graph
+
+
+class TestDegreeSeeds:
+    def test_highest_degree_first(self):
+        g = star_graph(5)
+        assert degree_seeds(g, 1) == [0]
+
+    def test_ties_broken_by_id(self):
+        g = from_edges([(0, 1), (2, 3)], num_nodes=4)
+        assert degree_seeds(g, 2) == [0, 2]
+
+    def test_k_clamped(self):
+        g = star_graph(2)
+        assert len(degree_seeds(g, 100)) == 3
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(SolverError):
+            degree_seeds(star_graph(2), -1)
+
+
+class TestRandomSeeds:
+    def test_distinct(self):
+        g = erdos_renyi(30, 0.1, seed=1)
+        seeds = random_seeds(g, 10, seed=2)
+        assert len(set(seeds)) == 10
+
+    def test_deterministic(self):
+        g = erdos_renyi(30, 0.1, seed=1)
+        assert random_seeds(g, 5, seed=3) == random_seeds(g, 5, seed=3)
+
+    def test_in_range(self):
+        g = erdos_renyi(20, 0.1, seed=4)
+        assert all(0 <= s < 20 for s in random_seeds(g, 5, seed=5))
+
+
+class TestPagerank:
+    def test_scores_sum_to_one(self):
+        g = erdos_renyi(40, 0.1, seed=6)
+        scores = pagerank_scores(g)
+        assert scores.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_uniform_on_cycle(self):
+        g = cycle_graph(6)
+        scores = pagerank_scores(g)
+        assert np.allclose(scores, 1 / 6, atol=1e-8)
+
+    def test_hub_receives_rank_on_in_star(self):
+        g = star_graph(5, center_out=False)  # leaves point at the hub
+        seeds = pagerank_seeds(g, 1)
+        assert seeds == [0]
+
+    def test_dangling_nodes_handled(self):
+        g = from_edges([(0, 1)], num_nodes=3)  # nodes 1, 2 dangle
+        scores = pagerank_scores(g)
+        assert scores.sum() == pytest.approx(1.0, abs=1e-6)
+        assert np.all(scores > 0)
+
+    def test_invalid_damping(self):
+        g = cycle_graph(3)
+        with pytest.raises(SolverError):
+            pagerank_scores(g, damping=1.0)
+
+    def test_empty_graph(self):
+        from repro.graphs.generators import isolated_nodes
+
+        scores = pagerank_scores(isolated_nodes(0))
+        assert scores.size == 0
+
+    def test_matches_networkx(self):
+        """Cross-validate against networkx's PageRank."""
+        networkx = pytest.importorskip("networkx")
+        g = erdos_renyi(50, 0.1, seed=7)
+        ours = pagerank_scores(g, damping=0.85)
+        nx_graph = networkx.DiGraph()
+        nx_graph.add_nodes_from(range(50))
+        nx_graph.add_edges_from((u, v) for u, v, _ in g.edges())
+        theirs = networkx.pagerank(nx_graph, alpha=0.85, tol=1e-12)
+        theirs_arr = np.array([theirs[i] for i in range(50)])
+        assert np.allclose(ours, theirs_arr, atol=1e-6)

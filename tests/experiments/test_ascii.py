@@ -1,0 +1,89 @@
+"""Unit tests for ASCII chart rendering."""
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.experiments.ascii import bar_chart, multi_series_chart, sparkline
+
+
+class TestSparkline:
+    def test_shape_follows_values(self):
+        line = sparkline([1, 2, 3, 2, 1])
+        assert line == "▁▅█▅▁"
+
+    def test_constant_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_length_matches_input(self):
+        assert len(sparkline(range(17))) == 17
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            sparkline([])
+
+    def test_extremes_use_extreme_glyphs(self):
+        line = sparkline([0, 10])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+
+class TestBarChart:
+    def test_labels_and_values_present(self):
+        chart = bar_chart([("im", 10.0), ("cd", 20.0)])
+        assert "im" in chart and "cd" in chart
+        assert "10" in chart and "20" in chart
+
+    def test_longest_bar_for_peak(self):
+        chart = bar_chart([("a", 1.0), ("b", 2.0)], width=10)
+        lines = chart.splitlines()
+        assert lines[1].count("█") == 10
+        assert lines[0].count("█") == 5
+
+    def test_zero_values(self):
+        chart = bar_chart([("a", 0.0), ("b", 0.0)])
+        assert "█" not in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            bar_chart([])
+
+
+class TestMultiSeriesChart:
+    def test_renders_all_series_markers(self):
+        chart = multi_series_chart(
+            [1, 2, 3],
+            {"im": [10, 20, 30], "ud": [12, 22, 33], "cd": [13, 23, 35]},
+        )
+        assert "i=im" in chart and "u=ud" in chart and "c=cd" in chart
+        body = chart.rsplit("\n", 1)[0]
+        assert "i" in body and "u" in body and "c" in body
+
+    def test_marker_collision_resolved(self):
+        chart = multi_series_chart([1, 2], {"cd": [1, 2], "cd2": [2, 3]})
+        footer = chart.rsplit("\n", 1)[1]
+        assert "c=cd" in footer
+        assert "C=cd2" in footer
+
+    def test_footer_reports_ranges(self):
+        chart = multi_series_chart([0, 10], {"s": [5.0, 25.0]})
+        assert "x: 0..10" in chart
+        assert "y: 5.0..25.0" in chart
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ReproError):
+            multi_series_chart([1, 2], {"s": [1, 2, 3]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            multi_series_chart([1], {})
+        with pytest.raises(ReproError):
+            multi_series_chart([], {"s": []})
+
+    def test_higher_values_plot_higher(self):
+        chart = multi_series_chart([1, 2], {"s": [0.0, 100.0]}, height=5, width=11)
+        lines = chart.splitlines()[:-1]
+        top_row = next(i for i, line in enumerate(lines) if "s" in line)
+        bottom_row = max(i for i, line in enumerate(lines) if "s" in line)
+        # The larger value (x=2, right column) must sit above the smaller.
+        assert lines[top_row].rstrip().endswith("s")
+        assert lines[bottom_row].lstrip().startswith("s")

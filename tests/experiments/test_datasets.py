@@ -1,0 +1,69 @@
+"""Unit tests for the Table-2 dataset layer."""
+
+import pytest
+
+from repro.experiments.datasets import DATASETS, load_dataset, table2_rows
+
+
+class TestSpecs:
+    def test_all_four_datasets_present(self):
+        assert set(DATASETS) == {
+            "wiki-vote",
+            "ca-astroph",
+            "com-dblp",
+            "com-livejournal",
+        }
+
+    def test_published_stats_match_table2(self):
+        wiki = DATASETS["wiki-vote"]
+        assert wiki.paper_num_nodes == 7115
+        assert wiki.paper_num_edges == 103689
+        lj = DATASETS["com-livejournal"]
+        assert lj.paper_num_nodes == 3997962
+        assert lj.paper_num_edges == 69362378
+
+    def test_directedness(self):
+        assert DATASETS["wiki-vote"].directed
+        assert not DATASETS["ca-astroph"].directed
+
+
+class TestLoad:
+    def test_load_applies_weighted_cascade(self):
+        graph, spec = load_dataset("wiki-vote", scale=0.02, alpha=0.7)
+        assert spec.name == "wiki-vote"
+        # Every probability must be alpha / in_degree <= alpha.
+        assert graph.out_probs.max() <= 0.7 + 1e-12
+        assert graph.out_probs.min() > 0.0
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load_dataset("facebook")
+
+    def test_deterministic(self):
+        a, _ = load_dataset("wiki-vote", scale=0.02, seed=1)
+        b, _ = load_dataset("wiki-vote", scale=0.02, seed=1)
+        assert a == b
+
+    def test_scale_controls_size(self):
+        small, _ = load_dataset("wiki-vote", scale=0.02)
+        large, _ = load_dataset("wiki-vote", scale=0.05)
+        assert large.num_nodes > small.num_nodes
+
+
+class TestTable2:
+    def test_rows_complete(self):
+        rows = table2_rows(scale=0.01)
+        assert len(rows) == 4
+        for row in rows:
+            assert row["analogue_n"] > 0
+            assert row["analogue_m"] > 0
+            assert row["analogue_mh"] > row["analogue_n"]
+
+    def test_degree_shape_preserved(self):
+        """Analogue average degree within 2x of the published value."""
+        rows = table2_rows(scale=0.02)
+        for row in rows:
+            if row["network"] == "com-livejournal":
+                continue  # skipped at tiny scales; covered in benchmarks
+            ratio = row["analogue_avg_degree"] / row["paper_avg_degree"]
+            assert 0.5 < ratio < 2.0, row["network"]

@@ -1,0 +1,86 @@
+"""Unit tests for figure-regeneration functions (small scales)."""
+
+import math
+
+import pytest
+
+from repro.experiments.figures import (
+    figure3_influence_spread,
+    figure4_approximation_bound,
+    figure5_spread_vs_discount,
+    figure6_running_time,
+)
+
+SMALL = dict(scale=0.01, num_hyperedges=1500, seed=11)
+
+
+class TestFigure3:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return figure3_influence_spread(
+            budgets=(3, 6), evaluation_samples=300, **SMALL
+        )
+
+    def test_grid_complete(self, rows):
+        assert len(rows) == 2 * 3  # budgets x methods
+        assert {r.method for r in rows} == {"im", "ud", "cd"}
+
+    def test_spread_grows_with_budget(self, rows):
+        for method in ("im", "ud", "cd"):
+            by_budget = sorted(
+                (r for r in rows if r.method == method), key=lambda r: r.budget
+            )
+            assert by_budget[-1].spread_mean >= by_budget[0].spread_mean * 0.9
+
+    def test_cim_beats_im(self, rows):
+        """The figure's message: UD/CD above IM at every budget."""
+        for budget in (3, 6):
+            cell = {r.method: r for r in rows if r.budget == budget}
+            assert cell["cd"].spread_mean >= cell["im"].spread_mean * 0.95
+
+    def test_std_reported(self, rows):
+        assert all(r.spread_std > 0 for r in rows)
+
+
+class TestFigure4:
+    def test_bounds_in_range(self):
+        bounds = figure4_approximation_bound(budgets=(3, 6), **SMALL)
+        for bound in bounds.values():
+            assert 0.0 <= bound < 1 - 1 / math.e
+
+
+class TestFigure5:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return figure5_spread_vs_discount(budget=6, step=0.1, **SMALL)
+
+    def test_grid_covers_discounts(self, rows):
+        assert len(rows) == 10
+        assert rows[0]["discount"] == pytest.approx(0.1)
+        assert rows[-1]["discount"] == pytest.approx(1.0)
+
+    def test_target_counts_decrease(self, rows):
+        counts = [r["num_targets"] for r in rows]
+        assert all(a >= b for a, b in zip(counts, counts[1:]))
+
+    def test_spread_varies_with_discount(self, rows):
+        """Figure 5's message: the choice of c matters."""
+        spreads = [r["spread"] for r in rows]
+        assert max(spreads) > min(spreads) * 1.05
+
+
+class TestFigure6:
+    def test_rows_and_decomposition(self):
+        rows = figure6_running_time(budgets=(3,), **SMALL)
+        assert len(rows) == 3
+        for row in rows:
+            assert row["total_ms"] == pytest.approx(
+                row["hypergraph_ms"] + row["method_ms"]
+            )
+            assert row["hypergraph_ms"] > 0.0
+
+    def test_cd_slower_than_im(self):
+        """CD includes UD plus descent: its solver phase dominates IM's."""
+        rows = figure6_running_time(budgets=(3,), **SMALL)
+        by_method = {r["method"]: r for r in rows}
+        assert by_method["cd"]["method_ms"] >= by_method["im"]["method_ms"]

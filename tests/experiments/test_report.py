@@ -1,0 +1,58 @@
+"""Unit tests for the one-call experiment report."""
+
+import pytest
+
+from repro.experiments.report import generate_full_report
+from repro.io.records import read_records_csv
+
+
+@pytest.fixture(scope="module")
+def report(tmp_path_factory):
+    output = tmp_path_factory.mktemp("report")
+    written = generate_full_report(
+        output,
+        scale=0.01,
+        budgets=(3,),
+        alphas=(1.0,),
+        figure5_budget=3,
+        num_hyperedges=800,
+        evaluation_samples=100,
+        seed=5,
+    )
+    return output, written
+
+
+class TestGenerateFullReport:
+    def test_all_exhibits_written(self, report):
+        _, written = report
+        expected = {
+            "table2_datasets",
+            "figure3_influence_spread",
+            "figure4_approximation_bound",
+            "figure5_spread_vs_discount",
+            "figure6_running_time",
+            "table3_search_step",
+            "table4_sensitivity",
+            "manifest",
+        }
+        assert set(written) == expected
+        for path in written.values():
+            assert path.exists()
+
+    def test_figure3_csv_readable(self, report):
+        _, written = report
+        rows = read_records_csv(written["figure3_influence_spread"])
+        assert {row["method"] for row in rows} == {"im", "ud", "cd"}
+        assert all(row["spread_mean"] > 0 for row in rows)
+
+    def test_manifest_lists_files(self, report):
+        output, written = report
+        text = written["manifest"].read_text()
+        assert "figure5_spread_vs_discount" in text
+        assert "seed: 5" in text
+
+    def test_figure4_csv(self, report):
+        _, written = report
+        rows = read_records_csv(written["figure4_approximation_bound"])
+        assert rows[0]["budget"] == 3
+        assert 0 <= rows[0]["bound"] < 0.64

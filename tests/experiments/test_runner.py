@@ -1,0 +1,89 @@
+"""Unit tests for the experiment runner."""
+
+import pytest
+
+from repro.experiments.runner import build_problem, run_methods
+
+
+@pytest.fixture(scope="module")
+def tiny_problem():
+    return build_problem("wiki-vote", budget=3.0, alpha=1.0, scale=0.01, seed=1)
+
+
+class TestBuildProblem:
+    def test_problem_shape(self, tiny_problem):
+        assert tiny_problem.budget == 3.0
+        assert tiny_problem.num_nodes == tiny_problem.population.num_nodes
+
+    def test_mixture_fractions_forwarded(self):
+        problem = build_problem(
+            "wiki-vote",
+            budget=3.0,
+            scale=0.01,
+            sensitive_fraction=0.65,
+            linear_fraction=0.20,
+            insensitive_fraction=0.15,
+            seed=2,
+        )
+        counts = problem.population.curve_counts()
+        n = problem.num_nodes
+        assert counts["concave"] == pytest.approx(0.65 * n, abs=1)
+
+    def test_alpha_forwarded(self):
+        low = build_problem("wiki-vote", budget=3.0, alpha=0.7, scale=0.01, seed=3)
+        high = build_problem("wiki-vote", budget=3.0, alpha=1.0, scale=0.01, seed=3)
+        assert low.graph.out_probs.max() < high.graph.out_probs.max()
+
+
+class TestRunMethods:
+    def test_records_per_method(self, tiny_problem):
+        results = run_methods(
+            tiny_problem,
+            ("im", "ud"),
+            num_hyperedges=1000,
+            evaluation_samples=200,
+            seed=4,
+        )
+        assert [r.method for r in results] == ["im", "ud"]
+        for result in results:
+            assert result.spread_mean > 0
+            assert result.spread_std >= 0
+            assert result.hypergraph_estimate > 0
+            assert result.budget == 3.0
+
+    def test_hypergraph_built_once(self, tiny_problem):
+        results = run_methods(
+            tiny_problem,
+            ("im", "ud", "cd"),
+            num_hyperedges=1000,
+            evaluation_samples=50,
+            seed=5,
+        )
+        # All methods share the one build, so they report identical build time.
+        build_times = {r.hypergraph_ms for r in results}
+        assert len(build_times) == 1
+
+    def test_supplied_hypergraph_skips_build(self, tiny_problem):
+        hg = tiny_problem.build_hypergraph(num_hyperedges=500, seed=6)
+        results = run_methods(
+            tiny_problem, ("im",), hypergraph=hg, evaluation_samples=50, seed=7
+        )
+        assert results[0].hypergraph_ms == 0.0
+
+    def test_total_ms(self, tiny_problem):
+        results = run_methods(
+            tiny_problem, ("im",), num_hyperedges=500, evaluation_samples=50, seed=8
+        )
+        r = results[0]
+        assert r.total_ms == pytest.approx(r.hypergraph_ms + r.method_ms)
+
+    def test_solver_options_forwarded(self, tiny_problem):
+        results = run_methods(
+            tiny_problem,
+            ("ud",),
+            num_hyperedges=500,
+            evaluation_samples=50,
+            seed=9,
+            solver_options={"ud": {"discount_grid": [0.5]}},
+        )
+        assert results[0].extras["best_discount"] == pytest.approx(0.5)

@@ -1,0 +1,61 @@
+"""Unit tests for the scaling-study harness (tiny scales)."""
+
+import pytest
+
+from repro.experiments.scaling import scaling_study
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return scaling_study(
+        scales=(0.01, 0.02),
+        budget=3.0,
+        num_hyperedges=600,
+        seed=3,
+    )
+
+
+class TestScalingStudy:
+    def test_row_per_scale(self, rows):
+        assert len(rows) == 2
+        assert rows[0].scale == 0.01
+        assert rows[1].scale == 0.02
+
+    def test_sizes_grow(self, rows):
+        assert rows[1].num_nodes > rows[0].num_nodes
+        assert rows[1].num_edges > rows[0].num_edges
+
+    def test_fixed_theta_respected(self, rows):
+        assert all(row.theta == 600 for row in rows)
+
+    def test_all_timings_positive(self, rows):
+        for row in rows:
+            assert row.build_ms > 0
+            assert row.im_ms > 0
+            assert row.ud_ms > 0
+            assert row.cd_ms > 0
+
+    def test_derived_quantities(self, rows):
+        for row in rows:
+            assert row.cd_total_ms == pytest.approx(
+                row.build_ms + row.ud_ms + row.cd_ms
+            )
+            assert row.im_total_ms == pytest.approx(row.build_ms + row.im_ms)
+            assert row.cd_over_im == pytest.approx(row.cd_total_ms / row.im_total_ms)
+            assert 0.0 < row.build_share_of_cd < 1.0
+
+    def test_cyclic_strategy_slower_or_equal(self):
+        gradient = scaling_study(
+            scales=(0.02,), budget=3.0, num_hyperedges=600, seed=4,
+            pair_strategy="gradient",
+        )[0]
+        cyclic = scaling_study(
+            scales=(0.02,), budget=3.0, num_hyperedges=600, seed=4,
+            pair_strategy="cyclic",
+        )[0]
+        # Cyclic visits O(k^2) pairs per round vs O(k): more work.
+        assert cyclic.cd_ms >= gradient.cd_ms * 0.8
+
+    def test_verbose_prints(self, capsys):
+        scaling_study(scales=(0.01,), budget=3.0, num_hyperedges=300, seed=5, verbose=True)
+        assert "scale=" in capsys.readouterr().out

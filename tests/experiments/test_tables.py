@@ -1,0 +1,59 @@
+"""Unit tests for table-regeneration functions (small scales)."""
+
+import pytest
+
+from repro.experiments.tables import TABLE4_MIXTURES, table3_search_step, table4_sensitivity
+
+SMALL = dict(scale=0.01, num_hyperedges=1500, seed=13)
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return table3_search_step(budgets=(3, 6), **SMALL)
+
+    def test_rows_complete(self, rows):
+        assert len(rows) == 2
+        for row in rows:
+            assert row["spread_step_1pct"] > 0
+            assert row["spread_step_5pct"] > 0
+
+    def test_fine_grid_no_worse(self, rows):
+        for row in rows:
+            assert row["spread_step_1pct"] >= row["spread_step_5pct"] - 1e-9
+
+    def test_reduction_is_tiny(self, rows):
+        """The paper's Table-3 message: the 5% step loses very little."""
+        for row in rows:
+            assert row["reduction_pct"] < 5.0
+
+    def test_best_discounts_recorded(self, rows):
+        for row in rows:
+            assert 0.0 < row["best_c_1pct"] <= 1.0
+            assert 0.0 < row["best_c_5pct"] <= 1.0
+
+
+class TestTable4:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return table4_sensitivity(budget=6, **SMALL)
+
+    def test_paper_mixtures(self):
+        assert TABLE4_MIXTURES[0] == (0.85, 0.10, 0.05)
+        assert TABLE4_MIXTURES[1] == (0.75, 0.15, 0.10)
+        assert TABLE4_MIXTURES[2] == (0.65, 0.20, 0.15)
+
+    def test_rows_complete(self, rows):
+        assert len(rows) == 3
+        for row in rows:
+            assert row["ud_spread"] > 0
+            assert row["cd_spread"] > 0
+
+    def test_cd_at_least_ud(self, rows):
+        for row in rows:
+            assert row["cd_spread"] >= row["ud_spread"] - 1e-6
+
+    def test_spread_changes_only_slightly(self, rows):
+        """Table 4's message: fewer sensitive users changes spread mildly."""
+        cd = [row["cd_spread"] for row in rows]
+        assert min(cd) > 0.6 * max(cd)

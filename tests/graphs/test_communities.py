@@ -1,0 +1,92 @@
+"""Unit tests for label-propagation community detection."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs.build import GraphBuilder
+from repro.graphs.communities import label_propagation_communities
+from repro.graphs.generators import complete_graph, isolated_nodes
+
+
+def two_cliques(size=6, bridge=True):
+    """Two dense cliques, optionally joined by a single bridge edge."""
+    builder = GraphBuilder(num_nodes=2 * size)
+    for block in range(2):
+        offset = block * size
+        for u in range(size):
+            for v in range(u + 1, size):
+                builder.add_undirected_edge(offset + u, offset + v)
+    if bridge:
+        builder.add_undirected_edge(size - 1, size)
+    return builder.build()
+
+
+class TestLabelPropagation:
+    def test_partition_covers_all_nodes(self):
+        g = two_cliques()
+        communities = label_propagation_communities(g, seed=1)
+        all_nodes = np.concatenate(communities)
+        assert sorted(all_nodes.tolist()) == list(range(g.num_nodes))
+
+    def test_partition_is_disjoint(self):
+        g = two_cliques()
+        communities = label_propagation_communities(g, seed=2)
+        all_nodes = np.concatenate(communities)
+        assert len(all_nodes) == len(set(all_nodes.tolist()))
+
+    def test_two_cliques_found(self):
+        g = two_cliques(size=8)
+        communities = label_propagation_communities(g, seed=3)
+        sizes = sorted(c.size for c in communities)
+        # The bridge should not merge the cliques.
+        assert sizes == [8, 8]
+        first = set(communities[0].tolist())
+        assert first == set(range(8)) or first == set(range(8, 16))
+
+    def test_single_clique_one_community(self):
+        g = complete_graph(7)
+        communities = label_propagation_communities(g, seed=4)
+        assert len(communities) == 1
+        assert communities[0].size == 7
+
+    def test_isolated_nodes_singletons(self):
+        g = isolated_nodes(4)
+        communities = label_propagation_communities(g, seed=5)
+        assert len(communities) == 4
+
+    def test_min_size_merging(self):
+        g = isolated_nodes(5)
+        communities = label_propagation_communities(g, seed=6, min_size=2)
+        # All singletons fall below min_size and merge into one remainder.
+        assert len(communities) == 1
+        assert communities[0].size == 5
+
+    def test_sorted_by_size(self):
+        g = two_cliques(size=5)
+        communities = label_propagation_communities(g, seed=7)
+        sizes = [c.size for c in communities]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_invalid_iterations(self):
+        with pytest.raises(GraphError):
+            label_propagation_communities(isolated_nodes(2), max_iterations=0)
+
+    def test_feeds_group_persuasion(self):
+        """End-to-end: communities as target groups for the baseline."""
+        from repro.diffusion.independent_cascade import IndependentCascade
+        from repro.discrete.group_persuasion import group_persuasion
+        from repro.graphs.weights import assign_weighted_cascade
+        from repro.rrset.hypergraph import RRHypergraph
+
+        g = assign_weighted_cascade(two_cliques(size=8), alpha=1.0)
+        communities = label_propagation_communities(g, seed=8)
+        hypergraph = RRHypergraph.build(IndependentCascade(g), 2000, seed=9)
+        result = group_persuasion(
+            hypergraph,
+            [c.tolist() for c in communities],
+            np.full(g.num_nodes, 0.5),
+            budget=8.0,
+        )
+        assert len(result.groups) == 1  # exactly one clique affordable
+        assert result.spread_estimate > 0

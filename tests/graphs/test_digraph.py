@@ -1,0 +1,169 @@
+"""Unit tests for the CSR DiGraph."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError, NodeNotFoundError
+from repro.graphs.build import from_edges
+from repro.graphs.digraph import DiGraph
+
+
+class TestConstruction:
+    def test_basic_counts(self):
+        g = from_edges([(0, 1), (1, 2), (2, 0)], num_nodes=3)
+        assert g.num_nodes == 3
+        assert g.num_edges == 3
+        assert len(g) == 3
+
+    def test_empty_graph(self):
+        g = from_edges([], num_nodes=0)
+        assert g.num_nodes == 0
+        assert g.num_edges == 0
+
+    def test_nodes_without_edges(self):
+        g = from_edges([(0, 1)], num_nodes=5)
+        assert g.num_nodes == 5
+        assert g.out_degree(4) == 0
+        assert g.in_degree(4) == 0
+
+    def test_invalid_offsets_rejected(self):
+        with pytest.raises(GraphError):
+            DiGraph(2, np.array([0, 2]), np.array([1, 0]), np.array([0.5, 0.5]))
+
+    def test_decreasing_offsets_rejected(self):
+        with pytest.raises(GraphError):
+            DiGraph(2, np.array([0, 2, 1]), np.array([1, 0]), np.array([0.5, 0.5]))
+
+    def test_target_out_of_range_rejected(self):
+        with pytest.raises(GraphError):
+            DiGraph(2, np.array([0, 1, 1]), np.array([5]), np.array([0.5]))
+
+    def test_probability_out_of_range_rejected(self):
+        with pytest.raises(GraphError):
+            DiGraph(2, np.array([0, 1, 1]), np.array([1]), np.array([1.5]))
+
+    def test_nan_probability_rejected(self):
+        with pytest.raises(GraphError):
+            DiGraph(2, np.array([0, 1, 1]), np.array([1]), np.array([np.nan]))
+
+    def test_negative_num_nodes_rejected(self):
+        with pytest.raises(GraphError):
+            DiGraph(-1, np.array([0]), np.array([], dtype=np.int32), np.array([]))
+
+
+class TestAdjacency:
+    def test_out_neighbors_sorted(self):
+        g = from_edges([(0, 3), (0, 1), (0, 2)], num_nodes=4)
+        assert list(g.out_neighbors(0)) == [1, 2, 3]
+
+    def test_out_edge_probs_aligned(self):
+        g = from_edges([(0, 2, 0.2), (0, 1, 0.1)], num_nodes=3)
+        neighbors = list(g.out_neighbors(0))
+        probs = list(g.out_edge_probs(0))
+        assert neighbors == [1, 2]
+        assert probs == [0.1, 0.2]
+
+    def test_in_neighbors(self):
+        g = from_edges([(0, 2), (1, 2), (2, 0)], num_nodes=3)
+        assert sorted(g.in_neighbors(2).tolist()) == [0, 1]
+        assert list(g.in_neighbors(0)) == [2]
+        assert list(g.in_neighbors(1)) == []
+
+    def test_in_edge_probs_match_out(self):
+        g = from_edges([(0, 2, 0.7), (1, 2, 0.3)], num_nodes=3)
+        sources = g.in_neighbors(2)
+        probs = g.in_edge_probs(2)
+        mapping = dict(zip(sources.tolist(), probs.tolist()))
+        assert mapping == {0: 0.7, 1: 0.3}
+
+    def test_degrees(self):
+        g = from_edges([(0, 1), (0, 2), (1, 2)], num_nodes=3)
+        assert g.out_degree(0) == 2
+        assert g.in_degree(2) == 2
+        assert g.out_degrees().tolist() == [2, 1, 0]
+        assert g.in_degrees().tolist() == [0, 1, 2]
+
+    def test_node_out_of_range_raises(self):
+        g = from_edges([(0, 1)], num_nodes=2)
+        with pytest.raises(NodeNotFoundError):
+            g.out_neighbors(2)
+        with pytest.raises(NodeNotFoundError):
+            g.in_neighbors(-1)
+
+
+class TestQueries:
+    def test_has_edge(self):
+        g = from_edges([(0, 1), (1, 2)], num_nodes=3)
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 2)
+        assert not g.has_edge(1, 0)
+        assert not g.has_edge(0, 2)
+
+    def test_edge_probability(self):
+        g = from_edges([(0, 1, 0.42)], num_nodes=2)
+        assert g.edge_probability(0, 1) == pytest.approx(0.42)
+
+    def test_edge_probability_missing_raises(self):
+        g = from_edges([(0, 1)], num_nodes=2)
+        with pytest.raises(GraphError):
+            g.edge_probability(1, 0)
+
+    def test_edges_iteration(self):
+        edges = [(0, 1, 0.1), (1, 2, 0.2), (2, 0, 0.3)]
+        g = from_edges(edges, num_nodes=3)
+        assert sorted(g.edges()) == sorted(edges)
+
+
+class TestTranspose:
+    def test_transpose_reverses_edges(self):
+        g = from_edges([(0, 1, 0.1), (1, 2, 0.2)], num_nodes=3)
+        t = g.transpose()
+        assert t.has_edge(1, 0)
+        assert t.has_edge(2, 1)
+        assert not t.has_edge(0, 1)
+
+    def test_transpose_preserves_probabilities(self):
+        g = from_edges([(0, 1, 0.1), (1, 2, 0.2)], num_nodes=3)
+        t = g.transpose()
+        assert t.edge_probability(1, 0) == pytest.approx(0.1)
+        assert t.edge_probability(2, 1) == pytest.approx(0.2)
+
+    def test_double_transpose_is_identity(self):
+        g = from_edges([(0, 1, 0.1), (1, 2, 0.2), (0, 2, 0.9)], num_nodes=3)
+        tt = g.transpose().transpose()
+        assert sorted(tt.edges()) == sorted(g.edges())
+
+    def test_transpose_shares_arrays(self):
+        g = from_edges([(0, 1)], num_nodes=2)
+        t = g.transpose()
+        assert t.out_offsets is g.in_offsets
+        assert t.in_offsets is g.out_offsets
+
+
+class TestWithProbabilities:
+    def test_replaces_probabilities(self):
+        g = from_edges([(0, 1, 0.1), (1, 2, 0.2)], num_nodes=3)
+        g2 = g.with_probabilities(np.array([0.9, 0.8]))
+        assert g2.edge_probability(0, 1) == pytest.approx(0.9)
+        assert g.edge_probability(0, 1) == pytest.approx(0.1)  # original intact
+
+    def test_wrong_length_rejected(self):
+        g = from_edges([(0, 1)], num_nodes=2)
+        with pytest.raises(GraphError):
+            g.with_probabilities(np.array([0.1, 0.2]))
+
+
+class TestEquality:
+    def test_equal_graphs(self):
+        a = from_edges([(0, 1, 0.5)], num_nodes=2)
+        b = from_edges([(0, 1, 0.5)], num_nodes=2)
+        assert a == b
+
+    def test_unequal_probabilities(self):
+        a = from_edges([(0, 1, 0.5)], num_nodes=2)
+        b = from_edges([(0, 1, 0.6)], num_nodes=2)
+        assert a != b
+
+    def test_not_equal_to_other_types(self):
+        a = from_edges([(0, 1)], num_nodes=2)
+        assert a != "graph"

@@ -1,0 +1,179 @@
+"""Unit tests for synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs.generators import (
+    barabasi_albert,
+    ca_astroph_like,
+    com_dblp_like,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    forest_fire,
+    isolated_nodes,
+    path_graph,
+    powerlaw_configuration,
+    star_graph,
+    watts_strogatz,
+    wiki_vote_like,
+)
+
+
+class TestDeterministicTopologies:
+    def test_isolated_nodes(self):
+        g = isolated_nodes(7)
+        assert g.num_nodes == 7
+        assert g.num_edges == 0
+
+    def test_complete_graph(self):
+        g = complete_graph(4, probability=0.2)
+        assert g.num_edges == 12
+        assert g.edge_probability(0, 3) == pytest.approx(0.2)
+
+    def test_path_graph(self):
+        g = path_graph(5)
+        assert g.num_edges == 4
+        assert g.has_edge(0, 1) and g.has_edge(3, 4)
+        assert not g.has_edge(1, 0)
+
+    def test_path_graph_bidirectional(self):
+        g = path_graph(4, bidirectional=True)
+        assert g.num_edges == 6
+        assert g.has_edge(1, 0)
+
+    def test_cycle_graph(self):
+        g = cycle_graph(5)
+        assert g.num_edges == 5
+        assert g.has_edge(4, 0)
+
+    def test_cycle_too_small(self):
+        with pytest.raises(GraphError):
+            cycle_graph(1)
+
+    def test_star_center_out(self):
+        g = star_graph(4, probability=0.1)
+        assert g.num_nodes == 5
+        assert g.out_degree(0) == 4
+        assert g.in_degree(0) == 0
+
+    def test_star_center_in(self):
+        g = star_graph(3, center_out=False)
+        assert g.in_degree(0) == 3
+        assert g.out_degree(0) == 0
+
+
+class TestRandomFamilies:
+    def test_erdos_renyi_determinism(self):
+        a = erdos_renyi(50, 0.1, seed=42)
+        b = erdos_renyi(50, 0.1, seed=42)
+        assert a == b
+
+    def test_erdos_renyi_different_seeds_differ(self):
+        a = erdos_renyi(50, 0.1, seed=1)
+        b = erdos_renyi(50, 0.1, seed=2)
+        assert a != b
+
+    def test_erdos_renyi_edge_count_near_expectation(self):
+        n, p = 100, 0.05
+        g = erdos_renyi(n, p, seed=3)
+        expected = n * (n - 1) * p
+        assert 0.7 * expected < g.num_edges < 1.3 * expected
+
+    def test_erdos_renyi_undirected_symmetric(self):
+        g = erdos_renyi(30, 0.1, seed=4, directed=False)
+        for u, v, _ in g.edges():
+            assert g.has_edge(v, u)
+
+    def test_erdos_renyi_p_zero_and_one(self):
+        assert erdos_renyi(10, 0.0, seed=5).num_edges == 0
+        assert erdos_renyi(5, 1.0, seed=6).num_edges == 20
+
+    def test_erdos_renyi_invalid_p(self):
+        with pytest.raises(GraphError):
+            erdos_renyi(10, 1.5)
+
+    def test_barabasi_albert_shape(self):
+        g = barabasi_albert(100, 3, seed=7)
+        assert g.num_nodes == 100
+        # Undirected doubling: roughly 2 * m * (n - m) directed edges.
+        assert g.num_edges > 300
+        # Heavy tail: hub degree well above the attachment parameter.
+        assert int(g.out_degrees().max()) > 9
+
+    def test_barabasi_albert_symmetric(self):
+        g = barabasi_albert(50, 2, seed=8)
+        for u, v, _ in g.edges():
+            assert g.has_edge(v, u)
+
+    def test_barabasi_albert_invalid_m(self):
+        with pytest.raises(GraphError):
+            barabasi_albert(10, 0)
+        with pytest.raises(GraphError):
+            barabasi_albert(10, 10)
+
+    def test_watts_strogatz_degree(self):
+        g = watts_strogatz(40, 4, beta=0.0, seed=9)
+        # No rewiring: a clean ring lattice, every node has degree exactly k
+        # in each direction.
+        assert np.all(g.out_degrees() == 4)
+
+    def test_watts_strogatz_rewired_keeps_edge_count(self):
+        base = watts_strogatz(40, 4, beta=0.0, seed=10)
+        rewired = watts_strogatz(40, 4, beta=0.5, seed=10)
+        assert rewired.num_edges == base.num_edges
+
+    def test_watts_strogatz_invalid_k(self):
+        with pytest.raises(GraphError):
+            watts_strogatz(10, 3, 0.1)
+        with pytest.raises(GraphError):
+            watts_strogatz(10, 4, 1.5)
+
+    def test_powerlaw_configuration_average_degree(self):
+        g = powerlaw_configuration(2000, exponent=2.5, average_degree=8.0, seed=11)
+        realized = g.num_edges / g.num_nodes
+        assert 4.0 < realized < 10.0  # dedup loses some edges
+
+    def test_powerlaw_heavy_tail(self):
+        g = powerlaw_configuration(2000, exponent=2.2, average_degree=8.0, seed=12)
+        degrees = g.out_degrees() + g.in_degrees()
+        assert degrees.max() > 10 * degrees.mean()
+
+    def test_powerlaw_invalid_params(self):
+        with pytest.raises(GraphError):
+            powerlaw_configuration(1, average_degree=2.0)
+        with pytest.raises(GraphError):
+            powerlaw_configuration(100, exponent=0.5)
+
+    def test_forest_fire_connected_growth(self):
+        g = forest_fire(100, seed=13)
+        # Every non-root node linked to at least one predecessor.
+        assert g.num_edges >= 99
+
+    def test_forest_fire_invalid_probs(self):
+        with pytest.raises(GraphError):
+            forest_fire(10, forward_prob=1.0)
+
+
+class TestBenchmarkAnalogues:
+    @pytest.mark.parametrize(
+        "factory,directed_expected",
+        [(wiki_vote_like, True), (ca_astroph_like, False), (com_dblp_like, False)],
+    )
+    def test_analogue_shapes(self, factory, directed_expected):
+        g = factory(scale=0.02)
+        assert g.num_nodes >= 50
+        assert g.num_edges > g.num_nodes  # denser than a tree
+        if not directed_expected:
+            # Undirected analogues double every edge.
+            mismatches = sum(1 for u, v, _ in g.edges() if not g.has_edge(v, u))
+            assert mismatches == 0
+
+    def test_analogue_determinism(self):
+        assert wiki_vote_like(scale=0.02) == wiki_vote_like(scale=0.02)
+
+    def test_scale_grows_graph(self):
+        small = wiki_vote_like(scale=0.02)
+        large = wiki_vote_like(scale=0.05)
+        assert large.num_nodes > small.num_nodes

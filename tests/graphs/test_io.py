@@ -1,0 +1,80 @@
+"""Unit tests for edge-list IO."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs.build import from_edges
+from repro.graphs.io import read_edge_list, write_edge_list
+
+
+class TestRoundTrip:
+    def test_roundtrip_with_probabilities(self, tmp_path):
+        g = from_edges([(0, 1, 0.25), (1, 2, 0.75)], num_nodes=3)
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        g2, id_map = read_edge_list(path)
+        assert sorted(g2.edges()) == sorted(g.edges())
+        assert id_map == {0: 0, 1: 1, 2: 2}
+
+    def test_roundtrip_without_probabilities(self, tmp_path):
+        g = from_edges([(0, 1), (1, 2)], num_nodes=3)
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path, write_probabilities=False)
+        g2, _ = read_edge_list(path, default_probability=1.0)
+        assert sorted(g2.edges()) == sorted(g.edges())
+
+    def test_header_written_as_comments(self, tmp_path):
+        g = from_edges([(0, 1)], num_nodes=2)
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path, header="my graph\nsecond line")
+        text = path.read_text()
+        assert "# my graph" in text
+        assert "# second line" in text
+
+
+class TestReading:
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# header\n\n0\t1\n# mid comment\n1\t2  # trailing\n")
+        g, _ = read_edge_list(path)
+        assert g.num_edges == 2
+
+    def test_relabeling_compacts_sparse_ids(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("100\t200\n200\t300\n")
+        g, id_map = read_edge_list(path)
+        assert g.num_nodes == 3
+        assert set(id_map.keys()) == {100, 200, 300}
+        assert g.has_edge(id_map[100], id_map[200])
+
+    def test_no_relabel_keeps_ids(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0\t5\n")
+        g, id_map = read_edge_list(path, relabel=False)
+        assert g.num_nodes == 6
+        assert g.has_edge(0, 5)
+        assert id_map[5] == 5
+
+    def test_undirected_reading(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0\t1\n")
+        g, _ = read_edge_list(path, undirected=True)
+        assert g.num_edges == 2
+
+    def test_per_line_probability(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0\t1\t0.125\n")
+        g, _ = read_edge_list(path)
+        assert g.edge_probability(0, 1) == pytest.approx(0.125)
+
+    def test_malformed_line_raises_with_location(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0\t1\nbroken line here now\n")
+        with pytest.raises(GraphError, match=":2"):
+            read_edge_list(path)
+
+    def test_non_integer_node_raises(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("a\tb\n")
+        with pytest.raises(GraphError):
+            read_edge_list(path)

@@ -1,0 +1,52 @@
+"""Unit tests for graph statistics."""
+
+from repro.graphs.build import from_edges
+from repro.graphs.generators import isolated_nodes, path_graph
+from repro.graphs.stats import describe, largest_wcc_size, weakly_connected_components
+
+
+class TestComponents:
+    def test_single_component(self):
+        g = path_graph(5)
+        components = weakly_connected_components(g)
+        assert len(components) == 1
+        assert len(components[0]) == 5
+
+    def test_direction_ignored(self):
+        # 0 -> 1 <- 2 is weakly connected despite no directed path 0 -> 2.
+        g = from_edges([(0, 1), (2, 1)], num_nodes=3)
+        assert largest_wcc_size(g) == 3
+
+    def test_isolated_nodes_are_singletons(self):
+        g = isolated_nodes(4)
+        components = weakly_connected_components(g)
+        assert len(components) == 4
+        assert largest_wcc_size(g) == 1
+
+    def test_two_components(self):
+        g = from_edges([(0, 1), (2, 3)], num_nodes=4)
+        components = weakly_connected_components(g)
+        assert sorted(len(c) for c in components) == [2, 2]
+
+    def test_empty_graph(self):
+        g = isolated_nodes(0)
+        assert weakly_connected_components(g) == []
+        assert largest_wcc_size(g) == 0
+
+
+class TestDescribe:
+    def test_counts(self):
+        g = from_edges([(0, 1), (0, 2), (1, 2)], num_nodes=4)
+        stats = describe(g)
+        assert stats.num_nodes == 4
+        assert stats.num_edges == 3
+        assert stats.average_degree == 3 / 4
+        assert stats.max_out_degree == 2
+        assert stats.max_in_degree == 2
+        assert stats.num_isolated == 1
+        assert stats.largest_wcc == 3
+
+    def test_as_row_contains_counts(self):
+        g = from_edges([(0, 1)], num_nodes=2)
+        row = describe(g).as_row()
+        assert "n=" in row and "m=" in row

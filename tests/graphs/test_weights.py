@@ -1,0 +1,92 @@
+"""Unit tests for edge-probability assignment schemes."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs.build import from_edges
+from repro.graphs.generators import erdos_renyi
+from repro.graphs.weights import (
+    assign_constant_probabilities,
+    assign_trivalency_probabilities,
+    assign_weighted_cascade,
+)
+
+
+class TestWeightedCascade:
+    def test_probability_is_alpha_over_indegree(self):
+        g = from_edges([(0, 2), (1, 2), (0, 1)], num_nodes=3)
+        wc = assign_weighted_cascade(g, alpha=1.0)
+        assert wc.edge_probability(0, 2) == pytest.approx(0.5)  # in_deg(2) = 2
+        assert wc.edge_probability(1, 2) == pytest.approx(0.5)
+        assert wc.edge_probability(0, 1) == pytest.approx(1.0)  # in_deg(1) = 1
+
+    @pytest.mark.parametrize("alpha", [0.7, 0.85, 1.0])
+    def test_paper_alphas(self, alpha):
+        g = from_edges([(0, 2), (1, 2)], num_nodes=3)
+        wc = assign_weighted_cascade(g, alpha=alpha)
+        assert wc.edge_probability(0, 2) == pytest.approx(alpha / 2)
+
+    def test_all_probabilities_valid(self):
+        g = erdos_renyi(80, 0.08, seed=1)
+        wc = assign_weighted_cascade(g, alpha=0.85)
+        assert np.all(wc.out_probs > 0.0)
+        assert np.all(wc.out_probs <= 1.0)
+
+    def test_in_weight_sums_equal_alpha(self):
+        """Key LT precondition: incoming weights sum to alpha per node."""
+        g = erdos_renyi(60, 0.1, seed=2)
+        wc = assign_weighted_cascade(g, alpha=0.7)
+        sums = np.zeros(g.num_nodes)
+        np.add.at(sums, wc.out_targets, wc.out_probs)
+        targets_with_edges = np.unique(wc.out_targets)
+        assert np.allclose(sums[targets_with_edges], 0.7)
+
+    def test_invalid_alpha(self):
+        g = from_edges([(0, 1)], num_nodes=2)
+        with pytest.raises(GraphError):
+            assign_weighted_cascade(g, alpha=0.0)
+        with pytest.raises(GraphError):
+            assign_weighted_cascade(g, alpha=1.5)
+
+    def test_original_graph_unchanged(self):
+        g = from_edges([(0, 1, 1.0)], num_nodes=2)
+        assign_weighted_cascade(g, alpha=0.5)
+        assert g.edge_probability(0, 1) == pytest.approx(1.0)
+
+
+class TestConstant:
+    def test_constant_assignment(self):
+        g = from_edges([(0, 1), (1, 2)], num_nodes=3)
+        c = assign_constant_probabilities(g, 0.01)
+        assert np.all(c.out_probs == 0.01)
+
+    def test_invalid_probability(self):
+        g = from_edges([(0, 1)], num_nodes=2)
+        with pytest.raises(GraphError):
+            assign_constant_probabilities(g, 1.1)
+
+
+class TestTrivalency:
+    def test_values_from_set(self):
+        g = erdos_renyi(40, 0.1, seed=3)
+        t = assign_trivalency_probabilities(g, seed=4)
+        assert set(np.unique(t.out_probs)).issubset({0.1, 0.01, 0.001})
+
+    def test_deterministic_with_seed(self):
+        g = erdos_renyi(40, 0.1, seed=3)
+        a = assign_trivalency_probabilities(g, seed=5)
+        b = assign_trivalency_probabilities(g, seed=5)
+        assert np.array_equal(a.out_probs, b.out_probs)
+
+    def test_custom_values(self):
+        g = from_edges([(0, 1), (1, 2)], num_nodes=3)
+        t = assign_trivalency_probabilities(g, values=(0.5,), seed=6)
+        assert np.all(t.out_probs == 0.5)
+
+    def test_invalid_values(self):
+        g = from_edges([(0, 1)], num_nodes=2)
+        with pytest.raises(GraphError):
+            assign_trivalency_probabilities(g, values=())
+        with pytest.raises(GraphError):
+            assign_trivalency_probabilities(g, values=(2.0,))

@@ -1,0 +1,146 @@
+"""Cross-validation: every estimator against every other and ground truth.
+
+The library has four independent ways to score a configuration — exact
+live-edge enumeration, Monte-Carlo configuration sampling, common-random-
+numbers Monte Carlo, and the Theorem-9 RR hyper-graph estimator.  On small
+graphs they must all agree; these tests are the strongest correctness
+evidence in the suite.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.configuration import Configuration
+from repro.core.objective import (
+    ExactOracle,
+    FixedSampleOracle,
+    HypergraphOracle,
+    MonteCarloOracle,
+)
+from repro.core.population import paper_mixture
+from repro.diffusion.independent_cascade import IndependentCascade
+from repro.diffusion.linear_threshold import LinearThreshold
+from repro.diffusion.montecarlo import estimate_configuration_spread
+from repro.graphs.build import from_edges
+from repro.graphs.generators import erdos_renyi
+from repro.graphs.weights import assign_weighted_cascade
+from repro.rrset.estimator import HypergraphObjective
+from repro.rrset.hypergraph import RRHypergraph
+
+
+@pytest.fixture(scope="module")
+def tiny_instance():
+    """A 7-node, 9-edge IC instance: exact computation is instant."""
+    graph = from_edges(
+        [
+            (0, 1, 0.4),
+            (0, 2, 0.6),
+            (1, 3, 0.5),
+            (2, 3, 0.2),
+            (3, 4, 0.7),
+            (4, 5, 0.3),
+            (2, 6, 0.5),
+            (6, 5, 0.4),
+            (1, 6, 0.1),
+        ],
+        num_nodes=7,
+    )
+    population = paper_mixture(7, seed=1)
+    model = IndependentCascade(graph)
+    return graph, population, model
+
+
+@pytest.fixture(scope="module")
+def configs():
+    rng = np.random.default_rng(2)
+    result = [Configuration.zeros(7), Configuration.integer([0, 3], 7)]
+    for _ in range(4):
+        result.append(Configuration(rng.uniform(0.0, 1.0, size=7)))
+    return result
+
+
+class TestFourWayAgreement:
+    def test_exact_vs_montecarlo(self, tiny_instance, configs):
+        graph, population, model = tiny_instance
+        exact = ExactOracle(graph, population)
+        mc = MonteCarloOracle(model, population, num_samples=40000, seed=3)
+        for config in configs:
+            truth = exact.evaluate(config)
+            assert mc.evaluate(config) == pytest.approx(truth, abs=0.07)
+
+    def test_exact_vs_hypergraph(self, tiny_instance, configs):
+        graph, population, model = tiny_instance
+        exact = ExactOracle(graph, population)
+        hg = RRHypergraph.build(model, 60000, seed=4)
+        oracle = HypergraphOracle(hg, population)
+        for config in configs:
+            truth = exact.evaluate(config)
+            assert oracle.evaluate(config) == pytest.approx(truth, abs=0.07)
+
+    def test_exact_vs_fixed_sample(self, tiny_instance, configs):
+        graph, population, model = tiny_instance
+        exact = ExactOracle(graph, population)
+        fixed = FixedSampleOracle(model, population, num_samples=40000, seed=5)
+        for config in configs:
+            truth = exact.evaluate(config)
+            assert fixed.evaluate(config) == pytest.approx(truth, abs=0.07)
+
+
+class TestTheorem9UnbiasednessEmpirical:
+    """Average many independent hyper-graph estimates: the mean must hit
+    the exact UI(C) (unbiasedness of Theorem 9)."""
+
+    def test_mean_of_estimates_is_exact(self, tiny_instance):
+        graph, population, model = tiny_instance
+        exact = ExactOracle(graph, population)
+        config = Configuration([0.5, 0.2, 0.8, 0.0, 0.3, 0.6, 0.1])
+        truth = exact.evaluate(config)
+        q = population.probabilities(config.discounts)
+        estimates = []
+        for trial in range(60):
+            hg = RRHypergraph.build(model, 400, seed=100 + trial)
+            estimates.append(HypergraphObjective(hg, q).value())
+        mean = float(np.mean(estimates))
+        stderr = float(np.std(estimates) / np.sqrt(len(estimates)))
+        assert mean == pytest.approx(truth, abs=4 * stderr + 0.02)
+
+
+class TestLTConsistency:
+    def test_lt_hypergraph_vs_montecarlo(self):
+        """For LT the hyper-graph estimator must agree with forward MC."""
+        graph = assign_weighted_cascade(erdos_renyi(40, 0.15, seed=6), alpha=1.0)
+        population = paper_mixture(40, seed=7)
+        model = LinearThreshold(graph)
+        config = Configuration(np.random.default_rng(8).uniform(0, 0.5, size=40))
+        q = population.probabilities(config.discounts)
+        hg = RRHypergraph.build(model, 30000, seed=9)
+        estimate = HypergraphObjective(hg, q).value()
+        mc = estimate_configuration_spread(model, q, num_samples=15000, seed=10)
+        assert estimate == pytest.approx(mc.mean, rel=0.08, abs=0.3)
+
+
+class TestNetworkxCrossCheck:
+    def test_ic_spread_against_networkx_reachability(self):
+        """Validate exact IC spread via an independent networkx-based
+        live-edge enumeration."""
+        networkx = pytest.importorskip("networkx")
+        import itertools
+
+        from repro.core.exact import exact_spread_ic
+
+        edges = [(0, 1, 0.4), (1, 2, 0.5), (0, 2, 0.3), (2, 3, 0.6)]
+        g = from_edges(edges, num_nodes=4)
+        ours = exact_spread_ic(g, [0])
+
+        total = 0.0
+        for keep in itertools.product([False, True], repeat=len(edges)):
+            prob = 1.0
+            live = networkx.DiGraph()
+            live.add_nodes_from(range(4))
+            for (u, v, p), kept in zip(edges, keep):
+                prob *= p if kept else 1 - p
+                if kept:
+                    live.add_edge(u, v)
+            reachable = networkx.descendants(live, 0) | {0}
+            total += prob * len(reachable)
+        assert ours == pytest.approx(total)

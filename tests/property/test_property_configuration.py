@@ -1,0 +1,93 @@
+"""Property-based tests for configurations and budget handling."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.configuration import Configuration
+from repro.core.coordinate_descent import pair_grid_candidates, saturate_budget
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+discounts = st.lists(unit, min_size=1, max_size=20)
+
+
+class TestConfigurationInvariants:
+    @given(values=discounts)
+    @settings(max_examples=100, deadline=None)
+    def test_cost_is_sum(self, values):
+        config = Configuration(values)
+        assert config.cost == float(np.asarray(values).clip(0, 1).sum())
+
+    @given(values=discounts)
+    @settings(max_examples=100, deadline=None)
+    def test_support_matches_positive_entries(self, values):
+        config = Configuration(values)
+        expected = [i for i, v in enumerate(config.discounts) if v > 0]
+        assert config.support.tolist() == expected
+
+    @given(values=discounts, node=st.integers(min_value=0, max_value=19), value=unit)
+    @settings(max_examples=100, deadline=None)
+    def test_with_discount_changes_only_one_entry(self, values, node, value):
+        assume(node < len(values))
+        config = Configuration(values)
+        updated = config.with_discount(node, value)
+        for index in range(len(values)):
+            if index == node:
+                assert updated[index] == value
+            else:
+                assert updated[index] == config[index]
+
+    @given(values=discounts)
+    @settings(max_examples=60, deadline=None)
+    def test_dominance_reflexive_and_monotone(self, values):
+        config = Configuration(values)
+        assert config.dominates(config)
+        lowered = Configuration(np.asarray(config.discounts) * 0.5)
+        assert config.dominates(lowered)
+
+
+class TestSaturateBudget:
+    @given(values=discounts, extra=st.floats(min_value=0.0, max_value=5.0))
+    @settings(max_examples=100, deadline=None)
+    def test_saturation_hits_min_of_budget_and_n(self, values, extra):
+        config = Configuration(values)
+        budget = config.cost + extra
+        saturated = saturate_budget(config, budget)
+        target = min(budget, len(values))
+        assert saturated.cost == np.float64(target).item() or abs(
+            saturated.cost - target
+        ) < 1e-9
+
+    @given(values=discounts, extra=st.floats(min_value=0.0, max_value=5.0))
+    @settings(max_examples=100, deadline=None)
+    def test_saturation_dominates_original(self, values, extra):
+        config = Configuration(values)
+        saturated = saturate_budget(config, config.cost + extra)
+        assert saturated.dominates(config)
+
+    @given(values=discounts, extra=st.floats(min_value=0.0, max_value=5.0))
+    @settings(max_examples=100, deadline=None)
+    def test_saturation_stays_in_box(self, values, extra):
+        config = Configuration(values)
+        saturated = saturate_budget(config, config.cost + extra)
+        assert np.all(saturated.discounts >= -1e-12)
+        assert np.all(saturated.discounts <= 1.0 + 1e-12)
+
+
+class TestPairGrid:
+    @given(c_i=unit, c_j=unit, step=st.floats(min_value=0.01, max_value=0.5))
+    @settings(max_examples=150, deadline=None)
+    def test_candidates_feasible_and_budget_preserving(self, c_i, c_j, step):
+        cand_i, cand_j, pair_budget = pair_grid_candidates(c_i, c_j, step)
+        assert pair_budget == c_i + c_j
+        assert np.all(cand_i >= -1e-12)
+        assert np.all(cand_i <= 1.0 + 1e-12)
+        assert np.all(cand_j >= -1e-12)
+        assert np.all(cand_j <= 1.0 + 1e-12)
+        assert np.allclose(cand_i + cand_j, pair_budget)
+
+    @given(c_i=unit, c_j=unit, step=st.floats(min_value=0.01, max_value=0.5))
+    @settings(max_examples=150, deadline=None)
+    def test_incumbent_always_included(self, c_i, c_j, step):
+        cand_i, _, _ = pair_grid_candidates(c_i, c_j, step)
+        assert np.any(np.isclose(cand_i, c_i, atol=1e-12))

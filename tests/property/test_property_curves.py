@@ -1,0 +1,91 @@
+"""Property-based tests for seed-probability curves."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.curves import (
+    ConcaveCurve,
+    LinearCurve,
+    LogisticCurve,
+    PiecewiseLinearCurve,
+    PowerCurve,
+    QuadraticCurve,
+)
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+def curve_strategy():
+    """Draw a random valid curve from all families."""
+    return st.one_of(
+        st.just(LinearCurve()),
+        st.just(QuadraticCurve()),
+        st.just(ConcaveCurve()),
+        st.floats(min_value=0.1, max_value=5.0).map(PowerCurve),
+        st.tuples(
+            st.floats(min_value=1.0, max_value=20.0),
+            st.floats(min_value=0.05, max_value=0.95),
+        ).map(lambda args: LogisticCurve(steepness=args[0], midpoint=args[1])),
+        piecewise_strategy(),
+    )
+
+
+def piecewise_strategy():
+    """Random monotone piecewise-linear curves through (0,0) and (1,1)."""
+
+    def build(values):
+        xs = np.linspace(0.0, 1.0, len(values) + 2)
+        ys = np.concatenate([[0.0], np.sort(np.asarray(values)), [1.0]])
+        return PiecewiseLinearCurve(list(zip(xs, ys)))
+
+    return st.lists(unit, min_size=1, max_size=5).map(build)
+
+
+class TestCurveAxioms:
+    @given(curve=curve_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_endpoints(self, curve):
+        assert abs(curve(0.0)) < 1e-9
+        assert abs(curve(1.0) - 1.0) < 1e-9
+
+    @given(curve=curve_strategy(), a=unit, b=unit)
+    @settings(max_examples=100, deadline=None)
+    def test_monotone(self, curve, a, b):
+        lo, hi = min(a, b), max(a, b)
+        assert curve(lo) <= curve(hi) + 1e-9
+
+    @given(curve=curve_strategy(), c=unit)
+    @settings(max_examples=100, deadline=None)
+    def test_range(self, curve, c):
+        assert -1e-9 <= curve(c) <= 1.0 + 1e-9
+
+    @given(curve=curve_strategy(), c=st.floats(min_value=0.01, max_value=0.99))
+    @settings(max_examples=60, deadline=None)
+    def test_derivative_nonnegative(self, curve, c):
+        assert curve.derivative(c) >= -1e-9
+
+    @given(curve=curve_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_validate_accepts_all_generated_curves(self, curve):
+        curve.validate()
+
+    @given(curve=curve_strategy(), values=st.lists(unit, min_size=1, max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_vectorized_matches_scalar(self, curve, values):
+        arr = np.asarray(values)
+        vector = curve(arr)
+        for index, value in enumerate(values):
+            assert abs(vector[index] - curve(value)) < 1e-12
+
+
+class TestSensitivityDichotomy:
+    @given(exponent=st.floats(min_value=1.0, max_value=6.0))
+    @settings(max_examples=30, deadline=None)
+    def test_power_ge_one_insensitive(self, exponent):
+        assert PowerCurve(exponent).is_insensitive()
+
+    @given(exponent=st.floats(min_value=0.05, max_value=1.0))
+    @settings(max_examples=30, deadline=None)
+    def test_power_le_one_sensitive(self, exponent):
+        assert PowerCurve(exponent).is_sensitive()

@@ -1,0 +1,87 @@
+"""Property-based tests for coordinate-descent invariants.
+
+The defining guarantees of Algorithm 1 (Section 5.2): across arbitrary
+random instances and warm starts, the objective never decreases, the
+budget constraint is never violated, and the box constraints hold after
+every run.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cd_hypergraph import coordinate_descent_hypergraph
+from repro.core.configuration import Configuration
+from repro.core.coordinate_descent import coordinate_descent
+from repro.core.curves import ConcaveCurve, LinearCurve, QuadraticCurve
+from repro.core.objective import ExactOracle, HypergraphOracle
+from repro.core.population import CurvePopulation
+from repro.core.problem import CIMProblem
+from repro.diffusion.independent_cascade import IndependentCascade
+from repro.graphs.build import from_edges
+
+_CURVES = [ConcaveCurve(), LinearCurve(), QuadraticCurve()]
+
+
+@st.composite
+def descent_cases(draw):
+    n = draw(st.integers(min_value=2, max_value=5))
+    num_edges = draw(st.integers(min_value=0, max_value=7))
+    edges = []
+    for _ in range(num_edges):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        p = draw(st.floats(min_value=0.0, max_value=1.0))
+        edges.append((u, v, p))
+    graph = from_edges(edges, num_nodes=n)
+    curves = [_CURVES[draw(st.integers(min_value=0, max_value=2))] for _ in range(n)]
+    population = CurvePopulation(curves)
+    budget = draw(st.floats(min_value=0.2, max_value=float(n)))
+    raw = np.asarray([draw(st.floats(min_value=0.0, max_value=1.0)) for _ in range(n)])
+    # Scale into the budget.
+    if raw.sum() > budget:
+        raw = raw * (budget / raw.sum())
+    initial = Configuration(np.clip(raw, 0.0, 1.0))
+    return graph, population, budget, initial
+
+
+class TestGeneralCD:
+    @given(case=descent_cases())
+    @settings(max_examples=40, deadline=None)
+    def test_invariants(self, case):
+        graph, population, budget, initial = case
+        oracle = ExactOracle(graph, population, max_edges=10)
+        start_value = oracle.evaluate(initial)
+        result = coordinate_descent(
+            oracle, budget, initial, grid_step=0.25, max_rounds=2
+        )
+        # Never worse than the (saturated) start.
+        assert result.objective_value >= start_value - 1e-9
+        # Box and budget constraints hold.
+        assert np.all(result.configuration.discounts >= -1e-12)
+        assert np.all(result.configuration.discounts <= 1.0 + 1e-12)
+        assert result.configuration.cost <= budget + 1e-6
+        # Round trace is non-decreasing.
+        values = result.round_values
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+
+
+class TestHypergraphCD:
+    @given(case=descent_cases())
+    @settings(max_examples=25, deadline=None)
+    def test_invariants(self, case):
+        graph, population, budget, initial = case
+        model = IndependentCascade(graph)
+        problem = CIMProblem(model, population, budget=budget)
+        hypergraph = problem.build_hypergraph(num_hyperedges=300, seed=1)
+        oracle = HypergraphOracle(hypergraph, population)
+        start_value = oracle.evaluate(initial)
+        result = coordinate_descent_hypergraph(
+            problem, hypergraph, initial, grid_step=0.25, max_rounds=2
+        )
+        assert result.objective_value >= start_value - 1e-6
+        assert result.configuration.cost <= budget + 1e-6
+        assert np.all(result.configuration.discounts >= -1e-12)
+        assert np.all(result.configuration.discounts <= 1.0 + 1e-12)
+        values = result.round_values
+        assert all(b >= a - 1e-6 for a, b in zip(values, values[1:]))

@@ -1,0 +1,123 @@
+"""Property-based tests for the hyper-graph objective (Theorem 9 machinery)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rrset.estimator import HypergraphObjective
+from repro.rrset.hypergraph import RRHypergraph
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+@st.composite
+def objective_cases(draw):
+    n = draw(st.integers(min_value=2, max_value=10))
+    num_edges = draw(st.integers(min_value=1, max_value=12))
+    edges = []
+    for _ in range(num_edges):
+        members = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n - 1),
+                min_size=1,
+                max_size=n,
+                unique=True,
+            )
+        )
+        edges.append(np.asarray(members))
+    hg = RRHypergraph(n, edges)
+    q = np.asarray([draw(unit) for _ in range(n)])
+    return hg, q
+
+
+def direct_value(hg, q):
+    """The naive Theorem-9 formula, used as the reference."""
+    covered = 0.0
+    for edge in hg.hyperedges():
+        covered += 1.0 - float(np.prod(1.0 - q[edge]))
+    return hg.num_nodes * covered / hg.num_hyperedges
+
+
+class TestValueCorrectness:
+    @given(case=objective_cases())
+    @settings(max_examples=100, deadline=None)
+    def test_matches_direct_formula(self, case):
+        hg, q = case
+        assert HypergraphObjective(hg, q).value() == np.float64(
+            direct_value(hg, q)
+        ) or abs(HypergraphObjective(hg, q).value() - direct_value(hg, q)) < 1e-9
+
+    @given(case=objective_cases(), node_pick=st.integers(min_value=0, max_value=9), new_q=unit)
+    @settings(max_examples=100, deadline=None)
+    def test_incremental_update_matches_rebuild(self, case, node_pick, new_q):
+        hg, q = case
+        node = node_pick % hg.num_nodes
+        obj = HypergraphObjective(hg, q)
+        obj.set_probability(node, new_q)
+        q2 = q.copy()
+        q2[node] = new_q
+        assert abs(obj.value() - direct_value(hg, q2)) < 1e-9
+
+    @given(
+        case=objective_cases(),
+        updates=st.lists(
+            st.tuples(st.integers(min_value=0, max_value=9), unit),
+            min_size=1,
+            max_size=20,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_update_sequences_stay_exact(self, case, updates):
+        hg, q = case
+        obj = HypergraphObjective(hg, q)
+        current = q.copy()
+        for node_pick, value in updates:
+            node = node_pick % hg.num_nodes
+            obj.set_probability(node, value)
+            current[node] = value
+        assert abs(obj.value() - direct_value(hg, current)) < 1e-8
+
+
+class TestStructuralProperties:
+    @given(case=objective_cases(), node_pick=st.integers(min_value=0, max_value=9))
+    @settings(max_examples=80, deadline=None)
+    def test_monotone_in_each_coordinate(self, case, node_pick):
+        hg, q = case
+        node = node_pick % hg.num_nodes
+        obj = HypergraphObjective(hg, q)
+        low = obj.coordinate_value(node, 0.0)
+        mid = obj.coordinate_value(node, 0.5)
+        high = obj.coordinate_value(node, 1.0)
+        assert low <= mid + 1e-9 <= high + 2e-9
+
+    @given(case=objective_cases(), a=unit, b=unit, t=unit)
+    @settings(max_examples=80, deadline=None)
+    def test_linearity_in_coordinate(self, case, a, b, t):
+        """Eq. 6: the objective restricted to one q_u is affine."""
+        hg, q = case
+        obj = HypergraphObjective(hg, q)
+        va = obj.coordinate_value(0, a)
+        vb = obj.coordinate_value(0, b)
+        vt = obj.coordinate_value(0, t * a + (1 - t) * b)
+        assert abs(vt - (t * va + (1 - t) * vb)) < 1e-8
+
+    @given(case=objective_cases(), qi=unit, qj=unit)
+    @settings(max_examples=80, deadline=None)
+    def test_pair_coefficients_agree_with_mutation(self, case, qi, qj):
+        hg, q = case
+        if hg.num_nodes < 2:
+            return
+        obj = HypergraphObjective(hg, q)
+        coeffs = obj.pair_coefficients(0, 1)
+        predicted = coeffs.value(qi, qj)
+        obj.set_probability(0, qi)
+        obj.set_probability(1, qj)
+        assert abs(predicted - obj.value()) < 1e-8
+
+    @given(case=objective_cases())
+    @settings(max_examples=60, deadline=None)
+    def test_bounds(self, case):
+        """0 <= estimate <= n always."""
+        hg, q = case
+        value = HypergraphObjective(hg, q).value()
+        assert -1e-9 <= value <= hg.num_nodes + 1e-9

@@ -1,0 +1,102 @@
+"""Property-based tests for the extension modules.
+
+Covers the expected-budget machinery and the batch IC engine on random
+tiny instances, always against the exact enumerator.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.configuration import Configuration
+from repro.core.curves import ConcaveCurve, LinearCurve, PowerCurve, QuadraticCurve
+from repro.core.exact import ExactICComputer
+from repro.core.expected_budget import expected_cost, invert_expected_cost
+from repro.core.population import CurvePopulation
+from repro.diffusion.batch import batch_cascade_sizes_ic
+from repro.graphs.build import from_edges
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+_CURVES = [ConcaveCurve(), LinearCurve(), QuadraticCurve(), PowerCurve(0.5)]
+
+
+def curve_strategy():
+    return st.integers(min_value=0, max_value=3).map(lambda i: _CURVES[i])
+
+
+class TestExpectedCostProperties:
+    @given(curve=curve_strategy(), target=unit)
+    @settings(max_examples=100, deadline=None)
+    def test_inverse_roundtrip(self, curve, target):
+        c = invert_expected_cost(curve, target)
+        assert 0.0 <= c <= 1.0
+        assert abs(c * curve(c) - target) < 1e-7
+
+    @given(curve=curve_strategy(), a=unit, b=unit)
+    @settings(max_examples=100, deadline=None)
+    def test_inverse_monotone(self, curve, a, b):
+        lo, hi = min(a, b), max(a, b)
+        assert invert_expected_cost(curve, lo) <= invert_expected_cost(curve, hi) + 1e-9
+
+    @given(
+        values=st.lists(unit, min_size=1, max_size=12),
+        picks=st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=12),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_expected_cost_dominated_by_safe_cost(self, values, picks):
+        n = min(len(values), len(picks))
+        population = CurvePopulation([_CURVES[picks[i]] for i in range(n)])
+        config = Configuration(values[:n])
+        ec = expected_cost(config, population)
+        assert -1e-12 <= ec <= config.cost + 1e-9
+
+    @given(values=st.lists(unit, min_size=1, max_size=12))
+    @settings(max_examples=60, deadline=None)
+    def test_expected_cost_equals_safe_cost_under_certainty(self, values):
+        """For integer configurations p_u(c_u) is 0 or 1, so EC = cost."""
+        n = len(values)
+        population = CurvePopulation([_CURVES[0]] * n)
+        config = Configuration([1.0 if v > 0.5 else 0.0 for v in values])
+        assert expected_cost(config, population) == config.cost
+
+
+@st.composite
+def tiny_ic_instances(draw):
+    n = draw(st.integers(min_value=2, max_value=5))
+    num_edges = draw(st.integers(min_value=0, max_value=8))
+    edges = []
+    for _ in range(num_edges):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        p = draw(st.floats(min_value=0.0, max_value=1.0))
+        edges.append((u, v, p))
+    graph = from_edges(edges, num_nodes=n)
+    seeds = sorted(
+        {draw(st.integers(min_value=0, max_value=n - 1)) for _ in range(draw(st.integers(1, 3)))}
+    )
+    return graph, seeds
+
+
+class TestBatchEngineProperties:
+    @given(instance=tiny_ic_instances(), batch_seed=st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_batch_mean_tracks_exact(self, instance, batch_seed):
+        """Statistical agreement with the exact enumerator on random tiny
+        graphs — a 6-sigma band on 3,000 samples."""
+        graph, seeds = instance
+        exact = ExactICComputer(graph, max_edges=10).spread(seeds)
+        rng = np.random.default_rng(batch_seed)
+        sizes = batch_cascade_sizes_ic(graph, 3000, rng, seeds=seeds, batch_size=128)
+        mean = sizes.mean()
+        stderr = sizes.std(ddof=1) / np.sqrt(sizes.size) if sizes.size > 1 else 0.0
+        assert abs(mean - exact) <= 6 * stderr + 0.05
+
+    @given(instance=tiny_ic_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_sizes_bounded(self, instance):
+        graph, seeds = instance
+        rng = np.random.default_rng(1)
+        sizes = batch_cascade_sizes_ic(graph, 64, rng, seeds=seeds, batch_size=16)
+        assert np.all(sizes >= len(set(seeds)))
+        assert np.all(sizes <= graph.num_nodes)

@@ -1,0 +1,92 @@
+"""Property-based tests for the graph substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.build import from_edges
+
+
+@st.composite
+def edge_lists(draw, max_nodes=12, max_edges=30):
+    """Random directed edge lists with probabilities."""
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    count = draw(st.integers(min_value=0, max_value=max_edges))
+    edges = []
+    for _ in range(count):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        p = draw(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+        edges.append((u, v, p))
+    return n, edges
+
+
+class TestCSRInvariants:
+    @given(data=edge_lists())
+    @settings(max_examples=80, deadline=None)
+    def test_degree_sums_equal_edge_count(self, data):
+        n, edges = data
+        g = from_edges(edges, num_nodes=n)
+        assert int(g.out_degrees().sum()) == g.num_edges
+        assert int(g.in_degrees().sum()) == g.num_edges
+
+    @given(data=edge_lists())
+    @settings(max_examples=80, deadline=None)
+    def test_every_edge_in_both_directions_of_storage(self, data):
+        n, edges = data
+        g = from_edges(edges, num_nodes=n)
+        for u, v, p in g.edges():
+            # Edge visible from the target's in-adjacency with same prob.
+            sources = g.in_neighbors(v).tolist()
+            assert u in sources
+            index = sources.index(u)
+            assert abs(g.in_edge_probs(v)[index] - p) < 1e-12
+
+    @given(data=edge_lists())
+    @settings(max_examples=80, deadline=None)
+    def test_transpose_involution(self, data):
+        n, edges = data
+        g = from_edges(edges, num_nodes=n)
+        tt = g.transpose().transpose()
+        assert sorted(tt.edges()) == sorted(g.edges())
+
+    @given(data=edge_lists())
+    @settings(max_examples=80, deadline=None)
+    def test_transpose_swaps_degrees(self, data):
+        n, edges = data
+        g = from_edges(edges, num_nodes=n)
+        t = g.transpose()
+        assert np.array_equal(g.out_degrees(), t.in_degrees())
+        assert np.array_equal(g.in_degrees(), t.out_degrees())
+
+    @given(data=edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_no_self_loops_after_build(self, data):
+        n, edges = data
+        g = from_edges(edges, num_nodes=n)
+        assert all(u != v for u, v, _ in g.edges())
+
+    @given(data=edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_neighbor_slices_sorted_and_unique(self, data):
+        n, edges = data
+        g = from_edges(edges, num_nodes=n)
+        for u in range(n):
+            neighbors = g.out_neighbors(u).tolist()
+            assert neighbors == sorted(set(neighbors))
+
+
+class TestIORoundtrip:
+    @given(data=edge_lists())
+    @settings(max_examples=30, deadline=None)
+    def test_write_read_preserves_edges(self, data, tmp_path_factory):
+        from repro.graphs.io import read_edge_list, write_edge_list
+
+        n, edges = data
+        g = from_edges(edges, num_nodes=n)
+        path = tmp_path_factory.mktemp("io") / "g.txt"
+        write_edge_list(g, path)
+        reloaded, _ = read_edge_list(path, relabel=False)
+        assert sorted(reloaded.edges()) == sorted(
+            (u, v, float(np.float64(f"{p:.10g}"))) for u, v, p in g.edges()
+        )

@@ -1,0 +1,88 @@
+"""Property-based tests for Lemma 1 / Theorem 5 (monotonicity of UI).
+
+Verified *exactly* on randomly drawn tiny IC graphs with random curve
+assignments: raising any single discount (Lemma 1), or moving to a
+pointwise-dominating configuration (Theorem 5), never decreases UI(C).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.configuration import Configuration
+from repro.core.curves import ConcaveCurve, LinearCurve, QuadraticCurve
+from repro.core.exact import ExactICComputer
+from repro.core.population import CurvePopulation
+from repro.graphs.build import from_edges
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+_CURVES = [ConcaveCurve(), LinearCurve(), QuadraticCurve()]
+
+
+@st.composite
+def tiny_instances(draw):
+    """(graph, population, configuration) with <= 10 edges for exactness."""
+    n = draw(st.integers(min_value=2, max_value=5))
+    num_edges = draw(st.integers(min_value=0, max_value=8))
+    edges = []
+    for _ in range(num_edges):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        p = draw(st.floats(min_value=0.0, max_value=1.0))
+        edges.append((u, v, p))
+    graph = from_edges(edges, num_nodes=n)
+    curves = [ _CURVES[draw(st.integers(min_value=0, max_value=2))] for _ in range(n) ]
+    population = CurvePopulation(curves)
+    config = Configuration([draw(unit) for _ in range(n)])
+    return graph, population, config
+
+
+class TestLemma1:
+    @given(
+        instance=tiny_instances(),
+        node_pick=st.integers(min_value=0, max_value=4),
+        bump=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_raising_one_discount_never_hurts(self, instance, node_pick, bump):
+        graph, population, config = instance
+        node = node_pick % len(config)
+        computer = ExactICComputer(graph, max_edges=10)
+        before = computer.expected_spread(population.probabilities(config.discounts))
+        raised = config.with_discount(node, min(1.0, config[node] + bump))
+        after = computer.expected_spread(population.probabilities(raised.discounts))
+        assert after >= before - 1e-9
+
+
+class TestTheorem5:
+    @given(instance=tiny_instances(), scale=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=80, deadline=None)
+    def test_dominating_configuration_no_worse(self, instance, scale):
+        graph, population, config = instance
+        computer = ExactICComputer(graph, max_edges=10)
+        shrunk = Configuration(np.asarray(config.discounts) * scale)
+        assert config.dominates(shrunk)
+        big = computer.expected_spread(population.probabilities(config.discounts))
+        small = computer.expected_spread(population.probabilities(shrunk.discounts))
+        assert big >= small - 1e-9
+
+
+class TestRangeBounds:
+    @given(instance=tiny_instances())
+    @settings(max_examples=80, deadline=None)
+    def test_ui_bounded_by_n(self, instance):
+        """Section 5.2's convergence argument relies on UI(C) <= n."""
+        graph, population, config = instance
+        computer = ExactICComputer(graph, max_edges=10)
+        value = computer.expected_spread(population.probabilities(config.discounts))
+        assert -1e-9 <= value <= len(config) + 1e-9
+
+    @given(instance=tiny_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_ui_at_least_expected_seed_count(self, instance):
+        """UI(C) >= sum_u p_u(c_u): each seed counts itself."""
+        graph, population, config = instance
+        computer = ExactICComputer(graph, max_edges=10)
+        value = computer.expected_spread(population.probabilities(config.discounts))
+        assert value >= population.probabilities(config.discounts).sum() - 1e-9

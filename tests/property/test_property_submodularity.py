@@ -1,0 +1,136 @@
+"""Property-based tests for Theorem 8 (monotone submodular UI(S; c)).
+
+For a fixed unified discount ``c``, ``UI(S; c)`` — the expected spread
+when every user of ``S`` gets discount ``c`` — must be monotone and
+submodular in ``S``.  We verify exactly on tiny IC graphs, and also check
+the hyper-graph surrogate objective used by UD's greedy.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.configuration import Configuration
+from repro.core.curves import ConcaveCurve, LinearCurve, QuadraticCurve
+from repro.core.exact import ExactICComputer
+from repro.core.population import CurvePopulation
+from repro.graphs.build import from_edges
+
+_CURVES = [ConcaveCurve(), LinearCurve(), QuadraticCurve()]
+
+
+@st.composite
+def submodularity_cases(draw):
+    n = draw(st.integers(min_value=3, max_value=5))
+    num_edges = draw(st.integers(min_value=0, max_value=8))
+    edges = []
+    for _ in range(num_edges):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        p = draw(st.floats(min_value=0.0, max_value=1.0))
+        edges.append((u, v, p))
+    graph = from_edges(edges, num_nodes=n)
+    curves = [_CURVES[draw(st.integers(min_value=0, max_value=2))] for _ in range(n)]
+    population = CurvePopulation(curves)
+    discount = draw(st.floats(min_value=0.05, max_value=1.0))
+
+    # S subset T subset V - {u}, u outside T.
+    u = draw(st.integers(min_value=0, max_value=n - 1))
+    others = [v for v in range(n) if v != u]
+    t_mask = [draw(st.booleans()) for _ in others]
+    T = [v for v, keep in zip(others, t_mask) if keep]
+    s_mask = [draw(st.booleans()) for _ in T]
+    S = [v for v, keep in zip(T, s_mask) if keep]
+    return graph, population, discount, S, T, u
+
+
+def ui_of_set(computer, population, nodes, discount, n):
+    config = Configuration.unified(nodes, discount, n)
+    return computer.expected_spread(population.probabilities(config.discounts))
+
+
+class TestTheorem8Exact:
+    @given(case=submodularity_cases())
+    @settings(max_examples=80, deadline=None)
+    def test_monotone_in_set(self, case):
+        graph, population, discount, S, T, u = case
+        computer = ExactICComputer(graph, max_edges=10)
+        n = graph.num_nodes
+        value_s = ui_of_set(computer, population, S, discount, n)
+        value_t = ui_of_set(computer, population, T, discount, n)
+        assert value_t >= value_s - 1e-9  # S subset T
+
+    @given(case=submodularity_cases())
+    @settings(max_examples=80, deadline=None)
+    def test_diminishing_returns(self, case):
+        graph, population, discount, S, T, u = case
+        computer = ExactICComputer(graph, max_edges=10)
+        n = graph.num_nodes
+        gain_small = ui_of_set(computer, population, S + [u], discount, n) - ui_of_set(
+            computer, population, S, discount, n
+        )
+        gain_large = ui_of_set(computer, population, T + [u], discount, n) - ui_of_set(
+            computer, population, T, discount, n
+        )
+        assert gain_small >= gain_large - 1e-9
+
+
+class TestHypergraphSurrogateSubmodularity:
+    """The UD greedy objective sum_h [1 - prod_{u in h ∩ S}(1 - q_u)] must
+    itself be monotone submodular for any fixed q — checked directly on
+    random hyper-graphs."""
+
+    @st.composite
+    def hypergraph_cases(draw):
+        n = draw(st.integers(min_value=3, max_value=8))
+        num_edges = draw(st.integers(min_value=1, max_value=10))
+        edges = []
+        for _ in range(num_edges):
+            size = draw(st.integers(min_value=1, max_value=n))
+            members = draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=n - 1),
+                    min_size=1,
+                    max_size=size,
+                    unique=True,
+                )
+            )
+            edges.append(np.asarray(members))
+        q = np.asarray([draw(st.floats(min_value=0.0, max_value=1.0)) for _ in range(n)])
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        others = [v for v in range(n) if v != u]
+        t_mask = [draw(st.booleans()) for _ in others]
+        T = [v for v, keep in zip(others, t_mask) if keep]
+        s_mask = [draw(st.booleans()) for _ in T]
+        S = [v for v, keep in zip(T, s_mask) if keep]
+        return n, edges, q, S, T, u
+
+    @staticmethod
+    def coverage_value(edges, q, selected):
+        selected = set(selected)
+        total = 0.0
+        for edge in edges:
+            survival = 1.0
+            for node in edge:
+                if int(node) in selected:
+                    survival *= 1.0 - q[int(node)]
+            total += 1.0 - survival
+        return total
+
+    @given(case=hypergraph_cases())
+    @settings(max_examples=100, deadline=None)
+    def test_monotone(self, case):
+        n, edges, q, S, T, u = case
+        assert self.coverage_value(edges, q, T) >= self.coverage_value(edges, q, S) - 1e-9
+
+    @given(case=hypergraph_cases())
+    @settings(max_examples=100, deadline=None)
+    def test_submodular(self, case):
+        n, edges, q, S, T, u = case
+        gain_small = self.coverage_value(edges, q, S + [u]) - self.coverage_value(
+            edges, q, S
+        )
+        gain_large = self.coverage_value(edges, q, T + [u]) - self.coverage_value(
+            edges, q, T
+        )
+        assert gain_small >= gain_large - 1e-9

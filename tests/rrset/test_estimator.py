@@ -1,0 +1,180 @@
+"""Unit tests for the Theorem-9 hyper-graph objective."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion.independent_cascade import IndependentCascade
+from repro.exceptions import EstimationError
+from repro.graphs.build import from_edges
+from repro.graphs.generators import erdos_renyi, isolated_nodes, star_graph
+from repro.graphs.weights import assign_weighted_cascade
+from repro.rrset.estimator import HypergraphObjective
+from repro.rrset.hypergraph import RRHypergraph
+
+
+@pytest.fixture
+def random_objective():
+    g = assign_weighted_cascade(erdos_renyi(50, 0.08, seed=1), alpha=1.0)
+    hg = RRHypergraph.build(IndependentCascade(g), 3000, seed=2)
+    rng = np.random.default_rng(3)
+    q = rng.uniform(0.0, 0.8, size=50)
+    return HypergraphObjective(hg, q), q, hg
+
+
+class TestValue:
+    def test_zero_probabilities_zero_value(self):
+        hg = RRHypergraph(3, [np.array([0, 1]), np.array([2])])
+        obj = HypergraphObjective(hg, np.zeros(3))
+        assert obj.value() == 0.0
+
+    def test_all_ones_covers_everything(self):
+        hg = RRHypergraph(3, [np.array([0, 1]), np.array([2])])
+        obj = HypergraphObjective(hg, np.ones(3))
+        assert obj.value() == pytest.approx(3.0)  # n * theta / theta
+
+    def test_manual_value(self):
+        # One hyper-edge {0, 1} with q = (0.5, 0.5): value = 2 * 0.75 / 1.
+        hg = RRHypergraph(2, [np.array([0, 1])])
+        obj = HypergraphObjective(hg, np.array([0.5, 0.5]))
+        assert obj.value() == pytest.approx(1.5)
+
+    def test_unbiasedness_on_isolated_nodes(self):
+        """On isolated nodes UI(C) = sum q_u; the estimator must match."""
+        ic = IndependentCascade(isolated_nodes(5))
+        hg = RRHypergraph.build(ic, 30000, seed=4)
+        q = np.array([0.1, 0.3, 0.5, 0.7, 0.9])
+        obj = HypergraphObjective(hg, q)
+        assert obj.value() == pytest.approx(q.sum(), abs=0.08)
+
+    def test_empty_hypergraph_raises(self):
+        hg = RRHypergraph(2, [])
+        obj = HypergraphObjective(hg, np.zeros(2))
+        with pytest.raises(EstimationError):
+            obj.value()
+
+    def test_invalid_probability_vector(self):
+        hg = RRHypergraph(2, [np.array([0])])
+        with pytest.raises(EstimationError):
+            HypergraphObjective(hg, np.array([0.5]))
+        with pytest.raises(EstimationError):
+            HypergraphObjective(hg, np.array([0.5, 1.5]))
+
+
+class TestIncrementalUpdates:
+    def test_set_probability_matches_rebuild(self, random_objective):
+        obj, q, hg = random_objective
+        obj.set_probability(7, 0.95)
+        q2 = q.copy()
+        q2[7] = 0.95
+        fresh = HypergraphObjective(hg, q2)
+        assert obj.value() == pytest.approx(fresh.value(), rel=1e-9)
+
+    def test_set_probability_to_one_and_back(self, random_objective):
+        """Exact-zero survival factors must be handled by the zero-count."""
+        obj, q, hg = random_objective
+        original = obj.value()
+        obj.set_probability(3, 1.0)
+        obj.set_probability(3, float(q[3]))
+        assert obj.value() == pytest.approx(original, rel=1e-6)
+
+    def test_many_updates_stay_consistent(self, random_objective):
+        obj, q, hg = random_objective
+        rng = np.random.default_rng(5)
+        current = q.copy()
+        for _ in range(200):
+            node = int(rng.integers(0, 50))
+            value = float(rng.uniform(0.0, 1.0))
+            obj.set_probability(node, value)
+            current[node] = value
+        fresh = HypergraphObjective(hg, current)
+        assert obj.value() == pytest.approx(fresh.value(), rel=1e-6)
+
+    def test_set_probabilities_bulk(self, random_objective):
+        obj, q, hg = random_objective
+        new_q = np.clip(q + 0.1, 0.0, 1.0)
+        obj.set_probabilities(new_q)
+        fresh = HypergraphObjective(hg, new_q)
+        assert obj.value() == pytest.approx(fresh.value())
+
+    def test_invalid_update_rejected(self, random_objective):
+        obj, _, _ = random_objective
+        with pytest.raises(EstimationError):
+            obj.set_probability(0, 1.2)
+
+    def test_probabilities_property_copies(self, random_objective):
+        obj, _, _ = random_objective
+        probs = obj.probabilities
+        probs[0] = 0.123456
+        assert obj.probability(0) != pytest.approx(0.123456)
+
+
+class TestCoordinateRestrictions:
+    def test_coordinate_value_matches_actual(self, random_objective):
+        obj, _, _ = random_objective
+        predicted = obj.coordinate_value(11, 0.42)
+        obj.set_probability(11, 0.42)
+        assert predicted == pytest.approx(obj.value(), rel=1e-9)
+
+    def test_pair_coefficients_match_actual(self, random_objective):
+        obj, _, _ = random_objective
+        pc = obj.pair_coefficients(4, 9)
+        # Current point must reproduce the current value.
+        assert pc.value(obj.probability(4), obj.probability(9)) == pytest.approx(
+            obj.value(), rel=1e-9
+        )
+        # An arbitrary move must match the mutated objective.
+        predicted = pc.value(0.25, 0.8)
+        obj.set_probability(4, 0.25)
+        obj.set_probability(9, 0.8)
+        assert predicted == pytest.approx(obj.value(), rel=1e-9)
+
+    def test_pair_coefficients_vectorized(self, random_objective):
+        obj, _, _ = random_objective
+        pc = obj.pair_coefficients(2, 3)
+        qi = np.array([0.0, 0.5, 1.0])
+        qj = np.array([1.0, 0.5, 0.0])
+        vec = pc.value_vectorized(qi, qj)
+        for k in range(3):
+            assert vec[k] == pytest.approx(pc.value(float(qi[k]), float(qj[k])))
+
+    def test_pair_same_coordinate_rejected(self, random_objective):
+        obj, _, _ = random_objective
+        with pytest.raises(EstimationError):
+            obj.pair_coefficients(5, 5)
+
+    def test_objective_linear_in_single_coordinate(self, random_objective):
+        """Eq. 6: UI is linear in each q_u — verify with three points."""
+        obj, _, _ = random_objective
+        v0 = obj.coordinate_value(6, 0.0)
+        v_half = obj.coordinate_value(6, 0.5)
+        v1 = obj.coordinate_value(6, 1.0)
+        assert v_half == pytest.approx((v0 + v1) / 2, rel=1e-9)
+
+    def test_gradient_coordinate_is_slope(self, random_objective):
+        obj, _, _ = random_objective
+        slope = obj.gradient_coordinate(8)
+        v0 = obj.coordinate_value(8, 0.0)
+        v1 = obj.coordinate_value(8, 1.0)
+        assert slope == pytest.approx(v1 - v0, rel=1e-9)
+
+    def test_gradient_nonnegative(self, random_objective):
+        """Monotonicity: increasing any q_u cannot decrease the estimate."""
+        obj, _, _ = random_objective
+        for node in range(50):
+            assert obj.gradient_coordinate(node) >= 0.0
+
+
+class TestAgainstDirectFormula:
+    def test_matches_direct_computation(self):
+        """Cross-check the incremental state against the naive formula."""
+        hg = RRHypergraph(
+            4,
+            [np.array([0, 1, 2]), np.array([1, 3]), np.array([2]), np.array([0, 3])],
+        )
+        q = np.array([0.2, 0.4, 0.6, 0.8])
+        obj = HypergraphObjective(hg, q)
+        expected = 0.0
+        for edge in hg.hyperedges():
+            expected += 1.0 - np.prod(1.0 - q[edge])
+        expected *= 4 / 4
+        assert obj.value() == pytest.approx(expected)

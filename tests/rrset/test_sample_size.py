@@ -1,0 +1,93 @@
+"""Unit tests for sample-size bounds."""
+
+import math
+
+import pytest
+
+from repro.exceptions import EstimationError
+from repro.rrset.sample_size import (
+    approximation_lower_bound,
+    default_num_rr_sets,
+    epsilon_for_theta,
+    log_binomial,
+    theta_for_epsilon,
+)
+
+
+class TestDefaults:
+    def test_nlogn_scale(self):
+        assert default_num_rr_sets(1000) == math.ceil(1000 * math.log(1000))
+
+    def test_constant_multiplier(self):
+        assert default_num_rr_sets(1000, constant=2.0) == math.ceil(2 * 1000 * math.log(1000))
+
+    def test_minimum_one(self):
+        assert default_num_rr_sets(1) >= 1
+
+    def test_invalid_n(self):
+        with pytest.raises(EstimationError):
+            default_num_rr_sets(0)
+
+
+class TestLogBinomial:
+    def test_small_exact(self):
+        assert log_binomial(5, 2) == pytest.approx(math.log(10))
+        assert log_binomial(10, 0) == pytest.approx(0.0)
+        assert log_binomial(10, 10) == pytest.approx(0.0)
+
+    def test_symmetry(self):
+        assert log_binomial(100, 30) == pytest.approx(log_binomial(100, 70))
+
+    def test_invalid_k(self):
+        with pytest.raises(EstimationError):
+            log_binomial(5, 6)
+        with pytest.raises(EstimationError):
+            log_binomial(5, -1)
+
+
+class TestThetaEpsilonInversion:
+    def test_roundtrip(self):
+        n, k, opt = 1000, 10, 50.0
+        theta = theta_for_epsilon(n, k, epsilon=0.2, opt_lower_bound=opt)
+        eps = epsilon_for_theta(n, k, theta, opt_lower_bound=opt)
+        assert eps == pytest.approx(0.2, rel=0.02)  # ceil() loses a little
+
+    def test_theta_decreases_with_epsilon(self):
+        n, k, opt = 1000, 10, 50.0
+        loose = theta_for_epsilon(n, k, epsilon=0.5, opt_lower_bound=opt)
+        tight = theta_for_epsilon(n, k, epsilon=0.1, opt_lower_bound=opt)
+        assert tight > loose
+
+    def test_theta_decreases_with_opt(self):
+        n, k = 1000, 10
+        small_opt = theta_for_epsilon(n, k, epsilon=0.2, opt_lower_bound=10.0)
+        big_opt = theta_for_epsilon(n, k, epsilon=0.2, opt_lower_bound=100.0)
+        assert big_opt < small_opt
+
+    def test_invalid_args(self):
+        with pytest.raises(EstimationError):
+            theta_for_epsilon(10, 2, epsilon=0.0, opt_lower_bound=1.0)
+        with pytest.raises(EstimationError):
+            epsilon_for_theta(10, 2, theta=0, opt_lower_bound=1.0)
+        with pytest.raises(EstimationError):
+            epsilon_for_theta(10, 2, theta=10, opt_lower_bound=0.0)
+
+
+class TestApproximationLowerBound:
+    def test_never_exceeds_one_minus_inv_e(self):
+        bound = approximation_lower_bound(1000, 10, theta=10**9, achieved_spread=500.0)
+        assert bound <= 1 - 1 / math.e
+
+    def test_clamped_at_zero(self):
+        bound = approximation_lower_bound(1000, 10, theta=10, achieved_spread=1.0)
+        assert bound == 0.0
+
+    def test_grows_with_theta(self):
+        small = approximation_lower_bound(1000, 10, theta=10**4, achieved_spread=100.0)
+        large = approximation_lower_bound(1000, 10, theta=10**7, achieved_spread=100.0)
+        assert large >= small
+
+    def test_paper_scale_bound_above_half(self):
+        """At the paper's theta (~1M for wiki-Vote, n=7115) the bound > 0.5."""
+        bound = approximation_lower_bound(7115, 50, theta=10**6, achieved_spread=1500.0)
+        assert bound > 0.5

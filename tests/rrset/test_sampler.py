@@ -1,0 +1,70 @@
+"""Unit tests for RR-set sampling."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion.independent_cascade import IndependentCascade
+from repro.exceptions import EstimationError
+from repro.graphs.build import from_edges
+from repro.graphs.generators import isolated_nodes, path_graph
+from repro.rrset.sampler import sample_rr_sets
+
+
+class TestSampleRRSets:
+    def test_count(self):
+        ic = IndependentCascade(path_graph(5, probability=0.5))
+        rr_sets = sample_rr_sets(ic, 100, seed=1)
+        assert len(rr_sets) == 100
+
+    def test_each_contains_its_root(self):
+        ic = IndependentCascade(path_graph(5, probability=0.5))
+        roots = [0, 1, 2, 3, 4]
+        rr_sets = sample_rr_sets(ic, 5, seed=2, roots=roots)
+        for root, rr in zip(roots, rr_sets):
+            assert root in rr.tolist()
+
+    def test_isolated_nodes_singletons(self):
+        ic = IndependentCascade(isolated_nodes(4))
+        rr_sets = sample_rr_sets(ic, 50, seed=3)
+        assert all(rr.size == 1 for rr in rr_sets)
+
+    def test_deterministic_with_seed(self):
+        ic = IndependentCascade(path_graph(6, probability=0.5))
+        a = sample_rr_sets(ic, 20, seed=4)
+        b = sample_rr_sets(ic, 20, seed=4)
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))
+
+    def test_roots_drawn_uniformly(self):
+        """Uniform root draws: each node roots ~1/n of the hyper-edges."""
+        ic = IndependentCascade(isolated_nodes(4))
+        rr_sets = sample_rr_sets(ic, 20000, seed=5)
+        counts = np.zeros(4)
+        for rr in rr_sets:
+            counts[rr[0]] += 1
+        assert np.allclose(counts / 20000, 0.25, atol=0.02)
+
+    def test_explicit_roots_length_checked(self):
+        ic = IndependentCascade(path_graph(3))
+        with pytest.raises(EstimationError):
+            sample_rr_sets(ic, 5, roots=[0, 1])
+
+    def test_negative_count_rejected(self):
+        ic = IndependentCascade(path_graph(3))
+        with pytest.raises(EstimationError):
+            sample_rr_sets(ic, -1)
+
+    def test_empty_graph_rejected(self):
+        ic = IndependentCascade(isolated_nodes(0))
+        with pytest.raises(EstimationError):
+            sample_rr_sets(ic, 5)
+
+    def test_zero_count_gives_empty_list(self):
+        ic = IndependentCascade(path_graph(3))
+        assert sample_rr_sets(ic, 0, seed=6) == []
+
+    def test_deterministic_chain_rr(self):
+        """p=1 chain: RR(v) is exactly the prefix 0..v."""
+        ic = IndependentCascade(path_graph(5, probability=1.0))
+        rr_sets = sample_rr_sets(ic, 5, seed=7, roots=[0, 1, 2, 3, 4])
+        for v, rr in enumerate(rr_sets):
+            assert sorted(rr.tolist()) == list(range(v + 1))

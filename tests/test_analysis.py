@@ -1,0 +1,113 @@
+"""Unit tests for the analysis package."""
+
+import pytest
+
+from repro.analysis import budget_frontier, compare_methods, summarize_plan
+from repro.core.configuration import Configuration
+from repro.core.solvers import solve
+from repro.exceptions import SolverError
+
+
+class TestSummarizePlan:
+    def test_empty_plan(self, medium_problem):
+        summary = summarize_plan(Configuration.zeros(medium_problem.num_nodes), medium_problem)
+        assert summary.num_targeted == 0
+        assert summary.worst_case_spend == 0.0
+        assert summary.expected_seeds == 0.0
+        assert summary.mean_discount == 0.0
+
+    def test_ud_plan_summary(self, medium_problem, medium_hypergraph):
+        result = solve(medium_problem, "ud", hypergraph=medium_hypergraph, seed=1)
+        summary = summarize_plan(result.configuration, medium_problem, medium_hypergraph)
+        assert summary.num_targeted == len(result.extras["targets"])
+        assert summary.min_discount == summary.max_discount  # unified
+        assert summary.worst_case_spend <= medium_problem.budget + 1e-9
+        assert summary.expected_spend <= summary.worst_case_spend + 1e-12
+        assert summary.spread_estimate == pytest.approx(result.spread_estimate)
+
+    def test_curve_breakdown_sums(self, medium_problem, medium_hypergraph):
+        result = solve(medium_problem, "cd", hypergraph=medium_hypergraph, seed=2)
+        summary = summarize_plan(result.configuration, medium_problem)
+        assert sum(summary.targets_by_curve.values()) == summary.num_targeted
+        assert sum(summary.spend_by_curve.values()) == pytest.approx(
+            summary.worst_case_spend
+        )
+
+    def test_as_text_mentions_key_numbers(self, medium_problem, medium_hypergraph):
+        result = solve(medium_problem, "ud", hypergraph=medium_hypergraph, seed=3)
+        text = summarize_plan(
+            result.configuration, medium_problem, medium_hypergraph
+        ).as_text()
+        assert "targeted users" in text
+        assert "estimated spread" in text
+
+
+class TestCompareMethods:
+    def test_all_methods_summarized(self, medium_problem, medium_hypergraph):
+        summaries = compare_methods(
+            medium_problem, methods=("im", "ud"), hypergraph=medium_hypergraph, seed=4
+        )
+        assert set(summaries) == {"im", "ud"}
+        assert summaries["im"].max_discount == 1.0  # integer configuration
+        assert summaries["ud"].spread_estimate >= summaries["im"].spread_estimate - 1e-6
+
+
+class TestBudgetFrontier:
+    def test_frontier_monotone(self, medium_problem, medium_hypergraph):
+        points = budget_frontier(
+            medium_problem.model,
+            medium_problem.population,
+            budgets=(2.0, 5.0, 10.0),
+            method="ud",
+            hypergraph=medium_hypergraph,
+            seed=5,
+        )
+        spreads = [p.spread for p in points]
+        assert spreads == sorted(spreads)
+
+    def test_marginal_value_definition(self, medium_problem, medium_hypergraph):
+        points = budget_frontier(
+            medium_problem.model,
+            medium_problem.population,
+            budgets=(2.0, 4.0),
+            method="ud",
+            hypergraph=medium_hypergraph,
+            seed=6,
+        )
+        expected = (points[1].spread - points[0].spread) / 2.0
+        assert points[1].marginal == pytest.approx(expected)
+
+    def test_diminishing_marginals(self, medium_problem, medium_hypergraph):
+        """Saturation: the marginal value of budget should fall."""
+        points = budget_frontier(
+            medium_problem.model,
+            medium_problem.population,
+            budgets=(2.0, 10.0, 30.0),
+            method="ud",
+            hypergraph=medium_hypergraph,
+            seed=7,
+        )
+        assert points[-1].marginal < points[0].marginal
+
+    def test_invalid_budgets(self, medium_problem, medium_hypergraph):
+        with pytest.raises(SolverError):
+            budget_frontier(
+                medium_problem.model,
+                medium_problem.population,
+                budgets=(),
+                hypergraph=medium_hypergraph,
+            )
+        with pytest.raises(SolverError):
+            budget_frontier(
+                medium_problem.model,
+                medium_problem.population,
+                budgets=(5.0, 2.0),
+                hypergraph=medium_hypergraph,
+            )
+        with pytest.raises(SolverError):
+            budget_frontier(
+                medium_problem.model,
+                medium_problem.population,
+                budgets=(0.0, 2.0),
+                hypergraph=medium_hypergraph,
+            )

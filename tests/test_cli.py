@@ -1,0 +1,203 @@
+"""Unit tests for the command-line interface (invoked in-process)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def network_file(tmp_path):
+    path = tmp_path / "net.txt"
+    code = main(
+        [
+            "generate",
+            "--model",
+            "erdos-renyi",
+            "--nodes",
+            "80",
+            "--edge-prob",
+            "0.06",
+            "--seed",
+            "1",
+            "-o",
+            str(path),
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_solve_requires_budget(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "net.txt"])
+
+
+class TestGenerate:
+    @pytest.mark.parametrize(
+        "model", ["erdos-renyi", "powerlaw", "barabasi-albert", "forest-fire"]
+    )
+    def test_all_models(self, tmp_path, model, capsys):
+        path = tmp_path / f"{model}.txt"
+        code = main(
+            ["generate", "--model", model, "--nodes", "60", "--seed", "2", "-o", str(path)]
+        )
+        assert code == 0
+        assert path.exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_weighted_cascade_applied(self, network_file):
+        from repro.graphs.io import read_edge_list
+
+        graph, _ = read_edge_list(network_file)
+        assert graph.out_probs.max() <= 1.0
+        assert graph.out_probs.min() > 0.0
+
+
+class TestInspect:
+    def test_prints_stats(self, network_file, capsys):
+        assert main(["inspect", str(network_file)]) == 0
+        out = capsys.readouterr().out
+        assert "n=" in out and "m=" in out
+
+    def test_missing_file(self, tmp_path, capsys):
+        assert main(["inspect", str(tmp_path / "nope.txt")]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestSolveAndEvaluate:
+    def test_solve_prints_and_saves(self, network_file, tmp_path, capsys):
+        plan = tmp_path / "plan.json"
+        code = main(
+            [
+                "solve",
+                str(network_file),
+                "--method",
+                "ud",
+                "--budget",
+                "4",
+                "--hyperedges",
+                "1500",
+                "--seed",
+                "3",
+                "-o",
+                str(plan),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "estimated spread" in out
+        payload = json.loads(plan.read_text())
+        assert payload["method"] == "ud"
+
+    def test_evaluate_solve_result(self, network_file, tmp_path, capsys):
+        plan = tmp_path / "plan.json"
+        main(
+            [
+                "solve",
+                str(network_file),
+                "--method",
+                "im",
+                "--budget",
+                "3",
+                "--hyperedges",
+                "1000",
+                "--seed",
+                "4",
+                "-o",
+                str(plan),
+            ]
+        )
+        capsys.readouterr()
+        code = main(
+            ["evaluate", str(network_file), str(plan), "--samples", "300", "--seed", "5"]
+        )
+        assert code == 0
+        assert "spread" in capsys.readouterr().out
+
+    def test_evaluate_bare_configuration(self, network_file, tmp_path, capsys):
+        from repro.core.configuration import Configuration
+        from repro.graphs.io import read_edge_list
+        from repro.io.serialization import save_configuration
+
+        graph, _ = read_edge_list(network_file)
+        config_path = tmp_path / "config.json"
+        save_configuration(Configuration.integer([0, 1], graph.num_nodes), config_path)
+        code = main(
+            [
+                "evaluate",
+                str(network_file),
+                str(config_path),
+                "--samples",
+                "200",
+                "--seed",
+                "6",
+            ]
+        )
+        assert code == 0
+        assert "spread" in capsys.readouterr().out
+
+    def test_lt_diffusion(self, network_file, capsys):
+        code = main(
+            [
+                "solve",
+                str(network_file),
+                "--method",
+                "ud",
+                "--budget",
+                "3",
+                "--diffusion",
+                "lt",
+                "--hyperedges",
+                "1000",
+                "--seed",
+                "7",
+            ]
+        )
+        assert code == 0
+
+
+class TestReport:
+    def test_report_writes_csvs(self, tmp_path, capsys):
+        out = tmp_path / "report"
+        code = main(
+            [
+                "report",
+                str(out),
+                "--scale",
+                "0.01",
+                "--hyperedges",
+                "600",
+                "--samples",
+                "100",
+                "--seed",
+                "9",
+            ]
+        )
+        assert code == 0
+        assert (out / "figure3_influence_spread.csv").exists()
+        assert (out / "MANIFEST.txt").exists()
+        assert "report written" in capsys.readouterr().out
+
+
+class TestReproduce:
+    def test_table2(self, capsys):
+        assert main(["reproduce", "table2", "--scale", "0.01"]) == 0
+        assert "wiki-vote" in capsys.readouterr().out
+
+    def test_fig5(self, capsys):
+        code = main(
+            ["reproduce", "fig5", "--scale", "0.01", "--budget", "5", "--seed", "8"]
+        )
+        assert code == 0
+        assert "best c" in capsys.readouterr().out

@@ -1,0 +1,102 @@
+"""Unit tests for influence scores and plan overlap."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.influence import (
+    influence_scores,
+    plan_overlap,
+    top_influencers,
+)
+from repro.core.configuration import Configuration
+from repro.diffusion.independent_cascade import IndependentCascade
+from repro.exceptions import SolverError
+from repro.graphs.build import from_edges
+from repro.graphs.generators import star_graph
+from repro.rrset.hypergraph import RRHypergraph
+
+
+class TestInfluenceScores:
+    def test_matches_exact_singleton_spread(self):
+        """n * deg_H(u) / theta must estimate I({u})."""
+        from repro.core.exact import ExactICComputer
+
+        g = from_edges([(0, 1, 0.5), (1, 2, 0.4), (0, 2, 0.3)], num_nodes=3)
+        hg = RRHypergraph.build(IndependentCascade(g), 40000, seed=1)
+        scores = influence_scores(hg)
+        computer = ExactICComputer(g)
+        for node in range(3):
+            assert scores[node] == pytest.approx(computer.spread([node]), abs=0.06)
+
+    def test_hub_ranks_first_on_star(self):
+        g = star_graph(6, probability=0.8)
+        hg = RRHypergraph.build(IndependentCascade(g), 5000, seed=2)
+        ranking = top_influencers(hg, 3)
+        assert ranking[0][0] == 0
+        assert ranking[0][1] > ranking[1][1]
+
+    def test_top_k_length_and_order(self):
+        g = star_graph(5, probability=0.5)
+        hg = RRHypergraph.build(IndependentCascade(g), 2000, seed=3)
+        ranking = top_influencers(hg, 4)
+        assert len(ranking) == 4
+        scores = [s for _, s in ranking]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_negative_k_rejected(self):
+        g = star_graph(3)
+        hg = RRHypergraph.build(IndependentCascade(g), 100, seed=4)
+        with pytest.raises(SolverError):
+            top_influencers(hg, -1)
+
+    def test_empty_hypergraph_rejected(self):
+        hg = RRHypergraph(3, [])
+        with pytest.raises(SolverError):
+            influence_scores(hg)
+
+
+class TestPlanOverlap:
+    def test_identical_plans(self):
+        config = Configuration([0.5, 0.0, 0.3])
+        overlap = plan_overlap(config, config)
+        assert overlap.jaccard == 1.0
+        assert overlap.budget_overlap == pytest.approx(1.0)
+        assert overlap.discount_correlation == pytest.approx(1.0)
+        assert overlap.shared_targets == 2
+
+    def test_disjoint_plans(self):
+        a = Configuration([0.5, 0.0, 0.0, 0.0])
+        b = Configuration([0.0, 0.0, 0.5, 0.0])
+        overlap = plan_overlap(a, b)
+        assert overlap.jaccard == 0.0
+        assert overlap.shared_targets == 0
+        assert overlap.budget_overlap == 0.0
+
+    def test_partial_overlap(self):
+        a = Configuration([0.4, 0.4, 0.0])
+        b = Configuration([0.4, 0.0, 0.4])
+        overlap = plan_overlap(a, b)
+        assert overlap.shared_targets == 1
+        assert overlap.jaccard == pytest.approx(1 / 3)
+        assert overlap.budget_overlap == pytest.approx(0.4 / 0.8)
+
+    def test_empty_plans(self):
+        a = Configuration.zeros(3)
+        overlap = plan_overlap(a, a)
+        assert overlap.jaccard == 1.0
+        assert overlap.budget_overlap == 1.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(SolverError):
+            plan_overlap(Configuration([0.5]), Configuration([0.5, 0.5]))
+
+    def test_ud_and_cd_plans_strongly_overlap(self, medium_problem, medium_hypergraph):
+        """CD refines UD's configuration, so the plans must share most of
+        their targets."""
+        from repro.core.solvers import solve
+
+        ud = solve(medium_problem, "ud", hypergraph=medium_hypergraph, seed=5)
+        cd = solve(medium_problem, "cd", hypergraph=medium_hypergraph, seed=5)
+        overlap = plan_overlap(ud.configuration, cd.configuration)
+        assert overlap.jaccard > 0.9
+        assert overlap.budget_overlap > 0.5

@@ -1,0 +1,148 @@
+"""Unit tests for JSON/CSV persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.configuration import Configuration
+from repro.core.solvers import solve
+from repro.exceptions import ConfigurationError, ReproError
+from repro.io import (
+    configuration_from_json,
+    configuration_to_json,
+    load_configuration,
+    load_solve_result,
+    read_records_csv,
+    save_configuration,
+    save_solve_result,
+    solve_result_from_json,
+    solve_result_to_json,
+    write_records_csv,
+)
+
+
+class TestConfigurationJSON:
+    def test_roundtrip(self):
+        config = Configuration([0.0, 0.5, 0.0, 0.25, 1.0])
+        restored = configuration_from_json(configuration_to_json(config))
+        assert restored == config
+
+    def test_sparse_representation(self):
+        config = Configuration([0.0] * 100 + [0.5])
+        payload = json.loads(configuration_to_json(config))
+        assert len(payload["discounts"]) == 1
+        assert payload["num_nodes"] == 101
+
+    def test_file_roundtrip(self, tmp_path):
+        config = Configuration([0.1, 0.9])
+        path = tmp_path / "config.json"
+        save_configuration(config, path)
+        assert load_configuration(path) == config
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ConfigurationError):
+            configuration_from_json("not json at all")
+        with pytest.raises(ConfigurationError):
+            configuration_from_json('{"format": "something.else"}')
+
+    def test_rejects_out_of_range_node(self):
+        text = json.dumps(
+            {
+                "format": "repro.configuration.v1",
+                "num_nodes": 3,
+                "discounts": {"7": 0.5},
+            }
+        )
+        with pytest.raises(ConfigurationError):
+            configuration_from_json(text)
+
+    def test_rejects_invalid_num_nodes(self):
+        text = json.dumps(
+            {"format": "repro.configuration.v1", "num_nodes": -1, "discounts": {}}
+        )
+        with pytest.raises(ConfigurationError):
+            configuration_from_json(text)
+
+    def test_rejects_invalid_discount(self):
+        text = json.dumps(
+            {
+                "format": "repro.configuration.v1",
+                "num_nodes": 2,
+                "discounts": {"0": 1.5},
+            }
+        )
+        with pytest.raises(ConfigurationError):
+            configuration_from_json(text)
+
+
+class TestSolveResultJSON:
+    def test_roundtrip(self, medium_problem, medium_hypergraph, tmp_path):
+        result = solve(medium_problem, "ud", hypergraph=medium_hypergraph, seed=1)
+        path = tmp_path / "result.json"
+        save_solve_result(result, path)
+        restored = load_solve_result(path)
+        assert restored.method == result.method
+        assert restored.configuration == result.configuration
+        assert restored.spread_estimate == pytest.approx(result.spread_estimate)
+        assert restored.extras["best_discount"] == pytest.approx(
+            result.extras["best_discount"]
+        )
+
+    def test_timings_preserved(self, medium_problem, medium_hypergraph):
+        result = solve(medium_problem, "im", hypergraph=medium_hypergraph)
+        restored = solve_result_from_json(solve_result_to_json(result))
+        assert restored.timings.as_millis() == pytest.approx(
+            result.timings.as_millis(), rel=1e-9
+        )
+
+    def test_numpy_extras_become_plain_json(self, medium_problem, medium_hypergraph):
+        result = solve(medium_problem, "im", hypergraph=medium_hypergraph)
+        result.extras["array"] = np.array([1.5, 2.5])
+        result.extras["np_int"] = np.int64(7)
+        text = solve_result_to_json(result)
+        payload = json.loads(text)
+        assert payload["extras"]["array"] == [1.5, 2.5]
+        assert payload["extras"]["np_int"] == 7
+
+    def test_rejects_wrong_format(self):
+        with pytest.raises(ConfigurationError):
+            solve_result_from_json('{"format": "nope"}')
+
+
+class TestRecordsCSV:
+    def test_roundtrip(self, tmp_path):
+        records = [
+            {"method": "im", "budget": 5, "spread": 12.5, "ok": True},
+            {"method": "cd", "budget": 5, "spread": 14.0, "ok": False},
+        ]
+        path = tmp_path / "records.csv"
+        write_records_csv(records, path)
+        restored = read_records_csv(path)
+        assert restored == records
+
+    def test_heterogeneous_keys(self, tmp_path):
+        records = [{"a": 1}, {"a": 2, "b": "x"}]
+        path = tmp_path / "records.csv"
+        write_records_csv(records, path)
+        restored = read_records_csv(path)
+        assert restored[0] == {"a": 1, "b": None}
+        assert restored[1] == {"a": 2, "b": "x"}
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ReproError):
+            write_records_csv([], tmp_path / "empty.csv")
+
+    def test_experiment_rows_roundtrip(self, tmp_path):
+        from repro.experiments.tables import table3_search_step
+
+        rows = table3_search_step(
+            budgets=(3,), scale=0.01, num_hyperedges=500, seed=1
+        )
+        path = tmp_path / "table3.csv"
+        write_records_csv(rows, path)
+        restored = read_records_csv(path)
+        assert restored[0]["budget"] == pytest.approx(rows[0]["budget"])
+        assert restored[0]["spread_step_5pct"] == pytest.approx(
+            rows[0]["spread_step_5pct"]
+        )

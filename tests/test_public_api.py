@@ -1,0 +1,75 @@
+"""Tests for the public API surface and exception hierarchy."""
+
+import pytest
+
+import repro
+from repro.exceptions import (
+    BudgetError,
+    ConfigurationError,
+    CurveError,
+    EstimationError,
+    GraphError,
+    NodeNotFoundError,
+    ReproError,
+    SolverError,
+)
+
+
+class TestPublicExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_quickstart_symbols_available(self):
+        # The README quickstart must work from the top-level namespace.
+        for name in (
+            "CIMProblem",
+            "IndependentCascade",
+            "assign_weighted_cascade",
+            "erdos_renyi",
+            "paper_mixture",
+            "solve",
+        ):
+            assert callable(getattr(repro, name))
+
+    def test_paper_curve_singletons(self):
+        assert repro.SENSITIVE(0.5) == pytest.approx(0.75)
+        assert repro.LINEAR(0.5) == pytest.approx(0.5)
+        assert repro.INSENSITIVE(0.5) == pytest.approx(0.25)
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [GraphError, CurveError, ConfigurationError, BudgetError, SolverError, EstimationError],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_budget_error_is_configuration_error(self):
+        assert issubclass(BudgetError, ConfigurationError)
+
+    def test_node_not_found_is_key_error(self):
+        assert issubclass(NodeNotFoundError, KeyError)
+        assert issubclass(NodeNotFoundError, GraphError)
+
+    def test_value_error_compatibility(self):
+        # Callers using except ValueError keep working for validation errors.
+        assert issubclass(ConfigurationError, ValueError)
+        assert issubclass(CurveError, ValueError)
+        assert issubclass(EstimationError, ValueError)
+
+    def test_one_except_clause_catches_everything(self):
+        with pytest.raises(ReproError):
+            repro.Configuration([5.0])
+        with pytest.raises(ReproError):
+            repro.erdos_renyi(10, 2.0)
+
+    def test_budget_error_payload(self):
+        error = BudgetError(2.5, 1.0)
+        assert error.spent == 2.5
+        assert error.budget == 1.0
+        assert "2.5" in str(error)

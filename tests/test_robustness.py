@@ -1,0 +1,89 @@
+"""Unit tests for robustness analysis."""
+
+import pytest
+
+from repro.analysis.robustness import (
+    RobustnessReport,
+    curve_misspecification,
+    edge_misspecification,
+)
+from repro.core.solvers import solve
+from repro.exceptions import SolverError
+
+
+class TestRobustnessReport:
+    def test_derived_stats(self):
+        report = RobustnessReport(nominal_spread=10.0, perturbed_spreads=[8.0, 9.0, 12.0])
+        assert report.worst == 8.0
+        assert report.mean == pytest.approx(29.0 / 3)
+        assert report.worst_case_loss == pytest.approx(0.2)
+
+    def test_no_perturbations(self):
+        report = RobustnessReport(nominal_spread=5.0, perturbed_spreads=[])
+        assert report.worst == 5.0
+        assert report.mean == 5.0
+        assert report.worst_case_loss == 0.0
+
+    def test_loss_clamped_at_zero(self):
+        report = RobustnessReport(nominal_spread=5.0, perturbed_spreads=[7.0])
+        assert report.worst_case_loss == 0.0
+
+
+class TestCurveMisspecification:
+    def test_plan_survives_reassignment(self, medium_problem, medium_hypergraph):
+        """Table-4 message for a fixed plan: re-drawn curve assignments
+        change the spread only mildly."""
+        plan = solve(medium_problem, "cd", hypergraph=medium_hypergraph, seed=1)
+        report = curve_misspecification(
+            plan.configuration,
+            medium_problem,
+            num_perturbations=5,
+            evaluation_samples=800,
+            seed=2,
+        )
+        assert len(report.perturbed_spreads) == 5
+        assert report.worst_case_loss < 0.35
+
+    def test_deterministic(self, medium_problem, medium_hypergraph):
+        plan = solve(medium_problem, "im", hypergraph=medium_hypergraph, seed=3)
+        a = curve_misspecification(
+            plan.configuration, medium_problem, num_perturbations=3,
+            evaluation_samples=300, seed=4,
+        )
+        b = curve_misspecification(
+            plan.configuration, medium_problem, num_perturbations=3,
+            evaluation_samples=300, seed=4,
+        )
+        assert a.perturbed_spreads == b.perturbed_spreads
+
+    def test_invalid_count(self, medium_problem, feasible_config):
+        with pytest.raises(SolverError):
+            curve_misspecification(feasible_config, medium_problem, num_perturbations=0)
+
+
+class TestEdgeMisspecification:
+    def test_spread_monotone_in_true_alpha(self, medium_problem, medium_hypergraph, medium_wc_graph):
+        """Stronger propagation in the deployed world => more spread."""
+        plan = solve(medium_problem, "ud", hypergraph=medium_hypergraph, seed=5)
+        report = edge_misspecification(
+            plan.configuration,
+            medium_wc_graph,
+            medium_problem.population,
+            assumed_alpha=0.85,
+            true_alphas=(0.7, 1.0),
+            evaluation_samples=2000,
+            seed=6,
+        )
+        low, high = report.perturbed_spreads
+        assert high > low
+        assert low < report.nominal_spread < high
+
+    def test_empty_alphas_rejected(self, medium_problem, medium_wc_graph, feasible_config):
+        from repro.core.configuration import Configuration
+
+        config = Configuration.uniform(2.0, medium_wc_graph.num_nodes)
+        with pytest.raises(SolverError):
+            edge_misspecification(
+                config, medium_wc_graph, medium_problem.population,
+                assumed_alpha=1.0, true_alphas=(),
+            )

@@ -1,0 +1,49 @@
+"""Unit tests for the installation self-check."""
+
+import pytest
+
+from repro.cli import main
+from repro.selfcheck import ALL_CHECKS, CheckResult, run_selfcheck
+
+
+class TestSelfcheck:
+    def test_all_checks_pass(self):
+        results = run_selfcheck(verbose=False)
+        failures = [r for r in results if not r.passed]
+        assert not failures, failures
+
+    def test_covers_every_registered_check(self):
+        results = run_selfcheck(verbose=False)
+        assert len(results) == len(ALL_CHECKS)
+
+    def test_verbose_prints_report(self, capsys):
+        run_selfcheck(verbose=True)
+        out = capsys.readouterr().out
+        assert "selfcheck:" in out
+        assert "[ok  ]" in out
+
+    def test_crashing_check_reported_not_raised(self, monkeypatch):
+        import repro.selfcheck as module
+
+        def broken():
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(module, "ALL_CHECKS", [broken])
+        results = run_selfcheck(verbose=False)
+        assert len(results) == 1
+        assert not results[0].passed
+        assert "boom" in results[0].detail
+
+    def test_cli_exit_code_zero_on_success(self, capsys):
+        assert main(["selfcheck"]) == 0
+        assert "6/6" in capsys.readouterr().out
+
+    def test_cli_exit_code_one_on_failure(self, monkeypatch, capsys):
+        import repro.selfcheck as module
+
+        monkeypatch.setattr(
+            module,
+            "ALL_CHECKS",
+            [lambda: CheckResult("always-fails", False, "by design")],
+        )
+        assert main(["selfcheck"]) == 1

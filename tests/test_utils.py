@@ -1,0 +1,141 @@
+"""Unit tests for the shared utility layer."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.stats import RunningStat, mean_confidence_interval
+from repro.utils.timing import Stopwatch, TimingBreakdown
+
+
+class TestRng:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_deterministic(self):
+        a = as_generator(42).random(5)
+        b = as_generator(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(1)
+        assert as_generator(g) is g
+
+    def test_spawn_independent_streams(self):
+        children = spawn_generators(7, 3)
+        draws = [g.random(4).tolist() for g in children]
+        assert draws[0] != draws[1] != draws[2]
+
+    def test_spawn_deterministic(self):
+        a = [g.random(3).tolist() for g in spawn_generators(9, 2)]
+        b = [g.random(3).tolist() for g in spawn_generators(9, 2)]
+        assert a == b
+
+    def test_spawn_negative_count(self):
+        with pytest.raises(ValueError):
+            spawn_generators(1, -1)
+
+    def test_spawn_zero(self):
+        assert spawn_generators(1, 0) == []
+
+
+class TestRunningStat:
+    def test_mean_and_variance(self):
+        stat = RunningStat()
+        for value in (2.0, 4.0, 6.0, 8.0):
+            stat.add(value)
+        assert stat.count == 4
+        assert stat.mean == pytest.approx(5.0)
+        assert stat.variance == pytest.approx(np.var([2, 4, 6, 8], ddof=1))
+
+    def test_add_many_matches_add(self):
+        values = np.random.default_rng(2).normal(size=100)
+        one_by_one = RunningStat()
+        for value in values:
+            one_by_one.add(float(value))
+        batched = RunningStat()
+        batched.add_many(values[:37])
+        batched.add_many(values[37:])
+        assert batched.mean == pytest.approx(one_by_one.mean)
+        assert batched.variance == pytest.approx(one_by_one.variance)
+
+    def test_add_many_empty(self):
+        stat = RunningStat()
+        stat.add_many([])
+        assert stat.count == 0
+
+    def test_variance_needs_two_samples(self):
+        stat = RunningStat()
+        stat.add(3.0)
+        assert stat.variance == 0.0
+        assert stat.stderr == 0.0  # undefined with one sample; reported as 0
+
+    def test_empty_stderr_infinite(self):
+        assert RunningStat().stderr == float("inf")
+
+    def test_confidence_interval_contains_mean(self):
+        stat = RunningStat()
+        stat.add_many([1.0, 2.0, 3.0])
+        lo, hi = stat.confidence_interval()
+        assert lo <= stat.mean <= hi
+
+    def test_mean_confidence_interval_helper(self):
+        mean, lo, hi = mean_confidence_interval(np.array([1.0, 2.0, 3.0]))
+        assert mean == pytest.approx(2.0)
+        assert lo < mean < hi
+
+
+class TestTiming:
+    def test_stopwatch_accumulates(self):
+        sw = Stopwatch()
+        sw.start()
+        time.sleep(0.01)
+        first = sw.stop()
+        sw.start()
+        time.sleep(0.01)
+        second = sw.stop()
+        assert second > first > 0
+
+    def test_stopwatch_reset(self):
+        sw = Stopwatch()
+        sw.start()
+        sw.stop()
+        sw.reset()
+        assert sw.elapsed == 0.0
+
+    def test_stopwatch_stop_without_start(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_breakdown_phases(self):
+        breakdown = TimingBreakdown()
+        with breakdown.phase("build"):
+            time.sleep(0.005)
+        with breakdown.phase("solve"):
+            time.sleep(0.005)
+        with breakdown.phase("build"):  # accumulates
+            time.sleep(0.005)
+        assert breakdown.phases["build"] > breakdown.phases["solve"]
+        assert breakdown.total == pytest.approx(
+            breakdown.phases["build"] + breakdown.phases["solve"]
+        )
+
+    def test_breakdown_merge(self):
+        a = TimingBreakdown({"x": 1.0})
+        b = TimingBreakdown({"x": 2.0, "y": 3.0})
+        merged = a.merge(b)
+        assert merged.phases == {"x": 3.0, "y": 3.0}
+        assert a.phases == {"x": 1.0}  # originals untouched
+
+    def test_as_millis(self):
+        breakdown = TimingBreakdown({"x": 0.5})
+        assert breakdown.as_millis() == {"x": 500.0}
+
+    def test_phase_records_on_exception(self):
+        breakdown = TimingBreakdown()
+        with pytest.raises(ValueError):
+            with breakdown.phase("failing"):
+                raise ValueError("boom")
+        assert "failing" in breakdown.phases
