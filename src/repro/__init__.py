@@ -69,10 +69,13 @@ from repro.diffusion.batch import batch_configuration_spread_ic, batch_spread_ic
 from repro.discrete import celf_greedy, degree_seeds, random_seeds, ris_influence_maximization
 from repro.exceptions import (
     BudgetError,
+    CheckpointError,
     ConfigurationError,
     CurveError,
+    DeadlineExceeded,
     EstimationError,
     GraphError,
+    PartialResultWarning,
     ReproError,
     SolverError,
 )
@@ -98,6 +101,17 @@ from repro.io import (
 )
 from repro.rrset import RRHypergraph, HypergraphObjective, sample_rr_sets
 from repro.rrset.imm import imm_hypergraph
+from repro.runtime import (
+    CheckpointStore,
+    Deadline,
+    FaultInjector,
+    InjectedFault,
+    ManualClock,
+    RunBudget,
+    as_deadline,
+    content_key,
+    retry,
+)
 
 __version__ = "1.0.0"
 
@@ -177,6 +191,16 @@ __all__ = [
     "HypergraphObjective",
     "sample_rr_sets",
     "imm_hypergraph",
+    # runtime (fault-tolerant execution)
+    "Deadline",
+    "RunBudget",
+    "ManualClock",
+    "as_deadline",
+    "CheckpointStore",
+    "content_key",
+    "retry",
+    "FaultInjector",
+    "InjectedFault",
     # exceptions
     "ReproError",
     "GraphError",
@@ -185,4 +209,7 @@ __all__ = [
     "BudgetError",
     "SolverError",
     "EstimationError",
+    "DeadlineExceeded",
+    "CheckpointError",
+    "PartialResultWarning",
 ]

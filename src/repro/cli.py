@@ -19,12 +19,26 @@ regenerates one paper exhibit.
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 from typing import Optional, Sequence
 
 from repro.exceptions import ReproError
 
 __all__ = ["main", "build_parser"]
+
+
+def _deadline_seconds(text: str) -> float:
+    """argparse type for --deadline: a finite, non-negative second count."""
+    try:
+        seconds = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a number: {text!r}")
+    if math.isnan(seconds) or seconds < 0:
+        raise argparse.ArgumentTypeError(
+            f"deadline must be a non-negative number of seconds, got {text}"
+        )
+    return seconds
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -64,6 +78,14 @@ def build_parser() -> argparse.ArgumentParser:
     slv.add_argument("--diffusion", choices=("ic", "lt"), default="ic")
     slv.add_argument("--undirected", action="store_true")
     slv.add_argument("--seed", type=int, default=None)
+    slv.add_argument(
+        "--deadline",
+        type=_deadline_seconds,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget; on expiry the best feasible partial plan "
+        "found so far is returned (marked partial) instead of failing",
+    )
     slv.add_argument("-o", "--output", default=None, help="save plan JSON here")
 
     ev = sub.add_parser("evaluate", help="Monte-Carlo score a saved plan")
@@ -86,6 +108,16 @@ def build_parser() -> argparse.ArgumentParser:
     rpt.add_argument("--hyperedges", type=int, default=6000)
     rpt.add_argument("--samples", type=int, default=1000)
     rpt.add_argument("--seed", type=int, default=2016)
+    rpt.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="snapshot each completed experiment cell here (atomic JSON/NPZ)",
+    )
+    rpt.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse completed cells found in --checkpoint-dir instead of recomputing",
+    )
 
     rep = sub.add_parser("reproduce", help="regenerate a paper exhibit")
     rep.add_argument(
@@ -178,12 +210,18 @@ def _cmd_solve(args) -> int:
     population = _build_population(graph.num_nodes, args)
     problem = CIMProblem(model, population, budget=args.budget)
     result = solve(
-        problem, args.method, num_hyperedges=args.hyperedges, seed=args.seed
+        problem,
+        args.method,
+        num_hyperedges=args.hyperedges,
+        seed=args.seed,
+        deadline=args.deadline,
     )
     support = result.configuration.support
+    partial = " [PARTIAL: deadline hit]" if result.extras.get("partial") else ""
     print(
         f"{args.method}: estimated spread {result.spread_estimate:.2f}, "
         f"{support.size} users targeted, spend {result.cost:.3f} / {args.budget:g}"
+        f"{partial}"
     )
     if args.output:
         save_solve_result(result, args.output)
@@ -274,6 +312,8 @@ def _cmd_report(args) -> int:
         num_hyperedges=args.hyperedges,
         evaluation_samples=args.samples,
         seed=args.seed,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
     )
     for name, path in sorted(written.items()):
         print(f"  {name}: {path}")

@@ -33,6 +33,7 @@ from repro.core.problem import CIMProblem
 from repro.exceptions import SolverError
 from repro.rrset.estimator import HypergraphObjective
 from repro.rrset.hypergraph import RRHypergraph
+from repro.runtime.deadline import DeadlineLike, as_deadline
 from repro.utils.timing import TimingBreakdown
 
 __all__ = ["HypergraphCDResult", "coordinate_descent_hypergraph"]
@@ -48,6 +49,10 @@ class HypergraphCDResult:
     rounds_run: int = 0
     pair_updates: int = 0
     converged: bool = False
+    #: True when a deadline stopped the descent early; the configuration
+    #: is the feasible incumbent at that moment (never worse than the
+    #: warm start — pair steps only ever improve the objective).
+    deadline_expired: bool = False
     timings: TimingBreakdown = field(default_factory=TimingBreakdown)
 
 
@@ -91,6 +96,7 @@ def coordinate_descent_hypergraph(
     coordinates: Optional[Sequence[int]] = None,
     refine_iterations: int = 25,
     pair_strategy: str = "cyclic",
+    deadline: DeadlineLike = None,
 ) -> HypergraphCDResult:
     """Run CD over the Eq.-14 hyper-graph objective.
 
@@ -113,7 +119,13 @@ def coordinate_descent_hypergraph(
         setting); ``"gradient"`` — the paper's future-work heuristic
         pairing large-derivative coordinates with small-derivative ones,
         visiting only O(|support|) pairs per round.
+    deadline:
+        Optional run budget, polled at every pair boundary; on expiry the
+        feasible incumbent is returned with ``deadline_expired=True``
+        (anytime behaviour — the descent is a monotone improvement over
+        the warm start, so stopping early is always safe).
     """
+    budget_clock = as_deadline(deadline)
     initial.require_feasible(problem.budget)
     if len(initial) != problem.num_nodes:
         raise SolverError("initial configuration has the wrong length")
@@ -146,6 +158,7 @@ def coordinate_descent_hypergraph(
     pair_updates = 0
     rounds_run = 0
     converged = False
+    expired = False
     with timings.phase("descent"):
         for _ in range(max_rounds):
             rounds_run += 1
@@ -157,6 +170,9 @@ def coordinate_descent_hypergraph(
             else:
                 round_pairs = itertools.combinations(coords.tolist(), 2)
             for i, j in round_pairs:
+                if budget_clock.expired():
+                    expired = True
+                    break
                 c_i, c_j = float(discounts[i]), float(discounts[j])
                 cand_i, cand_j, _ = pair_grid_candidates(c_i, c_j, grid_step)
                 coefficients = objective.pair_coefficients(i, j)
@@ -189,6 +205,8 @@ def coordinate_descent_hypergraph(
                     current_value = objective.value()
                     pair_updates += 1
             round_values.append(current_value)
+            if expired:
+                break
             if current_value - round_start_value <= tolerance:
                 converged = True
                 break
@@ -203,6 +221,7 @@ def coordinate_descent_hypergraph(
         rounds_run=rounds_run,
         pair_updates=pair_updates,
         converged=converged,
+        deadline_expired=expired,
         timings=timings,
     )
 

@@ -27,6 +27,7 @@ import numpy as np
 from repro.core.configuration import Configuration
 from repro.core.objective import SpreadOracle
 from repro.exceptions import ConfigurationError, SolverError
+from repro.runtime.deadline import DeadlineLike, as_deadline
 from repro.utils.rng import SeedLike, as_generator
 
 __all__ = [
@@ -47,6 +48,10 @@ class CoordinateDescentResult:
     rounds_run: int = 0
     pair_updates: int = 0
     converged: bool = False
+    #: True when a deadline stopped the descent before convergence or the
+    #: round limit; the configuration is still feasible and no worse than
+    #: the warm start (monotone improvement, Section 5.2).
+    deadline_expired: bool = False
 
 
 def saturate_budget(configuration: Configuration, budget: float) -> Configuration:
@@ -126,6 +131,7 @@ def coordinate_descent(
     pair_strategy: str = "cyclic",
     coordinates: Optional[Sequence[int]] = None,
     seed: SeedLike = None,
+    deadline: DeadlineLike = None,
 ) -> CoordinateDescentResult:
     """Algorithm 1 with grid-based pair maximization.
 
@@ -148,8 +154,14 @@ def coordinate_descent(
         start, for efficiency).  Default: all coordinates.
     pair_strategy:
         ``"cyclic"`` (deterministic sweep) or ``"random"``.
+    deadline:
+        Optional run budget (seconds or :class:`~repro.runtime.Deadline`),
+        polled at every pair boundary.  On expiry the incumbent — always
+        feasible, never worse than the warm start — is returned with
+        ``deadline_expired=True``.
     """
     rng = as_generator(seed)
+    budget_clock = as_deadline(deadline)
     config = saturate_budget(initial.require_feasible(budget), budget)
     n = len(config)
     if coordinates is None:
@@ -173,10 +185,14 @@ def coordinate_descent(
     pair_updates = 0
     converged = False
     rounds_run = 0
+    expired = False
     for _ in range(max_rounds):
         rounds_run += 1
         round_start_value = current_value
         for i, j in _iterate_pairs(pair_strategy, coords, rng):
+            if budget_clock.expired():
+                expired = True
+                break
             cand_i, cand_j, _ = pair_grid_candidates(config[i], config[j], grid_step)
             best_value = current_value
             best_pair = (config[i], config[j])
@@ -193,6 +209,8 @@ def coordinate_descent(
                 current_value = best_value
                 pair_updates += 1
         round_values.append(current_value)
+        if expired:
+            break
         if current_value - round_start_value <= tolerance:
             converged = True
             break
@@ -203,4 +221,5 @@ def coordinate_descent(
         rounds_run=rounds_run,
         pair_updates=pair_updates,
         converged=converged,
+        deadline_expired=expired,
     )

@@ -19,6 +19,7 @@ from repro.exceptions import ConfigurationError
 from repro.graphs.digraph import DiGraph
 from repro.rrset.hypergraph import RRHypergraph
 from repro.rrset.sample_size import default_num_rr_sets
+from repro.runtime.deadline import DeadlineLike
 from repro.utils.rng import SeedLike
 
 __all__ = ["CIMProblem"]
@@ -113,12 +114,19 @@ class CIMProblem:
         )
 
     def build_hypergraph(
-        self, num_hyperedges: Optional[int] = None, seed: SeedLike = None
+        self,
+        num_hyperedges: Optional[int] = None,
+        seed: SeedLike = None,
+        deadline: "DeadlineLike" = None,
     ) -> RRHypergraph:
-        """Build the random hyper-graph shared by the Section-8 solvers."""
+        """Build the random hyper-graph shared by the Section-8 solvers.
+
+        ``deadline`` bounds construction time; see
+        :meth:`repro.rrset.hypergraph.RRHypergraph.build`.
+        """
         theta = (
             num_hyperedges
             if num_hyperedges is not None
             else default_num_rr_sets(self.num_nodes)
         )
-        return RRHypergraph.build(self.model, theta, seed=seed)
+        return RRHypergraph.build(self.model, theta, seed=seed, deadline=deadline)

@@ -24,6 +24,7 @@ Registered methods
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -35,9 +36,11 @@ from repro.core.objective import HypergraphOracle
 from repro.core.problem import CIMProblem
 from repro.core.unified_discount import unified_discount
 from repro.discrete.heuristics import degree_seeds
-from repro.exceptions import SolverError
+from repro.exceptions import PartialResultWarning, SolverError
 from repro.rrset.coverage import max_coverage
 from repro.rrset.hypergraph import RRHypergraph
+from repro.rrset.sample_size import default_num_rr_sets
+from repro.runtime.deadline import Deadline, DeadlineLike, as_deadline
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.timing import TimingBreakdown
 
@@ -81,11 +84,13 @@ def _solve_ud(problem, hypergraph, seed, options) -> tuple[Configuration, dict]:
         hypergraph,
         discount_grid=options.get("discount_grid"),
         step=options.get("step", 0.05),
+        deadline=options.get("deadline"),
     )
     return result.configuration, {
         "best_discount": result.best_discount,
         "targets": result.targets,
         "grid": result.grid,
+        "deadline_expired": result.deadline_expired,
     }
 
 
@@ -95,6 +100,7 @@ def _solve_cd(problem, hypergraph, seed, options) -> tuple[Configuration, dict]:
         hypergraph,
         discount_grid=options.get("discount_grid"),
         step=options.get("step", 0.05),
+        deadline=options.get("deadline"),
     )
     cd_result = coordinate_descent_hypergraph(
         problem,
@@ -103,6 +109,7 @@ def _solve_cd(problem, hypergraph, seed, options) -> tuple[Configuration, dict]:
         grid_step=options.get("grid_step", 0.01),
         max_rounds=options.get("max_rounds", 10),
         refine_iterations=options.get("refine_iterations", 25),
+        deadline=options.get("deadline"),
     )
     return cd_result.configuration, {
         "warm_start": "ud",
@@ -111,6 +118,7 @@ def _solve_cd(problem, hypergraph, seed, options) -> tuple[Configuration, dict]:
         "pair_updates": cd_result.pair_updates,
         "round_values": cd_result.round_values,
         "converged": cd_result.converged,
+        "deadline_expired": ud_result.deadline_expired or cd_result.deadline_expired,
     }
 
 
@@ -136,12 +144,14 @@ def _solve_cd_im(problem, hypergraph, seed, options) -> tuple[Configuration, dic
         max_rounds=options.get("max_rounds", 10),
         refine_iterations=options.get("refine_iterations", 25),
         coordinates=coordinates,
+        deadline=options.get("deadline"),
     )
     return cd_result.configuration, {
         "warm_start": "im",
         "im_seeds": im_extras["seeds"],
         "rounds_run": cd_result.rounds_run,
         "round_values": cd_result.round_values,
+        "deadline_expired": cd_result.deadline_expired,
     }
 
 
@@ -229,6 +239,7 @@ def solve(
     hypergraph: Optional[RRHypergraph] = None,
     num_hyperedges: Optional[int] = None,
     seed: SeedLike = None,
+    deadline: DeadlineLike = None,
     **options,
 ) -> SolveResult:
     """Run one CIM strategy end to end.
@@ -245,6 +256,16 @@ def solve(
         timing phase — the decomposition of Figure 6).
     num_hyperedges / seed:
         Hyper-graph size and RNG seed when building here.
+    deadline:
+        Optional wall-clock budget for the *whole* run (seconds or a
+        shared :class:`~repro.runtime.Deadline`): hyper-graph construction
+        and the solver draw it down together.  On expiry the run degrades
+        instead of failing — it returns a budget-feasible configuration
+        built from the work done so far, tags it ``extras["partial"] is
+        True`` and issues a :class:`~repro.exceptions.PartialResultWarning`.
+        Only if *nothing* usable was produced (e.g. the deadline expired
+        before a single RR set was sampled) does
+        :class:`~repro.exceptions.DeadlineExceeded` escape.
     options:
         Method-specific knobs (``step``, ``grid_step``, ``max_rounds``...).
     """
@@ -255,10 +276,28 @@ def solve(
             f"unknown method {method!r}; choose from {available_methods()}"
         ) from None
 
+    run_budget: Deadline = as_deadline(deadline)
+    options = dict(options)
+    options.setdefault("deadline", run_budget)
+
     timings = TimingBreakdown()
+    hypergraph_truncated = False
     if hypergraph is None:
+        requested = (
+            num_hyperedges
+            if num_hyperedges is not None
+            else default_num_rr_sets(problem.num_nodes)
+        )
         with timings.phase("hypergraph"):
-            hypergraph = problem.build_hypergraph(num_hyperedges=num_hyperedges, seed=seed)
+            hypergraph = problem.build_hypergraph(
+                num_hyperedges=requested, seed=seed, deadline=run_budget
+            )
+        hypergraph_truncated = hypergraph.num_hyperedges < requested
+    elif num_hyperedges is not None:
+        # A caller handing over a prebuilt hyper-graph *and* a requested
+        # size is declaring intent; a smaller graph (e.g. deadline-truncated
+        # sampling) taints every estimate computed on it.
+        hypergraph_truncated = hypergraph.num_hyperedges < num_hyperedges
     with timings.phase(method):
         configuration, extras = solver(problem, hypergraph, seed, options)
 
@@ -266,6 +305,15 @@ def solve(
     oracle = HypergraphOracle(hypergraph, problem.population)
     estimate = oracle.evaluate(configuration)
     extras["num_hyperedges"] = hypergraph.num_hyperedges
+    partial = bool(hypergraph_truncated or extras.get("deadline_expired", False))
+    extras["partial"] = partial
+    if partial:
+        warnings.warn(
+            f"solver {method!r} hit its deadline and returned a truncated "
+            "(but budget-feasible) result",
+            PartialResultWarning,
+            stacklevel=2,
+        )
     return SolveResult(
         method=method,
         configuration=configuration,

@@ -24,6 +24,7 @@ from repro.core.problem import CIMProblem
 from repro.exceptions import SolverError
 from repro.rrset.coverage import weighted_max_coverage
 from repro.rrset.hypergraph import RRHypergraph
+from repro.runtime.deadline import DeadlineLike, as_deadline
 from repro.utils.timing import TimingBreakdown
 
 __all__ = ["UDResult", "UDGridPoint", "default_discount_grid", "unified_discount"]
@@ -47,6 +48,9 @@ class UDResult:
     targets: List[int]
     spread_estimate: float
     grid: List[UDGridPoint] = field(default_factory=list)
+    #: True when a deadline cut the discount grid search short; the result
+    #: is the best (c, S) among the grid points actually evaluated.
+    deadline_expired: bool = False
     timings: TimingBreakdown = field(default_factory=TimingBreakdown)
 
 
@@ -68,6 +72,7 @@ def unified_discount(
     hypergraph: RRHypergraph,
     discount_grid: Optional[Sequence[float]] = None,
     step: float = 0.05,
+    deadline: DeadlineLike = None,
 ) -> UDResult:
     """Run UD: grid-search the unified discount, greedy-select targets.
 
@@ -81,9 +86,15 @@ def unified_discount(
         Explicit grid of unified discounts to try; overrides ``step``.
     step:
         Grid spacing when ``discount_grid`` is not given.
+    deadline:
+        Optional run budget, polled between grid points.  On expiry the
+        best affordable ``(c, S)`` evaluated so far is returned with
+        ``deadline_expired=True``; expiring before *any* grid point was
+        scored raises :class:`~repro.exceptions.DeadlineExceeded`.
 
     Returns the best ``(c, S)`` found plus the whole grid trace (Figure 5).
     """
+    budget_clock = as_deadline(deadline)
     grid = (
         np.asarray(list(discount_grid), dtype=np.float64)
         if discount_grid is not None
@@ -100,8 +111,14 @@ def unified_discount(
     trace: List[UDGridPoint] = []
     best: Optional[Tuple[float, List[int], float]] = None
 
+    expired = False
     with timings.phase("grid_search"):
         for discount in grid:
+            if budget_clock.expired():
+                if best is None:
+                    budget_clock.check("the first UD grid point")
+                expired = True
+                break
             num_targets = int(min(n, np.floor(budget / discount + 1e-9)))
             if num_targets == 0:
                 continue
@@ -130,5 +147,6 @@ def unified_discount(
         targets=list(targets),
         spread_estimate=spread,
         grid=trace,
+        deadline_expired=expired,
         timings=timings,
     )

@@ -17,6 +17,9 @@ __all__ = [
     "SolverError",
     "ConvergenceWarning",
     "EstimationError",
+    "DeadlineExceeded",
+    "CheckpointError",
+    "PartialResultWarning",
 ]
 
 
@@ -72,3 +75,20 @@ class ConvergenceWarning(UserWarning):
 
 class EstimationError(ReproError, ValueError):
     """Raised for invalid estimation parameters (epsilon, delta, samples)."""
+
+
+class DeadlineExceeded(ReproError, TimeoutError):
+    """Raised when a run budget expires and no feasible partial result exists.
+
+    Phases that *can* degrade gracefully (sampling, coordinate descent)
+    never raise this — they return their best-so-far feasible result and
+    tag it partial; only work that has produced nothing usable raises.
+    """
+
+
+class CheckpointError(ReproError, OSError):
+    """Raised for unreadable, corrupt, or mismatched checkpoint data."""
+
+
+class PartialResultWarning(UserWarning):
+    """Warned when a solver returns a truncated (deadline-expired) result."""

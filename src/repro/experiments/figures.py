@@ -62,8 +62,15 @@ def figure3_influence_spread(
     evaluation_samples: int = 2000,
     seed: SeedLike = 2016,
     verbose: bool = False,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> List[Figure3Row]:
-    """One panel of Figure 3: spread of IM / UD / CD as budget grows."""
+    """One panel of Figure 3: spread of IM / UD / CD as budget grows.
+
+    ``checkpoint_dir`` / ``resume`` forward to
+    :func:`~repro.experiments.runner.run_methods`: each (budget, method)
+    cell is snapshotted, so a killed panel resumes where it stopped.
+    """
     rows: List[Figure3Row] = []
     for budget in budgets:
         problem = build_problem(dataset, budget=budget, alpha=alpha, scale=scale, seed=seed)
@@ -73,6 +80,8 @@ def figure3_influence_spread(
             num_hyperedges=num_hyperedges,
             evaluation_samples=evaluation_samples,
             seed=seed,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
         )
         for result in results:
             rows.append(
@@ -172,6 +181,8 @@ def figure6_running_time(
     num_hyperedges: Optional[int] = None,
     seed: SeedLike = 2016,
     verbose: bool = False,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> List[Dict[str, float]]:
     """Figure 6: per-method running time and the hyper-graph build share."""
     rows: List[Dict[str, float]] = []
@@ -183,6 +194,8 @@ def figure6_running_time(
             num_hyperedges=num_hyperedges,
             evaluation_samples=1,  # Figure 6 measures solver time, not spread
             seed=seed,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
         )
         for result in results:
             rows.append(

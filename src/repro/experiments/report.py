@@ -38,11 +38,18 @@ def generate_full_report(
     num_hyperedges: Optional[int] = 6000,
     evaluation_samples: int = 1000,
     seed: SeedLike = 2016,
+    checkpoint_dir: Optional[PathLike] = None,
+    resume: bool = False,
 ) -> Dict[str, Path]:
     """Run every exhibit and write one CSV per exhibit into ``output_dir``.
 
+    ``checkpoint_dir`` / ``resume`` enable per-cell snapshots for the grid
+    exhibits (Figures 3 and 6), so a killed report run can pick up from
+    its last completed (budget, method) cell.
+
     Returns a mapping of exhibit name to the file written.
     """
+    checkpoint_path = str(checkpoint_dir) if checkpoint_dir is not None else None
     output = Path(output_dir)
     output.mkdir(parents=True, exist_ok=True)
     written: Dict[str, Path] = {}
@@ -64,6 +71,8 @@ def generate_full_report(
             num_hyperedges=num_hyperedges,
             evaluation_samples=evaluation_samples,
             seed=seed,
+            checkpoint_dir=checkpoint_path,
+            resume=resume,
         )
         fig3_records.extend(asdict(row) for row in rows)
     emit("figure3_influence_spread", fig3_records)
@@ -99,6 +108,8 @@ def generate_full_report(
             scale=scale,
             num_hyperedges=num_hyperedges,
             seed=seed,
+            checkpoint_dir=checkpoint_path,
+            resume=resume,
         ),
     )
 

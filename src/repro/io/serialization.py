@@ -13,6 +13,7 @@ and more auditable than a dense vector.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Union
 
@@ -32,12 +33,40 @@ __all__ = [
     "solve_result_from_json",
     "save_solve_result",
     "load_solve_result",
+    "atomic_write_text",
+    "atomic_write_bytes",
 ]
 
 PathLike = Union[str, Path]
 
 _CONFIGURATION_FORMAT = "repro.configuration.v1"
 _SOLVE_RESULT_FORMAT = "repro.solve_result.v1"
+
+
+def atomic_write_bytes(path: PathLike, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (write-temp-then-rename).
+
+    A reader never observes a half-written file: either the old content is
+    still there or the new content is complete.  This is the durability
+    primitive under experiment checkpoints — a crash mid-write leaves the
+    previous checkpoint intact instead of a torn JSON/NPZ.
+    """
+    target = Path(path)
+    tmp = target.with_name(f".{target.name}.tmp.{os.getpid()}")
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, target)
+    finally:
+        if tmp.exists():  # rename failed or raised; never leave litter
+            tmp.unlink(missing_ok=True)
+
+
+def atomic_write_text(path: PathLike, text: str, encoding: str = "utf-8") -> None:
+    """Atomic counterpart of ``Path.write_text`` (see :func:`atomic_write_bytes`)."""
+    atomic_write_bytes(path, text.encode(encoding))
 
 
 def configuration_to_json(configuration: Configuration) -> str:

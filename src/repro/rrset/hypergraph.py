@@ -16,13 +16,15 @@ influence spread ``I(S)``.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from pathlib import Path
+from typing import Iterable, List, Sequence, Union
 
 import numpy as np
 
 from repro.diffusion.base import DiffusionModel
-from repro.exceptions import EstimationError
+from repro.exceptions import CheckpointError, EstimationError
 from repro.rrset.sampler import sample_rr_sets
+from repro.runtime.deadline import DeadlineLike
 from repro.utils.rng import SeedLike
 
 __all__ = ["RRHypergraph"]
@@ -75,10 +77,68 @@ class RRHypergraph:
         model: DiffusionModel,
         num_hyperedges: int,
         seed: SeedLike = None,
+        deadline: DeadlineLike = None,
     ) -> "RRHypergraph":
-        """Sample ``num_hyperedges`` RR sets from ``model`` and index them."""
-        rr_sets = sample_rr_sets(model, num_hyperedges, seed=seed)
+        """Sample ``num_hyperedges`` RR sets from ``model`` and index them.
+
+        With a ``deadline``, construction may stop early and return a
+        hyper-graph with fewer hyper-edges (``num_hyperedges`` attribute
+        reflects the *actual* count, so the ``n * deg_H(S) / theta``
+        estimator stays unbiased); compare against the requested count to
+        detect truncation.
+        """
+        rr_sets = sample_rr_sets(model, num_hyperedges, seed=seed, deadline=deadline)
         return cls(model.num_nodes, rr_sets)
+
+    # ------------------------------------------------------------------
+    # persistence (checkpointing of expensive builds)
+    # ------------------------------------------------------------------
+    def to_arrays(self) -> dict:
+        """The minimal array set from which the hyper-graph rebuilds."""
+        return {
+            "num_nodes": np.asarray([self.num_nodes], dtype=np.int64),
+            "edge_offsets": self.edge_offsets,
+            "edge_nodes": self.edge_nodes,
+        }
+
+    @classmethod
+    def from_arrays(cls, arrays: dict) -> "RRHypergraph":
+        """Rebuild from :meth:`to_arrays` output (e.g. a checkpoint NPZ)."""
+        try:
+            num_nodes = int(np.asarray(arrays["num_nodes"]).ravel()[0])
+            edge_offsets = np.asarray(arrays["edge_offsets"], dtype=np.int64)
+            edge_nodes = np.asarray(arrays["edge_nodes"], dtype=np.int32)
+        except (KeyError, IndexError, ValueError, TypeError) as exc:
+            raise CheckpointError(f"malformed hyper-graph arrays: {exc}") from exc
+        if edge_offsets.ndim != 1 or edge_offsets.size == 0 or edge_offsets[0] != 0:
+            raise CheckpointError("malformed hyper-graph arrays: bad edge_offsets")
+        if int(edge_offsets[-1]) != edge_nodes.size or np.any(np.diff(edge_offsets) < 0):
+            raise CheckpointError("malformed hyper-graph arrays: offsets/nodes mismatch")
+        rr_sets = [
+            edge_nodes[edge_offsets[i] : edge_offsets[i + 1]]
+            for i in range(edge_offsets.size - 1)
+        ]
+        return cls(num_nodes, rr_sets)
+
+    def save_npz(self, path: Union[str, Path]) -> None:
+        """Write the hyper-graph to an NPZ file atomically."""
+        import io as _io
+
+        from repro.io.serialization import atomic_write_bytes
+
+        buffer = _io.BytesIO()
+        np.savez(buffer, **self.to_arrays())
+        atomic_write_bytes(path, buffer.getvalue())
+
+    @classmethod
+    def load_npz(cls, path: Union[str, Path]) -> "RRHypergraph":
+        """Read a hyper-graph written by :meth:`save_npz`."""
+        try:
+            with np.load(path) as data:
+                arrays = {key: data[key] for key in data.files}
+        except (OSError, ValueError) as exc:
+            raise CheckpointError(f"cannot read hyper-graph NPZ {path}: {exc}") from exc
+        return cls.from_arrays(arrays)
 
     # ------------------------------------------------------------------
     # queries

@@ -1,0 +1,45 @@
+"""Fault-tolerant execution layer: deadlines, checkpoints, retries, faults.
+
+The library's expensive pipelines — hyper-graph construction, coordinate
+descent, Monte-Carlo scoring, the experiment grid — are made
+interruptible, resumable and testable-under-failure by four small tools:
+
+* :class:`Deadline` / :class:`RunBudget` — a cooperative wall-clock budget
+  polled at iteration boundaries; expiry yields best-so-far *feasible*
+  partial results instead of exceptions.
+* :class:`CheckpointStore` — content-keyed, atomically-written snapshots
+  so a killed experiment grid resumes from its last completed cell.
+* :func:`retry` — bounded retries with deterministic seeded jitter.
+* :class:`FaultInjector` — a seeded context manager that makes
+  instrumented call sites raise or hang on schedule, so all of the above
+  is provable in tests.
+
+See ``docs/resilience.md`` for the end-to-end story.
+"""
+
+from repro.runtime.checkpoint import CheckpointStore, content_key
+from repro.runtime.deadline import (
+    Deadline,
+    DeadlineLike,
+    ManualClock,
+    RunBudget,
+    as_deadline,
+)
+from repro.runtime.faults import FaultInjector, InjectedFault, active_injector, maybe_inject
+from repro.runtime.retry import backoff_schedule, retry
+
+__all__ = [
+    "Deadline",
+    "DeadlineLike",
+    "RunBudget",
+    "ManualClock",
+    "as_deadline",
+    "CheckpointStore",
+    "content_key",
+    "retry",
+    "backoff_schedule",
+    "FaultInjector",
+    "InjectedFault",
+    "maybe_inject",
+    "active_injector",
+]

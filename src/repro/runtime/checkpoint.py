@@ -1,0 +1,190 @@
+"""Checkpoint/resume for long experiment runs.
+
+An experiment grid (Section 9: datasets x budgets x methods) can run for
+hours; a crash at cell 47 must not discard cells 1–46.  A
+:class:`CheckpointStore` is a directory of atomically-written snapshot
+files under a *content key* — a hash of everything that determines the
+run's output (dataset fingerprint, seed, parameters).  Resuming with the
+same inputs finds the same key and reuses completed cells; changing *any*
+input changes the key, so stale checkpoints can never leak into a
+different experiment.
+
+Snapshots are JSON for structured records and NPZ for arrays, both written
+via write-temp-then-rename (:func:`repro.io.serialization.atomic_write_bytes`),
+so a reader never sees a torn file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io as _io
+import json
+from pathlib import Path
+from typing import Dict, Iterator, Union
+
+import numpy as np
+
+from repro.exceptions import CheckpointError
+
+__all__ = ["CheckpointStore", "content_key"]
+
+PathLike = Union[str, Path]
+
+_CHECKPOINT_FORMAT = "repro.checkpoint.v1"
+
+
+def _canonical(value) -> object:
+    """Reduce ``value`` to JSON-stable primitives for hashing."""
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, np.ndarray):
+        # dtype + shape + raw bytes: two arrays hash equal iff identical.
+        digest = hashlib.sha256(np.ascontiguousarray(value).tobytes()).hexdigest()
+        return {"__ndarray__": [str(value.dtype), list(value.shape), digest]}
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, bytes):
+        return {"__bytes__": hashlib.sha256(value).hexdigest()}
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise CheckpointError(
+        f"cannot derive a stable content key from {type(value).__name__!r}; "
+        "pass plain data (numbers, strings, arrays) — e.g. an integer seed "
+        "instead of a Generator"
+    )
+
+
+def content_key(**parts) -> str:
+    """A stable hex digest of the keyword parts (order-insensitive).
+
+    >>> content_key(seed=1, budget=2.0) == content_key(budget=2.0, seed=1)
+    True
+    >>> content_key(seed=1) == content_key(seed=2)
+    False
+    """
+    blob = json.dumps(_canonical(parts), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:24]
+
+
+class CheckpointStore:
+    """A directory of named snapshots for one keyed run.
+
+    Layout: ``<root>/<key>/<name>.json`` and ``<root>/<key>/<name>.npz``.
+    Several runs (different keys) share one root without interference.
+    """
+
+    def __init__(self, root: PathLike, key: str) -> None:
+        if not key or any(c in key for c in "/\\"):
+            raise CheckpointError(f"invalid checkpoint key {key!r}")
+        self.root = Path(root)
+        self.key = key
+        self.directory = self.root / key
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise CheckpointError(f"cannot create checkpoint directory: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    # JSON snapshots
+    # ------------------------------------------------------------------
+    def _json_path(self, name: str) -> Path:
+        return self.directory / f"{name}.json"
+
+    def has(self, name: str) -> bool:
+        """Whether a JSON snapshot ``name`` exists."""
+        return self._json_path(name).exists()
+
+    def save_json(self, name: str, payload: Dict[str, object]) -> Path:
+        """Atomically write a JSON snapshot; returns its path."""
+        from repro.io.serialization import atomic_write_text
+        from repro.runtime.faults import maybe_inject
+
+        maybe_inject("checkpoint.write")
+        document = {"format": _CHECKPOINT_FORMAT, "key": self.key, "payload": payload}
+        path = self._json_path(name)
+        try:
+            atomic_write_text(path, json.dumps(document, indent=2, sort_keys=True))
+        except (OSError, TypeError, ValueError) as exc:
+            raise CheckpointError(f"cannot write checkpoint {name!r}: {exc}") from exc
+        return path
+
+    def load_json(self, name: str) -> Dict[str, object]:
+        """Read a JSON snapshot; raises :class:`CheckpointError` when
+        missing, torn, or written under a different key."""
+        path = self._json_path(name)
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError as exc:
+            raise CheckpointError(f"no checkpoint named {name!r} under {self.directory}") from exc
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CheckpointError(f"corrupt checkpoint {name!r}: {exc}") from exc
+        if not isinstance(document, dict) or document.get("format") != _CHECKPOINT_FORMAT:
+            raise CheckpointError(
+                f"checkpoint {name!r} is not a {_CHECKPOINT_FORMAT} document"
+            )
+        if document.get("key") != self.key:
+            raise CheckpointError(
+                f"checkpoint {name!r} belongs to run {document.get('key')!r}, "
+                f"not {self.key!r}"
+            )
+        payload = document.get("payload")
+        if not isinstance(payload, dict):
+            raise CheckpointError(f"checkpoint {name!r} has a malformed payload")
+        return payload
+
+    # ------------------------------------------------------------------
+    # NPZ snapshots (arrays — e.g. a cached hyper-graph)
+    # ------------------------------------------------------------------
+    def _npz_path(self, name: str) -> Path:
+        return self.directory / f"{name}.npz"
+
+    def has_arrays(self, name: str) -> bool:
+        """Whether an NPZ snapshot ``name`` exists."""
+        return self._npz_path(name).exists()
+
+    def save_arrays(self, name: str, **arrays: np.ndarray) -> Path:
+        """Atomically write an NPZ snapshot of the named arrays."""
+        from repro.io.serialization import atomic_write_bytes
+        from repro.runtime.faults import maybe_inject
+
+        maybe_inject("checkpoint.write")
+        buffer = _io.BytesIO()
+        np.savez(buffer, **arrays)
+        path = self._npz_path(name)
+        try:
+            atomic_write_bytes(path, buffer.getvalue())
+        except OSError as exc:
+            raise CheckpointError(f"cannot write checkpoint {name!r}: {exc}") from exc
+        return path
+
+    def load_arrays(self, name: str) -> Dict[str, np.ndarray]:
+        """Read an NPZ snapshot back as a dict of arrays."""
+        path = self._npz_path(name)
+        try:
+            with np.load(path) as data:
+                return {key: data[key] for key in data.files}
+        except FileNotFoundError as exc:
+            raise CheckpointError(f"no checkpoint named {name!r} under {self.directory}") from exc
+        except (OSError, ValueError) as exc:
+            raise CheckpointError(f"corrupt checkpoint {name!r}: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def names(self) -> Iterator[str]:
+        """Names of all JSON snapshots present (sorted)."""
+        return iter(sorted(p.stem for p in self.directory.glob("*.json")))
+
+    def clear(self) -> None:
+        """Delete every snapshot of this run (both JSON and NPZ)."""
+        for path in self.directory.glob("*.json"):
+            path.unlink(missing_ok=True)
+        for path in self.directory.glob("*.npz"):
+            path.unlink(missing_ok=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CheckpointStore({str(self.directory)!r})"

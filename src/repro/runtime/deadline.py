@@ -1,0 +1,166 @@
+"""Cooperative deadlines for long-running pipelines.
+
+Every expensive phase of the library — RR-set sampling (Theorem 9),
+coordinate descent (Algorithm 1), the UD grid search — is an iterative
+loop whose iterations are individually cheap.  A :class:`Deadline` is a
+small object threaded through those loops; each loop polls it at iteration
+boundaries and, on expiry, stops and returns its best-so-far *feasible*
+result instead of raising.  This is the "anytime" execution substrate the
+budget-saving CIM literature assumes.
+
+Deadlines are cooperative (never signal-based) so partial results are
+always consistent: a loop is only ever interrupted between iterations,
+never inside one.
+
+Clocks are injectable.  Production code uses ``time.monotonic``; tests use
+:class:`ManualClock` to expire a deadline after an exact number of polls,
+which makes "expires mid-descent" scenarios deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Callable, Optional, Union
+
+from repro.exceptions import DeadlineExceeded
+
+__all__ = ["Deadline", "RunBudget", "ManualClock", "as_deadline", "DeadlineLike"]
+
+
+class ManualClock:
+    """A fake monotonic clock for deterministic deadline tests.
+
+    Each call to the clock returns the current time and then advances it by
+    ``tick`` seconds, so a ``Deadline`` polled through a ``ManualClock``
+    expires after a *known number of polls* regardless of wall time.
+
+    >>> clock = ManualClock(tick=1.0)
+    >>> deadline = Deadline.after(2.5, clock=clock)
+    >>> [deadline.expired() for _ in range(4)]
+    [False, False, True, True]
+    """
+
+    def __init__(self, start: float = 0.0, tick: float = 0.0) -> None:
+        self.now = float(start)
+        self.tick = float(tick)
+
+    def __call__(self) -> float:
+        current = self.now
+        self.now += self.tick
+        return current
+
+    def advance(self, seconds: float) -> None:
+        """Move the clock forward by ``seconds``."""
+        self.now += float(seconds)
+
+
+class Deadline:
+    """A point in (monotonic) time after which work should wind down.
+
+    A ``Deadline`` is shared by reference: the solver facade creates one
+    and hands the *same object* to hyper-graph construction, the warm-start
+    solver and the descent loop, so the whole pipeline — not each phase
+    separately — respects one wall-clock budget.
+    """
+
+    __slots__ = ("_expires_at", "_clock", "polls")
+
+    def __init__(
+        self,
+        expires_at: float = math.inf,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._expires_at = float(expires_at)
+        self._clock = clock
+        #: Number of times this deadline has been polled (diagnostic).
+        self.polls = 0
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def after(
+        cls, seconds: float, clock: Callable[[], float] = time.monotonic
+    ) -> "Deadline":
+        """A deadline ``seconds`` from now on ``clock``."""
+        if not seconds >= 0.0:  # also rejects NaN
+            raise ValueError(f"deadline seconds must be >= 0, got {seconds}")
+        return cls(expires_at=clock() + seconds, clock=clock)
+
+    @classmethod
+    def never(cls) -> "Deadline":
+        """A deadline that never expires (the default everywhere)."""
+        return cls()
+
+    # ------------------------------------------------------------------
+    # polling
+    # ------------------------------------------------------------------
+    @property
+    def unbounded(self) -> bool:
+        """Whether this deadline can never expire."""
+        return math.isinf(self._expires_at)
+
+    def remaining(self) -> float:
+        """Seconds left (``inf`` when unbounded, clamped at 0.0)."""
+        if self.unbounded:
+            return math.inf
+        return max(0.0, self._expires_at - self._clock())
+
+    def expired(self) -> bool:
+        """Poll the clock: has the deadline passed?
+
+        This is the call loops place at iteration boundaries; it is cheap
+        (one clock read) and, for unbounded deadlines, does not read the
+        clock at all.
+        """
+        self.polls += 1
+        if self.unbounded:
+            return False
+        return self._clock() >= self._expires_at
+
+    def check(self, what: str = "operation") -> None:
+        """Raise :class:`DeadlineExceeded` if expired.
+
+        For call sites that *cannot* degrade gracefully (nothing sampled
+        yet, no feasible incumbent) and must abort instead.
+        """
+        if self.expired():
+            raise DeadlineExceeded(f"deadline expired before {what} completed")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.unbounded:
+            return "Deadline(never)"
+        return f"Deadline(remaining={self.remaining():.3f}s)"
+
+
+#: Loops accept any of these where a deadline is expected; see
+#: :func:`as_deadline`.
+DeadlineLike = Union[None, int, float, Deadline]
+
+#: Alias used in experiment-facing signatures: a "run budget" is a deadline
+#: for one end-to-end run.
+RunBudget = Deadline
+
+
+def as_deadline(value: DeadlineLike) -> Deadline:
+    """Normalize the ``deadline=`` argument accepted across the library.
+
+    ``None`` means "no deadline"; a number means "that many seconds from
+    now"; an existing :class:`Deadline` passes through unchanged (so one
+    object can be shared across phases).
+
+    >>> as_deadline(None).unbounded
+    True
+    >>> isinstance(as_deadline(0.5), Deadline)
+    True
+    """
+    if value is None:
+        return Deadline.never()
+    if isinstance(value, Deadline):
+        return value
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return Deadline.after(float(value))
+    raise TypeError(
+        f"deadline must be None, seconds, or a Deadline, got {type(value).__name__}"
+    )

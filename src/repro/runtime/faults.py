@@ -1,0 +1,141 @@
+"""Seeded fault injection for resilience testing.
+
+The retry/checkpoint/deadline machinery is only trustworthy if it is
+exercised against real failures, and real failures are hard to schedule.
+A :class:`FaultInjector` makes them schedulable: library call sites are
+instrumented with a cheap :func:`maybe_inject("site.name") <maybe_inject>`
+probe, a no-op in production (one global ``None`` check).  Inside a
+``with FaultInjector(...)`` block the probe consults the injector and, on a
+deterministic seeded schedule, raises :class:`InjectedFault` or sleeps —
+simulating crashes and hangs exactly where they would occur.
+
+Two scheduling modes compose:
+
+* ``failures={"site": [0, 2]}`` — fail the 1st and 3rd invocation of a
+  site (exact, for targeted tests like "kill the grid after cell one"), and
+* ``rate=0.2, seed=7`` — fail each probed invocation with probability 0.2
+  from a seeded stream (for soak-style tests).
+
+Instrumented sites in the library include ``datasets.load_dataset``,
+``runner.evaluate`` (Monte-Carlo scoring), ``runner.cell`` (one experiment
+grid cell) and ``checkpoint.write``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, Optional, Sequence
+
+from repro.exceptions import ReproError
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = ["InjectedFault", "FaultInjector", "maybe_inject", "active_injector"]
+
+
+class InjectedFault(ReproError, RuntimeError):
+    """The synthetic failure raised by an active :class:`FaultInjector`."""
+
+    def __init__(self, site: str, invocation: int) -> None:
+        super().__init__(f"injected fault at {site!r} (invocation {invocation})")
+        self.site = site
+        self.invocation = invocation
+
+
+# The currently active injector; module-global so instrumented call sites
+# need no plumbing.  Nested injectors stack (inner wins, outer restored).
+_ACTIVE: Optional["FaultInjector"] = None
+
+
+def active_injector() -> Optional["FaultInjector"]:
+    """The injector currently armed by a ``with`` block, if any."""
+    return _ACTIVE
+
+
+def maybe_inject(site: str) -> None:
+    """Fault-injection probe; place at interruptible call sites.
+
+    No-op unless a :class:`FaultInjector` context is active *and* its
+    schedule says this invocation of ``site`` should fail.
+    """
+    if _ACTIVE is not None:
+        _ACTIVE.fire(site)
+
+
+class FaultInjector:
+    """Deterministic, seeded fault schedule armed as a context manager.
+
+    Parameters
+    ----------
+    failures:
+        Map of site name to the zero-based invocation indices that should
+        raise (e.g. ``{"runner.cell": [1]}`` kills the second grid cell).
+    rate:
+        Probability that *any* probed invocation raises, drawn from a
+        stream seeded by ``seed`` (independent of the explicit schedule).
+    seed:
+        Seed for the ``rate`` stream; same seed, same fault pattern.
+    hang_sites / hang_seconds:
+        Sites that should *sleep* instead of raising — simulating a stall
+        so deadline-based cancellation can be exercised end to end.
+    """
+
+    def __init__(
+        self,
+        failures: Optional[Dict[str, Sequence[int]]] = None,
+        rate: float = 0.0,
+        seed: SeedLike = None,
+        hang_sites: Iterable[str] = (),
+        hang_seconds: float = 0.0,
+    ) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must lie in [0, 1], got {rate}")
+        self.failures = {
+            site: frozenset(int(i) for i in indices)
+            for site, indices in (failures or {}).items()
+        }
+        self.rate = float(rate)
+        self.rng = as_generator(seed)
+        self.hang_sites = frozenset(hang_sites)
+        self.hang_seconds = float(hang_seconds)
+        #: Invocation counters per site (public: tests assert on them).
+        self.invocations: Dict[str, int] = {}
+        #: Faults actually fired, as ``(site, invocation)`` pairs.
+        self.fired: list[tuple[str, int]] = []
+        self._previous: Optional["FaultInjector"] = None
+
+    # ------------------------------------------------------------------
+    # context management
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "FaultInjector":
+        global _ACTIVE
+        self._previous = _ACTIVE
+        _ACTIVE = self
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        global _ACTIVE
+        _ACTIVE = self._previous
+        self._previous = None
+
+    # ------------------------------------------------------------------
+    # firing
+    # ------------------------------------------------------------------
+    def fire(self, site: str) -> None:
+        """Called by :func:`maybe_inject`; raises or hangs per schedule."""
+        invocation = self.invocations.get(site, 0)
+        self.invocations[site] = invocation + 1
+
+        scheduled = invocation in self.failures.get(site, ())
+        random_hit = self.rate > 0.0 and self.rng.random() < self.rate
+        if not (scheduled or random_hit):
+            return
+
+        self.fired.append((site, invocation))
+        if site in self.hang_sites:
+            time.sleep(self.hang_seconds)
+            return
+        raise InjectedFault(site, invocation)
+
+    def count(self, site: str) -> int:
+        """How many times ``site`` has been probed while armed."""
+        return self.invocations.get(site, 0)

@@ -1,0 +1,103 @@
+"""Bounded retries with deterministic seeded jitter.
+
+Transient failures (a flaky filesystem, an injected fault, an estimator
+fed a torn file) should not kill an hour-long experiment grid.  The
+:func:`retry` helper re-runs a callable a *bounded* number of times with
+exponential backoff.  Unlike typical retry utilities, the jitter is drawn
+from a seeded generator, so a retried experiment remains exactly
+reproducible: same seed, same sleep schedule, same outcome.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Tuple, Type, TypeVar
+
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = ["retry", "backoff_schedule"]
+
+T = TypeVar("T")
+
+
+def backoff_schedule(
+    attempts: int,
+    backoff: float,
+    multiplier: float = 2.0,
+    jitter: float = 0.25,
+    seed: SeedLike = 0,
+) -> list[float]:
+    """The deterministic sleep schedule :func:`retry` would use.
+
+    ``attempts - 1`` entries (no sleep after the final attempt); entry
+    ``k`` is ``backoff * multiplier**k`` scaled by a seeded jitter factor
+    in ``[1 - jitter, 1 + jitter]``.  Exposed separately so tests can
+    assert the exact schedule.
+
+    >>> backoff_schedule(3, 0.1, jitter=0.0)
+    [0.1, 0.2]
+    >>> backoff_schedule(3, 0.1, seed=7) == backoff_schedule(3, 0.1, seed=7)
+    True
+    """
+    if attempts < 1:
+        raise ValueError(f"attempts must be >= 1, got {attempts}")
+    if backoff < 0.0:
+        raise ValueError(f"backoff must be >= 0, got {backoff}")
+    if not 0.0 <= jitter < 1.0:
+        raise ValueError(f"jitter must lie in [0, 1), got {jitter}")
+    rng = as_generator(seed)
+    schedule = []
+    for k in range(attempts - 1):
+        factor = 1.0 if jitter == 0.0 else 1.0 + jitter * (2.0 * rng.random() - 1.0)
+        schedule.append(backoff * multiplier**k * factor)
+    return schedule
+
+
+def retry(
+    fn: Callable[[], T],
+    attempts: int = 3,
+    backoff: float = 0.05,
+    retry_on: Tuple[Type[BaseException], ...] = (Exception,),
+    multiplier: float = 2.0,
+    jitter: float = 0.25,
+    seed: SeedLike = 0,
+    sleep: Callable[[float], None] = time.sleep,
+    on_retry: Callable[[int, BaseException], None] | None = None,
+) -> T:
+    """Call ``fn()`` up to ``attempts`` times; re-raise the final failure.
+
+    Parameters
+    ----------
+    fn:
+        Zero-argument callable (wrap arguments in a lambda / partial).
+    attempts:
+        Hard bound on total calls — retries can never run away.
+    backoff / multiplier / jitter / seed:
+        Sleep ``backoff * multiplier**k``, jittered deterministically from
+        ``seed`` (see :func:`backoff_schedule`), between attempts ``k`` and
+        ``k + 1``.
+    retry_on:
+        Only these exception types are retried; anything else propagates
+        immediately (a ``ConfigurationError`` will not become three
+        ``ConfigurationError``\\ s and a wasted minute).
+    sleep:
+        Injectable for tests (pass ``lambda s: None`` to skip waiting).
+    on_retry:
+        Optional observer called with ``(attempt_index, exception)`` before
+        each sleep.
+    """
+    schedule = backoff_schedule(
+        attempts, backoff, multiplier=multiplier, jitter=jitter, seed=seed
+    )
+    for attempt in range(attempts):
+        try:
+            return fn()
+        except retry_on as exc:
+            if attempt == attempts - 1:
+                raise
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            delay = schedule[attempt]
+            if delay > 0.0:
+                sleep(delay)
+    raise AssertionError("unreachable")  # pragma: no cover

@@ -1,0 +1,24 @@
+"""Shared fixtures for the fault-tolerance suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.population import paper_mixture
+from repro.core.problem import CIMProblem
+from repro.diffusion.independent_cascade import IndependentCascade
+from repro.graphs.generators import erdos_renyi
+from repro.graphs.weights import assign_weighted_cascade
+
+
+@pytest.fixture(scope="module")
+def small_problem():
+    """A 120-node problem: big enough that CD runs many pair steps."""
+    graph = assign_weighted_cascade(erdos_renyi(120, 0.05, seed=11), alpha=1.0)
+    population = paper_mixture(120, seed=12)
+    return CIMProblem(IndependentCascade(graph), population, budget=5.0)
+
+
+@pytest.fixture(scope="module")
+def small_hypergraph(small_problem):
+    return small_problem.build_hypergraph(num_hyperedges=800, seed=13)

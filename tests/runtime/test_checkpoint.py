@@ -1,0 +1,139 @@
+"""Unit tests for atomic checkpoint storage and content keys."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CheckpointError
+from repro.io.serialization import atomic_write_text
+from repro.runtime import CheckpointStore, content_key
+
+
+class TestContentKey:
+    def test_order_insensitive(self):
+        assert content_key(a=1, b=2.0) == content_key(b=2.0, a=1)
+
+    def test_sensitive_to_every_part(self):
+        base = content_key(seed=1, budget=5.0)
+        assert content_key(seed=2, budget=5.0) != base
+        assert content_key(seed=1, budget=5.5) != base
+
+    def test_arrays_hashed_by_content(self):
+        a = np.arange(10, dtype=np.float64)
+        b = np.arange(10, dtype=np.float64)
+        c = a.copy()
+        c[3] += 1e-12
+        assert content_key(x=a) == content_key(x=b)
+        assert content_key(x=a) != content_key(x=c)
+
+    def test_nested_structures(self):
+        assert content_key(p={"n": 5, "xs": [1, 2]}) == content_key(p={"xs": [1, 2], "n": 5})
+
+    def test_unhashable_inputs_rejected(self):
+        with pytest.raises(CheckpointError, match="Generator"):
+            content_key(seed=np.random.default_rng(0))
+
+
+class TestCheckpointStore:
+    def test_json_round_trip(self, tmp_path):
+        store = CheckpointStore(tmp_path, "k1")
+        store.save_json("cell", {"spread": 12.5, "method": "cd"})
+        assert store.has("cell")
+        assert store.load_json("cell") == {"spread": 12.5, "method": "cd"}
+
+    def test_missing_checkpoint_raises(self, tmp_path):
+        store = CheckpointStore(tmp_path, "k1")
+        assert not store.has("nope")
+        with pytest.raises(CheckpointError, match="no checkpoint"):
+            store.load_json("nope")
+
+    def test_corrupt_checkpoint_raises(self, tmp_path):
+        store = CheckpointStore(tmp_path, "k1")
+        store.save_json("cell", {"x": 1})
+        (store.directory / "cell.json").write_text("{ torn", encoding="utf-8")
+        with pytest.raises(CheckpointError, match="corrupt"):
+            store.load_json("cell")
+
+    def test_key_mismatch_raises(self, tmp_path):
+        CheckpointStore(tmp_path, "run-a").save_json("cell", {"x": 1})
+        # Force a same-name snapshot under a different key's directory.
+        other = CheckpointStore(tmp_path, "run-b")
+        path = other.directory / "cell.json"
+        document = json.loads(
+            (CheckpointStore(tmp_path, "run-a").directory / "cell.json").read_text()
+        )
+        atomic_write_text(path, json.dumps(document))
+        with pytest.raises(CheckpointError, match="belongs to run"):
+            other.load_json("cell")
+
+    def test_runs_with_different_keys_do_not_collide(self, tmp_path):
+        a = CheckpointStore(tmp_path, "ka")
+        b = CheckpointStore(tmp_path, "kb")
+        a.save_json("cell", {"v": 1})
+        b.save_json("cell", {"v": 2})
+        assert a.load_json("cell") == {"v": 1}
+        assert b.load_json("cell") == {"v": 2}
+
+    def test_array_round_trip(self, tmp_path):
+        store = CheckpointStore(tmp_path, "k1")
+        xs = np.arange(6, dtype=np.int64)
+        ys = np.linspace(0, 1, 5)
+        store.save_arrays("arrays", xs=xs, ys=ys)
+        loaded = store.load_arrays("arrays")
+        np.testing.assert_array_equal(loaded["xs"], xs)
+        np.testing.assert_array_equal(loaded["ys"], ys)
+
+    def test_atomic_write_leaves_no_temp_litter(self, tmp_path):
+        store = CheckpointStore(tmp_path, "k1")
+        store.save_json("cell", {"x": 1})
+        store.save_arrays("arrays", xs=np.arange(3))
+        leftovers = [p.name for p in store.directory.iterdir() if ".tmp." in p.name]
+        assert leftovers == []
+
+    def test_invalid_key_rejected(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            CheckpointStore(tmp_path, "../escape")
+        with pytest.raises(CheckpointError):
+            CheckpointStore(tmp_path, "")
+
+    def test_names_and_clear(self, tmp_path):
+        store = CheckpointStore(tmp_path, "k1")
+        store.save_json("b-cell", {"x": 1})
+        store.save_json("a-cell", {"x": 2})
+        assert list(store.names()) == ["a-cell", "b-cell"]
+        store.clear()
+        assert list(store.names()) == []
+
+
+class TestAtomicWrite:
+    def test_overwrites_existing(self, tmp_path):
+        path = tmp_path / "f.json"
+        atomic_write_text(path, "old")
+        atomic_write_text(path, "new")
+        assert path.read_text() == "new"
+
+    def test_content_complete(self, tmp_path):
+        path = tmp_path / "f.json"
+        blob = "x" * 100_000
+        atomic_write_text(path, blob)
+        assert path.read_text() == blob
+
+
+class TestHypergraphPersistence:
+    def test_npz_round_trip(self, tmp_path, small_problem, small_hypergraph):
+        path = tmp_path / "hg.npz"
+        small_hypergraph.save_npz(path)
+        loaded = type(small_hypergraph).load_npz(path)
+        assert loaded.num_nodes == small_hypergraph.num_nodes
+        assert loaded.num_hyperedges == small_hypergraph.num_hyperedges
+        np.testing.assert_array_equal(loaded.edge_nodes, small_hypergraph.edge_nodes)
+        np.testing.assert_array_equal(loaded.node_edges, small_hypergraph.node_edges)
+
+    def test_malformed_arrays_rejected(self, small_hypergraph):
+        from repro.rrset.hypergraph import RRHypergraph
+
+        arrays = small_hypergraph.to_arrays()
+        arrays["edge_offsets"] = arrays["edge_offsets"][:-1]  # truncated
+        with pytest.raises(CheckpointError):
+            RRHypergraph.from_arrays(arrays)

@@ -1,0 +1,91 @@
+"""Unit tests for the cooperative deadline object."""
+
+import math
+
+import pytest
+
+from repro.exceptions import DeadlineExceeded
+from repro.runtime import Deadline, ManualClock, RunBudget, as_deadline
+
+
+class TestDeadlineBasics:
+    def test_never_is_unbounded(self):
+        deadline = Deadline.never()
+        assert deadline.unbounded
+        assert not deadline.expired()
+        assert deadline.remaining() == math.inf
+
+    def test_after_expires_on_manual_clock(self):
+        clock = ManualClock(tick=1.0)
+        deadline = Deadline.after(2.5, clock=clock)
+        assert not deadline.expired()  # t = 1.0
+        assert not deadline.expired()  # t = 2.0
+        assert deadline.expired()  # t = 3.0 >= 2.5
+        assert deadline.expired()  # stays expired
+
+    def test_remaining_clamps_at_zero(self):
+        clock = ManualClock()
+        deadline = Deadline.after(1.0, clock=clock)
+        clock.advance(5.0)
+        assert deadline.remaining() == 0.0
+
+    def test_check_raises_when_expired(self):
+        clock = ManualClock()
+        deadline = Deadline.after(1.0, clock=clock)
+        deadline.check("warm-up")  # not expired: no-op
+        clock.advance(2.0)
+        with pytest.raises(DeadlineExceeded, match="descent"):
+            deadline.check("descent")
+
+    def test_poll_counter(self):
+        deadline = Deadline.never()
+        for _ in range(5):
+            deadline.expired()
+        assert deadline.polls == 5
+
+    def test_negative_seconds_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline.after(-1.0)
+
+    def test_nan_seconds_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline.after(float("nan"))
+
+    def test_real_clock_deadline_expires(self):
+        deadline = Deadline.after(0.0)
+        assert deadline.expired()
+
+
+class TestAsDeadline:
+    def test_none_is_never(self):
+        assert as_deadline(None).unbounded
+
+    def test_seconds_converted(self):
+        deadline = as_deadline(10.0)
+        assert not deadline.unbounded
+        assert 0.0 < deadline.remaining() <= 10.0
+
+    def test_deadline_passes_through(self):
+        deadline = Deadline.never()
+        assert as_deadline(deadline) is deadline
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            as_deadline(True)
+
+    def test_string_rejected(self):
+        with pytest.raises(TypeError):
+            as_deadline("5s")
+
+
+class TestRunBudgetAlias:
+    def test_run_budget_is_deadline(self):
+        assert RunBudget is Deadline
+
+
+class TestDeadlineExceptionHierarchy:
+    def test_is_timeout_and_repro_error(self):
+        from repro.exceptions import ReproError
+
+        assert issubclass(DeadlineExceeded, ReproError)
+        assert issubclass(DeadlineExceeded, TimeoutError)

@@ -1,0 +1,69 @@
+"""Unit tests for the seeded fault-injection harness."""
+
+import pytest
+
+from repro.runtime import FaultInjector, InjectedFault, active_injector, maybe_inject
+
+
+class TestFaultInjector:
+    def test_inactive_probe_is_noop(self):
+        assert active_injector() is None
+        maybe_inject("anything")  # must not raise
+
+    def test_scheduled_failure_fires_on_exact_invocation(self):
+        with FaultInjector(failures={"site": [1]}) as injector:
+            maybe_inject("site")  # invocation 0: fine
+            with pytest.raises(InjectedFault, match="invocation 1"):
+                maybe_inject("site")
+            maybe_inject("site")  # invocation 2: fine again
+        assert injector.fired == [("site", 1)]
+        assert injector.count("site") == 3
+
+    def test_sites_are_independent(self):
+        with FaultInjector(failures={"a": [0]}):
+            maybe_inject("b")  # different site: untouched
+            with pytest.raises(InjectedFault):
+                maybe_inject("a")
+
+    def test_context_restores_previous_injector(self):
+        outer = FaultInjector()
+        with outer:
+            inner = FaultInjector()
+            with inner:
+                assert active_injector() is inner
+            assert active_injector() is outer
+        assert active_injector() is None
+
+    def test_seeded_rate_is_deterministic(self):
+        def pattern(seed):
+            fired = []
+            with FaultInjector(rate=0.5, seed=seed) as injector:
+                for i in range(20):
+                    try:
+                        maybe_inject("s")
+                    except InjectedFault:
+                        fired.append(i)
+            return fired
+
+        assert pattern(7) == pattern(7)
+        assert pattern(7) != pattern(8)
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            FaultInjector(rate=1.5)
+
+    def test_hang_sites_sleep_instead_of_raising(self):
+        import time
+
+        with FaultInjector(
+            failures={"slow": [0]}, hang_sites=["slow"], hang_seconds=0.01
+        ) as injector:
+            start = time.perf_counter()
+            maybe_inject("slow")  # hangs, does not raise
+            assert time.perf_counter() - start >= 0.01
+        assert injector.fired == [("slow", 0)]
+
+    def test_injected_fault_is_repro_error(self):
+        from repro.exceptions import ReproError
+
+        assert issubclass(InjectedFault, ReproError)

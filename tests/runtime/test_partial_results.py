@@ -1,0 +1,131 @@
+"""Acceptance: deadline expiry yields feasible, flagged partial results."""
+
+import pytest
+
+from repro.core.solvers import solve
+from repro.exceptions import DeadlineExceeded, PartialResultWarning
+from repro.rrset.sampler import sample_rr_sets
+from repro.runtime import Deadline, ManualClock
+
+
+def _tight_deadline(polls: float) -> Deadline:
+    """A deadline that expires after roughly ``polls`` expiry checks."""
+    return Deadline.after(polls / 1000.0, clock=ManualClock(tick=0.001))
+
+
+class TestPartialSolve:
+    def test_deadline_mid_descent_returns_feasible_partial(
+        self, small_problem, small_hypergraph
+    ):
+        """The headline acceptance criterion.
+
+        45 polls is enough to finish UD's grid but expires inside the
+        coordinate-descent pair loop, so CD must stop early and hand back
+        its best-so-far configuration.
+        """
+        with pytest.warns(PartialResultWarning):
+            result = solve(
+                small_problem,
+                "cd",
+                hypergraph=small_hypergraph,
+                seed=5,
+                deadline=_tight_deadline(45),
+            )
+        assert result.extras["partial"] is True
+        assert result.extras["deadline_expired"] is True
+        assert small_problem.feasible(result.configuration)
+        assert result.cost <= small_problem.budget + 1e-9
+        assert result.spread_estimate > 0.0
+
+    def test_partial_cd_no_worse_than_its_warm_start(
+        self, small_problem, small_hypergraph
+    ):
+        """Early-stopped CD is an anytime algorithm: monotone over UD."""
+        ud = solve(small_problem, "ud", hypergraph=small_hypergraph, seed=5)
+        with pytest.warns(PartialResultWarning):
+            partial_cd = solve(
+                small_problem,
+                "cd",
+                hypergraph=small_hypergraph,
+                seed=5,
+                deadline=_tight_deadline(45),
+            )
+        assert partial_cd.spread_estimate >= ud.spread_estimate - 1e-9
+
+    def test_unbounded_deadline_is_not_partial(self, small_problem, small_hypergraph):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", PartialResultWarning)
+            result = solve(
+                small_problem,
+                "cd",
+                hypergraph=small_hypergraph,
+                seed=5,
+                deadline=None,
+            )
+        assert result.extras["partial"] is False
+
+    def test_ud_partial_on_tiny_budget(self, small_problem, small_hypergraph):
+        """UD expiring mid-grid returns the best grid point seen so far."""
+        with pytest.warns(PartialResultWarning):
+            result = solve(
+                small_problem,
+                "ud",
+                hypergraph=small_hypergraph,
+                seed=5,
+                deadline=_tight_deadline(2),
+            )
+        assert result.extras["partial"] is True
+        assert small_problem.feasible(result.configuration)
+
+    def test_generous_deadline_completes_identically(
+        self, small_problem, small_hypergraph
+    ):
+        """A deadline that never fires must not perturb the solution."""
+        bounded = solve(
+            small_problem,
+            "cd",
+            hypergraph=small_hypergraph,
+            seed=5,
+            deadline=_tight_deadline(10_000_000),
+        )
+        unbounded = solve(
+            small_problem, "cd", hypergraph=small_hypergraph, seed=5, deadline=None
+        )
+        assert bounded.spread_estimate == unbounded.spread_estimate
+        assert (
+            bounded.configuration.discounts.tolist()
+            == unbounded.configuration.discounts.tolist()
+        )
+
+
+class TestPartialSampling:
+    def test_sampler_returns_prefix_on_expiry(self, small_problem):
+        # Polls fire every 64 RR sets; a 2.5-tick budget on a 1.0-tick
+        # clock survives the polls at index 0 and 64 and stops at 128.
+        deadline = Deadline.after(2.5, clock=ManualClock(tick=1.0))
+        sets = sample_rr_sets(small_problem.model, 800, seed=3, deadline=deadline)
+        assert len(sets) == 128
+
+    def test_sampler_raises_if_nothing_sampled(self, small_problem):
+        deadline = Deadline.after(0.0, clock=ManualClock(tick=1.0))
+        with pytest.raises(DeadlineExceeded):
+            sample_rr_sets(small_problem.model, 100, seed=3, deadline=deadline)
+
+    def test_truncated_hypergraph_flags_solve_partial(self, small_problem):
+        """A deadline-truncated hyper-graph taints every solve built on it."""
+        deadline = Deadline.after(2.5, clock=ManualClock(tick=1.0))
+        hypergraph = small_problem.build_hypergraph(
+            num_hyperedges=800, seed=13, deadline=deadline
+        )
+        assert hypergraph.num_hyperedges == 128
+        with pytest.warns(PartialResultWarning):
+            result = solve(
+                small_problem,
+                "uniform",
+                hypergraph=hypergraph,
+                num_hyperedges=800,
+                seed=5,
+            )
+        assert result.extras["partial"] is True

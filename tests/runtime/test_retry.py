@@ -1,0 +1,80 @@
+"""Unit tests for the bounded, seeded retry helper."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.runtime import retry
+from repro.runtime.retry import backoff_schedule
+
+
+class Flaky:
+    """Callable failing the first ``failures`` times, then succeeding."""
+
+    def __init__(self, failures: int, exc: type = RuntimeError) -> None:
+        self.failures = failures
+        self.exc = exc
+        self.calls = 0
+
+    def __call__(self) -> str:
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.exc(f"transient #{self.calls}")
+        return "ok"
+
+
+class TestRetry:
+    def test_success_first_try(self):
+        fn = Flaky(0)
+        assert retry(fn, attempts=3, sleep=lambda s: None) == "ok"
+        assert fn.calls == 1
+
+    def test_recovers_within_bound(self):
+        fn = Flaky(2)
+        assert retry(fn, attempts=3, sleep=lambda s: None) == "ok"
+        assert fn.calls == 3
+
+    def test_attempts_are_a_hard_bound(self):
+        fn = Flaky(10)
+        with pytest.raises(RuntimeError, match="transient #3"):
+            retry(fn, attempts=3, sleep=lambda s: None)
+        assert fn.calls == 3  # never more than `attempts` calls
+
+    def test_non_matching_exception_propagates_immediately(self):
+        fn = Flaky(5, exc=ConfigurationError)
+        with pytest.raises(ConfigurationError, match="transient #1"):
+            retry(fn, attempts=3, retry_on=(KeyError,), sleep=lambda s: None)
+        assert fn.calls == 1
+
+    def test_sleeps_follow_seeded_schedule(self):
+        slept = []
+        fn = Flaky(2)
+        retry(fn, attempts=3, backoff=0.1, seed=7, sleep=slept.append)
+        assert slept == backoff_schedule(3, 0.1, seed=7)
+
+    def test_schedule_is_deterministic_per_seed(self):
+        a = backoff_schedule(4, 0.1, seed=42)
+        b = backoff_schedule(4, 0.1, seed=42)
+        c = backoff_schedule(4, 0.1, seed=43)
+        assert a == b
+        assert a != c
+
+    def test_schedule_without_jitter_is_exponential(self):
+        assert backoff_schedule(4, 0.1, jitter=0.0) == pytest.approx([0.1, 0.2, 0.4])
+
+    def test_jitter_bounded(self):
+        for delay, base in zip(backoff_schedule(5, 1.0, seed=3), [1, 2, 4, 8]):
+            assert base * 0.75 <= delay <= base * 1.25
+
+    def test_on_retry_observer(self):
+        seen = []
+        fn = Flaky(2)
+        retry(fn, attempts=3, sleep=lambda s: None, on_retry=lambda k, e: seen.append(k))
+        assert seen == [0, 1]
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            retry(lambda: 1, attempts=0)
+        with pytest.raises(ValueError):
+            backoff_schedule(3, -0.1)
+        with pytest.raises(ValueError):
+            backoff_schedule(3, 0.1, jitter=1.0)

@@ -1,0 +1,62 @@
+"""Unit tests for the run_methods input-validation boundary."""
+
+import numpy as np
+import pytest
+
+from repro.core.population import paper_mixture
+from repro.core.problem import CIMProblem
+from repro.diffusion.independent_cascade import IndependentCascade
+from repro.exceptions import ConfigurationError, GraphError
+from repro.experiments.runner import validate_run_inputs
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import erdos_renyi
+from repro.graphs.weights import assign_weighted_cascade
+
+
+def _problem(budget=5.0, nodes=30):
+    graph = assign_weighted_cascade(erdos_renyi(nodes, 0.1, seed=1), alpha=1.0)
+    return CIMProblem(
+        IndependentCascade(graph), paper_mixture(nodes, seed=2), budget=budget
+    )
+
+
+class TestValidateRunInputs:
+    def test_valid_inputs_pass(self):
+        validate_run_inputs(_problem(), ["cd"], 100)
+
+    def test_empty_graph_rejected(self):
+        problem = _problem()
+        empty = DiGraph(0, np.zeros(1, dtype=np.int64), [], [])
+        problem.model.graph = empty
+        with pytest.raises(GraphError, match="empty graph"):
+            validate_run_inputs(problem, ["cd"], 100)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -float("inf")])
+    def test_non_finite_budget_rejected(self, bad):
+        # CIMProblem validates at construction, so corrupt it afterwards —
+        # the boundary check exists exactly for this drift.
+        problem = _problem()
+        object.__setattr__(problem, "budget", bad)
+        with pytest.raises(ConfigurationError, match="finite"):
+            validate_run_inputs(problem, ["cd"], 100)
+
+    @pytest.mark.parametrize("bad", [0.0, -3.0])
+    def test_non_positive_budget_rejected(self, bad):
+        problem = _problem()
+        object.__setattr__(problem, "budget", bad)
+        with pytest.raises(ConfigurationError, match="positive"):
+            validate_run_inputs(problem, ["cd"], 100)
+
+    def test_non_numeric_budget_rejected(self):
+        problem = _problem()
+        object.__setattr__(problem, "budget", "5")
+        with pytest.raises(ConfigurationError, match="finite"):
+            validate_run_inputs(problem, ["cd"], 100)
+
+    def test_empty_methods_rejected(self):
+        with pytest.raises(ConfigurationError, match="at least one"):
+            validate_run_inputs(_problem(), [], 100)
+
+    def test_non_positive_samples_rejected(self):
+        with pytest.raises(ConfigurationError, match="evaluation_samples"):
+            validate_run_inputs(_problem(), ["cd"], 0)

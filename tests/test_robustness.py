@@ -28,6 +28,27 @@ class TestRobustnessReport:
         report = RobustnessReport(nominal_spread=5.0, perturbed_spreads=[7.0])
         assert report.worst_case_loss == 0.0
 
+    def test_zero_nominal_spread_loss_is_zero(self):
+        # A plan with zero nominal spread cannot "lose" anything; the loss
+        # ratio must not divide by zero.
+        report = RobustnessReport(nominal_spread=0.0, perturbed_spreads=[0.0, 1.0])
+        assert report.worst_case_loss == 0.0
+        assert report.worst == 0.0
+
+    def test_negative_nominal_spread_loss_is_zero(self):
+        report = RobustnessReport(nominal_spread=-1.0, perturbed_spreads=[0.5])
+        assert report.worst_case_loss == 0.0
+
+    def test_empty_perturbations_fall_back_to_nominal(self):
+        report = RobustnessReport(nominal_spread=3.5, perturbed_spreads=[])
+        assert report.worst == report.mean == 3.5
+
+    def test_single_perturbation_report(self):
+        report = RobustnessReport(nominal_spread=10.0, perturbed_spreads=[6.0])
+        assert report.worst == 6.0
+        assert report.mean == 6.0
+        assert report.worst_case_loss == pytest.approx(0.4)
+
 
 class TestCurveMisspecification:
     def test_plan_survives_reassignment(self, medium_problem, medium_hypergraph):
@@ -59,6 +80,18 @@ class TestCurveMisspecification:
     def test_invalid_count(self, medium_problem, feasible_config):
         with pytest.raises(SolverError):
             curve_misspecification(feasible_config, medium_problem, num_perturbations=0)
+
+    def test_single_perturbation(self, medium_problem):
+        from repro.core.configuration import Configuration
+
+        plan = Configuration.uniform(medium_problem.budget, medium_problem.num_nodes)
+        report = curve_misspecification(
+            plan, medium_problem, num_perturbations=1,
+            evaluation_samples=200, seed=6,
+        )
+        assert len(report.perturbed_spreads) == 1
+        assert report.worst == report.mean == report.perturbed_spreads[0]
+        assert 0.0 <= report.worst_case_loss <= 1.0
 
 
 class TestEdgeMisspecification:

@@ -105,9 +105,33 @@ class TestTiming:
         sw.reset()
         assert sw.elapsed == 0.0
 
-    def test_stopwatch_stop_without_start(self):
-        with pytest.raises(RuntimeError):
-            Stopwatch().stop()
+    def test_stopwatch_stop_without_start_is_noop(self):
+        sw = Stopwatch()
+        assert sw.stop() == 0.0
+        assert sw.elapsed == 0.0
+
+    def test_stopwatch_stop_is_idempotent(self):
+        sw = Stopwatch()
+        sw.start()
+        first = sw.stop()
+        assert sw.stop() == first
+        assert sw.elapsed == first
+
+    def test_stopwatch_running_property(self):
+        sw = Stopwatch()
+        assert not sw.running
+        sw.start()
+        assert sw.running
+        sw.stop()
+        assert not sw.running
+
+    def test_stopwatch_doctests(self):
+        import doctest
+
+        import repro.utils.timing as timing
+
+        failures, _ = doctest.testmod(timing)
+        assert failures == 0
 
     def test_breakdown_phases(self):
         breakdown = TimingBreakdown()
