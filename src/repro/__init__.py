@@ -99,6 +99,7 @@ from repro.io import (
     save_configuration,
     save_solve_result,
 )
+from repro.parallel import partition_chunks, resolve_workers, run_chunks
 from repro.rrset import RRHypergraph, HypergraphObjective, sample_rr_sets
 from repro.rrset.imm import imm_hypergraph
 from repro.runtime import (
@@ -191,6 +192,10 @@ __all__ = [
     "HypergraphObjective",
     "sample_rr_sets",
     "imm_hypergraph",
+    # parallel (deterministic worker-pool sampling)
+    "partition_chunks",
+    "resolve_workers",
+    "run_chunks",
     # runtime (fault-tolerant execution)
     "Deadline",
     "RunBudget",

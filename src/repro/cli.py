@@ -28,6 +28,30 @@ from repro.exceptions import ReproError
 __all__ = ["main", "build_parser"]
 
 
+def _worker_count(text: str) -> int:
+    """argparse type for --workers: a non-negative int (0 = one per CPU)."""
+    try:
+        workers = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {text!r}")
+    if workers < 0:
+        raise argparse.ArgumentTypeError(
+            f"workers must be >= 0 (0 = one per CPU), got {text}"
+        )
+    return workers
+
+
+def _add_workers_argument(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--workers",
+        type=_worker_count,
+        default=None,
+        metavar="N",
+        help="parallel sampling processes (default 1, 0 = one per CPU); "
+        "results are identical for every worker count",
+    )
+
+
 def _deadline_seconds(text: str) -> float:
     """argparse type for --deadline: a finite, non-negative second count."""
     try:
@@ -86,6 +110,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="wall-clock budget; on expiry the best feasible partial plan "
         "found so far is returned (marked partial) instead of failing",
     )
+    _add_workers_argument(slv)
     slv.add_argument("-o", "--output", default=None, help="save plan JSON here")
 
     ev = sub.add_parser("evaluate", help="Monte-Carlo score a saved plan")
@@ -98,6 +123,7 @@ def build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--diffusion", choices=("ic", "lt"), default="ic")
     ev.add_argument("--undirected", action="store_true")
     ev.add_argument("--seed", type=int, default=None)
+    _add_workers_argument(ev)
 
     sub.add_parser("selfcheck", help="verify the installation's internal consistency")
 
@@ -118,6 +144,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="reuse completed cells found in --checkpoint-dir instead of recomputing",
     )
+    _add_workers_argument(rpt)
 
     rep = sub.add_parser("reproduce", help="regenerate a paper exhibit")
     rep.add_argument(
@@ -215,6 +242,7 @@ def _cmd_solve(args) -> int:
         num_hyperedges=args.hyperedges,
         seed=args.seed,
         deadline=args.deadline,
+        workers=args.workers,
     )
     support = result.configuration.support
     partial = " [PARTIAL: deadline hit]" if result.extras.get("partial") else ""
@@ -245,7 +273,9 @@ def _cmd_evaluate(args) -> int:
     except ConfigurationError:
         configuration = configuration_from_json(text)
     problem = CIMProblem(model, population, budget=max(configuration.cost, 1e-9))
-    estimate = problem.evaluate(configuration, num_samples=args.samples, seed=args.seed)
+    estimate = problem.evaluate(
+        configuration, num_samples=args.samples, seed=args.seed, workers=args.workers
+    )
     lo, hi = estimate.confidence_interval()
     print(
         f"spread {estimate.mean:.2f} ± {estimate.stddev:.2f} "
@@ -314,6 +344,7 @@ def _cmd_report(args) -> int:
         seed=args.seed,
         checkpoint_dir=args.checkpoint_dir,
         resume=args.resume,
+        workers=args.workers,
     )
     for name, path in sorted(written.items()):
         print(f"  {name}: {path}")

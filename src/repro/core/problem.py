@@ -78,6 +78,7 @@ class CIMProblem:
         num_samples: int = 1000,
         seed: SeedLike = None,
         engine: str = "auto",
+        workers: Optional[int] = None,
     ) -> SpreadEstimate:
         """Monte-Carlo estimate of ``UI(C)`` (mean/stddev over samples).
 
@@ -87,7 +88,8 @@ class CIMProblem:
         ``engine`` selects the simulator: ``"scalar"`` (per-cascade BFS,
         works for every model), ``"batch"`` (vectorized live-edge engine,
         IC only, ~10x faster), or ``"auto"`` (batch when the model is
-        plain IC, scalar otherwise).
+        plain IC, scalar otherwise).  ``workers`` parallelizes the
+        simulations (``0`` = one per CPU) without changing the estimate.
         """
         if len(configuration) != self.num_nodes:
             raise ConfigurationError(
@@ -107,10 +109,18 @@ class CIMProblem:
         use_batch = engine == "batch" or (engine == "auto" and is_plain_ic)
         if use_batch:
             return batch_configuration_spread_ic(
-                self.graph, seed_probs, num_samples=num_samples, seed=seed
+                self.graph,
+                seed_probs,
+                num_samples=num_samples,
+                seed=seed,
+                workers=workers,
             )
         return estimate_configuration_spread(
-            self.model, seed_probs, num_samples=num_samples, seed=seed
+            self.model,
+            seed_probs,
+            num_samples=num_samples,
+            seed=seed,
+            workers=workers,
         )
 
     def build_hypergraph(
@@ -118,15 +128,18 @@ class CIMProblem:
         num_hyperedges: Optional[int] = None,
         seed: SeedLike = None,
         deadline: "DeadlineLike" = None,
+        workers: Optional[int] = None,
     ) -> RRHypergraph:
         """Build the random hyper-graph shared by the Section-8 solvers.
 
-        ``deadline`` bounds construction time; see
-        :meth:`repro.rrset.hypergraph.RRHypergraph.build`.
+        ``deadline`` bounds construction time and ``workers`` parallelizes
+        it; see :meth:`repro.rrset.hypergraph.RRHypergraph.build`.
         """
         theta = (
             num_hyperedges
             if num_hyperedges is not None
             else default_num_rr_sets(self.num_nodes)
         )
-        return RRHypergraph.build(self.model, theta, seed=seed, deadline=deadline)
+        return RRHypergraph.build(
+            self.model, theta, seed=seed, deadline=deadline, workers=workers
+        )

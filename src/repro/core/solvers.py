@@ -240,6 +240,7 @@ def solve(
     num_hyperedges: Optional[int] = None,
     seed: SeedLike = None,
     deadline: DeadlineLike = None,
+    workers: Optional[int] = None,
     **options,
 ) -> SolveResult:
     """Run one CIM strategy end to end.
@@ -266,6 +267,9 @@ def solve(
         Only if *nothing* usable was produced (e.g. the deadline expired
         before a single RR set was sampled) does
         :class:`~repro.exceptions.DeadlineExceeded` escape.
+    workers:
+        Parallel sampling processes for hyper-graph construction (``0`` =
+        one per CPU).  Never changes results — only wall-clock time.
     options:
         Method-specific knobs (``step``, ``grid_step``, ``max_rounds``...).
     """
@@ -290,7 +294,10 @@ def solve(
         )
         with timings.phase("hypergraph"):
             hypergraph = problem.build_hypergraph(
-                num_hyperedges=requested, seed=seed, deadline=run_budget
+                num_hyperedges=requested,
+                seed=seed,
+                deadline=run_budget,
+                workers=workers,
             )
         hypergraph_truncated = hypergraph.num_hyperedges < requested
     elif num_hyperedges is not None:

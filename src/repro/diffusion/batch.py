@@ -26,10 +26,12 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.diffusion.montecarlo import SpreadEstimate
+from repro.diffusion.montecarlo import DEFAULT_SAMPLE_CHUNK, SpreadEstimate
 from repro.exceptions import EstimationError
 from repro.graphs.digraph import DiGraph
-from repro.utils.rng import SeedLike, as_generator
+from repro.parallel.pool import partition_chunks, run_chunks
+from repro.runtime.deadline import DeadlineLike, as_deadline
+from repro.utils.rng import SeedLike, as_generator, spawn_sequences
 from repro.utils.stats import RunningStat
 
 __all__ = ["batch_spread_ic", "batch_configuration_spread_ic", "batch_cascade_sizes_ic"]
@@ -149,22 +151,68 @@ def batch_spread_ic(
     return SpreadEstimate(mean=stat.mean, stddev=stat.stddev, num_samples=num_samples)
 
 
-def batch_configuration_spread_ic(
-    graph: DiGraph,
-    seed_probabilities: np.ndarray,
-    num_samples: int = 1000,
-    seed: SeedLike = None,
-    batch_size: int = _DEFAULT_BATCH,
-) -> SpreadEstimate:
-    """Vectorized estimate of ``UI(C)`` under IC (Eq. 2)."""
-    rng = as_generator(seed)
+def _batch_configuration_chunk_task(
+    payload: tuple,
+    count: int,
+    seed_seq: np.random.SeedSequence,
+    remaining: Optional[float],
+) -> RunningStat:
+    """One chunk of vectorized ``UI(C)`` cascades (inline or in a worker).
+
+    The dense matrix sweep is not interruptible mid-batch, so the chunk
+    ignores ``remaining``; deadline truncation happens at the chunk
+    boundaries of :func:`repro.parallel.pool.run_chunks`.
+    """
+    graph, seed_probabilities, batch_size = payload
+    rng = np.random.default_rng(seed_seq)
     sizes = batch_cascade_sizes_ic(
         graph,
-        num_samples,
+        count,
         rng,
         seed_probabilities=seed_probabilities,
         batch_size=batch_size,
     )
     stat = RunningStat()
     stat.add_many(sizes.astype(np.float64))
-    return SpreadEstimate(mean=stat.mean, stddev=stat.stddev, num_samples=num_samples)
+    return stat
+
+
+def batch_configuration_spread_ic(
+    graph: DiGraph,
+    seed_probabilities: np.ndarray,
+    num_samples: int = 1000,
+    seed: SeedLike = None,
+    batch_size: int = _DEFAULT_BATCH,
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    deadline: DeadlineLike = None,
+) -> SpreadEstimate:
+    """Vectorized estimate of ``UI(C)`` under IC (Eq. 2).
+
+    Chunked through the deterministic parallel engine: the estimate is
+    identical for every ``workers`` value (``0`` = one per CPU).  With a
+    ``deadline``, ``num_samples`` on the returned estimate reports the
+    simulations actually run.
+    """
+    if num_samples <= 0:
+        raise EstimationError(f"num_samples must be positive, got {num_samples}")
+    seed_probabilities = np.asarray(seed_probabilities, dtype=np.float64)
+    budget = as_deadline(deadline)
+    sizes = partition_chunks(num_samples, chunk_size or DEFAULT_SAMPLE_CHUNK)
+    sequences = spawn_sequences(seed, len(sizes))
+    stats, _ = run_chunks(
+        _batch_configuration_chunk_task,
+        (graph, seed_probabilities, batch_size),
+        list(zip(sizes, sequences)),
+        workers=workers,
+        deadline=budget,
+        inject_site="montecarlo.chunk",
+    )
+    total = RunningStat()
+    for stat in stats:
+        total.merge(stat)
+    if total.count == 0:
+        budget.check("estimating UI(C)")
+    return SpreadEstimate(
+        mean=total.mean, stddev=total.stddev, num_samples=total.count
+    )

@@ -12,18 +12,28 @@ Both return a :class:`SpreadEstimate` carrying the sample mean, standard
 deviation, and a normal-approximation confidence interval — the paper's
 Figure 3 reports exactly these (mean ± one standard deviation over 20,000
 simulations).
+
+Simulations are i.i.d., so both estimators run through the deterministic
+parallel engine (:mod:`repro.parallel`): samples are pre-partitioned into
+fixed chunks, each chunk draws from its own child seed stream and returns
+a :class:`~repro.utils.stats.RunningStat`, and the coordinator Chan-merges
+the per-chunk statistics in chunk order.  The reported estimate is
+therefore bit-identical for any ``workers`` value.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.diffusion.base import DiffusionModel
 from repro.exceptions import EstimationError
-from repro.utils.rng import SeedLike, as_generator
+from repro.parallel.pool import partition_chunks, run_chunks
+from repro.runtime.deadline import Deadline, DeadlineLike, as_deadline, deadline_iter
+from repro.utils.rng import SeedLike, spawn_sequences
 from repro.utils.stats import RunningStat
 
 __all__ = [
@@ -33,10 +43,20 @@ __all__ = [
     "sample_seed_set",
 ]
 
+#: Default Monte-Carlo samples per work chunk.  Fixed — the chunk layout is
+#: part of the determinism contract (see ``docs/performance.md``).
+DEFAULT_SAMPLE_CHUNK = 512
+
 
 @dataclass(frozen=True)
 class SpreadEstimate:
-    """Result of a Monte-Carlo spread estimation."""
+    """Result of a Monte-Carlo spread estimation.
+
+    With a single sample the standard deviation is ``nan`` (dispersion is
+    unknowable, and the zero formerly reported here produced misleading
+    zero-width confidence intervals); with zero samples ``stderr`` is
+    ``inf``.
+    """
 
     mean: float
     stddev: float
@@ -47,7 +67,7 @@ class SpreadEstimate:
         """Standard error of the mean."""
         if self.num_samples == 0:
             return float("inf")
-        return self.stddev / np.sqrt(self.num_samples)
+        return self.stddev / math.sqrt(self.num_samples)
 
     def confidence_interval(self, z: float = 1.96) -> Tuple[float, float]:
         """Normal-approximation CI for the mean."""
@@ -59,20 +79,109 @@ class SpreadEstimate:
         return (self.mean - self.stddev, self.mean + self.stddev)
 
 
+def _chunk_deadline(remaining: Optional[float]) -> Deadline:
+    if remaining is None:
+        return Deadline.never()
+    return Deadline.after(float(remaining))
+
+
+def _spread_chunk_task(
+    payload: tuple,
+    count: int,
+    seed_seq: np.random.SeedSequence,
+    remaining: Optional[float],
+) -> RunningStat:
+    """One chunk of ``I(S)`` cascades (runs inline or in a worker)."""
+    model, seeds = payload
+    rng = np.random.default_rng(seed_seq)
+    stat = RunningStat()
+    for _ in deadline_iter(count, _chunk_deadline(remaining)):
+        stat.add(float(model.sample_cascade_size(seeds, rng)))
+    return stat
+
+
+def _configuration_chunk_task(
+    payload: tuple,
+    count: int,
+    seed_seq: np.random.SeedSequence,
+    remaining: Optional[float],
+) -> RunningStat:
+    """One chunk of ``UI(C)`` cascades (seed-set draw + cascade each)."""
+    model, seed_probabilities = payload
+    rng = np.random.default_rng(seed_seq)
+    stat = RunningStat()
+    for _ in deadline_iter(count, _chunk_deadline(remaining)):
+        seeds = sample_seed_set(seed_probabilities, rng)
+        if seeds.size == 0:
+            stat.add(0.0)
+        else:
+            stat.add(float(model.sample_cascade_size(seeds, rng)))
+    return stat
+
+
+def _merged_estimate(
+    task,
+    payload: tuple,
+    num_samples: int,
+    seed: SeedLike,
+    workers: Optional[int],
+    chunk_size: Optional[int],
+    deadline: DeadlineLike,
+    what: str,
+) -> SpreadEstimate:
+    """Plan chunks, run them, Chan-merge the per-chunk stats in order."""
+    budget = as_deadline(deadline)
+    sizes = partition_chunks(num_samples, chunk_size or DEFAULT_SAMPLE_CHUNK)
+    sequences = spawn_sequences(seed, len(sizes))
+    chunk_args = list(zip(sizes, sequences))
+    stats, _ = run_chunks(
+        task,
+        payload,
+        chunk_args,
+        workers=workers,
+        deadline=budget,
+        inject_site="montecarlo.chunk",
+    )
+    total = RunningStat()
+    for stat in stats:
+        total.merge(stat)
+    if total.count == 0:
+        budget.check(what)
+    return SpreadEstimate(
+        mean=total.mean, stddev=total.stddev, num_samples=total.count
+    )
+
+
 def estimate_spread(
     model: DiffusionModel,
     seeds: Sequence[int],
     num_samples: int = 1000,
     seed: SeedLike = None,
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    deadline: DeadlineLike = None,
 ) -> SpreadEstimate:
-    """Estimate ``I(S)`` by ``num_samples`` forward cascades."""
+    """Estimate ``I(S)`` by ``num_samples`` forward cascades.
+
+    ``workers`` parallelizes the simulations (``0`` = one per CPU; results
+    are identical for every worker count).  With a ``deadline`` the
+    estimate may cover fewer samples — ``num_samples`` on the returned
+    estimate reports the count actually simulated; expiring before any
+    sample raises :class:`~repro.exceptions.DeadlineExceeded`.
+    """
     if num_samples <= 0:
         raise EstimationError(f"num_samples must be positive, got {num_samples}")
-    rng = as_generator(seed)
-    stat = RunningStat()
-    for _ in range(num_samples):
-        stat.add(float(model.sample_cascade_size(seeds, rng)))
-    return SpreadEstimate(mean=stat.mean, stddev=stat.stddev, num_samples=num_samples)
+    seed_arr = np.asarray(list(seeds), dtype=np.int64)
+    return _merged_estimate(
+        _spread_chunk_task,
+        (model, seed_arr),
+        num_samples,
+        seed,
+        workers,
+        chunk_size,
+        deadline,
+        "estimating I(S)",
+    )
 
 
 def sample_seed_set(
@@ -97,6 +206,9 @@ def estimate_configuration_spread(
     seed_probabilities: np.ndarray,
     num_samples: int = 1000,
     seed: SeedLike = None,
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    deadline: DeadlineLike = None,
 ) -> SpreadEstimate:
     """Estimate ``UI(C)`` (Eq. 2) by sampling seed sets then cascades.
 
@@ -105,6 +217,9 @@ def estimate_configuration_spread(
     reported standard deviation therefore includes *both* sources of
     randomness — seed-set uncertainty and cascade uncertainty — matching the
     paper's note that CIM "introduces extra uncertainty in the seed set".
+
+    ``workers``/``chunk_size``/``deadline`` behave exactly as in
+    :func:`estimate_spread`.
     """
     if num_samples <= 0:
         raise EstimationError(f"num_samples must be positive, got {num_samples}")
@@ -114,12 +229,13 @@ def estimate_configuration_spread(
             f"seed_probabilities must have length n={model.num_nodes}, "
             f"got {seed_probabilities.shape}"
         )
-    rng = as_generator(seed)
-    stat = RunningStat()
-    for _ in range(num_samples):
-        seeds = sample_seed_set(seed_probabilities, rng)
-        if seeds.size == 0:
-            stat.add(0.0)
-        else:
-            stat.add(float(model.sample_cascade_size(seeds, rng)))
-    return SpreadEstimate(mean=stat.mean, stddev=stat.stddev, num_samples=num_samples)
+    return _merged_estimate(
+        _configuration_chunk_task,
+        (model, seed_probabilities),
+        num_samples,
+        seed,
+        workers,
+        chunk_size,
+        deadline,
+        "estimating UI(C)",
+    )

@@ -64,10 +64,11 @@ def figure3_influence_spread(
     verbose: bool = False,
     checkpoint_dir: Optional[str] = None,
     resume: bool = False,
+    workers: Optional[int] = None,
 ) -> List[Figure3Row]:
     """One panel of Figure 3: spread of IM / UD / CD as budget grows.
 
-    ``checkpoint_dir`` / ``resume`` forward to
+    ``checkpoint_dir`` / ``resume`` / ``workers`` forward to
     :func:`~repro.experiments.runner.run_methods`: each (budget, method)
     cell is snapshotted, so a killed panel resumes where it stopped.
     """
@@ -82,6 +83,7 @@ def figure3_influence_spread(
             seed=seed,
             checkpoint_dir=checkpoint_dir,
             resume=resume,
+            workers=workers,
         )
         for result in results:
             rows.append(
@@ -183,6 +185,7 @@ def figure6_running_time(
     verbose: bool = False,
     checkpoint_dir: Optional[str] = None,
     resume: bool = False,
+    workers: Optional[int] = None,
 ) -> List[Dict[str, float]]:
     """Figure 6: per-method running time and the hyper-graph build share."""
     rows: List[Dict[str, float]] = []
@@ -196,6 +199,7 @@ def figure6_running_time(
             seed=seed,
             checkpoint_dir=checkpoint_dir,
             resume=resume,
+            workers=workers,
         )
         for result in results:
             rows.append(

@@ -182,6 +182,7 @@ def run_methods(
     deadline: DeadlineLike = None,
     checkpoint_dir: Optional[Union[str, Path]] = None,
     resume: bool = False,
+    workers: Optional[int] = None,
 ) -> List[ExperimentResult]:
     """Run several solvers on one problem and MC-score their outputs.
 
@@ -208,6 +209,12 @@ def run_methods(
         With ``checkpoint_dir``: load completed cells from disk instead of
         recomputing them.  Cells whose snapshots are missing (or from a
         different content key) are computed and checkpointed as usual.
+    workers:
+        Parallel processes for hyper-graph sampling and Monte-Carlo
+        scoring (``0`` = one per CPU).  Deliberately *excluded* from the
+        checkpoint content key: the parallel engine is deterministic
+        across worker counts, so a grid checkpointed with ``workers=4``
+        resumes bit-identically with ``workers=1`` and vice versa.
     """
     validate_run_inputs(problem, methods, evaluation_samples)
 
@@ -252,7 +259,10 @@ def run_methods(
         else:
             start = time.perf_counter()
             hypergraph = problem.build_hypergraph(
-                num_hyperedges=num_hyperedges, seed=hypergraph_rng, deadline=deadline
+                num_hyperedges=num_hyperedges,
+                seed=hypergraph_rng,
+                deadline=deadline,
+                workers=workers,
             )
             hypergraph_ms = (time.perf_counter() - start) * 1000.0
             if store is not None:
@@ -275,7 +285,9 @@ def run_methods(
         # it re-draws from eval_rng, so a retry changes the sample stream
         # but stays within the estimator's statistical contract.
         estimate = retry(
-            lambda: _scored(problem, result.configuration, evaluation_samples, eval_rng),
+            lambda: _scored(
+                problem, result.configuration, evaluation_samples, eval_rng, workers
+            ),
             attempts=3,
             backoff=0.01,
             seed=0,
@@ -297,9 +309,9 @@ def run_methods(
     return results
 
 
-def _scored(problem, configuration, evaluation_samples, eval_rng):
+def _scored(problem, configuration, evaluation_samples, eval_rng, workers=None):
     """MC-score one configuration (separable so faults can target it)."""
     maybe_inject("runner.evaluate")
     return problem.evaluate(
-        configuration, num_samples=evaluation_samples, seed=eval_rng
+        configuration, num_samples=evaluation_samples, seed=eval_rng, workers=workers
     )

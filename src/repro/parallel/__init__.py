@@ -1,0 +1,33 @@
+"""Deterministic parallel execution layer.
+
+``repro.parallel`` turns the library's sampling loops — RR-set polling and
+Monte-Carlo spread estimation — into pre-partitioned chunk plans executed
+either inline or on a process pool, with the guarantee that the worker
+count never changes results: same seed, same numbers, whether
+``workers=1`` or ``workers=8``.  See :mod:`repro.parallel.pool` for the
+mechanism and ``docs/performance.md`` for the user-facing story.
+
+Consumers: :func:`repro.rrset.sampler.sample_rr_sets`,
+:func:`repro.diffusion.montecarlo.estimate_spread`,
+:func:`repro.diffusion.montecarlo.estimate_configuration_spread`, the
+batch IC engine, and everything layered on top of them
+(:meth:`RRHypergraph.build <repro.rrset.hypergraph.RRHypergraph.build>`,
+:func:`~repro.experiments.runner.run_methods`, the CLI ``--workers``
+flag).
+"""
+
+from repro.parallel.pool import (
+    DEFAULT_CHUNK_SIZE,
+    WORKERS_ENV_VAR,
+    partition_chunks,
+    resolve_workers,
+    run_chunks,
+)
+
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "WORKERS_ENV_VAR",
+    "partition_chunks",
+    "resolve_workers",
+    "run_chunks",
+]

@@ -1,0 +1,221 @@
+"""Deterministic chunked execution over a process pool.
+
+Every embarrassingly-parallel loop in the library — RR-set polling
+(Section 8), Monte-Carlo spread estimation (Theorem 2) — is expressed as a
+list of *chunks* executed by :func:`run_chunks`.  The design goal is
+**bit-reproducible determinism across worker counts**: for a fixed seed,
+``workers=1`` and ``workers=8`` produce identical results, because
+
+* the chunk layout (:func:`partition_chunks`) depends only on the total
+  work size and the chunk size — never on the worker count;
+* chunk ``i`` always consumes child ``i`` of the root
+  :class:`~numpy.random.SeedSequence`
+  (:func:`repro.utils.rng.spawn_sequences`), so its random stream is fixed
+  at planning time; and
+* results are collected strictly in chunk order, so floating-point
+  reductions (e.g. the Chan merge of per-chunk
+  :class:`~repro.utils.stats.RunningStat`\\ s) see the same operand order
+  regardless of which worker finished first.
+
+The pool is ``fork``/``spawn``-safe by construction: chunk tasks are
+module-level functions, the (potentially large) shared payload travels
+once per worker via the pool initializer, and per-chunk messages carry
+only a seed sequence and a few scalars.
+
+Runtime integration
+-------------------
+``run_chunks`` polls the shared :class:`~repro.runtime.Deadline` exactly
+once per chunk, *before* dispatching it, in chunk order — identically in
+the serial and pooled paths — so deadline truncation happens at a
+deterministic chunk boundary under an injectable clock.  Each dispatched
+chunk additionally receives the remaining budget measured at dispatch
+time; chunk tasks run it down on the worker's own monotonic clock (see
+:func:`~repro.runtime.deadline.deadline_iter`) as a real-time safety net,
+and the pool simply drains: dispatched chunks finish (possibly truncated)
+and their results are kept, preserving the library's partial-result
+contract.  A :func:`~repro.runtime.faults.maybe_inject` probe fires at
+every chunk boundary so the fault injector can kill a build mid-flight.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.runtime.deadline import DeadlineLike, as_deadline
+from repro.runtime.faults import maybe_inject
+
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "WORKERS_ENV_VAR",
+    "resolve_workers",
+    "partition_chunks",
+    "run_chunks",
+]
+
+#: Default work items per chunk.  Large enough that inter-process transfer
+#: amortizes, small enough that deadline truncation stays responsive and
+#: pools load-balance; and *fixed*, because the chunk layout is part of
+#: the determinism contract (changing it changes the sampled streams).
+DEFAULT_CHUNK_SIZE = 256
+
+#: Environment variable consulted when a caller passes ``workers=None``:
+#: lets CI (and users) flip the whole library to N workers without
+#: touching every call site.  Results are unaffected by construction.
+WORKERS_ENV_VAR = "REPRO_WORKERS"
+
+#: At most this many chunks per worker are in flight at once, bounding how
+#: much already-dispatched work the pool must drain after deadline expiry.
+_INFLIGHT_PER_WORKER = 2
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Normalize the ``workers`` argument accepted across the library.
+
+    ``None`` (the default everywhere) consults the ``REPRO_WORKERS``
+    environment variable and falls back to 1; ``0`` means "one per CPU";
+    any positive integer is taken literally.  The resolved count never
+    changes *results* — only how the fixed chunk plan is executed.
+
+    >>> resolve_workers(1)
+    1
+    >>> resolve_workers(4)
+    4
+    """
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV_VAR, "").strip()
+        if not raw:
+            return 1
+        try:
+            workers = int(raw)
+        except ValueError:
+            raise ConfigurationError(
+                f"{WORKERS_ENV_VAR} must be an integer, got {raw!r}"
+            ) from None
+    if isinstance(workers, bool) or not isinstance(workers, int):
+        raise ConfigurationError(
+            f"workers must be an int (0 = all CPUs), got {workers!r}"
+        )
+    if workers < 0:
+        raise ConfigurationError(f"workers must be >= 0, got {workers}")
+    if workers == 0:
+        return os.cpu_count() or 1
+    return workers
+
+
+def partition_chunks(count: int, chunk_size: Optional[int] = None) -> List[int]:
+    """Split ``count`` work items into fixed chunk sizes.
+
+    The layout is a pure function of ``(count, chunk_size)`` — the
+    foundation of cross-worker determinism.
+
+    >>> partition_chunks(600, 256)
+    [256, 256, 88]
+    """
+    if count < 0:
+        raise ConfigurationError(f"count must be non-negative, got {count}")
+    size = DEFAULT_CHUNK_SIZE if chunk_size is None else chunk_size
+    if size <= 0:
+        raise ConfigurationError(f"chunk_size must be positive, got {size}")
+    full, rest = divmod(count, size)
+    return [size] * full + ([rest] if rest else [])
+
+
+# ----------------------------------------------------------------------
+# worker-side plumbing (module level: picklable under fork and spawn)
+# ----------------------------------------------------------------------
+
+#: Per-worker copy of the shared payload, installed by the pool
+#: initializer so it is transferred once per worker instead of once per
+#: chunk.
+_WORKER_PAYLOAD: Any = None
+
+
+def _init_worker(payload: Any) -> None:
+    global _WORKER_PAYLOAD
+    _WORKER_PAYLOAD = payload
+
+
+def _call_chunk(task: Callable[..., Any], args: Tuple[Any, ...]) -> Any:
+    return task(_WORKER_PAYLOAD, *args)
+
+
+def run_chunks(
+    task: Callable[..., Any],
+    payload: Any,
+    chunk_args: Sequence[Tuple[Any, ...]],
+    workers: Optional[int] = None,
+    deadline: DeadlineLike = None,
+    inject_site: str = "parallel.chunk",
+) -> Tuple[List[Any], bool]:
+    """Execute ``task(payload, *args, remaining)`` for each chunk, in order.
+
+    Parameters
+    ----------
+    task:
+        A module-level function (it crosses process boundaries).  Its last
+        positional argument is the seconds of deadline budget remaining at
+        dispatch time, or ``None`` when unbounded.
+    payload:
+        Shared read-only inputs (e.g. the diffusion model), shipped to
+        each worker once via the pool initializer.
+    chunk_args:
+        Per-chunk argument tuples, one per chunk, in chunk order.
+    workers:
+        See :func:`resolve_workers`.  ``1`` executes inline — same code
+        path as a worker, so results match by construction.
+    deadline:
+        Shared run budget.  Polled once per chunk before dispatch; chunks
+        not yet dispatched at expiry are dropped.
+    inject_site:
+        :func:`~repro.runtime.faults.maybe_inject` site name probed at
+        each chunk boundary (in the coordinator process).
+
+    Returns
+    -------
+    ``(results, expired)`` — per-chunk results for the dispatched prefix
+    (in chunk order), and whether the deadline cut dispatch short.
+    """
+    budget = as_deadline(deadline)
+    worker_count = resolve_workers(workers)
+    results: List[Any] = []
+    expired = False
+
+    if worker_count == 1 or len(chunk_args) <= 1:
+        for args in chunk_args:
+            maybe_inject(inject_site)
+            remaining = budget.poll_remaining()
+            if remaining <= 0.0:
+                expired = True
+                break
+            results.append(
+                task(payload, *args, None if budget.unbounded else remaining)
+            )
+        return results, expired
+
+    window = _INFLIGHT_PER_WORKER * worker_count
+    with ProcessPoolExecutor(
+        max_workers=worker_count, initializer=_init_worker, initargs=(payload,)
+    ) as pool:
+        pending: deque = deque()
+        for args in chunk_args:
+            maybe_inject(inject_site)
+            remaining = budget.poll_remaining()
+            if remaining <= 0.0:
+                expired = True
+                break
+            pending.append(
+                pool.submit(
+                    _call_chunk,
+                    task,
+                    (*args, None if budget.unbounded else remaining),
+                )
+            )
+            if len(pending) >= window:
+                results.append(pending.popleft().result())
+        while pending:
+            results.append(pending.popleft().result())
+    return results, expired

@@ -17,7 +17,7 @@ influence spread ``I(S)``.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Iterable, List, Sequence, Union
+from typing import Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -78,6 +78,8 @@ class RRHypergraph:
         num_hyperedges: int,
         seed: SeedLike = None,
         deadline: DeadlineLike = None,
+        workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
     ) -> "RRHypergraph":
         """Sample ``num_hyperedges`` RR sets from ``model`` and index them.
 
@@ -86,8 +88,20 @@ class RRHypergraph:
         reflects the *actual* count, so the ``n * deg_H(S) / theta``
         estimator stays unbiased); compare against the requested count to
         detect truncation.
+
+        ``workers`` parallelizes the sampling (``0`` = one per CPU); for a
+        fixed seed the built hyper-graph is bit-identical for every worker
+        count, so checkpoints written at one worker count resume correctly
+        at another.
         """
-        rr_sets = sample_rr_sets(model, num_hyperedges, seed=seed, deadline=deadline)
+        rr_sets = sample_rr_sets(
+            model,
+            num_hyperedges,
+            seed=seed,
+            deadline=deadline,
+            workers=workers,
+            chunk_size=chunk_size,
+        )
         return cls(model.num_nodes, rr_sets)
 
     # ------------------------------------------------------------------

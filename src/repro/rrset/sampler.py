@@ -8,6 +8,12 @@ hyper-edges.
 The model-specific reverse cascade is delegated to
 :meth:`repro.diffusion.base.DiffusionModel.sample_rr_set`, so this module
 works unchanged for IC, LT and general triggering models.
+
+Polls are independent, so generation is chunked through the deterministic
+parallel engine (:mod:`repro.parallel`): the requested count is
+pre-partitioned into fixed chunks, chunk ``i`` draws from child stream
+``i`` of the root seed, and chunks are concatenated in order — the sampled
+hyper-graph is therefore bit-identical for any ``workers`` value.
 """
 
 from __future__ import annotations
@@ -18,14 +24,44 @@ import numpy as np
 
 from repro.diffusion.base import DiffusionModel
 from repro.exceptions import EstimationError
-from repro.runtime.deadline import DeadlineLike, as_deadline
-from repro.utils.rng import SeedLike, as_generator
+from repro.parallel.pool import partition_chunks, run_chunks
+from repro.runtime.deadline import Deadline, DeadlineLike, as_deadline, deadline_iter
+from repro.utils.rng import SeedLike, spawn_sequences
 
 __all__ = ["sample_rr_sets"]
 
-# Poll the deadline once per this many RR sets: frequent enough that one
-# stride is milliseconds of work, rare enough that the clock read is free.
-_DEADLINE_STRIDE = 64
+
+def _chunk_deadline(remaining: Optional[float]) -> Deadline:
+    """The chunk-local budget: ``remaining`` seconds on the local clock."""
+    if remaining is None:
+        return Deadline.never()
+    return Deadline.after(float(remaining))
+
+
+def _rr_chunk_task(
+    model: DiffusionModel,
+    count: int,
+    seed_seq: np.random.SeedSequence,
+    roots: Optional[np.ndarray],
+    remaining: Optional[float],
+) -> List[np.ndarray]:
+    """Sample one chunk of RR sets (runs inline or in a worker process).
+
+    Roots (when not given) are drawn *before* any cascade so the chunk's
+    root choices never depend on how far earlier cascades advanced the
+    stream — the layout the checkpoint/resume determinism tests pin down.
+    The adaptive-stride deadline polling of
+    :func:`~repro.runtime.deadline.deadline_iter` bounds expiry overshoot
+    to roughly one RR set's work even on dense graphs.
+    """
+    rng = np.random.default_rng(seed_seq)
+    if roots is None:
+        roots = rng.integers(0, model.num_nodes, size=count)
+    budget = _chunk_deadline(remaining)
+    rr_sets: List[np.ndarray] = []
+    for index in deadline_iter(count, budget):
+        rr_sets.append(model.sample_rr_set(int(roots[index]), rng))
+    return rr_sets
 
 
 def sample_rr_sets(
@@ -34,6 +70,8 @@ def sample_rr_sets(
     seed: SeedLike = None,
     roots: Optional[Sequence[int]] = None,
     deadline: DeadlineLike = None,
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
 ) -> List[np.ndarray]:
     """Generate ``count`` random RR sets.
 
@@ -44,7 +82,8 @@ def sample_rr_sets(
     count:
         Number of hyper-edges ``theta`` to generate.
     seed:
-        RNG seed (int / Generator / None).
+        RNG seed (int / Generator / SeedSequence / None).  For a fixed
+        seed the output is identical for every ``workers`` value.
     roots:
         Optional explicit poll roots (length ``count``); default draws roots
         uniformly from ``V`` — the distribution required for the unbiased
@@ -56,6 +95,14 @@ def sample_rr_sets(
         only widen the estimator's variance, never bias it, because each
         RR set is drawn i.i.d.  Expiring before *any* set was sampled
         raises :class:`~repro.exceptions.DeadlineExceeded`.
+    workers:
+        Parallel sampling processes: ``1`` runs inline, ``0`` means one
+        per CPU, ``None`` defers to the ``REPRO_WORKERS`` environment
+        variable (default 1).
+    chunk_size:
+        Sets per work chunk (default
+        :data:`~repro.parallel.pool.DEFAULT_CHUNK_SIZE`).  Part of the
+        deterministic plan: changing it changes the sampled streams.
 
     Returns
     -------
@@ -67,21 +114,35 @@ def sample_rr_sets(
         raise EstimationError(f"count must be non-negative, got {count}")
     if model.num_nodes == 0:
         raise EstimationError("cannot sample RR sets of an empty graph")
-    budget = as_deadline(deadline)
-    rng = as_generator(seed)
-    if roots is None:
-        root_arr = rng.integers(0, model.num_nodes, size=count)
-    else:
+    root_arr: Optional[np.ndarray] = None
+    if roots is not None:
         root_arr = np.asarray(roots, dtype=np.int64)
         if root_arr.shape != (count,):
             raise EstimationError(
                 f"roots must have length {count}, got {root_arr.shape}"
             )
-    rr_sets: List[np.ndarray] = []
-    for index, root in enumerate(root_arr):
-        if index % _DEADLINE_STRIDE == 0 and budget.expired():
-            if not rr_sets:
-                budget.check("sampling the first RR set")
-            break
-        rr_sets.append(model.sample_rr_set(int(root), rng))
+    if count == 0:
+        return []
+
+    budget = as_deadline(deadline)
+    sizes = partition_chunks(count, chunk_size)
+    sequences = spawn_sequences(seed, len(sizes))
+    chunk_args = []
+    offset = 0
+    for size, sequence in zip(sizes, sequences):
+        chunk_roots = None if root_arr is None else root_arr[offset : offset + size]
+        chunk_args.append((size, sequence, chunk_roots))
+        offset += size
+
+    chunks, _ = run_chunks(
+        _rr_chunk_task,
+        model,
+        chunk_args,
+        workers=workers,
+        deadline=budget,
+        inject_site="sampler.chunk",
+    )
+    rr_sets = [rr for chunk in chunks for rr in chunk]
+    if not rr_sets:
+        budget.check("sampling the first RR set")
     return rr_sets

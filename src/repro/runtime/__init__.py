@@ -24,6 +24,7 @@ from repro.runtime.deadline import (
     ManualClock,
     RunBudget,
     as_deadline,
+    deadline_iter,
 )
 from repro.runtime.faults import FaultInjector, InjectedFault, active_injector, maybe_inject
 from repro.runtime.retry import backoff_schedule, retry
@@ -34,6 +35,7 @@ __all__ = [
     "RunBudget",
     "ManualClock",
     "as_deadline",
+    "deadline_iter",
     "CheckpointStore",
     "content_key",
     "retry",

@@ -21,11 +21,18 @@ from __future__ import annotations
 
 import math
 import time
-from typing import Callable, Optional, Union
+from typing import Callable, Iterator, Optional, Union
 
 from repro.exceptions import DeadlineExceeded
 
-__all__ = ["Deadline", "RunBudget", "ManualClock", "as_deadline", "DeadlineLike"]
+__all__ = [
+    "Deadline",
+    "RunBudget",
+    "ManualClock",
+    "as_deadline",
+    "deadline_iter",
+    "DeadlineLike",
+]
 
 
 class ManualClock:
@@ -119,6 +126,20 @@ class Deadline:
             return False
         return self._clock() >= self._expires_at
 
+    def poll_remaining(self) -> float:
+        """Poll the clock and return the seconds left (clamped at 0.0).
+
+        Equivalent to :meth:`expired` (it counts as one poll and one clock
+        read) but also reports *how much* budget remains, which loops use
+        to derive sub-deadlines for delegated work — e.g. the parallel
+        engine hands each worker chunk the remaining budget measured at
+        dispatch time.  ``inf`` when unbounded (no clock read).
+        """
+        self.polls += 1
+        if self.unbounded:
+            return math.inf
+        return max(0.0, self._expires_at - self._clock())
+
     def check(self, what: str = "operation") -> None:
         """Raise :class:`DeadlineExceeded` if expired.
 
@@ -164,3 +185,61 @@ def as_deadline(value: DeadlineLike) -> Deadline:
     raise TypeError(
         f"deadline must be None, seconds, or a Deadline, got {type(value).__name__}"
     )
+
+
+#: Ceiling for :func:`deadline_iter`'s adaptive stride: never let more than
+#: this many iterations pass between clock reads, even when they are fast.
+MAX_DEADLINE_STRIDE = 64
+
+#: A stride (the work between two polls) slower than this is "slow": the
+#: stride halves so expiry overshoot shrinks toward one iteration's work.
+SLOW_STRIDE_SECONDS = 0.05
+
+
+def deadline_iter(
+    count: int,
+    deadline: DeadlineLike = None,
+    max_stride: int = MAX_DEADLINE_STRIDE,
+    slow_stride_seconds: float = SLOW_STRIDE_SECONDS,
+) -> Iterator[int]:
+    """Yield ``0..count-1``, stopping early when ``deadline`` expires.
+
+    The deadline is polled every *stride* iterations, and the stride adapts
+    to the measured cost of the work in between: it starts at 1 (so a
+    deadline that is already tight is honored within roughly one
+    iteration's work), doubles while strides complete quickly (capping the
+    polling overhead at ~1/``max_stride`` once iterations prove cheap), and
+    halves whenever a stride takes longer than ``slow_stride_seconds``.  A
+    fixed stride cannot do both: 64 iterations of dense-graph RR sampling
+    can overshoot a budget by seconds, while polling every iteration taxes
+    cheap loops.
+
+    Stride timing reads the deadline's own (injectable) clock, so the
+    adaptation itself is deterministic under a
+    :class:`ManualClock`-driven test.  Unbounded deadlines skip all clock
+    reads.  Early exhaustion is visible to the caller as fewer than
+    ``count`` yielded indices.
+    """
+    budget = as_deadline(deadline)
+    if budget.unbounded:
+        yield from range(count)
+        return
+    last_remaining = budget.poll_remaining()
+    if last_remaining <= 0.0:
+        return
+    stride = 1
+    since_poll = 0
+    for index in range(count):
+        if since_poll >= stride:
+            remaining = budget.poll_remaining()
+            elapsed = last_remaining - remaining
+            if elapsed > slow_stride_seconds:
+                stride = max(1, stride // 2)
+            elif elapsed < slow_stride_seconds / 4 and stride < max_stride:
+                stride *= 2
+            last_remaining = remaining
+            since_poll = 0
+            if remaining <= 0.0:
+                return
+        yield index
+        since_poll += 1

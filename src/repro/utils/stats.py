@@ -2,7 +2,11 @@
 
 :class:`RunningStat` implements Welford's single-pass algorithm so spread
 estimators can report mean, variance and confidence intervals without
-retaining every sample.
+retaining every sample.  Batches fold in via the Chan et al. parallel
+update (:meth:`RunningStat.add_many`), and two accumulators combine with
+:meth:`RunningStat.merge` — the reduction step of the parallel engine,
+which merges per-chunk statistics in a fixed chunk order so the result is
+bit-identical regardless of how many workers produced them.
 """
 
 from __future__ import annotations
@@ -12,6 +16,8 @@ from dataclasses import dataclass, field
 from typing import Iterable, Tuple
 
 import numpy as np
+
+from repro.exceptions import EstimationError
 
 __all__ = ["RunningStat", "mean_confidence_interval"]
 
@@ -34,17 +40,39 @@ class RunningStat:
     _m2: float = field(default=0.0, repr=False)
 
     def add(self, value: float) -> None:
-        """Fold one observation into the accumulator."""
+        """Fold one observation into the accumulator.
+
+        Non-finite observations are rejected: a single ``NaN`` would
+        silently poison the mean and every confidence interval derived
+        from it.
+        """
+        value = float(value)
+        if not math.isfinite(value):
+            raise EstimationError(f"samples must be finite, got {value}")
         self.count += 1
         delta = value - self.mean
         self.mean += delta / self.count
         self._m2 += delta * (value - self.mean)
 
     def add_many(self, values: Iterable[float]) -> None:
-        """Fold a batch of observations into the accumulator."""
-        arr = np.asarray(list(values) if not isinstance(values, np.ndarray) else values, dtype=float)
+        """Fold a batch of observations into the accumulator.
+
+        Accepts arrays, sequences and generators (consumed lazily via
+        ``np.fromiter`` — no intermediate list).  Raises
+        :class:`~repro.exceptions.EstimationError` if any sample is
+        ``NaN``/``inf``.
+        """
+        if isinstance(values, np.ndarray):
+            arr = np.asarray(values, dtype=np.float64)
+        else:
+            arr = np.fromiter(values, dtype=np.float64)
         if arr.size == 0:
             return
+        if not np.all(np.isfinite(arr)):
+            bad = int(np.flatnonzero(~np.isfinite(arr))[0])
+            raise EstimationError(
+                f"samples must be finite, got {arr.flat[bad]} at index {bad}"
+            )
         # Chan et al. parallel-merge update of Welford state.
         batch_count = int(arr.size)
         batch_mean = float(arr.mean())
@@ -55,21 +83,49 @@ class RunningStat:
         self.mean += delta * batch_count / total
         self.count = total
 
+    def merge(self, other: "RunningStat") -> None:
+        """Fold another accumulator into this one (Chan et al. merge).
+
+        The parallel engine's reduction: workers return one
+        :class:`RunningStat` per chunk and the coordinator merges them in
+        chunk order, which makes the combined mean/variance independent of
+        the worker count.  ``other`` is left untouched.
+        """
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count, self.mean, self._m2 = other.count, other.mean, other._m2
+            return
+        delta = other.mean - self.mean
+        total = self.count + other.count
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self.mean += delta * other.count / total
+        self.count = total
+
     @property
     def variance(self) -> float:
-        """Unbiased sample variance (0.0 until two observations exist)."""
+        """Unbiased sample variance (``nan`` until two observations exist).
+
+        A single observation carries no dispersion information; reporting
+        0.0 (as earlier versions did) produced misleading zero-width
+        confidence intervals downstream.
+        """
         if self.count < 2:
-            return 0.0
+            return float("nan")
         return self._m2 / (self.count - 1)
 
     @property
     def stddev(self) -> float:
-        """Sample standard deviation."""
-        return math.sqrt(self.variance)
+        """Sample standard deviation (``nan`` until two observations)."""
+        return math.sqrt(self.variance) if self.count >= 2 else float("nan")
 
     @property
     def stderr(self) -> float:
-        """Standard error of the mean."""
+        """Standard error of the mean.
+
+        ``inf`` with no observations (any mean is possible), ``nan`` with
+        one (dispersion unknown).
+        """
         if self.count == 0:
             return float("inf")
         return self.stddev / math.sqrt(self.count)

@@ -1,0 +1,19 @@
+"""Shared fixtures for the deterministic parallel engine suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.population import paper_mixture
+from repro.core.problem import CIMProblem
+from repro.diffusion.independent_cascade import IndependentCascade
+from repro.graphs.generators import erdos_renyi
+from repro.graphs.weights import assign_weighted_cascade
+
+
+@pytest.fixture(scope="module")
+def par_problem():
+    """A 80-node problem small enough to sample repeatedly under a pool."""
+    graph = assign_weighted_cascade(erdos_renyi(80, 0.06, seed=21), alpha=1.0)
+    population = paper_mixture(80, seed=22)
+    return CIMProblem(IndependentCascade(graph), population, budget=4.0)

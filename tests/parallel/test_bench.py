@@ -1,0 +1,53 @@
+"""Smoke tests for the parallel scaling harness (`repro.parallel.bench`)."""
+
+import json
+
+from repro.parallel.bench import (
+    SCHEMA,
+    format_report,
+    main,
+    run_scaling_benchmark,
+)
+
+
+class TestRunScalingBenchmark:
+    def test_report_shape_and_determinism(self):
+        report = run_scaling_benchmark(
+            nodes=40,
+            edge_prob=0.1,
+            rr_sets=96,
+            mc_samples=64,
+            workers=(1, 2),
+            repeats=1,
+        )
+        assert report["schema"] == SCHEMA
+        assert report["config"]["workers"] == [1, 2]
+        assert [r["workers"] for r in report["results"]["rr_sets"]] == [1, 2]
+        for rows in report["results"].values():
+            assert rows[0]["speedup"] == 1.0
+            assert all(row["seconds"] > 0 for row in rows)
+        assert report["determinism"]["rr_identical"]
+        assert report["determinism"]["spread_identical"]
+        # The table renderer accepts its own output.
+        assert "workers" in format_report(report)
+
+
+class TestMain:
+    def test_writes_json_and_exits_zero(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_parallel.json"
+        code = main(
+            [
+                "--smoke",
+                "--nodes", "40",
+                "--edge-prob", "0.1",
+                "--rr-sets", "96",
+                "--mc-samples", "64",
+                "--workers", "1,2",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert report["schema"] == SCHEMA
+        assert report["determinism"]["rr_identical"]
+        assert "wrote" in capsys.readouterr().out

@@ -1,0 +1,147 @@
+"""Cross-worker determinism: the engine's headline guarantee.
+
+For a fixed seed, every worker count must produce byte-identical
+hyper-graphs and identical spread estimates — including when a deadline
+truncates the run mid-flight and when a checkpointed grid is resumed at a
+different worker count.  These tests pin that contract.
+"""
+
+import numpy as np
+import pytest
+
+from repro.diffusion.montecarlo import (
+    estimate_configuration_spread,
+    estimate_spread,
+)
+from repro.experiments.runner import run_methods
+from repro.rrset.hypergraph import RRHypergraph
+from repro.rrset.sampler import sample_rr_sets
+from repro.runtime import Deadline, ManualClock
+
+WORKER_COUNTS = (1, 2, 4)
+
+# Small chunks so even a tiny test problem spans many chunks (the
+# interesting regime: chunk interleaving differs across worker counts).
+CHUNK = 32
+
+
+def _hypergraph_bytes(hypergraph: RRHypergraph) -> bytes:
+    arrays = hypergraph.to_arrays()
+    return b"".join(np.ascontiguousarray(arrays[k]).tobytes() for k in sorted(arrays))
+
+
+class TestHypergraphDeterminism:
+    def test_byte_identical_across_worker_counts(self, par_problem):
+        reference = None
+        for workers in WORKER_COUNTS:
+            hypergraph = RRHypergraph.build(
+                par_problem.model, 200, seed=42, workers=workers, chunk_size=CHUNK
+            )
+            blob = _hypergraph_bytes(hypergraph)
+            if reference is None:
+                reference = blob
+            assert blob == reference, f"workers={workers} diverged"
+
+    def test_sampler_output_identical_across_worker_counts(self, par_problem):
+        reference = None
+        for workers in WORKER_COUNTS:
+            sets = sample_rr_sets(
+                par_problem.model, 150, seed=7, workers=workers, chunk_size=CHUNK
+            )
+            flat = [tuple(int(v) for v in s) for s in sets]
+            if reference is None:
+                reference = flat
+            assert flat == reference, f"workers={workers} diverged"
+
+    def test_truncated_build_identical_across_worker_counts(self, par_problem):
+        """Deadline expiry cuts at a chunk boundary — the *same* boundary
+        for every worker count, because the shared deadline is polled once
+        per chunk in dispatch order regardless of pool size."""
+        reference = None
+        for workers in WORKER_COUNTS:
+            deadline = Deadline.after(3.5, clock=ManualClock(tick=1.0))
+            sets = sample_rr_sets(
+                par_problem.model,
+                300,
+                seed=11,
+                workers=workers,
+                chunk_size=CHUNK,
+                deadline=deadline,
+            )
+            # Polls see 2.5, 1.5, 0.5, 0.0 → exactly three chunks sampled.
+            assert len(sets) == 3 * CHUNK
+            flat = [tuple(int(v) for v in s) for s in sets]
+            if reference is None:
+                reference = flat
+            assert flat == reference, f"workers={workers} diverged under expiry"
+
+
+class TestEstimateDeterminism:
+    def test_estimate_spread_identical_across_worker_counts(self, par_problem):
+        reference = None
+        for workers in WORKER_COUNTS:
+            estimate = estimate_spread(
+                par_problem.model,
+                [0, 3, 9],
+                num_samples=300,
+                seed=5,
+                workers=workers,
+                chunk_size=CHUNK,
+            )
+            key = (estimate.mean, estimate.stddev, estimate.num_samples)
+            if reference is None:
+                reference = key
+            assert key == reference, f"workers={workers} diverged"
+
+    def test_configuration_spread_identical_across_worker_counts(self, par_problem):
+        probs = np.full(par_problem.num_nodes, 0.05)
+        reference = None
+        for workers in WORKER_COUNTS:
+            estimate = estimate_configuration_spread(
+                par_problem.model,
+                probs,
+                num_samples=300,
+                seed=5,
+                workers=workers,
+                chunk_size=CHUNK,
+            )
+            key = (estimate.mean, estimate.stddev, estimate.num_samples)
+            if reference is None:
+                reference = key
+            assert key == reference, f"workers={workers} diverged"
+
+
+class TestCheckpointResumeAcrossWorkerCounts:
+    @pytest.mark.parametrize("resume_workers", [1, 2])
+    def test_resume_is_bit_identical_at_any_worker_count(
+        self, par_problem, tmp_path, resume_workers
+    ):
+        """A grid checkpointed at workers=2 resumes identically at any
+        worker count — `workers` is deliberately excluded from the
+        checkpoint content key."""
+        kwargs = dict(
+            methods=("uniform", "degree"),
+            num_hyperedges=128,
+            evaluation_samples=64,
+            seed=31,
+        )
+        baseline = run_methods(par_problem, workers=1, **kwargs)
+        first = run_methods(
+            par_problem,
+            checkpoint_dir=tmp_path,
+            workers=2,
+            **kwargs,
+        )
+        resumed = run_methods(
+            par_problem,
+            checkpoint_dir=tmp_path,
+            resume=True,
+            workers=resume_workers,
+            **kwargs,
+        )
+        for a, b, c in zip(baseline, first, resumed):
+            assert a.spread_mean == b.spread_mean == c.spread_mean
+            assert a.hypergraph_estimate == b.hypergraph_estimate == c.hypergraph_estimate
+            # stddev compares with == too — NaN never occurs here because
+            # evaluation_samples >= 2.
+            assert a.spread_std == b.spread_std == c.spread_std

@@ -5,7 +5,7 @@ import math
 import pytest
 
 from repro.exceptions import DeadlineExceeded
-from repro.runtime import Deadline, ManualClock, RunBudget, as_deadline
+from repro.runtime import Deadline, ManualClock, RunBudget, as_deadline, deadline_iter
 
 
 class TestDeadlineBasics:
@@ -89,3 +89,87 @@ class TestDeadlineExceptionHierarchy:
 
         assert issubclass(DeadlineExceeded, ReproError)
         assert issubclass(DeadlineExceeded, TimeoutError)
+
+
+class TestPollRemaining:
+    def test_unbounded_returns_inf_without_clock_read(self):
+        reads = []
+
+        def clock():
+            reads.append(1)
+            return 0.0
+
+        deadline = Deadline(clock=clock)
+        assert deadline.poll_remaining() == math.inf
+        assert deadline.polls == 1
+        assert reads == []
+
+    def test_counts_down_and_clamps_at_zero(self):
+        deadline = Deadline.after(2.5, clock=ManualClock(tick=1.0))
+        assert deadline.poll_remaining() == 1.5
+        assert deadline.poll_remaining() == 0.5
+        assert deadline.poll_remaining() == 0.0
+        assert deadline.poll_remaining() == 0.0
+        assert deadline.polls == 4
+
+
+class TestDeadlineIter:
+    """Regression suite for the adaptive polling stride.
+
+    The old sampler polled every 64 RR sets unconditionally, so on a dense
+    graph expiry could overshoot by up to 63 sets' worth of work.  The
+    adaptive stride halves whenever the work between polls exceeds
+    ~50 ms, bounding overshoot to roughly one iteration once iterations
+    prove slow.
+    """
+
+    def test_unbounded_yields_everything_with_zero_polls(self):
+        deadline = Deadline.never()
+        assert list(deadline_iter(5, deadline)) == [0, 1, 2, 3, 4]
+        assert deadline.polls == 0
+
+    def test_already_expired_yields_nothing(self):
+        deadline = Deadline.after(0.0, clock=ManualClock(tick=1.0))
+        assert list(deadline_iter(100, deadline)) == []
+
+    def test_slow_iterations_expire_within_one_iteration(self):
+        # Each iteration costs 0.1 s (one clock read per poll, tick 0.1):
+        # slower than the 50 ms threshold, so the stride must stay at 1
+        # and the loop stops within one iteration of the true expiry.
+        # The old fixed stride of 64 would have run all 100.
+        clock = ManualClock(tick=0.1)
+        deadline = Deadline.after(0.35, clock=clock)
+        assert list(deadline_iter(100, deadline)) == [0, 1, 2]
+
+    def test_fast_iterations_amortize_polling(self):
+        # Free iterations (tick 0): the stride doubles to its cap, so a
+        # long loop reads the clock ~count/64 times, not count times.
+        deadline = Deadline.after(1000.0, clock=ManualClock(tick=0.0))
+        assert len(list(deadline_iter(1000, deadline))) == 1000
+        assert deadline.polls < 40
+
+    def test_stride_halves_after_a_slow_stride(self):
+        clock = ManualClock(tick=0.0)
+        deadline = Deadline.after(100.0, clock=clock)
+        it = deadline_iter(1000, deadline)
+        for _ in range(16):  # indices 0-15: stride grows 1→2→4→8→16
+            next(it)
+        assert deadline.polls == 5
+        clock.advance(0.06)  # the stride in flight suddenly became slow
+        for _ in range(16):  # indices 16-31; the poll at 31 sees > 50 ms
+            next(it)
+        assert deadline.polls == 6
+        for _ in range(8):  # stride halved to 8: next poll after 8 items
+            next(it)
+        assert deadline.polls == 7
+
+    def test_stride_never_exceeds_cap(self):
+        deadline = Deadline.after(1000.0, clock=ManualClock(tick=0.0))
+        consumed = list(deadline_iter(10_000, deadline, max_stride=4))
+        assert len(consumed) == 10_000
+        # With a cap of 4 there must be at least one poll per 4 items.
+        assert deadline.polls >= 10_000 // 4
+
+    def test_count_zero(self):
+        assert list(deadline_iter(0, Deadline.never())) == []
+        assert list(deadline_iter(0, Deadline.after(1.0))) == []

@@ -102,11 +102,13 @@ class TestPartialSolve:
 
 class TestPartialSampling:
     def test_sampler_returns_prefix_on_expiry(self, small_problem):
-        # Polls fire every 64 RR sets; a 2.5-tick budget on a 1.0-tick
-        # clock survives the polls at index 0 and 64 and stops at 128.
+        # The shared deadline is polled once per 256-set chunk; a 2.5-tick
+        # budget on a 1.0-tick clock survives the polls before chunks 0 and
+        # 1 (remaining 1.5 then 0.5) and stops before chunk 2 — so exactly
+        # two full chunks are sampled, at every worker count.
         deadline = Deadline.after(2.5, clock=ManualClock(tick=1.0))
         sets = sample_rr_sets(small_problem.model, 800, seed=3, deadline=deadline)
-        assert len(sets) == 128
+        assert len(sets) == 512
 
     def test_sampler_raises_if_nothing_sampled(self, small_problem):
         deadline = Deadline.after(0.0, clock=ManualClock(tick=1.0))
@@ -119,7 +121,7 @@ class TestPartialSampling:
         hypergraph = small_problem.build_hypergraph(
             num_hyperedges=800, seed=13, deadline=deadline
         )
-        assert hypergraph.num_hyperedges == 128
+        assert hypergraph.num_hyperedges == 512
         with pytest.warns(PartialResultWarning):
             result = solve(
                 small_problem,

@@ -67,10 +67,15 @@ class TestRunningStat:
         assert stat.count == 0
 
     def test_variance_needs_two_samples(self):
+        import math
+
         stat = RunningStat()
         stat.add(3.0)
-        assert stat.variance == 0.0
-        assert stat.stderr == 0.0  # undefined with one sample; reported as 0
+        # Sample variance is undefined with one observation: reporting 0.0
+        # would claim perfect certainty, so it is NaN until count >= 2.
+        assert math.isnan(stat.variance)
+        assert math.isnan(stat.stddev)
+        assert math.isnan(stat.stderr)
 
     def test_empty_stderr_infinite(self):
         assert RunningStat().stderr == float("inf")
@@ -163,3 +168,105 @@ class TestTiming:
             with breakdown.phase("failing"):
                 raise ValueError("boom")
         assert "failing" in breakdown.phases
+
+
+class TestRunningStatValidation:
+    """The estimator edge cases fixed alongside the parallel engine."""
+
+    def test_add_rejects_nan_and_inf(self):
+        from repro.exceptions import EstimationError
+
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            stat = RunningStat()
+            with pytest.raises(EstimationError):
+                stat.add(bad)
+            assert stat.count == 0  # nothing was absorbed
+
+    def test_add_many_rejects_nan_with_index(self):
+        from repro.exceptions import EstimationError
+
+        stat = RunningStat()
+        with pytest.raises(EstimationError, match="index 2"):
+            stat.add_many([1.0, 2.0, float("nan"), 4.0])
+
+    def test_add_many_rejects_inf_in_array(self):
+        from repro.exceptions import EstimationError
+
+        stat = RunningStat()
+        with pytest.raises(EstimationError):
+            stat.add_many(np.array([1.0, float("inf")]))
+
+    def test_add_many_consumes_generators_without_list(self):
+        stat = RunningStat()
+        stat.add_many(float(i) for i in range(5))
+        assert stat.count == 5
+        assert stat.mean == 2.0
+
+    def test_add_many_empty_is_noop(self):
+        stat = RunningStat()
+        stat.add_many([])
+        stat.add_many(iter([]))
+        assert stat.count == 0
+
+
+class TestRunningStatMerge:
+    def test_merge_matches_sequential_add(self):
+        left, right, combined = RunningStat(), RunningStat(), RunningStat()
+        a, b = [1.0, 2.5, -3.0, 7.5], [0.5, 0.5, 10.0]
+        left.add_many(a)
+        right.add_many(b)
+        combined.add_many(a + b)
+        left.merge(right)
+        assert left.count == combined.count
+        assert left.mean == pytest.approx(combined.mean, rel=1e-12)
+        assert left.variance == pytest.approx(combined.variance, rel=1e-12)
+
+    def test_merge_into_empty_copies(self):
+        left, right = RunningStat(), RunningStat()
+        right.add_many([1.0, 2.0, 3.0])
+        left.merge(right)
+        assert (left.count, left.mean) == (3, 2.0)
+        assert left.variance == pytest.approx(1.0)
+
+    def test_merge_of_empty_is_noop(self):
+        left, right = RunningStat(), RunningStat()
+        left.add_many([1.0, 2.0])
+        before = (left.count, left.mean, left.variance)
+        left.merge(right)
+        assert (left.count, left.mean, left.variance) == before
+
+    def test_merge_leaves_other_untouched(self):
+        left, right = RunningStat(), RunningStat()
+        left.add(1.0)
+        right.add_many([5.0, 7.0])
+        left.merge(right)
+        assert right.count == 2
+        assert right.mean == 6.0
+
+    @pytest.mark.parametrize("trial", range(20))
+    def test_property_chan_merge_matches_sequential_add(self, trial):
+        """Property test: for random partitions of random samples (wild
+        scales and offsets included), merging per-part accumulators in
+        order agrees with one-by-one `add` at float64 tolerance."""
+        rng = np.random.default_rng(1000 + trial)
+        total = int(rng.integers(2, 400))
+        scale = 10.0 ** rng.integers(-6, 7)
+        offset = float(rng.normal()) * scale * 10.0
+        samples = rng.normal(loc=offset, scale=scale, size=total)
+
+        sequential = RunningStat()
+        for value in samples:
+            sequential.add(float(value))
+
+        cuts = np.sort(rng.integers(0, total + 1, size=int(rng.integers(1, 8))))
+        merged = RunningStat()
+        for part in np.split(samples, cuts):
+            chunk = RunningStat()
+            chunk.add_many(part)
+            merged.merge(chunk)
+
+        assert merged.count == sequential.count == total
+        assert merged.mean == pytest.approx(sequential.mean, rel=1e-10, abs=1e-12)
+        assert merged.variance == pytest.approx(
+            sequential.variance, rel=1e-8, abs=1e-12
+        )
