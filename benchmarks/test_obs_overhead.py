@@ -1,0 +1,68 @@
+"""Benchmark: observability overhead on the sampling hot path.
+
+Three variants of the same seeded `sample_rr_sets` workload:
+
+* ``null`` — default no-op collectors (the cost every user pays);
+* ``metrics`` — a live registry counting chunks/samples;
+* ``traced`` — a live tracer plus registry recording the span tree.
+
+The tier-1 guard (`tests/obs/test_overhead.py`) pins the null path below
+2% against a bare loop; this benchmark records where the *active* paths
+land for the performance log.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_once
+
+from repro.diffusion.independent_cascade import IndependentCascade
+from repro.graphs.generators import erdos_renyi
+from repro.graphs.weights import assign_weighted_cascade
+from repro.obs.context import observe
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+from repro.rrset.sampler import sample_rr_sets
+
+THETA = 20_000
+SEED = 97
+
+
+@pytest.fixture(scope="module")
+def model():
+    graph = assign_weighted_cascade(erdos_renyi(400, 0.02, seed=SEED), alpha=1.0)
+    return IndependentCascade(graph)
+
+
+def _sample(model):
+    return sample_rr_sets(model, THETA, seed=SEED, workers=1)
+
+
+def test_sampler_null_observability(benchmark, model):
+    rr_sets = run_once(benchmark, _sample, model)
+    assert len(rr_sets) == THETA
+
+
+def test_sampler_live_metrics(benchmark, model):
+    registry = MetricsRegistry()
+
+    def observed():
+        with observe(metrics=registry, merge_up=False):
+            return _sample(model)
+
+    rr_sets = run_once(benchmark, observed)
+    assert len(rr_sets) == THETA
+    assert registry.counter("rrset.sampled_total").value == THETA
+
+
+def test_sampler_live_trace(benchmark, model):
+    tracer, registry = Tracer(), MetricsRegistry()
+
+    def observed():
+        with observe(tracer=tracer, metrics=registry, merge_up=False):
+            return _sample(model)
+
+    rr_sets = run_once(benchmark, observed)
+    assert len(rr_sets) == THETA
+    assert tracer.roots[0].name == "rrset.sample"

@@ -75,6 +75,7 @@ from repro.exceptions import (
     DeadlineExceeded,
     EstimationError,
     GraphError,
+    ObservabilityError,
     PartialResultWarning,
     ReproError,
     SolverError,
@@ -98,6 +99,15 @@ from repro.io import (
     load_solve_result,
     save_configuration,
     save_solve_result,
+)
+from repro.obs import (
+    MetricsRegistry,
+    NULL_METRICS,
+    NULL_TRACER,
+    Tracer,
+    get_metrics,
+    get_tracer,
+    observe,
 )
 from repro.parallel import partition_chunks, resolve_workers, run_chunks
 from repro.rrset import RRHypergraph, HypergraphObjective, sample_rr_sets
@@ -196,6 +206,14 @@ __all__ = [
     "partition_chunks",
     "resolve_workers",
     "run_chunks",
+    # obs (tracing spans + metrics)
+    "Tracer",
+    "MetricsRegistry",
+    "observe",
+    "get_tracer",
+    "get_metrics",
+    "NULL_TRACER",
+    "NULL_METRICS",
     # runtime (fault-tolerant execution)
     "Deadline",
     "RunBudget",
@@ -216,5 +234,6 @@ __all__ = [
     "EstimationError",
     "DeadlineExceeded",
     "CheckpointError",
+    "ObservabilityError",
     "PartialResultWarning",
 ]

@@ -52,6 +52,22 @@ def _add_workers_argument(subparser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_obs_arguments(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="write a JSONL trace of nested spans (sampling, solver phases, "
+        "runtime hooks) to FILE; span content is identical at any --workers",
+    )
+    subparser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write a JSON snapshot of run counters/gauges/histograms to FILE",
+    )
+
+
 def _deadline_seconds(text: str) -> float:
     """argparse type for --deadline: a finite, non-negative second count."""
     try:
@@ -111,6 +127,7 @@ def build_parser() -> argparse.ArgumentParser:
         "found so far is returned (marked partial) instead of failing",
     )
     _add_workers_argument(slv)
+    _add_obs_arguments(slv)
     slv.add_argument("-o", "--output", default=None, help="save plan JSON here")
 
     ev = sub.add_parser("evaluate", help="Monte-Carlo score a saved plan")
@@ -124,6 +141,7 @@ def build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--undirected", action="store_true")
     ev.add_argument("--seed", type=int, default=None)
     _add_workers_argument(ev)
+    _add_obs_arguments(ev)
 
     sub.add_parser("selfcheck", help="verify the installation's internal consistency")
 
@@ -145,6 +163,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="reuse completed cells found in --checkpoint-dir instead of recomputing",
     )
     _add_workers_argument(rpt)
+    _add_obs_arguments(rpt)
 
     rep = sub.add_parser("reproduce", help="regenerate a paper exhibit")
     rep.add_argument(
@@ -370,12 +389,37 @@ _COMMANDS = {
 }
 
 
+def _run_observed(args) -> int:
+    """Run the selected command, honouring ``--trace`` / ``--metrics-out``.
+
+    Both files are written even when the command fails partway, so an
+    aborted run still leaves its partial trace behind for diagnosis.
+    """
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics_out", None)
+    if trace_path is None and metrics_path is None:
+        return _COMMANDS[args.command](args)
+
+    from repro.obs import MetricsRegistry, Tracer, observe
+
+    tracer = Tracer() if trace_path is not None else None
+    metrics = MetricsRegistry() if metrics_path is not None else None
+    try:
+        with observe(tracer=tracer, metrics=metrics):
+            return _COMMANDS[args.command](args)
+    finally:
+        if tracer is not None:
+            tracer.export_jsonl(trace_path)
+        if metrics is not None:
+            metrics.export_json(metrics_path)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        return _COMMANDS[args.command](args)
+        return _run_observed(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -31,6 +31,7 @@ from repro.core.configuration import Configuration
 from repro.core.coordinate_descent import pair_grid_candidates
 from repro.core.problem import CIMProblem
 from repro.exceptions import SolverError
+from repro.obs.context import get_metrics, get_tracer
 from repro.rrset.estimator import HypergraphObjective
 from repro.rrset.hypergraph import RRHypergraph
 from repro.runtime.deadline import DeadlineLike, as_deadline
@@ -143,7 +144,14 @@ def coordinate_descent_hypergraph(
     current_value = objective.value()
     round_values = [current_value]
 
+    metrics = get_metrics()
+    tracer = get_tracer()
     if coords.size < 2:
+        with tracer.span(
+            "solver.cd", engine="hypergraph", coordinates=int(coords.size)
+        ) as span:
+            span.set(rounds_run=0, pair_updates=0, converged=True, truncated=False)
+        metrics.inc("cd.runs_total")
         return HypergraphCDResult(
             configuration=Configuration(discounts),
             objective_value=current_value,
@@ -159,7 +167,14 @@ def coordinate_descent_hypergraph(
     rounds_run = 0
     converged = False
     expired = False
-    with timings.phase("descent"):
+    polls = 0
+    with tracer.span(
+        "solver.cd",
+        engine="hypergraph",
+        coordinates=int(coords.size),
+        max_rounds=max_rounds,
+        pair_strategy=pair_strategy,
+    ) as span, timings.phase("descent"):
         for _ in range(max_rounds):
             rounds_run += 1
             round_start_value = current_value
@@ -170,6 +185,7 @@ def coordinate_descent_hypergraph(
             else:
                 round_pairs = itertools.combinations(coords.tolist(), 2)
             for i, j in round_pairs:
+                polls += 1
                 if budget_clock.expired():
                     expired = True
                     break
@@ -205,6 +221,13 @@ def coordinate_descent_hypergraph(
                     current_value = objective.value()
                     pair_updates += 1
             round_values.append(current_value)
+            span.event(
+                "round",
+                index=rounds_run - 1,
+                value=float(current_value),
+                gain=float(current_value - round_start_value),
+                pair_updates=pair_updates,
+            )
             if expired:
                 break
             if current_value - round_start_value <= tolerance:
@@ -213,6 +236,19 @@ def coordinate_descent_hypergraph(
         # Wash out float drift accumulated by incremental survival updates.
         objective.rebuild()
         current_value = objective.value()
+        span.set(
+            rounds_run=rounds_run,
+            pair_updates=pair_updates,
+            converged=converged,
+            truncated=expired,
+            objective_value=float(current_value),
+        )
+        metrics.inc("cd.runs_total")
+        metrics.inc("cd.rounds_total", rounds_run)
+        metrics.inc("cd.pair_updates_total", pair_updates)
+        metrics.inc("cd.deadline_polls_total", polls)
+        if expired:
+            metrics.inc("cd.deadline_expired_total")
 
     return HypergraphCDResult(
         configuration=Configuration(discounts).require_feasible(problem.budget),

@@ -27,6 +27,7 @@ import numpy as np
 from repro.core.configuration import Configuration
 from repro.core.objective import SpreadOracle
 from repro.exceptions import ConfigurationError, SolverError
+from repro.obs.context import get_metrics, get_tracer
 from repro.runtime.deadline import DeadlineLike, as_deadline
 from repro.utils.rng import SeedLike, as_generator
 
@@ -186,34 +187,64 @@ def coordinate_descent(
     converged = False
     rounds_run = 0
     expired = False
-    for _ in range(max_rounds):
-        rounds_run += 1
-        round_start_value = current_value
-        for i, j in _iterate_pairs(pair_strategy, coords, rng):
-            if budget_clock.expired():
-                expired = True
+    polls = 0
+    metrics = get_metrics()
+    with get_tracer().span(
+        "solver.cd",
+        engine="oracle",
+        coordinates=int(coords.size),
+        max_rounds=max_rounds,
+        pair_strategy=pair_strategy,
+    ) as span:
+        for _ in range(max_rounds):
+            rounds_run += 1
+            round_start_value = current_value
+            for i, j in _iterate_pairs(pair_strategy, coords, rng):
+                polls += 1
+                if budget_clock.expired():
+                    expired = True
+                    break
+                cand_i, cand_j, _ = pair_grid_candidates(config[i], config[j], grid_step)
+                best_value = current_value
+                best_pair = (config[i], config[j])
+                for c_i, c_j in zip(cand_i, cand_j):
+                    if c_i == config[i]:
+                        continue  # incumbent already scored
+                    candidate = config.with_pair(i, float(c_i), j, float(c_j))
+                    value = oracle.evaluate(candidate)
+                    if value > best_value + tolerance:
+                        best_value = value
+                        best_pair = (float(c_i), float(c_j))
+                if best_pair != (config[i], config[j]):
+                    config = config.with_pair(i, best_pair[0], j, best_pair[1])
+                    current_value = best_value
+                    pair_updates += 1
+            round_values.append(current_value)
+            span.event(
+                "round",
+                index=rounds_run - 1,
+                value=float(current_value),
+                gain=float(current_value - round_start_value),
+                pair_updates=pair_updates,
+            )
+            if expired:
                 break
-            cand_i, cand_j, _ = pair_grid_candidates(config[i], config[j], grid_step)
-            best_value = current_value
-            best_pair = (config[i], config[j])
-            for c_i, c_j in zip(cand_i, cand_j):
-                if c_i == config[i]:
-                    continue  # incumbent already scored
-                candidate = config.with_pair(i, float(c_i), j, float(c_j))
-                value = oracle.evaluate(candidate)
-                if value > best_value + tolerance:
-                    best_value = value
-                    best_pair = (float(c_i), float(c_j))
-            if best_pair != (config[i], config[j]):
-                config = config.with_pair(i, best_pair[0], j, best_pair[1])
-                current_value = best_value
-                pair_updates += 1
-        round_values.append(current_value)
+            if current_value - round_start_value <= tolerance:
+                converged = True
+                break
+        span.set(
+            rounds_run=rounds_run,
+            pair_updates=pair_updates,
+            converged=converged,
+            truncated=expired,
+            objective_value=float(current_value),
+        )
+        metrics.inc("cd.runs_total")
+        metrics.inc("cd.rounds_total", rounds_run)
+        metrics.inc("cd.pair_updates_total", pair_updates)
+        metrics.inc("cd.deadline_polls_total", polls)
         if expired:
-            break
-        if current_value - round_start_value <= tolerance:
-            converged = True
-            break
+            metrics.inc("cd.deadline_expired_total")
     return CoordinateDescentResult(
         configuration=config,
         objective_value=current_value,

@@ -37,6 +37,8 @@ from repro.core.problem import CIMProblem
 from repro.core.unified_discount import unified_discount
 from repro.discrete.heuristics import degree_seeds
 from repro.exceptions import PartialResultWarning, SolverError
+from repro.obs.context import get_tracer, observe
+from repro.obs.metrics import MetricsRegistry
 from repro.rrset.coverage import max_coverage
 from repro.rrset.hypergraph import RRHypergraph
 from repro.rrset.sample_size import default_num_rr_sets
@@ -286,34 +288,52 @@ def solve(
 
     timings = TimingBreakdown()
     hypergraph_truncated = False
-    if hypergraph is None:
-        requested = (
-            num_hyperedges
-            if num_hyperedges is not None
-            else default_num_rr_sets(problem.num_nodes)
-        )
-        with timings.phase("hypergraph"):
-            hypergraph = problem.build_hypergraph(
-                num_hyperedges=requested,
-                seed=seed,
-                deadline=run_budget,
-                workers=workers,
+    # Metrics for this call land in a private registry so the
+    # extras["metrics"] snapshot depends only on this run, then merge
+    # into whatever registry the caller installed (see repro.obs).
+    run_metrics = MetricsRegistry()
+    with observe(metrics=run_metrics), get_tracer().span("solve", method=method) as span:
+        if hypergraph is None:
+            requested = (
+                num_hyperedges
+                if num_hyperedges is not None
+                else default_num_rr_sets(problem.num_nodes)
             )
-        hypergraph_truncated = hypergraph.num_hyperedges < requested
-    elif num_hyperedges is not None:
-        # A caller handing over a prebuilt hyper-graph *and* a requested
-        # size is declaring intent; a smaller graph (e.g. deadline-truncated
-        # sampling) taints every estimate computed on it.
-        hypergraph_truncated = hypergraph.num_hyperedges < num_hyperedges
-    with timings.phase(method):
-        configuration, extras = solver(problem, hypergraph, seed, options)
+            with timings.phase("hypergraph"):
+                hypergraph = problem.build_hypergraph(
+                    num_hyperedges=requested,
+                    seed=seed,
+                    deadline=run_budget,
+                    workers=workers,
+                )
+            hypergraph_truncated = hypergraph.num_hyperedges < requested
+        else:
+            run_metrics.inc("solver.hypergraph_reuse_total")
+            if num_hyperedges is not None:
+                # A caller handing over a prebuilt hyper-graph *and* a
+                # requested size is declaring intent; a smaller graph (e.g.
+                # deadline-truncated sampling) taints every estimate
+                # computed on it.
+                hypergraph_truncated = hypergraph.num_hyperedges < num_hyperedges
+        with timings.phase(method):
+            configuration, extras = solver(problem, hypergraph, seed, options)
 
-    configuration.require_feasible(problem.budget)
-    oracle = HypergraphOracle(hypergraph, problem.population)
-    estimate = oracle.evaluate(configuration)
-    extras["num_hyperedges"] = hypergraph.num_hyperedges
-    partial = bool(hypergraph_truncated or extras.get("deadline_expired", False))
-    extras["partial"] = partial
+        configuration.require_feasible(problem.budget)
+        oracle = HypergraphOracle(hypergraph, problem.population)
+        estimate = oracle.evaluate(configuration)
+        extras["num_hyperedges"] = hypergraph.num_hyperedges
+        partial = bool(hypergraph_truncated or extras.get("deadline_expired", False))
+        extras["partial"] = partial
+        span.set(
+            num_hyperedges=hypergraph.num_hyperedges,
+            partial=partial,
+            spread_estimate=float(estimate),
+        )
+        run_metrics.inc("solver.runs_total")
+        run_metrics.set_gauge("solver.num_hyperedges", hypergraph.num_hyperedges)
+        if partial:
+            run_metrics.inc("solver.partial_total")
+        extras["metrics"] = run_metrics.snapshot()
     if partial:
         warnings.warn(
             f"solver {method!r} hit its deadline and returned a truncated "

@@ -22,6 +22,7 @@ import numpy as np
 from repro.core.configuration import Configuration
 from repro.core.problem import CIMProblem
 from repro.exceptions import SolverError
+from repro.obs.context import get_metrics, get_tracer
 from repro.rrset.coverage import weighted_max_coverage
 from repro.rrset.hypergraph import RRHypergraph
 from repro.runtime.deadline import DeadlineLike, as_deadline
@@ -112,27 +113,45 @@ def unified_discount(
     best: Optional[Tuple[float, List[int], float]] = None
 
     expired = False
-    with timings.phase("grid_search"):
-        for discount in grid:
-            if budget_clock.expired():
-                if best is None:
-                    budget_clock.check("the first UD grid point")
-                expired = True
-                break
-            num_targets = int(min(n, np.floor(budget / discount + 1e-9)))
-            if num_targets == 0:
-                continue
-            node_probs = problem.population.probabilities_at(float(discount))
-            coverage = weighted_max_coverage(hypergraph, node_probs, num_targets)
-            trace.append(
-                UDGridPoint(
+    metrics = get_metrics()
+    polls = 0
+    with get_tracer().span("solver.ud", grid_size=int(grid.size)) as span:
+        with timings.phase("grid_search"):
+            for discount in grid:
+                polls += 1
+                if budget_clock.expired():
+                    if best is None:
+                        budget_clock.check("the first UD grid point")
+                    expired = True
+                    break
+                num_targets = int(min(n, np.floor(budget / discount + 1e-9)))
+                if num_targets == 0:
+                    continue
+                node_probs = problem.population.probabilities_at(float(discount))
+                coverage = weighted_max_coverage(hypergraph, node_probs, num_targets)
+                trace.append(
+                    UDGridPoint(
+                        discount=float(discount),
+                        num_targets=len(coverage.seeds),
+                        spread_estimate=coverage.spread_estimate,
+                    )
+                )
+                span.event(
+                    "grid_point",
                     discount=float(discount),
                     num_targets=len(coverage.seeds),
-                    spread_estimate=coverage.spread_estimate,
+                    spread=float(coverage.spread_estimate),
                 )
-            )
-            if best is None or coverage.spread_estimate > best[2]:
-                best = (float(discount), coverage.seeds, coverage.spread_estimate)
+                if best is None or coverage.spread_estimate > best[2]:
+                    best = (float(discount), coverage.seeds, coverage.spread_estimate)
+        span.set(evaluated=len(trace), truncated=expired)
+        if best is not None:
+            span.set(best_discount=best[0], best_spread=float(best[2]))
+        metrics.inc("ud.runs_total")
+        metrics.inc("ud.grid_points_total", len(trace))
+        metrics.inc("ud.deadline_polls_total", polls)
+        if expired:
+            metrics.inc("ud.deadline_expired_total")
 
     if best is None:
         raise SolverError(

@@ -29,6 +29,7 @@ import numpy as np
 from repro.diffusion.montecarlo import DEFAULT_SAMPLE_CHUNK, SpreadEstimate
 from repro.exceptions import EstimationError
 from repro.graphs.digraph import DiGraph
+from repro.obs.context import get_metrics, get_tracer
 from repro.parallel.pool import partition_chunks, run_chunks
 from repro.runtime.deadline import DeadlineLike, as_deadline
 from repro.utils.rng import SeedLike, as_generator, spawn_sequences
@@ -200,19 +201,31 @@ def batch_configuration_spread_ic(
     budget = as_deadline(deadline)
     sizes = partition_chunks(num_samples, chunk_size or DEFAULT_SAMPLE_CHUNK)
     sequences = spawn_sequences(seed, len(sizes))
-    stats, _ = run_chunks(
-        _batch_configuration_chunk_task,
-        (graph, seed_probabilities, batch_size),
-        list(zip(sizes, sequences)),
-        workers=workers,
-        deadline=budget,
-        inject_site="montecarlo.chunk",
-    )
-    total = RunningStat()
-    for stat in stats:
-        total.merge(stat)
-    if total.count == 0:
-        budget.check("estimating UI(C)")
+    metrics = get_metrics()
+    with get_tracer().span(
+        "mc.estimate", kind="UI(C)/batch", requested=num_samples, chunks=len(sizes)
+    ) as span:
+        stats, expired = run_chunks(
+            _batch_configuration_chunk_task,
+            (graph, seed_probabilities, batch_size),
+            list(zip(sizes, sequences)),
+            workers=workers,
+            deadline=budget,
+            inject_site="montecarlo.chunk",
+        )
+        total = RunningStat()
+        for index, stat in enumerate(stats):
+            total.merge(stat)
+            span.event("chunk", index=index, planned=sizes[index], produced=stat.count)
+            metrics.observe("mc.chunk_items", stat.count)
+        span.set(produced=total.count, truncated=expired)
+        metrics.inc("mc.estimates_total")
+        metrics.inc("mc.requested_total", num_samples)
+        metrics.inc("mc.samples_total", total.count)
+        if expired:
+            metrics.inc("mc.truncated_total")
+        if total.count == 0:
+            budget.check("estimating UI(C)")
     return SpreadEstimate(
         mean=total.mean, stddev=total.stddev, num_samples=total.count
     )

@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.diffusion.base import DiffusionModel
 from repro.exceptions import EstimationError
+from repro.obs.context import get_metrics, get_tracer
 from repro.parallel.pool import partition_chunks, run_chunks
 from repro.runtime.deadline import Deadline, DeadlineLike, as_deadline, deadline_iter
 from repro.utils.rng import SeedLike, spawn_sequences
@@ -134,19 +135,32 @@ def _merged_estimate(
     sizes = partition_chunks(num_samples, chunk_size or DEFAULT_SAMPLE_CHUNK)
     sequences = spawn_sequences(seed, len(sizes))
     chunk_args = list(zip(sizes, sequences))
-    stats, _ = run_chunks(
-        task,
-        payload,
-        chunk_args,
-        workers=workers,
-        deadline=budget,
-        inject_site="montecarlo.chunk",
-    )
-    total = RunningStat()
-    for stat in stats:
-        total.merge(stat)
-    if total.count == 0:
-        budget.check(what)
+    kind = "UI(C)" if task is _configuration_chunk_task else "I(S)"
+    metrics = get_metrics()
+    with get_tracer().span(
+        "mc.estimate", kind=kind, requested=num_samples, chunks=len(sizes)
+    ) as span:
+        stats, expired = run_chunks(
+            task,
+            payload,
+            chunk_args,
+            workers=workers,
+            deadline=budget,
+            inject_site="montecarlo.chunk",
+        )
+        total = RunningStat()
+        for index, stat in enumerate(stats):
+            total.merge(stat)
+            span.event("chunk", index=index, planned=sizes[index], produced=stat.count)
+            metrics.observe("mc.chunk_items", stat.count)
+        span.set(produced=total.count, truncated=expired)
+        metrics.inc("mc.estimates_total")
+        metrics.inc("mc.requested_total", num_samples)
+        metrics.inc("mc.samples_total", total.count)
+        if expired:
+            metrics.inc("mc.truncated_total")
+        if total.count == 0:
+            budget.check(what)
     return SpreadEstimate(
         mean=total.mean, stddev=total.stddev, num_samples=total.count
     )

@@ -20,6 +20,7 @@ __all__ = [
     "DeadlineExceeded",
     "CheckpointError",
     "PartialResultWarning",
+    "ObservabilityError",
 ]
 
 
@@ -92,3 +93,12 @@ class CheckpointError(ReproError, OSError):
 
 class PartialResultWarning(UserWarning):
     """Warned when a solver returns a truncated (deadline-expired) result."""
+
+
+class ObservabilityError(ReproError):
+    """Raised for misuse of the tracing/metrics layer.
+
+    Examples: registering one metric name as two different instrument
+    kinds, or closing spans out of nesting order.  Instrumented pipeline
+    code never triggers these; they guard direct API use.
+    """

@@ -21,6 +21,8 @@ from repro.experiments.figures import (
 from repro.experiments.tables import table3_search_step, table4_sensitivity
 from repro.experiments.datasets import table2_rows
 from repro.io.records import write_records_csv
+from repro.obs.context import get_tracer, observe
+from repro.obs.metrics import MetricsRegistry
 from repro.utils.rng import SeedLike
 
 __all__ = ["generate_full_report"]
@@ -57,88 +59,102 @@ def generate_full_report(
     output.mkdir(parents=True, exist_ok=True)
     written: Dict[str, Path] = {}
 
+    # A private registry isolates this report's metrics from whatever ran
+    # earlier in the process; ``observe`` merges them up on exit so ambient
+    # collection (e.g. ``REPRO_METRICS_OUT``) still sees them.
+    registry = MetricsRegistry()
+
     def emit(name: str, records: List[dict]) -> None:
         path = output / f"{name}.csv"
         write_records_csv(records, path)
         written[name] = path
+        registry.inc("report.exhibits_total")
 
-    emit("table2_datasets", table2_rows(scale=scale, seed=seed))
+    with observe(metrics=registry), get_tracer().span(
+        "report.generate", dataset=dataset, scale=float(scale)
+    ) as span:
+        emit("table2_datasets", table2_rows(scale=scale, seed=seed))
 
-    fig3_records: List[dict] = []
-    for alpha in alphas:
-        rows = figure3_influence_spread(
+        fig3_records: List[dict] = []
+        for alpha in alphas:
+            rows = figure3_influence_spread(
+                dataset=dataset,
+                alpha=alpha,
+                budgets=budgets,
+                scale=scale,
+                num_hyperedges=num_hyperedges,
+                evaluation_samples=evaluation_samples,
+                seed=seed,
+                checkpoint_dir=checkpoint_path,
+                resume=resume,
+                workers=workers,
+            )
+            fig3_records.extend(asdict(row) for row in rows)
+        emit("figure3_influence_spread", fig3_records)
+
+        bounds = figure4_approximation_bound(
             dataset=dataset,
-            alpha=alpha,
-            budgets=budgets,
+            budgets=[int(b) for b in budgets],
             scale=scale,
             num_hyperedges=num_hyperedges,
-            evaluation_samples=evaluation_samples,
             seed=seed,
-            checkpoint_dir=checkpoint_path,
-            resume=resume,
-            workers=workers,
         )
-        fig3_records.extend(asdict(row) for row in rows)
-    emit("figure3_influence_spread", fig3_records)
+        emit(
+            "figure4_approximation_bound",
+            [{"budget": budget, "bound": bound} for budget, bound in bounds.items()],
+        )
 
-    bounds = figure4_approximation_bound(
-        dataset=dataset,
-        budgets=[int(b) for b in budgets],
-        scale=scale,
-        num_hyperedges=num_hyperedges,
-        seed=seed,
-    )
-    emit(
-        "figure4_approximation_bound",
-        [{"budget": budget, "bound": bound} for budget, bound in bounds.items()],
-    )
+        emit(
+            "figure5_spread_vs_discount",
+            figure5_spread_vs_discount(
+                dataset=dataset,
+                budget=figure5_budget,
+                scale=scale,
+                num_hyperedges=num_hyperedges,
+                seed=seed,
+            ),
+        )
 
-    emit(
-        "figure5_spread_vs_discount",
-        figure5_spread_vs_discount(
-            dataset=dataset,
-            budget=figure5_budget,
-            scale=scale,
-            num_hyperedges=num_hyperedges,
-            seed=seed,
-        ),
-    )
+        emit(
+            "figure6_running_time",
+            figure6_running_time(
+                dataset=dataset,
+                budgets=budgets,
+                scale=scale,
+                num_hyperedges=num_hyperedges,
+                seed=seed,
+                checkpoint_dir=checkpoint_path,
+                resume=resume,
+                workers=workers,
+            ),
+        )
 
-    emit(
-        "figure6_running_time",
-        figure6_running_time(
-            dataset=dataset,
-            budgets=budgets,
-            scale=scale,
-            num_hyperedges=num_hyperedges,
-            seed=seed,
-            checkpoint_dir=checkpoint_path,
-            resume=resume,
-            workers=workers,
-        ),
-    )
+        emit(
+            "table3_search_step",
+            table3_search_step(
+                dataset=dataset,
+                budgets=budgets,
+                scale=scale,
+                num_hyperedges=num_hyperedges,
+                seed=seed,
+            ),
+        )
 
-    emit(
-        "table3_search_step",
-        table3_search_step(
-            dataset=dataset,
-            budgets=budgets,
-            scale=scale,
-            num_hyperedges=num_hyperedges,
-            seed=seed,
-        ),
-    )
+        emit(
+            "table4_sensitivity",
+            table4_sensitivity(
+                dataset=dataset,
+                budget=figure5_budget,
+                scale=scale,
+                num_hyperedges=num_hyperedges,
+                seed=seed,
+            ),
+        )
+        span.set(exhibits=len(written))
 
-    emit(
-        "table4_sensitivity",
-        table4_sensitivity(
-            dataset=dataset,
-            budget=figure5_budget,
-            scale=scale,
-            num_hyperedges=num_hyperedges,
-            seed=seed,
-        ),
-    )
+    metrics_path = output / "metrics.json"
+    registry.export_json(metrics_path)
+    written["metrics"] = metrics_path
 
     manifest = output / "MANIFEST.txt"
     manifest.write_text(

@@ -30,6 +30,7 @@ from repro.core.solvers import solve
 from repro.diffusion.independent_cascade import IndependentCascade
 from repro.exceptions import CheckpointError, ConfigurationError, GraphError
 from repro.experiments.datasets import load_dataset
+from repro.obs.context import get_metrics, get_tracer
 from repro.rrset.hypergraph import RRHypergraph
 from repro.rrset.sample_size import default_num_rr_sets
 from repro.runtime.checkpoint import CheckpointStore, content_key
@@ -239,73 +240,88 @@ def run_methods(
     streams = spawn_generators(seed, 1 + 2 * len(methods))
     hypergraph_rng = streams[0]
 
-    results: List[ExperimentResult] = [None] * len(methods)  # type: ignore[list-item]
-    pending: List[int] = []
-    for index, method in enumerate(methods):
-        cell_name = f"cell-{index:03d}-{method}"
-        if store is not None and resume and store.has(cell_name):
-            results[index] = ExperimentResult.from_payload(store.load_json(cell_name))
-        else:
-            pending.append(index)
-    if not pending:
-        return results
+    metrics = get_metrics()
+    with get_tracer().span(
+        "experiment.run_methods", methods=list(methods), cells=len(methods)
+    ) as span:
+        results: List[ExperimentResult] = [None] * len(methods)  # type: ignore[list-item]
+        pending: List[int] = []
+        for index, method in enumerate(methods):
+            cell_name = f"cell-{index:03d}-{method}"
+            if store is not None and resume and store.has(cell_name):
+                results[index] = ExperimentResult.from_payload(
+                    store.load_json(cell_name)
+                )
+                span.event("cell_resumed", index=index, method=method)
+                metrics.inc("checkpoint.cell_hits_total")
+            else:
+                pending.append(index)
+        span.set(computed=len(pending), resumed=len(methods) - len(pending))
+        metrics.inc("runner.cells_total", len(methods))
+        metrics.inc("runner.cells_computed_total", len(pending))
+        if not pending:
+            return results
 
-    hypergraph_ms = 0.0
-    if hypergraph is None:
-        import time
+        hypergraph_ms = 0.0
+        if hypergraph is None:
+            import time
 
-        if store is not None and resume and store.has_arrays("hypergraph"):
-            hypergraph = RRHypergraph.from_arrays(store.load_arrays("hypergraph"))
-        else:
-            start = time.perf_counter()
-            hypergraph = problem.build_hypergraph(
-                num_hyperedges=num_hyperedges,
-                seed=hypergraph_rng,
+            if store is not None and resume and store.has_arrays("hypergraph"):
+                hypergraph = RRHypergraph.from_arrays(store.load_arrays("hypergraph"))
+                span.set(hypergraph_resumed=True)
+                metrics.inc("checkpoint.hypergraph_hits_total")
+            else:
+                start = time.perf_counter()
+                hypergraph = problem.build_hypergraph(
+                    num_hyperedges=num_hyperedges,
+                    seed=hypergraph_rng,
+                    deadline=deadline,
+                    workers=workers,
+                )
+                hypergraph_ms = (time.perf_counter() - start) * 1000.0
+                if store is not None:
+                    store.save_arrays("hypergraph", **hypergraph.to_arrays())
+
+        options_by_method = solver_options or {}
+        for index in pending:
+            method = methods[index]
+            solver_rng, eval_rng = streams[1 + 2 * index], streams[2 + 2 * index]
+            maybe_inject("runner.cell")
+            span.event("cell", index=index, method=method)
+            result = solve(
+                problem,
+                method,
+                hypergraph=hypergraph,
+                seed=solver_rng,
                 deadline=deadline,
-                workers=workers,
+                **options_by_method.get(method, {}),
             )
-            hypergraph_ms = (time.perf_counter() - start) * 1000.0
+            # Monte-Carlo scoring is the one stage re-run on transient
+            # failure; it re-draws from eval_rng, so a retry changes the
+            # sample stream but stays within the estimator's statistical
+            # contract.
+            estimate = retry(
+                lambda: _scored(
+                    problem, result.configuration, evaluation_samples, eval_rng, workers
+                ),
+                attempts=3,
+                backoff=0.01,
+                seed=0,
+            )
+            method_ms = result.timings.as_millis().get(method, 0.0)
+            cell = ExperimentResult(
+                method=method,
+                budget=problem.budget,
+                spread_mean=estimate.mean,
+                spread_std=estimate.stddev,
+                hypergraph_estimate=result.spread_estimate,
+                hypergraph_ms=hypergraph_ms,
+                method_ms=method_ms,
+                extras=result.extras,
+            )
             if store is not None:
-                store.save_arrays("hypergraph", **hypergraph.to_arrays())
-
-    options_by_method = solver_options or {}
-    for index in pending:
-        method = methods[index]
-        solver_rng, eval_rng = streams[1 + 2 * index], streams[2 + 2 * index]
-        maybe_inject("runner.cell")
-        result = solve(
-            problem,
-            method,
-            hypergraph=hypergraph,
-            seed=solver_rng,
-            deadline=deadline,
-            **options_by_method.get(method, {}),
-        )
-        # Monte-Carlo scoring is the one stage re-run on transient failure;
-        # it re-draws from eval_rng, so a retry changes the sample stream
-        # but stays within the estimator's statistical contract.
-        estimate = retry(
-            lambda: _scored(
-                problem, result.configuration, evaluation_samples, eval_rng, workers
-            ),
-            attempts=3,
-            backoff=0.01,
-            seed=0,
-        )
-        method_ms = result.timings.as_millis().get(method, 0.0)
-        cell = ExperimentResult(
-            method=method,
-            budget=problem.budget,
-            spread_mean=estimate.mean,
-            spread_std=estimate.stddev,
-            hypergraph_estimate=result.spread_estimate,
-            hypergraph_ms=hypergraph_ms,
-            method_ms=method_ms,
-            extras=result.extras,
-        )
-        if store is not None:
-            store.save_json(f"cell-{index:03d}-{method}", cell.to_payload())
-        results[index] = cell
+                store.save_json(f"cell-{index:03d}-{method}", cell.to_payload())
+            results[index] = cell
     return results
 
 

@@ -31,6 +31,8 @@ from repro.diffusion.independent_cascade import IndependentCascade
 from repro.diffusion.montecarlo import estimate_spread
 from repro.graphs.generators import erdos_renyi
 from repro.graphs.weights import assign_weighted_cascade
+from repro.obs.context import observe
+from repro.obs.metrics import MetricsRegistry
 from repro.parallel.pool import resolve_workers
 from repro.rrset.sampler import sample_rr_sets
 
@@ -99,37 +101,42 @@ def run_scaling_benchmark(
     model = build_scaling_model(nodes, edge_prob, seed=seed)
     mc_seeds = list(range(min(5, nodes)))
 
+    # Run-wide observability totals (across every worker count and repeat);
+    # a private registry keeps earlier activity in the process out of the
+    # report, while ``observe`` still merges the totals up on exit.
+    registry = MetricsRegistry()
     rr_rows: List[Dict] = []
     spread_rows: List[Dict] = []
     rr_digests: List[str] = []
     spread_keys: List[tuple] = []
-    for count in workers:
-        seconds, sampled = _best_of(
-            repeats,
-            lambda w=count: sample_rr_sets(model, rr_sets, seed=seed, workers=w),
-        )
-        rr_digests.append(_digest_rr(sampled))
-        rr_rows.append(
-            {
-                "workers": resolve_workers(count),
-                "seconds": seconds,
-                "sets_per_sec": rr_sets / seconds,
-            }
-        )
-        seconds, estimate = _best_of(
-            repeats,
-            lambda w=count: estimate_spread(
-                model, mc_seeds, num_samples=mc_samples, seed=seed, workers=w
-            ),
-        )
-        spread_keys.append((estimate.mean, estimate.stddev, estimate.num_samples))
-        spread_rows.append(
-            {
-                "workers": resolve_workers(count),
-                "seconds": seconds,
-                "samples_per_sec": mc_samples / seconds,
-            }
-        )
+    with observe(metrics=registry):
+        for count in workers:
+            seconds, sampled = _best_of(
+                repeats,
+                lambda w=count: sample_rr_sets(model, rr_sets, seed=seed, workers=w),
+            )
+            rr_digests.append(_digest_rr(sampled))
+            rr_rows.append(
+                {
+                    "workers": resolve_workers(count),
+                    "seconds": seconds,
+                    "sets_per_sec": rr_sets / seconds,
+                }
+            )
+            seconds, estimate = _best_of(
+                repeats,
+                lambda w=count: estimate_spread(
+                    model, mc_seeds, num_samples=mc_samples, seed=seed, workers=w
+                ),
+            )
+            spread_keys.append((estimate.mean, estimate.stddev, estimate.num_samples))
+            spread_rows.append(
+                {
+                    "workers": resolve_workers(count),
+                    "seconds": seconds,
+                    "samples_per_sec": mc_samples / seconds,
+                }
+            )
 
     for rows, rate in ((rr_rows, "sets_per_sec"), (spread_rows, "samples_per_sec")):
         base = rows[0][rate]
@@ -153,6 +160,7 @@ def run_scaling_benchmark(
             "python": platform.python_version(),
         },
         "results": {"rr_sets": rr_rows, "spread": spread_rows},
+        "metrics": registry.snapshot(),
         "determinism": {
             "rr_digest": rr_digests[0],
             "rr_identical": len(set(rr_digests)) == 1,

@@ -45,6 +45,7 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.exceptions import ConfigurationError
+from repro.obs.context import get_metrics
 from repro.runtime.deadline import DeadlineLike, as_deadline
 from repro.runtime.faults import maybe_inject
 
@@ -183,10 +184,12 @@ def run_chunks(
     worker_count = resolve_workers(workers)
     results: List[Any] = []
     expired = False
+    polls = 0
 
     if worker_count == 1 or len(chunk_args) <= 1:
         for args in chunk_args:
             maybe_inject(inject_site)
+            polls += 1
             remaining = budget.poll_remaining()
             if remaining <= 0.0:
                 expired = True
@@ -194,6 +197,7 @@ def run_chunks(
             results.append(
                 task(payload, *args, None if budget.unbounded else remaining)
             )
+        _record_run(len(results), polls, expired)
         return results, expired
 
     window = _INFLIGHT_PER_WORKER * worker_count
@@ -203,6 +207,7 @@ def run_chunks(
         pending: deque = deque()
         for args in chunk_args:
             maybe_inject(inject_site)
+            polls += 1
             remaining = budget.poll_remaining()
             if remaining <= 0.0:
                 expired = True
@@ -218,4 +223,21 @@ def run_chunks(
                 results.append(pending.popleft().result())
         while pending:
             results.append(pending.popleft().result())
+    _record_run(len(results), polls, expired)
     return results, expired
+
+
+def _record_run(dispatched: int, polls: int, expired: bool) -> None:
+    """Fold one ``run_chunks`` invocation into the ambient metrics.
+
+    Deliberately records only worker-count-invariant facts: dispatch
+    counts and chunk-boundary polls are identical in the serial and
+    pooled paths, so these counters share the engine's determinism
+    guarantee.  (The resolved worker count is *not* recorded here.)
+    """
+    metrics = get_metrics()
+    metrics.inc("parallel.runs_total")
+    metrics.inc("parallel.chunks_total", dispatched)
+    metrics.inc("parallel.deadline_polls_total", polls)
+    if expired:
+        metrics.inc("parallel.deadline_expired_total")

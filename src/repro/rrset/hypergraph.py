@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.diffusion.base import DiffusionModel
 from repro.exceptions import CheckpointError, EstimationError
+from repro.obs.context import get_metrics, get_tracer
 from repro.rrset.sampler import sample_rr_sets
 from repro.runtime.deadline import DeadlineLike
 from repro.utils.rng import SeedLike
@@ -94,15 +95,26 @@ class RRHypergraph:
         count, so checkpoints written at one worker count resume correctly
         at another.
         """
-        rr_sets = sample_rr_sets(
-            model,
-            num_hyperedges,
-            seed=seed,
-            deadline=deadline,
-            workers=workers,
-            chunk_size=chunk_size,
-        )
-        return cls(model.num_nodes, rr_sets)
+        with get_tracer().span("hypergraph.build", theta=num_hyperedges) as span:
+            rr_sets = sample_rr_sets(
+                model,
+                num_hyperedges,
+                seed=seed,
+                deadline=deadline,
+                workers=workers,
+                chunk_size=chunk_size,
+            )
+            hypergraph = cls(model.num_nodes, rr_sets)
+            span.set(
+                num_hyperedges=hypergraph.num_hyperedges,
+                total_members=int(hypergraph.edge_nodes.size),
+                truncated=hypergraph.num_hyperedges < num_hyperedges,
+            )
+            metrics = get_metrics()
+            metrics.inc("hypergraph.builds_total")
+            metrics.inc("hypergraph.hyperedges_total", hypergraph.num_hyperedges)
+            metrics.set_gauge("hypergraph.last_hyperedges", hypergraph.num_hyperedges)
+        return hypergraph
 
     # ------------------------------------------------------------------
     # persistence (checkpointing of expensive builds)

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.diffusion.base import DiffusionModel
 from repro.exceptions import EstimationError
+from repro.obs.context import get_metrics, get_tracer
 from repro.parallel.pool import partition_chunks, run_chunks
 from repro.runtime.deadline import Deadline, DeadlineLike, as_deadline, deadline_iter
 from repro.utils.rng import SeedLike, spawn_sequences
@@ -134,15 +135,27 @@ def sample_rr_sets(
         chunk_args.append((size, sequence, chunk_roots))
         offset += size
 
-    chunks, _ = run_chunks(
-        _rr_chunk_task,
-        model,
-        chunk_args,
-        workers=workers,
-        deadline=budget,
-        inject_site="sampler.chunk",
-    )
-    rr_sets = [rr for chunk in chunks for rr in chunk]
-    if not rr_sets:
-        budget.check("sampling the first RR set")
+    metrics = get_metrics()
+    with get_tracer().span("rrset.sample", theta=count, chunks=len(sizes)) as span:
+        chunks, expired = run_chunks(
+            _rr_chunk_task,
+            model,
+            chunk_args,
+            workers=workers,
+            deadline=budget,
+            inject_site="sampler.chunk",
+        )
+        # Chunk events come off the ordered results list, never from
+        # completion order, so traces stay identical across worker counts.
+        for index, chunk in enumerate(chunks):
+            span.event("chunk", index=index, planned=sizes[index], produced=len(chunk))
+            metrics.observe("rrset.chunk_items", len(chunk))
+        rr_sets = [rr for chunk in chunks for rr in chunk]
+        span.set(produced=len(rr_sets), truncated=expired)
+        metrics.inc("rrset.requested_total", count)
+        metrics.inc("rrset.sampled_total", len(rr_sets))
+        if expired:
+            metrics.inc("rrset.truncated_total")
+        if not rr_sets:
+            budget.check("sampling the first RR set")
     return rr_sets

@@ -25,6 +25,7 @@ from typing import Dict, Iterator, Union
 import numpy as np
 
 from repro.exceptions import CheckpointError
+from repro.obs.context import get_metrics
 
 __all__ = ["CheckpointStore", "content_key"]
 
@@ -110,6 +111,7 @@ class CheckpointStore:
             atomic_write_text(path, json.dumps(document, indent=2, sort_keys=True))
         except (OSError, TypeError, ValueError) as exc:
             raise CheckpointError(f"cannot write checkpoint {name!r}: {exc}") from exc
+        get_metrics().inc("checkpoint.writes_total")
         return path
 
     def load_json(self, name: str) -> Dict[str, object]:
@@ -134,6 +136,7 @@ class CheckpointStore:
         payload = document.get("payload")
         if not isinstance(payload, dict):
             raise CheckpointError(f"checkpoint {name!r} has a malformed payload")
+        get_metrics().inc("checkpoint.reads_total")
         return payload
 
     # ------------------------------------------------------------------
@@ -159,6 +162,7 @@ class CheckpointStore:
             atomic_write_bytes(path, buffer.getvalue())
         except OSError as exc:
             raise CheckpointError(f"cannot write checkpoint {name!r}: {exc}") from exc
+        get_metrics().inc("checkpoint.writes_total")
         return path
 
     def load_arrays(self, name: str) -> Dict[str, np.ndarray]:
@@ -166,11 +170,13 @@ class CheckpointStore:
         path = self._npz_path(name)
         try:
             with np.load(path) as data:
-                return {key: data[key] for key in data.files}
+                arrays = {key: data[key] for key in data.files}
         except FileNotFoundError as exc:
             raise CheckpointError(f"no checkpoint named {name!r} under {self.directory}") from exc
         except (OSError, ValueError) as exc:
             raise CheckpointError(f"corrupt checkpoint {name!r}: {exc}") from exc
+        get_metrics().inc("checkpoint.reads_total")
+        return arrays
 
     # ------------------------------------------------------------------
     # maintenance

@@ -13,6 +13,7 @@ from __future__ import annotations
 import time
 from typing import Callable, Tuple, Type, TypeVar
 
+from repro.obs.context import get_metrics
 from repro.utils.rng import SeedLike, as_generator
 
 __all__ = ["retry", "backoff_schedule"]
@@ -89,11 +90,16 @@ def retry(
     schedule = backoff_schedule(
         attempts, backoff, multiplier=multiplier, jitter=jitter, seed=seed
     )
+    metrics = get_metrics()
+    metrics.inc("runtime.retry_calls_total")
     for attempt in range(attempts):
+        metrics.inc("runtime.retry_attempts_total")
         try:
             return fn()
         except retry_on as exc:
+            metrics.inc("runtime.retry_failures_total")
             if attempt == attempts - 1:
+                metrics.inc("runtime.retry_exhausted_total")
                 raise
             if on_retry is not None:
                 on_retry(attempt, exc)

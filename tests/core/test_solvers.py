@@ -125,3 +125,64 @@ class TestBudgetEdgeCases:
     def test_cost_property(self, medium_problem, medium_hypergraph):
         result = solve(medium_problem, "im", hypergraph=medium_hypergraph)
         assert result.cost == pytest.approx(result.configuration.cost)
+
+
+class TestExtrasContract:
+    """Every solve, whatever the method or path, emits the same extras
+    keys with the same types — downstream consumers (the experiment
+    runner's JSON payloads, the CLI partial banner, report CSVs) rely on
+    them and must never hit key drift."""
+
+    @pytest.mark.parametrize("method", sorted(available_methods()))
+    def test_mandatory_keys_and_types(self, medium_problem, medium_hypergraph, method):
+        result = solve(medium_problem, method, hypergraph=medium_hypergraph, seed=3)
+        extras = result.extras
+        assert type(extras["partial"]) is bool
+        assert type(extras["num_hyperedges"]) is int
+        assert extras["num_hyperedges"] == medium_hypergraph.num_hyperedges
+        assert isinstance(extras["metrics"], dict)
+
+    def test_metrics_snapshot_shape(self, medium_problem, medium_hypergraph):
+        result = solve(medium_problem, "ud", hypergraph=medium_hypergraph, seed=3)
+        metrics = result.extras["metrics"]
+        assert sorted(metrics) == ["counters", "gauges", "histograms"]
+        counters = metrics["counters"]
+        assert counters["solver.runs_total"] == 1
+        assert counters["solver.hypergraph_reuse_total"] == 1
+        assert counters["ud.runs_total"] == 1
+        assert metrics["gauges"]["solver.num_hyperedges"] == float(
+            medium_hypergraph.num_hyperedges
+        )
+        for snapshot in metrics["histograms"].values():
+            assert set(snapshot) == {"count", "mean", "stddev", "min", "max"}
+
+    def test_built_hypergraph_metrics(self, medium_problem):
+        result = solve(medium_problem, "degree", num_hyperedges=300, seed=3)
+        counters = result.extras["metrics"]["counters"]
+        assert counters["hypergraph.builds_total"] == 1
+        assert counters["rrset.requested_total"] == 300
+        assert "solver.hypergraph_reuse_total" not in counters
+
+    def test_extras_survive_experiment_payload_round_trip(
+        self, medium_problem, medium_hypergraph
+    ):
+        import json
+
+        from repro.experiments.runner import ExperimentResult
+
+        result = solve(medium_problem, "ud", hypergraph=medium_hypergraph, seed=3)
+        cell = ExperimentResult(
+            method="ud",
+            budget=medium_problem.budget,
+            spread_mean=1.0,
+            spread_std=0.1,
+            hypergraph_estimate=result.spread_estimate,
+            hypergraph_ms=0.0,
+            method_ms=0.0,
+            extras=result.extras,
+        )
+        payload = json.loads(json.dumps(cell.to_payload()))
+        restored = ExperimentResult.from_payload(payload)
+        assert restored.extras["partial"] == result.extras["partial"]
+        assert restored.extras["num_hyperedges"] == result.extras["num_hyperedges"]
+        assert restored.extras["metrics"] == result.extras["metrics"]

@@ -33,6 +33,7 @@ class TestGenerateFullReport:
             "figure6_running_time",
             "table3_search_step",
             "table4_sensitivity",
+            "metrics",
             "manifest",
         }
         assert set(written) == expected

@@ -1,0 +1,19 @@
+"""Shared fixtures for the observability suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.population import paper_mixture
+from repro.core.problem import CIMProblem
+from repro.diffusion.independent_cascade import IndependentCascade
+from repro.graphs.generators import erdos_renyi
+from repro.graphs.weights import assign_weighted_cascade
+
+
+@pytest.fixture(scope="module")
+def obs_problem():
+    """A small problem, cheap enough to solve repeatedly under tracing."""
+    graph = assign_weighted_cascade(erdos_renyi(70, 0.06, seed=51), alpha=1.0)
+    population = paper_mixture(70, seed=52)
+    return CIMProblem(IndependentCascade(graph), population, budget=4.0)

@@ -1,0 +1,208 @@
+"""Unit tests for the metrics registry (repro.obs.metrics) and the
+ambient context (repro.obs.context)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ObservabilityError
+from repro.obs.context import get_metrics, get_tracer, observe
+from repro.obs.metrics import NULL_METRICS, Histogram, MetricsRegistry, NullMetrics
+from repro.obs.tracer import NULL_TRACER, Tracer
+
+
+class TestCounter:
+    def test_accumulates(self):
+        registry = MetricsRegistry()
+        registry.inc("x.total")
+        registry.inc("x.total", 5)
+        assert registry.counter("x.total").value == 6
+
+    def test_rejects_decrease(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ObservabilityError):
+            registry.inc("x.total", -1)
+
+    def test_numpy_amount_coerced(self):
+        registry = MetricsRegistry()
+        registry.inc("x.total", np.int64(3))
+        assert registry.counter("x.total").value == 3
+        assert type(registry.snapshot()["counters"]["x.total"]) is int
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("g", 1.0)
+        registry.set_gauge("g", 7.5)
+        assert registry.gauge("g").value == 7.5
+
+    def test_rejects_non_finite(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ObservabilityError):
+            registry.set_gauge("g", float("nan"))
+        with pytest.raises(ObservabilityError):
+            registry.set_gauge("g", float("inf"))
+
+
+class TestHistogram:
+    def test_snapshot_has_fixed_keys(self):
+        histogram = Histogram("h")
+        for value in (2.0, 4.0, 6.0):
+            histogram.observe(value)
+        snap = histogram.snapshot()
+        assert set(snap) == {"count", "mean", "stddev", "min", "max"}
+        assert snap["count"] == 3
+        assert snap["mean"] == pytest.approx(4.0)
+        assert snap["stddev"] == pytest.approx(2.0)
+        assert (snap["min"], snap["max"]) == (2.0, 6.0)
+
+    def test_degenerate_snapshots_are_nan_free(self):
+        empty = Histogram("h").snapshot()
+        assert empty == {
+            "count": 0,
+            "mean": None,
+            "stddev": None,
+            "min": None,
+            "max": None,
+        }
+        single = Histogram("h")
+        single.observe(3.0)
+        assert single.snapshot()["stddev"] == 0.0
+        # Both survive JSON round-trips unchanged (no NaN leaks through).
+        assert json.loads(json.dumps(single.snapshot())) == single.snapshot()
+
+    def test_merge_equals_serial(self):
+        values = [1.0, 5.0, 2.0, 8.0, 3.0, 3.0, 9.0]
+        serial = Histogram("h")
+        for value in values:
+            serial.observe(value)
+        left, right = Histogram("h"), Histogram("h")
+        for value in values[:3]:
+            left.observe(value)
+        for value in values[3:]:
+            right.observe(value)
+        left.merge_from(right)
+        assert left.snapshot() == pytest.approx(serial.snapshot())
+
+
+class TestRegistry:
+    def test_cross_kind_collision_rejected(self):
+        registry = MetricsRegistry()
+        registry.inc("name")
+        with pytest.raises(ObservabilityError):
+            registry.set_gauge("name", 1.0)
+        with pytest.raises(ObservabilityError):
+            registry.observe("name", 1.0)
+
+    def test_snapshot_sections_sorted(self):
+        registry = MetricsRegistry()
+        registry.inc("b.total")
+        registry.inc("a.total")
+        registry.set_gauge("g", 2.0)
+        registry.observe("h", 1.0)
+        snap = registry.snapshot()
+        assert list(snap) == ["counters", "gauges", "histograms"]
+        assert list(snap["counters"]) == ["a.total", "b.total"]
+
+    def test_merge_semantics(self):
+        base, scoped = MetricsRegistry(), MetricsRegistry()
+        base.inc("c", 2)
+        base.set_gauge("g", 1.0)
+        base.observe("h", 1.0)
+        scoped.inc("c", 3)
+        scoped.set_gauge("g", 9.0)
+        scoped.observe("h", 5.0)
+        scoped.inc("only_scoped")
+        base.merge(scoped)
+        snap = base.snapshot()
+        assert snap["counters"] == {"c": 5, "only_scoped": 1}
+        assert snap["gauges"]["g"] == 9.0
+        assert snap["histograms"]["h"]["count"] == 2
+        assert snap["histograms"]["h"]["max"] == 5.0
+
+    def test_merge_null_is_noop(self):
+        registry = MetricsRegistry()
+        registry.inc("c")
+        registry.merge(NULL_METRICS)
+        assert registry.snapshot()["counters"] == {"c": 1}
+
+    def test_reset(self):
+        registry = MetricsRegistry()
+        registry.inc("c")
+        registry.reset()
+        assert registry.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_export_json(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.inc("c", 4)
+        path = tmp_path / "metrics.json"
+        registry.export_json(str(path))
+        assert json.loads(path.read_text()) == registry.snapshot()
+
+
+class TestNullMetrics:
+    def test_records_nothing(self):
+        NULL_METRICS.inc("c", 100)
+        NULL_METRICS.set_gauge("g", 1.0)
+        NULL_METRICS.observe("h", 1.0)
+        assert NULL_METRICS.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+    def test_is_a_registry(self):
+        assert isinstance(NULL_METRICS, MetricsRegistry)
+        assert isinstance(NULL_METRICS, NullMetrics)
+
+
+class TestObserveContext:
+    def test_defaults_are_null(self):
+        assert get_tracer() is NULL_TRACER or isinstance(get_tracer(), Tracer)
+        # Within a fresh observe(None, None) nothing changes:
+        before_tracer, before_metrics = get_tracer(), get_metrics()
+        with observe():
+            assert get_tracer() is before_tracer
+            assert get_metrics() is before_metrics
+
+    def test_install_and_restore(self):
+        tracer, metrics = Tracer(), MetricsRegistry()
+        before_tracer, before_metrics = get_tracer(), get_metrics()
+        with observe(tracer=tracer, metrics=metrics):
+            assert get_tracer() is tracer
+            assert get_metrics() is metrics
+        assert get_tracer() is before_tracer
+        assert get_metrics() is before_metrics
+
+    def test_restore_happens_on_exception(self):
+        tracer = Tracer()
+        before = get_tracer()
+        with pytest.raises(ValueError):
+            with observe(tracer=tracer):
+                raise ValueError
+        assert get_tracer() is before
+
+    def test_nested_scoped_registry_merges_up(self):
+        outer = MetricsRegistry()
+        with observe(metrics=outer):
+            inner = MetricsRegistry()
+            with observe(metrics=inner):
+                get_metrics().inc("c", 3)
+            assert inner.snapshot()["counters"] == {"c": 3}
+            assert outer.snapshot()["counters"] == {"c": 3}
+
+    def test_merge_up_false_suppresses(self):
+        outer = MetricsRegistry()
+        with observe(metrics=outer):
+            with observe(metrics=MetricsRegistry(), merge_up=False):
+                get_metrics().inc("c", 3)
+            assert outer.snapshot()["counters"] == {}
+
+    def test_inherited_metrics_not_double_merged(self):
+        outer = MetricsRegistry()
+        with observe(metrics=outer):
+            with observe(tracer=Tracer()):  # metrics inherited, not overridden
+                get_metrics().inc("c")
+        assert outer.counter("c").value == 1

@@ -1,0 +1,196 @@
+"""Statistical validation of the samplers against exact enumeration.
+
+Everything here runs at a *fixed seed*, so the tests are deterministic —
+"non-flaky by fixity".  The tolerances are nonetheless honest: chi-square
+critical values at p = 0.001 and 5-sigma bands on binomial/mean
+estimators, so the checks would catch a broken sampler at any seed while
+a correct one passes all but a vanishing fraction of seeds.
+
+Ground truth comes from the exact enumerators (`repro.core.exact`,
+`repro.core.exact_lt`) on <= 10-node graphs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.configuration import Configuration
+from repro.core.curves import LinearCurve
+from repro.core.exact import ExactICComputer
+from repro.core.exact_lt import exact_spread_lt, exact_ui_lt
+from repro.core.objective import HypergraphOracle
+from repro.core.population import CurvePopulation
+from repro.diffusion.independent_cascade import IndependentCascade
+from repro.diffusion.linear_threshold import LinearThreshold
+from repro.graphs.build import from_edges
+from repro.rrset.hypergraph import RRHypergraph
+from repro.rrset.sampler import sample_rr_sets
+
+# chi2 inverse-survival values at p = 0.001 (hard-coded: scipy-free).
+CHI2_CRITICAL_P001 = {7: 24.322, 5: 20.515}
+
+EDGES = [
+    (0, 1, 0.5),
+    (0, 2, 0.5),
+    (1, 3, 0.6),
+    (2, 3, 0.3),
+    (3, 4, 0.8),
+    (2, 5, 0.2),
+    (4, 5, 0.5),
+]
+
+
+@pytest.fixture(scope="module")
+def dag():
+    """6-node DAG, small enough for exact live-edge enumeration."""
+    return from_edges(EDGES, num_nodes=6)
+
+
+@pytest.fixture(scope="module")
+def exact_ic(dag):
+    return ExactICComputer(dag)
+
+
+def _incidence(rr_sets, num_nodes: int) -> np.ndarray:
+    """deg_H(v) for each node v."""
+    degrees = np.zeros(num_nodes, dtype=np.int64)
+    for rr in rr_sets:
+        degrees[rr] += 1
+    return degrees
+
+
+class TestRootSelection:
+    def test_roots_uniform_chi_square(self):
+        """Poll roots must be Uniform(V): the premise of Theorem 9.
+
+        On an edgeless graph every RR set is exactly its root, so the RR
+        sets themselves expose the root draw.
+        """
+        n, theta = 8, 8000
+        graph = from_edges([], num_nodes=n)
+        rr_sets = sample_rr_sets(IndependentCascade(graph), theta, seed=2016)
+        assert all(len(rr) == 1 for rr in rr_sets)
+        counts = _incidence(rr_sets, n)
+        assert int(counts.sum()) == theta
+        expected = theta / n
+        chi2 = float(((counts - expected) ** 2 / expected).sum())
+        assert chi2 < CHI2_CRITICAL_P001[n - 1], f"chi2={chi2:.2f}, counts={counts}"
+
+    def test_explicit_roots_bypass_the_draw(self, dag):
+        roots = np.asarray([3] * 50, dtype=np.int64)
+        rr_sets = sample_rr_sets(IndependentCascade(dag), 50, seed=1, roots=roots)
+        assert all(3 in rr for rr in rr_sets)
+
+
+class TestICAgainstExact:
+    THETA = 30_000
+
+    @pytest.fixture(scope="class")
+    def rr_sets(self, dag):
+        return sample_rr_sets(IndependentCascade(dag), self.THETA, seed=7)
+
+    def test_single_node_influence_from_incidence(self, dag, exact_ic, rr_sets):
+        """n * deg_H(v) / theta is an unbiased estimate of I({v})
+        (the polling identity: Pr[v in RR(r*)] = I({v}) / n)."""
+        n = dag.num_nodes
+        degrees = _incidence(rr_sets, n)
+        for v in range(n):
+            exact = exact_ic.spread([v])
+            p = exact / n  # per-poll hit probability
+            estimate = n * degrees[v] / self.THETA
+            sigma = n * np.sqrt(p * (1.0 - p) / self.THETA)
+            assert abs(estimate - exact) < 5.0 * sigma + 1e-12, (
+                f"node {v}: estimate {estimate:.4f} vs exact {exact:.4f}"
+            )
+
+    def test_ui_against_exact(self, dag, exact_ic):
+        """The Theorem-9 UI(C) estimator matches exact enumeration."""
+        n = dag.num_nodes
+        hypergraph = RRHypergraph.build(IndependentCascade(dag), self.THETA, seed=9)
+        population = CurvePopulation.uniform(n, LinearCurve())
+        oracle = HypergraphOracle(hypergraph, population)
+        discounts = np.asarray([0.8, 0.1, 0.5, 0.0, 0.3, 0.6])
+        estimate = oracle.evaluate(Configuration(discounts))
+        exact = exact_ic.expected_spread(discounts)  # linear curve: q == c
+        # Each poll contributes n * Bernoulli(exact / n); bound its
+        # stddev by the Bernoulli worst case.
+        sigma = n * np.sqrt(0.25 / self.THETA)
+        assert abs(estimate - exact) < 5.0 * sigma
+
+    def test_cascade_activation_frequencies(self, dag, exact_ic):
+        """Forward-cascade activation frequencies match the exact
+        per-node activation probabilities."""
+        n, samples = dag.num_nodes, 20_000
+        model = IndependentCascade(dag)
+        rng = np.random.default_rng(11)
+        seeds = [0]
+        counts = np.zeros(n, dtype=np.int64)
+        for _ in range(samples):
+            counts[model.sample_cascade(seeds, rng)] += 1
+        exact = exact_ic.activation_probabilities(
+            np.asarray([1.0, 0.0, 0.0, 0.0, 0.0, 0.0])
+        )
+        frequency = counts / samples
+        sigma = np.sqrt(np.maximum(exact * (1.0 - exact), 1e-12) / samples)
+        assert np.all(np.abs(frequency - exact) < 5.0 * sigma + 1e-12), (
+            f"freq={frequency}, exact={exact}"
+        )
+
+
+class TestLTAgainstExact:
+    # Every node's in-probabilities sum to <= 1, as LT requires.
+    LT_EDGES = [
+        (0, 1, 0.6),
+        (1, 2, 0.5),
+        (0, 2, 0.3),
+        (2, 3, 0.7),
+        (3, 0, 0.4),
+    ]
+    THETA = 30_000
+
+    @pytest.fixture(scope="class")
+    def lt_graph(self):
+        return from_edges(self.LT_EDGES, num_nodes=4)
+
+    def test_single_node_influence_from_incidence(self, lt_graph):
+        n = lt_graph.num_nodes
+        rr_sets = sample_rr_sets(LinearThreshold(lt_graph), self.THETA, seed=17)
+        degrees = _incidence(rr_sets, n)
+        for v in range(n):
+            exact = exact_spread_lt(lt_graph, [v])
+            p = exact / n
+            estimate = n * degrees[v] / self.THETA
+            sigma = n * np.sqrt(p * (1.0 - p) / self.THETA)
+            assert abs(estimate - exact) < 5.0 * sigma + 1e-12, (
+                f"node {v}: estimate {estimate:.4f} vs exact {exact:.4f}"
+            )
+
+    def test_cascade_activation_frequencies(self, lt_graph):
+        """LT forward cascades: mean spread and per-node frequencies
+        against the exact LT enumerator."""
+        n, samples = lt_graph.num_nodes, 20_000
+        model = LinearThreshold(lt_graph)
+        rng = np.random.default_rng(19)
+        counts = np.zeros(n, dtype=np.int64)
+        sizes = np.empty(samples)
+        for i in range(samples):
+            activated = model.sample_cascade([0], rng)
+            counts[activated] += 1
+            sizes[i] = activated.size
+        exact = exact_spread_lt(lt_graph, [0])
+        sigma = float(sizes.std(ddof=1)) / np.sqrt(samples)
+        assert abs(sizes.mean() - exact) < 5.0 * sigma
+        # Seeds are always active; every frequency stays a probability.
+        assert counts[0] == samples
+        assert np.all(counts <= samples)
+
+    def test_ui_lt_mc_against_exact(self, lt_graph):
+        """UI(C) under LT: the generic MC estimator vs exact enumeration."""
+        from repro.diffusion.montecarlo import estimate_configuration_spread
+
+        q = np.asarray([0.7, 0.2, 0.0, 0.5])
+        exact = exact_ui_lt(lt_graph, q)
+        estimate = estimate_configuration_spread(
+            LinearThreshold(lt_graph), q, num_samples=20_000, seed=23
+        )
+        sigma = estimate.stddev / np.sqrt(estimate.num_samples)
+        assert abs(estimate.mean - exact) < 5.0 * sigma

@@ -1,0 +1,194 @@
+"""Unit tests for the span tracer (repro.obs.tracer)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ObservabilityError
+from repro.obs.tracer import NULL_SPAN, NULL_TRACER, NullSpan, Span, Tracer
+
+
+class FakeClock:
+    """Deterministic monotonic clock: each call advances one second."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        self.now += 1.0
+        return self.now
+
+
+class TestSpanTree:
+    def test_nesting_builds_a_tree(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                with tracer.span("b.child"):
+                    pass
+        assert [r.name for r in tracer.roots] == ["outer"]
+        assert [c.name for c in outer.children] == ["a", "b"]
+        assert [c.name for c in outer.children[1].children] == ["b.child"]
+
+    def test_sibling_roots(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [r.name for r in tracer.roots] == ["first", "second"]
+
+    def test_current_tracks_the_innermost_open_span(self):
+        tracer = Tracer()
+        assert tracer.current is None
+        with tracer.span("outer") as outer:
+            assert tracer.current is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current is inner
+            assert tracer.current is outer
+        assert tracer.current is None
+
+    def test_attrs_events_and_ordering(self):
+        tracer = Tracer()
+        with tracer.span("s", theta=100) as span:
+            span.event("chunk", index=0, produced=32)
+            span.event("chunk", index=1, produced=32)
+            span.set(produced=64)
+        assert span.attrs == {"theta": 100, "produced": 64}
+        assert [e["attrs"]["index"] for e in span.events] == [0, 1]
+
+    def test_exception_recorded_and_reraised(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise ValueError("boom")
+        # Both spans closed despite the exception; both carry the error.
+        assert tracer.current is None
+        (outer,) = tracer.roots
+        assert outer.error == "ValueError"
+        assert outer.children[0].error == "ValueError"
+
+    def test_out_of_order_close_raises(self):
+        tracer = Tracer()
+        outer = tracer.span("outer")
+        inner = tracer.span("inner")
+        outer.__enter__()
+        inner.__enter__()
+        with pytest.raises(ObservabilityError):
+            outer.__exit__(None, None, None)
+
+    def test_durations_use_the_injected_clock(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        (outer,) = tracer.roots
+        inner = outer.children[0]
+        # Ticks: outer start=1, inner start=2, inner end=3, outer end=4.
+        assert outer.duration == pytest.approx(3.0)
+        assert inner.duration == pytest.approx(1.0)
+
+
+class TestCanonical:
+    def test_excludes_timings_and_runtime_notes(self):
+        first, second = Tracer(), Tracer(clock=FakeClock())
+        for tracer, workers in ((first, 1), (second, 4)):
+            with tracer.span("rrset.sample", theta=64) as span:
+                span.note(workers=workers, seconds=0.5 * workers)
+                span.event("chunk", index=0, produced=64)
+                span.set(produced=64)
+        assert first.canonical() == second.canonical()
+
+    def test_error_is_part_of_canonical(self):
+        ok, bad = Tracer(), Tracer()
+        with ok.span("s"):
+            pass
+        with pytest.raises(RuntimeError):
+            with bad.span("s"):
+                raise RuntimeError
+        assert ok.canonical() != bad.canonical()
+        assert bad.canonical()[0]["error"] == "RuntimeError"
+
+    def test_numpy_values_cleaned(self):
+        tracer = Tracer()
+        with tracer.span("s", theta=np.int64(5)) as span:
+            span.set(spread=np.float64(1.5), ids=np.asarray([1, 2]))
+        attrs = tracer.canonical()[0]["attrs"]
+        assert attrs == {"theta": 5, "spread": 1.5, "ids": [1, 2]}
+        assert type(attrs["theta"]) is int and type(attrs["spread"]) is float
+
+
+class TestJsonlExport:
+    def _trace(self):
+        tracer = Tracer()
+        with tracer.span("outer", theta=10) as outer:
+            outer.note(workers=2)
+            with tracer.span("inner") as inner:
+                inner.event("chunk", index=0)
+        return tracer
+
+    def test_parent_links_and_valid_json(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        self._trace().export_jsonl(str(path))
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [r["name"] for r in records] == ["outer", "inner"]
+        outer, inner = records
+        assert outer["parent"] is None
+        assert inner["parent"] == outer["id"]
+        assert outer["runtime"] == {"workers": 2}
+        assert inner["events"] == [{"name": "chunk", "attrs": {"index": 0}}]
+        for record in records:
+            assert record["kind"] == "span"
+            assert record["duration_s"] >= 0.0
+
+    def test_export_is_repeatable(self, tmp_path):
+        tracer = self._trace()
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        tracer.export_jsonl(str(a))
+        tracer.export_jsonl(str(b))
+        assert a.read_text() == b.read_text()
+
+    def test_sink_streams_per_root_tree(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        tracer = Tracer(sink=str(path))
+        with tracer.span("first"):
+            with tracer.span("first.child"):
+                pass
+        # The finished root is on disk before the tracer is closed ...
+        names = [json.loads(l)["name"] for l in path.read_text().splitlines()]
+        assert names == ["first", "first.child"]
+        with tracer.span("second"):
+            pass
+        tracer.close()
+        names = [json.loads(l)["name"] for l in path.read_text().splitlines()]
+        assert names == ["first", "first.child", "second"]
+        # ... and nothing accumulated in memory.
+        assert tracer.roots == []
+
+
+class TestNullTracer:
+    def test_span_is_shared_noop_singleton(self):
+        span = NULL_TRACER.span("anything", theta=5)
+        assert span is NULL_SPAN
+        assert isinstance(span, NullSpan)
+        with span as inner:
+            assert inner.set(a=1) is inner
+            assert inner.event("e", b=2) is inner
+            assert inner.note(c=3) is inner
+
+    def test_exceptions_propagate(self):
+        with pytest.raises(KeyError):
+            with NULL_TRACER.span("s"):
+                raise KeyError("x")
+
+    def test_empty_exports(self, tmp_path):
+        assert NULL_TRACER.canonical() == []
+        assert list(NULL_TRACER.iter_jsonl()) == []
+        path = tmp_path / "empty.jsonl"
+        NULL_TRACER.export_jsonl(str(path))
+        assert path.read_text() == ""
+        NULL_TRACER.close()

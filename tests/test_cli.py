@@ -190,6 +190,167 @@ class TestReport:
         assert "report written" in capsys.readouterr().out
 
 
+class TestObservabilityFlags:
+    def _solve_args(self, network_file, extra):
+        return [
+            "solve",
+            str(network_file),
+            "--method",
+            "ud",
+            "--budget",
+            "4",
+            "--hyperedges",
+            "600",
+            "--seed",
+            "3",
+            *extra,
+        ]
+
+    @staticmethod
+    def _read_jsonl(path):
+        return [json.loads(line) for line in path.read_text().splitlines()]
+
+    def test_solve_trace_and_metrics_files(self, network_file, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.json"
+        code = main(
+            self._solve_args(
+                network_file,
+                ["--trace", str(trace), "--metrics-out", str(metrics)],
+            )
+        )
+        assert code == 0
+        records = self._read_jsonl(trace)
+        assert records, "trace is empty"
+        roots = [r for r in records if r["parent"] is None]
+        assert [r["name"] for r in roots] == ["solve"]
+        ids = {r["id"] for r in records}
+        assert all(r["parent"] in ids for r in records if r["parent"] is not None)
+        assert "rrset.sample" in {r["name"] for r in records}
+
+        snapshot = json.loads(metrics.read_text())
+        assert sorted(snapshot) == ["counters", "gauges", "histograms"]
+        assert snapshot["counters"]["solver.runs_total"] == 1
+        assert snapshot["counters"]["rrset.requested_total"] == 600
+
+    def test_trace_composes_with_workers(self, network_file, tmp_path, capsys):
+        canonical = {}
+        for workers in ("1", "2"):
+            trace = tmp_path / f"trace-{workers}.jsonl"
+            metrics = tmp_path / f"metrics-{workers}.json"
+            code = main(
+                self._solve_args(
+                    network_file,
+                    [
+                        "--workers",
+                        workers,
+                        "--trace",
+                        str(trace),
+                        "--metrics-out",
+                        str(metrics),
+                    ],
+                )
+            )
+            assert code == 0
+            records = self._read_jsonl(trace)
+            # Deterministic content: everything except the timing fields.
+            canonical[workers] = (
+                [
+                    {k: r[k] for k in ("id", "parent", "name", "attrs", "events", "error")}
+                    for r in records
+                ],
+                json.loads(metrics.read_text()),
+            )
+        assert canonical["1"] == canonical["2"]
+
+    def test_trace_composes_with_deadline(self, network_file, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        code = main(
+            self._solve_args(
+                network_file, ["--deadline", "1e9", "--trace", str(trace)]
+            )
+        )
+        assert code == 0
+        assert self._read_jsonl(trace)
+
+    def test_evaluate_metrics_out(self, network_file, tmp_path, capsys):
+        plan = tmp_path / "plan.json"
+        assert main(self._solve_args(network_file, ["-o", str(plan)])) == 0
+        metrics = tmp_path / "metrics.json"
+        code = main(
+            [
+                "evaluate",
+                str(network_file),
+                str(plan),
+                "--samples",
+                "200",
+                "--seed",
+                "5",
+                "--metrics-out",
+                str(metrics),
+            ]
+        )
+        assert code == 0
+        snapshot = json.loads(metrics.read_text())
+        assert snapshot["counters"]["mc.samples_total"] == 200
+
+    def test_report_trace_composes_with_resume(self, tmp_path, capsys):
+        out = tmp_path / "report"
+        trace = tmp_path / "trace.jsonl"
+        store = tmp_path / "ckpt"
+        args = [
+            "report",
+            str(out),
+            "--scale",
+            "0.01",
+            "--hyperedges",
+            "400",
+            "--samples",
+            "50",
+            "--seed",
+            "9",
+            "--checkpoint-dir",
+            str(store),
+            "--resume",
+            "--trace",
+            str(trace),
+            "--metrics-out",
+            str(tmp_path / "metrics.json"),
+        ]
+        assert main(args) == 0
+        names = {r["name"] for r in self._read_jsonl(trace)}
+        assert "report.generate" in names
+        assert "experiment.run_methods" in names
+        assert (out / "metrics.json").exists()
+        assert "metrics.json" in (out / "MANIFEST.txt").read_text()
+
+    def test_files_written_even_on_failure(self, network_file, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.json"
+        code = main(
+            [
+                "solve",
+                str(network_file),
+                "--method",
+                "no-such-method",
+                "--budget",
+                "4",
+                "--trace",
+                str(trace),
+                "--metrics-out",
+                str(metrics),
+            ]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+        assert trace.exists()
+        assert sorted(json.loads(metrics.read_text())) == [
+            "counters",
+            "gauges",
+            "histograms",
+        ]
+
+
 class TestReproduce:
     def test_table2(self, capsys):
         assert main(["reproduce", "table2", "--scale", "0.01"]) == 0
