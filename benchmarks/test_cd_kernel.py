@@ -1,0 +1,88 @@
+"""Benchmark: vectorized RR-hypergraph / CD kernels vs their references.
+
+Times the CSR build, ``coverage``, objective ``rebuild``, the
+``pair_coefficients`` step, and a full Section-8 coordinate-descent run
+through both the vectorized kernels and the preserved pre-change
+implementations (``repro.rrset.reference``), asserts that the two produce
+bit-identical outputs, audits the op-count metrics (the per-pair path
+must perform zero full O(theta) scans), and writes ``BENCH_cd.json``
+(schema documented in ``docs/performance.md``).
+
+The >=3x full-CD speedup acceptance bar applies in full mode only; the
+smoke shape still runs every cross-check — the identity and op-count
+assertions are scale-independent, which is what makes this file a useful
+CI guard rather than a wall-clock test.
+
+Environment knobs:
+
+* ``REPRO_BENCH_CD_SMOKE`` — non-empty: tiny CI-speed shape.
+* ``REPRO_BENCH_CD_OUT``   — report path (default ``BENCH_cd.json`` in
+  the working directory).
+"""
+
+from __future__ import annotations
+
+import os
+
+from conftest import run_once
+
+from repro.rrset.bench import (
+    FULL,
+    SMOKE,
+    format_report,
+    run_kernel_benchmark,
+    write_report,
+)
+
+WORKERS = (1, 2)
+SMOKE_MODE = bool(os.environ.get("REPRO_BENCH_CD_SMOKE"))
+OUT_PATH = os.environ.get("REPRO_BENCH_CD_OUT", "BENCH_cd.json")
+
+
+def test_cd_kernels(benchmark):
+    shape = SMOKE if SMOKE_MODE else FULL
+    report = run_once(
+        benchmark,
+        run_kernel_benchmark,
+        workers=WORKERS,
+        repeats=1 if SMOKE_MODE else 3,
+        **shape,
+    )
+    write_report(report, OUT_PATH)
+    print()
+    print(format_report(report))
+    print(f"wrote {OUT_PATH}")
+
+    # Bit-identity: the kernel swap may not change a single output bit.
+    results = report["results"]
+    assert results["csr_build"]["identical"]
+    assert results["coverage"]["identical"]
+    assert results["rebuild"]["identical"]
+    assert results["pair_step"]["coefficients_identical"]
+    assert results["full_cd"]["round_values_identical"]
+    assert results["full_cd"]["configuration_identical"]
+    assert report["determinism"]["rr_identical"]
+
+    # Op-count guard (not wall-clock): a 10-round CD run performs full
+    # objective scans only at the two rebuilds and once per accepted
+    # update — the per-pair path contributes zero O(theta) scans.
+    ops = report["op_counts"]
+    assert ops["scan_guard_ok"], (
+        f"per-pair path leaked {ops['pair_path_full_scans']} full scans"
+    )
+    vec = ops["vectorized"]
+    assert (
+        vec["objective.full_scans_total"]
+        <= vec["objective.rebuilds_total"] + results["full_cd"]["pair_updates"]
+    )
+    # The reference kernel scans on every pair visit; if the vectorized
+    # kernel ever approaches that count the incremental path has regressed.
+    assert (
+        vec["objective.full_scans_total"]
+        < ops["reference"]["objective.full_scans_total"]
+    )
+
+    if not SMOKE_MODE:
+        # The ISSUE acceptance bar: >=3x wall-clock on a full CD run.
+        speedup = results["full_cd"]["speedup"]
+        assert speedup >= 3.0, f"expected >=3x full-CD speedup, got {speedup:.2f}x"

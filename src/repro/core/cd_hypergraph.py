@@ -34,6 +34,7 @@ from repro.exceptions import SolverError
 from repro.obs.context import get_metrics, get_tracer
 from repro.rrset.estimator import HypergraphObjective
 from repro.rrset.hypergraph import RRHypergraph
+from repro.rrset.reference import ReferenceObjective
 from repro.runtime.deadline import DeadlineLike, as_deadline
 from repro.utils.timing import TimingBreakdown
 
@@ -98,6 +99,7 @@ def coordinate_descent_hypergraph(
     refine_iterations: int = 25,
     pair_strategy: str = "cyclic",
     deadline: DeadlineLike = None,
+    kernel: str = "vectorized",
 ) -> HypergraphCDResult:
     """Run CD over the Eq.-14 hyper-graph objective.
 
@@ -125,6 +127,13 @@ def coordinate_descent_hypergraph(
         feasible incumbent is returned with ``deadline_expired=True``
         (anytime behaviour — the descent is a monotone improvement over
         the warm start, so stopping early is always safe).
+    kernel:
+        ``"vectorized"`` — the incrementally-maintained
+        :class:`~repro.rrset.estimator.HypergraphObjective` (default);
+        ``"reference"`` — the pre-vectorization
+        :class:`~repro.rrset.reference.ReferenceObjective`, kept for
+        bit-exact regression pinning and benchmark baselines.  Both
+        kernels produce identical ``round_values`` and configurations.
     """
     budget_clock = as_deadline(deadline)
     initial.require_feasible(problem.budget)
@@ -137,10 +146,14 @@ def coordinate_descent_hypergraph(
         if coords.size and (coords[0] < 0 or coords[-1] >= problem.num_nodes):
             raise SolverError("coordinate index out of range")
 
+    if kernel not in ("vectorized", "reference"):
+        raise SolverError(f"unknown objective kernel {kernel!r}")
+    objective_cls = HypergraphObjective if kernel == "vectorized" else ReferenceObjective
+
     timings = TimingBreakdown()
     population = problem.population
     discounts = initial.discounts.copy()
-    objective = HypergraphObjective(hypergraph, population.probabilities(discounts))
+    objective = objective_cls(hypergraph, population.probabilities(discounts))
     current_value = objective.value()
     round_values = [current_value]
 
@@ -163,6 +176,14 @@ def coordinate_descent_hypergraph(
     if pair_strategy not in ("cyclic", "gradient"):
         raise SolverError(f"unknown pair strategy {pair_strategy!r}")
 
+    # The cyclic schedule is a pure function of the (immutable) coordinate
+    # set — materialize it once instead of re-enumerating every round.
+    cyclic_pairs = (
+        list(itertools.combinations(coords.tolist(), 2))
+        if pair_strategy == "cyclic"
+        else None
+    )
+
     pair_updates = 0
     rounds_run = 0
     converged = False
@@ -174,6 +195,7 @@ def coordinate_descent_hypergraph(
         coordinates=int(coords.size),
         max_rounds=max_rounds,
         pair_strategy=pair_strategy,
+        kernel=kernel,
     ) as span, timings.phase("descent"):
         for _ in range(max_rounds):
             rounds_run += 1
@@ -183,7 +205,7 @@ def coordinate_descent_hypergraph(
                     objective, population, discounts, coords
                 )
             else:
-                round_pairs = itertools.combinations(coords.tolist(), 2)
+                round_pairs = cyclic_pairs
             for i, j in round_pairs:
                 polls += 1
                 if budget_clock.expired():

@@ -108,16 +108,22 @@ def pair_grid_candidates(
 
 def _iterate_pairs(
     strategy: str,
-    coordinates: np.ndarray,
+    pairs: Sequence[Tuple[int, int]],
     rng: np.random.Generator,
 ) -> Iterator[Tuple[int, int]]:
-    """Yield the coordinate pairs of one round under the given strategy."""
+    """Yield the coordinate pairs of one round under the given strategy.
+
+    ``pairs`` is the pre-materialized cyclic schedule (a pure function of
+    the coordinate set, so it is enumerated once per run, not per round);
+    ``"random"`` shuffles a per-round copy, consuming the same RNG stream
+    as the historical per-round materialization.
+    """
     if strategy == "cyclic":
-        yield from itertools.combinations(coordinates.tolist(), 2)
-    elif strategy == "random":
-        pairs = list(itertools.combinations(coordinates.tolist(), 2))
-        rng.shuffle(pairs)
         yield from pairs
+    elif strategy == "random":
+        shuffled = list(pairs)
+        rng.shuffle(shuffled)
+        yield from shuffled
     else:
         raise SolverError(f"unknown pair strategy {strategy!r}")
 
@@ -183,6 +189,7 @@ def coordinate_descent(
 
     current_value = oracle.evaluate(config)
     round_values = [current_value]
+    all_pairs = list(itertools.combinations(coords.tolist(), 2))
     pair_updates = 0
     converged = False
     rounds_run = 0
@@ -199,7 +206,7 @@ def coordinate_descent(
         for _ in range(max_rounds):
             rounds_run += 1
             round_start_value = current_value
-            for i, j in _iterate_pairs(pair_strategy, coords, rng):
+            for i, j in _iterate_pairs(pair_strategy, all_pairs, rng):
                 polls += 1
                 if budget_clock.expired():
                     expired = True

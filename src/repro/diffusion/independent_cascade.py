@@ -59,12 +59,16 @@ class IndependentCascade(DiffusionModel):
             lo, hi = offsets[u], offsets[u + 1]
             if lo == hi:
                 continue
-            neighbor_slice = targets[lo:hi]
+            # Graph edges are deduplicated at build time, so the slice has
+            # no repeated targets and the stamp mask needs no in-batch
+            # dedup.  Masking preserves slice order, and the coin flips are
+            # drawn before filtering — RNG consumption and BFS order are
+            # identical to the historical per-neighbor loop.
             success = rng.random(hi - lo) < probs[lo:hi]
-            for v in neighbor_slice[success]:
-                if stamp[v] != epoch:
-                    stamp[v] = epoch
-                    activated.append(int(v))
+            fresh = targets[lo:hi][success]
+            fresh = fresh[stamp[fresh] != epoch]
+            stamp[fresh] = epoch
+            activated.extend(fresh.tolist())
         return np.asarray(activated, dtype=np.int64)
 
     def sample_rr_set(self, root: int, rng: np.random.Generator) -> np.ndarray:
@@ -91,10 +95,11 @@ class IndependentCascade(DiffusionModel):
             lo, hi = offsets[v], offsets[v + 1]
             if lo == hi:
                 continue
-            source_slice = sources[lo:hi]
+            # Same vectorized frontier step as ``sample_cascade`` (simple
+            # graph: in-neighbor slices carry no duplicates).
             success = rng.random(hi - lo) < probs[lo:hi]
-            for u in source_slice[success]:
-                if stamp[u] != epoch:
-                    stamp[u] = epoch
-                    reached.append(int(u))
+            fresh = sources[lo:hi][success]
+            fresh = fresh[stamp[fresh] != epoch]
+            stamp[fresh] = epoch
+            reached.extend(fresh.tolist())
         return np.asarray(reached, dtype=np.int64)

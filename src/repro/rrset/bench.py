@@ -1,0 +1,458 @@
+"""Benchmark for the vectorized RR-hypergraph / CD kernels.
+
+Times each vectorized kernel against its pre-change reference twin
+(:mod:`repro.rrset.reference`) on a synthetic weighted-cascade graph —
+CSR build, ``coverage``, objective ``rebuild``, the ``pair_coefficients``
+step, and a full Section-8 coordinate-descent run — cross-checks that
+both implementations produce identical bits, audits the op-count metrics
+(the per-pair path must perform **zero** full O(theta) scans), and writes
+the record to ``BENCH_cd.json``.  Run it as a module::
+
+    PYTHONPATH=src python -m repro.rrset.bench --out BENCH_cd.json
+    PYTHONPATH=src python -m repro.rrset.bench --smoke   # tiny CI mode
+
+``docs/performance.md`` documents the JSON schema and how to interpret
+the numbers; ``benchmarks/test_cd_kernel.py`` wraps the same functions in
+the pytest-benchmark harness.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import itertools
+import json
+import os
+import platform
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.cd_hypergraph import coordinate_descent_hypergraph
+from repro.core.configuration import Configuration
+from repro.core.population import paper_mixture
+from repro.core.problem import CIMProblem
+from repro.diffusion.independent_cascade import IndependentCascade
+from repro.graphs.generators import erdos_renyi
+from repro.graphs.weights import assign_weighted_cascade
+from repro.obs.context import observe
+from repro.obs.metrics import MetricsRegistry
+from repro.rrset.estimator import HypergraphObjective
+from repro.rrset.hypergraph import RRHypergraph
+from repro.rrset.reference import (
+    ReferenceObjective,
+    reference_coverage,
+    reference_csr_build,
+)
+from repro.rrset.sampler import sample_rr_sets
+
+__all__ = [
+    "SCHEMA",
+    "build_cd_workload",
+    "run_kernel_benchmark",
+    "write_report",
+    "format_report",
+    "main",
+]
+
+SCHEMA = "repro.rrset.bench/1"
+
+#: Default benchmark shape: theta large enough that an O(theta) scan
+#: dominates a pair step (the regression this harness exists to catch);
+#: ``--smoke`` shrinks everything to CI scale.
+FULL = dict(nodes=200, edge_prob=0.03, rr_sets=60_000, support=24, budget=4.0)
+SMOKE = dict(nodes=80, edge_prob=0.05, rr_sets=4_000, support=10, budget=2.0)
+
+SEED = 2016
+DEFAULT_WORKERS = (1, 2)
+
+#: Objective op counters surfaced in the report (per CD kernel).
+_COUNTER_KEYS = (
+    "objective.full_scans_total",
+    "objective.rebuilds_total",
+    "objective.incremental_updates_total",
+    "objective.pair_coefficients_total",
+    "objective.topology_cache_hits_total",
+    "objective.topology_cache_misses_total",
+)
+
+
+def _digest_rr(rr_sets: Sequence[np.ndarray]) -> str:
+    """Order-sensitive content hash of a sampled hyper-graph."""
+    hasher = hashlib.sha256()
+    for rr in rr_sets:
+        hasher.update(np.ascontiguousarray(rr, dtype=np.int64).tobytes())
+        hasher.update(b"|")
+    return hasher.hexdigest()
+
+
+def _best_of(repeats: int, fn) -> tuple:
+    """Run ``fn`` ``repeats`` times; return (min seconds, last result)."""
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def build_cd_workload(
+    nodes: int,
+    edge_prob: float,
+    rr_sets: int,
+    budget: float,
+    support: int,
+    seed: int = SEED,
+):
+    """Assemble the benchmark CD problem.
+
+    Returns ``(problem, rr_list, hypergraph, warm_start, coords)``: an ER
+    weighted-cascade IC instance with the paper's curve mixture, ``theta``
+    sampled RR sets (kept as a list so the CSR build can be re-timed), the
+    built hyper-graph, and a warm start spreading the budget uniformly
+    over the ``support`` highest-degree hyper-graph nodes — exactly
+    ``support`` support coordinates, which bounds the pair count per round
+    so the reference kernel's full-CD run stays tractable.
+    """
+    graph = assign_weighted_cascade(erdos_renyi(nodes, edge_prob, seed=seed), alpha=1.0)
+    population = paper_mixture(nodes, seed=seed + 1)
+    problem = CIMProblem(IndependentCascade(graph), population, budget=budget)
+    rr_list = sample_rr_sets(problem.model, rr_sets, seed=seed + 2)
+    hypergraph = RRHypergraph(nodes, rr_list)
+    degrees = np.diff(hypergraph.node_offsets)
+    coords = np.sort(np.argsort(-degrees, kind="stable")[:support]).astype(np.int64)
+    discounts = np.zeros(nodes, dtype=np.float64)
+    discounts[coords] = min(1.0, budget / coords.size)
+    warm_start = Configuration(discounts)
+    return problem, rr_list, hypergraph, warm_start, coords
+
+
+def _time_micro_kernels(
+    repeats: int,
+    nodes: int,
+    rr_list: Sequence[np.ndarray],
+    hypergraph: RRHypergraph,
+    probs: np.ndarray,
+    coords: np.ndarray,
+) -> Dict:
+    """Best-of timings + identity cross-checks for the four micro kernels."""
+    results: Dict[str, Dict] = {}
+
+    # -- CSR build ----------------------------------------------------
+    ref_seconds, ref_csr = _best_of(repeats, lambda: reference_csr_build(nodes, rr_list))
+    vec_seconds, vec_hg = _best_of(repeats, lambda: RRHypergraph(nodes, rr_list))
+    results["csr_build"] = {
+        "reference_seconds": ref_seconds,
+        "vectorized_seconds": vec_seconds,
+        "speedup": ref_seconds / vec_seconds,
+        "identical": bool(
+            np.array_equal(ref_csr[0], vec_hg.edge_offsets)
+            and np.array_equal(ref_csr[1], vec_hg.edge_nodes)
+        ),
+    }
+
+    # -- coverage -----------------------------------------------------
+    seeds = coords[: min(10, coords.size)]
+    ref_seconds, ref_cov = _best_of(repeats, lambda: reference_coverage(hypergraph, seeds))
+    vec_seconds, vec_cov = _best_of(repeats, lambda: hypergraph.coverage(seeds))
+    results["coverage"] = {
+        "reference_seconds": ref_seconds,
+        "vectorized_seconds": vec_seconds,
+        "speedup": ref_seconds / vec_seconds,
+        "identical": ref_cov == vec_cov,
+    }
+
+    # -- objective rebuild -------------------------------------------
+    ref_obj = ReferenceObjective(hypergraph, probs)
+    vec_obj = HypergraphObjective(hypergraph, probs)
+    ref_seconds, _ = _best_of(repeats, ref_obj.rebuild)
+    vec_seconds, _ = _best_of(repeats, vec_obj.rebuild)
+    results["rebuild"] = {
+        "reference_seconds": ref_seconds,
+        "vectorized_seconds": vec_seconds,
+        "speedup": ref_seconds / vec_seconds,
+        "identical": bool(
+            np.array_equal(ref_obj._zero_count, vec_obj._zero_count)
+            and np.array_equal(ref_obj._nonzero_prod, vec_obj._nonzero_prod)
+        ),
+    }
+
+    # -- pair step ----------------------------------------------------
+    # Steady-state cyclic-CD cost: every pair of the support, revisited
+    # ``repeats`` times the way CD rounds revisit them (the vectorized
+    # kernel's topology cache is cold on the first sweep only).
+    pairs = list(itertools.combinations(coords.tolist(), 2))
+
+    def sweep(objective):
+        for i, j in pairs:
+            objective.pair_coefficients(i, j)
+
+    ref_seconds, _ = _best_of(repeats, lambda: sweep(ref_obj))
+    vec_seconds, _ = _best_of(repeats, lambda: sweep(vec_obj))
+    coeffs_identical = True
+    for i, j in pairs[:16]:
+        a = ref_obj.pair_coefficients(i, j)
+        b = vec_obj.pair_coefficients(i, j)
+        coeffs_identical &= all(
+            getattr(a, slot) == getattr(b, slot) for slot in a.__slots__
+        )
+    results["pair_step"] = {
+        "reference_seconds": ref_seconds,
+        "vectorized_seconds": vec_seconds,
+        "speedup": ref_seconds / vec_seconds,
+        "pairs": len(pairs),
+        "coefficients_identical": bool(coeffs_identical),
+    }
+    return results
+
+
+def run_kernel_benchmark(
+    nodes: int,
+    edge_prob: float,
+    rr_sets: int,
+    budget: float,
+    support: int,
+    workers: Sequence[int] = DEFAULT_WORKERS,
+    repeats: int = 3,
+    max_rounds: int = 10,
+    seed: int = SEED,
+) -> Dict:
+    """Measure every kernel pair and audit the op counters.
+
+    Returns the full ``BENCH_cd.json`` payload (minus the file).  The
+    full-CD comparison runs grid-only (``refine_iterations=0``, the
+    paper's Section-7.1 setting); each kernel's run is wrapped in a
+    private metrics registry so the op-count audit sees exactly one run.
+    """
+    problem, rr_list, hypergraph, warm_start, coords = build_cd_workload(
+        nodes, edge_prob, rr_sets, budget, support, seed=seed
+    )
+    probs = problem.population.probabilities(warm_start.discounts)
+
+    results = _time_micro_kernels(repeats, nodes, rr_list, hypergraph, probs, coords)
+
+    # -- full CD, both kernels, op-counted ----------------------------
+    cd_rows: Dict[str, Dict] = {}
+    op_counts: Dict[str, Dict] = {}
+    for kernel in ("reference", "vectorized"):
+        registry = MetricsRegistry()
+        with observe(metrics=registry):
+            start = time.perf_counter()
+            cd = coordinate_descent_hypergraph(
+                problem,
+                hypergraph,
+                warm_start,
+                coordinates=coords,
+                refine_iterations=0,
+                max_rounds=max_rounds,
+                kernel=kernel,
+            )
+            seconds = time.perf_counter() - start
+        counters = registry.snapshot()["counters"]
+        op_counts[kernel] = {key: counters.get(key, 0) for key in _COUNTER_KEYS}
+        cd_rows[kernel] = {
+            "seconds": seconds,
+            "rounds_run": cd.rounds_run,
+            "pair_updates": cd.pair_updates,
+            "result": cd,
+        }
+
+    ref_cd = cd_rows["reference"].pop("result")
+    vec_cd = cd_rows["vectorized"].pop("result")
+    round_values_identical = ref_cd.round_values == vec_cd.round_values
+    config_identical = bool(
+        np.array_equal(ref_cd.configuration.discounts, vec_cd.configuration.discounts)
+    )
+    results["full_cd"] = {
+        "reference_seconds": cd_rows["reference"]["seconds"],
+        "vectorized_seconds": cd_rows["vectorized"]["seconds"],
+        "speedup": cd_rows["reference"]["seconds"] / cd_rows["vectorized"]["seconds"],
+        "rounds_run": vec_cd.rounds_run,
+        "pair_updates": vec_cd.pair_updates,
+        "round_values_identical": round_values_identical,
+        "configuration_identical": config_identical,
+    }
+
+    # The vectorized kernel's contract: full scans happen only at the two
+    # rebuilds (init + drift wash) and once per accepted update — never in
+    # the per-pair path.  A positive residual means a scan leaked back in.
+    vec_ops = op_counts["vectorized"]
+    pair_path_full_scans = int(
+        vec_ops["objective.full_scans_total"]
+        - vec_ops["objective.rebuilds_total"]
+        - vec_cd.pair_updates
+    )
+    op_counts["pair_path_full_scans"] = pair_path_full_scans
+    op_counts["scan_guard_ok"] = pair_path_full_scans <= 0
+
+    # -- worker-count determinism of the sampled hyper-graph ----------
+    digests = [
+        _digest_rr(sample_rr_sets(problem.model, rr_sets, seed=seed + 2, workers=w))
+        for w in workers
+    ]
+    determinism = {
+        "workers": list(workers),
+        "rr_digest": digests[0],
+        "rr_identical": len(set(digests)) == 1,
+        "round_values_identical": round_values_identical,
+        "configuration_identical": config_identical,
+    }
+
+    return {
+        "schema": SCHEMA,
+        "config": {
+            "nodes": nodes,
+            "edge_prob": edge_prob,
+            "rr_sets": rr_sets,
+            "budget": budget,
+            "support": int(np.asarray(coords).size),
+            "max_rounds": max_rounds,
+            "seed": seed,
+            "repeats": repeats,
+            "workers": list(workers),
+        },
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "results": results,
+        "op_counts": op_counts,
+        "determinism": determinism,
+    }
+
+
+def write_report(report: Dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def format_report(report: Dict) -> str:
+    """Human-readable table of a benchmark payload."""
+    cfg = report["config"]
+    res = report["results"]
+    ops = report["op_counts"]
+    det = report["determinism"]
+    lines = [
+        f"cd kernels — n={cfg['nodes']} p={cfg['edge_prob']:g} "
+        f"theta={cfg['rr_sets']} support={cfg['support']} "
+        f"(cpus={report['machine']['cpu_count']})",
+        f"{'kernel':>10s} {'reference':>12s} {'vectorized':>12s} {'speedup':>8s} {'identical':>9s}",
+    ]
+    checks = {
+        "csr_build": "identical",
+        "coverage": "identical",
+        "rebuild": "identical",
+        "pair_step": "coefficients_identical",
+        "full_cd": "round_values_identical",
+    }
+    for name, check in checks.items():
+        row = res[name]
+        lines.append(
+            f"{name:>10s} {row['reference_seconds']:11.4f}s "
+            f"{row['vectorized_seconds']:11.4f}s {row['speedup']:7.2f}x "
+            f"{str(row[check]):>9s}"
+        )
+    vec, ref = ops["vectorized"], ops["reference"]
+    lines.append(
+        "full scans: reference=%d vectorized=%d (pair-path residual=%d, guard %s)"
+        % (
+            ref["objective.full_scans_total"],
+            vec["objective.full_scans_total"],
+            ops["pair_path_full_scans"],
+            "ok" if ops["scan_guard_ok"] else "FAILED",
+        )
+    )
+    lines.append(
+        "determinism: rr_identical=%s round_values_identical=%s"
+        % (det["rr_identical"], det["round_values_identical"])
+    )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.rrset.bench",
+        description="Benchmark the vectorized RR-hypergraph / CD kernels.",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny graph / few RR sets: a CI-speed sanity run",
+    )
+    parser.add_argument("--nodes", type=int, default=None)
+    parser.add_argument("--edge-prob", type=float, default=None)
+    parser.add_argument("--rr-sets", type=int, default=None)
+    parser.add_argument("--budget", type=float, default=None)
+    parser.add_argument(
+        "--support",
+        type=int,
+        default=None,
+        help="CD support size (bounds the pair count per round)",
+    )
+    parser.add_argument("--max-rounds", type=int, default=10)
+    parser.add_argument(
+        "--workers",
+        default=",".join(str(w) for w in DEFAULT_WORKERS),
+        help="comma-separated worker counts for the sampling determinism "
+        "cross-check (default %(default)s)",
+    )
+    parser.add_argument("--repeats", type=int, default=3, help="best-of repeats")
+    parser.add_argument("--seed", type=int, default=SEED)
+    parser.add_argument(
+        "--out",
+        default="BENCH_cd.json",
+        metavar="PATH",
+        help="where to write the JSON report (default %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    shape = dict(SMOKE if args.smoke else FULL)
+    for key, value in (
+        ("nodes", args.nodes),
+        ("edge_prob", args.edge_prob),
+        ("rr_sets", args.rr_sets),
+        ("budget", args.budget),
+        ("support", args.support),
+    ):
+        if value is not None:
+            shape[key] = value
+    workers = tuple(int(w) for w in str(args.workers).split(",") if w.strip())
+
+    report = run_kernel_benchmark(
+        workers=workers,
+        repeats=1 if args.smoke else args.repeats,
+        max_rounds=args.max_rounds,
+        seed=args.seed,
+        **shape,
+    )
+    write_report(report, args.out)
+    print(format_report(report))
+    print(f"wrote {args.out}")
+    ok = (
+        report["determinism"]["rr_identical"]
+        and report["determinism"]["round_values_identical"]
+        and report["determinism"]["configuration_identical"]
+        and report["op_counts"]["scan_guard_ok"]
+        and all(
+            report["results"][name][check]
+            for name, check in (
+                ("csr_build", "identical"),
+                ("coverage", "identical"),
+                ("rebuild", "identical"),
+                ("pair_step", "coefficients_identical"),
+            )
+        )
+    )
+    if not ok:
+        print("ERROR: kernel outputs diverged or op-count guard failed", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,6 +9,12 @@ container stores both directions in CSR form:
 so that coverage algorithms (which expand nodes) and estimators (which scan
 hyper-edges) both get contiguous slices.
 
+Both directions are assembled by whole-array numpy passes — a single
+``concatenate`` for the member stream, ``repeat`` + stable ``argsort`` for
+the inverted index — with no per-edge Python assignment; the reference
+per-edge loop is preserved in :mod:`repro.rrset.reference` and benchmarked
+against this path by ``python -m repro.rrset.bench``.
+
 Key property (polling framework): for a fixed number of hyper-edges
 ``theta``, ``n * deg_H(S) / theta`` is an unbiased estimator of the
 influence spread ``I(S)``.
@@ -17,7 +23,7 @@ influence spread ``I(S)``.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence, Union
+from typing import Iterable, Optional, Sequence, Union
 
 import numpy as np
 
@@ -32,7 +38,13 @@ __all__ = ["RRHypergraph"]
 
 
 class RRHypergraph:
-    """Immutable hyper-graph built from a batch of RR sets."""
+    """Immutable hyper-graph built from a batch of RR sets.
+
+    The CSR arrays never change after construction.  The only mutable
+    state is an internal epoch-stamped scratch buffer that
+    :meth:`coverage` reuses across calls — process-local scratch, never
+    shared across pool workers, and invisible in :meth:`to_arrays`.
+    """
 
     __slots__ = (
         "num_nodes",
@@ -41,33 +53,54 @@ class RRHypergraph:
         "edge_nodes",
         "node_offsets",
         "node_edges",
+        "_cover_stamp",
+        "_cover_epoch",
     )
 
     def __init__(self, num_nodes: int, rr_sets: Sequence[np.ndarray]) -> None:
+        members = [np.asarray(h, dtype=np.int32) for h in rr_sets]
+        sizes = np.fromiter((m.size for m in members), dtype=np.int64, count=len(members))
+        edge_offsets = np.zeros(len(members) + 1, dtype=np.int64)
+        np.cumsum(sizes, out=edge_offsets[1:])
+        if members:
+            edge_nodes = np.concatenate(members)
+        else:
+            edge_nodes = np.empty(0, dtype=np.int32)
+        self._init_from_csr(num_nodes, edge_offsets, edge_nodes)
+
+    def _init_from_csr(
+        self, num_nodes: int, edge_offsets: np.ndarray, edge_nodes: np.ndarray
+    ) -> None:
+        """Validate CSR arrays and derive the inverted index, vectorized."""
         if num_nodes <= 0:
             raise EstimationError(f"num_nodes must be positive, got {num_nodes}")
+        if edge_nodes.size:
+            lo, hi = int(edge_nodes.min()), int(edge_nodes.max())
+            if lo < 0 or hi >= num_nodes:
+                bad = int(
+                    np.flatnonzero((edge_nodes < 0) | (edge_nodes >= num_nodes))[0]
+                )
+                edge = int(np.searchsorted(edge_offsets, bad, side="right") - 1)
+                raise EstimationError(f"hyper-edge {edge} contains out-of-range node")
         self.num_nodes = num_nodes
-        self.num_hyperedges = len(rr_sets)
+        self.num_hyperedges = int(edge_offsets.size - 1)
+        self.edge_offsets = edge_offsets
+        self.edge_nodes = edge_nodes
 
-        sizes = np.fromiter((len(h) for h in rr_sets), dtype=np.int64, count=len(rr_sets))
-        self.edge_offsets = np.zeros(len(rr_sets) + 1, dtype=np.int64)
-        np.cumsum(sizes, out=self.edge_offsets[1:])
-        total = int(self.edge_offsets[-1])
-        self.edge_nodes = np.empty(total, dtype=np.int32)
-        for i, h in enumerate(rr_sets):
-            members = np.asarray(h, dtype=np.int32)
-            if members.size and (members.min() < 0 or members.max() >= num_nodes):
-                raise EstimationError(f"hyper-edge {i} contains out-of-range node")
-            self.edge_nodes[self.edge_offsets[i] : self.edge_offsets[i + 1]] = members
-
-        # Inverted index: node -> hyper-edge ids containing it.
-        degree = np.bincount(self.edge_nodes, minlength=num_nodes).astype(np.int64)
+        # Inverted index: node -> hyper-edge ids containing it.  Stable
+        # argsort of the member stream groups positions by node while
+        # keeping hyper-edge ids ascending within each node's slice.
+        degree = np.bincount(edge_nodes, minlength=num_nodes).astype(np.int64)
         self.node_offsets = np.zeros(num_nodes + 1, dtype=np.int64)
         np.cumsum(degree, out=self.node_offsets[1:])
-        self.node_edges = np.empty(total, dtype=np.int32)
-        edge_ids = np.repeat(np.arange(len(rr_sets), dtype=np.int32), sizes)
-        order = np.argsort(self.edge_nodes, kind="stable")
-        self.node_edges[:] = edge_ids[order]
+        sizes = np.diff(edge_offsets)
+        edge_ids = np.repeat(np.arange(self.num_hyperedges, dtype=np.int32), sizes)
+        order = np.argsort(edge_nodes, kind="stable")
+        self.node_edges = edge_ids[order]
+
+        # Lazily allocated scratch for stamp-based coverage counting.
+        self._cover_stamp = None
+        self._cover_epoch = 0
 
     # ------------------------------------------------------------------
     # construction
@@ -116,6 +149,29 @@ class RRHypergraph:
             metrics.set_gauge("hypergraph.last_hyperedges", hypergraph.num_hyperedges)
         return hypergraph
 
+    @classmethod
+    def from_csr(
+        cls, num_nodes: int, edge_offsets: np.ndarray, edge_nodes: np.ndarray
+    ) -> "RRHypergraph":
+        """Build directly from CSR arrays, skipping per-edge materialization.
+
+        ``edge_offsets``/``edge_nodes`` are the same arrays
+        :meth:`to_arrays` emits; the inverted index is derived from them
+        in place, so checkpoint restores never round-trip through a
+        Python list of hyper-edge slices.  The arrays are adopted (and
+        normalized to ``int64``/``int32``) without copying when the
+        dtypes already match — callers must not mutate them afterwards.
+        """
+        self = cls.__new__(cls)
+        edge_offsets = np.asarray(edge_offsets, dtype=np.int64)
+        edge_nodes = np.asarray(edge_nodes, dtype=np.int32)
+        if edge_offsets.ndim != 1 or edge_offsets.size == 0 or edge_offsets[0] != 0:
+            raise EstimationError("malformed CSR arrays: bad edge_offsets")
+        if int(edge_offsets[-1]) != edge_nodes.size or np.any(np.diff(edge_offsets) < 0):
+            raise EstimationError("malformed CSR arrays: offsets/nodes mismatch")
+        self._init_from_csr(int(num_nodes), edge_offsets, edge_nodes)
+        return self
+
     # ------------------------------------------------------------------
     # persistence (checkpointing of expensive builds)
     # ------------------------------------------------------------------
@@ -140,11 +196,7 @@ class RRHypergraph:
             raise CheckpointError("malformed hyper-graph arrays: bad edge_offsets")
         if int(edge_offsets[-1]) != edge_nodes.size or np.any(np.diff(edge_offsets) < 0):
             raise CheckpointError("malformed hyper-graph arrays: offsets/nodes mismatch")
-        rr_sets = [
-            edge_nodes[edge_offsets[i] : edge_offsets[i + 1]]
-            for i in range(edge_offsets.size - 1)
-        ]
-        return cls(num_nodes, rr_sets)
+        return cls.from_csr(num_nodes, edge_offsets, edge_nodes)
 
     def save_npz(self, path: Union[str, Path]) -> None:
         """Write the hyper-graph to an NPZ file atomically."""
@@ -195,11 +247,24 @@ class RRHypergraph:
         return np.diff(self.node_offsets)
 
     def coverage(self, seeds: Sequence[int]) -> int:
-        """``deg_H(S)``: hyper-edges hit by at least one node of ``seeds``."""
-        covered: set[int] = set()
+        """``deg_H(S)``: hyper-edges hit by at least one node of ``seeds``.
+
+        Stamp-array counting: a reusable per-hyper-edge epoch buffer is
+        stamped through each seed's incident slice, then covered edges
+        are those carrying the current epoch — no Python-set hashing, no
+        per-call allocation, and robust to duplicate members.  The count
+        (and therefore :meth:`estimate_spread`) is byte-identical to the
+        set-union definition, pinned against
+        :func:`repro.rrset.reference.reference_coverage` by the tests.
+        """
+        if self._cover_stamp is None:
+            self._cover_stamp = np.zeros(self.num_hyperedges, dtype=np.int64)
+        self._cover_epoch += 1
+        epoch = self._cover_epoch
+        stamp = self._cover_stamp
         for node in seeds:
-            covered.update(self.incident_edges(int(node)).tolist())
-        return len(covered)
+            stamp[self.incident_edges(int(node))] = epoch
+        return int((stamp == epoch).sum())
 
     def estimate_spread(self, seeds: Sequence[int]) -> float:
         """Unbiased estimator ``n * deg_H(S) / theta`` of ``I(S)``."""

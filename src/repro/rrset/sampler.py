@@ -154,6 +154,9 @@ def sample_rr_sets(
         span.set(produced=len(rr_sets), truncated=expired)
         metrics.inc("rrset.requested_total", count)
         metrics.inc("rrset.sampled_total", len(rr_sets))
+        # Total member count = the width of the CSR stream the hyper-graph
+        # build will allocate; BENCH_cd.json reports it alongside timings.
+        metrics.inc("rrset.nodes_sampled_total", sum(rr.size for rr in rr_sets))
         if expired:
             metrics.inc("rrset.truncated_total")
         if not rr_sets:

@@ -1,0 +1,141 @@
+"""Property tests for the incrementally maintained hyper-graph objective.
+
+The vectorized :class:`~repro.rrset.estimator.HypergraphObjective` keeps a
+delta-maintained running covered-sum next to the exact per-edge survival
+state.  These tests drive long randomized ``set_probability`` sequences —
+deliberately including ``q -> 1`` zero-count transitions and ``q = 1 ->
+q < 1`` reversals, where the zero-count/nonzero-product scheme takes over
+from plain multiplication — and assert at every step that:
+
+* the O(1) :meth:`running_value` matches a from-scratch ``rebuild()`` of
+  the same probabilities to 1e-9,
+* :meth:`value` (the lazily re-scanned exact estimate) does too, and
+* the integer zero-count state matches a fresh rebuild exactly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.context import observe
+from repro.obs.metrics import MetricsRegistry
+from repro.rrset.estimator import HypergraphObjective
+from repro.rrset.hypergraph import RRHypergraph
+
+
+def random_hypergraph(rng: np.random.Generator, num_nodes: int, theta: int) -> RRHypergraph:
+    """A random hyper-graph with 1-5 distinct members per hyper-edge."""
+    rr_sets = [
+        rng.choice(num_nodes, size=rng.integers(1, 6), replace=False)
+        for _ in range(theta)
+    ]
+    return RRHypergraph(num_nodes, rr_sets)
+
+
+def random_step(rng: np.random.Generator, num_nodes: int):
+    """One randomized update: ~1/4 of moves pin or unpin a certain seed."""
+    node = int(rng.integers(num_nodes))
+    roll = rng.random()
+    if roll < 0.15:
+        q = 1.0  # zero-count transition
+    elif roll < 0.25:
+        q = 0.0  # reversal all the way down
+    else:
+        q = float(rng.uniform(0.0, 1.0))
+    return node, q
+
+
+class TestIncrementalMatchesRebuild:
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_running_value_tracks_fresh_rebuild(self, seed):
+        rng = np.random.default_rng(seed)
+        num_nodes = 20
+        hypergraph = random_hypergraph(rng, num_nodes, theta=150)
+        objective = HypergraphObjective(
+            hypergraph, rng.uniform(0.0, 1.0, size=num_nodes)
+        )
+        for _ in range(60):
+            node, q = random_step(rng, num_nodes)
+            objective.set_probability(node, q)
+            fresh = HypergraphObjective(hypergraph, objective.probabilities)
+            assert objective.running_value() == pytest.approx(
+                fresh.value(), abs=1e-9
+            )
+            assert objective.value() == pytest.approx(fresh.value(), abs=1e-9)
+            # value() adopts the exact scan; running must now agree bitwise.
+            assert objective.running_value() == objective.value()
+
+    def test_long_soak_with_zero_count_cycles(self):
+        """Deterministic 1000-step soak, heavy on q=1 pin/unpin cycles."""
+        rng = np.random.default_rng(0)
+        num_nodes = 30
+        hypergraph = random_hypergraph(rng, num_nodes, theta=250)
+        objective = HypergraphObjective(hypergraph, np.zeros(num_nodes))
+        for step in range(1000):
+            node, q = random_step(rng, num_nodes)
+            objective.set_probability(node, q)
+            if step % 50 == 0:
+                fresh = HypergraphObjective(hypergraph, objective.probabilities)
+                assert objective.running_value() == pytest.approx(
+                    fresh.value(), abs=1e-9
+                )
+                assert objective._zero_count.tolist() == fresh._zero_count.tolist()
+                assert objective._nonzero_prod == pytest.approx(
+                    fresh._nonzero_prod, abs=1e-9
+                )
+        # A rebuild resynchronizes the running sum to the exact scan.
+        objective.rebuild()
+        assert objective.running_value() == objective.value()
+
+    def test_pin_then_unpin_restores_state_exactly(self):
+        """q -> 1 -> q round-trips leave zero counts at their old values."""
+        rng = np.random.default_rng(7)
+        num_nodes = 12
+        hypergraph = random_hypergraph(rng, num_nodes, theta=80)
+        probs = rng.uniform(0.1, 0.9, size=num_nodes)
+        objective = HypergraphObjective(hypergraph, probs)
+        before_counts = objective._zero_count.copy()
+        for node in range(num_nodes):
+            objective.set_probability(node, 1.0)
+        assert objective.running_value() == pytest.approx(
+            hypergraph.num_nodes, abs=1e-9
+        )  # every edge covered: estimate saturates at n
+        for node in range(num_nodes):
+            objective.set_probability(node, float(probs[node]))
+        assert objective._zero_count.tolist() == before_counts.tolist()
+        fresh = HypergraphObjective(hypergraph, objective.probabilities)
+        assert objective.value() == pytest.approx(fresh.value(), abs=1e-9)
+
+
+class TestScanAccounting:
+    def test_running_value_never_scans(self):
+        rng = np.random.default_rng(3)
+        hypergraph = random_hypergraph(rng, 15, theta=100)
+        registry = MetricsRegistry()
+        with observe(metrics=registry):
+            objective = HypergraphObjective(
+                hypergraph, rng.uniform(0.0, 0.8, size=15)
+            )
+            for _ in range(10):
+                objective.running_value()
+        counters = registry.snapshot()["counters"]
+        # Exactly the constructor rebuild's scan — running_value adds none.
+        assert counters["objective.full_scans_total"] == 1
+
+    def test_value_scans_once_per_mutation_burst(self):
+        rng = np.random.default_rng(4)
+        hypergraph = random_hypergraph(rng, 15, theta=100)
+        registry = MetricsRegistry()
+        with observe(metrics=registry):
+            objective = HypergraphObjective(
+                hypergraph, rng.uniform(0.0, 0.8, size=15)
+            )
+            objective.set_probability(0, 0.5)
+            objective.set_probability(1, 0.25)
+            for _ in range(5):
+                objective.value()  # one scan, then cached
+        counters = registry.snapshot()["counters"]
+        assert counters["objective.full_scans_total"] == 2
+        assert counters["objective.incremental_updates_total"] == 2
