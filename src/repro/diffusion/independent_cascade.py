@@ -59,10 +59,10 @@ class IndependentCascade(DiffusionModel):
             lo, hi = offsets[u], offsets[u + 1]
             if lo == hi:
                 continue
-            # Graph edges are deduplicated at build time, so the slice has
-            # no repeated targets and the stamp mask needs no in-batch
-            # dedup.  Masking preserves slice order, and the coin flips are
-            # drawn before filtering — RNG consumption and BFS order are
+            # DiGraph's constructor rejects duplicate targets within a
+            # neighbor slice, so the stamp mask needs no in-batch dedup.
+            # Masking preserves slice order, and the coin flips are drawn
+            # before filtering — RNG consumption and BFS order are
             # identical to the historical per-neighbor loop.
             success = rng.random(hi - lo) < probs[lo:hi]
             fresh = targets[lo:hi][success]

@@ -82,6 +82,17 @@ class DiGraph:
             raise GraphError("out_targets/out_probs length must equal out_offsets[-1]")
         if num_edges and (out_targets.min() < 0 or out_targets.max() >= num_nodes):
             raise GraphError("edge target out of range")
+        if num_edges > 1:
+            # Every out-neighbor slice must be strictly increasing: sorted
+            # order backs has_edge's binary search, and uniqueness backs the
+            # vectorized cascade frontier (which stamps a whole neighbor
+            # batch at once and does no in-batch dedup).
+            slice_start = np.zeros(num_edges, dtype=bool)
+            slice_start[out_offsets[:-1][np.diff(out_offsets) > 0]] = True
+            if np.any((np.diff(out_targets) <= 0) & ~slice_start[1:]):
+                raise GraphError(
+                    "out-neighbor slices must be sorted with no duplicate targets"
+                )
         if num_edges and (np.any(out_probs < 0.0) or np.any(out_probs > 1.0) or np.any(np.isnan(out_probs))):
             raise GraphError("edge probabilities must lie in [0, 1]")
 

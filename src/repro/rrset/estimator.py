@@ -154,15 +154,16 @@ class HypergraphObjective:
         self._nonzero_prod = np.ones(hypergraph.num_hyperedges, dtype=np.float64)
 
         # Reduceat geometry, fixed by the immutable hyper-graph: segment
-        # start of each hyper-edge in the member stream (clipped so empty
-        # trailing segments stay in bounds) plus the empty-edge mask.
+        # starts of the *non-empty* hyper-edges in the member stream.  An
+        # empty edge's start (possibly == edge_nodes.size for a trailing
+        # one) must never reach reduceat — clipping it in-bounds would
+        # steal an element from the neighboring segment — so empty edges
+        # keep the neutral (0, 1.0) state and non-empty results are
+        # scattered back through the mask.
         sizes = np.diff(hypergraph.edge_offsets)
-        total = int(hypergraph.edge_nodes.size)
-        self._empty_edges = sizes == 0
-        self._any_empty = bool(self._empty_edges.any())
-        self._reduce_starts = (
-            np.minimum(hypergraph.edge_offsets[:-1], total - 1) if total else None
-        )
+        self._nonempty_edges = sizes > 0
+        self._any_empty = not bool(self._nonempty_edges.all())
+        self._reduce_starts = hypergraph.edge_offsets[:-1][self._nonempty_edges]
 
         self._covered_sum = 0.0
         self._scan_stale = False
@@ -198,14 +199,25 @@ class HypergraphObjective:
             member_zero = member_factors <= _ONE_TOLERANCE
             member_factors[member_zero] = 1.0
             starts = self._reduce_starts
-            self._zero_count[:] = np.add.reduceat(
-                member_zero.astype(np.int64), starts
-            )
-            self._nonzero_prod[:] = np.multiply.reduceat(member_factors, starts)
             if self._any_empty:
-                # reduceat returns a[start] for empty segments; reset them.
-                self._zero_count[self._empty_edges] = 0
-                self._nonzero_prod[self._empty_edges] = 1.0
+                # reduceat runs only over non-empty segment starts (strictly
+                # increasing, all in bounds); empty edges — including a
+                # trailing one whose offset equals the stream length — keep
+                # the neutral (0, 1.0) survival state.
+                nonempty = self._nonempty_edges
+                self._zero_count[:] = 0
+                self._nonzero_prod[:] = 1.0
+                self._zero_count[nonempty] = np.add.reduceat(
+                    member_zero.astype(np.int64), starts
+                )
+                self._nonzero_prod[nonempty] = np.multiply.reduceat(
+                    member_factors, starts
+                )
+            else:
+                self._zero_count[:] = np.add.reduceat(
+                    member_zero.astype(np.int64), starts
+                )
+                self._nonzero_prod[:] = np.multiply.reduceat(member_factors, starts)
         else:
             self._zero_count[:] = 0
             self._nonzero_prod[:] = 1.0
@@ -333,8 +345,10 @@ class HypergraphObjective:
 
         Pure hyper-graph topology, independent of the probability vector,
         so entries stay valid for the objective's lifetime; a reversed
-        pair reuses the forward entry with the groups swapped.  Do not
-        mutate the returned arrays.
+        pair reuses the forward entry with the groups swapped.  The
+        returned arrays are marked read-only — they back the cache (and
+        the reversed pair's entry), so a write would silently corrupt
+        every future ``pair_coefficients`` for the pair.
         """
         cache = self._topology_cache
         metrics = get_metrics()
@@ -352,6 +366,8 @@ class HypergraphObjective:
         shared = np.intersect1d(edges_i, edges_j, assume_unique=True)
         only_i = np.setdiff1d(edges_i, shared, assume_unique=True)
         only_j = np.setdiff1d(edges_j, shared, assume_unique=True)
+        for arr in (only_i, only_j, shared):
+            arr.flags.writeable = False
         if len(cache) >= self._topology_cache_limit:
             cache.clear()
             metrics.inc("objective.topology_cache_evictions_total")

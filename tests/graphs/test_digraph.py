@@ -50,6 +50,22 @@ class TestConstruction:
         with pytest.raises(GraphError):
             DiGraph(-1, np.array([0]), np.array([], dtype=np.int32), np.array([]))
 
+    def test_duplicate_targets_in_slice_rejected(self):
+        # The vectorized cascade frontier stamps a whole neighbor batch at
+        # once; a duplicated edge would activate a node twice.
+        with pytest.raises(GraphError, match="duplicate"):
+            DiGraph(3, np.array([0, 2, 2, 2]), np.array([1, 1]), np.array([0.5, 0.5]))
+
+    def test_unsorted_slice_rejected(self):
+        with pytest.raises(GraphError, match="sorted"):
+            DiGraph(3, np.array([0, 2, 2, 2]), np.array([2, 1]), np.array([0.5, 0.5]))
+
+    def test_equal_targets_across_slice_boundary_allowed(self):
+        # Nodes 0 and 1 both point at node 2: the boundary pair (2, 2) is
+        # fine — only within-slice order is constrained.
+        g = DiGraph(3, np.array([0, 1, 2, 2]), np.array([2, 2]), np.array([0.5, 0.5]))
+        assert g.has_edge(0, 2) and g.has_edge(1, 2)
+
 
 class TestAdjacency:
     def test_out_neighbors_sorted(self):

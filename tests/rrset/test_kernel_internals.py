@@ -112,6 +112,40 @@ class TestReduceatRebuild:
         assert np.array_equal(vec._nonzero_prod, ref._nonzero_prod)
         assert vec._zero_count[1] == 0 and vec._nonzero_prod[1] == 1.0
 
+    def test_trailing_empty_segment_does_not_steal_from_last_edge(self):
+        # A trailing empty edge has offset == edge_nodes.size; it must not
+        # shorten the preceding edge's segment (clipping the start in
+        # bounds would drop that edge's final member factor).
+        hypergraph = RRHypergraph(
+            3, [np.asarray([0, 1, 2]), np.asarray([], dtype=np.int32)]
+        )
+        probs = np.asarray([0.3, 0.5, 0.2])
+        vec = HypergraphObjective(hypergraph, probs)
+        ref = ReferenceObjective(hypergraph, probs)
+        assert np.array_equal(vec._zero_count, ref._zero_count)
+        assert np.array_equal(vec._nonzero_prod, ref._nonzero_prod)
+        assert vec._zero_count[1] == 0 and vec._nonzero_prod[1] == 1.0
+        assert vec.value() == ref.value()
+
+    def test_leading_and_consecutive_empty_segments(self):
+        hypergraph = RRHypergraph(
+            4,
+            [
+                np.asarray([], dtype=np.int32),
+                np.asarray([0, 3]),
+                np.asarray([], dtype=np.int32),
+                np.asarray([], dtype=np.int32),
+                np.asarray([1, 2]),
+                np.asarray([], dtype=np.int32),
+            ],
+        )
+        probs = np.asarray([0.3, 1.0, 0.5, 0.25])
+        vec = HypergraphObjective(hypergraph, probs)
+        ref = ReferenceObjective(hypergraph, probs)
+        assert np.array_equal(vec._zero_count, ref._zero_count)
+        assert np.array_equal(vec._nonzero_prod, ref._nonzero_prod)
+        assert vec.value() == ref.value()
+
 
 class TestPairTopologyCache:
     def test_splits_match_uncached_set_ops(self, random_instance):
@@ -150,6 +184,19 @@ class TestPairTopologyCache:
         assert np.array_equal(r_only_i, only_j)
         assert np.array_equal(r_only_j, only_i)
         assert np.array_equal(r_shared, shared)
+
+    def test_returned_arrays_are_read_only(self, random_instance):
+        # The arrays back the cache (and the reversed pair's entry); a
+        # caller write must raise instead of corrupting future lookups.
+        num_nodes, _, hypergraph = random_instance
+        objective = HypergraphObjective(hypergraph, np.full(num_nodes, 0.3))
+        for arr in objective.pair_topology(2, 9):
+            assert not arr.flags.writeable
+            if arr.size:
+                with pytest.raises(ValueError):
+                    arr[0] = -1
+        for arr in objective.pair_topology(9, 2):
+            assert not arr.flags.writeable
 
 
 class TestHoistedValueScan:
