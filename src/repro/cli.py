@@ -115,6 +115,20 @@ def build_parser() -> argparse.ArgumentParser:
     slv.add_argument("--linear", type=float, default=0.10)
     slv.add_argument("--insensitive", type=float, default=0.05)
     slv.add_argument("--hyperedges", type=int, default=None)
+    slv.add_argument(
+        "--rr-sets",
+        default=None,
+        metavar="N|auto",
+        help="hyper-edge count: an integer for a fixed-size build, or "
+        "'auto' for adaptive doubling that stops once the estimate is "
+        "certified (overrides --hyperedges)",
+    )
+    slv.add_argument(
+        "--rr-epsilon",
+        type=float,
+        default=0.05,
+        help="relative-error target of the --rr-sets auto certificate",
+    )
     slv.add_argument("--diffusion", choices=("ic", "lt"), default="ic")
     slv.add_argument("--undirected", action="store_true")
     slv.add_argument("--seed", type=int, default=None)
@@ -255,13 +269,26 @@ def _cmd_solve(args) -> int:
     model = _build_model(graph, args.diffusion)
     population = _build_population(graph.num_nodes, args)
     problem = CIMProblem(model, population, budget=args.budget)
+    num_hyperedges = args.hyperedges
+    options = {}
+    if args.rr_sets is not None:
+        if args.rr_sets == "auto":
+            num_hyperedges = "auto"
+            options["adaptive"] = {"epsilon": args.rr_epsilon}
+        else:
+            try:
+                num_hyperedges = int(args.rr_sets)
+            except ValueError:
+                print(f"--rr-sets must be an integer or 'auto', got {args.rr_sets!r}")
+                return 2
     result = solve(
         problem,
         args.method,
-        num_hyperedges=args.hyperedges,
+        num_hyperedges=num_hyperedges,
         seed=args.seed,
         deadline=args.deadline,
         workers=args.workers,
+        **options,
     )
     support = result.configuration.support
     partial = " [PARTIAL: deadline hit]" if result.extras.get("partial") else ""
@@ -270,6 +297,14 @@ def _cmd_solve(args) -> int:
         f"{support.size} users targeted, spend {result.cost:.3f} / {args.budget:g}"
         f"{partial}"
     )
+    adaptive = result.extras.get("adaptive")
+    if adaptive:
+        print(
+            f"adaptive sampling: theta {adaptive['theta']}, "
+            f"stopped on {adaptive['stop_reason']} "
+            f"(epsilon bound {adaptive['epsilon_bound']:.3f}, "
+            f"{len(adaptive['stages'])} stages)"
+        )
     if args.output:
         save_solve_result(result, args.output)
         print(f"plan saved to {args.output}")

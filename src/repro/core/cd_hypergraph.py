@@ -21,6 +21,7 @@ problem.
 
 from __future__ import annotations
 
+import heapq
 import itertools
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
@@ -81,10 +82,12 @@ def _gradient_ordered_pairs(
     half = order.size // 2
     high, low = order[:half], order[half:][::-1]
     pairs = [(int(a), int(b)) for a, b in zip(high, low) if a != b]
-    # Cover leftovers (odd counts) by pairing adjacent ranks.
+    # Cover leftovers (odd counts) by pairing disjoint adjacent ranks — a
+    # coordinate must not appear in two pairs of the same round, or the
+    # second step re-optimizes a stale axis.
     paired = {node for pair in pairs for node in pair}
     rest = [int(u) for u in order if int(u) not in paired]
-    pairs.extend(zip(rest, rest[1:]))
+    pairs.extend(zip(rest[::2], rest[1::2]))
     return pairs
 
 
@@ -100,6 +103,7 @@ def coordinate_descent_hypergraph(
     pair_strategy: str = "cyclic",
     deadline: DeadlineLike = None,
     kernel: str = "vectorized",
+    objective: Optional[HypergraphObjective] = None,
 ) -> HypergraphCDResult:
     """Run CD over the Eq.-14 hyper-graph objective.
 
@@ -121,7 +125,15 @@ def coordinate_descent_hypergraph(
         ``"cyclic"`` — every pair, every round (the paper's experiment
         setting); ``"gradient"`` — the paper's future-work heuristic
         pairing large-derivative coordinates with small-derivative ones,
-        visiting only O(|support|) pairs per round.
+        visiting only O(|support|) pairs per round; ``"lazy"`` — CELF-style
+        scheduling over the cyclic pair set: each pair carries a stale
+        upper bound on its achievable gain (its last measured gain —
+        pair steps are deterministic and round gains shrink monotonically,
+        the Theorem-7 regime), pairs are visited in decreasing-bound
+        order from a max-heap, bounds of pairs sharing a coordinate with
+        an applied update are invalidated, and a round stops as soon as
+        the best remaining bound falls below ``tolerance`` — skipping the
+        long tail of pairs that cannot improve the incumbent.
     deadline:
         Optional run budget, polled at every pair boundary; on expiry the
         feasible incumbent is returned with ``deadline_expired=True``
@@ -134,6 +146,13 @@ def coordinate_descent_hypergraph(
         :class:`~repro.rrset.reference.ReferenceObjective`, kept for
         bit-exact regression pinning and benchmark baselines.  Both
         kernels produce identical ``round_values`` and configurations.
+    objective:
+        Optional pre-built :class:`~repro.rrset.estimator.HypergraphObjective`
+        over ``hypergraph`` to reuse instead of constructing a fresh one —
+        the adaptive driver's warm start, which saves the O(members)
+        survival rebuild between doubling stages.  Requires the
+        ``"vectorized"`` kernel; its probabilities are reset to match
+        ``initial`` unless they already do bit-for-bit.
     """
     budget_clock = as_deadline(deadline)
     initial.require_feasible(problem.budget)
@@ -153,7 +172,18 @@ def coordinate_descent_hypergraph(
     timings = TimingBreakdown()
     population = problem.population
     discounts = initial.discounts.copy()
-    objective = objective_cls(hypergraph, population.probabilities(discounts))
+    if objective is not None:
+        if kernel != "vectorized":
+            raise SolverError("a reusable objective requires the vectorized kernel")
+        if objective.hypergraph is not hypergraph:
+            raise SolverError(
+                "the reusable objective is bound to a different hyper-graph"
+            )
+        wanted = population.probabilities(discounts)
+        if not np.array_equal(objective.probabilities, wanted):
+            objective.set_probabilities(wanted)
+    else:
+        objective = objective_cls(hypergraph, population.probabilities(discounts))
     current_value = objective.value()
     round_values = [current_value]
 
@@ -173,15 +203,23 @@ def coordinate_descent_hypergraph(
             timings=timings,
         )
 
-    if pair_strategy not in ("cyclic", "gradient"):
+    if pair_strategy not in ("cyclic", "gradient", "lazy"):
         raise SolverError(f"unknown pair strategy {pair_strategy!r}")
 
     # The cyclic schedule is a pure function of the (immutable) coordinate
     # set — materialize it once instead of re-enumerating every round.
+    # The lazy scheduler draws from the same pair universe, reordered.
     cyclic_pairs = (
         list(itertools.combinations(coords.tolist(), 2))
-        if pair_strategy == "cyclic"
+        if pair_strategy in ("cyclic", "lazy")
         else None
+    )
+    # Lazy state: per-pair stale gain upper bound.  +inf = never measured
+    # (or invalidated by a neighbouring update), so round 1 visits every
+    # pair in the heap's (bound, i, j) order — lexicographic, matching the
+    # cyclic schedule exactly.
+    lazy_bounds = (
+        {pair: np.inf for pair in cyclic_pairs} if pair_strategy == "lazy" else None
     )
 
     pair_updates = 0
@@ -189,6 +227,53 @@ def coordinate_descent_hypergraph(
     converged = False
     expired = False
     polls = 0
+    pair_evals = 0
+    lazy_skips = 0
+
+    def step_pair(i: int, j: int) -> float:
+        """Grid + golden-section line search on the (c_i, c_j) pair.
+
+        Returns the *measured potential gain* (best value on the segment
+        minus the incumbent); applies the move only when it clears the
+        tolerance.  This is the unit of work every strategy counts as one
+        pair evaluation.
+        """
+        nonlocal current_value, pair_updates, pair_evals
+        pair_evals += 1
+        c_i, c_j = float(discounts[i]), float(discounts[j])
+        cand_i, cand_j, _ = pair_grid_candidates(c_i, c_j, grid_step)
+        coefficients = objective.pair_coefficients(i, j)
+        curve_i, curve_j = population.curve(i), population.curve(j)
+        q_i = np.asarray(curve_i(cand_i), dtype=np.float64)
+        q_j = np.asarray(curve_j(cand_j), dtype=np.float64)
+        values = coefficients.value_vectorized(q_i, q_j)
+        best_index = int(np.argmax(values))
+        best_c_i = float(cand_i[best_index])
+        best_value = float(values[best_index])
+
+        if refine_iterations > 0 and cand_i.size > 2:
+            best_c_i, best_value = _golden_refine(
+                coefficients,
+                curve_i,
+                curve_j,
+                pair_budget=c_i + c_j,
+                center=best_c_i,
+                width=grid_step,
+                iterations=refine_iterations,
+                fallback=(best_c_i, best_value),
+            )
+
+        gain = best_value - current_value
+        if gain > tolerance:
+            best_c_j = (c_i + c_j) - best_c_i
+            discounts[i] = best_c_i
+            discounts[j] = best_c_j
+            objective.set_probability(i, float(curve_i(best_c_i)))
+            objective.set_probability(j, float(curve_j(best_c_j)))
+            current_value = objective.value()
+            pair_updates += 1
+        return gain
+
     with tracer.span(
         "solver.cd",
         engine="hypergraph",
@@ -200,48 +285,45 @@ def coordinate_descent_hypergraph(
         for _ in range(max_rounds):
             rounds_run += 1
             round_start_value = current_value
-            if pair_strategy == "gradient":
-                round_pairs = _gradient_ordered_pairs(
-                    objective, population, discounts, coords
-                )
+            if pair_strategy == "lazy":
+                # Pairs in decreasing order of their stale gain bound; ties
+                # (notably the initial all-+inf round) fall back to (i, j)
+                # order, so round 1 replays the cyclic schedule exactly.
+                heap = [(-lazy_bounds[pair], pair) for pair in cyclic_pairs]
+                heapq.heapify(heap)
+                while heap:
+                    neg_bound, pair = heapq.heappop(heap)
+                    if -neg_bound <= tolerance:
+                        # Every remaining bound is no larger — the whole
+                        # tail is certified unable to beat the tolerance.
+                        lazy_skips += len(heap) + 1
+                        break
+                    polls += 1
+                    if budget_clock.expired():
+                        expired = True
+                        break
+                    i, j = pair
+                    gain = step_pair(i, j)
+                    lazy_bounds[pair] = gain
+                    if gain > tolerance:
+                        # The applied move changed c_i/c_j: any bound that
+                        # was measured against the old values is void.
+                        for other in cyclic_pairs:
+                            if other is not pair and (i in other or j in other):
+                                lazy_bounds[other] = np.inf
             else:
-                round_pairs = cyclic_pairs
-            for i, j in round_pairs:
-                polls += 1
-                if budget_clock.expired():
-                    expired = True
-                    break
-                c_i, c_j = float(discounts[i]), float(discounts[j])
-                cand_i, cand_j, _ = pair_grid_candidates(c_i, c_j, grid_step)
-                coefficients = objective.pair_coefficients(i, j)
-                curve_i, curve_j = population.curve(i), population.curve(j)
-                q_i = np.asarray(curve_i(cand_i), dtype=np.float64)
-                q_j = np.asarray(curve_j(cand_j), dtype=np.float64)
-                values = coefficients.value_vectorized(q_i, q_j)
-                best_index = int(np.argmax(values))
-                best_c_i = float(cand_i[best_index])
-                best_value = float(values[best_index])
-
-                if refine_iterations > 0 and cand_i.size > 2:
-                    best_c_i, best_value = _golden_refine(
-                        coefficients,
-                        curve_i,
-                        curve_j,
-                        pair_budget=c_i + c_j,
-                        center=best_c_i,
-                        width=grid_step,
-                        iterations=refine_iterations,
-                        fallback=(best_c_i, best_value),
+                if pair_strategy == "gradient":
+                    round_pairs = _gradient_ordered_pairs(
+                        objective, population, discounts, coords
                     )
-
-                if best_value > current_value + tolerance:
-                    best_c_j = (c_i + c_j) - best_c_i
-                    discounts[i] = best_c_i
-                    discounts[j] = best_c_j
-                    objective.set_probability(i, float(curve_i(best_c_i)))
-                    objective.set_probability(j, float(curve_j(best_c_j)))
-                    current_value = objective.value()
-                    pair_updates += 1
+                else:
+                    round_pairs = cyclic_pairs
+                for i, j in round_pairs:
+                    polls += 1
+                    if budget_clock.expired():
+                        expired = True
+                        break
+                    step_pair(i, j)
             round_values.append(current_value)
             span.event(
                 "round",
@@ -261,6 +343,7 @@ def coordinate_descent_hypergraph(
         span.set(
             rounds_run=rounds_run,
             pair_updates=pair_updates,
+            pair_evals=pair_evals,
             converged=converged,
             truncated=expired,
             objective_value=float(current_value),
@@ -268,7 +351,11 @@ def coordinate_descent_hypergraph(
         metrics.inc("cd.runs_total")
         metrics.inc("cd.rounds_total", rounds_run)
         metrics.inc("cd.pair_updates_total", pair_updates)
+        metrics.inc("cd.pair_evals_total", pair_evals)
         metrics.inc("cd.deadline_polls_total", polls)
+        if pair_strategy == "lazy":
+            span.set(lazy_skips=lazy_skips)
+            metrics.inc("cd.lazy_pair_skips_total", lazy_skips)
         if expired:
             metrics.inc("cd.deadline_expired_total")
 

@@ -9,7 +9,7 @@ budget ``B``.  Solvers in :mod:`repro.core.solvers` consume instances of
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Union
 
 from repro.core.configuration import Configuration
 from repro.core.population import CurvePopulation
@@ -125,16 +125,44 @@ class CIMProblem:
 
     def build_hypergraph(
         self,
-        num_hyperedges: Optional[int] = None,
+        num_hyperedges: Union[int, str, None] = None,
         seed: SeedLike = None,
         deadline: "DeadlineLike" = None,
         workers: Optional[int] = None,
+        **adaptive_options,
     ) -> RRHypergraph:
         """Build the random hyper-graph shared by the Section-8 solvers.
+
+        ``num_hyperedges`` may be an explicit count, ``None`` (the
+        ``O(n log n)`` default of Section 8), or ``"auto"`` — the adaptive
+        doubling driver of :func:`repro.rrset.adaptive.adaptive_hypergraph`,
+        which samples in instalments and stops once the incumbent UI(C)
+        estimate is certified; extra keyword arguments (``epsilon``,
+        ``max_theta``, ...) are forwarded to it, and are rejected for the
+        fixed-θ paths.
 
         ``deadline`` bounds construction time and ``workers`` parallelizes
         it; see :meth:`repro.rrset.hypergraph.RRHypergraph.build`.
         """
+        if num_hyperedges == "auto":
+            from repro.rrset.adaptive import adaptive_hypergraph
+
+            return adaptive_hypergraph(
+                self,
+                seed=seed,
+                deadline=deadline,
+                workers=workers,
+                **adaptive_options,
+            ).hypergraph
+        if isinstance(num_hyperedges, str):
+            raise ConfigurationError(
+                f"num_hyperedges must be an int, None or 'auto', got {num_hyperedges!r}"
+            )
+        if adaptive_options:
+            raise ConfigurationError(
+                "adaptive options "
+                f"{sorted(adaptive_options)} require num_hyperedges='auto'"
+            )
         theta = (
             num_hyperedges
             if num_hyperedges is not None

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Union
 
 import numpy as np
 
@@ -239,7 +239,7 @@ def solve(
     problem: CIMProblem,
     method: str = "cd",
     hypergraph: Optional[RRHypergraph] = None,
-    num_hyperedges: Optional[int] = None,
+    num_hyperedges: Union[int, str, None] = None,
     seed: SeedLike = None,
     deadline: DeadlineLike = None,
     workers: Optional[int] = None,
@@ -258,7 +258,17 @@ def solve(
         one is built (and its build time recorded in the ``hypergraph``
         timing phase — the decomposition of Figure 6).
     num_hyperedges / seed:
-        Hyper-graph size and RNG seed when building here.
+        Hyper-graph size and RNG seed when building here.  ``"auto"``
+        runs the adaptive doubling driver
+        (:func:`repro.rrset.adaptive.adaptive_hypergraph`) instead of a
+        fixed-θ build: sampling stops once the incumbent UI(C) estimate
+        is certified.  Driver knobs travel in ``options["adaptive"]``
+        (a dict of ``epsilon``, ``max_theta``, ``checkpoint_dir``, ...).
+        For ``method="cd"`` the driver's own warm-started descent *is*
+        the solve — its certified configuration is returned directly,
+        with the doubling trace in ``extras["adaptive"]``; other methods
+        run normally on the adaptively-sized hyper-graph.  Incompatible
+        with a prebuilt ``hypergraph``.
     deadline:
         Optional wall-clock budget for the *whole* run (seconds or a
         shared :class:`~repro.runtime.Deadline`): hyper-graph construction
@@ -285,15 +295,36 @@ def solve(
     run_budget: Deadline = as_deadline(deadline)
     options = dict(options)
     options.setdefault("deadline", run_budget)
+    adaptive_options = dict(options.pop("adaptive", None) or {})
+    if num_hyperedges == "auto" and hypergraph is not None:
+        raise SolverError(
+            "num_hyperedges='auto' cannot be combined with a prebuilt hypergraph"
+        )
+    if adaptive_options and num_hyperedges != "auto":
+        raise SolverError("options['adaptive'] requires num_hyperedges='auto'")
 
     timings = TimingBreakdown()
+    adaptive_result = None
     hypergraph_truncated = False
     # Metrics for this call land in a private registry so the
     # extras["metrics"] snapshot depends only on this run, then merge
     # into whatever registry the caller installed (see repro.obs).
     run_metrics = MetricsRegistry()
     with observe(metrics=run_metrics), get_tracer().span("solve", method=method) as span:
-        if hypergraph is None:
+        if hypergraph is None and num_hyperedges == "auto":
+            from repro.rrset.adaptive import adaptive_hypergraph
+
+            with timings.phase("hypergraph"):
+                adaptive_result = adaptive_hypergraph(
+                    problem,
+                    seed=seed,
+                    deadline=run_budget,
+                    workers=workers,
+                    **adaptive_options,
+                )
+            hypergraph = adaptive_result.hypergraph
+            hypergraph_truncated = adaptive_result.stop_reason == "deadline"
+        elif hypergraph is None:
             requested = (
                 num_hyperedges
                 if num_hyperedges is not None
@@ -316,7 +347,31 @@ def solve(
                 # computed on it.
                 hypergraph_truncated = hypergraph.num_hyperedges < num_hyperedges
         with timings.phase(method):
-            configuration, extras = solver(problem, hypergraph, seed, options)
+            if adaptive_result is not None and method == "cd":
+                # The driver already alternated UD warm-start with CD at
+                # every doubling — its incumbent IS the CD solution on the
+                # final hyper-graph; re-running would duplicate the work.
+                configuration = adaptive_result.configuration
+                extras = {"warm_start": "ud"}
+                cd_inner = adaptive_result.cd_result
+                if cd_inner is not None:
+                    extras.update(
+                        rounds_run=cd_inner.rounds_run,
+                        pair_updates=cd_inner.pair_updates,
+                        round_values=cd_inner.round_values,
+                        converged=cd_inner.converged,
+                    )
+                extras["deadline_expired"] = adaptive_result.stop_reason == "deadline"
+            else:
+                configuration, extras = solver(problem, hypergraph, seed, options)
+        if adaptive_result is not None:
+            extras["adaptive"] = {
+                "stop_reason": adaptive_result.stop_reason,
+                "theta": adaptive_result.theta,
+                "epsilon_bound": adaptive_result.epsilon_bound,
+                "stages": adaptive_result.stages,
+                "checkpoint_hits": adaptive_result.checkpoint_hits,
+            }
 
         configuration.require_feasible(problem.budget)
         oracle = HypergraphOracle(hypergraph, problem.population)

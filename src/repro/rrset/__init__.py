@@ -11,6 +11,14 @@ from repro.rrset.sample_size import (
 )
 from repro.rrset.sampler import sample_rr_sets
 
+# Imported last: the adaptive driver reaches into repro.core at call time.
+from repro.rrset.adaptive import (
+    AdaptiveResult,
+    adaptive_hypergraph,
+    relative_error_bound,
+    theta_schedule,
+)
+
 __all__ = [
     "sample_rr_sets",
     "RRHypergraph",
@@ -22,4 +30,8 @@ __all__ = [
     "epsilon_for_theta",
     "theta_for_epsilon",
     "approximation_lower_bound",
+    "AdaptiveResult",
+    "adaptive_hypergraph",
+    "relative_error_bound",
+    "theta_schedule",
 ]

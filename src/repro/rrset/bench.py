@@ -11,6 +11,20 @@ the record to ``BENCH_cd.json``.  Run it as a module::
     PYTHONPATH=src python -m repro.rrset.bench --out BENCH_cd.json
     PYTHONPATH=src python -m repro.rrset.bench --smoke   # tiny CI mode
 
+``--adaptive`` switches to the end-to-end adaptive-sampling benchmark
+instead: a fixed-θ UD+CD pipeline races the doubling driver of
+:mod:`repro.rrset.adaptive` on the same instance and seed plan, recording
+wall-clock, final θ, the certified error bound, the quality gap at the
+certificate, worker-count bit-identity, and the ``adaptive.*`` /
+``cd.*`` op counters (stop reason included).  The record lands in
+``BENCH_adaptive.json``; both reports share the same top-level
+``summary`` block (benchmark name, ok flag, baseline/candidate seconds,
+speedup, named boolean checks) so per-PR trajectories are
+machine-comparable::
+
+    PYTHONPATH=src python -m repro.rrset.bench --adaptive
+    PYTHONPATH=src python -m repro.rrset.bench --adaptive --smoke
+
 ``docs/performance.md`` documents the JSON schema and how to interpret
 the numbers; ``benchmarks/test_cd_kernel.py`` wraps the same functions in
 the pytest-benchmark harness.
@@ -52,12 +66,14 @@ __all__ = [
     "SCHEMA",
     "build_cd_workload",
     "run_kernel_benchmark",
+    "run_adaptive_benchmark",
     "write_report",
     "format_report",
+    "format_adaptive_report",
     "main",
 ]
 
-SCHEMA = "repro.rrset.bench/1"
+SCHEMA = "repro.rrset.bench/2"
 
 #: Default benchmark shape: theta large enough that an O(theta) scan
 #: dominates a pair step (the regression this harness exists to catch);
@@ -77,6 +93,30 @@ _COUNTER_KEYS = (
     "objective.topology_cache_hits_total",
     "objective.topology_cache_misses_total",
 )
+
+
+def _summary(
+    benchmark: str,
+    baseline_seconds: float,
+    candidate_seconds: float,
+    checks: Dict[str, bool],
+) -> Dict:
+    """The shared top-level ``summary`` block of every bench report.
+
+    One schema across ``BENCH_cd.json`` and ``BENCH_adaptive.json``:
+    ``baseline_seconds`` is the pre-change/fixed path, ``candidate_seconds``
+    the optimized path, ``speedup`` their ratio, and ``checks`` the named
+    correctness booleans whose conjunction is ``ok`` — so a dashboard can
+    diff per-PR trajectories without knowing either benchmark's internals.
+    """
+    return {
+        "benchmark": benchmark,
+        "ok": all(checks.values()),
+        "baseline_seconds": baseline_seconds,
+        "candidate_seconds": candidate_seconds,
+        "speedup": baseline_seconds / max(candidate_seconds, 1e-12),
+        "checks": dict(checks),
+    }
 
 
 def _digest_rr(rr_sets: Sequence[np.ndarray]) -> str:
@@ -301,8 +341,26 @@ def run_kernel_benchmark(
         "configuration_identical": config_identical,
     }
 
+    checks = {
+        "csr_build_identical": bool(results["csr_build"]["identical"]),
+        "coverage_identical": bool(results["coverage"]["identical"]),
+        "rebuild_identical": bool(results["rebuild"]["identical"]),
+        "pair_coefficients_identical": bool(
+            results["pair_step"]["coefficients_identical"]
+        ),
+        "round_values_identical": bool(round_values_identical),
+        "configuration_identical": bool(config_identical),
+        "rr_identical": bool(determinism["rr_identical"]),
+        "scan_guard_ok": bool(op_counts["scan_guard_ok"]),
+    }
     return {
         "schema": SCHEMA,
+        "summary": _summary(
+            "cd-kernels",
+            baseline_seconds=cd_rows["reference"]["seconds"],
+            candidate_seconds=cd_rows["vectorized"]["seconds"],
+            checks=checks,
+        ),
         "config": {
             "nodes": nodes,
             "edge_prob": edge_prob,
@@ -323,6 +381,193 @@ def run_kernel_benchmark(
         "op_counts": op_counts,
         "determinism": determinism,
     }
+
+
+#: Adaptive-run counters surfaced in ``BENCH_adaptive.json``.
+_ADAPTIVE_COUNTER_KEYS = (
+    "adaptive.stages_total",
+    "adaptive.sampled_hyperedges_total",
+    "adaptive.stop_certified_total",
+    "adaptive.stop_stable_total",
+    "adaptive.stop_max_theta_total",
+    "adaptive.stop_deadline_total",
+    "adaptive.checkpoint_hits_total",
+    "hypergraph.extends_total",
+    "objective.extends_total",
+    "cd.pair_evals_total",
+    "cd.lazy_pair_skips_total",
+    "rrset.sampled_total",
+)
+
+
+def run_adaptive_benchmark(
+    nodes: int,
+    edge_prob: float,
+    rr_sets: int,
+    budget: float,
+    support: int,
+    epsilon: float = 0.05,
+    workers: Sequence[int] = DEFAULT_WORKERS,
+    seed: int = SEED,
+    max_rounds: int = 10,
+    **_ignored,
+) -> Dict:
+    """Race the fixed-θ UD+CD pipeline against the adaptive doubling driver.
+
+    Both paths solve the same instance from the same seed plan — the
+    adaptive run's hyper-graph is a bit-identical *prefix* of the fixed
+    run's (chunk-aligned instalments over the same child streams).  The
+    report records end-to-end wall-clock for each, the final θ the driver
+    certified at, the relative quality gap against the fixed result, a
+    worker-count bit-identity cross-check, and the ``adaptive.*`` /
+    ``cd.*`` op counters including the stop reason.  ``rr_sets`` plays the
+    role of the fixed θ and the driver's ``max_theta`` cap.
+    """
+    from repro.core.unified_discount import unified_discount
+    from repro.rrset.adaptive import adaptive_hypergraph
+
+    graph = assign_weighted_cascade(erdos_renyi(nodes, edge_prob, seed=seed), alpha=1.0)
+    population = paper_mixture(nodes, seed=seed + 1)
+    problem = CIMProblem(IndependentCascade(graph), population, budget=budget)
+
+    # -- fixed-θ baseline: one-shot sampling, UD warm start, cyclic CD --
+    start = time.perf_counter()
+    rr_list = sample_rr_sets(problem.model, rr_sets, seed=seed + 2, workers=1)
+    hypergraph = RRHypergraph(nodes, rr_list)
+    ud = unified_discount(problem, hypergraph)
+    fixed_cd = coordinate_descent_hypergraph(
+        problem, hypergraph, ud.configuration, max_rounds=max_rounds
+    )
+    fixed_seconds = time.perf_counter() - start
+    fixed_value = float(fixed_cd.objective_value)
+
+    # -- adaptive driver, op-counted ------------------------------------
+    registry = MetricsRegistry()
+    with observe(metrics=registry):
+        start = time.perf_counter()
+        adaptive = adaptive_hypergraph(
+            problem,
+            seed=seed + 2,
+            epsilon=epsilon,
+            max_theta=rr_sets,
+            cd_max_rounds=max_rounds,
+            workers=1,
+        )
+        adaptive_seconds = time.perf_counter() - start
+    counters = registry.snapshot()["counters"]
+    op_counts = {key: counters.get(key, 0) for key in _ADAPTIVE_COUNTER_KEYS}
+
+    # -- worker-count bit-identity of the whole driver ------------------
+    digests = []
+    for count in workers:
+        run = adaptive_hypergraph(
+            problem,
+            seed=seed + 2,
+            epsilon=epsilon,
+            max_theta=rr_sets,
+            cd_max_rounds=max_rounds,
+            workers=count,
+        )
+        hasher = hashlib.sha256()
+        hasher.update(run.configuration.discounts.tobytes())
+        hasher.update(np.float64(run.objective_value).tobytes())
+        hasher.update(np.int64(run.theta).tobytes())
+        digests.append(hasher.hexdigest())
+    determinism = {
+        "workers": list(workers),
+        "digest": digests[0],
+        "identical": len(set(digests)) == 1,
+    }
+
+    gap = abs(adaptive.objective_value - fixed_value) / max(abs(fixed_value), 1e-12)
+    certified = max(float(adaptive.epsilon_bound), float(epsilon))
+    results = {
+        "fixed": {
+            "seconds": fixed_seconds,
+            "theta": int(hypergraph.num_hyperedges),
+            "objective_value": fixed_value,
+            "rounds_run": int(fixed_cd.rounds_run),
+        },
+        "adaptive": {
+            "seconds": adaptive_seconds,
+            "theta": int(adaptive.theta),
+            "objective_value": float(adaptive.objective_value),
+            "epsilon_bound": float(adaptive.epsilon_bound),
+            "stop_reason": adaptive.stop_reason,
+            "stages": adaptive.stages,
+        },
+        "quality": {
+            "relative_gap": gap,
+            "certified_epsilon": certified,
+            "within_certified": bool(gap <= certified),
+        },
+        "theta_saved": int(hypergraph.num_hyperedges - adaptive.theta),
+    }
+    checks = {
+        "within_certified": results["quality"]["within_certified"],
+        "fewer_hyperedges": adaptive.theta <= hypergraph.num_hyperedges,
+        "workers_identical": determinism["identical"],
+    }
+    return {
+        "schema": SCHEMA,
+        "summary": _summary(
+            "adaptive-sampling",
+            baseline_seconds=fixed_seconds,
+            candidate_seconds=adaptive_seconds,
+            checks=checks,
+        ),
+        "config": {
+            "nodes": nodes,
+            "edge_prob": edge_prob,
+            "rr_sets": rr_sets,
+            "budget": budget,
+            "support": support,
+            "epsilon": epsilon,
+            "max_rounds": max_rounds,
+            "seed": seed,
+            "workers": list(workers),
+        },
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "results": results,
+        "op_counts": op_counts,
+        "determinism": determinism,
+    }
+
+
+def format_adaptive_report(report: Dict) -> str:
+    """Human-readable view of an adaptive-sampling benchmark payload."""
+    cfg = report["config"]
+    res = report["results"]
+    summary = report["summary"]
+    fixed, adaptive = res["fixed"], res["adaptive"]
+    lines = [
+        f"adaptive sampling — n={cfg['nodes']} p={cfg['edge_prob']:g} "
+        f"max_theta={cfg['rr_sets']} epsilon={cfg['epsilon']:g} "
+        f"(cpus={report['machine']['cpu_count']})",
+        f"{'path':>10s} {'seconds':>9s} {'theta':>8s} {'objective':>12s}",
+        f"{'fixed':>10s} {fixed['seconds']:8.3f}s {fixed['theta']:8d} "
+        f"{fixed['objective_value']:12.4f}",
+        f"{'adaptive':>10s} {adaptive['seconds']:8.3f}s {adaptive['theta']:8d} "
+        f"{adaptive['objective_value']:12.4f}",
+        "stop=%s after %d stages, certified eps=%.4f, gap=%.5f (%s), "
+        "theta saved=%d, speedup=%.2fx"
+        % (
+            adaptive["stop_reason"],
+            len(adaptive["stages"]),
+            adaptive["epsilon_bound"],
+            res["quality"]["relative_gap"],
+            "within certificate" if res["quality"]["within_certified"] else "OUTSIDE",
+            res["theta_saved"],
+            summary["speedup"],
+        ),
+        "determinism: workers=%s identical=%s"
+        % (report["determinism"]["workers"], report["determinism"]["identical"]),
+    ]
+    return "\n".join(lines)
 
 
 def write_report(report: Dict, path: str) -> None:
@@ -384,6 +629,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="tiny graph / few RR sets: a CI-speed sanity run",
     )
+    parser.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="benchmark fixed-theta vs adaptive sampling instead of the "
+        "CD kernels; writes BENCH_adaptive.json by default",
+    )
+    parser.add_argument(
+        "--epsilon",
+        type=float,
+        default=None,
+        help="certificate target for --adaptive (default 0.05 full, "
+        "0.15 smoke)",
+    )
     parser.add_argument("--nodes", type=int, default=None)
     parser.add_argument("--edge-prob", type=float, default=None)
     parser.add_argument("--rr-sets", type=int, default=None)
@@ -405,9 +663,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--seed", type=int, default=SEED)
     parser.add_argument(
         "--out",
-        default="BENCH_cd.json",
+        default=None,
         metavar="PATH",
-        help="where to write the JSON report (default %(default)s)",
+        help="where to write the JSON report (default BENCH_cd.json, or "
+        "BENCH_adaptive.json with --adaptive)",
     )
     args = parser.parse_args(argv)
 
@@ -423,33 +682,33 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             shape[key] = value
     workers = tuple(int(w) for w in str(args.workers).split(",") if w.strip())
 
-    report = run_kernel_benchmark(
-        workers=workers,
-        repeats=1 if args.smoke else args.repeats,
-        max_rounds=args.max_rounds,
-        seed=args.seed,
-        **shape,
-    )
-    write_report(report, args.out)
-    print(format_report(report))
-    print(f"wrote {args.out}")
-    ok = (
-        report["determinism"]["rr_identical"]
-        and report["determinism"]["round_values_identical"]
-        and report["determinism"]["configuration_identical"]
-        and report["op_counts"]["scan_guard_ok"]
-        and all(
-            report["results"][name][check]
-            for name, check in (
-                ("csr_build", "identical"),
-                ("coverage", "identical"),
-                ("rebuild", "identical"),
-                ("pair_step", "coefficients_identical"),
-            )
+    if args.adaptive:
+        epsilon = args.epsilon if args.epsilon is not None else (0.15 if args.smoke else 0.05)
+        out = args.out or "BENCH_adaptive.json"
+        report = run_adaptive_benchmark(
+            workers=workers,
+            epsilon=epsilon,
+            max_rounds=args.max_rounds,
+            seed=args.seed,
+            **shape,
         )
-    )
-    if not ok:
-        print("ERROR: kernel outputs diverged or op-count guard failed", file=sys.stderr)
+        write_report(report, out)
+        print(format_adaptive_report(report))
+    else:
+        out = args.out or "BENCH_cd.json"
+        report = run_kernel_benchmark(
+            workers=workers,
+            repeats=1 if args.smoke else args.repeats,
+            max_rounds=args.max_rounds,
+            seed=args.seed,
+            **shape,
+        )
+        write_report(report, out)
+        print(format_report(report))
+    print(f"wrote {out}")
+    if not report["summary"]["ok"]:
+        failed = [k for k, v in report["summary"]["checks"].items() if not v]
+        print(f"ERROR: benchmark checks failed: {failed}", file=sys.stderr)
         return 1
     return 0
 

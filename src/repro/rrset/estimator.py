@@ -310,6 +310,74 @@ class HypergraphObjective:
         self._probs[node] = q_new
         get_metrics().inc("objective.incremental_updates_total")
 
+    def extend(self, hypergraph: RRHypergraph) -> None:
+        """Rebind to ``hypergraph``, a superset of the current hyper-graph,
+        computing survival state for the *new* hyper-edges only.
+
+        ``hypergraph`` must extend the current one as a prefix (what
+        :meth:`RRHypergraph.extend` produces).  The appended edges' zero
+        counts and non-zero products come from one ``reduceat`` pass over
+        the suffix of the member stream — identical, edge for edge, to
+        what a full :meth:`rebuild` on the extended graph would compute,
+        because reduceat segments are independent.  The running
+        covered-sum absorbs the new edges' coverage and the scan cache is
+        invalidated, so the next :meth:`value` performs one exact full
+        scan and is bit-identical to a freshly built objective.  Cost is
+        ``O(new members)`` plus array appends — no O(total) recompute.
+
+        The pair-topology cache is cleared: new hyper-edges change
+        incident-edge splits.
+        """
+        old = self.hypergraph
+        if hypergraph is old:
+            return
+        if hypergraph.num_nodes != old.num_nodes:
+            raise EstimationError(
+                "extended hyper-graph is over a different node set "
+                f"({hypergraph.num_nodes} != {old.num_nodes})"
+            )
+        old_m = old.num_hyperedges
+        if hypergraph.num_hyperedges < old_m or not np.array_equal(
+            hypergraph.edge_offsets[: old_m + 1], old.edge_offsets
+        ):
+            raise EstimationError(
+                "extended hyper-graph does not contain the current one as a prefix"
+            )
+        added = hypergraph.num_hyperedges - old_m
+        old_stream = old.edge_nodes.size
+
+        zero_tail = np.zeros(added, dtype=np.int64)
+        prod_tail = np.ones(added, dtype=np.float64)
+        tail_nodes = hypergraph.edge_nodes[old_stream:]
+        tail_offsets = hypergraph.edge_offsets[old_m:] - old_stream
+        tail_sizes = np.diff(tail_offsets)
+        tail_nonempty = tail_sizes > 0
+        if tail_nodes.size:
+            factors = (1.0 - self._probs)[tail_nodes]
+            zero_mask = factors <= _ONE_TOLERANCE
+            factors[zero_mask] = 1.0
+            starts = tail_offsets[:-1][tail_nonempty]
+            zero_tail[tail_nonempty] = np.add.reduceat(
+                zero_mask.astype(np.int64), starts
+            )
+            prod_tail[tail_nonempty] = np.multiply.reduceat(factors, starts)
+        survival_tail = np.where(zero_tail > 0, 0.0, prod_tail)
+
+        self._zero_count = np.concatenate([self._zero_count, zero_tail])
+        self._nonzero_prod = np.concatenate([self._nonzero_prod, prod_tail])
+        self.hypergraph = hypergraph
+        sizes = np.diff(hypergraph.edge_offsets)
+        self._nonempty_edges = sizes > 0
+        self._any_empty = not bool(self._nonempty_edges.all())
+        self._reduce_starts = hypergraph.edge_offsets[:-1][self._nonempty_edges]
+        # covered = sum (1 - survival); new edges only add their own term.
+        self._covered_sum += float((1.0 - survival_tail).sum())
+        self._scan_stale = True
+        self._topology_cache.clear()
+        metrics = get_metrics()
+        metrics.inc("objective.extends_total")
+        metrics.inc("objective.extended_hyperedges_total", added)
+
     def set_probabilities(self, probs: np.ndarray) -> None:
         """Replace the whole probability vector and rebuild survival state."""
         probs = np.asarray(probs, dtype=np.float64)

@@ -37,6 +37,11 @@ def default_num_rr_sets(num_nodes: int, constant: float = 1.0) -> int:
     """The ``O(n log n)`` default hyper-edge count of Section 8."""
     if num_nodes <= 0:
         raise EstimationError(f"num_nodes must be positive, got {num_nodes}")
+    if not constant > 0.0:  # also rejects NaN
+        raise EstimationError(
+            f"constant must be positive, got {constant}: a non-positive "
+            "scale would silently collapse the hyper-graph to one edge"
+        )
     return max(1, int(math.ceil(constant * num_nodes * math.log(max(num_nodes, 2)))))
 
 

@@ -25,9 +25,9 @@ import numpy as np
 from repro.diffusion.base import DiffusionModel
 from repro.exceptions import EstimationError
 from repro.obs.context import get_metrics, get_tracer
-from repro.parallel.pool import partition_chunks, run_chunks
+from repro.parallel.pool import DEFAULT_CHUNK_SIZE, partition_chunks, run_chunks
 from repro.runtime.deadline import Deadline, DeadlineLike, as_deadline, deadline_iter
-from repro.utils.rng import SeedLike, spawn_sequences
+from repro.utils.rng import SeedLike, child_sequences
 
 __all__ = ["sample_rr_sets"]
 
@@ -73,6 +73,7 @@ def sample_rr_sets(
     deadline: DeadlineLike = None,
     workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
+    start_at: int = 0,
 ) -> List[np.ndarray]:
     """Generate ``count`` random RR sets.
 
@@ -104,6 +105,17 @@ def sample_rr_sets(
         Sets per work chunk (default
         :data:`~repro.parallel.pool.DEFAULT_CHUNK_SIZE`).  Part of the
         deterministic plan: changing it changes the sampled streams.
+    start_at:
+        Offset into the *global* sampling plan of ``seed``: the call
+        produces hyper-edges ``start_at .. start_at+count-1`` exactly as a
+        single call for ``start_at + count`` sets would have, because
+        chunk ``i`` of the plan always draws from child ``i`` of the root
+        seed.  Must be a multiple of the chunk size (the plan's chunk
+        boundaries are fixed); this is how
+        :func:`repro.rrset.adaptive.adaptive_hypergraph` extends a
+        hyper-graph in instalments that stay bit-identical to a one-shot
+        build.  Note a ``SeedSequence``/int seed keeps the plan stable
+        across calls; a live ``Generator`` is consumed at the first call.
 
     Returns
     -------
@@ -115,6 +127,14 @@ def sample_rr_sets(
         raise EstimationError(f"count must be non-negative, got {count}")
     if model.num_nodes == 0:
         raise EstimationError("cannot sample RR sets of an empty graph")
+    size = DEFAULT_CHUNK_SIZE if chunk_size is None else chunk_size
+    if start_at < 0:
+        raise EstimationError(f"start_at must be non-negative, got {start_at}")
+    if size > 0 and start_at % size != 0:
+        raise EstimationError(
+            f"start_at must be chunk-aligned (a multiple of {size}), got "
+            f"{start_at}: the sampling plan's chunk boundaries are fixed"
+        )
     root_arr: Optional[np.ndarray] = None
     if roots is not None:
         root_arr = np.asarray(roots, dtype=np.int64)
@@ -127,7 +147,7 @@ def sample_rr_sets(
 
     budget = as_deadline(deadline)
     sizes = partition_chunks(count, chunk_size)
-    sequences = spawn_sequences(seed, len(sizes))
+    sequences = child_sequences(seed, start_at // size, len(sizes))
     chunk_args = []
     offset = 0
     for size, sequence in zip(sizes, sequences):
@@ -136,7 +156,9 @@ def sample_rr_sets(
         offset += size
 
     metrics = get_metrics()
-    with get_tracer().span("rrset.sample", theta=count, chunks=len(sizes)) as span:
+    with get_tracer().span(
+        "rrset.sample", theta=count, chunks=len(sizes), start_at=start_at
+    ) as span:
         chunks, expired = run_chunks(
             _rr_chunk_task,
             model,

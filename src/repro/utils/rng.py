@@ -13,7 +13,14 @@ from typing import Union
 
 import numpy as np
 
-__all__ = ["SeedLike", "as_generator", "spawn_generators", "spawn_sequences"]
+__all__ = [
+    "SeedLike",
+    "as_generator",
+    "as_root_sequence",
+    "child_sequences",
+    "spawn_generators",
+    "spawn_sequences",
+]
 
 SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
 
@@ -50,6 +57,27 @@ def spawn_generators(seed: SeedLike, count: int) -> list[np.random.Generator]:
     return [np.random.default_rng(int(s)) for s in seeds]
 
 
+def as_root_sequence(seed: SeedLike) -> np.random.SeedSequence:
+    """Normalize any accepted seed form to a root :class:`~numpy.random.SeedSequence`.
+
+    The returned sequence is the stable ancestor of every chunk stream:
+    numpy identifies children by their spawn index, so child ``i`` of a
+    root is the same regardless of how many siblings are ever spawned —
+    the property that lets an adaptive sampler extend a hyper-graph in
+    instalments and still match a one-shot build bit for bit.
+
+    A live :class:`~numpy.random.Generator` contributes exactly one draw
+    (so calling this twice on the same generator yields *different*
+    roots); normalize once and reuse the result when a stable plan is
+    needed.  ``None`` means fresh OS entropy.
+    """
+    if isinstance(seed, np.random.SeedSequence):
+        return seed
+    if seed is None or isinstance(seed, (int, np.integer)):
+        return np.random.SeedSequence(None if seed is None else int(seed))
+    return np.random.SeedSequence(int(as_generator(seed).integers(0, 2**63)))
+
+
 def spawn_sequences(seed: SeedLike, count: int) -> list[np.random.SeedSequence]:
     """Derive ``count`` independent child :class:`~numpy.random.SeedSequence`\\ s.
 
@@ -71,10 +99,38 @@ def spawn_sequences(seed: SeedLike, count: int) -> list[np.random.SeedSequence]:
     """
     if count < 0:
         raise ValueError(f"count must be non-negative, got {count}")
-    if isinstance(seed, np.random.SeedSequence):
-        root = seed
-    elif seed is None or isinstance(seed, (int, np.integer)):
-        root = np.random.SeedSequence(None if seed is None else int(seed))
-    else:
-        root = np.random.SeedSequence(int(as_generator(seed).integers(0, 2**63)))
-    return list(root.spawn(count))
+    return child_sequences(seed, 0, count)
+
+
+def child_sequences(
+    seed: SeedLike, start: int, count: int
+) -> list[np.random.SeedSequence]:
+    """Children ``start .. start+count-1`` of the root, constructed statelessly.
+
+    ``SeedSequence.spawn`` is stateful (each call advances the spawn
+    counter); this builds the same children it would — child ``i`` is
+    ``SeedSequence(entropy, spawn_key=root.spawn_key + (i,))`` — without
+    mutating the root, so chunk ``i`` of a sampling plan receives the same
+    stream whether sampled in one shot or across several extension calls.
+
+    >>> [c.spawn_key for c in child_sequences(7, 2, 2)]
+    [(2,), (3,)]
+    >>> a = child_sequences(7, 1, 1)[0]
+    >>> b = spawn_sequences(7, 2)[1]
+    >>> a.generate_state(2).tolist() == b.generate_state(2).tolist()
+    True
+    """
+    if start < 0:
+        raise ValueError(f"start must be non-negative, got {start}")
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    root = as_root_sequence(seed)
+    base = tuple(root.spawn_key)
+    return [
+        np.random.SeedSequence(
+            entropy=root.entropy,
+            spawn_key=base + (index,),
+            pool_size=root.pool_size,
+        )
+        for index in range(start, start + count)
+    ]

@@ -7,9 +7,13 @@ must (a) never lose objective value, (b) visit far fewer pairs than the
 cyclic sweep, and (c) land within noise of the cyclic objective.
 """
 
+import numpy as np
 import pytest
 
-from repro.core.cd_hypergraph import coordinate_descent_hypergraph
+from repro.core.cd_hypergraph import (
+    _gradient_ordered_pairs,
+    coordinate_descent_hypergraph,
+)
 from repro.core.population import paper_mixture
 from repro.core.problem import CIMProblem
 from repro.core.unified_discount import unified_discount
@@ -17,6 +21,9 @@ from repro.diffusion.independent_cascade import IndependentCascade
 from repro.exceptions import SolverError
 from repro.graphs.generators import erdos_renyi
 from repro.graphs.weights import assign_weighted_cascade
+from repro.obs.context import observe
+from repro.obs.metrics import MetricsRegistry
+from repro.rrset.estimator import HypergraphObjective
 
 
 @pytest.fixture(scope="module")
@@ -84,3 +91,95 @@ class TestGradientStrategy:
         )
         values = result.round_values
         assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_odd_support_pairs_disjoint(self, strategy_setup):
+        """Leftover pairing must never reuse a coordinate within one round
+        (a reused coordinate makes the second step optimize a stale axis)."""
+        problem, hypergraph, ud = strategy_setup
+        discounts = ud.configuration.discounts
+        objective = HypergraphObjective(
+            hypergraph, problem.population.probabilities(discounts)
+        )
+        for support_size in (3, 5, 7, 9):
+            coords = np.flatnonzero(discounts > 0)[:support_size]
+            pairs = _gradient_ordered_pairs(
+                objective, problem.population, discounts, coords
+            )
+            flat = [node for pair in pairs for node in pair]
+            assert len(flat) == len(set(flat))
+            # every coordinate except at most one (odd leftover) is paired
+            assert len(flat) >= 2 * (support_size // 2)
+
+
+def _evals(fn):
+    """Run ``fn`` under a fresh registry; return (result, pair evals, skips)."""
+    registry = MetricsRegistry()
+    with observe(metrics=registry, merge_up=False):
+        result = fn()
+    counters = registry.snapshot()["counters"]
+    return (
+        result,
+        counters.get("cd.pair_evals_total", 0),
+        counters.get("cd.lazy_pair_skips_total", 0),
+    )
+
+
+class TestLazyStrategy:
+    """CELF-style lazy scheduling: same answer, strictly less work."""
+
+    TOLERANCE = 1e-6  # a practical convergence tolerance; at 0 every pair
+    # always re-evaluates and laziness has nothing to skip
+
+    def _run(self, strategy_setup, strategy, **kwargs):
+        problem, hypergraph, ud = strategy_setup
+        kwargs.setdefault("tolerance", self.TOLERANCE)
+        return _evals(
+            lambda: coordinate_descent_hypergraph(
+                problem,
+                hypergraph,
+                ud.configuration,
+                pair_strategy=strategy,
+                **kwargs,
+            )
+        )
+
+    def test_matches_cyclic_with_fewer_evals(self, strategy_setup):
+        cyclic, cyclic_evals, _ = self._run(strategy_setup, "cyclic")
+        lazy, lazy_evals, lazy_skips = self._run(strategy_setup, "lazy")
+        assert lazy.objective_value == pytest.approx(
+            cyclic.objective_value, rel=1e-4
+        )
+        assert lazy_evals < cyclic_evals
+        assert lazy_skips > 0
+
+    def test_first_round_replays_cyclic(self, strategy_setup):
+        """Round 1 starts with no bounds, so lazy must visit every pair in
+        the cyclic lexicographic order — the first round value is equal
+        bit for bit."""
+        cyclic, _, _ = self._run(strategy_setup, "cyclic", max_rounds=1)
+        lazy, _, _ = self._run(strategy_setup, "lazy", max_rounds=1)
+        assert lazy.round_values[0] == cyclic.round_values[0]
+        assert np.array_equal(
+            lazy.configuration.discounts, cyclic.configuration.discounts
+        )
+
+    def test_never_loses_objective(self, strategy_setup):
+        problem, hypergraph, ud = strategy_setup
+        lazy, _, _ = self._run(strategy_setup, "lazy")
+        assert lazy.objective_value >= ud.spread_estimate - 1e-6
+
+    def test_budget_preserved(self, strategy_setup):
+        problem, hypergraph, ud = strategy_setup
+        lazy, _, _ = self._run(strategy_setup, "lazy")
+        assert lazy.configuration.cost == pytest.approx(
+            ud.configuration.cost, abs=1e-6
+        )
+
+    def test_deterministic(self, strategy_setup):
+        a, a_evals, _ = self._run(strategy_setup, "lazy")
+        b, b_evals, _ = self._run(strategy_setup, "lazy")
+        assert a_evals == b_evals
+        assert a.objective_value == b.objective_value
+        assert np.array_equal(
+            a.configuration.discounts, b.configuration.discounts
+        )

@@ -28,6 +28,12 @@ class TestDefaults:
         with pytest.raises(EstimationError):
             default_num_rr_sets(0)
 
+    @pytest.mark.parametrize("constant", [0.0, -1.0, float("nan")])
+    def test_non_positive_constant_rejected(self, constant):
+        """A non-positive scale would silently collapse theta to 1."""
+        with pytest.raises(EstimationError):
+            default_num_rr_sets(1000, constant=constant)
+
 
 class TestLogBinomial:
     def test_small_exact(self):
@@ -71,6 +77,55 @@ class TestThetaEpsilonInversion:
             epsilon_for_theta(10, 2, theta=0, opt_lower_bound=1.0)
         with pytest.raises(EstimationError):
             epsilon_for_theta(10, 2, theta=10, opt_lower_bound=0.0)
+
+
+class TestInversionProperties:
+    """Property-style checks of the theta <-> epsilon inversion over a
+    seeded grid of random instances."""
+
+    def _instances(self, count=50):
+        rng = __import__("numpy").random.default_rng(2016)
+        for _ in range(count):
+            n = int(rng.integers(20, 5000))
+            k = int(rng.integers(1, max(2, n // 4)))
+            opt = float(rng.uniform(1.0, n))
+            eps = float(rng.uniform(0.05, 0.8))
+            yield n, k, opt, eps
+
+    def test_roundtrip_within_ceil_slack(self):
+        """epsilon_for_theta(theta_for_epsilon(eps)) recovers eps; the only
+        loss is the ceil() in theta (which can only tighten eps)."""
+        for n, k, opt, eps in self._instances():
+            theta = theta_for_epsilon(n, k, epsilon=eps, opt_lower_bound=opt)
+            recovered = epsilon_for_theta(n, k, theta, opt_lower_bound=opt)
+            assert recovered <= eps + 1e-12
+            loose = epsilon_for_theta(n, k, max(1, theta - 1), opt_lower_bound=opt)
+            assert loose >= eps - 1e-12
+
+    def test_monotone_in_epsilon(self):
+        for n, k, opt, eps in self._instances(20):
+            tight = theta_for_epsilon(n, k, epsilon=eps / 2, opt_lower_bound=opt)
+            loose = theta_for_epsilon(n, k, epsilon=eps, opt_lower_bound=opt)
+            assert tight >= loose
+
+    def test_monotone_in_opt(self):
+        for n, k, opt, eps in self._instances(20):
+            hard = theta_for_epsilon(n, k, epsilon=eps, opt_lower_bound=opt / 2)
+            easy = theta_for_epsilon(n, k, epsilon=eps, opt_lower_bound=opt)
+            assert hard >= easy
+
+    def test_monotone_in_n(self):
+        """More nodes need more samples (k, opt, eps held fixed)."""
+        for n, k, opt, eps in self._instances(20):
+            small = theta_for_epsilon(n, k, epsilon=eps, opt_lower_bound=opt)
+            large = theta_for_epsilon(2 * n, k, epsilon=eps, opt_lower_bound=opt)
+            assert large >= small
+
+    def test_epsilon_decreases_with_theta(self):
+        for n, k, opt, _ in self._instances(20):
+            worse = epsilon_for_theta(n, k, theta=1000, opt_lower_bound=opt)
+            better = epsilon_for_theta(n, k, theta=4000, opt_lower_bound=opt)
+            assert better == pytest.approx(worse / 2.0)
 
 
 class TestApproximationLowerBound:

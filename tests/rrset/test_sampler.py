@@ -68,3 +68,37 @@ class TestSampleRRSets:
         rr_sets = sample_rr_sets(ic, 5, seed=7, roots=[0, 1, 2, 3, 4])
         for v, rr in enumerate(rr_sets):
             assert sorted(rr.tolist()) == list(range(v + 1))
+
+
+class TestStartAt:
+    """`start_at` resumes the chunked plan mid-stream (adaptive growth)."""
+
+    def test_split_equals_one_shot(self):
+        ic = IndependentCascade(path_graph(6, probability=0.5))
+        one_shot = sample_rr_sets(ic, 96, seed=8, chunk_size=32)
+        head = sample_rr_sets(ic, 64, seed=8, chunk_size=32)
+        tail = sample_rr_sets(ic, 32, seed=8, chunk_size=32, start_at=64)
+        assert len(head) + len(tail) == len(one_shot)
+        for a, b in zip(head + tail, one_shot):
+            assert np.array_equal(a, b)
+
+    def test_split_equals_one_shot_across_workers(self):
+        ic = IndependentCascade(path_graph(6, probability=0.5))
+        one_shot = sample_rr_sets(ic, 96, seed=9, chunk_size=32, workers=1)
+        for workers in (1, 2):
+            head = sample_rr_sets(ic, 64, seed=9, chunk_size=32, workers=workers)
+            tail = sample_rr_sets(
+                ic, 32, seed=9, chunk_size=32, workers=workers, start_at=64
+            )
+            for a, b in zip(head + tail, one_shot):
+                assert np.array_equal(a, b)
+
+    def test_misaligned_start_rejected(self):
+        ic = IndependentCascade(path_graph(3))
+        with pytest.raises(EstimationError):
+            sample_rr_sets(ic, 10, seed=10, chunk_size=32, start_at=17)
+
+    def test_negative_start_rejected(self):
+        ic = IndependentCascade(path_graph(3))
+        with pytest.raises(EstimationError):
+            sample_rr_sets(ic, 10, seed=10, start_at=-32)

@@ -166,6 +166,64 @@ class TestSolveAndEvaluate:
         )
         assert code == 0
 
+    def test_rr_sets_auto_prints_adaptive_summary(self, network_file, capsys):
+        code = main(
+            [
+                "solve",
+                str(network_file),
+                "--method",
+                "cd",
+                "--budget",
+                "4",
+                "--rr-sets",
+                "auto",
+                "--rr-epsilon",
+                "0.3",
+                "--seed",
+                "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "adaptive sampling: theta" in out
+        assert "stopped on" in out
+
+    def test_rr_sets_integer_overrides_hyperedges(self, network_file, capsys):
+        code = main(
+            [
+                "solve",
+                str(network_file),
+                "--method",
+                "ud",
+                "--budget",
+                "4",
+                "--hyperedges",
+                "9999",
+                "--rr-sets",
+                "800",
+                "--seed",
+                "3",
+            ]
+        )
+        assert code == 0
+        assert "estimated spread" in capsys.readouterr().out
+
+    def test_rr_sets_rejects_garbage(self, network_file, capsys):
+        code = main(
+            [
+                "solve",
+                str(network_file),
+                "--budget",
+                "4",
+                "--rr-sets",
+                "soon",
+                "--seed",
+                "3",
+            ]
+        )
+        assert code == 2
+        assert "--rr-sets" in capsys.readouterr().out
+
 
 class TestReport:
     def test_report_writes_csvs(self, tmp_path, capsys):
