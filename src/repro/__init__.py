@@ -77,8 +77,11 @@ from repro.exceptions import (
     GraphError,
     ObservabilityError,
     PartialResultWarning,
+    PoisonChunkError,
+    PoolBrokenError,
     ReproError,
     SolverError,
+    WorkerPoolError,
 )
 from repro.graphs import (
     DiGraph,
@@ -109,7 +112,13 @@ from repro.obs import (
     get_tracer,
     observe,
 )
-from repro.parallel import partition_chunks, resolve_workers, run_chunks
+from repro.parallel import (
+    SupervisionPolicy,
+    partition_chunks,
+    resolve_supervision,
+    resolve_workers,
+    run_chunks,
+)
 from repro.rrset import RRHypergraph, HypergraphObjective, sample_rr_sets
 from repro.rrset.imm import imm_hypergraph
 from repro.runtime import (
@@ -206,6 +215,8 @@ __all__ = [
     "partition_chunks",
     "resolve_workers",
     "run_chunks",
+    "SupervisionPolicy",
+    "resolve_supervision",
     # obs (tracing spans + metrics)
     "Tracer",
     "MetricsRegistry",
@@ -236,4 +247,7 @@ __all__ = [
     "CheckpointError",
     "ObservabilityError",
     "PartialResultWarning",
+    "WorkerPoolError",
+    "PoisonChunkError",
+    "PoolBrokenError",
 ]

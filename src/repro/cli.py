@@ -28,15 +28,17 @@ from repro.exceptions import ReproError
 __all__ = ["main", "build_parser"]
 
 
-def _worker_count(text: str) -> int:
-    """argparse type for --workers: a non-negative int (0 = one per CPU)."""
+def _worker_count(text: str):
+    """argparse type for --workers: a positive int, or 'auto' (one per CPU)."""
+    if text.strip().lower() == "auto":
+        return "auto"
     try:
         workers = int(text)
     except ValueError:
-        raise argparse.ArgumentTypeError(f"not an integer: {text!r}")
-    if workers < 0:
+        raise argparse.ArgumentTypeError(f"not an integer or 'auto': {text!r}")
+    if workers < 1:
         raise argparse.ArgumentTypeError(
-            f"workers must be >= 0 (0 = one per CPU), got {text}"
+            f"workers must be >= 1 (or 'auto' for one per CPU), got {text}"
         )
     return workers
 
@@ -46,10 +48,74 @@ def _add_workers_argument(subparser: argparse.ArgumentParser) -> None:
         "--workers",
         type=_worker_count,
         default=None,
-        metavar="N",
-        help="parallel sampling processes (default 1, 0 = one per CPU); "
+        metavar="N|auto",
+        help="parallel sampling processes (default 1, 'auto' = one per CPU); "
         "results are identical for every worker count",
     )
+
+
+def _chunk_retries(text: str) -> int:
+    """argparse type for --max-chunk-retries: a non-negative int."""
+    try:
+        retries = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {text!r}")
+    if retries < 0:
+        raise argparse.ArgumentTypeError(f"retries must be >= 0, got {text}")
+    return retries
+
+
+def _chunk_timeout(text: str) -> float:
+    """argparse type for --chunk-timeout: a positive second count."""
+    try:
+        seconds = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a number: {text!r}")
+    if math.isnan(seconds) or seconds <= 0:
+        raise argparse.ArgumentTypeError(
+            f"chunk timeout must be a positive number of seconds, got {text}"
+        )
+    return seconds
+
+
+def _add_supervision_arguments(subparser: argparse.ArgumentParser) -> None:
+    """Worker-pool recovery knobs (see repro.parallel.supervisor)."""
+    subparser.add_argument(
+        "--max-chunk-retries",
+        type=_chunk_retries,
+        default=None,
+        metavar="N",
+        help="re-dispatches granted to a failing work chunk before it is "
+        "declared poison (default 2); re-execution is bit-identical",
+    )
+    subparser.add_argument(
+        "--chunk-timeout",
+        type=_chunk_timeout,
+        default=None,
+        metavar="SECONDS",
+        help="soft per-chunk deadline; an overdue chunk is treated as a "
+        "straggler and re-dispatched on a fresh pool (default: none)",
+    )
+    subparser.add_argument(
+        "--on-poison-chunk",
+        choices=("fail", "partial", "serial"),
+        default=None,
+        help="poison-chunk policy: 'fail' raises, 'partial' quarantines the "
+        "chunk and returns a truncated (still deterministic) prefix, "
+        "'serial' re-runs the chunk inline in the parent (default: fail)",
+    )
+
+
+def _supervision_from_args(args) -> Optional[dict]:
+    """Collect the supervision flags the user actually set (None = defaults)."""
+    policy = {}
+    if getattr(args, "max_chunk_retries", None) is not None:
+        policy["max_chunk_retries"] = args.max_chunk_retries
+    if getattr(args, "chunk_timeout", None) is not None:
+        policy["chunk_timeout"] = args.chunk_timeout
+    if getattr(args, "on_poison_chunk", None) is not None:
+        policy["on_poison_chunk"] = args.on_poison_chunk
+    return policy or None
 
 
 def _add_obs_arguments(subparser: argparse.ArgumentParser) -> None:
@@ -141,6 +207,7 @@ def build_parser() -> argparse.ArgumentParser:
         "found so far is returned (marked partial) instead of failing",
     )
     _add_workers_argument(slv)
+    _add_supervision_arguments(slv)
     _add_obs_arguments(slv)
     slv.add_argument("-o", "--output", default=None, help="save plan JSON here")
 
@@ -177,6 +244,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="reuse completed cells found in --checkpoint-dir instead of recomputing",
     )
     _add_workers_argument(rpt)
+    _add_supervision_arguments(rpt)
     _add_obs_arguments(rpt)
 
     rep = sub.add_parser("reproduce", help="regenerate a paper exhibit")
@@ -288,6 +356,7 @@ def _cmd_solve(args) -> int:
         seed=args.seed,
         deadline=args.deadline,
         workers=args.workers,
+        supervision=_supervision_from_args(args),
         **options,
     )
     support = result.configuration.support
@@ -399,6 +468,7 @@ def _cmd_report(args) -> int:
         checkpoint_dir=args.checkpoint_dir,
         resume=args.resume,
         workers=args.workers,
+        supervision=_supervision_from_args(args),
     )
     for name, path in sorted(written.items()):
         print(f"  {name}: {path}")

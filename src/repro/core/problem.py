@@ -129,6 +129,7 @@ class CIMProblem:
         seed: SeedLike = None,
         deadline: "DeadlineLike" = None,
         workers: Optional[int] = None,
+        supervision=None,
         **adaptive_options,
     ) -> RRHypergraph:
         """Build the random hyper-graph shared by the Section-8 solvers.
@@ -141,8 +142,10 @@ class CIMProblem:
         ``max_theta``, ...) are forwarded to it, and are rejected for the
         fixed-θ paths.
 
-        ``deadline`` bounds construction time and ``workers`` parallelizes
-        it; see :meth:`repro.rrset.hypergraph.RRHypergraph.build`.
+        ``deadline`` bounds construction time, ``workers`` parallelizes
+        it, and ``supervision`` sets the pooled build's recovery policy
+        (see :mod:`repro.parallel.supervisor`); see
+        :meth:`repro.rrset.hypergraph.RRHypergraph.build`.
         """
         if num_hyperedges == "auto":
             from repro.rrset.adaptive import adaptive_hypergraph
@@ -152,6 +155,7 @@ class CIMProblem:
                 seed=seed,
                 deadline=deadline,
                 workers=workers,
+                supervision=supervision,
                 **adaptive_options,
             ).hypergraph
         if isinstance(num_hyperedges, str):
@@ -169,5 +173,10 @@ class CIMProblem:
             else default_num_rr_sets(self.num_nodes)
         )
         return RRHypergraph.build(
-            self.model, theta, seed=seed, deadline=deadline, workers=workers
+            self.model,
+            theta,
+            seed=seed,
+            deadline=deadline,
+            workers=workers,
+            supervision=supervision,
         )

@@ -243,6 +243,7 @@ def solve(
     seed: SeedLike = None,
     deadline: DeadlineLike = None,
     workers: Optional[int] = None,
+    supervision: "SupervisionLike" = None,
     **options,
 ) -> SolveResult:
     """Run one CIM strategy end to end.
@@ -280,8 +281,15 @@ def solve(
         before a single RR set was sampled) does
         :class:`~repro.exceptions.DeadlineExceeded` escape.
     workers:
-        Parallel sampling processes for hyper-graph construction (``0`` =
-        one per CPU).  Never changes results — only wall-clock time.
+        Parallel sampling processes for hyper-graph construction
+        (``"auto"`` = one per CPU).  Never changes results — only
+        wall-clock time.
+    supervision:
+        Worker-pool recovery policy for the pooled build (a
+        :class:`~repro.parallel.SupervisionPolicy` or a dict of its
+        fields; see :mod:`repro.parallel.supervisor`).  A quarantined
+        poison chunk or salvaged instalment degrades through the same
+        partial-result contract as a deadline expiry.
     options:
         Method-specific knobs (``step``, ``grid_step``, ``max_rounds``...).
     """
@@ -320,10 +328,14 @@ def solve(
                     seed=seed,
                     deadline=run_budget,
                     workers=workers,
+                    supervision=supervision,
                     **adaptive_options,
                 )
             hypergraph = adaptive_result.hypergraph
-            hypergraph_truncated = adaptive_result.stop_reason == "deadline"
+            hypergraph_truncated = adaptive_result.stop_reason in (
+                "deadline",
+                "fault",
+            )
         elif hypergraph is None:
             requested = (
                 num_hyperedges
@@ -336,6 +348,7 @@ def solve(
                     seed=seed,
                     deadline=run_budget,
                     workers=workers,
+                    supervision=supervision,
                 )
             hypergraph_truncated = hypergraph.num_hyperedges < requested
         else:

@@ -21,6 +21,9 @@ __all__ = [
     "CheckpointError",
     "PartialResultWarning",
     "ObservabilityError",
+    "WorkerPoolError",
+    "PoisonChunkError",
+    "PoolBrokenError",
 ]
 
 
@@ -88,11 +91,73 @@ class DeadlineExceeded(ReproError, TimeoutError):
 
 
 class CheckpointError(ReproError, OSError):
-    """Raised for unreadable, corrupt, or mismatched checkpoint data."""
+    """Raised for unreadable, corrupt, or mismatched checkpoint data.
+
+    ``path`` names the offending artifact file when the failure can be
+    pinned to one (a truncated NPZ, a torn JSON document, a sidecar
+    digest mismatch), so a multi-cell resume can report *which* cell is
+    damaged — and quarantine exactly that file.
+    """
+
+    def __init__(self, message: str, path: "object" = None) -> None:
+        super().__init__(message)
+        self.path = None if path is None else str(path)
 
 
 class PartialResultWarning(UserWarning):
     """Warned when a solver returns a truncated (deadline-expired) result."""
+
+
+class WorkerPoolError(ReproError, RuntimeError):
+    """Base class for unrecoverable failures of the supervised worker pool.
+
+    The supervision layer (:mod:`repro.parallel.supervisor`) absorbs
+    worker crashes, stragglers and transient chunk exceptions by
+    restarting the pool and re-dispatching lost chunks; only when its
+    bounded budgets are exhausted does one of the subclasses below
+    escape.
+    """
+
+
+class PoisonChunkError(WorkerPoolError):
+    """A chunk kept failing past its retry budget and could not be salvaged.
+
+    Carries enough context to reproduce the failure deterministically:
+    the chunk's index in the fixed plan (its seed stream is child
+    ``chunk_index`` of the root seed, so re-running it is bit-identical)
+    and one summary line per failed attempt.
+    """
+
+    def __init__(
+        self,
+        chunk_index: int,
+        attempts: int,
+        causes: "tuple[str, ...]" = (),
+    ) -> None:
+        detail = f"; attempts: {'; '.join(causes)}" if causes else ""
+        super().__init__(
+            f"chunk {chunk_index} failed {attempts} time(s) and exhausted its "
+            f"retry budget{detail}"
+        )
+        self.chunk_index = int(chunk_index)
+        self.attempts = int(attempts)
+        self.causes = tuple(causes)
+
+
+class PoolBrokenError(WorkerPoolError):
+    """The process pool kept breaking past its restart budget.
+
+    Raised only when serial in-process fallback is disabled
+    (``max_pool_restarts`` exhausted with ``serial_fallback=False``);
+    with the default policy the supervisor degrades to inline execution
+    instead.
+    """
+
+    def __init__(self, restarts: int) -> None:
+        super().__init__(
+            f"process pool broke {restarts} time(s), exceeding the restart budget"
+        )
+        self.restarts = int(restarts)
 
 
 class ObservabilityError(ReproError):

@@ -65,10 +65,11 @@ def figure3_influence_spread(
     checkpoint_dir: Optional[str] = None,
     resume: bool = False,
     workers: Optional[int] = None,
+    supervision=None,
 ) -> List[Figure3Row]:
     """One panel of Figure 3: spread of IM / UD / CD as budget grows.
 
-    ``checkpoint_dir`` / ``resume`` / ``workers`` forward to
+    ``checkpoint_dir`` / ``resume`` / ``workers`` / ``supervision`` forward to
     :func:`~repro.experiments.runner.run_methods`: each (budget, method)
     cell is snapshotted, so a killed panel resumes where it stopped.
     """
@@ -84,6 +85,7 @@ def figure3_influence_spread(
             checkpoint_dir=checkpoint_dir,
             resume=resume,
             workers=workers,
+            supervision=supervision,
         )
         for result in results:
             rows.append(
@@ -186,6 +188,7 @@ def figure6_running_time(
     checkpoint_dir: Optional[str] = None,
     resume: bool = False,
     workers: Optional[int] = None,
+    supervision=None,
 ) -> List[Dict[str, float]]:
     """Figure 6: per-method running time and the hyper-graph build share."""
     rows: List[Dict[str, float]] = []
@@ -200,6 +203,7 @@ def figure6_running_time(
             checkpoint_dir=checkpoint_dir,
             resume=resume,
             workers=workers,
+            supervision=supervision,
         )
         for result in results:
             rows.append(

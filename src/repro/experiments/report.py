@@ -43,14 +43,18 @@ def generate_full_report(
     checkpoint_dir: Optional[PathLike] = None,
     resume: bool = False,
     workers: Optional[int] = None,
+    supervision=None,
 ) -> Dict[str, Path]:
     """Run every exhibit and write one CSV per exhibit into ``output_dir``.
 
     ``checkpoint_dir`` / ``resume`` enable per-cell snapshots for the grid
     exhibits (Figures 3 and 6), so a killed report run can pick up from
     its last completed (budget, method) cell.  ``workers`` parallelizes
-    the sampling inside those exhibits (``0`` = one per CPU) without
-    changing any number in the CSVs.
+    the sampling inside those exhibits (``"auto"`` = one per CPU) without
+    changing any number in the CSVs, and ``supervision`` sets the worker
+    pool's crash/straggler recovery policy (see
+    :mod:`repro.parallel.supervisor`) — recovery never changes a number
+    either.
 
     Returns a mapping of exhibit name to the file written.
     """
@@ -88,6 +92,7 @@ def generate_full_report(
                 checkpoint_dir=checkpoint_path,
                 resume=resume,
                 workers=workers,
+                supervision=supervision,
             )
             fig3_records.extend(asdict(row) for row in rows)
         emit("figure3_influence_spread", fig3_records)
@@ -126,6 +131,7 @@ def generate_full_report(
                 checkpoint_dir=checkpoint_path,
                 resume=resume,
                 workers=workers,
+                supervision=supervision,
             ),
         )
 

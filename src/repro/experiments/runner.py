@@ -184,6 +184,7 @@ def run_methods(
     checkpoint_dir: Optional[Union[str, Path]] = None,
     resume: bool = False,
     workers: Optional[int] = None,
+    supervision=None,
 ) -> List[ExperimentResult]:
     """Run several solvers on one problem and MC-score their outputs.
 
@@ -209,13 +210,20 @@ def run_methods(
     resume:
         With ``checkpoint_dir``: load completed cells from disk instead of
         recomputing them.  Cells whose snapshots are missing (or from a
-        different content key) are computed and checkpointed as usual.
+        different content key) are computed and checkpointed as usual;
+        snapshots that fail integrity verification or do not parse are
+        quarantined (renamed ``*.quarantined``) and recomputed rather than
+        crashing the grid.
     workers:
         Parallel processes for hyper-graph sampling and Monte-Carlo
         scoring (``0`` = one per CPU).  Deliberately *excluded* from the
         checkpoint content key: the parallel engine is deterministic
         across worker counts, so a grid checkpointed with ``workers=4``
         resumes bit-identically with ``workers=1`` and vice versa.
+    supervision:
+        Pool recovery policy for hyper-graph sampling and scoring (a
+        :class:`~repro.parallel.supervisor.SupervisionPolicy` or kwargs
+        dict); never changes the numbers of a run that completes.
     """
     validate_run_inputs(problem, methods, evaluation_samples)
 
@@ -248,10 +256,21 @@ def run_methods(
         pending: List[int] = []
         for index, method in enumerate(methods):
             cell_name = f"cell-{index:03d}-{method}"
-            if store is not None and resume and store.has(cell_name):
-                results[index] = ExperimentResult.from_payload(
-                    store.load_json(cell_name)
-                )
+            cell: Optional[ExperimentResult] = None
+            if store is not None and resume:
+                # salvage_json quarantines torn/corrupt snapshots itself;
+                # a snapshot that parses as JSON but is not a valid cell
+                # payload is quarantined here for the same reason — resume
+                # recomputes instead of crashing on damaged state.
+                payload = store.salvage_json(cell_name)
+                if payload is not None:
+                    try:
+                        cell = ExperimentResult.from_payload(payload)
+                    except CheckpointError:
+                        store.quarantine(cell_name)
+                        span.event("cell_quarantined", index=index, method=method)
+            if cell is not None:
+                results[index] = cell
                 span.event("cell_resumed", index=index, method=method)
                 metrics.inc("checkpoint.cell_hits_total")
             else:
@@ -266,17 +285,25 @@ def run_methods(
         if hypergraph is None:
             import time
 
-            if store is not None and resume and store.has_arrays("hypergraph"):
-                hypergraph = RRHypergraph.from_arrays(store.load_arrays("hypergraph"))
-                span.set(hypergraph_resumed=True)
-                metrics.inc("checkpoint.hypergraph_hits_total")
-            else:
+            if store is not None and resume:
+                arrays = store.salvage_arrays("hypergraph")
+                if arrays is not None:
+                    try:
+                        hypergraph = RRHypergraph.from_arrays(arrays)
+                    except (KeyError, TypeError, ValueError):
+                        store.quarantine("hypergraph")
+                        span.event("hypergraph_quarantined")
+                    else:
+                        span.set(hypergraph_resumed=True)
+                        metrics.inc("checkpoint.hypergraph_hits_total")
+            if hypergraph is None:
                 start = time.perf_counter()
                 hypergraph = problem.build_hypergraph(
                     num_hyperedges=num_hyperedges,
                     seed=hypergraph_rng,
                     deadline=deadline,
                     workers=workers,
+                    supervision=supervision,
                 )
                 hypergraph_ms = (time.perf_counter() - start) * 1000.0
                 if store is not None:

@@ -7,6 +7,13 @@ count never changes results: same seed, same numbers, whether
 ``workers=1`` or ``workers=8``.  See :mod:`repro.parallel.pool` for the
 mechanism and ``docs/performance.md`` for the user-facing story.
 
+Pooled execution is supervised (:mod:`repro.parallel.supervisor`):
+worker crashes, hung chunks and transient chunk failures are recovered
+by restarting the pool and re-dispatching only the lost chunks — which
+is bit-identical by construction, because each chunk's seed stream is
+fixed at planning time.  :class:`SupervisionPolicy` bounds the recovery
+budgets; see ``docs/resilience.md`` for the failure-mode table.
+
 Consumers: :func:`repro.rrset.sampler.sample_rr_sets`,
 :func:`repro.diffusion.montecarlo.estimate_spread`,
 :func:`repro.diffusion.montecarlo.estimate_configuration_spread`, the
@@ -23,6 +30,13 @@ from repro.parallel.pool import (
     resolve_workers,
     run_chunks,
 )
+from repro.parallel.supervisor import (
+    SupervisionLike,
+    SupervisionPolicy,
+    SupervisionReport,
+    resolve_supervision,
+    run_supervised,
+)
 
 __all__ = [
     "DEFAULT_CHUNK_SIZE",
@@ -30,4 +44,9 @@ __all__ = [
     "partition_chunks",
     "resolve_workers",
     "run_chunks",
+    "SupervisionLike",
+    "SupervisionPolicy",
+    "SupervisionReport",
+    "resolve_supervision",
+    "run_supervised",
 ]

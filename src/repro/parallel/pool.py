@@ -35,17 +35,26 @@ and the pool simply drains: dispatched chunks finish (possibly truncated)
 and their results are kept, preserving the library's partial-result
 contract.  A :func:`~repro.runtime.faults.maybe_inject` probe fires at
 every chunk boundary so the fault injector can kill a build mid-flight.
+
+Pooled execution is *supervised*: worker crashes, stragglers and
+transient chunk failures are absorbed by restarting the pool and
+re-dispatching only the lost chunks, which is bit-identical by the chunk
+design above.  See :mod:`repro.parallel.supervisor` and the
+``supervision`` parameter of :func:`run_chunks`.
 """
 
 from __future__ import annotations
 
 import os
-from collections import deque
-from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
 
 from repro.exceptions import ConfigurationError
 from repro.obs.context import get_metrics
+from repro.parallel.supervisor import (
+    SupervisionLike,
+    resolve_supervision,
+    run_supervised,
+)
 from repro.runtime.deadline import DeadlineLike, as_deadline
 from repro.runtime.faults import maybe_inject
 
@@ -73,37 +82,52 @@ WORKERS_ENV_VAR = "REPRO_WORKERS"
 _INFLIGHT_PER_WORKER = 2
 
 
-def resolve_workers(workers: Optional[int] = None) -> int:
+def resolve_workers(workers: Union[int, str, None] = None) -> int:
     """Normalize the ``workers`` argument accepted across the library.
 
     ``None`` (the default everywhere) consults the ``REPRO_WORKERS``
-    environment variable and falls back to 1; ``0`` means "one per CPU";
-    any positive integer is taken literally.  The resolved count never
-    changes *results* — only how the fixed chunk plan is executed.
+    environment variable and falls back to 1; ``"auto"`` (as the argument
+    or as the env value) means "one per CPU"; any positive integer is
+    taken literally.  Zero and negative counts are rejected — a silent
+    normalization there has historically masked config bugs — with an
+    error naming where the bad value came from (argument vs env var).
+    The resolved count never changes *results* — only how the fixed
+    chunk plan is executed.
 
     >>> resolve_workers(1)
     1
     >>> resolve_workers(4)
     4
     """
+    source = "workers argument"
     if workers is None:
         raw = os.environ.get(WORKERS_ENV_VAR, "").strip()
         if not raw:
             return 1
-        try:
-            workers = int(raw)
-        except ValueError:
-            raise ConfigurationError(
-                f"{WORKERS_ENV_VAR} must be an integer, got {raw!r}"
-            ) from None
+        source = f"{WORKERS_ENV_VAR} environment variable"
+        if raw.lower() == "auto":
+            workers = "auto"
+        else:
+            try:
+                workers = int(raw)
+            except ValueError:
+                raise ConfigurationError(
+                    f"{source} must be a positive integer or 'auto', got {raw!r}"
+                ) from None
+    if isinstance(workers, str):
+        if workers.lower() == "auto":
+            return os.cpu_count() or 1
+        raise ConfigurationError(
+            f"{source} must be a positive integer or 'auto', got {workers!r}"
+        )
     if isinstance(workers, bool) or not isinstance(workers, int):
         raise ConfigurationError(
-            f"workers must be an int (0 = all CPUs), got {workers!r}"
+            f"{source} must be a positive integer or 'auto', got {workers!r}"
         )
-    if workers < 0:
-        raise ConfigurationError(f"workers must be >= 0, got {workers}")
-    if workers == 0:
-        return os.cpu_count() or 1
+    if workers < 1:
+        raise ConfigurationError(
+            f"{source} must be >= 1 (or 'auto' for one per CPU), got {workers}"
+        )
     return workers
 
 
@@ -140,17 +164,14 @@ def _init_worker(payload: Any) -> None:
     _WORKER_PAYLOAD = payload
 
 
-def _call_chunk(task: Callable[..., Any], args: Tuple[Any, ...]) -> Any:
-    return task(_WORKER_PAYLOAD, *args)
-
-
 def run_chunks(
     task: Callable[..., Any],
     payload: Any,
     chunk_args: Sequence[Tuple[Any, ...]],
-    workers: Optional[int] = None,
+    workers: Union[int, str, None] = None,
     deadline: DeadlineLike = None,
     inject_site: str = "parallel.chunk",
+    supervision: "SupervisionLike" = None,
 ) -> Tuple[List[Any], bool]:
     """Execute ``task(payload, *args, remaining)`` for each chunk, in order.
 
@@ -174,14 +195,22 @@ def run_chunks(
     inject_site:
         :func:`~repro.runtime.faults.maybe_inject` site name probed at
         each chunk boundary (in the coordinator process).
+    supervision:
+        Recovery policy of the pooled path — a
+        :class:`~repro.parallel.supervisor.SupervisionPolicy`, a dict of
+        its fields, or ``None`` for the defaults.  See
+        :mod:`repro.parallel.supervisor`; never changes the results of a
+        run that completes.
 
     Returns
     -------
     ``(results, expired)`` — per-chunk results for the dispatched prefix
-    (in chunk order), and whether the deadline cut dispatch short.
+    (in chunk order), and whether the run was cut short (deadline expiry,
+    or a quarantined poison chunk under ``on_poison_chunk="partial"``).
     """
     budget = as_deadline(deadline)
     worker_count = resolve_workers(workers)
+    policy = resolve_supervision(supervision)
     results: List[Any] = []
     expired = False
     polls = 0
@@ -201,28 +230,9 @@ def run_chunks(
         return results, expired
 
     window = _INFLIGHT_PER_WORKER * worker_count
-    with ProcessPoolExecutor(
-        max_workers=worker_count, initializer=_init_worker, initargs=(payload,)
-    ) as pool:
-        pending: deque = deque()
-        for args in chunk_args:
-            maybe_inject(inject_site)
-            polls += 1
-            remaining = budget.poll_remaining()
-            if remaining <= 0.0:
-                expired = True
-                break
-            pending.append(
-                pool.submit(
-                    _call_chunk,
-                    task,
-                    (*args, None if budget.unbounded else remaining),
-                )
-            )
-            if len(pending) >= window:
-                results.append(pending.popleft().result())
-        while pending:
-            results.append(pending.popleft().result())
+    results, expired, polls = run_supervised(
+        task, payload, chunk_args, worker_count, window, budget, inject_site, policy
+    )
     _record_run(len(results), polls, expired)
     return results, expired
 

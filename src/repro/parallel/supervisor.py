@@ -1,0 +1,563 @@
+"""Supervised execution of a deterministic chunk plan on a process pool.
+
+:func:`repro.parallel.pool.run_chunks` defines *what* runs — a fixed,
+seed-stable chunk plan — and delegates pooled execution to this module,
+which decides *how* that plan survives the failures of a multi-hour run
+on commodity hardware:
+
+* **Worker death** (OOM kill, segfault, ``os._exit``): the pool breaks
+  and every in-flight future fails with ``BrokenProcessPool``.  The
+  supervisor restarts the pool and re-dispatches **only** the chunks
+  whose futures were lost — completed chunks are never recomputed.
+  Because chunk ``i``'s seed stream is fixed at planning time, the
+  re-executed chunk is bit-identical to the one that died.
+* **Stragglers**: an optional per-chunk soft timeout
+  (``chunk_timeout``).  A running task cannot be cancelled, so the pool
+  is abandoned and rebuilt; the straggler is charged one attempt and
+  re-dispatched on its original seed, while innocent in-flight chunks
+  are requeued free of charge.
+* **Poison chunks**: each failed attempt is charged against a bounded
+  per-chunk budget (``max_chunk_retries``).  A chunk that exhausts it is
+  handled per ``on_poison_chunk``: ``"fail"`` raises
+  :class:`~repro.exceptions.PoisonChunkError`; ``"serial"`` makes one
+  final in-process attempt, rescuing chunks whose failures were
+  pool-environmental (by far the common case); ``"partial"`` quarantines
+  the chunk and truncates the run at it, degrading through the library's
+  existing partial-result contract — the kept prefix is bit-identical to
+  a fault-free run.
+* **Repeated pool breakage**: after ``max_pool_restarts`` restarts the
+  supervisor stops trusting process pools and drains the remaining plan
+  serially in-process (``serial_fallback=True``, the default), or raises
+  :class:`~repro.exceptions.PoolBrokenError`.
+
+Determinism contract: any run that *completes* — with or without
+recoveries — is bit-identical to a fault-free run at any worker count.
+Re-dispatch reuses the chunk's original argument tuple and the deadline
+budget measured at its first dispatch; the deadline is polled exactly
+once per chunk, at first dispatch, in chunk order (the same schedule as
+the serial path); results are assembled strictly in chunk order.  A
+truncated run (deadline, quarantine) returns a prefix of the fault-free
+chunk sequence, every kept chunk bit-identical.  Supervision metrics and
+spans are recorded only when a recovery actually happens, so fault-free
+metric snapshots also stay worker-count-invariant.
+
+Attribution note: when the pool breaks, the coordinator cannot know
+*which* chunk killed the worker, so every lost chunk is charged one
+failed attempt.  Innocent bystanders therefore spend retry budget
+alongside the true poison chunk; the ``"serial"`` poison policy and the
+serial-fallback backstop both rescue them, and the default budget
+(``max_chunk_retries=2``) tolerates two cohort losses.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.exceptions import ConfigurationError, PoisonChunkError, PoolBrokenError
+from repro.obs.context import get_metrics, get_tracer
+from repro.runtime.deadline import Deadline
+from repro.runtime.faults import (
+    execute_process_fault,
+    maybe_inject,
+    planned_process_fault,
+)
+
+__all__ = [
+    "SupervisionPolicy",
+    "SupervisionReport",
+    "SupervisionLike",
+    "resolve_supervision",
+    "run_supervised",
+]
+
+_POISON_POLICIES = ("fail", "partial", "serial")
+
+
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """Recovery budgets and degradation policy of the supervised pool.
+
+    Attributes
+    ----------
+    max_chunk_retries:
+        Failed attempts tolerated per chunk beyond the first — a chunk is
+        dispatched at most ``1 + max_chunk_retries`` times before it is
+        declared poison.  ``0`` disables re-execution.
+    chunk_timeout:
+        Soft per-chunk wall-clock timeout in seconds; a chunk running
+        past it is abandoned and re-dispatched (charged one attempt).
+        ``None`` (default) disables straggler detection.
+    on_poison_chunk:
+        What to do with a chunk that exhausts its retry budget:
+        ``"fail"`` raises, ``"partial"`` quarantines it and truncates the
+        run at it (keeping the bit-identical prefix), ``"serial"`` makes
+        one final in-process attempt and raises only if that fails too.
+    max_pool_restarts:
+        Pool rebuilds tolerated before giving up on process pools.
+    serial_fallback:
+        After ``max_pool_restarts`` is exhausted, drain the remaining
+        plan serially in-process (``True``, default) or raise
+        :class:`~repro.exceptions.PoolBrokenError` (``False``).
+    """
+
+    max_chunk_retries: int = 2
+    chunk_timeout: Optional[float] = None
+    on_poison_chunk: str = "fail"
+    max_pool_restarts: int = 3
+    serial_fallback: bool = True
+
+    def __post_init__(self) -> None:
+        if (
+            isinstance(self.max_chunk_retries, bool)
+            or not isinstance(self.max_chunk_retries, int)
+            or self.max_chunk_retries < 0
+        ):
+            raise ConfigurationError(
+                f"max_chunk_retries must be a non-negative int, got "
+                f"{self.max_chunk_retries!r}"
+            )
+        if self.chunk_timeout is not None and not self.chunk_timeout > 0.0:
+            raise ConfigurationError(
+                f"chunk_timeout must be positive (or None), got {self.chunk_timeout!r}"
+            )
+        if self.on_poison_chunk not in _POISON_POLICIES:
+            raise ConfigurationError(
+                f"on_poison_chunk must be one of {_POISON_POLICIES}, got "
+                f"{self.on_poison_chunk!r}"
+            )
+        if (
+            isinstance(self.max_pool_restarts, bool)
+            or not isinstance(self.max_pool_restarts, int)
+            or self.max_pool_restarts < 0
+        ):
+            raise ConfigurationError(
+                f"max_pool_restarts must be a non-negative int, got "
+                f"{self.max_pool_restarts!r}"
+            )
+
+
+#: Accepted wherever a ``supervision=`` parameter appears: a policy, a
+#: dict of :class:`SupervisionPolicy` field overrides (convenient for
+#: CLI/JSON plumbing), or ``None`` for the defaults.
+SupervisionLike = Union[None, "SupervisionPolicy", Dict[str, Any]]
+
+_POLICY_FIELDS = frozenset(f.name for f in fields(SupervisionPolicy))
+
+DEFAULT_POLICY = SupervisionPolicy()
+
+
+def resolve_supervision(supervision: SupervisionLike) -> SupervisionPolicy:
+    """Normalize the ``supervision`` argument accepted across the library.
+
+    >>> resolve_supervision(None) == SupervisionPolicy()
+    True
+    >>> resolve_supervision({"max_chunk_retries": 5}).max_chunk_retries
+    5
+    """
+    if supervision is None:
+        return DEFAULT_POLICY
+    if isinstance(supervision, SupervisionPolicy):
+        return supervision
+    if isinstance(supervision, dict):
+        unknown = set(supervision) - _POLICY_FIELDS
+        if unknown:
+            raise ConfigurationError(
+                f"unknown supervision option(s) {sorted(unknown)}; valid fields: "
+                f"{sorted(_POLICY_FIELDS)}"
+            )
+        return replace(DEFAULT_POLICY, **supervision)
+    raise ConfigurationError(
+        f"supervision must be a SupervisionPolicy, a dict of its fields, or "
+        f"None, got {type(supervision).__name__}"
+    )
+
+
+@dataclass
+class SupervisionReport:
+    """What the supervisor had to do to finish (or truncate) one run."""
+
+    pool_restarts: int = 0
+    chunks_retried: int = 0
+    stragglers: int = 0
+    quarantined: List[int] = field(default_factory=list)
+    serial_rescues: int = 0
+    serial_fallback: bool = False
+
+    @property
+    def clean(self) -> bool:
+        """True when no recovery action was needed (the fault-free path)."""
+        return (
+            self.pool_restarts == 0
+            and self.chunks_retried == 0
+            and self.stragglers == 0
+            and not self.quarantined
+            and self.serial_rescues == 0
+            and not self.serial_fallback
+        )
+
+
+def _call_supervised(
+    task: Callable[..., Any],
+    args: Tuple[Any, ...],
+    directive: Optional[str],
+    hang_seconds: float,
+) -> Any:
+    """Worker-side chunk entry: execute any planned fault, then the task.
+
+    Module-level so it pickles under fork and spawn; reads the per-worker
+    payload installed by the pool initializer of :mod:`.pool`.
+    """
+    from repro.parallel import pool as _pool
+
+    if directive is not None:
+        execute_process_fault(directive, hang_seconds)
+    return task(_pool._WORKER_PAYLOAD, *args)
+
+
+def _summary(exc: BaseException) -> str:
+    return f"{type(exc).__name__}: {exc}"
+
+
+class _Supervisor:
+    """One supervised run over a fixed chunk plan.  See module docstring."""
+
+    def __init__(
+        self,
+        task: Callable[..., Any],
+        payload: Any,
+        chunk_args: Sequence[Tuple[Any, ...]],
+        worker_count: int,
+        window: int,
+        budget: Deadline,
+        inject_site: str,
+        policy: SupervisionPolicy,
+    ) -> None:
+        self.task = task
+        self.payload = payload
+        self.chunk_args = chunk_args
+        self.worker_count = worker_count
+        self.window = window
+        self.budget = budget
+        self.inject_site = inject_site
+        self.policy = policy
+
+        self.total = len(chunk_args)
+        self.results: Dict[int, Any] = {}
+        self.failures = [0] * self.total
+        self.causes: Dict[int, List[str]] = {}
+        #: Deadline budget measured at each chunk's FIRST dispatch.
+        #: Retries reuse it, so a re-executed chunk sees the same
+        #: safety-net budget as the attempt that died (bit-identity of
+        #: the recovered run) and the poll count stays a pure function
+        #: of the plan.
+        self.chunk_remaining: Dict[int, Optional[float]] = {}
+        self.retry_queue: deque = deque()
+        self.next_fresh = 0  # next never-dispatched chunk, in plan order
+        self.limit = self.total  # a quarantine truncates the plan here
+        self.polls = 0
+        self.expired = False
+        self.report = SupervisionReport()
+
+        self.pool: Optional[ProcessPoolExecutor] = None
+        self.pending: Dict[Future, int] = {}
+        self.started: Dict[Future, float] = {}
+        self.metrics = get_metrics()
+
+    # ------------------------------------------------------------------
+    # pool lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        from repro.parallel.pool import _init_worker
+
+        if self.pool is None:
+            self.pool = ProcessPoolExecutor(
+                max_workers=self.worker_count,
+                initializer=_init_worker,
+                initargs=(self.payload,),
+            )
+        return self.pool
+
+    def _abandon_pool(self) -> None:
+        if self.pool is not None:
+            self.pool.shutdown(wait=False, cancel_futures=True)
+            self.pool = None
+
+    # ------------------------------------------------------------------
+    # failure accounting
+    # ------------------------------------------------------------------
+    def _charge(self, index: int, cause: str) -> None:
+        """Record one failed attempt of ``index``; requeue or resolve poison."""
+        self.failures[index] += 1
+        self.causes.setdefault(index, []).append(cause)
+        if self.failures[index] <= self.policy.max_chunk_retries:
+            self.report.chunks_retried += 1
+            self.metrics.inc("pool.chunks_retried_total")
+            self.retry_queue.append(index)
+            return
+        self._resolve_poison(index)
+
+    def _resolve_poison(self, index: int) -> None:
+        causes = tuple(self.causes.get(index, ()))
+        if self.policy.on_poison_chunk == "serial":
+            try:
+                self.results[index] = self._run_inline(index)
+            except Exception as exc:
+                raise PoisonChunkError(
+                    index, self.failures[index], causes + (_summary(exc),)
+                ) from exc
+            self.report.serial_rescues += 1
+            self.metrics.inc("pool.serial_rescues_total")
+            return
+        if self.policy.on_poison_chunk == "partial":
+            self.limit = min(self.limit, index)
+            self.report.quarantined.append(index)
+            self.metrics.inc("pool.chunks_quarantined_total")
+            span = get_tracer().current
+            if span is not None:
+                span.event(
+                    "pool.chunk_quarantined",
+                    chunk=index,
+                    attempts=self.failures[index],
+                )
+            return
+        raise PoisonChunkError(index, self.failures[index], causes)
+
+    def _run_inline(self, index: int) -> Any:
+        """Execute one chunk in the coordinator, on its original budget."""
+        remaining = self.chunk_remaining.get(index)
+        return self.task(self.payload, *self.chunk_args[index], remaining)
+
+    # ------------------------------------------------------------------
+    # dispatch / collect
+    # ------------------------------------------------------------------
+    def _dispatch_one(self, index: int) -> None:
+        planned = planned_process_fault(self.inject_site, index, self.failures[index])
+        directive, hang = (None, 0.0) if planned is None else planned
+        future = self._ensure_pool().submit(
+            _call_supervised,
+            self.task,
+            (*self.chunk_args[index], self.chunk_remaining[index]),
+            directive,
+            hang,
+        )
+        self.pending[future] = index
+        self.started[future] = time.monotonic()
+
+    def _fill_window(self) -> None:
+        """Dispatch retries first, then fresh chunks in plan order.
+
+        Fresh chunks replicate the serial path's per-chunk schedule
+        exactly: one fault probe and one deadline poll, in chunk order,
+        before dispatch.  Retries reuse the budget measured at first
+        dispatch and are never re-polled.
+        """
+        while not self.report.serial_fallback and len(self.pending) < self.window:
+            if self.retry_queue:
+                index = self.retry_queue.popleft()
+                if index >= self.limit:
+                    continue  # truncated away by an earlier quarantine
+            elif not self.expired and self.next_fresh < self.limit:
+                index = self.next_fresh
+                maybe_inject(self.inject_site)
+                self.polls += 1
+                remaining = self.budget.poll_remaining()
+                if remaining <= 0.0:
+                    self.expired = True
+                    break
+                self.chunk_remaining[index] = (
+                    None if self.budget.unbounded else remaining
+                )
+                self.next_fresh += 1
+            else:
+                break
+            try:
+                self._dispatch_one(index)
+            except BrokenProcessPool:
+                # The pool died between submissions; this chunk never ran,
+                # so requeue it uncharged and rebuild.
+                self.retry_queue.appendleft(index)
+                self._recover(charged={})
+
+    def _collect_done(self, done: Sequence[Future]) -> Set[int]:
+        """Fold finished futures into results; return chunks lost to breakage."""
+        broken: Set[int] = set()
+        for future in done:
+            index = self.pending.pop(future)
+            self.started.pop(future, None)
+            try:
+                self.results[index] = future.result()
+            except BrokenProcessPool:
+                broken.add(index)
+            except Exception as exc:  # the chunk task raised in the worker
+                self._charge(index, _summary(exc))
+        return broken
+
+    # ------------------------------------------------------------------
+    # recovery events
+    # ------------------------------------------------------------------
+    def _recover(self, charged: Dict[int, str]) -> None:
+        """Rebuild the pool, salvaging finished futures and requeuing lost ones.
+
+        ``charged`` maps chunk indexes known (or presumed) to have failed
+        to a cause line; they are charged one attempt against their retry
+        budget.  Other in-flight chunks whose futures cannot yield a
+        result are requeued free of charge.
+        """
+        self.report.pool_restarts += 1
+        self.metrics.inc("pool.restarts_total")
+        self.metrics.inc("pool.workers_lost_total")
+        lost: List[int] = []
+        for future, index in list(self.pending.items()):
+            if future.done() and not future.cancelled():
+                try:
+                    self.results[index] = future.result()
+                    continue  # finished before the breakage: salvage it
+                except Exception:
+                    pass
+            lost.append(index)
+        self.pending.clear()
+        self.started.clear()
+        self._abandon_pool()
+        with get_tracer().span(
+            "pool.recovery", restart=self.report.pool_restarts, lost=sorted(lost)
+        ):
+            for index in sorted(set(lost) | set(charged)):
+                if index in charged:
+                    self._charge(index, charged[index])
+                else:
+                    self.retry_queue.append(index)
+        if self.report.pool_restarts > self.policy.max_pool_restarts:
+            if not self.policy.serial_fallback:
+                raise PoolBrokenError(self.report.pool_restarts)
+            self.report.serial_fallback = True
+            self.metrics.inc("pool.serial_fallback_total")
+
+    def _handle_stragglers(self) -> None:
+        """Abandon the pool around chunks that blew the soft timeout."""
+        now = time.monotonic()
+        timeout = self.policy.chunk_timeout or 0.0
+        overdue = {
+            index: "straggler: exceeded chunk_timeout"
+            for future, index in self.pending.items()
+            if not future.done() and now - self.started[future] >= timeout
+        }
+        if not overdue:
+            return
+        self.report.stragglers += len(overdue)
+        self.metrics.inc("pool.stragglers_total", len(overdue))
+        self._recover(charged=overdue)
+
+    # ------------------------------------------------------------------
+    # main loops
+    # ------------------------------------------------------------------
+    def _pooled_loop(self) -> None:
+        while not self.report.serial_fallback:
+            self._fill_window()
+            if not self.pending:
+                return  # plan drained (or expired with nothing in flight)
+            timeout = None
+            if self.policy.chunk_timeout is not None:
+                oldest = min(self.started[f] for f in self.pending)
+                timeout = max(
+                    0.0, oldest + self.policy.chunk_timeout - time.monotonic()
+                )
+            done, _ = wait(
+                set(self.pending), timeout=timeout, return_when=FIRST_COMPLETED
+            )
+            if done:
+                broken = self._collect_done(list(done))
+                if broken:
+                    self._recover(
+                        charged={i: "lost with broken pool" for i in broken}
+                    )
+            else:
+                self._handle_stragglers()
+
+    def _serial_loop(self) -> None:
+        """Drain every unresolved chunk inline, in plan order."""
+        self.retry_queue.clear()  # the loop below walks the plan directly
+        quarantined = set(self.report.quarantined)
+        for index in range(self.limit):
+            if index in self.results or index in quarantined:
+                continue
+            if index not in self.chunk_remaining:  # never dispatched
+                if self.expired:
+                    break
+                maybe_inject(self.inject_site)
+                self.polls += 1
+                remaining = self.budget.poll_remaining()
+                if remaining <= 0.0:
+                    self.expired = True
+                    break
+                self.chunk_remaining[index] = (
+                    None if self.budget.unbounded else remaining
+                )
+            self.results[index] = self._run_inline(index)
+
+    def run(self) -> Tuple[List[Any], bool, int]:
+        try:
+            self._pooled_loop()
+            if self.report.serial_fallback:
+                self._serial_loop()
+        except BaseException:
+            self._abandon_pool()
+            raise
+        else:
+            if self.pool is not None:
+                self.pool.shutdown(wait=True)
+                self.pool = None
+        return self._assemble()
+
+    # ------------------------------------------------------------------
+    # result assembly
+    # ------------------------------------------------------------------
+    def _assemble(self) -> Tuple[List[Any], bool, int]:
+        """Order results and enforce the prefix-closure contract."""
+        ordered: List[Any] = []
+        truncated = self.expired
+        for index in range(self.limit):
+            if index not in self.results:
+                truncated = True
+                break
+            ordered.append(self.results[index])
+        if self.limit < self.total:
+            truncated = True
+        if not ordered and self.report.quarantined:
+            first = self.report.quarantined[0]
+            raise PoisonChunkError(
+                first,
+                self.failures[first],
+                tuple(self.causes.get(first, ())) + ("no salvageable prefix",),
+            )
+        if not self.report.clean:
+            self.metrics.inc("pool.supervised_recoveries_total")
+        return ordered, truncated, self.polls
+
+
+def run_supervised(
+    task: Callable[..., Any],
+    payload: Any,
+    chunk_args: Sequence[Tuple[Any, ...]],
+    worker_count: int,
+    window: int,
+    budget: Deadline,
+    inject_site: str,
+    policy: SupervisionPolicy,
+) -> Tuple[List[Any], bool, int]:
+    """Execute a chunk plan on a supervised pool.
+
+    Returns ``(results, truncated, polls)``: the ordered prefix of chunk
+    results actually kept, whether the plan was cut short (deadline
+    expiry or quarantine — both feed the library's partial-result
+    contract), and how many deadline polls were made (folded into the
+    coordinator's run metrics by the caller).
+    """
+    supervisor = _Supervisor(
+        task, payload, chunk_args, worker_count, window, budget, inject_site, policy
+    )
+    return supervisor.run()

@@ -31,9 +31,10 @@ from typing import Dict, List, Optional, Union
 
 import numpy as np
 
-from repro.exceptions import EstimationError
+from repro.exceptions import CheckpointError, EstimationError, WorkerPoolError
 from repro.obs.context import get_metrics, get_tracer
 from repro.parallel.pool import DEFAULT_CHUNK_SIZE
+from repro.parallel.supervisor import SupervisionLike
 from repro.rrset.estimator import HypergraphObjective
 from repro.rrset.hypergraph import RRHypergraph
 from repro.rrset.sample_size import default_num_rr_sets
@@ -142,7 +143,10 @@ class AdaptiveResult:
     #: Why sampling stopped: ``"certified"`` (error bound met),
     #: ``"stable"`` (martingale stability across doublings),
     #: ``"max_theta"`` (budget of hyper-edges exhausted — the fixed-θ
-    #: default), or ``"deadline"``.
+    #: default), ``"deadline"``, or ``"fault"`` (a later instalment's
+    #: worker pool failed past its recovery budgets; the completed
+    #: instalments — bit-identical to a fault-free build of their θ —
+    #: were salvaged as the result).
     stop_reason: str
     #: One record per instalment: theta, value, epsilon_bound, CD effort.
     stages: List[Dict[str, object]] = field(default_factory=list)
@@ -191,6 +195,7 @@ def adaptive_hypergraph(
     workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
     deadline: DeadlineLike = None,
+    supervision: SupervisionLike = None,
     checkpoint_dir: Optional[Union[str, Path]] = None,
     pair_strategy: str = "lazy",
     grid_step: float = 0.01,
@@ -236,10 +241,21 @@ def adaptive_hypergraph(
         Optional run budget shared by sampling and descent.  On expiry the
         incumbent (feasible, never worse than the warm start) is returned
         with ``stop_reason="deadline"``.
+    supervision:
+        Pool recovery policy forwarded to
+        :func:`~repro.rrset.sampler.sample_rr_sets`.  When a later
+        instalment's pool fails past its budgets
+        (:class:`~repro.exceptions.WorkerPoolError`), the completed
+        instalments are *salvaged*: the incumbent is returned with
+        ``stop_reason="fault"`` instead of discarding certified work.
+        The error propagates only when no instalment completed.
     checkpoint_dir:
         Optional directory for content-keyed instalment snapshots
         (hyper-graph CSR + incumbent discounts per completed stage); a
         rerun with identical inputs resumes past completed instalments.
+        Snapshots are integrity-checked on restore; a corrupt or torn
+        instalment is quarantined and recomputed rather than crashing
+        the resume (see :meth:`~repro.runtime.CheckpointStore.salvage_json`).
     pair_strategy, grid_step, cd_max_rounds, cd_tolerance, refine_iterations:
         Forwarded to
         :func:`~repro.core.cd_hypergraph.coordinate_descent_hypergraph`;
@@ -314,36 +330,71 @@ def adaptive_hypergraph(
         for target in schedule:
             name = f"theta-{target:09d}"
             truncated = False
-            if store is not None and store.has(name) and store.has_arrays(name):
-                arrays = store.load_arrays(name)
-                hypergraph = RRHypergraph.from_arrays(arrays)
-                warm = Configuration(
-                    np.asarray(arrays["discounts"], dtype=np.float64)
-                )
-                objective = None  # rebuilt over the restored graph on demand
-                record = dict(store.load_json(name))
-                value = float(record["value"])
-                checkpoint_hits += 1
-                metrics.inc("adaptive.checkpoint_hits_total")
-            else:
-                built = 0 if hypergraph is None else hypergraph.num_hyperedges
-                with timings.phase("sample"):
-                    rr_sets = sample_rr_sets(
-                        problem.model,
-                        target - built,
-                        seed=root,
-                        deadline=budget_clock,
-                        workers=workers,
-                        chunk_size=chunk_size,
-                        start_at=built,
-                    )
-                    sampled += len(rr_sets)
-                    if hypergraph is None:
-                        hypergraph = RRHypergraph(n, rr_sets)
+            restored = False
+            if store is not None:
+                arrays = store.salvage_arrays(name)
+                payload = None if arrays is None else store.salvage_json(name)
+                if arrays is not None and payload is not None:
+                    try:
+                        restored_graph = RRHypergraph.from_arrays(arrays)
+                        restored_warm = Configuration(
+                            np.asarray(arrays["discounts"], dtype=np.float64)
+                        )
+                        record = dict(payload)
+                        value = float(record["value"])
+                    except (CheckpointError, KeyError, TypeError, ValueError):
+                        # Verified bytes but semantically unusable (e.g. a
+                        # snapshot from an older layout): quarantine the
+                        # pair and recompute the instalment.
+                        store.quarantine(name)
                     else:
-                        hypergraph = hypergraph.extend(rr_sets)
-                        if objective is not None:
-                            objective.extend(hypergraph)
+                        hypergraph = restored_graph
+                        warm = restored_warm
+                        objective = None  # rebuilt over the restored graph
+                        checkpoint_hits += 1
+                        metrics.inc("adaptive.checkpoint_hits_total")
+                        restored = True
+                elif arrays is not None or store.has(name):
+                    # Half a snapshot (the other half missing or already
+                    # quarantined by salvage): drop the stray half too, so
+                    # the recompute below rewrites a coherent pair.
+                    store.quarantine(name)
+            if not restored:
+                built = 0 if hypergraph is None else hypergraph.num_hyperedges
+                salvaged_fault: Optional[WorkerPoolError] = None
+                with timings.phase("sample"):
+                    try:
+                        rr_sets = sample_rr_sets(
+                            problem.model,
+                            target - built,
+                            seed=root,
+                            deadline=budget_clock,
+                            workers=workers,
+                            chunk_size=chunk_size,
+                            start_at=built,
+                            supervision=supervision,
+                        )
+                    except WorkerPoolError as exc:
+                        if hypergraph is None or hypergraph.num_hyperedges == 0:
+                            raise  # nothing completed yet: nothing to salvage
+                        salvaged_fault = exc
+                    else:
+                        sampled += len(rr_sets)
+                        if hypergraph is None:
+                            hypergraph = RRHypergraph(n, rr_sets)
+                        else:
+                            hypergraph = hypergraph.extend(rr_sets)
+                            if objective is not None:
+                                objective.extend(hypergraph)
+                if salvaged_fault is not None:
+                    stop_reason = "fault"
+                    metrics.inc("adaptive.salvaged_total")
+                    span.event(
+                        "fault_salvage",
+                        theta=int(hypergraph.num_hyperedges),
+                        error=type(salvaged_fault).__name__,
+                    )
+                    break
                 truncated = hypergraph.num_hyperedges < target
                 with timings.phase("descent"):
                     # Re-derive the UD warm start on every instalment: the
@@ -421,7 +472,9 @@ def adaptive_hypergraph(
                 stop_reason = "stable"
                 break
             if truncated or budget_clock.expired():
-                stop_reason = "deadline"
+                # A truncation without deadline expiry means the sampler
+                # quarantined a poison chunk (partial-result contract).
+                stop_reason = "deadline" if budget_clock.expired() else "fault"
                 break
         else:
             stop_reason = "max_theta"

@@ -114,6 +114,7 @@ class RRHypergraph:
         deadline: DeadlineLike = None,
         workers: Optional[int] = None,
         chunk_size: Optional[int] = None,
+        supervision=None,
     ) -> "RRHypergraph":
         """Sample ``num_hyperedges`` RR sets from ``model`` and index them.
 
@@ -123,10 +124,13 @@ class RRHypergraph:
         estimator stays unbiased); compare against the requested count to
         detect truncation.
 
-        ``workers`` parallelizes the sampling (``0`` = one per CPU); for a
-        fixed seed the built hyper-graph is bit-identical for every worker
-        count, so checkpoints written at one worker count resume correctly
-        at another.
+        ``workers`` parallelizes the sampling (``"auto"`` = one per CPU);
+        for a fixed seed the built hyper-graph is bit-identical for every
+        worker count, so checkpoints written at one worker count resume
+        correctly at another.  ``supervision`` sets the pooled build's
+        crash/straggler recovery policy (see
+        :mod:`repro.parallel.supervisor`); recovered builds are
+        bit-identical to fault-free ones.
         """
         with get_tracer().span("hypergraph.build", theta=num_hyperedges) as span:
             rr_sets = sample_rr_sets(
@@ -136,6 +140,7 @@ class RRHypergraph:
                 deadline=deadline,
                 workers=workers,
                 chunk_size=chunk_size,
+                supervision=supervision,
             )
             hypergraph = cls(model.num_nodes, rr_sets)
             span.set(

@@ -26,6 +26,7 @@ from repro.diffusion.base import DiffusionModel
 from repro.exceptions import EstimationError
 from repro.obs.context import get_metrics, get_tracer
 from repro.parallel.pool import DEFAULT_CHUNK_SIZE, partition_chunks, run_chunks
+from repro.parallel.supervisor import SupervisionLike
 from repro.runtime.deadline import Deadline, DeadlineLike, as_deadline, deadline_iter
 from repro.utils.rng import SeedLike, child_sequences
 
@@ -74,6 +75,7 @@ def sample_rr_sets(
     workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
     start_at: int = 0,
+    supervision: "SupervisionLike" = None,
 ) -> List[np.ndarray]:
     """Generate ``count`` random RR sets.
 
@@ -98,8 +100,8 @@ def sample_rr_sets(
         RR set is drawn i.i.d.  Expiring before *any* set was sampled
         raises :class:`~repro.exceptions.DeadlineExceeded`.
     workers:
-        Parallel sampling processes: ``1`` runs inline, ``0`` means one
-        per CPU, ``None`` defers to the ``REPRO_WORKERS`` environment
+        Parallel sampling processes: ``1`` runs inline, ``"auto"`` means
+        one per CPU, ``None`` defers to the ``REPRO_WORKERS`` environment
         variable (default 1).
     chunk_size:
         Sets per work chunk (default
@@ -116,6 +118,9 @@ def sample_rr_sets(
         hyper-graph in instalments that stay bit-identical to a one-shot
         build.  Note a ``SeedSequence``/int seed keeps the plan stable
         across calls; a live ``Generator`` is consumed at the first call.
+    supervision:
+        Pool recovery policy (see :mod:`repro.parallel.supervisor`);
+        never changes the sampled sets of a run that completes.
 
     Returns
     -------
@@ -166,6 +171,7 @@ def sample_rr_sets(
             workers=workers,
             deadline=budget,
             inject_site="sampler.chunk",
+            supervision=supervision,
         )
         # Chunk events come off the ordered results list, never from
         # completion order, so traces stay identical across worker counts.

@@ -12,6 +12,17 @@ different experiment.
 Snapshots are JSON for structured records and NPZ for arrays, both written
 via write-temp-then-rename (:func:`repro.io.serialization.atomic_write_bytes`),
 so a reader never sees a torn file.
+
+Integrity: every snapshot gets a ``<file>.sha256`` sidecar written after
+the main file; loads verify the digest before parsing, so silent disk
+corruption (bit rot, a partial copy, a crash between file and sidecar)
+is caught as :class:`~repro.exceptions.CheckpointError` — with ``path``
+naming the damaged artifact — instead of surfacing as a confusing parse
+error hours into a resume.  Sidecar-less files (pre-integrity stores)
+still load.  :meth:`CheckpointStore.salvage_json` /
+:meth:`~CheckpointStore.salvage_arrays` turn "damaged" into "absent":
+they quarantine the corrupt artifact (rename to ``*.quarantined``, kept
+for forensics) and return ``None`` so the caller simply recomputes.
 """
 
 from __future__ import annotations
@@ -19,8 +30,10 @@ from __future__ import annotations
 import hashlib
 import io as _io
 import json
+import zipfile
+import zlib
 from pathlib import Path
-from typing import Dict, Iterator, Union
+from typing import Dict, Iterator, List, Optional, Union
 
 import numpy as np
 
@@ -90,6 +103,52 @@ class CheckpointStore:
             raise CheckpointError(f"cannot create checkpoint directory: {exc}") from exc
 
     # ------------------------------------------------------------------
+    # integrity sidecars
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _sidecar_path(path: Path) -> Path:
+        return path.with_name(path.name + ".sha256")
+
+    def _write_sidecar(self, path: Path, data: bytes) -> None:
+        from repro.io.serialization import atomic_write_text
+
+        digest = hashlib.sha256(data).hexdigest()
+        try:
+            atomic_write_text(self._sidecar_path(path), digest + "\n")
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot write integrity sidecar for {path.name!r}: {exc}",
+                path=self._sidecar_path(path),
+            ) from exc
+
+    def _verify(self, path: Path, name: str, data: bytes) -> None:
+        """Check ``data`` against the sidecar digest, if one exists.
+
+        A missing sidecar is accepted (stores written before integrity
+        sidecars existed); a mismatch means the artifact — or the
+        sidecar — changed after the write, and the snapshot cannot be
+        trusted.
+        """
+        sidecar = self._sidecar_path(path)
+        try:
+            expected = sidecar.read_text(encoding="utf-8").strip()
+        except FileNotFoundError:
+            return
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot read integrity sidecar of checkpoint {name!r}: {exc}",
+                path=sidecar,
+            ) from exc
+        actual = hashlib.sha256(data).hexdigest()
+        if actual != expected:
+            get_metrics().inc("checkpoint.integrity_failures_total")
+            raise CheckpointError(
+                f"checkpoint {name!r} failed integrity verification: "
+                f"sha256 {actual[:12]}… does not match sidecar {expected[:12]}…",
+                path=path,
+            )
+
+    # ------------------------------------------------------------------
     # JSON snapshots
     # ------------------------------------------------------------------
     def _json_path(self, name: str) -> Path:
@@ -100,7 +159,7 @@ class CheckpointStore:
         return self._json_path(name).exists()
 
     def save_json(self, name: str, payload: Dict[str, object]) -> Path:
-        """Atomically write a JSON snapshot; returns its path."""
+        """Atomically write a JSON snapshot (plus sidecar); returns its path."""
         from repro.io.serialization import atomic_write_text
         from repro.runtime.faults import maybe_inject
 
@@ -108,34 +167,54 @@ class CheckpointStore:
         document = {"format": _CHECKPOINT_FORMAT, "key": self.key, "payload": payload}
         path = self._json_path(name)
         try:
-            atomic_write_text(path, json.dumps(document, indent=2, sort_keys=True))
+            text = json.dumps(document, indent=2, sort_keys=True)
+            atomic_write_text(path, text)
         except (OSError, TypeError, ValueError) as exc:
-            raise CheckpointError(f"cannot write checkpoint {name!r}: {exc}") from exc
+            raise CheckpointError(
+                f"cannot write checkpoint {name!r}: {exc}", path=path
+            ) from exc
+        self._write_sidecar(path, text.encode("utf-8"))
         get_metrics().inc("checkpoint.writes_total")
         return path
 
     def load_json(self, name: str) -> Dict[str, object]:
         """Read a JSON snapshot; raises :class:`CheckpointError` when
-        missing, torn, or written under a different key."""
+        missing, torn, corrupted on disk, or written under a different
+        key — carrying the offending file path."""
         path = self._json_path(name)
         try:
-            document = json.loads(path.read_text(encoding="utf-8"))
+            raw = path.read_bytes()
         except FileNotFoundError as exc:
-            raise CheckpointError(f"no checkpoint named {name!r} under {self.directory}") from exc
-        except (OSError, json.JSONDecodeError) as exc:
-            raise CheckpointError(f"corrupt checkpoint {name!r}: {exc}") from exc
+            raise CheckpointError(
+                f"no checkpoint named {name!r} under {self.directory}", path=path
+            ) from exc
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot read checkpoint {name!r}: {exc}", path=path
+            ) from exc
+        self._verify(path, name, raw)
+        try:
+            document = json.loads(raw.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise CheckpointError(
+                f"corrupt checkpoint {name!r}: {exc}", path=path
+            ) from exc
         if not isinstance(document, dict) or document.get("format") != _CHECKPOINT_FORMAT:
             raise CheckpointError(
-                f"checkpoint {name!r} is not a {_CHECKPOINT_FORMAT} document"
+                f"checkpoint {name!r} is not a {_CHECKPOINT_FORMAT} document",
+                path=path,
             )
         if document.get("key") != self.key:
             raise CheckpointError(
                 f"checkpoint {name!r} belongs to run {document.get('key')!r}, "
-                f"not {self.key!r}"
+                f"not {self.key!r}",
+                path=path,
             )
         payload = document.get("payload")
         if not isinstance(payload, dict):
-            raise CheckpointError(f"checkpoint {name!r} has a malformed payload")
+            raise CheckpointError(
+                f"checkpoint {name!r} has a malformed payload", path=path
+            )
         get_metrics().inc("checkpoint.reads_total")
         return payload
 
@@ -150,7 +229,7 @@ class CheckpointStore:
         return self._npz_path(name).exists()
 
     def save_arrays(self, name: str, **arrays: np.ndarray) -> Path:
-        """Atomically write an NPZ snapshot of the named arrays."""
+        """Atomically write an NPZ snapshot (plus sidecar) of the arrays."""
         from repro.io.serialization import atomic_write_bytes
         from repro.runtime.faults import maybe_inject
 
@@ -161,22 +240,106 @@ class CheckpointStore:
         try:
             atomic_write_bytes(path, buffer.getvalue())
         except OSError as exc:
-            raise CheckpointError(f"cannot write checkpoint {name!r}: {exc}") from exc
+            raise CheckpointError(
+                f"cannot write checkpoint {name!r}: {exc}", path=path
+            ) from exc
+        self._write_sidecar(path, buffer.getvalue())
         get_metrics().inc("checkpoint.writes_total")
         return path
 
     def load_arrays(self, name: str) -> Dict[str, np.ndarray]:
-        """Read an NPZ snapshot back as a dict of arrays."""
+        """Read an NPZ snapshot back as a dict of arrays.
+
+        Wraps every decoder failure mode — a truncated ZIP container
+        (``zipfile.BadZipFile``), a missing archive member
+        (``KeyError``), a torn deflate stream (``zlib.error``,
+        ``EOFError``) — as :class:`CheckpointError` with the file path.
+        """
         path = self._npz_path(name)
         try:
-            with np.load(path) as data:
-                arrays = {key: data[key] for key in data.files}
+            raw = path.read_bytes()
         except FileNotFoundError as exc:
-            raise CheckpointError(f"no checkpoint named {name!r} under {self.directory}") from exc
-        except (OSError, ValueError) as exc:
-            raise CheckpointError(f"corrupt checkpoint {name!r}: {exc}") from exc
+            raise CheckpointError(
+                f"no checkpoint named {name!r} under {self.directory}", path=path
+            ) from exc
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot read checkpoint {name!r}: {exc}", path=path
+            ) from exc
+        self._verify(path, name, raw)
+        try:
+            with np.load(_io.BytesIO(raw)) as data:
+                arrays = {key: data[key] for key in data.files}
+        except (
+            OSError,
+            ValueError,
+            KeyError,
+            EOFError,
+            zipfile.BadZipFile,
+            zlib.error,
+        ) as exc:
+            raise CheckpointError(
+                f"corrupt checkpoint {name!r}: {exc}", path=path
+            ) from exc
         get_metrics().inc("checkpoint.reads_total")
         return arrays
+
+    # ------------------------------------------------------------------
+    # quarantine and salvage
+    # ------------------------------------------------------------------
+    def quarantine(self, name: str) -> List[Path]:
+        """Move every artifact of snapshot ``name`` aside as ``*.quarantined``.
+
+        The JSON and NPZ halves of a snapshot (and their sidecars) form
+        one logical unit, so all of them are quarantined together: a
+        half-trusted snapshot is worse than an absent one.  The renamed
+        files are kept for forensics and returned; :meth:`has` /
+        :meth:`has_arrays` report the snapshot as absent afterwards, so
+        resume logic falls through to recomputation.
+        """
+        moved: List[Path] = []
+        for path in (self._json_path(name), self._npz_path(name)):
+            for artifact in (path, self._sidecar_path(path)):
+                if not artifact.exists():
+                    continue
+                target = artifact.with_name(artifact.name + ".quarantined")
+                try:
+                    artifact.replace(target)
+                except OSError as exc:
+                    raise CheckpointError(
+                        f"cannot quarantine checkpoint {name!r}: {exc}",
+                        path=artifact,
+                    ) from exc
+                moved.append(target)
+        if moved:
+            get_metrics().inc("checkpoint.quarantined_total")
+        return moved
+
+    def salvage_json(self, name: str) -> Optional[Dict[str, object]]:
+        """Best-effort :meth:`load_json`: damaged → quarantine → ``None``.
+
+        Returns the payload when the snapshot loads and verifies, and
+        ``None`` when it is absent *or* corrupt — in the latter case the
+        snapshot's artifacts are quarantined first, so the caller's
+        "recompute when ``None``" branch also heals the store.
+        """
+        if not self.has(name):
+            return None
+        try:
+            return self.load_json(name)
+        except CheckpointError:
+            self.quarantine(name)
+            return None
+
+    def salvage_arrays(self, name: str) -> Optional[Dict[str, np.ndarray]]:
+        """Best-effort :meth:`load_arrays`; see :meth:`salvage_json`."""
+        if not self.has_arrays(name):
+            return None
+        try:
+            return self.load_arrays(name)
+        except CheckpointError:
+            self.quarantine(name)
+            return None
 
     # ------------------------------------------------------------------
     # maintenance
@@ -186,11 +349,16 @@ class CheckpointStore:
         return iter(sorted(p.stem for p in self.directory.glob("*.json")))
 
     def clear(self) -> None:
-        """Delete every snapshot of this run (both JSON and NPZ)."""
-        for path in self.directory.glob("*.json"):
-            path.unlink(missing_ok=True)
-        for path in self.directory.glob("*.npz"):
-            path.unlink(missing_ok=True)
+        """Delete every snapshot of this run (JSON, NPZ, sidecars,
+        quarantined artifacts)."""
+        for pattern in (
+            "*.json",
+            "*.npz",
+            "*.sha256",
+            "*.quarantined",
+        ):
+            for path in self.directory.glob(pattern):
+                path.unlink(missing_ok=True)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"CheckpointStore({str(self.directory)!r})"

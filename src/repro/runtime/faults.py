@@ -19,17 +19,53 @@ Two scheduling modes compose:
 Instrumented sites in the library include ``datasets.load_dataset``,
 ``runner.evaluate`` (Monte-Carlo scoring), ``runner.cell`` (one experiment
 grid cell) and ``checkpoint.write``.
+
+Process-level faults
+--------------------
+Coordinator-side raises cannot exercise the *supervised pool*
+(:mod:`repro.parallel.supervisor`): a worker OOM-kill looks nothing like
+an exception in the parent.  ``process_faults`` therefore schedules
+faults that execute **inside the worker process** handling a chunk:
+
+* ``"kill"`` — ``SIGKILL`` the worker (the pool breaks, exactly like an
+  OOM kill),
+* ``"exit"`` — ``os._exit`` the worker (abrupt interpreter death),
+* ``"hang"`` — sleep ``process_hang_seconds`` before doing the work (a
+  straggler, for soft-timeout re-dispatch testing), and
+* ``"raise"`` — raise :class:`InjectedFault` from the chunk task (a
+  poison chunk).
+
+The schedule is keyed by *chunk index within one dispatch plan*, and the
+directive travels with the chunk submission (planned coordinator-side at
+dispatch time via :func:`planned_process_fault`), so it is deterministic
+under any pool start method and never depends on which worker picks the
+chunk up.  By default a directive fires only on attempt 0, so the
+supervisor's re-dispatch of the lost chunk succeeds; pass a wider
+``process_fault_attempts`` to build repeat offenders (poison chunks).
 """
 
 from __future__ import annotations
 
+import os
+import signal
 import time
-from typing import Dict, Iterable, Optional, Sequence
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
 
 from repro.exceptions import ReproError
 from repro.utils.rng import SeedLike, as_generator
 
-__all__ = ["InjectedFault", "FaultInjector", "maybe_inject", "active_injector"]
+__all__ = [
+    "InjectedFault",
+    "FaultInjector",
+    "maybe_inject",
+    "active_injector",
+    "planned_process_fault",
+    "execute_process_fault",
+    "PROCESS_FAULT_MODES",
+]
+
+#: Directives accepted in ``FaultInjector(process_faults=...)`` schedules.
+PROCESS_FAULT_MODES = ("kill", "exit", "hang", "raise")
 
 
 class InjectedFault(ReproError, RuntimeError):
@@ -39,6 +75,12 @@ class InjectedFault(ReproError, RuntimeError):
         super().__init__(f"injected fault at {site!r} (invocation {invocation})")
         self.site = site
         self.invocation = invocation
+
+    def __reduce__(self):
+        # Rebuild from the original arguments: the default reduction would
+        # re-call __init__ with the formatted message and fail, breaking
+        # the worker→coordinator pickle path the supervisor relies on.
+        return (type(self), (self.site, self.invocation))
 
 
 # The currently active injector; module-global so instrumented call sites
@@ -61,6 +103,46 @@ def maybe_inject(site: str) -> None:
         _ACTIVE.fire(site)
 
 
+def planned_process_fault(
+    site: str, chunk_index: int, attempt: int
+) -> Optional[Tuple[str, float]]:
+    """The worker-side fault directive for one chunk dispatch, if any.
+
+    Consulted by the pool coordinator when it submits chunk
+    ``chunk_index`` of ``site``'s plan for the ``attempt``-th time;
+    returns ``(directive, hang_seconds)`` or ``None``.  The directive is
+    shipped with the chunk and executed by
+    :func:`execute_process_fault` inside the worker, which keeps the
+    schedule deterministic regardless of worker scheduling or pool start
+    method.
+    """
+    if _ACTIVE is None:
+        return None
+    return _ACTIVE.process_fault(site, chunk_index, attempt)
+
+
+def execute_process_fault(directive: str, hang_seconds: float) -> None:
+    """Carry out a process-level fault directive (runs *in the worker*).
+
+    ``kill`` and ``exit`` never return; ``hang`` sleeps and returns so
+    the chunk proceeds as a straggler; ``raise`` raises
+    :class:`InjectedFault`.
+    """
+    if directive == "kill":
+        sigkill = getattr(signal, "SIGKILL", None)
+        if sigkill is not None:
+            os.kill(os.getpid(), sigkill)
+        os._exit(137)  # no SIGKILL on this platform: same abrupt death
+    if directive == "exit":
+        os._exit(17)
+    if directive == "hang":
+        time.sleep(hang_seconds)
+        return
+    if directive == "raise":
+        raise InjectedFault("process.chunk", 0)
+    raise ReproError(f"unknown process fault directive {directive!r}")
+
+
 class FaultInjector:
     """Deterministic, seeded fault schedule armed as a context manager.
 
@@ -77,6 +159,17 @@ class FaultInjector:
     hang_sites / hang_seconds:
         Sites that should *sleep* instead of raising — simulating a stall
         so deadline-based cancellation can be exercised end to end.
+    process_faults:
+        Map of site name to ``{chunk_index: directive}`` — worker-side
+        faults executed by the process handling that chunk of the site's
+        dispatch plan.  Directives: :data:`PROCESS_FAULT_MODES`.
+    process_hang_seconds:
+        Sleep length of the ``"hang"`` directive.
+    process_fault_attempts:
+        Dispatch attempts (0-based) on which a process directive fires;
+        the default ``(0,)`` faults only the first dispatch, so the
+        supervisor's retry recovers.  Widen it to simulate poison chunks
+        that fail every re-dispatch.
     """
 
     def __init__(
@@ -86,6 +179,9 @@ class FaultInjector:
         seed: SeedLike = None,
         hang_sites: Iterable[str] = (),
         hang_seconds: float = 0.0,
+        process_faults: Optional[Mapping[str, Mapping[int, str]]] = None,
+        process_hang_seconds: float = 0.0,
+        process_fault_attempts: Sequence[int] = (0,),
     ) -> None:
         if not 0.0 <= rate <= 1.0:
             raise ValueError(f"rate must lie in [0, 1], got {rate}")
@@ -97,10 +193,23 @@ class FaultInjector:
         self.rng = as_generator(seed)
         self.hang_sites = frozenset(hang_sites)
         self.hang_seconds = float(hang_seconds)
+        self.process_faults: Dict[str, Dict[int, str]] = {}
+        for site, plan in (process_faults or {}).items():
+            for chunk, directive in plan.items():
+                if directive not in PROCESS_FAULT_MODES:
+                    raise ValueError(
+                        f"unknown process fault directive {directive!r} for "
+                        f"{site!r}; choose from {PROCESS_FAULT_MODES}"
+                    )
+            self.process_faults[site] = {int(c): d for c, d in plan.items()}
+        self.process_hang_seconds = float(process_hang_seconds)
+        self.process_fault_attempts = frozenset(int(a) for a in process_fault_attempts)
         #: Invocation counters per site (public: tests assert on them).
         self.invocations: Dict[str, int] = {}
         #: Faults actually fired, as ``(site, invocation)`` pairs.
         self.fired: list[tuple[str, int]] = []
+        #: Process directives handed out, as ``(site, chunk, attempt, directive)``.
+        self.process_fired: list[tuple[str, int, int, str]] = []
         self._previous: Optional["FaultInjector"] = None
 
     # ------------------------------------------------------------------
@@ -135,6 +244,21 @@ class FaultInjector:
             time.sleep(self.hang_seconds)
             return
         raise InjectedFault(site, invocation)
+
+    def process_fault(
+        self, site: str, chunk_index: int, attempt: int
+    ) -> Optional[Tuple[str, float]]:
+        """Directive for dispatching chunk ``chunk_index`` on ``attempt``.
+
+        Planned coordinator-side (see :func:`planned_process_fault`); the
+        returned ``(directive, hang_seconds)`` travels with the chunk
+        submission and is executed worker-side.
+        """
+        directive = self.process_faults.get(site, {}).get(int(chunk_index))
+        if directive is None or int(attempt) not in self.process_fault_attempts:
+            return None
+        self.process_fired.append((site, int(chunk_index), int(attempt), directive))
+        return directive, self.process_hang_seconds
 
     def count(self, site: str) -> int:
         """How many times ``site`` has been probed while armed."""

@@ -13,6 +13,7 @@ from __future__ import annotations
 import time
 from typing import Callable, Tuple, Type, TypeVar
 
+from repro.exceptions import ConfigurationError
 from repro.obs.context import get_metrics
 from repro.utils.rng import SeedLike, as_generator
 
@@ -59,6 +60,7 @@ def retry(
     attempts: int = 3,
     backoff: float = 0.05,
     retry_on: Tuple[Type[BaseException], ...] = (Exception,),
+    give_up_on: Tuple[Type[BaseException], ...] = (ConfigurationError,),
     multiplier: float = 2.0,
     jitter: float = 0.25,
     seed: SeedLike = 0,
@@ -79,31 +81,65 @@ def retry(
         ``k + 1``.
     retry_on:
         Only these exception types are retried; anything else propagates
-        immediately (a ``ConfigurationError`` will not become three
-        ``ConfigurationError``\\ s and a wasted minute).
+        immediately.
+    give_up_on:
+        Known-non-transient exception types that fail fast *even when*
+        they match ``retry_on`` — by default ``ConfigurationError``: a
+        malformed input will not become three identical failures and a
+        wasted minute.  Pass ``()`` to disable the allowlist.
     sleep:
         Injectable for tests (pass ``lambda s: None`` to skip waiting).
     on_retry:
         Optional observer called with ``(attempt_index, exception)`` before
         each sleep.
+
+    When every attempt fails, the final exception is re-raised carrying
+    the whole story: ``retry_attempts`` (total calls made) and
+    ``retry_history`` (one ``"attempt k/n: Type: message"`` summary per
+    failure) are attached to it, and it is chained (``raise ... from``)
+    to the previous attempt's exception so tracebacks show the pattern
+    of failure, not just the last symptom.
     """
     schedule = backoff_schedule(
         attempts, backoff, multiplier=multiplier, jitter=jitter, seed=seed
     )
     metrics = get_metrics()
     metrics.inc("runtime.retry_calls_total")
+    history: list[str] = []
+    previous: BaseException | None = None
     for attempt in range(attempts):
         metrics.inc("runtime.retry_attempts_total")
         try:
             return fn()
+        except give_up_on:
+            metrics.inc("runtime.retry_fail_fast_total")
+            raise
         except retry_on as exc:
             metrics.inc("runtime.retry_failures_total")
+            history.append(
+                f"attempt {attempt + 1}/{attempts}: {type(exc).__name__}: {exc}"
+            )
             if attempt == attempts - 1:
                 metrics.inc("runtime.retry_exhausted_total")
-                raise
+                _annotate(exc, attempts, history)
+                raise exc from previous
+            previous = exc
             if on_retry is not None:
                 on_retry(attempt, exc)
             delay = schedule[attempt]
             if delay > 0.0:
                 sleep(delay)
     raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _annotate(exc: BaseException, attempts: int, history: list[str]) -> None:
+    """Attach the retry story to the exception that escapes.
+
+    Best-effort: exceptions with ``__slots__`` (rare) simply go
+    unannotated rather than masking the real failure.
+    """
+    try:
+        exc.retry_attempts = attempts  # type: ignore[attr-defined]
+        exc.retry_history = tuple(history)  # type: ignore[attr-defined]
+    except (AttributeError, TypeError):  # pragma: no cover - exotic exceptions
+        pass

@@ -1,0 +1,169 @@
+"""Chaos suite: end-to-end runs under injected process faults.
+
+These are the acceptance scenarios of the supervised worker pool:
+
+* a worker is SIGKILLed mid hyper-graph build at ``workers=2`` and the
+  build still completes, bit-identical to a fault-free ``workers=1``
+  build;
+* a checkpoint corrupted on disk is quarantined and recomputed on
+  resume instead of crashing the experiment grid; and
+* a pool death in a late adaptive instalment salvages the completed
+  instalments (``stop_reason="fault"``) rather than discarding them.
+
+The CI chaos job runs exactly this directory with ``REPRO_WORKERS=2``
+and fails on any divergence.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.population import paper_mixture
+from repro.core.problem import CIMProblem
+from repro.diffusion.independent_cascade import IndependentCascade
+from repro.exceptions import PoisonChunkError
+from repro.experiments.runner import run_methods
+from repro.graphs.generators import erdos_renyi
+from repro.graphs.weights import assign_weighted_cascade
+from repro.obs import MetricsRegistry, observe
+from repro.rrset.adaptive import adaptive_hypergraph
+from repro.rrset.hypergraph import RRHypergraph
+from repro.rrset.sampler import sample_rr_sets
+from repro.runtime import FaultInjector
+
+
+@pytest.fixture(scope="module")
+def model():
+    graph = assign_weighted_cascade(erdos_renyi(60, 0.06, seed=1), alpha=1.0)
+    return IndependentCascade(graph)
+
+
+@pytest.fixture(scope="module")
+def problem(model):
+    population = paper_mixture(model.num_nodes, seed=2)
+    return CIMProblem(model, population, budget=5.0)
+
+
+def _assert_hypergraphs_identical(left: RRHypergraph, right: RRHypergraph) -> None:
+    left_arrays, right_arrays = left.to_arrays(), right.to_arrays()
+    assert sorted(left_arrays) == sorted(right_arrays)
+    for key, array in left_arrays.items():
+        assert np.array_equal(array, right_arrays[key]), key
+
+
+class TestWorkerKillMidBuild:
+    def test_build_completes_bit_identical_to_fault_free_serial(self, model):
+        baseline = RRHypergraph.build(model, 128, seed=7, workers=1, chunk_size=32)
+        with FaultInjector(
+            process_faults={"sampler.chunk": {1: "kill"}}
+        ) as injector:
+            chaos = RRHypergraph.build(model, 128, seed=7, workers=2, chunk_size=32)
+        # The kill really happened inside a live worker...
+        assert ("sampler.chunk", 1, 0, "kill") in injector.process_fired
+        # ...and the re-executed chunk reproduced the exact same stream.
+        _assert_hypergraphs_identical(chaos, baseline)
+
+    def test_repeated_kills_survive_via_serial_fallback(self, model):
+        baseline = sample_rr_sets(model, 128, seed=7, chunk_size=32, workers=1)
+        with FaultInjector(
+            process_faults={"sampler.chunk": {0: "kill", 2: "kill"}},
+            process_fault_attempts=(0, 1, 2, 3, 4),
+        ):
+            chaos = sample_rr_sets(
+                model,
+                128,
+                seed=7,
+                chunk_size=32,
+                workers=2,
+                supervision={"max_pool_restarts": 1, "max_chunk_retries": 10},
+            )
+        assert len(chaos) == len(baseline)
+        for ours, theirs in zip(chaos, baseline):
+            assert np.array_equal(ours, theirs)
+
+
+class TestCorruptedCheckpointResume:
+    METHODS = ["ud"]
+    KWARGS = dict(num_hyperedges=200, evaluation_samples=50, seed=11)
+
+    def _run(self, problem, directory, resume):
+        return run_methods(
+            problem,
+            self.METHODS,
+            checkpoint_dir=directory,
+            resume=resume,
+            **self.KWARGS,
+        )
+
+    def test_corrupt_cell_snapshot_is_quarantined_and_recomputed(
+        self, problem, tmp_path
+    ):
+        baseline = self._run(problem, tmp_path, resume=False)
+        [cell_path] = tmp_path.glob("*/cell-000-ud.json")
+        cell_path.write_bytes(b'{"format": 1, "payload": "garbage"')  # torn write
+        resumed = self._run(problem, tmp_path, resume=True)
+        assert resumed[0].spread_mean == baseline[0].spread_mean
+        assert resumed[0].hypergraph_estimate == baseline[0].hypergraph_estimate
+        quarantined = list(tmp_path.glob("*/cell-000-ud*.quarantined"))
+        assert quarantined, "damaged snapshot was not quarantined"
+
+    def test_corrupt_hypergraph_snapshot_is_quarantined_and_recomputed(
+        self, problem, tmp_path
+    ):
+        baseline = self._run(problem, tmp_path, resume=False)
+        [npz_path] = tmp_path.glob("*/hypergraph.npz")
+        npz_path.write_bytes(npz_path.read_bytes()[: 100])  # truncated write
+        # Drop one cell so the resume actually needs the hyper-graph again.
+        [cell_path] = tmp_path.glob("*/cell-000-ud.json")
+        cell_path.unlink()
+        resumed = self._run(problem, tmp_path, resume=True)
+        assert resumed[0].spread_mean == baseline[0].spread_mean
+        assert resumed[0].hypergraph_estimate == baseline[0].hypergraph_estimate
+        assert list(tmp_path.glob("*/hypergraph*.quarantined"))
+
+
+class TestAdaptiveSalvage:
+    ADAPTIVE = dict(theta0=64, max_theta=256, chunk_size=32, seed=5)
+
+    def test_pool_death_in_late_instalment_salvages_completed_work(self, problem):
+        # theta schedule [64, 128, 256] at chunk 32: the third instalment
+        # samples four chunks (local indices 0-3), so a kill pinned to
+        # chunk 3 on every attempt can only fire there — instalments one
+        # and two complete untouched and must be kept.
+        registry = MetricsRegistry()
+        with observe(metrics=registry):
+            with FaultInjector(
+                process_faults={"sampler.chunk": {3: "kill"}},
+                process_fault_attempts=(0, 1, 2, 3),
+            ):
+                result = adaptive_hypergraph(
+                    problem,
+                    workers=2,
+                    supervision={"max_chunk_retries": 0},
+                    **self.ADAPTIVE,
+                )
+        assert result.stop_reason == "fault"
+        assert result.hypergraph.num_hyperedges == 128
+        assert registry.counter("adaptive.salvaged_total").value == 1
+        # The salvaged instalments are the exact prefix of the one-shot plan.
+        expected = sample_rr_sets(
+            problem.model, 128, seed=5, chunk_size=32, workers=1
+        )
+        _assert_hypergraphs_identical(
+            result.hypergraph, RRHypergraph(problem.num_nodes, expected)
+        )
+        # The incumbent is still a usable (feasible) plan.
+        assert problem.feasible(result.configuration)
+        assert result.objective_value > 0.0
+
+    def test_first_instalment_failure_has_nothing_to_salvage(self, problem):
+        with FaultInjector(
+            process_faults={"sampler.chunk": {0: "kill", 1: "kill"}},
+            process_fault_attempts=(0, 1, 2, 3),
+        ):
+            with pytest.raises(PoisonChunkError):
+                adaptive_hypergraph(
+                    problem,
+                    workers=2,
+                    supervision={"max_chunk_retries": 0, "max_pool_restarts": 1},
+                    **self.ADAPTIVE,
+                )

@@ -33,8 +33,9 @@ class TestResolveWorkers:
         assert resolve_workers(1) == 1
         assert resolve_workers(7) == 7
 
-    def test_zero_means_cpu_count(self):
-        assert resolve_workers(0) == (os.cpu_count() or 1)
+    def test_auto_means_cpu_count(self):
+        assert resolve_workers("auto") == (os.cpu_count() or 1)
+        assert resolve_workers("AUTO") == (os.cpu_count() or 1)
 
     def test_env_var_supplies_default(self, monkeypatch):
         monkeypatch.setenv(WORKERS_ENV_VAR, "3")
@@ -42,18 +43,31 @@ class TestResolveWorkers:
         # An explicit argument always beats the environment.
         assert resolve_workers(1) == 1
 
-    def test_env_var_zero_means_cpu_count(self, monkeypatch):
-        monkeypatch.setenv(WORKERS_ENV_VAR, "0")
+    def test_env_var_auto_means_cpu_count(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "auto")
         assert resolve_workers(None) == (os.cpu_count() or 1)
 
     def test_bad_env_var_rejected(self, monkeypatch):
         monkeypatch.setenv(WORKERS_ENV_VAR, "many")
-        with pytest.raises(ConfigurationError):
+        with pytest.raises(ConfigurationError, match="REPRO_WORKERS environment"):
             resolve_workers(None)
 
+    def test_env_var_zero_rejected_naming_source(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "0")
+        with pytest.raises(ConfigurationError, match="REPRO_WORKERS environment"):
+            resolve_workers(None)
+
+    def test_zero_rejected_naming_source(self):
+        with pytest.raises(ConfigurationError, match="workers argument"):
+            resolve_workers(0)
+
     def test_negative_rejected(self):
-        with pytest.raises(ConfigurationError):
+        with pytest.raises(ConfigurationError, match="workers argument"):
             resolve_workers(-1)
+
+    def test_bad_string_rejected(self):
+        with pytest.raises(ConfigurationError, match="workers argument"):
+            resolve_workers("many")
 
     def test_bool_rejected(self):
         with pytest.raises(ConfigurationError):

@@ -1,0 +1,264 @@
+"""Unit tests for the supervised worker pool (crash/straggler recovery)."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError, PoisonChunkError, PoolBrokenError
+from repro.obs import MetricsRegistry, observe
+from repro.parallel import run_chunks
+from repro.parallel.supervisor import (
+    DEFAULT_POLICY,
+    SupervisionPolicy,
+    SupervisionReport,
+    resolve_supervision,
+)
+from repro.runtime import FaultInjector
+
+CHUNKS = [(0, 5), (5, 5), (10, 5), (15, 3)]
+
+
+def _square_chunk(payload, start, size, remaining):
+    """Module-level task (must cross process boundaries)."""
+    return [payload * (start + i) ** 2 for i in range(size)]
+
+
+def _baseline():
+    results, expired = run_chunks(_square_chunk, 3, CHUNKS, workers=1)
+    assert expired is False
+    return results
+
+
+class TestSupervisionPolicy:
+    def test_defaults(self):
+        policy = SupervisionPolicy()
+        assert policy.max_chunk_retries == 2
+        assert policy.chunk_timeout is None
+        assert policy.on_poison_chunk == "fail"
+        assert policy.max_pool_restarts == 3
+        assert policy.serial_fallback is True
+
+    @pytest.mark.parametrize("retries", [-1, 1.5, True, "2"])
+    def test_bad_retries_rejected(self, retries):
+        with pytest.raises(ConfigurationError, match="max_chunk_retries"):
+            SupervisionPolicy(max_chunk_retries=retries)
+
+    @pytest.mark.parametrize("timeout", [0.0, -2.0, float("nan")])
+    def test_bad_timeout_rejected(self, timeout):
+        with pytest.raises(ConfigurationError, match="chunk_timeout"):
+            SupervisionPolicy(chunk_timeout=timeout)
+
+    def test_bad_poison_policy_rejected(self):
+        with pytest.raises(ConfigurationError, match="on_poison_chunk"):
+            SupervisionPolicy(on_poison_chunk="retry-forever")
+
+    @pytest.mark.parametrize("restarts", [-1, False])
+    def test_bad_restarts_rejected(self, restarts):
+        with pytest.raises(ConfigurationError, match="max_pool_restarts"):
+            SupervisionPolicy(max_pool_restarts=restarts)
+
+
+class TestResolveSupervision:
+    def test_none_is_default(self):
+        assert resolve_supervision(None) == DEFAULT_POLICY
+
+    def test_policy_passes_through(self):
+        policy = SupervisionPolicy(max_chunk_retries=7)
+        assert resolve_supervision(policy) is policy
+
+    def test_dict_overrides_defaults(self):
+        policy = resolve_supervision({"chunk_timeout": 2.5, "on_poison_chunk": "serial"})
+        assert policy.chunk_timeout == 2.5
+        assert policy.on_poison_chunk == "serial"
+        assert policy.max_chunk_retries == DEFAULT_POLICY.max_chunk_retries
+
+    def test_unknown_dict_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="max_retries"):
+            resolve_supervision({"max_retries": 3})
+
+    def test_dict_values_validated(self):
+        with pytest.raises(ConfigurationError, match="max_chunk_retries"):
+            resolve_supervision({"max_chunk_retries": -4})
+
+    def test_other_types_rejected(self):
+        with pytest.raises(ConfigurationError, match="supervision"):
+            resolve_supervision("fail")
+
+
+class TestSupervisionReport:
+    def test_fresh_report_is_clean(self):
+        assert SupervisionReport().clean is True
+
+    def test_any_recovery_marks_dirty(self):
+        assert SupervisionReport(pool_restarts=1).clean is False
+        assert SupervisionReport(quarantined=[3]).clean is False
+        assert SupervisionReport(serial_fallback=True).clean is False
+
+
+class TestCrashRecovery:
+    def test_killed_worker_chunk_is_reexecuted_bit_identically(self):
+        baseline = _baseline()
+        registry = MetricsRegistry()
+        with observe(metrics=registry):
+            with FaultInjector(process_faults={"parallel.chunk": {1: "kill"}}):
+                results, expired = run_chunks(_square_chunk, 3, CHUNKS, workers=2)
+        assert expired is False
+        assert results == baseline
+        assert registry.counter("pool.workers_lost_total").value >= 1
+        assert registry.counter("pool.chunks_retried_total").value >= 1
+
+    def test_abrupt_exit_recovered_like_kill(self):
+        with FaultInjector(process_faults={"parallel.chunk": {2: "exit"}}):
+            results, expired = run_chunks(_square_chunk, 3, CHUNKS, workers=2)
+        assert expired is False
+        assert results == _baseline()
+
+    def test_worker_exception_is_retried(self):
+        # "raise" fires only on attempt 0 by default; the re-dispatch runs clean.
+        with FaultInjector(process_faults={"parallel.chunk": {0: "raise"}}):
+            results, expired = run_chunks(_square_chunk, 3, CHUNKS, workers=2)
+        assert expired is False
+        assert results == _baseline()
+
+    def test_fault_free_pooled_run_records_no_recovery_metrics(self):
+        registry = MetricsRegistry()
+        with observe(metrics=registry):
+            results, _ = run_chunks(_square_chunk, 3, CHUNKS, workers=2)
+        assert results == _baseline()
+        for name in (
+            "pool.workers_lost_total",
+            "pool.chunks_retried_total",
+            "pool.chunks_quarantined_total",
+            "pool.restarts_total",
+            "pool.stragglers_total",
+            "pool.supervised_recoveries_total",
+        ):
+            assert registry.counter(name).value == 0
+
+
+class TestPoisonChunks:
+    def test_fail_policy_raises_with_chunk_identity(self):
+        injector = FaultInjector(
+            process_faults={"parallel.chunk": {2: "raise"}},
+            process_fault_attempts=(0, 1, 2, 3),
+        )
+        with injector:
+            with pytest.raises(PoisonChunkError) as excinfo:
+                run_chunks(
+                    _square_chunk,
+                    3,
+                    CHUNKS,
+                    workers=2,
+                    supervision={"max_chunk_retries": 1},
+                )
+        assert excinfo.value.chunk_index == 2
+        assert excinfo.value.attempts == 2
+
+    def test_partial_policy_quarantines_and_keeps_prefix(self):
+        baseline = _baseline()
+        registry = MetricsRegistry()
+        with observe(metrics=registry):
+            with FaultInjector(
+                process_faults={"parallel.chunk": {2: "raise"}},
+                process_fault_attempts=(0, 1, 2, 3),
+            ):
+                results, expired = run_chunks(
+                    _square_chunk,
+                    3,
+                    CHUNKS,
+                    workers=2,
+                    supervision={"max_chunk_retries": 0, "on_poison_chunk": "partial"},
+                )
+        assert expired is True
+        assert results == baseline[:2]
+        assert registry.counter("pool.chunks_quarantined_total").value == 1
+
+    def test_serial_policy_rescues_pool_environment_faults(self):
+        # The chunk dies on every pooled dispatch, but directives do not
+        # fire inline: the final in-process attempt succeeds.
+        registry = MetricsRegistry()
+        with observe(metrics=registry):
+            with FaultInjector(
+                process_faults={"parallel.chunk": {1: "exit"}},
+                process_fault_attempts=(0, 1, 2, 3),
+            ):
+                results, expired = run_chunks(
+                    _square_chunk,
+                    3,
+                    CHUNKS,
+                    workers=2,
+                    supervision={"max_chunk_retries": 0, "on_poison_chunk": "serial"},
+                )
+        assert expired is False
+        assert results == _baseline()
+        # The exit breaks the whole pool, so every lost in-flight chunk is
+        # charged (the culprit is unknowable); with a zero retry budget
+        # each is rescued inline.
+        assert registry.counter("pool.serial_rescues_total").value >= 1
+
+    def test_quarantining_the_first_chunk_leaves_no_prefix(self):
+        with FaultInjector(
+            process_faults={"parallel.chunk": {0: "raise"}},
+            process_fault_attempts=(0, 1, 2, 3),
+        ):
+            with pytest.raises(PoisonChunkError, match="no salvageable prefix"):
+                run_chunks(
+                    _square_chunk,
+                    3,
+                    CHUNKS,
+                    workers=2,
+                    supervision={"max_chunk_retries": 0, "on_poison_chunk": "partial"},
+                )
+
+
+class TestPoolBreakageBackstop:
+    FAULTS = {"parallel.chunk": {0: "kill", 1: "kill", 2: "kill", 3: "kill"}}
+
+    def test_serial_fallback_finishes_the_plan(self):
+        registry = MetricsRegistry()
+        with observe(metrics=registry):
+            with FaultInjector(
+                process_faults=self.FAULTS, process_fault_attempts=(0, 1, 2, 3, 4)
+            ):
+                results, expired = run_chunks(
+                    _square_chunk,
+                    3,
+                    CHUNKS,
+                    workers=2,
+                    supervision={"max_pool_restarts": 0},
+                )
+        assert expired is False
+        assert results == _baseline()
+        assert registry.counter("pool.serial_fallback_total").value == 1
+
+    def test_pool_broken_error_when_fallback_disabled(self):
+        with FaultInjector(
+            process_faults=self.FAULTS, process_fault_attempts=(0, 1, 2, 3, 4)
+        ):
+            with pytest.raises(PoolBrokenError):
+                run_chunks(
+                    _square_chunk,
+                    3,
+                    CHUNKS,
+                    workers=2,
+                    supervision={"max_pool_restarts": 0, "serial_fallback": False},
+                )
+
+
+class TestStragglers:
+    def test_straggler_is_redispatched_bit_identically(self):
+        baseline = _baseline()
+        registry = MetricsRegistry()
+        with observe(metrics=registry):
+            with FaultInjector(
+                process_faults={"parallel.chunk": {0: "hang"}},
+                process_hang_seconds=30.0,
+            ):
+                results, expired = run_chunks(
+                    _square_chunk,
+                    3,
+                    CHUNKS,
+                    workers=2,
+                    supervision={"chunk_timeout": 0.5},
+                )
+        assert expired is False
+        assert results == baseline
+        assert registry.counter("pool.stragglers_total").value >= 1

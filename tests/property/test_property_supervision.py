@@ -1,0 +1,82 @@
+"""Property tests for the supervised pool's partial-result contract.
+
+Invariant (ISSUE satellite): for *any* schedule of worker faults, a run
+under ``on_poison_chunk="partial"`` returns a prefix-closed subset of the
+fault-free chunk sequence — chunk ``k`` is kept only if chunks ``0..k-1``
+are kept, and every kept chunk is bit-identical to its fault-free twin.
+
+Examples are capped low because every pooled example forks real worker
+processes; the chaos suite covers the targeted deep scenarios.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import PoisonChunkError
+from repro.parallel import run_chunks
+from repro.runtime import FaultInjector
+
+CHUNKS = [(i * 4, 4) for i in range(6)]
+
+
+def _cube_chunk(payload, start, size, remaining):
+    """Module-level task (must cross process boundaries)."""
+    return [payload + (start + i) ** 3 for i in range(size)]
+
+
+_BASELINE = None
+
+
+def _baseline():
+    global _BASELINE
+    if _BASELINE is None:
+        _BASELINE, expired = run_chunks(_cube_chunk, 1, CHUNKS, workers=1)
+        assert expired is False
+    return _BASELINE
+
+
+fault_schedules = st.dictionaries(
+    keys=st.integers(min_value=0, max_value=len(CHUNKS) - 1),
+    values=st.sampled_from(["raise", "exit"]),
+    max_size=3,
+)
+
+
+class TestPartialPrefixClosure:
+    @given(schedule=fault_schedules, retries=st.integers(min_value=0, max_value=1))
+    @settings(max_examples=10, deadline=None)
+    def test_kept_chunks_are_a_bit_identical_prefix(self, schedule, retries):
+        baseline = _baseline()
+        supervision = {
+            "max_chunk_retries": retries,
+            "on_poison_chunk": "partial",
+            "max_pool_restarts": 10,
+        }
+        try:
+            with FaultInjector(
+                process_faults={"parallel.chunk": schedule},
+                process_fault_attempts=(0, 1, 2, 3, 4),
+            ):
+                results, expired = run_chunks(
+                    _cube_chunk, 1, CHUNKS, workers=2, supervision=supervision
+                )
+        except PoisonChunkError as exc:
+            # Only legal when the quarantine left no salvageable prefix,
+            # which requires chunk 0 itself to have been poisoned.
+            assert 0 in schedule
+            assert "no salvageable prefix" in str(exc)
+            return
+        # Prefix-closed subset of the fault-free sequence, bit-identical.
+        assert results == baseline[: len(results)]
+        # Truncation is reported iff something was actually dropped.
+        assert expired is (len(results) < len(baseline))
+
+    @given(schedule=fault_schedules)
+    @settings(max_examples=5, deadline=None)
+    def test_single_attempt_faults_always_recover_fully(self, schedule):
+        # Default attempts=(0,): every fault fires once, every retry is
+        # clean, so the default policy completes the whole plan exactly.
+        with FaultInjector(process_faults={"parallel.chunk": schedule}):
+            results, expired = run_chunks(_cube_chunk, 1, CHUNKS, workers=2)
+        assert expired is False
+        assert results == _baseline()

@@ -51,9 +51,19 @@ class TestCheckpointStore:
     def test_corrupt_checkpoint_raises(self, tmp_path):
         store = CheckpointStore(tmp_path, "k1")
         store.save_json("cell", {"x": 1})
+        # Tampering after the write trips the sidecar verification first.
         (store.directory / "cell.json").write_text("{ torn", encoding="utf-8")
-        with pytest.raises(CheckpointError, match="corrupt"):
+        with pytest.raises(CheckpointError, match="integrity"):
             store.load_json("cell")
+
+    def test_torn_file_without_sidecar_raises_corrupt(self, tmp_path):
+        store = CheckpointStore(tmp_path, "k1")
+        store.save_json("cell", {"x": 1})
+        (store.directory / "cell.json").write_text("{ torn", encoding="utf-8")
+        (store.directory / "cell.json.sha256").unlink()  # pre-integrity store
+        with pytest.raises(CheckpointError, match="corrupt") as excinfo:
+            store.load_json("cell")
+        assert excinfo.value.path == str(store.directory / "cell.json")
 
     def test_key_mismatch_raises(self, tmp_path):
         CheckpointStore(tmp_path, "run-a").save_json("cell", {"x": 1})
@@ -104,6 +114,98 @@ class TestCheckpointStore:
         assert list(store.names()) == ["a-cell", "b-cell"]
         store.clear()
         assert list(store.names()) == []
+        assert list(store.directory.iterdir()) == []  # sidecars gone too
+
+
+class TestCheckpointIntegrity:
+    def test_sidecar_written_on_save(self, tmp_path):
+        store = CheckpointStore(tmp_path, "k1")
+        store.save_json("cell", {"x": 1})
+        store.save_arrays("arrays", xs=np.arange(3))
+        assert (store.directory / "cell.json.sha256").exists()
+        assert (store.directory / "arrays.npz.sha256").exists()
+
+    def test_missing_sidecar_accepted_for_back_compat(self, tmp_path):
+        store = CheckpointStore(tmp_path, "k1")
+        store.save_json("cell", {"x": 1})
+        (store.directory / "cell.json.sha256").unlink()
+        assert store.load_json("cell") == {"x": 1}
+
+    def test_flipped_bit_in_npz_detected(self, tmp_path):
+        store = CheckpointStore(tmp_path, "k1")
+        store.save_arrays("hg", xs=np.arange(100, dtype=np.int64))
+        path = store.directory / "hg.npz"
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF  # simulated bit rot
+        path.write_bytes(bytes(blob))
+        with pytest.raises(CheckpointError, match="integrity") as excinfo:
+            store.load_arrays("hg")
+        assert excinfo.value.path == str(path)
+
+    def test_integrity_failures_counted(self, tmp_path):
+        from repro.obs import MetricsRegistry, observe
+
+        store = CheckpointStore(tmp_path, "k1")
+        store.save_json("cell", {"x": 1})
+        (store.directory / "cell.json").write_text("tampered", encoding="utf-8")
+        registry = MetricsRegistry()
+        with observe(metrics=registry):
+            with pytest.raises(CheckpointError):
+                store.load_json("cell")
+        assert registry.counter("checkpoint.integrity_failures_total").value == 1
+
+    def test_truncated_npz_wrapped_with_path(self, tmp_path):
+        store = CheckpointStore(tmp_path, "k1")
+        store.save_arrays("hg", xs=np.arange(1000, dtype=np.int64))
+        path = store.directory / "hg.npz"
+        path.write_bytes(path.read_bytes()[:64])  # BadZipFile territory
+        (store.directory / "hg.npz.sha256").unlink()
+        with pytest.raises(CheckpointError, match="corrupt") as excinfo:
+            store.load_arrays("hg")
+        assert excinfo.value.path == str(path)
+
+
+class TestQuarantineAndSalvage:
+    def test_quarantine_moves_all_artifacts(self, tmp_path):
+        store = CheckpointStore(tmp_path, "k1")
+        store.save_json("cell", {"x": 1})
+        store.save_arrays("cell", xs=np.arange(3))
+        moved = store.quarantine("cell")
+        assert len(moved) == 4  # json, npz, and both sidecars
+        assert all(p.name.endswith(".quarantined") for p in moved)
+        assert not store.has("cell")
+        assert not store.has_arrays("cell")
+
+    def test_quarantine_of_absent_snapshot_is_noop(self, tmp_path):
+        store = CheckpointStore(tmp_path, "k1")
+        assert store.quarantine("ghost") == []
+
+    def test_salvage_json_returns_payload_when_healthy(self, tmp_path):
+        store = CheckpointStore(tmp_path, "k1")
+        store.save_json("cell", {"x": 1})
+        assert store.salvage_json("cell") == {"x": 1}
+
+    def test_salvage_json_quarantines_corrupt_snapshot(self, tmp_path):
+        store = CheckpointStore(tmp_path, "k1")
+        store.save_json("cell", {"x": 1})
+        (store.directory / "cell.json").write_text("{ torn", encoding="utf-8")
+        assert store.salvage_json("cell") is None
+        assert not store.has("cell")  # recompute branch now fires
+        assert (store.directory / "cell.json.quarantined").exists()
+
+    def test_salvage_arrays_quarantines_corrupt_snapshot(self, tmp_path):
+        store = CheckpointStore(tmp_path, "k1")
+        store.save_arrays("hg", xs=np.arange(50))
+        path = store.directory / "hg.npz"
+        path.write_bytes(path.read_bytes()[:32])
+        assert store.salvage_arrays("hg") is None
+        assert not store.has_arrays("hg")
+
+    def test_salvage_of_missing_snapshot_is_plain_none(self, tmp_path):
+        store = CheckpointStore(tmp_path, "k1")
+        assert store.salvage_json("nope") is None
+        assert store.salvage_arrays("nope") is None
+        assert list(store.directory.iterdir()) == []  # nothing quarantined
 
 
 class TestAtomicWrite:

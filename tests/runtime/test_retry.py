@@ -78,3 +78,66 @@ class TestRetry:
             backoff_schedule(3, -0.1)
         with pytest.raises(ValueError):
             backoff_schedule(3, 0.1, jitter=1.0)
+
+
+class TestRetryDiagnostics:
+    def test_final_exception_carries_attempt_history(self):
+        fn = Flaky(10)
+        with pytest.raises(RuntimeError) as excinfo:
+            retry(fn, attempts=3, sleep=lambda s: None)
+        exc = excinfo.value
+        assert exc.retry_attempts == 3
+        assert len(exc.retry_history) == 3
+        assert exc.retry_history[0] == "attempt 1/3: RuntimeError: transient #1"
+        assert exc.retry_history[2].startswith("attempt 3/3:")
+
+    def test_final_exception_chained_to_previous_attempt(self):
+        fn = Flaky(10)
+        with pytest.raises(RuntimeError) as excinfo:
+            retry(fn, attempts=3, sleep=lambda s: None)
+        # raise ... from <previous attempt>: the cause is attempt 2.
+        assert str(excinfo.value.__cause__) == "transient #2"
+
+    def test_single_attempt_failure_has_no_cause(self):
+        with pytest.raises(RuntimeError) as excinfo:
+            retry(Flaky(5), attempts=1, sleep=lambda s: None)
+        assert excinfo.value.__cause__ is None
+        assert excinfo.value.retry_attempts == 1
+
+    def test_success_leaves_no_annotations(self):
+        fn = Flaky(0)
+        assert retry(fn, attempts=3, sleep=lambda s: None) == "ok"
+
+
+class TestGiveUpOn:
+    def test_configuration_error_fails_fast_by_default(self):
+        fn = Flaky(5, exc=ConfigurationError)
+        with pytest.raises(ConfigurationError, match="transient #1"):
+            retry(fn, attempts=3, sleep=lambda s: None)
+        assert fn.calls == 1  # no retries burned on a non-transient error
+
+    def test_fail_fast_exception_is_not_annotated(self):
+        fn = Flaky(5, exc=ConfigurationError)
+        with pytest.raises(ConfigurationError) as excinfo:
+            retry(fn, attempts=3, sleep=lambda s: None)
+        assert not hasattr(excinfo.value, "retry_attempts")
+
+    def test_allowlist_can_be_disabled(self):
+        fn = Flaky(1, exc=ConfigurationError)
+        assert retry(fn, attempts=3, give_up_on=(), sleep=lambda s: None) == "ok"
+        assert fn.calls == 2
+
+    def test_custom_allowlist(self):
+        fn = Flaky(5, exc=KeyError)
+        with pytest.raises(KeyError):
+            retry(fn, attempts=3, give_up_on=(KeyError,), sleep=lambda s: None)
+        assert fn.calls == 1
+
+    def test_fail_fast_counted(self):
+        from repro.obs import MetricsRegistry, observe
+
+        registry = MetricsRegistry()
+        with observe(metrics=registry):
+            with pytest.raises(ConfigurationError):
+                retry(Flaky(5, exc=ConfigurationError), attempts=3, sleep=lambda s: None)
+        assert registry.counter("runtime.retry_fail_fast_total").value == 1

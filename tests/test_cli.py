@@ -420,3 +420,77 @@ class TestReproduce:
         )
         assert code == 0
         assert "best c" in capsys.readouterr().out
+
+
+class TestSupervisionFlags:
+    def test_flags_parse_into_namespace(self):
+        args = build_parser().parse_args(
+            [
+                "solve",
+                "net.txt",
+                "--budget",
+                "5",
+                "--max-chunk-retries",
+                "4",
+                "--chunk-timeout",
+                "1.5",
+                "--on-poison-chunk",
+                "serial",
+            ]
+        )
+        assert args.max_chunk_retries == 4
+        assert args.chunk_timeout == 1.5
+        assert args.on_poison_chunk == "serial"
+
+    def test_report_accepts_the_same_flags(self):
+        args = build_parser().parse_args(
+            ["report", "out", "--on-poison-chunk", "partial"]
+        )
+        assert args.on_poison_chunk == "partial"
+
+    def test_workers_auto_accepted(self):
+        args = build_parser().parse_args(
+            ["solve", "net.txt", "--budget", "5", "--workers", "auto"]
+        )
+        assert args.workers == "auto"
+
+    @pytest.mark.parametrize(
+        "extra",
+        [
+            ["--max-chunk-retries", "-1"],
+            ["--max-chunk-retries", "two"],
+            ["--chunk-timeout", "0"],
+            ["--chunk-timeout", "-3"],
+            ["--on-poison-chunk", "explode"],
+            ["--workers", "0"],
+            ["--workers", "-2"],
+            ["--workers", "nope"],
+        ],
+    )
+    def test_bad_values_rejected_at_parse_time(self, extra, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "net.txt", "--budget", "5"] + extra)
+
+    def test_supervision_flags_reach_the_solver(self, network_file, capsys):
+        code = main(
+            [
+                "solve",
+                str(network_file),
+                "--budget",
+                "5",
+                "--method",
+                "ud",
+                "--hyperedges",
+                "300",
+                "--seed",
+                "3",
+                "--workers",
+                "2",
+                "--max-chunk-retries",
+                "1",
+                "--on-poison-chunk",
+                "serial",
+            ]
+        )
+        assert code == 0
+        assert "estimated spread" in capsys.readouterr().out
