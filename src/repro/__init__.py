@@ -51,10 +51,16 @@ from repro.core import (
     exact_spread_ic,
     exact_ui_ic,
     expected_cost,
+    frank_wolfe,
     paper_mixture,
+    project_capped_simplex,
+    projected_gradient_ascent,
+    register_solver,
+    reset_solvers,
     solve,
     unified_discount,
     unified_discount_expected,
+    unregister_solver,
 )
 from repro.core.exact_lt import exact_spread_lt, exact_ui_lt
 from repro.diffusion import (
@@ -164,6 +170,12 @@ __all__ = [
     "solve",
     "SolveResult",
     "available_methods",
+    "register_solver",
+    "unregister_solver",
+    "reset_solvers",
+    "projected_gradient_ascent",
+    "frank_wolfe",
+    "project_capped_simplex",
     "exact_spread_ic",
     "exact_ui_ic",
     "exact_spread_lt",

@@ -195,6 +195,27 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.05,
         help="relative-error target of the --rr-sets auto certificate",
     )
+    slv.add_argument(
+        "--step-size",
+        type=float,
+        default=None,
+        metavar="ETA",
+        help="initial ascent step of --method gradient (Armijo-backtracked)",
+    )
+    slv.add_argument(
+        "--max-steps",
+        type=int,
+        default=None,
+        help="iteration cap of --method gradient/fw",
+    )
+    slv.add_argument(
+        "--solver-tolerance",
+        type=float,
+        default=None,
+        metavar="TOL",
+        help="stopping tolerance of --method gradient/fw (gain, gap and "
+        "certified duality-gap threshold)",
+    )
     slv.add_argument("--diffusion", choices=("ic", "lt"), default="ic")
     slv.add_argument("--undirected", action="store_true")
     slv.add_argument("--seed", type=int, default=None)
@@ -339,6 +360,12 @@ def _cmd_solve(args) -> int:
     problem = CIMProblem(model, population, budget=args.budget)
     num_hyperedges = args.hyperedges
     options = {}
+    if args.step_size is not None:
+        options["step_size"] = args.step_size
+    if args.max_steps is not None:
+        options["max_steps"] = args.max_steps
+    if args.solver_tolerance is not None:
+        options["tolerance"] = args.solver_tolerance
     if args.rr_sets is not None:
         if args.rr_sets == "auto":
             num_hyperedges = "auto"

@@ -45,10 +45,18 @@ from repro.core.objective import (
 )
 from repro.core.population import CurvePopulation, paper_mixture
 from repro.core.problem import CIMProblem
+from repro.core.gradient import (
+    GradientResult,
+    frank_wolfe,
+    fw_linear_maximizer,
+    project_capped_simplex,
+    projected_gradient_ascent,
+)
 from repro.core.solvers import (
     SolveResult,
     available_methods,
     register_solver,
+    reset_solvers,
     solve,
     unregister_solver,
 )
@@ -94,6 +102,12 @@ __all__ = [
     "available_methods",
     "register_solver",
     "unregister_solver",
+    "reset_solvers",
+    "GradientResult",
+    "projected_gradient_ascent",
+    "frank_wolfe",
+    "project_capped_simplex",
+    "fw_linear_maximizer",
     "ExactICComputer",
     "exact_spread_ic",
     "exact_ui_ic",

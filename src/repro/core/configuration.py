@@ -142,7 +142,16 @@ class Configuration:
         return Configuration(arr)
 
     def with_pair(self, i: int, c_i: float, j: int, c_j: float) -> "Configuration":
-        """A copy with the coordinate pair ``(i, j)`` replaced."""
+        """A copy with the coordinate pair ``(i, j)`` replaced.
+
+        The coordinates must be distinct: with ``i == j`` the second write
+        would silently win, corrupting pair steps that assume two
+        independent coordinates.
+        """
+        if i == j:
+            raise ConfigurationError(
+                f"with_pair coordinates must be distinct, got i == j == {i}"
+            )
         arr = self._discounts.copy()
         arr[i] = c_i
         arr[j] = c_j

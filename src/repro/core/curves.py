@@ -77,11 +77,23 @@ class SeedProbabilityCurve(abc.ABC):
         return result
 
     def derivative(self, c):
-        """Evaluate ``p'(c)``; accepts scalars or arrays in ``[0, 1]``."""
+        """Evaluate ``p'(c)``; accepts scalars or arrays in ``[0, 1]``.
+
+        The slope of the *public* curve: where :meth:`__call__` clips the
+        raw ``_evaluate`` into ``[0, 1]`` (e.g. float overshoot past an
+        endpoint), the visible curve is flat, so the derivative is 0 there
+        — keeping finite differences of ``p(c)`` and ``p'(c)`` consistent
+        for gradient-based solvers.
+        """
         arr = np.asarray(c, dtype=np.float64)
         if np.any(arr < -_ENDPOINT_TOLERANCE) or np.any(arr > 1.0 + _ENDPOINT_TOLERANCE):
             raise CurveError(f"discount must lie in [0, 1], got {c!r}")
-        result = self._derivative(np.clip(arr, 0.0, 1.0))
+        boxed = np.clip(arr, 0.0, 1.0)
+        result = np.asarray(self._derivative(boxed), dtype=np.float64)
+        raw = np.asarray(self._evaluate(boxed), dtype=np.float64)
+        clip_active = (raw < 0.0) | (raw > 1.0)
+        if np.any(clip_active):
+            result = np.where(clip_active, 0.0, result)
         if np.isscalar(c) or arr.ndim == 0:
             return float(result)
         return result
@@ -90,9 +102,24 @@ class SeedProbabilityCurve(abc.ABC):
     # validation and predicates
     # ------------------------------------------------------------------
     def validate(self) -> None:
-        """Check the Section-3 axioms on a dense grid; raise on violation."""
+        """Check the Section-3 axioms on a dense grid; raise on violation.
+
+        Also checks clip consistency: wherever the raw ``_evaluate`` leaves
+        ``[0, 1]`` (so :meth:`__call__` clips), the public derivative must
+        report the flat clipped slope, 0 — otherwise finite differences of
+        ``p(c)`` disagree with ``p'(c)`` and gradient solvers chase phantom
+        ascent directions.
+        """
         grid = np.linspace(0.0, 1.0, _VALIDATION_GRID)
         values = np.asarray(self._evaluate(grid), dtype=np.float64)
+        clip_active = (values < 0.0) | (values > 1.0)
+        if np.any(clip_active):
+            slopes = np.asarray(self.derivative(grid), dtype=np.float64)
+            if np.any(slopes[clip_active] != 0.0):
+                raise CurveError(
+                    f"{self.name}: derivative must be 0 where p(c) is "
+                    "clipped into [0, 1]"
+                )
         if abs(float(values[0])) > _ENDPOINT_TOLERANCE:
             raise CurveError(f"{self.name}: p(0) must be 0, got {values[0]:.6g}")
         if abs(float(values[-1]) - 1.0) > _ENDPOINT_TOLERANCE:

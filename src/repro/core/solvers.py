@@ -14,6 +14,11 @@ Registered methods
 ``cd``       Coordinate Descent warm-started from UD (Section 8).
 ``cd-im``    Coordinate Descent warm-started from the IM integer
              configuration (the Section-6 "no worse than IM" argument).
+``gradient`` projected gradient ascent on the hyper-graph objective
+             (capped-simplex projection + Armijo backtracking), warm-started
+             from UD; reports a certified duality gap in ``extras``.
+``fw``       Frank-Wolfe: projection-free conditional gradient whose
+             linear step is a top-k greedy fill of the budget.
 ``greedy``   greedy fractional allocation: the budget flows in small
              increments to the best marginal-gain user (an alternative
              heuristic the paper does not evaluate).
@@ -52,6 +57,7 @@ __all__ = [
     "available_methods",
     "register_solver",
     "unregister_solver",
+    "reset_solvers",
 ]
 
 
@@ -111,6 +117,7 @@ def _solve_cd(problem, hypergraph, seed, options) -> tuple[Configuration, dict]:
         grid_step=options.get("grid_step", 0.01),
         max_rounds=options.get("max_rounds", 10),
         refine_iterations=options.get("refine_iterations", 25),
+        pair_strategy=options.get("pair_strategy", "cyclic"),
         deadline=options.get("deadline"),
     )
     return cd_result.configuration, {
@@ -157,6 +164,89 @@ def _solve_cd_im(problem, hypergraph, seed, options) -> tuple[Configuration, dic
     }
 
 
+def _gradient_warm_start(problem, hypergraph, options) -> tuple[Configuration, dict]:
+    """Resolve the ``warm_start`` option shared by gradient and FW."""
+    warm = options.get("warm_start", "ud")
+    if warm == "ud":
+        ud_result = unified_discount(
+            problem,
+            hypergraph,
+            discount_grid=options.get("discount_grid"),
+            step=options.get("step", 0.05),
+            deadline=options.get("deadline"),
+        )
+        return ud_result.configuration, {
+            "warm_start": "ud",
+            "ud_discount": ud_result.best_discount,
+            "deadline_expired": ud_result.deadline_expired,
+        }
+    if warm == "zeros":
+        return Configuration.zeros(problem.num_nodes), {
+            "warm_start": "zeros",
+            "deadline_expired": False,
+        }
+    if warm == "uniform":
+        return Configuration.uniform(problem.budget, problem.num_nodes), {
+            "warm_start": "uniform",
+            "deadline_expired": False,
+        }
+    raise SolverError(
+        f"unknown warm_start {warm!r}; choose 'ud', 'zeros' or 'uniform'"
+    )
+
+
+def _gradient_extras(result, warm_extras: dict) -> dict:
+    extras = dict(warm_extras)
+    extras.update(
+        steps_run=result.steps_run,
+        backtracks=result.backtracks,
+        objective_evals=result.objective_evals,
+        gradient_evals=result.gradient_evals,
+        step_values=result.step_values,
+        converged=result.converged,
+        duality_gap=result.duality_gap,
+        budget_spent=result.budget_spent,
+        deadline_expired=warm_extras.get("deadline_expired", False)
+        or result.deadline_expired,
+    )
+    if result.fw_gap is not None:
+        extras["fw_gap"] = result.fw_gap
+    return extras
+
+
+def _solve_gradient(problem, hypergraph, seed, options) -> tuple[Configuration, dict]:
+    from repro.core.gradient import projected_gradient_ascent
+
+    initial, warm_extras = _gradient_warm_start(problem, hypergraph, options)
+    result = projected_gradient_ascent(
+        problem,
+        hypergraph,
+        initial,
+        step_size=options.get("step_size", 0.5),
+        max_steps=options.get("max_steps", 200),
+        tolerance=options.get("tolerance", 1e-3),
+        deadline=options.get("deadline"),
+    )
+    return result.configuration, _gradient_extras(result, warm_extras)
+
+
+def _solve_fw(problem, hypergraph, seed, options) -> tuple[Configuration, dict]:
+    from repro.core.gradient import frank_wolfe
+
+    options = dict(options)
+    options.setdefault("warm_start", "zeros")
+    initial, warm_extras = _gradient_warm_start(problem, hypergraph, options)
+    result = frank_wolfe(
+        problem,
+        hypergraph,
+        initial,
+        max_steps=options.get("max_steps", 200),
+        tolerance=options.get("tolerance", 1e-3),
+        deadline=options.get("deadline"),
+    )
+    return result.configuration, _gradient_extras(result, warm_extras)
+
+
 def _solve_greedy(problem, hypergraph, seed, options) -> tuple[Configuration, dict]:
     from repro.core.greedy_allocation import greedy_allocation
 
@@ -194,11 +284,20 @@ _REGISTRY: Dict[str, _SolverFn] = {
     "ud": _solve_ud,
     "cd": _solve_cd,
     "cd-im": _solve_cd_im,
+    "gradient": _solve_gradient,
+    "fw": _solve_fw,
     "greedy": _solve_greedy,
     "uniform": _solve_uniform,
     "random": _solve_random,
     "degree": _solve_degree,
 }
+
+#: Immutable snapshot of the built-in strategies, taken at import time —
+#: the restore point of :func:`reset_solvers`.
+_BUILTINS: Dict[str, _SolverFn] = dict(_REGISTRY)
+
+#: Methods whose descent the adaptive driver can run per instalment.
+_ADAPTIVE_OPTIMIZERS = ("cd", "gradient", "fw")
 
 
 def available_methods() -> List[str]:
@@ -227,12 +326,27 @@ def register_solver(name: str, solver: _SolverFn, overwrite: bool = False) -> No
 
 
 def unregister_solver(name: str) -> None:
-    """Remove a custom strategy (built-ins may also be removed — restart
-    the interpreter or re-register to restore them)."""
+    """Remove a strategy from the registry.
+
+    Built-ins may also be removed (e.g. to shadow-test a replacement);
+    :func:`reset_solvers` restores the pristine built-in registry at any
+    time — no interpreter restart needed.
+    """
     try:
         del _REGISTRY[name]
     except KeyError:
         raise SolverError(f"no solver named {name!r}") from None
+
+
+def reset_solvers() -> None:
+    """Restore the registry to the import-time built-in snapshot.
+
+    Re-registers every built-in strategy (undoing any
+    :func:`unregister_solver` of them) and drops all custom strategies
+    added with :func:`register_solver`.
+    """
+    _REGISTRY.clear()
+    _REGISTRY.update(_BUILTINS)
 
 
 def solve(
@@ -322,6 +436,10 @@ def solve(
         if hypergraph is None and num_hyperedges == "auto":
             from repro.rrset.adaptive import adaptive_hypergraph
 
+            if method in _ADAPTIVE_OPTIMIZERS:
+                # Let the driver run *this* method's descent per instalment
+                # so its certified incumbent is the solve result.
+                adaptive_options.setdefault("optimizer", method)
             with timings.phase("hypergraph"):
                 adaptive_result = adaptive_hypergraph(
                     problem,
@@ -360,20 +478,27 @@ def solve(
                 # computed on it.
                 hypergraph_truncated = hypergraph.num_hyperedges < num_hyperedges
         with timings.phase(method):
-            if adaptive_result is not None and method == "cd":
-                # The driver already alternated UD warm-start with CD at
-                # every doubling — its incumbent IS the CD solution on the
-                # final hyper-graph; re-running would duplicate the work.
+            if (
+                adaptive_result is not None
+                and adaptive_options.get("optimizer", "cd") == method
+            ):
+                # The driver already alternated UD warm-start with this
+                # method's descent at every doubling — its incumbent IS the
+                # solution on the final hyper-graph; re-running would
+                # duplicate the work.
                 configuration = adaptive_result.configuration
                 extras = {"warm_start": "ud"}
-                cd_inner = adaptive_result.cd_result
-                if cd_inner is not None:
-                    extras.update(
-                        rounds_run=cd_inner.rounds_run,
-                        pair_updates=cd_inner.pair_updates,
-                        round_values=cd_inner.round_values,
-                        converged=cd_inner.converged,
-                    )
+                inner = adaptive_result.cd_result
+                if inner is not None:
+                    if method == "cd":
+                        extras.update(
+                            rounds_run=inner.rounds_run,
+                            pair_updates=inner.pair_updates,
+                            round_values=inner.round_values,
+                            converged=inner.converged,
+                        )
+                    else:
+                        extras = _gradient_extras(inner, extras)
                 extras["deadline_expired"] = adaptive_result.stop_reason == "deadline"
             else:
                 configuration, extras = solver(problem, hypergraph, seed, options)

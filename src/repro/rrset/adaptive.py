@@ -148,8 +148,12 @@ class AdaptiveResult:
     #: instalments — bit-identical to a fault-free build of their θ —
     #: were salvaged as the result).
     stop_reason: str
-    #: One record per instalment: theta, value, epsilon_bound, CD effort.
+    #: One record per instalment: theta, value, epsilon_bound, descent effort.
     stages: List[Dict[str, object]] = field(default_factory=list)
+    #: The last instalment's descent result: a
+    #: :class:`~repro.core.cd_hypergraph.HypergraphCDResult` for the default
+    #: CD optimizer, a :class:`~repro.core.gradient.GradientResult` for
+    #: ``optimizer="gradient"``/``"fw"``.
     cd_result: Optional[object] = None
     checkpoint_hits: int = 0
     timings: TimingBreakdown = field(default_factory=TimingBreakdown)
@@ -202,6 +206,10 @@ def adaptive_hypergraph(
     cd_max_rounds: int = 10,
     cd_tolerance: float = 1e-9,
     refine_iterations: int = 25,
+    optimizer: str = "cd",
+    gradient_step_size: float = 0.5,
+    gradient_max_steps: int = 200,
+    gradient_tolerance: float = 1e-3,
 ) -> AdaptiveResult:
     """Sample adaptively and return the certified CD solution.
 
@@ -262,12 +270,23 @@ def adaptive_hypergraph(
         the default ``"lazy"`` scheduler suits the re-optimization loop,
         where most pairs have nothing left to give after the first
         instalment.
+    optimizer:
+        Which descent re-optimizes the incumbent per instalment: ``"cd"``
+        (default), ``"gradient"`` (projected gradient ascent) or ``"fw"``
+        (Frank-Wolfe) — all warm-started from the UD-vs-incumbent
+        competition and certified under the same Chernoff bound.
+    gradient_step_size, gradient_max_steps, gradient_tolerance:
+        Forwarded to the gradient/FW descent when ``optimizer`` selects it.
     """
     # Function-level imports: repro.core imports repro.rrset at module
     # scope, so the reverse edge must be deferred to call time.
     from repro.core.cd_hypergraph import coordinate_descent_hypergraph
     from repro.core.configuration import Configuration
+    from repro.core.gradient import frank_wolfe, projected_gradient_ascent
     from repro.core.unified_discount import unified_discount
+
+    if optimizer not in ("cd", "gradient", "fw"):
+        raise EstimationError(f"unknown optimizer {optimizer!r}")
 
     n = problem.num_nodes
     if n <= 0:
@@ -289,7 +308,7 @@ def adaptive_hypergraph(
                 "checkpointed adaptive sampling requires an integer seed "
                 "(content keys must be stable and serializable)"
             )
-        key = content_key(
+        key_fields = dict(
             kind="adaptive-v1",
             problem=_problem_fingerprint(problem),
             seed=int(seed),
@@ -301,6 +320,14 @@ def adaptive_hypergraph(
             refine_iterations=refine_iterations,
             pair_strategy=pair_strategy,
         )
+        if optimizer != "cd":
+            # Only non-default optimizers key differently, so pre-existing
+            # CD checkpoints stay addressable.
+            key_fields["optimizer"] = optimizer
+            key_fields["gradient_step_size"] = gradient_step_size
+            key_fields["gradient_max_steps"] = gradient_max_steps
+            key_fields["gradient_tolerance"] = gradient_tolerance
+        key = content_key(**key_fields)
         store = CheckpointStore(checkpoint_dir, key)
 
     root = as_root_sequence(seed)  # normalize ONCE: the plan must not drift
@@ -424,26 +451,46 @@ def adaptive_hypergraph(
                         )
                         if ud_value > objective.value():
                             warm = ud.configuration
-                    cd_result = coordinate_descent_hypergraph(
-                        problem,
-                        hypergraph,
-                        warm,
-                        grid_step=grid_step,
-                        max_rounds=cd_max_rounds,
-                        tolerance=cd_tolerance,
-                        refine_iterations=refine_iterations,
-                        pair_strategy=pair_strategy,
-                        deadline=budget_clock,
-                        objective=objective,
-                    )
+                    if optimizer == "cd":
+                        cd_result = coordinate_descent_hypergraph(
+                            problem,
+                            hypergraph,
+                            warm,
+                            grid_step=grid_step,
+                            max_rounds=cd_max_rounds,
+                            tolerance=cd_tolerance,
+                            refine_iterations=refine_iterations,
+                            pair_strategy=pair_strategy,
+                            deadline=budget_clock,
+                            objective=objective,
+                        )
+                    else:
+                        descent = (
+                            projected_gradient_ascent
+                            if optimizer == "gradient"
+                            else frank_wolfe
+                        )
+                        kwargs = dict(
+                            max_steps=gradient_max_steps,
+                            tolerance=gradient_tolerance,
+                            deadline=budget_clock,
+                            objective=objective,
+                        )
+                        if optimizer == "gradient":
+                            kwargs["step_size"] = gradient_step_size
+                        cd_result = descent(problem, hypergraph, warm, **kwargs)
                 warm = cd_result.configuration
                 value = float(cd_result.objective_value)
                 record = {
                     "theta": int(hypergraph.num_hyperedges),
                     "value": value,
-                    "rounds_run": int(cd_result.rounds_run),
-                    "pair_updates": int(cd_result.pair_updates),
                 }
+                if optimizer == "cd":
+                    record["rounds_run"] = int(cd_result.rounds_run)
+                    record["pair_updates"] = int(cd_result.pair_updates)
+                else:
+                    record["steps_run"] = int(cd_result.steps_run)
+                    record["objective_evals"] = int(cd_result.objective_evals)
                 if store is not None and not truncated:
                     store.save_arrays(
                         name, discounts=warm.discounts, **hypergraph.to_arrays()

@@ -25,6 +25,19 @@ machine-comparable::
     PYTHONPATH=src python -m repro.rrset.bench --adaptive
     PYTHONPATH=src python -m repro.rrset.bench --adaptive --smoke
 
+``--solvers`` runs the solver-vs-solver matrix instead: UD, cyclic CD,
+lazy CD, projected gradient ascent, and Frank-Wolfe all solve the *same*
+instance on the *same* sampled hyper-graph, recording quality, wall-clock,
+objective-evaluation counts (``cd.pair_evals_total`` vs
+``gradient.objective_evals_total``), duality-gap certificates, and the
+spend of each row, plus a worker-count bit-identity cross-check for the
+gradient family.  The matrix is merged into an existing ``BENCH_cd.json``
+under the ``solver_matrix`` key (its checks folded into the top-level
+``summary``), or written standalone when no kernel report exists yet::
+
+    PYTHONPATH=src python -m repro.rrset.bench --solvers
+    PYTHONPATH=src python -m repro.rrset.bench --solvers --smoke
+
 ``docs/performance.md`` documents the JSON schema and how to interpret
 the numbers; ``benchmarks/test_cd_kernel.py`` wraps the same functions in
 the pytest-benchmark harness.
@@ -67,9 +80,12 @@ __all__ = [
     "build_cd_workload",
     "run_kernel_benchmark",
     "run_adaptive_benchmark",
+    "run_solver_benchmark",
     "write_report",
     "format_report",
     "format_adaptive_report",
+    "format_solver_report",
+    "merge_solver_matrix",
     "main",
 ]
 
@@ -538,6 +554,257 @@ def run_adaptive_benchmark(
     }
 
 
+#: Eval-economy counters per solver row: CD pays per pair evaluation, the
+#: gradient family per full-vector objective evaluation.
+_SOLVER_EVAL_COUNTERS = {
+    "ud": "ud.grid_points_total",
+    "cd": "cd.pair_evals_total",
+    "lazy-cd": "cd.pair_evals_total",
+    "gradient": "gradient.objective_evals_total",
+    "fw": "gradient.objective_evals_total",
+}
+
+_SOLVER_WORKERS = (1, 2, 4)
+
+
+def run_solver_benchmark(
+    nodes: int,
+    edge_prob: float,
+    rr_sets: int,
+    budget: float,
+    support: int,
+    workers: Sequence[int] = _SOLVER_WORKERS,
+    max_rounds: int = 10,
+    max_steps: int = 200,
+    tolerance: float = 1e-3,
+    seed: int = SEED,
+    **_ignored,
+) -> Dict:
+    """Solver-vs-solver quality/latency matrix on one shared hyper-graph.
+
+    Every row solves the *same* instance on the *same* sampled RR
+    hyper-graph: UD (the warm-start baseline), cyclic and lazy CD from the
+    UD configuration, projected gradient ascent from the UD configuration,
+    and Frank-Wolfe from zeros (it grows its own support).  Each row runs
+    inside a private metrics registry so the eval-economy comparison —
+    ``cd.pair_evals_total`` against ``gradient.objective_evals_total`` —
+    counts exactly one run.  The named checks assert the acceptance bar:
+    both gradient solvers land within 1% of CD's quality with fewer
+    objective evaluations, and both are bit-identical when the hyper-graph
+    is sampled with 1, 2, and 4 workers.
+    """
+    from repro.core.gradient import frank_wolfe, projected_gradient_ascent
+    from repro.core.unified_discount import unified_discount
+
+    problem, rr_list, hypergraph, _warm, _coords = build_cd_workload(
+        nodes, edge_prob, rr_sets, budget, support, seed=seed
+    )
+
+    rows: Dict[str, Dict] = {}
+
+    def run_row(name: str, fn) -> object:
+        registry = MetricsRegistry()
+        with observe(metrics=registry):
+            start = time.perf_counter()
+            result = fn()
+            seconds = time.perf_counter() - start
+        counters = registry.snapshot()["counters"]
+        rows[name] = {
+            "seconds": seconds,
+            "objective_evals": int(counters.get(_SOLVER_EVAL_COUNTERS[name], 0)),
+        }
+        return result
+
+    ud = run_row("ud", lambda: unified_discount(problem, hypergraph))
+    rows["ud"].update(
+        objective_value=float(ud.spread_estimate),
+        budget_spent=float(ud.configuration.cost),
+        unified_discount=float(ud.best_discount),
+    )
+
+    cd = run_row(
+        "cd",
+        lambda: coordinate_descent_hypergraph(
+            problem, hypergraph, ud.configuration, max_rounds=max_rounds
+        ),
+    )
+    rows["cd"].update(
+        objective_value=float(cd.objective_value),
+        budget_spent=float(cd.configuration.cost),
+        rounds_run=int(cd.rounds_run),
+    )
+
+    lazy = run_row(
+        "lazy-cd",
+        lambda: coordinate_descent_hypergraph(
+            problem,
+            hypergraph,
+            ud.configuration,
+            max_rounds=max_rounds,
+            pair_strategy="lazy",
+        ),
+    )
+    rows["lazy-cd"].update(
+        objective_value=float(lazy.objective_value),
+        budget_spent=float(lazy.configuration.cost),
+        rounds_run=int(lazy.rounds_run),
+    )
+
+    grad = run_row(
+        "gradient",
+        lambda: projected_gradient_ascent(
+            problem,
+            hypergraph,
+            ud.configuration,
+            max_steps=max_steps,
+            tolerance=tolerance,
+        ),
+    )
+    rows["gradient"].update(
+        objective_value=float(grad.objective_value),
+        budget_spent=float(grad.budget_spent),
+        steps_run=int(grad.steps_run),
+        duality_gap=float(grad.duality_gap),
+    )
+
+    fw = run_row(
+        "fw",
+        lambda: frank_wolfe(
+            problem, hypergraph, max_steps=max_steps, tolerance=tolerance
+        ),
+    )
+    rows["fw"].update(
+        objective_value=float(fw.objective_value),
+        budget_spent=float(fw.budget_spent),
+        steps_run=int(fw.steps_run),
+        duality_gap=float(fw.duality_gap),
+        fw_gap=float(fw.fw_gap),
+    )
+
+    # -- worker-count bit-identity of the gradient family ---------------
+    # Resample the hyper-graph with each worker count and rerun both
+    # descents end to end (including the UD warm start); the digests cover
+    # the final discounts and values, so any worker-dependent float path
+    # anywhere in the chain breaks the check.
+    digests = []
+    for count in workers:
+        rr_w = sample_rr_sets(problem.model, rr_sets, seed=seed + 2, workers=count)
+        hg_w = RRHypergraph(nodes, rr_w)
+        ud_w = unified_discount(problem, hg_w)
+        grad_w = projected_gradient_ascent(
+            problem, hg_w, ud_w.configuration, max_steps=max_steps, tolerance=tolerance
+        )
+        fw_w = frank_wolfe(problem, hg_w, max_steps=max_steps, tolerance=tolerance)
+        hasher = hashlib.sha256()
+        hasher.update(grad_w.configuration.discounts.tobytes())
+        hasher.update(np.float64(grad_w.objective_value).tobytes())
+        hasher.update(fw_w.configuration.discounts.tobytes())
+        hasher.update(np.float64(fw_w.objective_value).tobytes())
+        digests.append(hasher.hexdigest())
+    determinism = {
+        "workers": list(workers),
+        "digest": digests[0],
+        "identical": len(set(digests)) == 1,
+    }
+
+    cd_value = rows["cd"]["objective_value"]
+    cd_evals = rows["cd"]["objective_evals"]
+    checks = {
+        "gradient_within_1pct": rows["gradient"]["objective_value"] >= 0.99 * cd_value,
+        "fw_within_1pct": rows["fw"]["objective_value"] >= 0.99 * cd_value,
+        "gradient_fewer_evals": rows["gradient"]["objective_evals"] < cd_evals,
+        "fw_fewer_evals": rows["fw"]["objective_evals"] < cd_evals,
+        "workers_identical": determinism["identical"],
+    }
+    return {
+        "schema": SCHEMA,
+        "summary": _summary(
+            "solver-matrix",
+            baseline_seconds=rows["cd"]["seconds"],
+            candidate_seconds=rows["gradient"]["seconds"],
+            checks=checks,
+        ),
+        "config": {
+            "nodes": nodes,
+            "edge_prob": edge_prob,
+            "rr_sets": rr_sets,
+            "budget": budget,
+            "max_rounds": max_rounds,
+            "max_steps": max_steps,
+            "tolerance": tolerance,
+            "seed": seed,
+            "workers": list(workers),
+        },
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "rows": rows,
+        "determinism": determinism,
+    }
+
+
+def merge_solver_matrix(report: Dict, path: str) -> Dict:
+    """Fold a solver-matrix report into an existing kernel report.
+
+    When ``path`` holds a same-schema kernel payload, the matrix lands
+    under its ``solver_matrix`` key and the matrix checks join the
+    top-level ``summary.checks`` (prefixed ``solver_``) so one ``ok`` flag
+    still covers the whole file.  Otherwise the matrix report is returned
+    as-is for a standalone write.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            existing = json.load(handle)
+    except (OSError, ValueError):
+        return report
+    if not isinstance(existing, dict) or existing.get("schema") != SCHEMA:
+        return report
+    if "results" not in existing:
+        return report
+    existing["solver_matrix"] = {
+        key: report[key] for key in ("summary", "config", "rows", "determinism")
+    }
+    existing["summary"]["checks"].update(
+        {f"solver_{name}": ok for name, ok in report["summary"]["checks"].items()}
+    )
+    existing["summary"]["ok"] = all(existing["summary"]["checks"].values())
+    return existing
+
+
+def format_solver_report(report: Dict) -> str:
+    """Human-readable table of a solver-matrix payload."""
+    cfg = report["config"]
+    rows = report["rows"]
+    det = report["determinism"]
+    cd_value = rows["cd"]["objective_value"]
+    lines = [
+        f"solver matrix — n={cfg['nodes']} p={cfg['edge_prob']:g} "
+        f"theta={cfg['rr_sets']} budget={cfg['budget']:g} "
+        f"tol={cfg['tolerance']:g} (cpus={report['machine']['cpu_count']})",
+        f"{'solver':>10s} {'seconds':>9s} {'objective':>12s} {'vs cd':>8s} "
+        f"{'evals':>7s} {'spend':>7s} {'gap':>10s}",
+    ]
+    for name in ("ud", "cd", "lazy-cd", "gradient", "fw"):
+        row = rows[name]
+        gap = row.get("duality_gap")
+        lines.append(
+            f"{name:>10s} {row['seconds']:8.3f}s {row['objective_value']:12.4f} "
+            f"{row['objective_value'] / cd_value:7.4f}x {row['objective_evals']:7d} "
+            f"{row['budget_spent']:7.3f} "
+            + (f"{gap:10.4f}" if gap is not None else f"{'—':>10s}")
+        )
+    checks = report["summary"]["checks"]
+    lines.append(
+        "checks: " + " ".join(f"{name}={ok}" for name, ok in checks.items())
+    )
+    lines.append(
+        "determinism: workers=%s identical=%s" % (det["workers"], det["identical"])
+    )
+    return "\n".join(lines)
+
+
 def format_adaptive_report(report: Dict) -> str:
     """Human-readable view of an adaptive-sampling benchmark payload."""
     cfg = report["config"]
@@ -636,11 +903,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "CD kernels; writes BENCH_adaptive.json by default",
     )
     parser.add_argument(
+        "--solvers",
+        action="store_true",
+        help="benchmark the solver matrix (ud/cd/lazy-cd/gradient/fw) on "
+        "one shared hyper-graph; merges into BENCH_cd.json",
+    )
+    parser.add_argument(
         "--epsilon",
         type=float,
         default=None,
         help="certificate target for --adaptive (default 0.05 full, "
         "0.15 smoke)",
+    )
+    parser.add_argument(
+        "--max-steps",
+        type=int,
+        default=200,
+        help="gradient/FW iteration cap for --solvers",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=1e-3,
+        help="gradient/FW stopping tolerance for --solvers",
     )
     parser.add_argument("--nodes", type=int, default=None)
     parser.add_argument("--edge-prob", type=float, default=None)
@@ -655,9 +940,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--max-rounds", type=int, default=10)
     parser.add_argument(
         "--workers",
-        default=",".join(str(w) for w in DEFAULT_WORKERS),
+        default=None,
         help="comma-separated worker counts for the sampling determinism "
-        "cross-check (default %(default)s)",
+        "cross-check (default 1,2 — or 1,2,4 with --solvers)",
     )
     parser.add_argument("--repeats", type=int, default=3, help="best-of repeats")
     parser.add_argument("--seed", type=int, default=SEED)
@@ -680,7 +965,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     ):
         if value is not None:
             shape[key] = value
-    workers = tuple(int(w) for w in str(args.workers).split(",") if w.strip())
+    if args.workers is None:
+        workers = _SOLVER_WORKERS if args.solvers else DEFAULT_WORKERS
+    else:
+        workers = tuple(int(w) for w in str(args.workers).split(",") if w.strip())
 
     if args.adaptive:
         epsilon = args.epsilon if args.epsilon is not None else (0.15 if args.smoke else 0.05)
@@ -694,6 +982,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         write_report(report, out)
         print(format_adaptive_report(report))
+    elif args.solvers:
+        out = args.out or "BENCH_cd.json"
+        report = run_solver_benchmark(
+            workers=workers,
+            max_rounds=args.max_rounds,
+            max_steps=args.max_steps,
+            tolerance=args.tolerance,
+            seed=args.seed,
+            **shape,
+        )
+        write_report(merge_solver_matrix(report, out), out)
+        print(format_solver_report(report))
     else:
         out = args.out or "BENCH_cd.json"
         report = run_kernel_benchmark(

@@ -61,6 +61,12 @@ __all__ = ["HypergraphObjective", "PairCoefficients"]
 
 _ONE_TOLERANCE = 1e-12
 
+#: Factors in ``(_ONE_TOLERANCE, _SAFE_DIVIDE_TOLERANCE]`` are too small to
+#: divide out of the stored non-zero product without amplifying round-off;
+#: the gradient kernel recomputes those edges' products excluding the member
+#: instead (the safe ``q_u -> 1`` path).
+_SAFE_DIVIDE_TOLERANCE = 1e-6
+
 #: Default bound on memoized pair splits; at 2 int32 arrays of typical CD
 #: support degree per entry this caps the cache at tens of MB.  When the
 #: limit is hit the cache is cleared wholesale (counted by
@@ -169,6 +175,7 @@ class HypergraphObjective:
         self._scan_stale = False
         self._topology_cache: Dict[Tuple[int, int], Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
         self._topology_cache_limit = int(topology_cache_limit)
+        self._member_edge_cache: Optional[np.ndarray] = None
         self.rebuild()
 
     # ------------------------------------------------------------------
@@ -374,6 +381,7 @@ class HypergraphObjective:
         self._covered_sum += float((1.0 - survival_tail).sum())
         self._scan_stale = True
         self._topology_cache.clear()
+        self._member_edge_cache = None
         metrics = get_metrics()
         metrics.inc("objective.extends_total")
         metrics.inc("objective.extended_hyperedges_total", added)
@@ -512,3 +520,86 @@ class HypergraphObjective:
         excl = self._survival_excluding(edges, (node,))
         scale = self.hypergraph.num_nodes / self.hypergraph.num_hyperedges
         return scale * float(excl.sum())
+
+    def _member_edge_ids(self) -> np.ndarray:
+        """Edge id of every position in the member stream (cached).
+
+        Pure hyper-graph topology (``np.repeat`` over the segment sizes);
+        invalidated by :meth:`extend`.
+        """
+        cache = self._member_edge_cache
+        if cache is None:
+            hg = self.hypergraph
+            sizes = np.diff(hg.edge_offsets)
+            cache = np.repeat(
+                np.arange(hg.num_hyperedges, dtype=np.int64), sizes
+            )
+            self._member_edge_cache = cache
+        return cache
+
+    def gradient(self, curve_derivatives: Optional[np.ndarray] = None) -> np.ndarray:
+        """Full gradient vector of the estimate, all coordinates at once.
+
+        Without ``curve_derivatives`` this is the q-space gradient
+        ``∂UI/∂q_u = (n/theta) * sum_{h ∋ u} survival_{h \\ u}`` — exactly
+        :meth:`gradient_coordinate` for every node, but computed in one
+        vectorized pass over the member stream (``O(sum_h |h|)``) instead
+        of ``n`` incident-edge loops.  With ``curve_derivatives`` (the
+        per-node slopes ``p'_u(c_u)``) the chain rule maps it to c-space:
+        ``∂UI/∂c_u = ∂UI/∂q_u * p'_u(c_u)``.
+
+        The survival of an edge excluding one member comes from the
+        delta-maintained ``(zero_count, nonzero_prod)`` state — no full
+        survival scan happens here:
+
+        * member factor ``1-q_u`` exactly zero (``q_u = 1``): the stored
+          non-zero product already excludes it, so it is used directly;
+        * factor below :data:`_SAFE_DIVIDE_TOLERANCE` but non-zero
+          (``q_u -> 1``): dividing the product by the tiny factor would
+          amplify round-off, so the edge's product excluding the member
+          is recomputed from the raw factors (rare, O(|h|) each);
+        * otherwise: one vectorized division ``nonzero_prod / factor``.
+
+        Edges with *another* zero-factor member contribute 0 regardless.
+        """
+        hg = self.hypergraph
+        if hg.num_hyperedges == 0:
+            raise EstimationError("hyper-graph has no hyper-edges")
+        n = hg.num_nodes
+        stream = hg.edge_nodes
+        scale = n / hg.num_hyperedges
+        if stream.size == 0:
+            grad = np.zeros(n, dtype=np.float64)
+        else:
+            edge_ids = self._member_edge_ids()
+            factors = (1.0 - self._probs)[stream]
+            zero_here = factors <= _ONE_TOLERANCE
+            prod = self._nonzero_prod[edge_ids]
+            excl = np.empty(stream.size, dtype=np.float64)
+            # q_u = 1: the stored product of non-zero factors *is* the
+            # product excluding u (up to other zero members, masked below).
+            np.divide(prod, factors, out=excl, where=~zero_here)
+            excl[zero_here] = prod[zero_here]
+            risky = ~zero_here & (factors <= _SAFE_DIVIDE_TOLERANCE)
+            if np.any(risky):
+                offsets = hg.edge_offsets
+                for pos in np.nonzero(risky)[0]:
+                    edge = int(edge_ids[pos])
+                    seg = factors[offsets[edge] : offsets[edge + 1]]
+                    keep = seg > _ONE_TOLERANCE
+                    keep[int(pos) - int(offsets[edge])] = False
+                    excl[pos] = float(np.prod(seg[keep]))
+            # Any *other* member with q = 1 forces the excluded survival
+            # to exact zero.
+            zero_others = self._zero_count[edge_ids] - zero_here.astype(np.int64)
+            excl[zero_others > 0] = 0.0
+            grad = scale * np.bincount(stream, weights=excl, minlength=n)
+        if curve_derivatives is not None:
+            slopes = np.asarray(curve_derivatives, dtype=np.float64)
+            if slopes.shape != (n,):
+                raise EstimationError(
+                    f"curve_derivatives must have length n={n}, got {slopes.shape}"
+                )
+            grad = grad * slopes
+        get_metrics().inc("objective.gradients_total")
+        return grad

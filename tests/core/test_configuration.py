@@ -123,6 +123,15 @@ class TestFunctionalUpdates:
         updated = config.with_pair(0, 0.5, 2, 0.0)
         assert updated.discounts.tolist() == pytest.approx([0.5, 0.2, 0.0])
 
+    def test_with_pair_identical_coordinates_rejected(self):
+        # i == j would let the second write silently clobber the first,
+        # corrupting pair steps that assume two independent coordinates.
+        config = Configuration([0.1, 0.2, 0.3])
+        with pytest.raises(ValueError, match="distinct"):
+            config.with_pair(1, 0.5, 1, 0.6)
+        with pytest.raises(ConfigurationError):
+            config.with_pair(0, 0.0, 0, 0.0)
+
     def test_with_discount_validates(self):
         config = Configuration([0.1])
         with pytest.raises(ConfigurationError):

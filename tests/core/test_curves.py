@@ -14,6 +14,7 @@ from repro.core.curves import (
     PiecewiseLinearCurve,
     PowerCurve,
     QuadraticCurve,
+    SeedProbabilityCurve,
 )
 from repro.exceptions import CurveError
 
@@ -174,3 +175,54 @@ class TestCallableCurve:
             lambda c: np.asarray(c) ** 2, derivative=lambda c: 2 * np.asarray(c)
         )
         assert curve.derivative(0.3) == pytest.approx(0.6)
+
+
+class TestClipConsistency:
+    """derivative() must report the *public* (post-clip) curve's slope."""
+
+    class Overshoot(SeedProbabilityCurve):
+        # Raw p(c) = 2.2c - 1.2c^2 exceeds 1 on (~0.55, 1), where
+        # __call__ clips it flat; p(0) = 0 and p(1) = 1 still hold.
+        name = "overshoot"
+
+        def _evaluate(self, c):
+            return 2.2 * c - 1.2 * c * c
+
+        def _derivative(self, c):
+            return 2.2 - 2.4 * c
+
+    def test_derivative_zero_where_clipped(self):
+        curve = self.Overshoot()
+        assert curve(0.9) == 1.0  # raw 1.008 clipped to the [0, 1] box
+        assert curve.derivative(0.0) == pytest.approx(2.2)
+        # Raw p(0.8) = 0.992 < 1: not clipped, analytic slope survives.
+        assert curve.derivative(0.8) == pytest.approx(2.2 - 2.4 * 0.8)
+        # Raw p(0.9) = 1.008 > 1: clipped flat, slope must be 0.
+        assert curve.derivative(0.9) == 0.0
+        arr = curve.derivative(np.array([0.0, 0.9, 0.95]))
+        assert arr[1] == 0.0 and arr[2] == 0.0
+
+    def test_finite_differences_agree_with_derivative(self):
+        curve = self.Overshoot()
+        h = 1e-6
+        for c in (0.3, 0.9, 0.95):
+            fd = (curve(c + h) - curve(c - h)) / (2 * h)
+            assert curve.derivative(c) == pytest.approx(fd, abs=1e-4)
+
+    def test_validate_rejects_inconsistent_derivative(self):
+        class Liar(self.Overshoot):
+            name = "liar"
+
+            def derivative(self, c):  # bypasses the base-class clip fix
+                arr = np.asarray(c, dtype=np.float64)
+                out = np.asarray(self._derivative(np.clip(arr, 0.0, 1.0)))
+                if np.isscalar(c) or arr.ndim == 0:
+                    return float(out)
+                return out
+
+        with pytest.raises(CurveError, match="derivative must be 0"):
+            Liar().validate()
+
+    def test_builtin_curves_pass_clip_check(self):
+        for curve in ALL_CURVES:
+            curve.validate()  # no raw overshoot, so the check is vacuous

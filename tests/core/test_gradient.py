@@ -1,0 +1,289 @@
+"""Tests for the gradient / Frank-Wolfe solver family (repro.core.gradient)."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.configuration import Configuration
+from repro.core.gradient import (
+    frank_wolfe,
+    fw_linear_maximizer,
+    project_capped_simplex,
+    projected_gradient_ascent,
+)
+from repro.core.population import CurvePopulation, paper_mixture
+from repro.core.problem import CIMProblem
+from repro.core.solvers import solve
+from repro.core.unified_discount import unified_discount
+from repro.core.curves import ConcaveCurve
+from repro.diffusion.independent_cascade import IndependentCascade
+from repro.exceptions import SolverError
+from repro.graphs.generators import erdos_renyi, star_graph
+from repro.graphs.weights import assign_weighted_cascade
+from repro.runtime.deadline import Deadline
+
+
+@pytest.fixture(scope="module")
+def small_instance():
+    """A 50-node instance with a prebuilt hyper-graph, shared per module."""
+    graph = assign_weighted_cascade(erdos_renyi(50, 0.06, seed=11), alpha=1.0)
+    population = paper_mixture(50, seed=12)
+    problem = CIMProblem(IndependentCascade(graph), population, budget=3.0)
+    hypergraph = problem.build_hypergraph(num_hyperedges=3000, seed=13)
+    return problem, hypergraph
+
+
+@pytest.fixture(scope="module")
+def tiny_instance():
+    """A 5-node star whose hyper-graph objective can be grid-enumerated."""
+    graph = star_graph(4, probability=0.4)
+    population = CurvePopulation.uniform(5, ConcaveCurve())
+    problem = CIMProblem(IndependentCascade(graph), population, budget=1.5)
+    hypergraph = problem.build_hypergraph(num_hyperedges=4000, seed=21)
+    return problem, hypergraph
+
+
+def _grid_maximum(problem, hypergraph, step: float = 0.125) -> float:
+    """Brute-force max of the hyper-graph objective over the grid of
+    feasible configurations (tiny instances only).
+
+    Evaluates Eq. 14 directly from the deduplicated hyper-edge member
+    sets, vectorized over the whole grid, so a dense grid stays cheap.
+    """
+    n = problem.num_nodes
+    levels = np.arange(0.0, 1.0 + 1e-9, step)
+    grid = np.array(list(itertools.product(levels, repeat=n)))
+    grid = grid[grid.sum(axis=1) <= problem.budget + 1e-9]
+    q = np.array([problem.population.probabilities(c) for c in grid])
+
+    offsets, members = hypergraph.edge_offsets, hypergraph.edge_nodes
+    edges: dict = {}
+    for e in range(hypergraph.num_hyperedges):
+        key = tuple(sorted(members[offsets[e] : offsets[e + 1]].tolist()))
+        edges[key] = edges.get(key, 0) + 1
+    covered = np.zeros(grid.shape[0])
+    for nodes, count in edges.items():
+        covered += count * (1.0 - np.prod(1.0 - q[:, list(nodes)], axis=1))
+    return float((n / hypergraph.num_hyperedges) * covered.max())
+
+
+class TestProjection:
+    def test_feasible_input_is_clipped_only(self):
+        x = np.array([0.3, -0.2, 1.4, 0.1])
+        out = project_capped_simplex(x, 10.0)
+        assert out.tolist() == pytest.approx([0.3, 0.0, 1.0, 0.1])
+
+    def test_symmetric_overflow_splits_evenly(self):
+        out = project_capped_simplex(np.array([2.0, 2.0]), 1.0)
+        assert out.tolist() == pytest.approx([0.5, 0.5])
+
+    def test_known_breakpoint_case(self):
+        # tau = 0.25: clip([1.5, 0.5, 0.25] - 0.25) = [1, 0.25, 0] sums to 1.25.
+        out = project_capped_simplex(np.array([1.5, 0.5, 0.25]), 1.25)
+        assert out.tolist() == pytest.approx([1.0, 0.25, 0.0])
+
+    def test_output_always_feasible(self, rng):
+        for _ in range(50):
+            x = rng.normal(0.0, 2.0, size=rng.integers(1, 30))
+            budget = float(rng.uniform(0.0, x.size))
+            out = project_capped_simplex(x, budget)
+            assert np.all(out >= 0.0) and np.all(out <= 1.0)
+            assert out.sum() <= budget + 1e-9
+
+    def test_idempotent(self, rng):
+        for _ in range(20):
+            x = rng.normal(0.0, 2.0, size=12)
+            out = project_capped_simplex(x, 2.5)
+            again = project_capped_simplex(out, 2.5)
+            np.testing.assert_allclose(again, out, atol=1e-9)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(SolverError):
+            project_capped_simplex(np.zeros((2, 2)), 1.0)
+        with pytest.raises(SolverError):
+            project_capped_simplex(np.zeros(3), -1.0)
+
+
+class TestLinearMaximizer:
+    def test_top_k_greedy_fill(self):
+        s = fw_linear_maximizer(np.array([3.0, 2.0, 1.0, -1.0]), 2.5)
+        assert s.tolist() == pytest.approx([1.0, 1.0, 0.5, 0.0])
+
+    def test_nonpositive_coordinates_stay_zero(self):
+        # The budget constraint is an inequality: slack is never wasted.
+        s = fw_linear_maximizer(np.array([1.0, 0.0, -2.0]), 3.0)
+        assert s.tolist() == pytest.approx([1.0, 0.0, 0.0])
+
+    def test_zero_budget(self):
+        assert fw_linear_maximizer(np.array([5.0, 1.0]), 0.0).sum() == 0.0
+
+    def test_is_linear_maximizer_on_random_vertices(self, rng):
+        # No random feasible point may beat the greedy fill on <g, s>.
+        for _ in range(25):
+            g = rng.normal(size=10)
+            budget = float(rng.uniform(0.5, 6.0))
+            s = fw_linear_maximizer(g, budget)
+            z = project_capped_simplex(rng.uniform(0.0, 1.5, size=10), budget)
+            assert g @ s >= g @ z - 1e-9
+
+
+class TestProjectedGradientAscent:
+    def test_improves_over_warm_start(self, small_instance):
+        problem, hypergraph = small_instance
+        ud = unified_discount(problem, hypergraph)
+        result = projected_gradient_ascent(problem, hypergraph, ud.configuration)
+        assert result.objective_value >= ud.spread_estimate - 1e-9
+        assert result.configuration.is_feasible(problem.budget)
+        assert result.steps_run >= 1
+        # step_values traces a monotone ascent from the warm start.
+        assert result.step_values == sorted(result.step_values)
+        assert result.duality_gap < np.inf
+
+    def test_deterministic(self, small_instance):
+        problem, hypergraph = small_instance
+        warm = Configuration.uniform(problem.budget, problem.num_nodes)
+        a = projected_gradient_ascent(problem, hypergraph, warm)
+        b = projected_gradient_ascent(problem, hypergraph, warm)
+        assert np.array_equal(a.configuration.discounts, b.configuration.discounts)
+        assert a.objective_value == b.objective_value
+
+    def test_expired_deadline_returns_warm_start(self, small_instance):
+        problem, hypergraph = small_instance
+        warm = Configuration.uniform(problem.budget, problem.num_nodes)
+        result = projected_gradient_ascent(
+            problem, hypergraph, warm, deadline=Deadline.after(0.0)
+        )
+        assert result.deadline_expired
+        assert result.steps_run == 0
+        np.testing.assert_array_equal(
+            result.configuration.discounts, warm.discounts
+        )
+
+    def test_infeasible_warm_start_rejected(self, small_instance):
+        problem, hypergraph = small_instance
+        from repro.exceptions import BudgetError
+
+        with pytest.raises(BudgetError):
+            projected_gradient_ascent(
+                problem,
+                hypergraph,
+                Configuration(np.ones(problem.num_nodes)),
+            )
+
+    def test_bad_step_size_rejected(self, small_instance):
+        problem, hypergraph = small_instance
+        warm = Configuration.zeros(problem.num_nodes)
+        with pytest.raises(SolverError):
+            projected_gradient_ascent(problem, hypergraph, warm, step_size=0.0)
+
+    def test_duality_gap_bounds_true_suboptimality(self, tiny_instance):
+        problem, hypergraph = tiny_instance
+        result = projected_gradient_ascent(
+            problem,
+            hypergraph,
+            Configuration.zeros(problem.num_nodes),
+            tolerance=1e-8,
+        )
+        best = _grid_maximum(problem, hypergraph)
+        assert best - result.objective_value <= result.duality_gap + 1e-9
+
+
+class TestFrankWolfe:
+    def test_builds_support_from_zeros(self, small_instance):
+        problem, hypergraph = small_instance
+        result = frank_wolfe(problem, hypergraph)
+        assert result.configuration.is_feasible(problem.budget)
+        assert result.objective_value > 0.0
+        assert result.steps_run >= 1
+        assert result.fw_gap is not None
+
+    def test_matches_cd_quality_band(self, small_instance):
+        problem, hypergraph = small_instance
+        from repro.core.cd_hypergraph import coordinate_descent_hypergraph
+
+        ud = unified_discount(problem, hypergraph)
+        cd = coordinate_descent_hypergraph(problem, hypergraph, ud.configuration)
+        fw = frank_wolfe(problem, hypergraph, tolerance=1e-3)
+        assert fw.objective_value >= 0.99 * cd.objective_value
+
+    def test_deterministic(self, small_instance):
+        problem, hypergraph = small_instance
+        a = frank_wolfe(problem, hypergraph)
+        b = frank_wolfe(problem, hypergraph)
+        assert np.array_equal(a.configuration.discounts, b.configuration.discounts)
+
+    def test_duality_gap_bounds_true_suboptimality(self, tiny_instance):
+        problem, hypergraph = tiny_instance
+        result = frank_wolfe(problem, hypergraph, tolerance=1e-8)
+        best = _grid_maximum(problem, hypergraph)
+        assert best - result.objective_value <= result.duality_gap + 1e-9
+        # The classical FW gap is itself a certificate at the last iterate.
+        assert best - result.objective_value <= max(result.fw_gap, 0.0) + 1e-6
+
+
+class TestSolveFacade:
+    def test_gradient_method(self, small_instance):
+        problem, hypergraph = small_instance
+        result = solve(problem, "gradient", hypergraph=hypergraph)
+        assert result.method == "gradient"
+        assert result.extras["warm_start"] == "ud"
+        for key in (
+            "steps_run",
+            "backtracks",
+            "objective_evals",
+            "gradient_evals",
+            "duality_gap",
+            "budget_spent",
+            "step_values",
+        ):
+            assert key in result.extras
+        counters = result.extras["metrics"]["counters"]
+        assert counters["gradient.runs_total"] >= 1
+        assert counters["objective.gradients_total"] >= 1
+
+    def test_fw_method(self, small_instance):
+        problem, hypergraph = small_instance
+        result = solve(problem, "fw", hypergraph=hypergraph)
+        assert result.method == "fw"
+        assert result.extras["warm_start"] == "zeros"
+        assert "fw_gap" in result.extras
+
+    def test_warm_start_options(self, small_instance):
+        problem, hypergraph = small_instance
+        uniform = solve(
+            problem, "gradient", hypergraph=hypergraph, warm_start="uniform"
+        )
+        assert uniform.extras["warm_start"] == "uniform"
+        with pytest.raises(SolverError):
+            solve(problem, "gradient", hypergraph=hypergraph, warm_start="bogus")
+
+    def test_gradient_beats_ud(self, small_instance):
+        problem, hypergraph = small_instance
+        ud = solve(problem, "ud", hypergraph=hypergraph)
+        grad = solve(problem, "gradient", hypergraph=hypergraph)
+        assert grad.spread_estimate >= ud.spread_estimate - 1e-9
+
+    def test_adaptive_gradient(self, small_instance):
+        problem, _ = small_instance
+        result = solve(
+            problem,
+            "gradient",
+            seed=31,
+            num_hyperedges="auto",
+            adaptive={"max_theta": 3000},
+        )
+        assert result.method == "gradient"
+        assert result.extras["adaptive"]["theta"] > 0
+        assert "steps_run" in result.extras
+        assert result.configuration.is_feasible(problem.budget)
+
+    def test_adaptive_fw(self, small_instance):
+        problem, _ = small_instance
+        result = solve(
+            problem, "fw", seed=31, num_hyperedges="auto", adaptive={"max_theta": 3000}
+        )
+        assert result.extras["adaptive"]["theta"] > 0
+        assert "fw_gap" in result.extras

@@ -6,6 +6,7 @@ from repro.core.configuration import Configuration
 from repro.core.solvers import (
     available_methods,
     register_solver,
+    reset_solvers,
     solve,
     unregister_solver,
 )
@@ -73,3 +74,30 @@ class TestRegistry:
                 solve(medium_problem, "overspender", hypergraph=medium_hypergraph)
         finally:
             unregister_solver("overspender")
+
+
+class TestResetSolvers:
+    def test_restores_unregistered_builtin(self):
+        unregister_solver("fw")
+        try:
+            assert "fw" not in available_methods()
+        finally:
+            reset_solvers()
+        assert "fw" in available_methods()
+
+    def test_drops_custom_solvers(self):
+        register_solver("throwaway", first_node_solver)
+        reset_solvers()
+        assert "throwaway" not in available_methods()
+
+    def test_restored_builtin_is_usable(self, medium_problem, medium_hypergraph):
+        unregister_solver("gradient")
+        reset_solvers()
+        result = solve(medium_problem, "gradient", hypergraph=medium_hypergraph)
+        assert result.method == "gradient"
+        assert result.spread_estimate > 0
+
+    def test_gradient_family_registered_by_default(self):
+        methods = available_methods()
+        assert "gradient" in methods
+        assert "fw" in methods

@@ -1,0 +1,102 @@
+"""Property-based tests for the capped-simplex projection.
+
+The projection ``P(x) = argmin ||c - x||  s.t.  0 <= c <= 1, sum c <= B``
+is the geometric heart of :func:`repro.core.gradient.projected_gradient_ascent`;
+these properties pin down exactness without a QP solver:
+
+* feasibility and idempotence (``P(P(x)) = P(x)``),
+* the variational characterization ``||x - P(x)|| <= ||x - z||`` for every
+  feasible ``z`` — with strict-convexity uniqueness, this *is* optimality,
+* agreement with a brute-force scan over the KKT threshold ``tau`` on
+  tiny instances (the solution is ``clip(x - tau, 0, 1)`` for some
+  ``tau >= 0``, so a dense 1-d scan is an independent oracle).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.gradient import fw_linear_maximizer, project_capped_simplex
+
+coords = st.floats(min_value=-3.0, max_value=3.0, allow_nan=False)
+points = st.lists(coords, min_size=1, max_size=24)
+budgets = st.floats(min_value=0.0, max_value=8.0, allow_nan=False)
+
+
+def _random_feasible(rng: np.random.Generator, n: int, budget: float) -> np.ndarray:
+    z = rng.uniform(0.0, 1.0, size=n)
+    total = z.sum()
+    if total > budget:
+        z *= budget / total
+    return np.clip(z, 0.0, 1.0)
+
+
+class TestProjectionProperties:
+    @given(values=points, budget=budgets)
+    @settings(max_examples=200, deadline=None)
+    def test_feasible(self, values, budget):
+        out = project_capped_simplex(np.array(values), budget)
+        assert np.all(out >= 0.0)
+        assert np.all(out <= 1.0)
+        assert out.sum() <= budget + 1e-9
+
+    @given(values=points, budget=budgets)
+    @settings(max_examples=200, deadline=None)
+    def test_idempotent(self, values, budget):
+        out = project_capped_simplex(np.array(values), budget)
+        np.testing.assert_allclose(
+            project_capped_simplex(out, budget), out, atol=1e-9
+        )
+
+    @given(values=points, budget=budgets)
+    @settings(max_examples=100, deadline=None)
+    def test_fixed_point_on_feasible_input(self, values, budget):
+        x = np.array(values)
+        feasible = np.clip(x, 0.0, 1.0)
+        if feasible.sum() <= budget:
+            np.testing.assert_allclose(
+                project_capped_simplex(feasible, budget), feasible, atol=1e-12
+            )
+
+    @given(values=points, budget=budgets, seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=200, deadline=None)
+    def test_no_feasible_point_is_closer(self, values, budget, seed):
+        # Variational optimality: the projection of x beats every feasible
+        # z in distance; with strict convexity that characterizes P(x).
+        x = np.array(values)
+        out = project_capped_simplex(x, budget)
+        rng = np.random.default_rng(seed)
+        best = float(np.sum((x - out) ** 2))
+        for _ in range(16):
+            z = _random_feasible(rng, x.size, budget)
+            assert best <= float(np.sum((x - z) ** 2)) + 1e-9
+
+    @given(values=st.lists(coords, min_size=1, max_size=6), budget=budgets)
+    @settings(max_examples=150, deadline=None)
+    def test_matches_threshold_scan_oracle(self, values, budget):
+        # Independent brute force on tiny instances: the KKT form is
+        # clip(x - tau, 0, 1) with tau >= 0, so scanning tau densely and
+        # keeping the closest feasible candidate must land on P(x).
+        x = np.array(values)
+        out = project_capped_simplex(x, budget)
+        taus = np.linspace(0.0, float(x.max(initial=0.0)) + 1.0, 20001)
+        candidates = np.clip(x[None, :] - taus[:, None], 0.0, 1.0)
+        feasible = candidates[candidates.sum(axis=1) <= budget + 1e-9]
+        assert feasible.size > 0
+        best = feasible[np.argmin(np.sum((feasible - x[None, :]) ** 2, axis=1))]
+        assert np.sum((x - out) ** 2) <= np.sum((x - best) ** 2) + 1e-6
+        np.testing.assert_allclose(out, best, atol=2e-3)
+
+
+class TestLinearMaximizerProperties:
+    @given(values=points, budget=budgets, seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=200, deadline=None)
+    def test_dominates_random_feasible_points(self, values, budget, seed):
+        g = np.array(values)
+        s = fw_linear_maximizer(g, budget)
+        assert np.all(s >= 0.0) and np.all(s <= 1.0)
+        assert s.sum() <= budget + 1e-9
+        rng = np.random.default_rng(seed)
+        for _ in range(16):
+            z = _random_feasible(rng, g.size, budget)
+            assert g @ s >= g @ z - 1e-9
