@@ -25,10 +25,14 @@ See README.md and DESIGN.md for the full architecture.
 
 from repro.analysis import budget_frontier, compare_methods, summarize_plan
 from repro.core import (
+    AccessSet,
+    BudgetConstraint,
     CIMProblem,
     CallableCurve,
+    ComposedConstraint,
     ConcaveCurve,
     Configuration,
+    Constraint,
     CurvePopulation,
     ExactOracle,
     FixedSampleOracle,
@@ -38,6 +42,7 @@ from repro.core import (
     LinearCurve,
     LogisticCurve,
     MonteCarloOracle,
+    PerUserCap,
     PiecewiseLinearCurve,
     PowerCurve,
     QuadraticCurve,
@@ -45,7 +50,9 @@ from repro.core import (
     SeedProbabilityCurve,
     SolveResult,
     SpreadOracle,
+    TopKAccess,
     available_methods,
+    constraints_from_spec,
     coordinate_descent,
     coordinate_descent_hypergraph,
     exact_spread_ic,
@@ -77,6 +84,7 @@ from repro.exceptions import (
     BudgetError,
     CheckpointError,
     ConfigurationError,
+    ConstraintError,
     CurveError,
     DeadlineExceeded,
     EstimationError,
@@ -176,6 +184,14 @@ __all__ = [
     "projected_gradient_ascent",
     "frank_wolfe",
     "project_capped_simplex",
+    # constraints (constrained scenarios)
+    "Constraint",
+    "BudgetConstraint",
+    "PerUserCap",
+    "AccessSet",
+    "TopKAccess",
+    "ComposedConstraint",
+    "constraints_from_spec",
     "exact_spread_ic",
     "exact_ui_ic",
     "exact_spread_lt",
@@ -254,6 +270,7 @@ __all__ = [
     "ConfigurationError",
     "BudgetError",
     "SolverError",
+    "ConstraintError",
     "EstimationError",
     "DeadlineExceeded",
     "CheckpointError",

@@ -134,6 +134,93 @@ def _add_obs_arguments(subparser: argparse.ArgumentParser) -> None:
     )
 
 
+def _user_cap(text: str) -> float:
+    """argparse type for --user-cap: a discount cap in [0, 1]."""
+    try:
+        cap = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a number: {text!r}")
+    if math.isnan(cap) or not 0.0 <= cap <= 1.0:
+        raise argparse.ArgumentTypeError(f"user cap must lie in [0, 1], got {text}")
+    return cap
+
+
+def _access_k(text: str) -> int:
+    """argparse type for --access-k: a positive user count."""
+    try:
+        k = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {text!r}")
+    if k < 1:
+        raise argparse.ArgumentTypeError(f"access k must be >= 1, got {text}")
+    return k
+
+
+def _add_constraint_arguments(subparser: argparse.ArgumentParser) -> None:
+    """Constrained-scenario flags (see docs/constraints.md)."""
+    subparser.add_argument(
+        "--access-k",
+        type=_access_k,
+        default=None,
+        metavar="K",
+        help="limited access: only the K most promising users (spillover-"
+        "aware selection) may be offered discounts",
+    )
+    subparser.add_argument(
+        "--user-cap",
+        type=_user_cap,
+        default=None,
+        metavar="CAP",
+        help="partial incentives: no user's discount may exceed CAP in [0, 1]",
+    )
+    subparser.add_argument(
+        "--constraint-json",
+        default=None,
+        metavar="JSON|FILE",
+        help="constraint spec as inline JSON or a path to a JSON file, e.g. "
+        '\'[{"type": "cap", "cap": 0.5}, {"type": "topk", "k": 20}]\'; '
+        "composes (intersects) with --access-k / --user-cap",
+    )
+
+
+def _constraints_from_args(args) -> Optional[list]:
+    """Build the constraint list selected by the CLI flags (None = none)."""
+    from repro.core.constraints import (
+        PerUserCap,
+        TopKAccess,
+        constraints_from_spec,
+    )
+
+    parts = []
+    if getattr(args, "access_k", None) is not None:
+        parts.append(TopKAccess(args.access_k))
+    if getattr(args, "user_cap", None) is not None:
+        parts.append(PerUserCap(args.user_cap))
+    raw = getattr(args, "constraint_json", None)
+    if raw is not None:
+        import json
+        from pathlib import Path
+
+        from repro.exceptions import ConstraintError
+
+        text = raw
+        path = Path(raw)
+        try:
+            if path.is_file():
+                text = path.read_text(encoding="utf-8")
+        except OSError:
+            pass
+        try:
+            spec = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConstraintError(
+                f"--constraint-json is neither valid JSON nor a readable "
+                f"JSON file: {exc}"
+            ) from None
+        parts.extend(constraints_from_spec(spec))
+    return parts or None
+
+
 def _deadline_seconds(text: str) -> float:
     """argparse type for --deadline: a finite, non-negative second count."""
     try:
@@ -229,6 +316,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_workers_argument(slv)
     _add_supervision_arguments(slv)
+    _add_constraint_arguments(slv)
     _add_obs_arguments(slv)
     slv.add_argument("-o", "--output", default=None, help="save plan JSON here")
 
@@ -384,6 +472,7 @@ def _cmd_solve(args) -> int:
         deadline=args.deadline,
         workers=args.workers,
         supervision=_supervision_from_args(args),
+        constraints=_constraints_from_args(args),
         **options,
     )
     support = result.configuration.support
@@ -393,6 +482,10 @@ def _cmd_solve(args) -> int:
         f"{support.size} users targeted, spend {result.cost:.3f} / {args.budget:g}"
         f"{partial}"
     )
+    active = result.extras.get("constraints")
+    if active:
+        kinds = ", ".join(part["type"] for part in active)
+        print(f"constraints active: {kinds} (solution verified feasible)")
     adaptive = result.extras.get("adaptive")
     if adaptive:
         print(

@@ -24,9 +24,12 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.constraints import ResolvedConstraints
 
 from repro.core.configuration import Configuration
 from repro.core.coordinate_descent import pair_grid_candidates
@@ -104,6 +107,7 @@ def coordinate_descent_hypergraph(
     deadline: DeadlineLike = None,
     kernel: str = "vectorized",
     objective: Optional[HypergraphObjective] = None,
+    constraints: Optional["ResolvedConstraints"] = None,
 ) -> HypergraphCDResult:
     """Run CD over the Eq.-14 hyper-graph objective.
 
@@ -153,17 +157,31 @@ def coordinate_descent_hypergraph(
         survival rebuild between doubling stages.  Requires the
         ``"vectorized"`` kernel; its probabilities are reset to match
         ``initial`` unless they already do bit-for-bit.
+    constraints:
+        Optional resolved solver constraints.  Pair selection is restricted
+        to coordinates with a positive cap, each pair line search is
+        clamped to its feasible slice (``pair_caps``), and grid candidates
+        violating generic constraint parts are masked out.  An infeasible
+        warm start is projected onto the feasible set first.  ``None``
+        (and trivial constraints, reduced upstream) runs the historical
+        code path untouched.
     """
     budget_clock = as_deadline(deadline)
     initial.require_feasible(problem.budget)
     if len(initial) != problem.num_nodes:
         raise SolverError("initial configuration has the wrong length")
+    if constraints is not None and not constraints.is_satisfied(initial.discounts):
+        initial = Configuration(constraints.project(initial.discounts))
     if coordinates is None:
         coords = initial.support
     else:
         coords = np.unique(np.asarray(list(coordinates), dtype=np.int64))
         if coords.size and (coords[0] < 0 or coords[-1] >= problem.num_nodes):
             raise SolverError("coordinate index out of range")
+    if constraints is not None and constraints.upper is not None:
+        # A pair touching a zero-cap coordinate can never move it; capped
+        # coordinates stay eligible (their slice is just shorter).
+        coords = coords[constraints.upper[coords] > 0.0]
 
     if kernel not in ("vectorized", "reference"):
         raise SolverError(f"unknown objective kernel {kernel!r}")
@@ -241,7 +259,19 @@ def coordinate_descent_hypergraph(
         nonlocal current_value, pair_updates, pair_evals
         pair_evals += 1
         c_i, c_j = float(discounts[i]), float(discounts[j])
-        cand_i, cand_j, _ = pair_grid_candidates(c_i, c_j, grid_step)
+        if constraints is None:
+            cap_i = cap_j = 1.0
+            cand_i, cand_j, _ = pair_grid_candidates(c_i, c_j, grid_step)
+        else:
+            cap_i, cap_j = constraints.pair_caps(i, j)
+            cand_i, cand_j, _ = pair_grid_candidates(
+                c_i, c_j, grid_step, cap_i, cap_j
+            )
+            mask = constraints.pair_candidate_mask(discounts, i, j, cand_i, cand_j)
+            if mask is not None and not mask.all():
+                # The incumbent is feasible, so the mask never empties the
+                # candidate set.
+                cand_i, cand_j = cand_i[mask], cand_j[mask]
         coefficients = objective.pair_coefficients(i, j)
         curve_i, curve_j = population.curve(i), population.curve(j)
         q_i = np.asarray(curve_i(cand_i), dtype=np.float64)
@@ -251,7 +281,8 @@ def coordinate_descent_hypergraph(
         best_c_i = float(cand_i[best_index])
         best_value = float(values[best_index])
 
-        if refine_iterations > 0 and cand_i.size > 2:
+        refinable = constraints is None or not constraints.has_generic
+        if refine_iterations > 0 and cand_i.size > 2 and refinable:
             best_c_i, best_value = _golden_refine(
                 coefficients,
                 curve_i,
@@ -261,6 +292,8 @@ def coordinate_descent_hypergraph(
                 width=grid_step,
                 iterations=refine_iterations,
                 fallback=(best_c_i, best_value),
+                cap_i=cap_i,
+                cap_j=cap_j,
             )
 
         gain = best_value - current_value
@@ -359,6 +392,8 @@ def coordinate_descent_hypergraph(
         if expired:
             metrics.inc("cd.deadline_expired_total")
 
+    if constraints is not None:
+        constraints.require_satisfied(discounts)
     return HypergraphCDResult(
         configuration=Configuration(discounts).require_feasible(problem.budget),
         objective_value=current_value,
@@ -380,16 +415,20 @@ def _golden_refine(
     width: float,
     iterations: int,
     fallback,
+    cap_i: float = 1.0,
+    cap_j: float = 1.0,
 ):
     """Golden-section maximization within one grid cell around ``center``.
 
     The restricted objective need not be unimodal globally, but within one
     grid cell of the best grid point a local search can only improve on the
-    grid value (the fallback guards against pathological cells).
+    grid value (the fallback guards against pathological cells).  Per-user
+    caps shrink the search bracket to the constrained feasible slice; the
+    defaults reproduce the Eq.-7 interval.
     """
     inv_phi = (np.sqrt(5.0) - 1.0) / 2.0
-    lo = max(max(0.0, pair_budget - 1.0), center - width)
-    hi = min(min(1.0, pair_budget), center + width)
+    lo = max(max(0.0, pair_budget - cap_j), center - width)
+    hi = min(min(cap_i, pair_budget), center + width)
     if hi - lo < 1e-12:
         return fallback
 

@@ -1,0 +1,635 @@
+"""Composable solver constraints: limited access, caps, budgets.
+
+The paper optimizes one global budget ``sum_u c_u <= B``, but a
+production discount service must serve richer scenarios named by the
+related work: *limited access*, where only a k-subset of users can be
+offered discounts and the subset should be chosen spillover-aware (Feng
+et al., arXiv:2010.01331); *partial / fractional incentives* with
+per-user limits (Demaine et al., arXiv:1401.7970); and per-user budget
+caps in the discount-allocation formulation (arXiv:1606.07916).  This
+module turns those scenarios into :class:`Constraint` objects that every
+solver respects through four hooks:
+
+* **feasibility** — ``is_satisfied(c)``;
+* **projection** — the Euclidean projection onto the feasible set, used
+  by projected gradient ascent and to repair infeasible warm starts;
+* **CD pair-step clamping** — per-coordinate caps shrink the feasible
+  interval of the Eq.-7 line search, via
+  :meth:`ResolvedConstraints.pair_caps`;
+* **FW linear-maximizer restriction** — the greedy fill runs only over
+  accessible coordinates up to their caps.
+
+Every shipped constraint is *box∩simplex-representable*: its feasible
+set is ``{0 <= c <= u} ∩ {sum c <= B}`` for some cap vector ``u`` and
+scalar ``B``.  Intersections of such constraints are again of that form
+(pointwise-min caps, min budget), so :class:`ComposedConstraint`
+projects *exactly* through the :func:`~repro.core.gradient.project_box_simplex`
+fast path — verified against a grid-search oracle in the property suite.
+User-defined constraints that are not box-representable participate
+through Dykstra's alternating projection instead (convergent to the
+exact projection for convex sets).
+
+Solvers receive a :class:`ResolvedConstraints` — the normalized
+intersection of a constraint list, bound to a concrete problem (and
+hyper-graph, for :class:`TopKAccess`).  A resolved set whose feasible
+region contains the plain budget simplex is *trivial*:
+:func:`repro.core.solvers.solve` then runs the historical unconstrained
+code path, so slack constraints reproduce unconstrained results bit for
+bit (the no-op composition guarantee pinned by the property suite).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.gradient import project_box_simplex
+from repro.exceptions import ConstraintError
+
+__all__ = [
+    "Constraint",
+    "BudgetConstraint",
+    "PerUserCap",
+    "AccessSet",
+    "TopKAccess",
+    "ComposedConstraint",
+    "ResolvedConstraints",
+    "resolve_constraints",
+    "constraint_spec",
+    "constraints_from_spec",
+    "spillover_scores",
+]
+
+_TOLERANCE = 1e-9
+
+
+class Constraint:
+    """One feasibility restriction on a discount configuration.
+
+    Subclasses describe their feasible set either *declaratively* —
+    override :meth:`upper_bounds` and/or :meth:`sum_cap`, and every
+    solver hook (projection, pair clamp, FW restriction) is derived
+    exactly — or *operationally* for sets that are not a box∩simplex:
+    override :meth:`project` and :meth:`is_satisfied` and leave
+    ``box_representable`` False, which routes the constraint through
+    Dykstra's alternating projection (the set must be convex for the
+    projection to be exact).
+    """
+
+    #: Whether the feasible set is exactly ``{0<=c<=u} ∩ {sum c <= B}``
+    #: for the ``upper_bounds()`` / ``sum_cap()`` this object reports.
+    box_representable: bool = False
+
+    # ------------------------------------------------------------------
+    # declarative description (box∩simplex family)
+    # ------------------------------------------------------------------
+    def upper_bounds(self, num_nodes: int) -> Optional[np.ndarray]:
+        """Per-user discount caps in ``[0, 1]``; ``None`` = no cap."""
+        return None
+
+    def sum_cap(self) -> Optional[float]:
+        """Cap on ``sum_u c_u``; ``None`` = no sum restriction."""
+        return None
+
+    # ------------------------------------------------------------------
+    # operational hooks (generic constraints)
+    # ------------------------------------------------------------------
+    def is_satisfied(self, discounts: np.ndarray, tolerance: float = _TOLERANCE) -> bool:
+        """Whether ``discounts`` lies in the feasible set (within tolerance)."""
+        c = np.asarray(discounts, dtype=np.float64)
+        upper = self.upper_bounds(c.size)
+        if upper is not None and np.any(c > upper + tolerance):
+            return False
+        cap = self.sum_cap()
+        if cap is not None and float(c.sum()) > cap + tolerance:
+            return False
+        return True
+
+    def project(self, x: np.ndarray) -> np.ndarray:
+        """Euclidean projection of ``x`` onto the feasible set."""
+        x = np.asarray(x, dtype=np.float64)
+        upper = self.upper_bounds(x.size)
+        cap = self.sum_cap()
+        if cap is None:
+            lo = np.clip(x, 0.0, 1.0 if upper is None else upper)
+            return lo
+        return project_box_simplex(x, cap, upper)
+
+    # ------------------------------------------------------------------
+    # resolution plumbing
+    # ------------------------------------------------------------------
+    def bind(self, problem, hypergraph=None) -> "Constraint":
+        """Resolve problem-dependent parameters (default: already bound)."""
+        return self
+
+    def spec(self) -> Dict[str, object]:
+        """JSON-safe description for content keys and the CLI round-trip."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not describe itself for content "
+            "keys; override spec()"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        try:
+            parts = ", ".join(f"{k}={v!r}" for k, v in self.spec().items() if k != "type")
+            return f"{type(self).__name__}({parts})"
+        except NotImplementedError:
+            return type(self).__name__
+
+
+class BudgetConstraint(Constraint):
+    """``sum_u c_u <= budget`` — the paper's Eq.-3 constraint, explicit.
+
+    Composing ``BudgetConstraint(problem.budget)`` with any solve is a
+    no-op by construction; a *smaller* budget tightens the run without
+    rebuilding the problem (e.g. what-if sweeps over one hyper-graph).
+    """
+
+    box_representable = True
+
+    def __init__(self, budget: float) -> None:
+        budget = float(budget)
+        if not np.isfinite(budget) or budget < 0.0:
+            raise ConstraintError(
+                f"budget cap must be finite and non-negative, got {budget}"
+            )
+        self.budget = budget
+
+    def sum_cap(self) -> Optional[float]:
+        return self.budget
+
+    def spec(self) -> Dict[str, object]:
+        return {"type": "budget", "budget": self.budget}
+
+
+class PerUserCap(Constraint):
+    """``c_u <= cap_u`` — partial/fractional incentives with user limits.
+
+    ``cap`` is either one scalar applied to every user or a full
+    per-user vector in ``[0, 1]`` (Demaine et al.'s fractional-influence
+    setting, arXiv:1401.7970: incentives may be split fractionally but
+    no user absorbs more than their limit).
+    """
+
+    box_representable = True
+
+    def __init__(self, cap: Union[float, Sequence[float], np.ndarray]) -> None:
+        arr = np.asarray(cap, dtype=np.float64)
+        if arr.ndim not in (0, 1):
+            raise ConstraintError(
+                f"cap must be a scalar or a 1-d vector, got shape {arr.shape}"
+            )
+        if not np.all(np.isfinite(arr)) or np.any(arr < 0.0) or np.any(arr > 1.0):
+            raise ConstraintError("per-user caps must lie in [0, 1]")
+        self.cap = arr if arr.ndim == 1 else float(arr)
+
+    def upper_bounds(self, num_nodes: int) -> Optional[np.ndarray]:
+        if isinstance(self.cap, np.ndarray):
+            if self.cap.size != num_nodes:
+                raise ConstraintError(
+                    f"cap vector has length {self.cap.size}, problem has "
+                    f"{num_nodes} users"
+                )
+            return self.cap.astype(np.float64, copy=True)
+        return np.full(num_nodes, self.cap, dtype=np.float64)
+
+    def spec(self) -> Dict[str, object]:
+        cap = self.cap.tolist() if isinstance(self.cap, np.ndarray) else self.cap
+        return {"type": "cap", "cap": cap}
+
+
+class AccessSet(Constraint):
+    """Support restricted to an allowed subset: ``c_u = 0`` outside it.
+
+    The *limited access* scenario (Feng et al., arXiv:2010.01331): only
+    the named users can be offered discounts — everyone else benefits
+    only through network spillover.  Equivalent to a cap of 0 on
+    inaccessible users, so it composes exactly with every other box
+    constraint.
+    """
+
+    box_representable = True
+
+    def __init__(self, allowed: Iterable[int]) -> None:
+        nodes = np.unique(np.asarray(list(allowed), dtype=np.int64))
+        if nodes.size and nodes[0] < 0:
+            raise ConstraintError("access set contains negative node ids")
+        self.allowed = nodes
+
+    def upper_bounds(self, num_nodes: int) -> Optional[np.ndarray]:
+        if self.allowed.size and int(self.allowed[-1]) >= num_nodes:
+            raise ConstraintError(
+                f"access set names node {int(self.allowed[-1])}, problem has "
+                f"{num_nodes} users"
+            )
+        upper = np.zeros(num_nodes, dtype=np.float64)
+        upper[self.allowed] = 1.0
+        return upper
+
+    def spec(self) -> Dict[str, object]:
+        return {"type": "access", "allowed": [int(u) for u in self.allowed]}
+
+
+def spillover_scores(problem, hypergraph=None) -> np.ndarray:
+    """Spillover-aware access scores: own reach plus discounted neighbor reach.
+
+    Feng et al. (arXiv:2010.01331) select the accessible k-subset by how
+    much influence it can *trigger*, not just hold: a user scores their
+    own estimated reach plus the edge-probability-weighted reach of their
+    out-neighbors (who they can seed indirectly through a cascade).  The
+    per-node reach proxy is the RR hyper-graph degree when a hyper-graph
+    is available (``n * deg_H(u) / theta`` estimates ``I({u})``), else
+    the weighted out-degree.
+    """
+    graph = problem.graph
+    n = graph.num_nodes
+    if hypergraph is not None and hypergraph.num_hyperedges > 0:
+        reach = hypergraph.degrees().astype(np.float64)
+    else:
+        reach = np.zeros(n, dtype=np.float64)
+        np.add.at(
+            reach,
+            np.repeat(
+                np.arange(n, dtype=np.int64),
+                np.diff(graph.out_offsets).astype(np.int64),
+            ),
+            graph.out_probs,
+        )
+        reach += 1.0  # every node reaches itself
+    sources = np.repeat(
+        np.arange(n, dtype=np.int64), np.diff(graph.out_offsets).astype(np.int64)
+    )
+    spill = np.zeros(n, dtype=np.float64)
+    np.add.at(spill, sources, graph.out_probs * reach[graph.out_targets])
+    return reach + spill
+
+
+class TopKAccess(Constraint):
+    """Limited access to the ``k`` best users by spillover-aware score.
+
+    Unbound form of :class:`AccessSet`: the subset is *selected* at
+    solve time, once the problem (and hyper-graph) are known —
+    :meth:`bind` ranks users by :func:`spillover_scores` (ties broken by
+    node id, so selection is deterministic) and returns the concrete
+    :class:`AccessSet`.
+    """
+
+    box_representable = True
+
+    def __init__(self, k: int) -> None:
+        k = int(k)
+        if k < 1:
+            raise ConstraintError(f"k must be at least 1, got {k}")
+        self.k = k
+
+    def bind(self, problem, hypergraph=None) -> Constraint:
+        scores = spillover_scores(problem, hypergraph)
+        k = min(self.k, scores.size)
+        order = np.argsort(-scores, kind="stable")
+        return AccessSet(order[:k])
+
+    def upper_bounds(self, num_nodes: int) -> Optional[np.ndarray]:
+        raise ConstraintError(
+            "TopKAccess must be bound to a problem before use; resolve it "
+            "through solve(..., constraints=...) or call bind() yourself"
+        )
+
+    def spec(self) -> Dict[str, object]:
+        return {"type": "topk", "k": self.k}
+
+
+class ComposedConstraint(Constraint):
+    """Intersection of several constraints.
+
+    Box∩simplex-representable parts compose *exactly*: pointwise-minimum
+    caps and minimum sum cap describe the intersection, and one
+    :func:`~repro.core.gradient.project_box_simplex` call is its exact
+    Euclidean projection (the verified fast path).  If any part is
+    generic, projection falls back to Dykstra's alternating projection
+    over the box∩simplex fast path plus each generic part — exact in the
+    limit for convex parts; iteration is capped and the result is
+    feasibility-checked.
+    """
+
+    def __init__(self, parts: Sequence[Constraint]) -> None:
+        flat: List[Constraint] = []
+        for part in parts:
+            if isinstance(part, ComposedConstraint):
+                flat.extend(part.parts)
+            elif isinstance(part, Constraint):
+                flat.append(part)
+            else:
+                raise ConstraintError(
+                    f"expected Constraint instances, got {type(part).__name__}"
+                )
+        self.parts: Tuple[Constraint, ...] = tuple(flat)
+
+    @property
+    def box_representable(self) -> bool:  # type: ignore[override]
+        return all(part.box_representable for part in self.parts)
+
+    def bind(self, problem, hypergraph=None) -> "ComposedConstraint":
+        return ComposedConstraint(
+            [part.bind(problem, hypergraph) for part in self.parts]
+        )
+
+    def upper_bounds(self, num_nodes: int) -> Optional[np.ndarray]:
+        upper: Optional[np.ndarray] = None
+        for part in self.parts:
+            bounds = part.upper_bounds(num_nodes)
+            if bounds is None:
+                continue
+            upper = bounds if upper is None else np.minimum(upper, bounds)
+        return upper
+
+    def sum_cap(self) -> Optional[float]:
+        caps = [part.sum_cap() for part in self.parts]
+        caps = [cap for cap in caps if cap is not None]
+        return min(caps) if caps else None
+
+    def is_satisfied(self, discounts: np.ndarray, tolerance: float = _TOLERANCE) -> bool:
+        return all(part.is_satisfied(discounts, tolerance) for part in self.parts)
+
+    def project(
+        self, x: np.ndarray, max_sweeps: int = 200, tolerance: float = 1e-10
+    ) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        upper = self.upper_bounds(x.size)
+        cap = self.sum_cap()
+        budget = float("inf") if cap is None else cap
+        generic = [part for part in self.parts if not part.box_representable]
+        if not generic:
+            if cap is None:
+                return np.clip(x, 0.0, 1.0 if upper is None else upper)
+            return project_box_simplex(x, cap, upper)
+        return _dykstra(x, budget, upper, generic, max_sweeps, tolerance)
+
+    def spec(self) -> Dict[str, object]:
+        return {"type": "composed", "parts": [part.spec() for part in self.parts]}
+
+
+def _dykstra(
+    x: np.ndarray,
+    budget: float,
+    upper: Optional[np.ndarray],
+    generic: Sequence[Constraint],
+    max_sweeps: int,
+    tolerance: float,
+) -> np.ndarray:
+    """Dykstra's alternating projection onto an intersection of convex sets.
+
+    One set is the box∩simplex aggregate (projected exactly), the rest
+    are the generic parts' own projections.  Unlike plain alternating
+    projection, Dykstra's correction terms make the limit the *Euclidean*
+    projection of ``x`` — not just some feasible point.
+    """
+
+    def box_project(z: np.ndarray) -> np.ndarray:
+        if np.isinf(budget):
+            return np.clip(z, 0.0, 1.0 if upper is None else upper)
+        return project_box_simplex(z, budget, upper)
+
+    projectors = [box_project] + [part.project for part in generic]
+    point = x.copy()
+    corrections = [np.zeros_like(x) for _ in projectors]
+    for _ in range(max_sweeps):
+        start = point.copy()
+        for index, projector in enumerate(projectors):
+            shifted = point + corrections[index]
+            projected = np.asarray(projector(shifted), dtype=np.float64)
+            corrections[index] = shifted - projected
+            point = projected
+        if float(np.abs(point - start).max(initial=0.0)) <= tolerance:
+            break
+    return point
+
+
+# ----------------------------------------------------------------------
+# resolution: constraint list -> one solver-facing view
+# ----------------------------------------------------------------------
+class ResolvedConstraints:
+    """The normalized intersection of a constraint list, bound to a problem.
+
+    This is the object solvers consume; it never needs re-binding.
+    Attributes: ``budget`` — the effective sum cap (already min-ed with
+    the problem budget); ``upper`` — per-user caps, or ``None`` when no
+    user is capped below 1 (solvers then keep their historical
+    uniform-cap arithmetic, the bit-identity anchor of the no-op
+    guarantee); ``generic`` — constraint parts that are not
+    box-representable.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        budget: float,
+        upper: Optional[np.ndarray],
+        generic: Tuple[Constraint, ...],
+        parts: Tuple[Constraint, ...],
+    ) -> None:
+        self.num_nodes = num_nodes
+        self.budget = budget
+        self.upper = upper
+        self.generic = generic
+        self.parts = parts
+
+    @property
+    def has_generic(self) -> bool:
+        return bool(self.generic)
+
+    def is_trivial(self, problem_budget: float) -> bool:
+        """Whether the feasible set contains the plain budget simplex."""
+        return (
+            self.upper is None
+            and not self.generic
+            and self.budget >= problem_budget - _TOLERANCE
+        )
+
+    # -- feasibility ----------------------------------------------------
+    def is_satisfied(self, discounts: np.ndarray, tolerance: float = _TOLERANCE) -> bool:
+        c = np.asarray(discounts, dtype=np.float64)
+        if float(c.sum()) > self.budget + tolerance:
+            return False
+        if self.upper is not None and np.any(c > self.upper + tolerance):
+            return False
+        return all(part.is_satisfied(c, tolerance) for part in self.generic)
+
+    def require_satisfied(self, discounts: np.ndarray) -> None:
+        if not self.is_satisfied(discounts):
+            raise ConstraintError(
+                "configuration violates the active solver constraints "
+                f"({self.describe()})"
+            )
+
+    # -- projection -----------------------------------------------------
+    def project(self, x: np.ndarray) -> np.ndarray:
+        """Euclidean projection onto the resolved feasible set.
+
+        Exact single-pass fast path for the box∩simplex family; Dykstra
+        when generic parts are present.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if not self.generic:
+            return project_box_simplex(x, self.budget, self.upper)
+        return _dykstra(x, self.budget, self.upper, self.generic, 200, 1e-10)
+
+    # -- CD pair-step clamp ---------------------------------------------
+    def pair_caps(self, i: int, j: int) -> Tuple[float, float]:
+        """Caps ``(u_i, u_j)`` clamping the Eq.-7 pair interval.
+
+        The pair line search holds ``c_i + c_j`` fixed, so the feasible
+        slice for ``c_i`` is ``[max(0, B' - u_j), min(u_i, B')]``.
+        """
+        if self.upper is None:
+            return 1.0, 1.0
+        return float(self.upper[i]), float(self.upper[j])
+
+    def pair_candidate_mask(
+        self,
+        discounts: np.ndarray,
+        i: int,
+        j: int,
+        candidates_i: np.ndarray,
+        candidates_j: np.ndarray,
+    ) -> Optional[np.ndarray]:
+        """Feasibility mask over pair-step candidates for generic parts.
+
+        Box caps are already honoured by the clamped interval; this only
+        screens candidates against generic constraints (full-vector
+        checks, so it is only invoked when such parts exist).  Returns
+        ``None`` when every candidate is feasible.
+        """
+        if not self.generic:
+            return None
+        mask = np.ones(candidates_i.size, dtype=bool)
+        trial = np.asarray(discounts, dtype=np.float64).copy()
+        for index in range(candidates_i.size):
+            trial[i] = candidates_i[index]
+            trial[j] = candidates_j[index]
+            mask[index] = all(part.is_satisfied(trial) for part in self.generic)
+        trial[i], trial[j] = discounts[i], discounts[j]
+        return mask
+
+    # -- UD support restriction ------------------------------------------
+    def eligible_at(self, discount: float) -> Optional[np.ndarray]:
+        """Nodes whose cap admits the unified discount ``c`` (UD hook).
+
+        ``None`` means every node is eligible (no caps) — UD then keeps
+        its historical candidate-free call.
+        """
+        if self.upper is None:
+            return None
+        return np.flatnonzero(self.upper >= discount - _TOLERANCE)
+
+    # -- bookkeeping ----------------------------------------------------
+    def spec(self) -> List[Dict[str, object]]:
+        """Canonical JSON-safe description (content-key material)."""
+        return [part.spec() for part in self.parts]
+
+    def describe(self) -> str:
+        kinds = ", ".join(part.spec()["type"] for part in self.parts)
+        return f"budget<={self.budget:g}; parts=[{kinds}]"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ResolvedConstraints({self.describe()})"
+
+
+ConstraintLike = Union[Constraint, Sequence[Constraint], None]
+
+
+def resolve_constraints(
+    constraints: ConstraintLike, problem, hypergraph=None
+) -> Optional[ResolvedConstraints]:
+    """Bind and normalize a constraint list against one problem.
+
+    Accepts ``None`` (returns ``None``), a single :class:`Constraint`,
+    or a sequence of them.  Problem-dependent constraints
+    (:class:`TopKAccess`) are bound here — pass the hyper-graph when one
+    exists so the selection sees the Theorem-9 reach estimates.  The
+    effective budget is ``min(problem.budget, every sum cap)``; caps from
+    several parts intersect pointwise.
+    """
+    if constraints is None:
+        return None
+    if isinstance(constraints, Constraint):
+        parts: List[Constraint] = [constraints]
+    else:
+        parts = list(constraints)
+        if not all(isinstance(part, Constraint) for part in parts):
+            bad = next(p for p in parts if not isinstance(p, Constraint))
+            raise ConstraintError(
+                f"constraints must be Constraint instances, got {type(bad).__name__}"
+            )
+    if not parts:
+        return None
+    composed = ComposedConstraint(parts).bind(problem, hypergraph)
+    num_nodes = problem.num_nodes
+    upper = composed.upper_bounds(num_nodes)
+    if upper is not None and bool(np.all(upper >= 1.0 - _TOLERANCE)):
+        upper = None  # no user capped below 1: keep the uniform-cap paths
+    cap = composed.sum_cap()
+    budget = float(problem.budget) if cap is None else min(float(problem.budget), cap)
+    generic = tuple(part for part in composed.parts if not part.box_representable)
+    return ResolvedConstraints(
+        num_nodes=num_nodes,
+        budget=budget,
+        upper=upper,
+        generic=generic,
+        parts=composed.parts,
+    )
+
+
+# ----------------------------------------------------------------------
+# spec round-trip (CLI / checkpoint keys)
+# ----------------------------------------------------------------------
+def constraint_spec(constraints: ConstraintLike) -> Optional[List[Dict[str, object]]]:
+    """Canonical JSON-safe spec of a constraint list (``None`` when empty).
+
+    This is what checkpoint content keys hash: two runs whose constraint
+    lists describe the same feasible set the same way share cells, and a
+    constrained run can never resume an unconstrained run's cells.
+    """
+    if constraints is None:
+        return None
+    parts = [constraints] if isinstance(constraints, Constraint) else list(constraints)
+    if not parts:
+        return None
+    return [part.spec() for part in parts]
+
+
+def constraints_from_spec(spec) -> List[Constraint]:
+    """Rebuild constraints from their :meth:`Constraint.spec` output.
+
+    Accepts one spec dict or a list of them (the ``--constraint-json``
+    CLI payload).
+    """
+    if isinstance(spec, dict):
+        spec = [spec]
+    if not isinstance(spec, (list, tuple)):
+        raise ConstraintError(
+            f"constraint spec must be a dict or list of dicts, got {type(spec).__name__}"
+        )
+    out: List[Constraint] = []
+    for entry in spec:
+        if not isinstance(entry, dict) or "type" not in entry:
+            raise ConstraintError(f"malformed constraint spec entry: {entry!r}")
+        kind = entry["type"]
+        try:
+            if kind == "budget":
+                out.append(BudgetConstraint(entry["budget"]))
+            elif kind == "cap":
+                out.append(PerUserCap(entry["cap"]))
+            elif kind == "access":
+                out.append(AccessSet(entry["allowed"]))
+            elif kind == "topk":
+                out.append(TopKAccess(entry["k"]))
+            elif kind == "composed":
+                out.append(ComposedConstraint(constraints_from_spec(entry["parts"])))
+            else:
+                raise ConstraintError(f"unknown constraint type {kind!r}")
+        except KeyError as exc:
+            raise ConstraintError(
+                f"constraint spec {kind!r} is missing field {exc}"
+            ) from None
+    return out

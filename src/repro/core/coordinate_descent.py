@@ -83,7 +83,7 @@ def saturate_budget(configuration: Configuration, budget: float) -> Configuratio
 
 
 def pair_grid_candidates(
-    c_i: float, c_j: float, step: float
+    c_i: float, c_j: float, step: float, cap_i: float = 1.0, cap_j: float = 1.0
 ) -> Tuple[np.ndarray, np.ndarray, float]:
     """Candidate values for a pair step.
 
@@ -91,12 +91,16 @@ def pair_grid_candidates(
     ``candidates_j = pair_budget - candidates_i`` and the feasible interval
     is ``[max(0, B' - 1), min(1, B')]`` (Eq. 7).  The current ``c_i`` is
     always included so the incumbent can never be lost.
+
+    Per-user caps shrink the interval to ``[max(0, B' - cap_j),
+    min(cap_i, B')]`` — the feasible slice of the constrained problem at a
+    fixed pair sum.  The defaults reproduce Eq. 7 exactly.
     """
     if step <= 0.0:
         raise SolverError(f"grid step must be positive, got {step}")
     pair_budget = c_i + c_j
-    lo = max(0.0, pair_budget - 1.0)
-    hi = min(1.0, pair_budget)
+    lo = max(0.0, pair_budget - cap_j)
+    hi = min(cap_i, pair_budget)
     if hi < lo:  # numerically empty interval; keep the incumbent
         return np.asarray([c_i]), np.asarray([c_j]), pair_budget
     count = int(np.floor((hi - lo) / step + 1e-9)) + 1

@@ -58,12 +58,29 @@ from repro.utils.timing import TimingBreakdown
 __all__ = [
     "GradientResult",
     "project_capped_simplex",
+    "project_box_simplex",
     "fw_linear_maximizer",
     "projected_gradient_ascent",
     "frank_wolfe",
 ]
 
 _SUM_TOLERANCE = 1e-12
+
+
+def _require_finite(x: np.ndarray, budget: float) -> None:
+    """Reject NaN/inf before the breakpoint scan sees them.
+
+    A single non-finite coordinate poisons the sorted-prefix arithmetic
+    silently (NaN comparisons are all False), so the scan can hand back a
+    vector that violates the budget without any error surfacing.
+    """
+    if not np.all(np.isfinite(x)):
+        raise SolverError(
+            "projection input contains NaN or infinite entries; "
+            "clean the vector before projecting"
+        )
+    if not np.isfinite(budget):
+        raise SolverError(f"projection budget must be finite, got {budget}")
 
 
 @dataclass
@@ -106,6 +123,7 @@ def project_capped_simplex(x: np.ndarray, budget: float) -> np.ndarray:
     if x.ndim != 1:
         raise SolverError("projection input must be a 1-d vector")
     budget = float(budget)
+    _require_finite(x, budget)
     if budget < 0.0:
         raise SolverError(f"budget must be non-negative, got {budget}")
     clipped = np.clip(x, 0.0, 1.0)
@@ -150,26 +168,128 @@ def project_capped_simplex(x: np.ndarray, budget: float) -> np.ndarray:
     return projected
 
 
-def fw_linear_maximizer(gradient: np.ndarray, budget: float) -> np.ndarray:
+def project_box_simplex(
+    x: np.ndarray, budget: float, upper: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Euclidean projection onto ``{0 <= c <= u, sum c <= B}``.
+
+    The constrained generalization of :func:`project_capped_simplex`:
+    per-coordinate upper bounds ``u`` (e.g. per-user discount caps, or 0
+    on inaccessible users) replace the uniform cap of 1.  ``upper=None``
+    delegates to :func:`project_capped_simplex` — same code path, so
+    slack constraints reproduce unconstrained results bit for bit.
+
+    Exact in ``O(n log n)`` by the same KKT argument: if the box clip
+    already fits the budget it is the projection; otherwise
+    ``c_i = clip(x_i - tau, 0, u_i)`` for the unique ``tau > 0`` solving
+    ``g(tau) = sum_i clip(x_i - tau, 0, u_i) = B``.  With heterogeneous
+    caps the breakpoints are ``x_i`` (where coordinate ``i`` leaves the
+    band for 0) and ``x_i - u_i`` (where it saturates at ``u_i``); two
+    sorted prefix-sum passes evaluate ``g`` at every breakpoint and the
+    crossing segment is solved in closed form.
+    """
+    if upper is None:
+        return project_capped_simplex(x, budget)
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 1:
+        raise SolverError("projection input must be a 1-d vector")
+    budget = float(budget)
+    _require_finite(x, budget)
+    if budget < 0.0:
+        raise SolverError(f"budget must be non-negative, got {budget}")
+    u = np.asarray(upper, dtype=np.float64)
+    if u.shape != x.shape:
+        raise SolverError(
+            f"upper bounds shape {u.shape} does not match input shape {x.shape}"
+        )
+    if not np.all(np.isfinite(u)) or np.any(u < 0.0) or np.any(u > 1.0):
+        raise SolverError("per-coordinate upper bounds must lie in [0, 1]")
+    clipped = np.clip(x, 0.0, u)
+    if float(clipped.sum()) <= budget + _SUM_TOLERANCE:
+        return clipped
+
+    # g(tau) = sum_{a_i >= tau} u_i + sum_{a_i < tau < b_i} (x_i - tau)
+    # with a_i = x_i - u_i (saturation threshold) and b_i = x_i (exit
+    # threshold).  Prefix sums over the two independently sorted axes give
+    # g at every breakpoint in one vectorized pass; boundary coordinates
+    # contribute the same value on either side, so g stays continuous.
+    a = x - u
+    order_a = np.argsort(a, kind="stable")
+    a_sorted = a[order_a]
+    prefix_u_by_a = np.concatenate([[0.0], np.cumsum(u[order_a])])
+    prefix_x_by_a = np.concatenate([[0.0], np.cumsum(x[order_a])])
+    b_sorted = np.sort(x)
+    prefix_x_by_b = np.concatenate([[0.0], np.cumsum(b_sorted)])
+    total_u = float(u.sum())
+
+    taus = np.unique(np.concatenate([a, x, [0.0]]))
+    taus = taus[taus >= 0.0]
+    released = np.searchsorted(a_sorted, taus, side="right")  # a_i < tau (+ties)
+    gone = np.searchsorted(b_sorted, taus, side="right")  # b_i <= tau
+    saturated_mass = total_u - prefix_u_by_a[released]
+    band_sum = prefix_x_by_a[released] - prefix_x_by_b[gone]
+    band_count = released - gone
+    g = saturated_mass + band_sum - band_count * taus
+    k = int(np.searchsorted(-g, -budget, side="right")) - 1
+    k = max(k, 0)
+    if band_count[k] > 0:
+        tau = (saturated_mass[k] + band_sum[k] - budget) / band_count[k]
+    else:
+        tau = float(taus[k])
+    projected = np.clip(x - tau, 0.0, u)
+    # Wash out float dust so require_feasible never trips on round-off.
+    for _ in range(2):
+        over = float(projected.sum()) - budget
+        if over <= _SUM_TOLERANCE:
+            break
+        active = (projected > 0.0) & (projected < u)
+        if not active.any():
+            break
+        tau += over / int(active.sum())
+        projected = np.clip(x - tau, 0.0, u)
+    return projected
+
+
+def fw_linear_maximizer(
+    gradient: np.ndarray, budget: float, upper: Optional[np.ndarray] = None
+) -> np.ndarray:
     """``argmax <g, s>`` over the capped simplex: top-k greedy fill.
 
     Coordinates with positive partial derivative are filled to 1 in
     decreasing-derivative order while a whole unit of budget remains; the
     fractional remainder goes to the next one.  Non-positive coordinates
     stay at 0 (the budget constraint is an inequality).
+
+    ``upper`` restricts the fill per coordinate (per-user caps; 0 on
+    inaccessible users): the greedy fills ``min(u_i, remaining budget)``
+    instead of a whole unit, which is the exact linear maximizer over the
+    box-intersected simplex.  ``upper=None`` keeps the historical
+    uniform-cap code path bit for bit.
     """
     g = np.asarray(gradient, dtype=np.float64)
     s = np.zeros_like(g)
     budget = float(budget)
     if budget <= 0.0:
         return s
+    if upper is None:
+        order = np.argsort(-g, kind="stable")
+        positive = int(np.count_nonzero(g > 0.0))
+        full = min(int(np.floor(budget + _SUM_TOLERANCE)), positive, g.size)
+        s[order[:full]] = 1.0
+        remainder = budget - full
+        if remainder > _SUM_TOLERANCE and full < positive:
+            s[order[full]] = min(1.0, remainder)
+        return s
+    u = np.asarray(upper, dtype=np.float64)
+    if u.shape != g.shape:
+        raise SolverError(
+            f"upper bounds shape {u.shape} does not match gradient shape {g.shape}"
+        )
     order = np.argsort(-g, kind="stable")
-    positive = int(np.count_nonzero(g > 0.0))
-    full = min(int(np.floor(budget + _SUM_TOLERANCE)), positive, g.size)
-    s[order[:full]] = 1.0
-    remainder = budget - full
-    if remainder > _SUM_TOLERANCE and full < positive:
-        s[order[full]] = min(1.0, remainder)
+    caps = np.where(g[order] > 0.0, u[order], 0.0)
+    spent_before = np.concatenate([[0.0], np.cumsum(caps)[:-1]])
+    fill = np.clip(budget - spent_before, 0.0, caps)
+    s[order] = fill
     return s
 
 
@@ -186,18 +306,30 @@ def _chord_slopes(population, num_nodes: int, grid_size: int = 129) -> np.ndarra
     return np.maximum(slopes, 1.0)  # p_u(1) = 1 makes the unit chord a floor
 
 
-def _certified_gap(grad_q: np.ndarray, chord_slopes: np.ndarray, budget: float) -> float:
+def _certified_gap(
+    grad_q: np.ndarray,
+    chord_slopes: np.ndarray,
+    budget: float,
+    upper: Optional[np.ndarray] = None,
+) -> float:
     """Fractional-knapsack bound on ``max <grad_q, q'>`` over feasible c'.
 
     Each node contributes at most ``w_u * min(1, s_u * c'_u)`` (concave in
     ``c'_u``), so the continuous knapsack greedy by density ``w_u * s_u``
     is exact: items saturate at cost ``1/s_u`` (capped at 1) for value
     ``w_u``, and the marginal item is taken fractionally.
+
+    ``upper`` tightens the per-item cap to ``u_u`` (per-user discount
+    limits; 0 on inaccessible users): items then saturate at cost
+    ``min(u_u, 1/s_u)`` for value ``w_u * min(1, s_u * u_u)``.  Any
+    additional (generic) constraints only shrink the feasible set, so the
+    bound stays a valid certificate over the intersection.
     """
     w = np.maximum(np.asarray(grad_q, dtype=np.float64), 0.0)
     s = np.asarray(chord_slopes, dtype=np.float64)
-    cost = np.minimum(1.0, np.divide(1.0, s, out=np.full_like(s, np.inf), where=s > 0))
-    value = w * np.minimum(1.0, s)
+    cap = np.ones_like(s) if upper is None else np.asarray(upper, dtype=np.float64)
+    cost = np.minimum(cap, np.divide(1.0, s, out=np.full_like(s, np.inf), where=s > 0))
+    value = w * np.minimum(1.0, s * cap)
     density = w * s
     order = np.argsort(-density, kind="stable")
     costs = cost[order]
@@ -250,8 +382,18 @@ def projected_gradient_ascent(
     max_backtracks: int = 30,
     deadline: DeadlineLike = None,
     objective: Optional[HypergraphObjective] = None,
+    constraints: Optional["ResolvedConstraints"] = None,
 ) -> GradientResult:
     """Maximize the Eq.-14 hyper-graph objective by projected gradient ascent.
+
+    ``constraints`` (a resolved set from :mod:`repro.core.constraints`)
+    replaces the plain capped simplex with the constrained feasible set:
+    every trial point is projected onto it, the warm start is projected
+    in if it violates the constraints (graceful degradation from an
+    unconstrained warm start), and the duality-gap certificate is taken
+    over the constrained region — so it certifies the *constrained*
+    optimum.  ``None`` keeps the historical capped-simplex path bit for
+    bit.
 
     Every iteration takes one full-vector gradient (one pass over the
     member stream), projects the trial point onto the capped simplex, and
@@ -280,6 +422,15 @@ def projected_gradient_ascent(
     if step_size <= 0.0:
         raise SolverError(f"step_size must be positive, got {step_size}")
     budget = problem.budget
+    upper: Optional[np.ndarray] = None
+    if constraints is not None:
+        budget = min(budget, constraints.budget)
+        upper = constraints.upper
+        if not constraints.is_satisfied(discounts):
+            # Degrade gracefully: an unconstrained warm start (e.g. UD)
+            # enters through its projection onto the feasible set.
+            discounts = constraints.project(discounts)
+            objective.set_probabilities(population.probabilities(discounts))
     timings = TimingBreakdown()
     metrics = get_metrics()
     tracer = get_tracer()
@@ -303,7 +454,10 @@ def projected_gradient_ascent(
     def project(x: np.ndarray) -> np.ndarray:
         nonlocal projection_seconds
         start = time.perf_counter()
-        out = project_capped_simplex(x, budget)
+        if constraints is not None:
+            out = constraints.project(x)
+        else:
+            out = project_capped_simplex(x, budget)
         projection_seconds += time.perf_counter() - start
         return out
 
@@ -327,7 +481,7 @@ def projected_gradient_ascent(
             grad_q = objective.gradient()
             gradient_evals += 1
             grad_c = grad_q * population.derivatives(discounts)
-            duality_gap = _certified_gap(grad_q, chord, budget)
+            duality_gap = _certified_gap(grad_q, chord, budget, upper)
             if duality_gap <= tolerance:
                 converged = True
                 break
@@ -382,7 +536,7 @@ def projected_gradient_ascent(
         current_value = objective.value()
         grad_q = objective.gradient()
         gradient_evals += 1
-        duality_gap = min(duality_gap, _certified_gap(grad_q, chord, budget))
+        duality_gap = min(duality_gap, _certified_gap(grad_q, chord, budget, upper))
 
         span.set(
             steps_run=steps_run,
@@ -432,6 +586,7 @@ def frank_wolfe(
     max_backtracks: int = 25,
     deadline: DeadlineLike = None,
     objective: Optional[HypergraphObjective] = None,
+    constraints: Optional["ResolvedConstraints"] = None,
 ) -> GradientResult:
     """Frank-Wolfe (conditional gradient) over the capped simplex.
 
@@ -444,6 +599,14 @@ def frank_wolfe(
     ``initial`` defaults to the all-zeros configuration (FW builds its
     own support greedily); pass the UD warm start to make it directly
     comparable with CD.
+
+    ``constraints`` restricts the linear maximizer to the constrained
+    feasible set (accessible coordinates filled greedily up to their
+    caps), so every iterate stays feasible by convexity.  Frank-Wolfe
+    requires the constraint set to be box∩budget-representable — a
+    generic constraint would make the linear step inexact — and raises
+    :class:`~repro.exceptions.ConstraintError` otherwise (use
+    :func:`projected_gradient_ascent` there instead).
     """
     budget_clock = as_deadline(deadline)
     if initial is None:
@@ -452,6 +615,21 @@ def frank_wolfe(
         problem, hypergraph, initial, objective
     )
     budget = problem.budget
+    upper: Optional[np.ndarray] = None
+    if constraints is not None:
+        if constraints.has_generic:
+            from repro.exceptions import ConstraintError
+
+            raise ConstraintError(
+                "frank_wolfe supports only box/budget-representable "
+                "constraints (caps, access sets, budgets); use "
+                "projected_gradient_ascent for generic constraints"
+            )
+        budget = min(budget, constraints.budget)
+        upper = constraints.upper
+        if not constraints.is_satisfied(discounts):
+            discounts = constraints.project(discounts)
+            objective.set_probabilities(population.probabilities(discounts))
     timings = TimingBreakdown()
     metrics = get_metrics()
     tracer = get_tracer()
@@ -493,9 +671,9 @@ def frank_wolfe(
             grad_q = objective.gradient()
             gradient_evals += 1
             grad_c = grad_q * population.derivatives(discounts)
-            duality_gap = _certified_gap(grad_q, chord, budget)
+            duality_gap = _certified_gap(grad_q, chord, budget, upper)
             start = time.perf_counter()
-            vertex = fw_linear_maximizer(grad_c, budget)
+            vertex = fw_linear_maximizer(grad_c, budget, upper)
             lmo_seconds += time.perf_counter() - start
             direction = vertex - discounts
             fw_gap = float(grad_c @ direction)
@@ -546,9 +724,9 @@ def frank_wolfe(
         grad_q = objective.gradient()
         gradient_evals += 1
         grad_c = grad_q * population.derivatives(discounts)
-        vertex = fw_linear_maximizer(grad_c, budget)
+        vertex = fw_linear_maximizer(grad_c, budget, upper)
         fw_gap = float(grad_c @ (vertex - discounts))
-        duality_gap = min(duality_gap, _certified_gap(grad_q, chord, budget))
+        duality_gap = min(duality_gap, _certified_gap(grad_q, chord, budget, upper))
 
         span.set(
             steps_run=steps_run,

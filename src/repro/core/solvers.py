@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Union
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Union
 
 import numpy as np
 
@@ -51,6 +51,9 @@ from repro.runtime.deadline import Deadline, DeadlineLike, as_deadline
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.timing import TimingBreakdown
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.constraints import ConstraintLike, ResolvedConstraints
+
 __all__ = [
     "SolveResult",
     "solve",
@@ -58,6 +61,7 @@ __all__ = [
     "register_solver",
     "unregister_solver",
     "reset_solvers",
+    "solver_supports_constraints",
 ]
 
 
@@ -93,6 +97,7 @@ def _solve_ud(problem, hypergraph, seed, options) -> tuple[Configuration, dict]:
         discount_grid=options.get("discount_grid"),
         step=options.get("step", 0.05),
         deadline=options.get("deadline"),
+        constraints=options.get("constraints"),
     )
     return result.configuration, {
         "best_discount": result.best_discount,
@@ -103,31 +108,52 @@ def _solve_ud(problem, hypergraph, seed, options) -> tuple[Configuration, dict]:
 
 
 def _solve_cd(problem, hypergraph, seed, options) -> tuple[Configuration, dict]:
-    ud_result = unified_discount(
-        problem,
-        hypergraph,
-        discount_grid=options.get("discount_grid"),
-        step=options.get("step", 0.05),
-        deadline=options.get("deadline"),
-    )
+    constraints = options.get("constraints")
+    try:
+        ud_result = unified_discount(
+            problem,
+            hypergraph,
+            discount_grid=options.get("discount_grid"),
+            step=options.get("step", 0.05),
+            deadline=options.get("deadline"),
+            constraints=constraints,
+        )
+        warm_start = ud_result.configuration
+        warm_label = "ud"
+        ud_discount = ud_result.best_discount
+        ud_expired = ud_result.deadline_expired
+    except SolverError:
+        # Under generic constraints the whole unified family c·1_S can be
+        # infeasible (UD then has no grid point to offer).  Descent does
+        # not need the warm start to exist — degrade to a feasible cold
+        # start instead of failing the solve.
+        if constraints is None or not constraints.has_generic:
+            raise
+        warm_start = Configuration(
+            constraints.project(np.zeros(problem.num_nodes))
+        )
+        warm_label = "cold"
+        ud_discount = None
+        ud_expired = False
     cd_result = coordinate_descent_hypergraph(
         problem,
         hypergraph,
-        ud_result.configuration,
+        warm_start,
         grid_step=options.get("grid_step", 0.01),
         max_rounds=options.get("max_rounds", 10),
         refine_iterations=options.get("refine_iterations", 25),
         pair_strategy=options.get("pair_strategy", "cyclic"),
         deadline=options.get("deadline"),
+        constraints=constraints,
     )
     return cd_result.configuration, {
-        "warm_start": "ud",
-        "ud_discount": ud_result.best_discount,
+        "warm_start": warm_label,
+        "ud_discount": ud_discount,
         "rounds_run": cd_result.rounds_run,
         "pair_updates": cd_result.pair_updates,
         "round_values": cd_result.round_values,
         "converged": cd_result.converged,
-        "deadline_expired": ud_result.deadline_expired or cd_result.deadline_expired,
+        "deadline_expired": ud_expired or cd_result.deadline_expired,
     }
 
 
@@ -154,6 +180,7 @@ def _solve_cd_im(problem, hypergraph, seed, options) -> tuple[Configuration, dic
         refine_iterations=options.get("refine_iterations", 25),
         coordinates=coordinates,
         deadline=options.get("deadline"),
+        constraints=options.get("constraints"),
     )
     return cd_result.configuration, {
         "warm_start": "im",
@@ -174,6 +201,7 @@ def _gradient_warm_start(problem, hypergraph, options) -> tuple[Configuration, d
             discount_grid=options.get("discount_grid"),
             step=options.get("step", 0.05),
             deadline=options.get("deadline"),
+            constraints=options.get("constraints"),
         )
         return ud_result.configuration, {
             "warm_start": "ud",
@@ -226,6 +254,7 @@ def _solve_gradient(problem, hypergraph, seed, options) -> tuple[Configuration, 
         max_steps=options.get("max_steps", 200),
         tolerance=options.get("tolerance", 1e-3),
         deadline=options.get("deadline"),
+        constraints=options.get("constraints"),
     )
     return result.configuration, _gradient_extras(result, warm_extras)
 
@@ -243,6 +272,7 @@ def _solve_fw(problem, hypergraph, seed, options) -> tuple[Configuration, dict]:
         max_steps=options.get("max_steps", 200),
         tolerance=options.get("tolerance", 1e-3),
         deadline=options.get("deadline"),
+        constraints=options.get("constraints"),
     )
     return result.configuration, _gradient_extras(result, warm_extras)
 
@@ -279,22 +309,40 @@ def _solve_degree(problem, hypergraph, seed, options) -> tuple[Configuration, di
 
 _SolverFn = Callable[[CIMProblem, RRHypergraph, SeedLike, dict], tuple]
 
-_REGISTRY: Dict[str, _SolverFn] = {
-    "im": _solve_im,
-    "ud": _solve_ud,
-    "cd": _solve_cd,
-    "cd-im": _solve_cd_im,
-    "gradient": _solve_gradient,
-    "fw": _solve_fw,
-    "greedy": _solve_greedy,
-    "uniform": _solve_uniform,
-    "random": _solve_random,
-    "degree": _solve_degree,
+
+@dataclass(frozen=True)
+class _SolverEntry:
+    """One registry row: the strategy plus its capability flags.
+
+    ``supports_constraints`` marks strategies that consume
+    ``options["constraints"]`` natively; :func:`solve` projects the output
+    of unaware strategies onto the feasible set instead (and tags the
+    result ``extras["constraints_projected"]``).
+    """
+
+    fn: _SolverFn
+    supports_constraints: bool = False
+
+
+_REGISTRY: Dict[str, _SolverEntry] = {
+    "im": _SolverEntry(_solve_im),
+    "ud": _SolverEntry(_solve_ud, supports_constraints=True),
+    "cd": _SolverEntry(_solve_cd, supports_constraints=True),
+    "cd-im": _SolverEntry(_solve_cd_im, supports_constraints=True),
+    "gradient": _SolverEntry(_solve_gradient, supports_constraints=True),
+    "fw": _SolverEntry(_solve_fw, supports_constraints=True),
+    "greedy": _SolverEntry(_solve_greedy),
+    "uniform": _SolverEntry(_solve_uniform),
+    "random": _SolverEntry(_solve_random),
+    "degree": _SolverEntry(_solve_degree),
 }
 
-#: Immutable snapshot of the built-in strategies, taken at import time —
-#: the restore point of :func:`reset_solvers`.
-_BUILTINS: Dict[str, _SolverFn] = dict(_REGISTRY)
+#: Immutable snapshot of the built-in strategies *with their capability
+#: flags*, taken at import time — the restore point of
+#: :func:`reset_solvers`.  Snapshotting whole entries (not bare callables)
+#: is what lets a reset restore a built-in's constraint support after it
+#: was shadowed by a constraint-wrapped re-registration.
+_BUILTINS: Dict[str, _SolverEntry] = dict(_REGISTRY)
 
 #: Methods whose descent the adaptive driver can run per instalment.
 _ADAPTIVE_OPTIMIZERS = ("cd", "gradient", "fw")
@@ -305,7 +353,25 @@ def available_methods() -> List[str]:
     return sorted(_REGISTRY)
 
 
-def register_solver(name: str, solver: _SolverFn, overwrite: bool = False) -> None:
+def solver_supports_constraints(name: str) -> bool:
+    """Whether a registered strategy consumes ``constraints=`` natively.
+
+    Unaware strategies still work under constraints — :func:`solve`
+    projects their output onto the feasible set — but only native support
+    optimizes *within* the feasible set.
+    """
+    try:
+        return _REGISTRY[name].supports_constraints
+    except KeyError:
+        raise SolverError(f"no solver named {name!r}") from None
+
+
+def register_solver(
+    name: str,
+    solver: _SolverFn,
+    overwrite: bool = False,
+    supports_constraints: bool = False,
+) -> None:
     """Register a custom strategy with :func:`solve`.
 
     ``solver`` receives ``(problem, hypergraph, seed, options)`` and must
@@ -313,6 +379,12 @@ def register_solver(name: str, solver: _SolverFn, overwrite: bool = False) -> No
     feasibility-checked and scored with the shared Theorem-9 estimator
     like every built-in.  Overwriting a built-in requires
     ``overwrite=True`` (guards against accidental shadowing).
+
+    Pass ``supports_constraints=True`` when the strategy consumes
+    ``options["constraints"]`` (a
+    :class:`~repro.core.constraints.ResolvedConstraints`) itself;
+    otherwise :func:`solve` enforces active constraints by projecting the
+    strategy's output onto the feasible set.
     """
     if not name or not isinstance(name, str):
         raise SolverError(f"solver name must be a non-empty string, got {name!r}")
@@ -322,7 +394,7 @@ def register_solver(name: str, solver: _SolverFn, overwrite: bool = False) -> No
         )
     if not callable(solver):
         raise SolverError("solver must be callable")
-    _REGISTRY[name] = solver
+    _REGISTRY[name] = _SolverEntry(solver, supports_constraints=supports_constraints)
 
 
 def unregister_solver(name: str) -> None:
@@ -341,9 +413,10 @@ def unregister_solver(name: str) -> None:
 def reset_solvers() -> None:
     """Restore the registry to the import-time built-in snapshot.
 
-    Re-registers every built-in strategy (undoing any
-    :func:`unregister_solver` of them) and drops all custom strategies
-    added with :func:`register_solver`.
+    Re-registers every built-in strategy *with its original capability
+    flags* (undoing any :func:`unregister_solver` of them, and undoing
+    flag changes from overwriting re-registrations) and drops all custom
+    strategies added with :func:`register_solver`.
     """
     _REGISTRY.clear()
     _REGISTRY.update(_BUILTINS)
@@ -358,6 +431,7 @@ def solve(
     deadline: DeadlineLike = None,
     workers: Optional[int] = None,
     supervision: "SupervisionLike" = None,
+    constraints: "ConstraintLike" = None,
     **options,
 ) -> SolveResult:
     """Run one CIM strategy end to end.
@@ -404,15 +478,28 @@ def solve(
         fields; see :mod:`repro.parallel.supervisor`).  A quarantined
         poison chunk or salvaged instalment degrades through the same
         partial-result contract as a deadline expiry.
+    constraints:
+        Optional solver constraints — a single
+        :class:`~repro.core.constraints.Constraint` or a list of them
+        (their intersection).  Constraint-aware methods (``ud``, ``cd``,
+        ``cd-im``, ``gradient``, ``fw``) optimize *within* the feasible
+        set; the output of unaware strategies is projected onto it (and
+        tagged ``extras["constraints_projected"]``).  Constraints whose
+        feasible set contains the plain budget simplex are *trivial* and
+        reduce to the unconstrained code path, so slack constraints
+        reproduce unconstrained results bit for bit at any worker count.
+        Active constraints are recorded in ``extras["constraints"]`` and
+        the returned configuration is verified feasible.
     options:
         Method-specific knobs (``step``, ``grid_step``, ``max_rounds``...).
     """
     try:
-        solver = _REGISTRY[method]
+        entry = _REGISTRY[method]
     except KeyError:
         raise SolverError(
             f"unknown method {method!r}; choose from {available_methods()}"
         ) from None
+    solver = entry.fn
 
     run_budget: Deadline = as_deadline(deadline)
     options = dict(options)
@@ -425,6 +512,23 @@ def solve(
     if adaptive_options and num_hyperedges != "auto":
         raise SolverError("options['adaptive'] requires num_hyperedges='auto'")
 
+    def resolve(bound_hypergraph) -> Optional["ResolvedConstraints"]:
+        """Bind ``constraints`` and drop them when trivially slack.
+
+        The trivial→``None`` reduction is the no-op composition
+        guarantee: a slack constraint list runs the *identical* code
+        path as no constraints at all, so results match bit for bit.
+        """
+        if constraints is None:
+            return None
+        from repro.core.constraints import resolve_constraints
+
+        resolved = resolve_constraints(constraints, problem, bound_hypergraph)
+        if resolved is not None and resolved.is_trivial(problem.budget):
+            return None
+        return resolved
+
+    resolved_constraints: Optional["ResolvedConstraints"] = None
     timings = TimingBreakdown()
     adaptive_result = None
     hypergraph_truncated = False
@@ -440,6 +544,10 @@ def solve(
                 # Let the driver run *this* method's descent per instalment
                 # so its certified incumbent is the solve result.
                 adaptive_options.setdefault("optimizer", method)
+            # The driver needs constraints before any hyper-graph exists,
+            # so TopKAccess binds against the weighted out-degree proxy
+            # here (deterministic, hyper-graph-free).
+            resolved_constraints = resolve(None)
             with timings.phase("hypergraph"):
                 adaptive_result = adaptive_hypergraph(
                     problem,
@@ -447,6 +555,7 @@ def solve(
                     deadline=run_budget,
                     workers=workers,
                     supervision=supervision,
+                    constraints=resolved_constraints,
                     **adaptive_options,
                 )
             hypergraph = adaptive_result.hypergraph
@@ -477,6 +586,10 @@ def solve(
                 # deadline-truncated sampling) taints every estimate
                 # computed on it.
                 hypergraph_truncated = hypergraph.num_hyperedges < num_hyperedges
+        if adaptive_result is None:
+            resolved_constraints = resolve(hypergraph)
+        if resolved_constraints is not None and entry.supports_constraints:
+            options["constraints"] = resolved_constraints
         with timings.phase(method):
             if (
                 adaptive_result is not None
@@ -502,6 +615,13 @@ def solve(
                 extras["deadline_expired"] = adaptive_result.stop_reason == "deadline"
             else:
                 configuration, extras = solver(problem, hypergraph, seed, options)
+        if resolved_constraints is not None and not entry.supports_constraints:
+            # Constraint-unaware strategy: enforce feasibility by
+            # projecting its output onto the feasible set.
+            projected = resolved_constraints.project(configuration.discounts)
+            if not np.array_equal(projected, configuration.discounts):
+                configuration = Configuration(projected)
+                extras["constraints_projected"] = True
         if adaptive_result is not None:
             extras["adaptive"] = {
                 "stop_reason": adaptive_result.stop_reason,
@@ -512,6 +632,10 @@ def solve(
             }
 
         configuration.require_feasible(problem.budget)
+        if resolved_constraints is not None:
+            resolved_constraints.require_satisfied(configuration.discounts)
+            extras["constraints"] = resolved_constraints.spec()
+            span.set(constrained=True)
         oracle = HypergraphOracle(hypergraph, problem.population)
         estimate = oracle.evaluate(configuration)
         extras["num_hyperedges"] = hypergraph.num_hyperedges

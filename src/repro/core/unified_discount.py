@@ -15,7 +15,7 @@ at discount ``c`` is ``k = floor(B / c)`` (capped at ``n``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -27,6 +27,9 @@ from repro.rrset.coverage import weighted_max_coverage
 from repro.rrset.hypergraph import RRHypergraph
 from repro.runtime.deadline import DeadlineLike, as_deadline
 from repro.utils.timing import TimingBreakdown
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.constraints import ResolvedConstraints
 
 __all__ = ["UDResult", "UDGridPoint", "default_discount_grid", "unified_discount"]
 
@@ -74,6 +77,7 @@ def unified_discount(
     discount_grid: Optional[Sequence[float]] = None,
     step: float = 0.05,
     deadline: DeadlineLike = None,
+    constraints: Optional["ResolvedConstraints"] = None,
 ) -> UDResult:
     """Run UD: grid-search the unified discount, greedy-select targets.
 
@@ -92,6 +96,13 @@ def unified_discount(
         best affordable ``(c, S)`` evaluated so far is returned with
         ``deadline_expired=True``; expiring before *any* grid point was
         scored raises :class:`~repro.exceptions.DeadlineExceeded`.
+    constraints:
+        Optional resolved solver constraints.  At each grid discount ``c``
+        the greedy target pool is restricted to users whose cap admits
+        ``c``, the per-discount seed budget uses the constrained budget,
+        and grid points whose unified configuration violates a generic
+        constraint part are skipped.  ``None`` runs the historical code
+        path untouched.
 
     Returns the best ``(c, S)`` found plus the whole grid trace (Figure 5).
     """
@@ -108,6 +119,8 @@ def unified_discount(
 
     n = problem.num_nodes
     budget = problem.budget
+    if constraints is not None:
+        budget = min(budget, constraints.budget)
     timings = TimingBreakdown()
     trace: List[UDGridPoint] = []
     best: Optional[Tuple[float, List[int], float]] = None
@@ -125,10 +138,29 @@ def unified_discount(
                     expired = True
                     break
                 num_targets = int(min(n, np.floor(budget / discount + 1e-9)))
+                candidates = None
+                if constraints is not None:
+                    candidates = constraints.eligible_at(float(discount))
+                    if candidates is not None:
+                        num_targets = min(num_targets, int(candidates.size))
                 if num_targets == 0:
                     continue
                 node_probs = problem.population.probabilities_at(float(discount))
-                coverage = weighted_max_coverage(hypergraph, node_probs, num_targets)
+                coverage = weighted_max_coverage(
+                    hypergraph, node_probs, num_targets, candidates=candidates
+                )
+                if constraints is not None and constraints.has_generic:
+                    unified = np.zeros(n, dtype=np.float64)
+                    unified[np.asarray(coverage.seeds, dtype=np.int64)] = float(
+                        discount
+                    )
+                    if not constraints.is_satisfied(unified):
+                        span.event(
+                            "grid_point_skipped",
+                            discount=float(discount),
+                            reason="generic-constraint",
+                        )
+                        continue
                 trace.append(
                     UDGridPoint(
                         discount=float(discount),
@@ -160,6 +192,8 @@ def unified_discount(
         )
     best_c, targets, spread = best
     configuration = Configuration.unified(targets, best_c, n).require_feasible(budget)
+    if constraints is not None:
+        constraints.require_satisfied(configuration.discounts)
     return UDResult(
         configuration=configuration,
         best_discount=best_c,

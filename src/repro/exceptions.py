@@ -15,6 +15,7 @@ __all__ = [
     "ConfigurationError",
     "BudgetError",
     "SolverError",
+    "ConstraintError",
     "ConvergenceWarning",
     "EstimationError",
     "DeadlineExceeded",
@@ -71,6 +72,16 @@ class BudgetError(ConfigurationError):
 
 class SolverError(ReproError, RuntimeError):
     """Raised when a solver cannot produce a feasible solution."""
+
+
+class ConstraintError(SolverError):
+    """Raised for malformed or unsatisfiable solver constraints.
+
+    Examples: per-user caps outside ``[0, 1]``, an access set naming
+    nodes outside the graph, a returned configuration that violates an
+    active constraint.  Subclasses :class:`SolverError` so existing
+    ``except SolverError`` call sites keep working.
+    """
 
 
 class ConvergenceWarning(UserWarning):

@@ -6,6 +6,7 @@ from repro.experiments.datasets import (
     load_dataset,
     table2_rows,
 )
+from repro.experiments.constrained import constrained_matrix, default_constraint_scenarios
 from repro.experiments.runner import ExperimentResult, run_methods
 from repro.experiments.figures import (
     figure3_influence_spread,
@@ -25,6 +26,8 @@ __all__ = [
     "table2_rows",
     "ExperimentResult",
     "run_methods",
+    "constrained_matrix",
+    "default_constraint_scenarios",
     "figure3_influence_spread",
     "figure4_approximation_bound",
     "figure5_spread_vs_discount",

@@ -12,6 +12,7 @@ from dataclasses import asdict
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
+from repro.experiments.constrained import constrained_matrix
 from repro.experiments.figures import (
     figure3_influence_spread,
     figure4_approximation_bound,
@@ -154,6 +155,22 @@ def generate_full_report(
                 scale=scale,
                 num_hyperedges=num_hyperedges,
                 seed=seed,
+            ),
+        )
+
+        emit(
+            "constrained_matrix",
+            constrained_matrix(
+                dataset=dataset,
+                budget=float(budgets[0]),
+                scale=scale,
+                num_hyperedges=num_hyperedges,
+                evaluation_samples=evaluation_samples,
+                seed=seed,
+                checkpoint_dir=checkpoint_path,
+                resume=resume,
+                workers=workers,
+                supervision=supervision,
             ),
         )
         span.set(exhibits=len(written))

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
+from repro.core.constraints import constraint_spec
 from repro.core.population import CurvePopulation, paper_mixture
 from repro.core.problem import CIMProblem
 from repro.core.solvers import solve
@@ -185,6 +186,7 @@ def run_methods(
     resume: bool = False,
     workers: Optional[int] = None,
     supervision=None,
+    constraints=None,
 ) -> List[ExperimentResult]:
     """Run several solvers on one problem and MC-score their outputs.
 
@@ -224,6 +226,14 @@ def run_methods(
         Pool recovery policy for hyper-graph sampling and scoring (a
         :class:`~repro.parallel.supervisor.SupervisionPolicy` or kwargs
         dict); never changes the numbers of a run that completes.
+    constraints:
+        Optional solver constraints (a
+        :class:`~repro.core.constraints.Constraint` or list of them)
+        applied to *every* cell — the constrained scenario matrix runs
+        each method under the same feasible set.  The constraint spec is
+        part of the checkpoint content key (only when constraints are
+        present, so unconstrained grids keep their historical keys): a
+        constrained grid never resumes an unconstrained grid's cells.
     """
     validate_run_inputs(problem, methods, evaluation_samples)
 
@@ -234,13 +244,17 @@ def run_methods(
                 "checkpointing requires a reproducible seed (int or None); "
                 f"got {type(seed).__name__}"
             )
-        key = content_key(
+        key_fields = dict(
             problem=_problem_fingerprint(problem),
             seed=seed,
             num_hyperedges=num_hyperedges,
             evaluation_samples=evaluation_samples,
             prebuilt_hypergraph=hypergraph is not None,
         )
+        spec = constraint_spec(constraints)
+        if spec is not None:
+            key_fields["constraints"] = spec
+        key = content_key(**key_fields)
         store = CheckpointStore(checkpoint_dir, key)
 
     # One stream per cell (solver + evaluation), spawned before any cell
@@ -321,6 +335,7 @@ def run_methods(
                 hypergraph=hypergraph,
                 seed=solver_rng,
                 deadline=deadline,
+                constraints=constraints,
                 **options_by_method.get(method, {}),
             )
             # Monte-Carlo scoring is the one stage re-run on transient

@@ -27,9 +27,12 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Union
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.constraints import ResolvedConstraints
 
 from repro.exceptions import CheckpointError, EstimationError, WorkerPoolError
 from repro.obs.context import get_metrics, get_tracer
@@ -210,6 +213,7 @@ def adaptive_hypergraph(
     gradient_step_size: float = 0.5,
     gradient_max_steps: int = 200,
     gradient_tolerance: float = 1e-3,
+    constraints: Optional["ResolvedConstraints"] = None,
 ) -> AdaptiveResult:
     """Sample adaptively and return the certified CD solution.
 
@@ -277,16 +281,30 @@ def adaptive_hypergraph(
         competition and certified under the same Chernoff bound.
     gradient_step_size, gradient_max_steps, gradient_tolerance:
         Forwarded to the gradient/FW descent when ``optimizer`` selects it.
+    constraints:
+        Optional solver constraints — a
+        :class:`~repro.core.constraints.ResolvedConstraints` (what
+        :func:`~repro.core.solvers.solve` passes) or raw
+        :class:`~repro.core.constraints.Constraint` objects, resolved
+        here against the problem.  Every per-instalment warm start and
+        descent honours them, and the constraint spec becomes part of the
+        checkpoint content key — a constrained run never resumes an
+        unconstrained run's instalments (or vice versa).
     """
     # Function-level imports: repro.core imports repro.rrset at module
     # scope, so the reverse edge must be deferred to call time.
     from repro.core.cd_hypergraph import coordinate_descent_hypergraph
     from repro.core.configuration import Configuration
+    from repro.core.constraints import ResolvedConstraints, resolve_constraints
     from repro.core.gradient import frank_wolfe, projected_gradient_ascent
     from repro.core.unified_discount import unified_discount
 
     if optimizer not in ("cd", "gradient", "fw"):
         raise EstimationError(f"unknown optimizer {optimizer!r}")
+    if constraints is not None and not isinstance(constraints, ResolvedConstraints):
+        constraints = resolve_constraints(constraints, problem, None)
+        if constraints is not None and constraints.is_trivial(problem.budget):
+            constraints = None
 
     n = problem.num_nodes
     if n <= 0:
@@ -327,6 +345,11 @@ def adaptive_hypergraph(
             key_fields["gradient_step_size"] = gradient_step_size
             key_fields["gradient_max_steps"] = gradient_max_steps
             key_fields["gradient_tolerance"] = gradient_tolerance
+        if constraints is not None:
+            # Keyed only when active, so unconstrained runs keep their
+            # historical keys; a constrained run can never collide with
+            # (or resume) an unconstrained run's instalments.
+            key_fields["constraints"] = constraints.spec()
         key = content_key(**key_fields)
         store = CheckpointStore(checkpoint_dir, key)
 
@@ -429,7 +452,12 @@ def adaptive_hypergraph(
                     # redistributes budget *within* the warm support — the
                     # incumbent must compete with a fresh UD on the current
                     # (tighter) estimator or early support mistakes stick.
-                    ud = unified_discount(problem, hypergraph, deadline=budget_clock)
+                    ud = unified_discount(
+                        problem,
+                        hypergraph,
+                        deadline=budget_clock,
+                        constraints=constraints,
+                    )
                     if objective is None:
                         objective = HypergraphObjective(
                             hypergraph,
@@ -463,6 +491,7 @@ def adaptive_hypergraph(
                             pair_strategy=pair_strategy,
                             deadline=budget_clock,
                             objective=objective,
+                            constraints=constraints,
                         )
                     else:
                         descent = (
@@ -475,6 +504,7 @@ def adaptive_hypergraph(
                             tolerance=gradient_tolerance,
                             deadline=budget_clock,
                             objective=objective,
+                            constraints=constraints,
                         )
                         if optimizer == "gradient":
                             kwargs["step_size"] = gradient_step_size

@@ -1,0 +1,319 @@
+"""Constrained solves through the public ``solve`` dispatch.
+
+Two contracts from the constraints tentpole live here:
+
+* **no-op composition** — for *every* registered method, solving with a
+  slack ``BudgetConstraint(problem.budget)`` is bit-identical to the
+  unconstrained solve, at 1, 2 and 4 workers (the determinism contract
+  extends over the new code paths);
+* **feasibility under active constraints** — every constraint-aware
+  method returns a configuration inside the feasible set (caps honored,
+  support restricted, budget respected), and constraint-unaware
+  strategies get their output projected and tagged.
+
+Plus the registry round-trip: constraint-aware custom registrations must
+survive ``reset_solvers`` bookkeeping (built-ins restored with their
+``supports_constraints`` flags intact).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.configuration import Configuration
+from repro.core.constraints import (
+    AccessSet,
+    BudgetConstraint,
+    PerUserCap,
+    TopKAccess,
+    resolve_constraints,
+)
+from repro.core.solvers import (
+    available_methods,
+    register_solver,
+    reset_solvers,
+    solve,
+    solver_supports_constraints,
+    unregister_solver,
+)
+from repro.exceptions import ConstraintError, SolverError
+
+CONSTRAINT_AWARE = ("ud", "cd", "cd-im", "gradient", "fw")
+ACTIVE = [PerUserCap(0.5), TopKAccess(20), BudgetConstraint(3.0)]
+
+
+@pytest.fixture(scope="module")
+def problem(request):
+    return request.getfixturevalue("medium_problem")
+
+
+@pytest.fixture(scope="module")
+def hypergraph(request):
+    return request.getfixturevalue("medium_hypergraph")
+
+
+class TestSlackConstraintsAreNoOps:
+    @pytest.mark.parametrize("method", sorted(available_methods()))
+    def test_bit_identical_to_unconstrained(self, method, problem, hypergraph):
+        base = solve(problem, method, hypergraph=hypergraph, seed=11)
+        slack = solve(
+            problem,
+            method,
+            hypergraph=hypergraph,
+            seed=11,
+            constraints=[BudgetConstraint(problem.budget)],
+        )
+        assert np.array_equal(
+            base.configuration.discounts, slack.configuration.discounts
+        )
+        assert base.spread_estimate == slack.spread_estimate
+        # Trivial constraints run the historical path: no tagging.
+        assert "constraints" not in slack.extras
+        assert "constraints_projected" not in slack.extras
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("method", ["ud", "cd", "gradient", "fw"])
+    def test_bit_identical_across_worker_counts(self, method, workers, problem):
+        base = solve(
+            problem, method, num_hyperedges=2000, seed=13, workers=workers
+        )
+        slack = solve(
+            problem,
+            method,
+            num_hyperedges=2000,
+            seed=13,
+            workers=workers,
+            constraints=[
+                BudgetConstraint(problem.budget),
+                PerUserCap(1.0),
+                AccessSet(range(problem.num_nodes)),
+            ],
+        )
+        assert np.array_equal(
+            base.configuration.discounts, slack.configuration.discounts
+        )
+        assert base.spread_estimate == slack.spread_estimate
+
+    def test_worker_counts_agree_with_each_other(self, problem):
+        results = [
+            solve(
+                problem,
+                "cd",
+                num_hyperedges=2000,
+                seed=13,
+                workers=w,
+                constraints=ACTIVE,
+            )
+            for w in (1, 2, 4)
+        ]
+        for other in results[1:]:
+            assert np.array_equal(
+                results[0].configuration.discounts,
+                other.configuration.discounts,
+            )
+
+
+class TestActiveConstraintsFeasibility:
+    @pytest.mark.parametrize("method", sorted(available_methods()))
+    def test_solution_feasible_and_tagged(self, method, problem, hypergraph):
+        result = solve(
+            problem, method, hypergraph=hypergraph, seed=17, constraints=ACTIVE
+        )
+        discounts = result.configuration.discounts
+        resolved = resolve_constraints(ACTIVE, problem, hypergraph)
+        resolved.require_satisfied(discounts)  # raises on violation
+        assert discounts.sum() <= 3.0 + 1e-9
+        assert np.all(discounts <= 0.5 + 1e-9)
+        assert int(np.count_nonzero(discounts)) <= 20
+        # extras carry the *resolved* spec: TopKAccess binds to a
+        # concrete AccessSet before the solver sees it.
+        assert [entry["type"] for entry in result.extras["constraints"]] == [
+            "cap",
+            "access",
+            "budget",
+        ]
+        if not solver_supports_constraints(method):
+            # Unaware strategies participate via output projection.  The
+            # tag appears only if projection actually moved the point.
+            if "constraints_projected" in result.extras:
+                assert result.extras["constraints_projected"] is True
+
+    @pytest.mark.parametrize("method", CONSTRAINT_AWARE)
+    def test_aware_methods_never_need_projection(self, method, problem, hypergraph):
+        result = solve(
+            problem, method, hypergraph=hypergraph, seed=17, constraints=ACTIVE
+        )
+        assert "constraints_projected" not in result.extras
+
+    def test_access_set_pins_support(self, problem, hypergraph):
+        allowed = [3, 5, 8]
+        result = solve(
+            problem,
+            "cd",
+            hypergraph=hypergraph,
+            seed=19,
+            constraints=[AccessSet(allowed)],
+        )
+        support = np.flatnonzero(result.configuration.discounts)
+        assert set(support.tolist()) <= set(allowed)
+
+    def test_tighter_budget_spends_less(self, problem, hypergraph):
+        tight = solve(
+            problem,
+            "gradient",
+            hypergraph=hypergraph,
+            seed=23,
+            constraints=[BudgetConstraint(1.0)],
+        )
+        assert tight.configuration.discounts.sum() <= 1.0 + 1e-9
+
+    def test_constrained_never_beats_unconstrained_estimate(
+        self, problem, hypergraph
+    ):
+        # Graceful degradation: shrinking the feasible set cannot raise
+        # the optimum (same hyper-graph, so estimates are comparable).
+        base = solve(problem, "cd", hypergraph=hypergraph, seed=29)
+        constrained = solve(
+            problem, "cd", hypergraph=hypergraph, seed=29, constraints=ACTIVE
+        )
+        assert constrained.spread_estimate <= base.spread_estimate + 1e-6
+
+    def test_constraint_relaxation_degrades_gracefully(self, problem, hypergraph):
+        # cap 0.3 ⊂ cap 0.6 ⊂ unconstrained.  CD is a local optimizer,
+        # so strict monotonicity is not guaranteed — but a tighter cap
+        # must never *beat* a looser one by more than local-optimum
+        # wiggle (2%), and both stay near the unconstrained value.
+        estimates = [
+            solve(
+                problem,
+                "cd",
+                hypergraph=hypergraph,
+                seed=31,
+                constraints=[PerUserCap(cap)],
+            ).spread_estimate
+            for cap in (0.3, 0.6)
+        ]
+        base = solve(problem, "cd", hypergraph=hypergraph, seed=31).spread_estimate
+        assert estimates[0] <= 1.02 * estimates[1]
+        assert estimates[1] <= 1.02 * base
+        assert estimates[0] <= 1.02 * base
+
+
+class TestGenericConstraintRouting:
+    class _EvenBudgetHalf:
+        """Generic (non-box) part: even nodes may hold at most 1.0 total."""
+
+    def _make(self):
+        from repro.core.constraints import Constraint
+
+        class EvenSumCap(Constraint):
+            def is_satisfied(self, discounts, tolerance=1e-9):
+                return float(np.asarray(discounts)[::2].sum()) <= 1.0 + tolerance
+
+            def project(self, x):
+                out = np.asarray(x, dtype=np.float64).copy()
+                total = out[::2].sum()
+                if total > 1.0:
+                    out[::2] -= (total - 1.0) / out[::2].size
+                    out[::2] = np.clip(out[::2], 0.0, 1.0)
+                return out
+
+            def spec(self):
+                return {"type": "even-sum-cap"}
+
+        return EvenSumCap()
+
+    def test_fw_rejects_generic_constraints(self, problem, hypergraph):
+        with pytest.raises(ConstraintError, match="representable"):
+            solve(
+                problem,
+                "fw",
+                hypergraph=hypergraph,
+                seed=37,
+                constraints=[self._make()],
+            )
+
+    def test_cd_screens_candidates_against_generic_parts(self, problem, hypergraph):
+        result = solve(
+            problem,
+            "cd",
+            hypergraph=hypergraph,
+            seed=37,
+            constraints=[self._make()],
+        )
+        assert result.configuration.discounts[::2].sum() <= 1.0 + 1e-6
+
+
+class TestRegistryConstraintBookkeeping:
+    def teardown_method(self):
+        reset_solvers()
+
+    def test_builtin_flags(self):
+        for method in CONSTRAINT_AWARE:
+            assert solver_supports_constraints(method)
+        for method in ("im", "greedy", "uniform", "random", "degree"):
+            assert not solver_supports_constraints(method)
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(SolverError):
+            solver_supports_constraints("never-registered")
+
+    def test_register_reset_resolve_round_trip(self, problem, hypergraph):
+        def capped_first_node(problem, hypergraph, seed, options):
+            resolved = options.get("constraints")
+            discounts = np.zeros(problem.num_nodes)
+            discounts[0] = 1.0
+            if resolved is not None:
+                discounts = resolved.project(discounts)
+            return Configuration(discounts), {"saw_constraints": resolved is not None}
+
+        register_solver(
+            "capped-first", capped_first_node, supports_constraints=True
+        )
+        assert solver_supports_constraints("capped-first")
+        result = solve(
+            problem,
+            "capped-first",
+            hypergraph=hypergraph,
+            constraints=[PerUserCap(0.25)],
+        )
+        assert result.extras["saw_constraints"] is True
+        assert result.configuration.discounts[0] <= 0.25 + 1e-9
+        assert "constraints_projected" not in result.extras
+
+        # Overwrite a built-in with a constraint-UNAWARE registration,
+        # then reset: the entry AND its supports_constraints flag must
+        # come back.
+        register_solver("cd", capped_first_node, overwrite=True)
+        assert not solver_supports_constraints("cd")
+        reset_solvers()
+        assert "capped-first" not in available_methods()
+        assert solver_supports_constraints("cd")
+        restored = solve(
+            problem,
+            "cd",
+            hypergraph=hypergraph,
+            seed=41,
+            constraints=[PerUserCap(0.5)],
+        )
+        assert np.all(restored.configuration.discounts <= 0.5 + 1e-9)
+        assert "saw_constraints" not in restored.extras  # real CD is back
+
+    def test_unaware_registration_gets_projected(self, problem, hypergraph):
+        def greedy_hub(problem, hypergraph, seed, options):
+            assert "constraints" not in options  # never forwarded
+            discounts = np.zeros(problem.num_nodes)
+            discounts[:4] = 1.0
+            return Configuration(discounts), {}
+
+        register_solver("hub4", greedy_hub)
+        try:
+            result = solve(
+                problem,
+                "hub4",
+                hypergraph=hypergraph,
+                constraints=[PerUserCap(0.5)],
+            )
+            assert result.extras["constraints_projected"] is True
+            assert np.all(result.configuration.discounts <= 0.5 + 1e-9)
+        finally:
+            unregister_solver("hub4")

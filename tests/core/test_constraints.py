@@ -1,0 +1,336 @@
+"""Unit tests for the composable solver constraints (repro.core.constraints)."""
+
+import numpy as np
+import pytest
+
+from repro.core.configuration import Configuration
+from repro.core.constraints import (
+    AccessSet,
+    BudgetConstraint,
+    ComposedConstraint,
+    Constraint,
+    PerUserCap,
+    TopKAccess,
+    constraint_spec,
+    constraints_from_spec,
+    resolve_constraints,
+    spillover_scores,
+)
+from repro.core.gradient import project_box_simplex, project_capped_simplex
+from repro.core.population import CurvePopulation
+from repro.core.curves import LinearCurve
+from repro.core.problem import CIMProblem
+from repro.diffusion.independent_cascade import IndependentCascade
+from repro.exceptions import ConstraintError, SolverError
+from repro.graphs.build import from_edges
+
+
+@pytest.fixture
+def chain_problem():
+    """A 5-node chain with one obvious hub (node 0 feeds everyone)."""
+    graph = from_edges(
+        [(0, 1, 0.9), (0, 2, 0.9), (1, 3, 0.5), (2, 4, 0.5)], num_nodes=5
+    )
+    population = CurvePopulation.uniform(5, LinearCurve())
+    return CIMProblem(IndependentCascade(graph), population, budget=2.0)
+
+
+class TestBudgetConstraint:
+    def test_validation(self):
+        with pytest.raises(ConstraintError):
+            BudgetConstraint(-1.0)
+        with pytest.raises(ConstraintError):
+            BudgetConstraint(float("nan"))
+        with pytest.raises(ConstraintError):
+            BudgetConstraint(float("inf"))
+
+    def test_feasibility_and_projection(self):
+        c = BudgetConstraint(1.0)
+        assert c.is_satisfied(np.array([0.5, 0.5]))
+        assert not c.is_satisfied(np.array([0.8, 0.8]))
+        projected = c.project(np.array([0.8, 0.8]))
+        assert projected.sum() <= 1.0 + 1e-9
+        np.testing.assert_allclose(projected, [0.5, 0.5])
+
+    def test_spec_round_trip(self):
+        (rebuilt,) = constraints_from_spec(BudgetConstraint(2.5).spec())
+        assert isinstance(rebuilt, BudgetConstraint)
+        assert rebuilt.budget == 2.5
+
+
+class TestPerUserCap:
+    def test_validation(self):
+        with pytest.raises(ConstraintError):
+            PerUserCap(1.5)
+        with pytest.raises(ConstraintError):
+            PerUserCap(-0.1)
+        with pytest.raises(ConstraintError):
+            PerUserCap([0.5, float("nan")])
+        with pytest.raises(ConstraintError):
+            PerUserCap([[0.5]])
+
+    def test_scalar_and_vector_bounds(self):
+        np.testing.assert_allclose(PerUserCap(0.3).upper_bounds(4), [0.3] * 4)
+        np.testing.assert_allclose(
+            PerUserCap([0.1, 0.9, 0.5]).upper_bounds(3), [0.1, 0.9, 0.5]
+        )
+
+    def test_vector_length_mismatch(self):
+        with pytest.raises(ConstraintError, match="length"):
+            PerUserCap([0.5, 0.5]).upper_bounds(3)
+
+    def test_feasibility(self):
+        cap = PerUserCap(0.4)
+        assert cap.is_satisfied(np.array([0.4, 0.0, 0.39]))
+        assert not cap.is_satisfied(np.array([0.41, 0.0, 0.0]))
+
+    def test_spec_round_trip_vector(self):
+        (rebuilt,) = constraints_from_spec(PerUserCap([0.2, 0.8]).spec())
+        np.testing.assert_allclose(rebuilt.upper_bounds(2), [0.2, 0.8])
+
+
+class TestAccessSet:
+    def test_validation(self):
+        with pytest.raises(ConstraintError, match="negative"):
+            AccessSet([-1, 2])
+
+    def test_out_of_range_detected_at_bind_time(self):
+        with pytest.raises(ConstraintError, match="names node"):
+            AccessSet([0, 7]).upper_bounds(5)
+
+    def test_upper_bounds_mask(self):
+        upper = AccessSet([1, 3]).upper_bounds(5)
+        np.testing.assert_allclose(upper, [0.0, 1.0, 0.0, 1.0, 0.0])
+
+    def test_duplicates_collapse(self):
+        assert AccessSet([2, 2, 1]).allowed.tolist() == [1, 2]
+
+    def test_spec_round_trip(self):
+        (rebuilt,) = constraints_from_spec(AccessSet([4, 0]).spec())
+        assert rebuilt.allowed.tolist() == [0, 4]
+
+
+class TestTopKAccess:
+    def test_validation(self):
+        with pytest.raises(ConstraintError):
+            TopKAccess(0)
+
+    def test_unbound_use_is_an_error(self):
+        with pytest.raises(ConstraintError, match="bound"):
+            TopKAccess(2).upper_bounds(5)
+
+    def test_bind_selects_spillover_best(self, chain_problem):
+        bound = TopKAccess(1).bind(chain_problem)
+        assert isinstance(bound, AccessSet)
+        # Node 0 feeds the whole graph: top spillover score by construction.
+        assert bound.allowed.tolist() == [0]
+
+    def test_bind_is_deterministic(self, chain_problem):
+        a = TopKAccess(3).bind(chain_problem).allowed
+        b = TopKAccess(3).bind(chain_problem).allowed
+        assert a.tolist() == b.tolist()
+
+    def test_k_larger_than_n_allows_everyone(self, chain_problem):
+        bound = TopKAccess(99).bind(chain_problem)
+        assert bound.allowed.size == chain_problem.num_nodes
+
+    def test_spillover_scores_prefer_hubs(self, chain_problem):
+        scores = spillover_scores(chain_problem)
+        assert scores.shape == (5,)
+        assert int(np.argmax(scores)) == 0
+
+    def test_spillover_scores_use_hypergraph_degrees(self, chain_problem):
+        hypergraph = chain_problem.build_hypergraph(num_hyperedges=2000, seed=3)
+        scores = spillover_scores(chain_problem, hypergraph)
+        assert int(np.argmax(scores)) == 0
+
+
+class TestComposedConstraint:
+    def test_flattens_nested_compositions(self):
+        inner = ComposedConstraint([PerUserCap(0.5), BudgetConstraint(1.0)])
+        outer = ComposedConstraint([inner, AccessSet([0])])
+        assert len(outer.parts) == 3
+        assert outer.box_representable
+
+    def test_rejects_non_constraints(self):
+        with pytest.raises(ConstraintError, match="Constraint"):
+            ComposedConstraint([PerUserCap(0.5), "nope"])
+
+    def test_intersection_semantics(self):
+        composed = ComposedConstraint(
+            [PerUserCap(0.6), AccessSet([0, 1]), BudgetConstraint(1.0)]
+        )
+        np.testing.assert_allclose(composed.upper_bounds(3), [0.6, 0.6, 0.0])
+        assert composed.sum_cap() == 1.0
+        assert composed.is_satisfied(np.array([0.6, 0.4, 0.0]))
+        assert not composed.is_satisfied(np.array([0.0, 0.0, 0.1]))
+
+    def test_exact_projection_when_box_representable(self):
+        composed = ComposedConstraint([PerUserCap(0.5), BudgetConstraint(0.8)])
+        x = np.array([2.0, 2.0, -1.0])
+        expected = project_box_simplex(x, 0.8, np.full(3, 0.5))
+        np.testing.assert_allclose(composed.project(x), expected, atol=1e-12)
+
+    def test_dykstra_handles_generic_parts(self):
+        class HalfSpace(Constraint):
+            """c_0 <= 0.25 expressed operationally (not box_representable)."""
+
+            def is_satisfied(self, discounts, tolerance=1e-9):
+                return float(discounts[0]) <= 0.25 + tolerance
+
+            def project(self, x):
+                out = np.asarray(x, dtype=np.float64).copy()
+                out[0] = min(out[0], 0.25)
+                return out
+
+            def spec(self):
+                return {"type": "halfspace"}
+
+        composed = ComposedConstraint([BudgetConstraint(1.0), HalfSpace()])
+        assert not composed.box_representable
+        projected = composed.project(np.array([0.9, 0.9, 0.9]))
+        assert composed.is_satisfied(projected, tolerance=1e-6)
+        # Dykstra must land on the true Euclidean projection here: the
+        # intersection is a box∩simplex with upper = [0.25, 1, 1].
+        expected = project_box_simplex(
+            np.array([0.9, 0.9, 0.9]), 1.0, np.array([0.25, 1.0, 1.0])
+        )
+        np.testing.assert_allclose(projected, expected, atol=1e-6)
+
+    def test_spec_round_trip(self):
+        composed = ComposedConstraint([PerUserCap(0.5), BudgetConstraint(1.0)])
+        (rebuilt,) = constraints_from_spec(composed.spec())
+        assert isinstance(rebuilt, ComposedConstraint)
+        assert rebuilt.spec() == composed.spec()
+
+
+class TestResolvedConstraints:
+    def test_none_and_empty_resolve_to_none(self, chain_problem):
+        assert resolve_constraints(None, chain_problem) is None
+        assert resolve_constraints([], chain_problem) is None
+
+    def test_rejects_non_constraint_entries(self, chain_problem):
+        with pytest.raises(ConstraintError, match="Constraint"):
+            resolve_constraints([object()], chain_problem)
+
+    def test_slack_budget_is_trivial(self, chain_problem):
+        resolved = resolve_constraints(
+            BudgetConstraint(chain_problem.budget), chain_problem
+        )
+        assert resolved.is_trivial(chain_problem.budget)
+
+    def test_full_caps_normalize_to_none(self, chain_problem):
+        resolved = resolve_constraints(PerUserCap(1.0), chain_problem)
+        assert resolved.upper is None
+        assert resolved.is_trivial(chain_problem.budget)
+
+    def test_tight_budget_not_trivial(self, chain_problem):
+        resolved = resolve_constraints(BudgetConstraint(1.0), chain_problem)
+        assert not resolved.is_trivial(chain_problem.budget)
+        assert resolved.budget == 1.0
+
+    def test_budget_never_exceeds_problem_budget(self, chain_problem):
+        resolved = resolve_constraints(PerUserCap(0.5), chain_problem)
+        assert resolved.budget == chain_problem.budget
+
+    def test_pair_caps(self, chain_problem):
+        resolved = resolve_constraints(
+            [PerUserCap([0.2, 0.9, 1.0, 1.0, 0.0])], chain_problem
+        )
+        assert resolved.pair_caps(0, 1) == (0.2, 0.9)
+        uncapped = resolve_constraints(BudgetConstraint(1.0), chain_problem)
+        assert uncapped.pair_caps(0, 1) == (1.0, 1.0)
+
+    def test_eligible_at(self, chain_problem):
+        resolved = resolve_constraints(
+            PerUserCap([0.2, 0.5, 1.0, 1.0, 0.0]), chain_problem
+        )
+        assert resolved.eligible_at(0.5).tolist() == [1, 2, 3]
+        assert resolved.eligible_at(0.1).tolist() == [0, 1, 2, 3]
+        uncapped = resolve_constraints(BudgetConstraint(1.0), chain_problem)
+        assert uncapped.eligible_at(0.9) is None
+
+    def test_require_satisfied_raises_constraint_error(self, chain_problem):
+        resolved = resolve_constraints(PerUserCap(0.3), chain_problem)
+        resolved.require_satisfied(np.full(5, 0.3))
+        with pytest.raises(ConstraintError, match="violates"):
+            resolved.require_satisfied(np.full(5, 0.4))
+        # ConstraintError subclasses SolverError: existing except-sites hold.
+        with pytest.raises(SolverError):
+            resolved.require_satisfied(np.full(5, 0.4))
+
+    def test_projection_is_feasible(self, chain_problem):
+        resolved = resolve_constraints(
+            [PerUserCap(0.4), AccessSet([0, 1, 2]), BudgetConstraint(0.9)],
+            chain_problem,
+        )
+        projected = resolved.project(np.full(5, 0.8))
+        assert resolved.is_satisfied(projected)
+        assert projected[3] == 0.0 and projected[4] == 0.0
+
+    def test_spec_preserves_part_order(self, chain_problem):
+        resolved = resolve_constraints(
+            [PerUserCap(0.5), BudgetConstraint(1.0)], chain_problem
+        )
+        assert [entry["type"] for entry in resolved.spec()] == ["cap", "budget"]
+
+
+class TestSpecHelpers:
+    def test_constraint_spec_none_cases(self):
+        assert constraint_spec(None) is None
+        assert constraint_spec([]) is None
+
+    def test_constraint_spec_single_and_list(self):
+        single = constraint_spec(BudgetConstraint(1.0))
+        listed = constraint_spec([BudgetConstraint(1.0)])
+        assert single == listed == [{"type": "budget", "budget": 1.0}]
+
+    def test_from_spec_rejects_malformed_payloads(self):
+        with pytest.raises(ConstraintError):
+            constraints_from_spec("not a spec")
+        with pytest.raises(ConstraintError):
+            constraints_from_spec([{"no_type": True}])
+        with pytest.raises(ConstraintError, match="unknown"):
+            constraints_from_spec([{"type": "martian"}])
+        with pytest.raises(ConstraintError, match="missing"):
+            constraints_from_spec([{"type": "cap"}])
+
+    def test_full_round_trip(self):
+        original = [
+            BudgetConstraint(2.0),
+            PerUserCap(0.5),
+            AccessSet([1, 3]),
+            TopKAccess(4),
+            ComposedConstraint([PerUserCap(0.25), BudgetConstraint(1.0)]),
+        ]
+        spec = constraint_spec(original)
+        rebuilt = constraints_from_spec(spec)
+        assert constraint_spec(rebuilt) == spec
+
+
+class TestProjectionInputValidation:
+    """Regression: non-finite inputs must fail loudly, not corrupt KKT math."""
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -float("inf")])
+    def test_project_capped_simplex_rejects_non_finite(self, bad):
+        with pytest.raises(SolverError, match="finite"):
+            project_capped_simplex(np.array([0.5, bad, 0.2]), 1.0)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_project_box_simplex_rejects_non_finite(self, bad):
+        with pytest.raises(SolverError, match="finite"):
+            project_box_simplex(np.array([0.5, bad]), 1.0, np.array([0.5, 0.5]))
+
+    def test_finite_inputs_still_pass(self):
+        out = project_capped_simplex(np.array([0.5, 0.7]), 1.0)
+        assert np.all(np.isfinite(out))
+
+
+class TestConfigurationInterop:
+    def test_projected_warm_start_builds_valid_configuration(self, chain_problem):
+        resolved = resolve_constraints(
+            [PerUserCap(0.5), BudgetConstraint(1.0)], chain_problem
+        )
+        config = Configuration(resolved.project(np.full(5, 0.9)))
+        assert config.discounts.sum() <= 1.0 + 1e-9
+        resolved.require_satisfied(config.discounts)

@@ -33,12 +33,21 @@ class TestGenerateFullReport:
             "figure6_running_time",
             "table3_search_step",
             "table4_sensitivity",
+            "constrained_matrix",
             "metrics",
             "manifest",
         }
         assert set(written) == expected
         for path in written.values():
             assert path.exists()
+
+    def test_constrained_matrix_csv(self, report):
+        _, written = report
+        rows = read_records_csv(written["constrained_matrix"])
+        scenarios = {row["scenario"] for row in rows}
+        assert "unconstrained" in scenarios
+        assert len(scenarios) == 4
+        assert all(row["spread_mean"] > 0 for row in rows)
 
     def test_figure3_csv_readable(self, report):
         _, written = report

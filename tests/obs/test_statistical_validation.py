@@ -194,3 +194,118 @@ class TestLTAgainstExact:
         )
         sigma = estimate.stddev / np.sqrt(estimate.num_samples)
         assert abs(estimate.mean - exact) < 5.0 * sigma
+
+
+class TestConstrainedAgainstExact:
+    """Constrained UI(C) optimization validated against exact enumeration.
+
+    On the 6-node DAG the restricted feasible set is small enough to grid
+    exhaustively with the exact enumerator, giving a solver-free upper
+    reference: the constrained solver's solution, *scored exactly*, must
+    come within the 5-sigma estimator band of the best grid point, and the
+    hyper-graph estimate of that solution must agree with its exact value
+    at 5 sigma.  Everything is feasibility-checked in-suite.
+    """
+
+    THETA = 30_000
+
+    @pytest.fixture(scope="class")
+    def problem(self, dag):
+        from repro.core.problem import CIMProblem
+
+        population = CurvePopulation.uniform(dag.num_nodes, LinearCurve())
+        return CIMProblem(IndependentCascade(dag), population, budget=1.0)
+
+    @pytest.fixture(scope="class")
+    def hypergraph(self, problem):
+        return problem.build_hypergraph(num_hyperedges=self.THETA, seed=11)
+
+    def _grid_best(self, exact_ic, upper, budget, step):
+        """Exact max of UI(C) over the restricted feasible grid."""
+        import itertools
+
+        axes = [np.arange(0.0, u + 1e-9, step) for u in upper]
+        best = 0.0
+        for combo in itertools.product(*axes):
+            c = np.asarray(combo, dtype=np.float64)
+            if c.sum() > budget + 1e-9:
+                continue
+            best = max(best, exact_ic.expected_spread(c))
+        return best
+
+    @pytest.mark.parametrize("method", ["cd", "gradient"])
+    def test_access_set_solution_matches_exact_grid(
+        self, method, problem, hypergraph, exact_ic
+    ):
+        from repro.core.constraints import AccessSet, resolve_constraints
+        from repro.core.solvers import solve
+
+        allowed = [0, 2, 3]
+        constraints = [AccessSet(allowed)]
+        result = solve(
+            problem, method, hypergraph=hypergraph, seed=3, constraints=constraints
+        )
+        discounts = result.configuration.discounts
+        resolve_constraints(constraints, problem).require_satisfied(discounts)
+
+        n = problem.num_nodes
+        sigma = n * np.sqrt(0.25 / self.THETA)
+        # Estimator correctness on the constrained optimum (linear
+        # curves: q == c, so expected_spread IS exact UI).
+        exact_value = exact_ic.expected_spread(discounts)
+        assert abs(result.spread_estimate - exact_value) < 5.0 * sigma
+
+        # Optimization quality: exactly-scored solution within the
+        # 5-sigma band of the exhaustive restricted-grid optimum.
+        upper = np.zeros(n)
+        upper[allowed] = 1.0
+        grid_best = self._grid_best(exact_ic, upper, problem.budget, step=0.125)
+        assert exact_value > grid_best - 5.0 * sigma
+
+    @pytest.mark.parametrize("method", ["cd", "gradient", "fw"])
+    def test_per_user_cap_solution_matches_exact_grid(
+        self, method, problem, hypergraph, exact_ic
+    ):
+        from repro.core.constraints import PerUserCap, resolve_constraints
+        from repro.core.solvers import solve
+
+        constraints = [PerUserCap(0.4)]
+        result = solve(
+            problem, method, hypergraph=hypergraph, seed=5, constraints=constraints
+        )
+        discounts = result.configuration.discounts
+        resolve_constraints(constraints, problem).require_satisfied(discounts)
+
+        n = problem.num_nodes
+        sigma = n * np.sqrt(0.25 / self.THETA)
+        exact_value = exact_ic.expected_spread(discounts)
+        assert abs(result.spread_estimate - exact_value) < 5.0 * sigma
+
+        grid_best = self._grid_best(
+            exact_ic, np.full(n, 0.4), problem.budget, step=0.1
+        )
+        assert exact_value > grid_best - 5.0 * sigma
+
+    def test_composed_cap_and_access_matches_exact_grid(
+        self, problem, hypergraph, exact_ic
+    ):
+        from repro.core.constraints import AccessSet, PerUserCap, resolve_constraints
+        from repro.core.solvers import solve
+
+        allowed = [0, 1, 3, 4]
+        constraints = [PerUserCap(0.5), AccessSet(allowed)]
+        result = solve(
+            problem, "cd", hypergraph=hypergraph, seed=7, constraints=constraints
+        )
+        discounts = result.configuration.discounts
+        resolve_constraints(constraints, problem).require_satisfied(discounts)
+
+        n = problem.num_nodes
+        sigma = n * np.sqrt(0.25 / self.THETA)
+        exact_value = exact_ic.expected_spread(discounts)
+        assert abs(result.spread_estimate - exact_value) < 5.0 * sigma
+
+        upper = np.zeros(n)
+        upper[allowed] = 0.5
+        grid_best = self._grid_best(exact_ic, upper, problem.budget, step=0.125)
+        assert exact_value > grid_best - 5.0 * sigma

@@ -1,0 +1,195 @@
+"""Property-based tests for the constraint algebra and its projections.
+
+Three families pin down the tentpole guarantees of
+:mod:`repro.core.constraints`:
+
+* ``project_box_simplex`` is a *projection*: feasible, idempotent, and
+  variationally optimal, and it degrades bit-for-bit to
+  ``project_capped_simplex`` when every cap is 1;
+* the composed (box∩simplex) projection matches a grid-search oracle on
+  tiny instances, so the KKT-breakpoint fast path is exact, not merely
+  plausible;
+* resolving slack constraints is the identity: a budget no smaller than
+  the problem's, caps of 1, or access to everyone must collapse to the
+  trivial resolution — the hook :func:`repro.core.solvers.solve` uses to
+  keep unconstrained runs bit-identical.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.constraints import (
+    AccessSet,
+    BudgetConstraint,
+    ComposedConstraint,
+    PerUserCap,
+    TopKAccess,
+    resolve_constraints,
+)
+from repro.core.curves import LinearCurve
+from repro.core.gradient import project_box_simplex, project_capped_simplex
+from repro.core.population import CurvePopulation
+from repro.core.problem import CIMProblem
+from repro.diffusion.independent_cascade import IndependentCascade
+from repro.graphs.generators import erdos_renyi
+from repro.graphs.weights import assign_constant_probabilities
+
+coords = st.floats(min_value=-3.0, max_value=3.0, allow_nan=False)
+points = st.lists(coords, min_size=1, max_size=16)
+budgets = st.floats(min_value=0.0, max_value=8.0, allow_nan=False)
+caps = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+def _case(values, cap_values, budget):
+    """Align a point with a cap vector of the same length."""
+    x = np.array(values, dtype=np.float64)
+    upper = np.resize(np.array(cap_values, dtype=np.float64), x.size)
+    return x, upper, float(budget)
+
+
+def _random_feasible(rng, upper, budget):
+    z = rng.uniform(0.0, 1.0, size=upper.size) * upper
+    total = z.sum()
+    if total > budget and total > 0.0:
+        z *= budget / total
+    return np.minimum(z, upper)
+
+
+class TestBoxSimplexProjection:
+    @given(values=points, cap_values=st.lists(caps, min_size=1, max_size=16), budget=budgets)
+    @settings(max_examples=200, deadline=None)
+    def test_feasible_and_idempotent(self, values, cap_values, budget):
+        x, upper, budget = _case(values, cap_values, budget)
+        out = project_box_simplex(x, budget, upper)
+        assert np.all(out >= -1e-12)
+        assert np.all(out <= upper + 1e-9)
+        assert out.sum() <= budget + 1e-9
+        np.testing.assert_allclose(
+            project_box_simplex(out, budget, upper), out, atol=1e-9
+        )
+
+    @given(values=points, budget=budgets)
+    @settings(max_examples=200, deadline=None)
+    def test_unit_caps_match_capped_simplex_bitwise(self, values, budget):
+        # The no-op anchor: with every cap at 1 the generalized projection
+        # must reproduce the historical one exactly (not approximately).
+        x = np.array(values)
+        ones = np.ones(x.size)
+        assert np.array_equal(
+            project_box_simplex(x, budget, ones),
+            project_capped_simplex(x, budget),
+        )
+        assert np.array_equal(
+            project_box_simplex(x, budget, None),
+            project_capped_simplex(x, budget),
+        )
+
+    @given(
+        values=points,
+        cap_values=st.lists(caps, min_size=1, max_size=16),
+        budget=budgets,
+        seed=st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_no_feasible_point_is_closer(self, values, cap_values, budget, seed):
+        x, upper, budget = _case(values, cap_values, budget)
+        out = project_box_simplex(x, budget, upper)
+        rng = np.random.default_rng(seed)
+        best = float(np.sum((x - out) ** 2))
+        for _ in range(16):
+            z = _random_feasible(rng, upper, budget)
+            assert best <= float(np.sum((x - z) ** 2)) + 1e-9
+
+    @given(
+        values=st.lists(coords, min_size=1, max_size=4),
+        cap_values=st.lists(caps, min_size=1, max_size=4),
+        budget=st.floats(min_value=0.0, max_value=3.0, allow_nan=False),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_matches_grid_search_oracle(self, values, cap_values, budget):
+        # Independent oracle on <=4 dims: dense grid over the feasible
+        # box, keep the closest grid point that also satisfies the sum
+        # cap.  The true projection can beat the grid only by the grid
+        # resolution, never by more.
+        x, upper, budget = _case(values, cap_values, budget)
+        out = project_box_simplex(x, budget, upper)
+        step = 0.05
+        axes = [np.arange(0.0, u + step / 2, step) for u in np.minimum(upper, 1.0)]
+        mesh = np.meshgrid(*axes, indexing="ij")
+        grid = np.stack([m.ravel() for m in mesh], axis=1)
+        feasible = grid[grid.sum(axis=1) <= budget + 1e-12]
+        if feasible.size == 0:
+            return
+        distances = np.sum((feasible - x) ** 2, axis=1)
+        best_grid = float(distances.min())
+        ours = float(np.sum((x - out) ** 2))
+        # sqrt-distance gap bounded by the grid diagonal resolution.
+        assert np.sqrt(ours) <= np.sqrt(best_grid) + step * np.sqrt(x.size) + 1e-9
+
+
+class TestComposedProjectionOracle:
+    @given(
+        values=st.lists(coords, min_size=2, max_size=4),
+        cap=caps,
+        budget=st.floats(min_value=0.1, max_value=2.0, allow_nan=False),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_composition_equals_box_simplex_of_intersection(self, values, cap, budget):
+        x = np.array(values)
+        allowed = list(range(0, x.size, 2))  # every other node accessible
+        composed = ComposedConstraint(
+            [PerUserCap(cap), AccessSet(allowed), BudgetConstraint(budget)]
+        )
+        out = composed.project(x)
+        upper = np.zeros(x.size)
+        upper[allowed] = cap
+        expected = project_box_simplex(x, budget, upper)
+        np.testing.assert_allclose(out, expected, atol=1e-12)
+        assert composed.is_satisfied(out)
+
+
+class TestSlackConstraintsAreTrivial:
+    """Slackening every constraint to its loose end recovers `None`."""
+
+    @st.composite
+    def _problems(draw):
+        n = draw(st.integers(min_value=4, max_value=12))
+        seed = draw(st.integers(0, 1000))
+        graph = assign_constant_probabilities(
+            erdos_renyi(n, 0.3, seed=seed), probability=0.2
+        )
+        population = CurvePopulation.uniform(n, LinearCurve())
+        budget = draw(st.floats(min_value=0.5, max_value=4.0, allow_nan=False))
+        return CIMProblem(IndependentCascade(graph), population, budget=budget)
+
+    @given(problem=_problems(), slack=st.floats(min_value=0.0, max_value=5.0))
+    @settings(max_examples=40, deadline=None)
+    def test_loose_budget_cap_access_all_trivial(self, problem, slack):
+        resolved = resolve_constraints(
+            [
+                BudgetConstraint(problem.budget + slack),
+                PerUserCap(1.0),
+                AccessSet(range(problem.num_nodes)),
+                TopKAccess(problem.num_nodes),
+            ],
+            problem,
+        )
+        assert resolved.is_trivial(problem.budget)
+
+    @given(problem=_problems(), cap=st.floats(min_value=0.01, max_value=0.95))
+    @settings(max_examples=40, deadline=None)
+    def test_tight_cap_never_trivial(self, problem, cap):
+        resolved = resolve_constraints(PerUserCap(cap), problem)
+        assert not resolved.is_trivial(problem.budget)
+
+    @given(problem=_problems())
+    @settings(max_examples=30, deadline=None)
+    def test_projection_of_feasible_point_is_identity(self, problem):
+        rng = np.random.default_rng(7)
+        resolved = resolve_constraints(
+            [PerUserCap(0.5), BudgetConstraint(problem.budget)], problem
+        )
+        upper = np.full(problem.num_nodes, 0.5)
+        z = _random_feasible(rng, upper, resolved.budget)
+        np.testing.assert_allclose(resolved.project(z), z, atol=1e-9)

@@ -494,3 +494,172 @@ class TestSupervisionFlags:
         )
         assert code == 0
         assert "estimated spread" in capsys.readouterr().out
+
+
+class TestConstraintFlags:
+    def test_flags_parse_into_namespace(self):
+        args = build_parser().parse_args(
+            [
+                "solve",
+                "net.txt",
+                "--budget",
+                "4",
+                "--access-k",
+                "10",
+                "--user-cap",
+                "0.5",
+            ]
+        )
+        assert args.access_k == 10
+        assert args.user_cap == 0.5
+        assert args.constraint_json is None
+
+    @pytest.mark.parametrize(
+        "extra",
+        [
+            ["--access-k", "0"],
+            ["--access-k", "two"],
+            ["--user-cap", "1.5"],
+            ["--user-cap", "-0.1"],
+            ["--user-cap", "nan"],
+        ],
+    )
+    def test_bad_values_rejected_at_parse_time(self, extra, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "net.txt", "--budget", "4"] + extra)
+
+    def test_user_cap_reaches_the_solver(self, network_file, tmp_path, capsys):
+        plan = tmp_path / "plan.json"
+        code = main(
+            [
+                "solve",
+                str(network_file),
+                "--method",
+                "cd",
+                "--budget",
+                "4",
+                "--hyperedges",
+                "1000",
+                "--seed",
+                "3",
+                "--user-cap",
+                "0.5",
+                "-o",
+                str(plan),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "constraints active: cap" in out
+        payload = json.loads(plan.read_text())
+        discounts = payload["configuration"]["discounts"]  # sparse {node: c}
+        assert all(c <= 0.5 + 1e-9 for c in discounts.values())
+        assert payload["extras"]["constraints"] == [{"type": "cap", "cap": 0.5}]
+
+    def test_access_k_restricts_support(self, network_file, capsys):
+        code = main(
+            [
+                "solve",
+                str(network_file),
+                "--method",
+                "ud",
+                "--budget",
+                "4",
+                "--hyperedges",
+                "1000",
+                "--seed",
+                "3",
+                "--access-k",
+                "5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "constraints active: access" in out
+        # at most 5 users hold discounts
+        targeted = int(out.split("users targeted")[0].rsplit(",", 1)[1].strip())
+        assert targeted <= 5
+
+    def test_constraint_json_inline_and_file(self, network_file, tmp_path, capsys):
+        spec = '[{"type": "cap", "cap": 0.4}, {"type": "budget", "budget": 2.0}]'
+        inline = main(
+            [
+                "solve",
+                str(network_file),
+                "--budget",
+                "4",
+                "--hyperedges",
+                "800",
+                "--seed",
+                "3",
+                "--constraint-json",
+                spec,
+            ]
+        )
+        assert inline == 0
+        assert "constraints active: cap, budget" in capsys.readouterr().out
+
+        spec_file = tmp_path / "constraints.json"
+        spec_file.write_text(spec, encoding="utf-8")
+        from_file = main(
+            [
+                "solve",
+                str(network_file),
+                "--budget",
+                "4",
+                "--hyperedges",
+                "800",
+                "--seed",
+                "3",
+                "--constraint-json",
+                str(spec_file),
+            ]
+        )
+        assert from_file == 0
+        assert "constraints active: cap, budget" in capsys.readouterr().out
+
+    def test_malformed_constraint_json_fails_cleanly(self, network_file, capsys):
+        code = main(
+            [
+                "solve",
+                str(network_file),
+                "--budget",
+                "4",
+                "--constraint-json",
+                "{not json",
+            ]
+        )
+        assert code == 1
+        assert "constraint-json" in capsys.readouterr().err
+
+    def test_unknown_constraint_type_fails_cleanly(self, network_file, capsys):
+        code = main(
+            [
+                "solve",
+                str(network_file),
+                "--budget",
+                "4",
+                "--constraint-json",
+                '[{"type": "martian"}]',
+            ]
+        )
+        assert code == 1
+        assert "unknown constraint type" in capsys.readouterr().err
+
+    def test_slack_constraints_print_nothing(self, network_file, capsys):
+        code = main(
+            [
+                "solve",
+                str(network_file),
+                "--budget",
+                "4",
+                "--hyperedges",
+                "800",
+                "--seed",
+                "3",
+                "--user-cap",
+                "1.0",
+            ]
+        )
+        assert code == 0
+        assert "constraints active" not in capsys.readouterr().out
