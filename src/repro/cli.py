@@ -314,6 +314,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="wall-clock budget; on expiry the best feasible partial plan "
         "found so far is returned (marked partial) instead of failing",
     )
+    slv.add_argument(
+        "--storage",
+        choices=("heap", "shared"),
+        default=None,
+        help="RR-set transport for the hyper-graph build: 'heap' pickles "
+        "sampled chunks back through the worker pool (default), 'shared' "
+        "writes them into memory-mapped slabs (bit-identical, near-zero "
+        "pickling; see docs/performance.md)",
+    )
+    slv.add_argument(
+        "--slab-dir",
+        default=None,
+        metavar="DIR",
+        help="slab root for --storage shared (default: $REPRO_SLAB_DIR, "
+        "else /dev/shm, else the system temp dir)",
+    )
     _add_workers_argument(slv)
     _add_supervision_arguments(slv)
     _add_constraint_arguments(slv)
@@ -473,6 +489,8 @@ def _cmd_solve(args) -> int:
         workers=args.workers,
         supervision=_supervision_from_args(args),
         constraints=_constraints_from_args(args),
+        storage=args.storage,
+        slab_dir=args.slab_dir,
         **options,
     )
     support = result.configuration.support

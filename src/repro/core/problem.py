@@ -130,6 +130,8 @@ class CIMProblem:
         deadline: "DeadlineLike" = None,
         workers: Optional[int] = None,
         supervision=None,
+        storage: Optional[str] = None,
+        slab_dir=None,
         **adaptive_options,
     ) -> RRHypergraph:
         """Build the random hyper-graph shared by the Section-8 solvers.
@@ -146,6 +148,12 @@ class CIMProblem:
         it, and ``supervision`` sets the pooled build's recovery policy
         (see :mod:`repro.parallel.supervisor`); see
         :meth:`repro.rrset.hypergraph.RRHypergraph.build`.
+
+        ``storage`` selects the RR-set transport: ``"heap"`` (default)
+        pickles sampled chunks back through the pool, ``"shared"`` has
+        workers write member streams into memory-mapped slabs under
+        ``slab_dir`` (see :mod:`repro.rrset.storage`).  Both modes
+        produce bit-identical hyper-graphs.
         """
         if num_hyperedges == "auto":
             from repro.rrset.adaptive import adaptive_hypergraph
@@ -156,6 +164,8 @@ class CIMProblem:
                 deadline=deadline,
                 workers=workers,
                 supervision=supervision,
+                storage=storage,
+                slab_dir=slab_dir,
                 **adaptive_options,
             ).hypergraph
         if isinstance(num_hyperedges, str):
@@ -179,4 +189,6 @@ class CIMProblem:
             deadline=deadline,
             workers=workers,
             supervision=supervision,
+            storage=storage,
+            slab_dir=slab_dir,
         )

@@ -432,6 +432,8 @@ def solve(
     workers: Optional[int] = None,
     supervision: "SupervisionLike" = None,
     constraints: "ConstraintLike" = None,
+    storage: Optional[str] = None,
+    slab_dir=None,
     **options,
 ) -> SolveResult:
     """Run one CIM strategy end to end.
@@ -490,6 +492,13 @@ def solve(
         reproduce unconstrained results bit for bit at any worker count.
         Active constraints are recorded in ``extras["constraints"]`` and
         the returned configuration is verified feasible.
+    storage / slab_dir:
+        RR-set transport for the hyper-graph build: ``"heap"`` (default)
+        pickles sampled chunks back through the pool, ``"shared"`` has
+        workers write member streams into memory-mapped slabs under
+        ``slab_dir`` (:mod:`repro.rrset.storage`).  Never changes
+        results — both modes are bit-identical; ignored when a prebuilt
+        ``hypergraph`` is passed.
     options:
         Method-specific knobs (``step``, ``grid_step``, ``max_rounds``...).
     """
@@ -549,6 +558,8 @@ def solve(
             # here (deterministic, hyper-graph-free).
             resolved_constraints = resolve(None)
             with timings.phase("hypergraph"):
+                adaptive_options.setdefault("storage", storage)
+                adaptive_options.setdefault("slab_dir", slab_dir)
                 adaptive_result = adaptive_hypergraph(
                     problem,
                     seed=seed,
@@ -576,6 +587,8 @@ def solve(
                     deadline=run_budget,
                     workers=workers,
                     supervision=supervision,
+                    storage=storage,
+                    slab_dir=slab_dir,
                 )
             hypergraph_truncated = hypergraph.num_hyperedges < requested
         else:

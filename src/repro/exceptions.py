@@ -18,6 +18,7 @@ __all__ = [
     "ConstraintError",
     "ConvergenceWarning",
     "EstimationError",
+    "StorageError",
     "DeadlineExceeded",
     "CheckpointError",
     "PartialResultWarning",
@@ -90,6 +91,13 @@ class ConvergenceWarning(UserWarning):
 
 class EstimationError(ReproError, ValueError):
     """Raised for invalid estimation parameters (epsilon, delta, samples)."""
+
+
+class StorageError(ReproError, ValueError):
+    """Raised for hyper-graph storage failures: dtype-policy overflow
+    (a member stream too wide for any supported width) or a torn /
+    incomplete slab file that cannot be assembled.
+    """
 
 
 class DeadlineExceeded(ReproError, TimeoutError):

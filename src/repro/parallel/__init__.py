@@ -25,6 +25,7 @@ flag).
 
 from repro.parallel.pool import (
     DEFAULT_CHUNK_SIZE,
+    MAX_CHUNKS,
     WORKERS_ENV_VAR,
     partition_chunks,
     resolve_workers,
@@ -40,6 +41,7 @@ from repro.parallel.supervisor import (
 
 __all__ = [
     "DEFAULT_CHUNK_SIZE",
+    "MAX_CHUNKS",
     "WORKERS_ENV_VAR",
     "partition_chunks",
     "resolve_workers",

@@ -60,6 +60,7 @@ from repro.runtime.faults import maybe_inject
 
 __all__ = [
     "DEFAULT_CHUNK_SIZE",
+    "MAX_CHUNKS",
     "WORKERS_ENV_VAR",
     "resolve_workers",
     "partition_chunks",
@@ -131,11 +132,23 @@ def resolve_workers(workers: Union[int, str, None] = None) -> int:
     return workers
 
 
+#: Hard ceiling on chunks per plan.  Chunk indices flow into per-chunk
+#: seed-sequence spawning, slab file stems and uint32 bookkeeping arrays;
+#: a plan wider than this could silently alias indices downstream, so the
+#: partitioner refuses it up front.  In practice this bounds theta at
+#: ``MAX_CHUNKS * chunk_size`` (~10^12 RR sets at the default size) —
+#: far beyond anything a real run requests.
+MAX_CHUNKS = (1 << 32) - 1
+
+
 def partition_chunks(count: int, chunk_size: Optional[int] = None) -> List[int]:
     """Split ``count`` work items into fixed chunk sizes.
 
     The layout is a pure function of ``(count, chunk_size)`` — the
-    foundation of cross-worker determinism.
+    foundation of cross-worker determinism.  Every chunk is non-empty
+    (no zero-length trailing chunk) and the sizes sum to ``count``
+    exactly; plans wider than :data:`MAX_CHUNKS` are rejected rather
+    than risking index overflow in downstream bookkeeping.
 
     >>> partition_chunks(600, 256)
     [256, 256, 88]
@@ -146,6 +159,13 @@ def partition_chunks(count: int, chunk_size: Optional[int] = None) -> List[int]:
     if size <= 0:
         raise ConfigurationError(f"chunk_size must be positive, got {size}")
     full, rest = divmod(count, size)
+    num_chunks = full + (1 if rest else 0)
+    if num_chunks > MAX_CHUNKS:
+        raise ConfigurationError(
+            f"count={count} at chunk_size={size} needs {num_chunks} chunks, "
+            f"exceeding the {MAX_CHUNKS} chunk-index ceiling; "
+            "raise chunk_size to keep the plan addressable"
+        )
     return [size] * full + ([rest] if rest else [])
 
 

@@ -47,6 +47,15 @@ failed attempt.  Innocent bystanders therefore spend retry budget
 alongside the true poison chunk; the ``"serial"`` poison policy and the
 serial-fallback backstop both rescue them, and the default budget
 (``max_chunk_retries=2``) tolerates two cohort losses.
+
+Side-effectful chunk tasks: re-dispatch means a chunk task may run more
+than once (and a killed attempt may have completed part of its side
+effects).  Tasks that write outside the pool — e.g. the shared-storage
+sampler writing RR-set slabs (:mod:`repro.rrset.storage`) — must be
+idempotent with byte-identical output per ``(chunk, seed)``, so a retry
+simply overwrites any partial artifact of the dead attempt (last writer
+wins).  Tasks that only *return* values get this for free from the
+deterministic seed plan.
 """
 
 from __future__ import annotations

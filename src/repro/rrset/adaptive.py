@@ -41,7 +41,8 @@ from repro.parallel.supervisor import SupervisionLike
 from repro.rrset.estimator import HypergraphObjective
 from repro.rrset.hypergraph import RRHypergraph
 from repro.rrset.sample_size import default_num_rr_sets
-from repro.rrset.sampler import sample_rr_sets
+from repro.rrset.sampler import sample_rr_csr, sample_rr_sets
+from repro.rrset.storage import resolve_storage
 from repro.runtime.checkpoint import CheckpointStore, content_key
 from repro.runtime.deadline import DeadlineLike, as_deadline
 from repro.utils.rng import SeedLike, as_root_sequence
@@ -214,6 +215,8 @@ def adaptive_hypergraph(
     gradient_max_steps: int = 200,
     gradient_tolerance: float = 1e-3,
     constraints: Optional["ResolvedConstraints"] = None,
+    storage: Optional[str] = None,
+    slab_dir: Optional[Union[str, Path]] = None,
 ) -> AdaptiveResult:
     """Sample adaptively and return the certified CD solution.
 
@@ -290,6 +293,13 @@ def adaptive_hypergraph(
         descent honours them, and the constraint spec becomes part of the
         checkpoint content key — a constrained run never resumes an
         unconstrained run's instalments (or vice versa).
+    storage, slab_dir:
+        ``storage="shared"`` samples each instalment through memory-mapped
+        slabs (:func:`~repro.rrset.sampler.sample_rr_csr`) and appends it
+        with :meth:`RRHypergraph.extend_csr` — zero pickling of member
+        arrays.  Never part of the checkpoint content key: both modes
+        produce bit-identical hyper-graphs, so checkpoints written under
+        one mode resume under the other.
     """
     # Function-level imports: repro.core imports repro.rrset at module
     # scope, so the reverse edge must be deferred to call time.
@@ -306,6 +316,7 @@ def adaptive_hypergraph(
         if constraints is not None and constraints.is_trivial(problem.budget):
             constraints = None
 
+    storage_mode = resolve_storage(storage)
     n = problem.num_nodes
     if n <= 0:
         raise EstimationError("cannot sample RR sets of an empty graph")
@@ -414,28 +425,59 @@ def adaptive_hypergraph(
                 salvaged_fault: Optional[WorkerPoolError] = None
                 with timings.phase("sample"):
                     try:
-                        rr_sets = sample_rr_sets(
-                            problem.model,
-                            target - built,
-                            seed=root,
-                            deadline=budget_clock,
-                            workers=workers,
-                            chunk_size=chunk_size,
-                            start_at=built,
-                            supervision=supervision,
-                        )
+                        if storage_mode == "shared":
+                            new_sizes, new_members = sample_rr_csr(
+                                problem.model,
+                                target - built,
+                                seed=root,
+                                deadline=budget_clock,
+                                workers=workers,
+                                chunk_size=chunk_size,
+                                start_at=built,
+                                supervision=supervision,
+                                storage="shared",
+                                slab_dir=slab_dir,
+                            )
+                        else:
+                            rr_sets = sample_rr_sets(
+                                problem.model,
+                                target - built,
+                                seed=root,
+                                deadline=budget_clock,
+                                workers=workers,
+                                chunk_size=chunk_size,
+                                start_at=built,
+                                supervision=supervision,
+                            )
                     except WorkerPoolError as exc:
                         if hypergraph is None or hypergraph.num_hyperedges == 0:
                             raise  # nothing completed yet: nothing to salvage
                         salvaged_fault = exc
                     else:
-                        sampled += len(rr_sets)
-                        if hypergraph is None:
-                            hypergraph = RRHypergraph(n, rr_sets)
+                        if storage_mode == "shared":
+                            sampled += int(new_sizes.size)
+                            if hypergraph is None:
+                                offsets = np.zeros(
+                                    new_sizes.size + 1, dtype=np.int64
+                                )
+                                np.cumsum(new_sizes, out=offsets[1:])
+                                hypergraph = RRHypergraph.from_csr(
+                                    n, offsets, new_members
+                                )
+                            else:
+                                hypergraph = hypergraph.extend_csr(
+                                    new_sizes, new_members
+                                )
+                                if objective is not None:
+                                    objective.extend(hypergraph)
                         else:
-                            hypergraph = hypergraph.extend(rr_sets)
-                            if objective is not None:
-                                objective.extend(hypergraph)
+                            sampled += len(rr_sets)
+                            if hypergraph is None:
+                                hypergraph = RRHypergraph(n, rr_sets)
+                            else:
+                                hypergraph = hypergraph.extend(rr_sets)
+                                if objective is not None:
+                                    objective.extend(hypergraph)
                 if salvaged_fault is not None:
                     stop_reason = "fault"
                     metrics.inc("adaptive.salvaged_total")

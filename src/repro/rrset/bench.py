@@ -38,6 +38,18 @@ under the ``solver_matrix`` key (its checks folded into the top-level
     PYTHONPATH=src python -m repro.rrset.bench --solvers
     PYTHONPATH=src python -m repro.rrset.bench --solvers --smoke
 
+``--scale`` runs the million-node storage benchmark instead: the
+com-DBLP analogue at published SNAP size (~2.1M directed edges) sampled
+through both RR-set transports — heap pickling and shared memory-mapped
+slabs (:mod:`repro.rrset.storage`) — across a worker sweep, followed by
+hyper-graph assembly and an end-to-end UD solve on each mode's arrays.
+The record (``BENCH_scale.json``) pins bit-identity across modes and
+worker counts, ~zero pickled bytes per chunk in shared mode, wall-clock
+scaling (CPU-gated), peak RSS, and the narrowed CSR dtypes::
+
+    PYTHONPATH=src python -m repro.rrset.bench --scale
+    PYTHONPATH=src python -m repro.rrset.bench --scale --smoke --rss-budget 4096
+
 ``docs/performance.md`` documents the JSON schema and how to interpret
 the numbers; ``benchmarks/test_cd_kernel.py`` wraps the same functions in
 the pytest-benchmark harness.
@@ -81,10 +93,12 @@ __all__ = [
     "run_kernel_benchmark",
     "run_adaptive_benchmark",
     "run_solver_benchmark",
+    "run_scale_benchmark",
     "write_report",
     "format_report",
     "format_adaptive_report",
     "format_solver_report",
+    "format_scale_report",
     "merge_solver_matrix",
     "main",
 ]
@@ -178,7 +192,7 @@ def build_cd_workload(
     problem = CIMProblem(IndependentCascade(graph), population, budget=budget)
     rr_list = sample_rr_sets(problem.model, rr_sets, seed=seed + 2)
     hypergraph = RRHypergraph(nodes, rr_list)
-    degrees = np.diff(hypergraph.node_offsets)
+    degrees = hypergraph.degrees()
     coords = np.sort(np.argsort(-degrees, kind="stable")[:support]).astype(np.int64)
     discounts = np.zeros(nodes, dtype=np.float64)
     discounts[coords] = min(1.0, budget / coords.size)
@@ -745,6 +759,287 @@ def run_solver_benchmark(
     }
 
 
+#: Scale-benchmark shapes (``--scale``).  FULL is the million-node push:
+#: the com-DBLP analogue at published SNAP size (~317k nodes, ~2.1M
+#: directed edges); SMOKE shrinks the graph to CI scale but exercises the
+#: identical code path (slab store, dtype policy, worker sweep).
+SCALE = dict(graph_scale=1.0, rr_sets=20_000, budget=50.0)
+SCALE_SMOKE = dict(graph_scale=0.02, rr_sets=2_000, budget=10.0)
+
+_SCALE_WORKERS = (1, 2, 4)
+_SCALE_SMOKE_WORKERS = (1, 2)
+
+#: Pickle volume allowed per chunk in shared mode: a SlabRef is ~100
+#: bytes; anything over 1 KiB means member payloads leaked back into the
+#: pickle stream.
+_PICKLE_PER_CHUNK_LIMIT = 1024
+
+
+def _peak_rss_mb() -> Optional[float]:
+    """Peak RSS of this process and its pool workers, in MiB."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    peak = max(
+        resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss,
+    )
+    if sys.platform == "darwin":  # pragma: no cover - ru_maxrss is bytes there
+        return peak / (1024.0 * 1024.0)
+    return peak / 1024.0
+
+
+def _digest_csr(sizes: np.ndarray, members: np.ndarray) -> str:
+    """Canonical content hash of a CSR stream (dtype-independent)."""
+    hasher = hashlib.sha256()
+    hasher.update(np.ascontiguousarray(sizes, dtype=np.int64).tobytes())
+    hasher.update(np.ascontiguousarray(members, dtype=np.int64).tobytes())
+    return hasher.hexdigest()
+
+
+def run_scale_benchmark(
+    graph_scale: float,
+    rr_sets: int,
+    budget: float,
+    workers: Sequence[int] = _SCALE_WORKERS,
+    seed: int = SEED,
+    rss_budget_mb: Optional[float] = None,
+    required_edges: int = 0,
+    **_ignored,
+) -> Dict:
+    """End-to-end solve at SNAP scale: shared slabs vs heap pickling.
+
+    Builds the com-DBLP analogue at ``graph_scale`` (1.0 reproduces the
+    published ~2.1M directed edges), samples the same chunk plan through
+    both storage modes — heap once at the largest worker count, shared at
+    every count in ``workers`` — then assembles the hyper-graph and runs
+    a UD solve on each mode's arrays.  The named checks pin the contract:
+    every sampled stream is bit-identical across modes and worker counts,
+    the shared mode pickles ~nothing per chunk (only SlabRefs cross the
+    pool), both solves return the same discounts, and — when the machine
+    actually has cores to scale onto — sampling speeds up at least 1.6x
+    from 1 to the largest worker count.  ``rss_budget_mb`` turns the
+    recorded peak RSS into a regression-guard check.
+    """
+    from repro.core.solvers import solve
+    from repro.graphs.generators import com_dblp_like
+    from repro.parallel.pool import partition_chunks
+    from repro.rrset.sampler import sample_rr_csr
+
+    start = time.perf_counter()
+    graph = assign_weighted_cascade(com_dblp_like(scale=graph_scale, seed=seed), alpha=1.0)
+    graph_seconds = time.perf_counter() - start
+    nodes = graph.num_nodes
+    population = paper_mixture(nodes, seed=seed + 1)
+    problem = CIMProblem(IndependentCascade(graph), population, budget=budget)
+    chunks = len(partition_chunks(rr_sets))
+    max_workers = max(workers)
+
+    # -- heap baseline: members pickled back through the pool -----------
+    registry = MetricsRegistry()
+    with observe(metrics=registry):
+        start = time.perf_counter()
+        heap_sizes, heap_members = sample_rr_csr(
+            problem.model, rr_sets, seed=seed + 2, workers=max_workers, storage="heap"
+        )
+        heap_seconds = time.perf_counter() - start
+    heap_counters = registry.snapshot()["counters"]
+    heap_pickled = int(heap_counters.get("storage.pickled_bytes_total", 0))
+    heap_row = {
+        "workers": max_workers,
+        "seconds": heap_seconds,
+        "pickled_bytes": heap_pickled,
+        "pickled_bytes_per_chunk": heap_pickled / max(chunks, 1),
+        "digest": _digest_csr(heap_sizes, heap_members),
+    }
+
+    # -- shared slabs at every worker count -----------------------------
+    shared_rows: List[Dict] = []
+    shared_arrays = None
+    for count in workers:
+        registry = MetricsRegistry()
+        with observe(metrics=registry):
+            start = time.perf_counter()
+            sizes, members = sample_rr_csr(
+                problem.model, rr_sets, seed=seed + 2, workers=count, storage="shared"
+            )
+            seconds = time.perf_counter() - start
+        counters = registry.snapshot()["counters"]
+        pickled = int(counters.get("storage.pickled_bytes_total", 0))
+        row_chunks = int(counters.get("storage.slab_chunks_total", 0))
+        shared_rows.append(
+            {
+                "workers": count,
+                "seconds": seconds,
+                "pickled_bytes": pickled,
+                "pickled_bytes_per_chunk": pickled / max(row_chunks, 1),
+                "slab_bytes": int(counters.get("storage.slab_bytes_total", 0)),
+                "chunks": row_chunks,
+                "digest": _digest_csr(sizes, members),
+            }
+        )
+        if count == max_workers:
+            shared_arrays = (sizes, members)
+    shared_sizes, shared_members = shared_arrays
+
+    cpu_count = os.cpu_count() or 1
+    cpu_limited = cpu_count < max_workers
+    t_serial = next(r["seconds"] for r in shared_rows if r["workers"] == workers[0])
+    t_wide = next(r["seconds"] for r in shared_rows if r["workers"] == max_workers)
+    sampling_speedup = t_serial / max(t_wide, 1e-12)
+
+    # -- hypergraph assembly + UD solve on each mode's arrays -----------
+    def build(sizes: np.ndarray, members: np.ndarray) -> RRHypergraph:
+        offsets = np.zeros(sizes.size + 1, dtype=np.int64)
+        np.cumsum(sizes, out=offsets[1:])
+        return RRHypergraph.from_csr(nodes, offsets, members)
+
+    start = time.perf_counter()
+    hg_shared = build(shared_sizes, shared_members)
+    hypergraph_seconds = time.perf_counter() - start
+    hg_heap = build(heap_sizes, heap_members)
+
+    start = time.perf_counter()
+    result_shared = solve(problem, "ud", hypergraph=hg_shared, seed=seed + 3)
+    solve_seconds = time.perf_counter() - start
+    result_heap = solve(problem, "ud", hypergraph=hg_heap, seed=seed + 3)
+    solver_identical = bool(
+        np.array_equal(
+            result_shared.configuration.discounts,
+            result_heap.configuration.discounts,
+        )
+    )
+
+    peak_rss = _peak_rss_mb()
+    digests = [heap_row["digest"]] + [row["digest"] for row in shared_rows]
+    checks = {
+        "graph_edges_ok": graph.num_edges >= required_edges,
+        "hypergraph_identical": len(set(digests)) == 1,
+        "solver_identical": solver_identical,
+        "pickled_members_near_zero": all(
+            row["pickled_bytes_per_chunk"] <= _PICKLE_PER_CHUNK_LIMIT
+            for row in shared_rows
+        ),
+        # The worker sweep can only demonstrate scaling on a machine that
+        # has the cores; a CPU-starved box still validates bit-identity.
+        "sampling_speedup_ok": (sampling_speedup >= 1.6) if not cpu_limited else True,
+        "rss_within_budget": (
+            True
+            if rss_budget_mb is None or peak_rss is None
+            else peak_rss <= rss_budget_mb
+        ),
+    }
+    return {
+        "schema": SCHEMA,
+        "summary": _summary(
+            "scale-storage",
+            baseline_seconds=heap_seconds,
+            candidate_seconds=t_wide,
+            checks=checks,
+        ),
+        "config": {
+            "graph": "com_dblp_like",
+            "graph_scale": graph_scale,
+            "rr_sets": rr_sets,
+            "budget": budget,
+            "seed": seed,
+            "workers": list(workers),
+            "rss_budget_mb": rss_budget_mb,
+            "required_edges": required_edges,
+        },
+        "machine": {
+            "cpu_count": cpu_count,
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "results": {
+            "graph": {
+                "nodes": int(nodes),
+                "edges": int(graph.num_edges),
+                "build_seconds": graph_seconds,
+            },
+            "sampling": {
+                "heap": heap_row,
+                "shared": shared_rows,
+                "speedup": sampling_speedup,
+                "cpu_limited": cpu_limited,
+            },
+            "hypergraph": {
+                "build_seconds": hypergraph_seconds,
+                "num_hyperedges": int(hg_shared.num_hyperedges),
+                "member_entries": int(hg_shared.edge_nodes.size),
+                "dtypes": {
+                    "edge_offsets": str(hg_shared.edge_offsets.dtype),
+                    "edge_nodes": str(hg_shared.edge_nodes.dtype),
+                    "node_offsets": str(hg_shared.node_offsets.dtype),
+                    "node_edges": str(hg_shared.node_edges.dtype),
+                },
+            },
+            "solve": {
+                "method": "ud",
+                "seconds": solve_seconds,
+                "objective_value": float(result_shared.spread_estimate),
+                "budget_spent": float(result_shared.cost),
+                "storage_identical": solver_identical,
+            },
+            "memory": {
+                "peak_rss_mb": peak_rss,
+                "rss_budget_mb": rss_budget_mb,
+            },
+        },
+        "determinism": {
+            "workers": list(workers),
+            "digest": digests[0],
+            "identical": len(set(digests)) == 1,
+        },
+    }
+
+
+def format_scale_report(report: Dict) -> str:
+    """Human-readable view of a scale-storage benchmark payload."""
+    cfg = report["config"]
+    res = report["results"]
+    sampling = res["sampling"]
+    lines = [
+        f"scale storage — {cfg['graph']} x{cfg['graph_scale']:g}: "
+        f"n={res['graph']['nodes']} m={res['graph']['edges']} "
+        f"theta={cfg['rr_sets']} (cpus={report['machine']['cpu_count']})",
+        f"{'mode':>8s} {'workers':>8s} {'seconds':>9s} {'pickled/chunk':>14s}",
+    ]
+    heap = sampling["heap"]
+    lines.append(
+        f"{'heap':>8s} {heap['workers']:8d} {heap['seconds']:8.3f}s "
+        f"{heap['pickled_bytes_per_chunk']:13.0f}B"
+    )
+    for row in sampling["shared"]:
+        lines.append(
+            f"{'shared':>8s} {row['workers']:8d} {row['seconds']:8.3f}s "
+            f"{row['pickled_bytes_per_chunk']:13.0f}B"
+        )
+    lines.append(
+        "sampling speedup %.2fx (%s); hypergraph %ss %s; solve %.3fs spread %.2f"
+        % (
+            sampling["speedup"],
+            "cpu-limited" if sampling["cpu_limited"] else "scaled",
+            f"{res['hypergraph']['build_seconds']:.3f}",
+            res["hypergraph"]["dtypes"]["edge_nodes"],
+            res["solve"]["seconds"],
+            res["solve"]["objective_value"],
+        )
+    )
+    peak = res["memory"]["peak_rss_mb"]
+    if peak is not None:
+        budget = res["memory"]["rss_budget_mb"]
+        lines.append(
+            "peak rss %.0f MiB%s"
+            % (peak, f" (budget {budget:.0f})" if budget is not None else "")
+        )
+    checks = report["summary"]["checks"]
+    lines.append("checks: " + " ".join(f"{name}={ok}" for name, ok in checks.items()))
+    return "\n".join(lines)
+
+
 def merge_solver_matrix(report: Dict, path: str) -> Dict:
     """Fold a solver-matrix report into an existing kernel report.
 
@@ -909,6 +1204,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "one shared hyper-graph; merges into BENCH_cd.json",
     )
     parser.add_argument(
+        "--scale",
+        action="store_true",
+        help="benchmark shared-slab vs heap storage on the SNAP-size "
+        "com-DBLP analogue (end-to-end solve, worker sweep, peak RSS); "
+        "writes BENCH_scale.json",
+    )
+    parser.add_argument(
+        "--scale-factor",
+        type=float,
+        default=None,
+        help="graph size multiplier for --scale (default 1.0 full, "
+        "0.02 smoke)",
+    )
+    parser.add_argument(
+        "--rss-budget",
+        type=float,
+        default=None,
+        metavar="MIB",
+        help="fail --scale when peak RSS exceeds this many MiB "
+        "(regression guard)",
+    )
+    parser.add_argument(
         "--epsilon",
         type=float,
         default=None,
@@ -970,7 +1287,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     else:
         workers = tuple(int(w) for w in str(args.workers).split(",") if w.strip())
 
-    if args.adaptive:
+    if args.scale:
+        scale_shape = dict(SCALE_SMOKE if args.smoke else SCALE)
+        if args.scale_factor is not None:
+            scale_shape["graph_scale"] = args.scale_factor
+        if args.rr_sets is not None:
+            scale_shape["rr_sets"] = args.rr_sets
+        if args.budget is not None:
+            scale_shape["budget"] = args.budget
+        if args.workers is None:
+            workers = _SCALE_SMOKE_WORKERS if args.smoke else _SCALE_WORKERS
+        out = args.out or "BENCH_scale.json"
+        report = run_scale_benchmark(
+            workers=workers,
+            seed=args.seed,
+            rss_budget_mb=args.rss_budget,
+            required_edges=0 if args.smoke else 2_000_000,
+            **scale_shape,
+        )
+        write_report(report, out)
+        print(format_scale_report(report))
+    elif args.adaptive:
         epsilon = args.epsilon if args.epsilon is not None else (0.15 if args.smoke else 0.05)
         out = args.out or "BENCH_adaptive.json"
         report = run_adaptive_benchmark(

@@ -169,7 +169,11 @@ class HypergraphObjective:
         sizes = np.diff(hypergraph.edge_offsets)
         self._nonempty_edges = sizes > 0
         self._any_empty = not bool(self._nonempty_edges.all())
-        self._reduce_starts = hypergraph.edge_offsets[:-1][self._nonempty_edges]
+        # int64 copy: reduceat geometry must be signed regardless of the
+        # hyper-graph's (possibly unsigned, narrowed) offset dtype.
+        self._reduce_starts = np.asarray(
+            hypergraph.edge_offsets[:-1][self._nonempty_edges], dtype=np.int64
+        )
 
         self._covered_sum = 0.0
         self._scan_stale = False
@@ -356,7 +360,9 @@ class HypergraphObjective:
         zero_tail = np.zeros(added, dtype=np.int64)
         prod_tail = np.ones(added, dtype=np.float64)
         tail_nodes = hypergraph.edge_nodes[old_stream:]
-        tail_offsets = hypergraph.edge_offsets[old_m:] - old_stream
+        tail_offsets = (
+            np.asarray(hypergraph.edge_offsets[old_m:], dtype=np.int64) - old_stream
+        )
         tail_sizes = np.diff(tail_offsets)
         tail_nonempty = tail_sizes > 0
         if tail_nodes.size:
@@ -376,7 +382,9 @@ class HypergraphObjective:
         sizes = np.diff(hypergraph.edge_offsets)
         self._nonempty_edges = sizes > 0
         self._any_empty = not bool(self._nonempty_edges.all())
-        self._reduce_starts = hypergraph.edge_offsets[:-1][self._nonempty_edges]
+        self._reduce_starts = np.asarray(
+            hypergraph.edge_offsets[:-1][self._nonempty_edges], dtype=np.int64
+        )
         # covered = sum (1 - survival); new edges only add their own term.
         self._covered_sum += float((1.0 - survival_tail).sum())
         self._scan_stale = True

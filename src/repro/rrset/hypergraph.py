@@ -18,6 +18,14 @@ against this path by ``python -m repro.rrset.bench``.
 Key property (polling framework): for a fixed number of hyper-edges
 ``theta``, ``n * deg_H(S) / theta`` is an unbiased estimator of the
 influence spread ``I(S)``.
+
+Storage dtypes follow the compact policy of :mod:`repro.rrset.storage`:
+members are ``uint8``/``uint32``, offsets and edge ids ``uint32`` until
+their totals demand ``int64`` (explicit widening, never a silent
+upcast).  Scratch index arrays on the append path stay at the policy's
+offset width too, so peak memory tracks the narrowed arrays.  All
+public accessors (``degrees``, ``coverage``…) are dtype-agnostic;
+``degrees`` always returns ``int64`` so callers can negate it.
 """
 
 from __future__ import annotations
@@ -30,7 +38,8 @@ import numpy as np
 from repro.diffusion.base import DiffusionModel
 from repro.exceptions import CheckpointError, EstimationError
 from repro.obs.context import get_metrics, get_tracer
-from repro.rrset.sampler import sample_rr_sets
+from repro.rrset.sampler import sample_rr_csr, sample_rr_sets
+from repro.rrset.storage import DtypePolicy, resolve_storage
 from repro.runtime.deadline import DeadlineLike
 from repro.utils.rng import SeedLike
 
@@ -71,7 +80,13 @@ class RRHypergraph:
     def _init_from_csr(
         self, num_nodes: int, edge_offsets: np.ndarray, edge_nodes: np.ndarray
     ) -> None:
-        """Validate CSR arrays and derive the inverted index, vectorized."""
+        """Validate CSR arrays, apply the dtype policy, derive the inverted index.
+
+        ``edge_offsets`` must arrive in a signed/ascending-safe dtype
+        (callers pass ``int64``); members may arrive in any integer
+        dtype.  Range validation runs *before* the narrowing cast so an
+        out-of-range id can never wrap into a valid-looking one.
+        """
         if num_nodes <= 0:
             raise EstimationError(f"num_nodes must be positive, got {num_nodes}")
         if edge_nodes.size:
@@ -84,18 +99,24 @@ class RRHypergraph:
                 raise EstimationError(f"hyper-edge {edge} contains out-of-range node")
         self.num_nodes = num_nodes
         self.num_hyperedges = int(edge_offsets.size - 1)
-        self.edge_offsets = edge_offsets
-        self.edge_nodes = edge_nodes
+        policy = DtypePolicy.choose(
+            num_nodes, self.num_hyperedges, int(edge_nodes.size)
+        )
+        self.edge_offsets = np.asarray(edge_offsets, dtype=policy.offsets)
+        self.edge_nodes = np.asarray(edge_nodes, dtype=policy.members)
 
         # Inverted index: node -> hyper-edge ids containing it.  Stable
         # argsort of the member stream groups positions by node while
         # keeping hyper-edge ids ascending within each node's slice.
-        degree = np.bincount(edge_nodes, minlength=num_nodes).astype(np.int64)
-        self.node_offsets = np.zeros(num_nodes + 1, dtype=np.int64)
-        np.cumsum(degree, out=self.node_offsets[1:])
-        sizes = np.diff(edge_offsets)
-        edge_ids = np.repeat(np.arange(self.num_hyperedges, dtype=np.int32), sizes)
-        order = np.argsort(edge_nodes, kind="stable")
+        degree = np.bincount(self.edge_nodes, minlength=num_nodes)
+        node_offsets = np.zeros(num_nodes + 1, dtype=np.int64)
+        np.cumsum(degree, out=node_offsets[1:])
+        self.node_offsets = node_offsets.astype(policy.offsets, copy=False)
+        sizes = np.diff(np.asarray(edge_offsets, dtype=np.int64))
+        edge_ids = np.repeat(
+            np.arange(self.num_hyperedges, dtype=policy.edge_ids), sizes
+        )
+        order = np.argsort(self.edge_nodes, kind="stable")
         self.node_edges = edge_ids[order]
 
         # Lazily allocated scratch for stamp-based coverage counting.
@@ -115,6 +136,8 @@ class RRHypergraph:
         workers: Optional[int] = None,
         chunk_size: Optional[int] = None,
         supervision=None,
+        storage: Optional[str] = None,
+        slab_dir=None,
     ) -> "RRHypergraph":
         """Sample ``num_hyperedges`` RR sets from ``model`` and index them.
 
@@ -131,18 +154,39 @@ class RRHypergraph:
         crash/straggler recovery policy (see
         :mod:`repro.parallel.supervisor`); recovered builds are
         bit-identical to fault-free ones.
+
+        ``storage="shared"`` routes worker results through memory-mapped
+        slab files (:mod:`repro.rrset.storage`) instead of pickling the
+        member arrays back — same bits, a fraction of the transfer cost
+        at large ``theta``; ``slab_dir`` overrides where the slabs live.
         """
         with get_tracer().span("hypergraph.build", theta=num_hyperedges) as span:
-            rr_sets = sample_rr_sets(
-                model,
-                num_hyperedges,
-                seed=seed,
-                deadline=deadline,
-                workers=workers,
-                chunk_size=chunk_size,
-                supervision=supervision,
-            )
-            hypergraph = cls(model.num_nodes, rr_sets)
+            if resolve_storage(storage) == "shared":
+                sizes, members = sample_rr_csr(
+                    model,
+                    num_hyperedges,
+                    seed=seed,
+                    deadline=deadline,
+                    workers=workers,
+                    chunk_size=chunk_size,
+                    supervision=supervision,
+                    storage="shared",
+                    slab_dir=slab_dir,
+                )
+                edge_offsets = np.zeros(sizes.size + 1, dtype=np.int64)
+                np.cumsum(sizes, out=edge_offsets[1:])
+                hypergraph = cls.from_csr(model.num_nodes, edge_offsets, members)
+            else:
+                rr_sets = sample_rr_sets(
+                    model,
+                    num_hyperedges,
+                    seed=seed,
+                    deadline=deadline,
+                    workers=workers,
+                    chunk_size=chunk_size,
+                    supervision=supervision,
+                )
+                hypergraph = cls(model.num_nodes, rr_sets)
             span.set(
                 num_hyperedges=hypergraph.num_hyperedges,
                 total_members=int(hypergraph.edge_nodes.size),
@@ -157,6 +201,26 @@ class RRHypergraph:
     def extend(self, rr_sets: Sequence[np.ndarray]) -> "RRHypergraph":
         """A new hyper-graph with ``rr_sets`` appended as fresh hyper-edges.
 
+        Materializes the batch into a CSR pair and delegates to
+        :meth:`extend_csr` (the slab-assembly path of the adaptive
+        driver uses ``extend_csr`` directly, skipping this per-edge
+        list).
+        """
+        members = [np.asarray(h) for h in rr_sets]
+        new_sizes = np.fromiter(
+            (m.size for m in members), dtype=np.int64, count=len(members)
+        )
+        if members:
+            new_nodes = np.concatenate(members)
+        else:
+            new_nodes = np.empty(0, dtype=np.int64)
+        return self.extend_csr(new_sizes, new_nodes)
+
+    def extend_csr(
+        self, new_sizes: np.ndarray, new_nodes: np.ndarray
+    ) -> "RRHypergraph":
+        """A new hyper-graph with a CSR batch appended as fresh hyper-edges.
+
         ``self`` is untouched (the CSR arrays stay immutable; objectives
         bound to it remain valid) and the returned graph is bit-identical
         to a from-scratch build over the concatenated hyper-edge list:
@@ -167,15 +231,15 @@ class RRHypergraph:
         stream, exactly what the stable argsort of a full rebuild yields.
         Cost is ``O(existing + new)`` array copies plus a sort of the new
         members only, versus a full ``O(total log total)`` argsort.
+
+        The dtype policy is re-chosen from the *extended* totals, so the
+        stored arrays stay at the narrowest safe width and widen exactly
+        when a total crosses a capacity cap; destination scratch arrays
+        use the policy's offset width too (position totals fit it by
+        construction), never a silent ``int64``.
         """
-        members = [np.asarray(h, dtype=np.int32) for h in rr_sets]
-        new_sizes = np.fromiter(
-            (m.size for m in members), dtype=np.int64, count=len(members)
-        )
-        if members:
-            new_nodes = np.concatenate(members)
-        else:
-            new_nodes = np.empty(0, dtype=np.int32)
+        new_sizes = np.asarray(new_sizes, dtype=np.int64)
+        new_nodes = np.asarray(new_nodes)
         if new_nodes.size:
             lo, hi = int(new_nodes.min()), int(new_nodes.max())
             if lo < 0 or hi >= self.num_nodes:
@@ -188,57 +252,76 @@ class RRHypergraph:
                 )
                 raise EstimationError(f"hyper-edge {edge} contains out-of-range node")
 
+        added = int(new_sizes.size)
         with get_tracer().span(
             "hypergraph.extend",
             existing=self.num_hyperedges,
-            added=len(members),
+            added=added,
         ):
             old_m = self.num_hyperedges
-            old_stream = self.edge_nodes.size
+            old_stream = int(self.edge_nodes.size)
+            total_members = old_stream + int(new_nodes.size)
+            policy = DtypePolicy.choose(self.num_nodes, old_m + added, total_members)
             out = RRHypergraph.__new__(RRHypergraph)
             out.num_nodes = self.num_nodes
-            out.num_hyperedges = old_m + len(members)
-            edge_offsets = np.empty(out.num_hyperedges + 1, dtype=np.int64)
-            edge_offsets[: old_m + 1] = self.edge_offsets
-            np.cumsum(new_sizes, out=edge_offsets[old_m + 1 :])
-            edge_offsets[old_m + 1 :] += old_stream
-            out.edge_offsets = edge_offsets
-            out.edge_nodes = np.concatenate([self.edge_nodes, new_nodes])
+            out.num_hyperedges = old_m + added
+            # Offsets accumulate in an int64 scratch (cumsum must not
+            # wrap before the totals are known), then land at the
+            # policy's width.
+            offsets64 = np.empty(out.num_hyperedges + 1, dtype=np.int64)
+            offsets64[: old_m + 1] = self.edge_offsets
+            np.cumsum(new_sizes, out=offsets64[old_m + 1 :])
+            offsets64[old_m + 1 :] += old_stream
+            out.edge_offsets = offsets64.astype(policy.offsets, copy=False)
+            edge_nodes = np.empty(total_members, dtype=policy.members)
+            edge_nodes[:old_stream] = self.edge_nodes
+            edge_nodes[old_stream:] = new_nodes
+            out.edge_nodes = edge_nodes
 
             # Merged inverted index.  Node v's final slice starts at
             # old_offsets[v] shifted by the new members of nodes < v; its
             # old incident ids land first, then its new ids in stream
             # (= ascending hyper-edge id) order.
             n = self.num_nodes
-            new_degree = np.bincount(new_nodes, minlength=n).astype(np.int64)
-            old_counts = np.diff(self.node_offsets)
-            node_offsets = np.zeros(n + 1, dtype=np.int64)
-            np.cumsum(old_counts + new_degree, out=node_offsets[1:])
-            node_edges = np.empty(out.edge_nodes.size, dtype=np.int32)
+            new_degree = np.bincount(edge_nodes[old_stream:], minlength=n)
+            old_counts = np.diff(np.asarray(self.node_offsets, dtype=np.int64))
+            node_offsets64 = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(old_counts + new_degree, out=node_offsets64[1:])
+            out.node_offsets = node_offsets64.astype(policy.offsets, copy=False)
+            node_edges = np.empty(total_members, dtype=policy.edge_ids)
             if old_stream:
-                shift = node_offsets[:-1] - self.node_offsets[:-1]
-                dest_old = np.arange(old_stream, dtype=np.int64)
-                dest_old += np.repeat(shift, old_counts)
+                # Destinations are positions below total_members, so the
+                # offset width holds them exactly.
+                shift = node_offsets64[:-1] - np.asarray(
+                    self.node_offsets[:-1], dtype=np.int64
+                )
+                dest_old = np.arange(old_stream, dtype=policy.offsets)
+                dest_old += np.repeat(
+                    shift.astype(policy.offsets, copy=False), old_counts
+                )
                 node_edges[dest_old] = self.node_edges
             if new_nodes.size:
                 new_edge_ids = np.repeat(
-                    np.arange(old_m, out.num_hyperedges, dtype=np.int32), new_sizes
+                    np.arange(old_m, out.num_hyperedges, dtype=policy.edge_ids),
+                    new_sizes,
                 )
-                order = np.argsort(new_nodes, kind="stable")
+                order = np.argsort(edge_nodes[old_stream:], kind="stable")
                 new_group_starts = np.zeros(n, dtype=np.int64)
                 np.cumsum(new_degree[:-1], out=new_group_starts[1:])
-                start_dest = node_offsets[:-1] + old_counts
-                dest_new = np.arange(new_nodes.size, dtype=np.int64)
-                dest_new += np.repeat(start_dest - new_group_starts, new_degree)
+                start_dest = node_offsets64[:-1] + old_counts
+                dest_new = np.arange(new_nodes.size, dtype=policy.offsets)
+                dest_new += np.repeat(
+                    (start_dest - new_group_starts).astype(policy.offsets, copy=False),
+                    new_degree,
+                )
                 node_edges[dest_new] = new_edge_ids[order]
-            out.node_offsets = node_offsets
             out.node_edges = node_edges
             out._cover_stamp = None
             out._cover_epoch = 0
 
             metrics = get_metrics()
             metrics.inc("hypergraph.extends_total")
-            metrics.inc("hypergraph.extended_hyperedges_total", len(members))
+            metrics.inc("hypergraph.extended_hyperedges_total", added)
         return out
 
     @classmethod
@@ -250,13 +333,19 @@ class RRHypergraph:
         ``edge_offsets``/``edge_nodes`` are the same arrays
         :meth:`to_arrays` emits; the inverted index is derived from them
         in place, so checkpoint restores never round-trip through a
-        Python list of hyper-edge slices.  The arrays are adopted (and
-        normalized to ``int64``/``int32``) without copying when the
-        dtypes already match — callers must not mutate them afterwards.
+        Python list of hyper-edge slices.  The arrays are adopted —
+        normalized to the dtype policy of :mod:`repro.rrset.storage`,
+        without copying when the dtypes already match (e.g. a slab
+        assembly that sampled straight into the policy's member dtype) —
+        so callers must not mutate them afterwards.  Validation runs on
+        an ``int64`` view of the offsets: a wrapped unsigned diff can
+        never masquerade as monotone.
         """
         self = cls.__new__(cls)
-        edge_offsets = np.asarray(edge_offsets, dtype=np.int64)
-        edge_nodes = np.asarray(edge_nodes, dtype=np.int32)
+        edge_nodes = np.asarray(edge_nodes)
+        if edge_nodes.dtype.kind not in "iu":
+            edge_nodes = edge_nodes.astype(np.int64)
+        edge_offsets = np.asarray(edge_offsets).astype(np.int64, copy=False)
         if edge_offsets.ndim != 1 or edge_offsets.size == 0 or edge_offsets[0] != 0:
             raise EstimationError("malformed CSR arrays: bad edge_offsets")
         if int(edge_offsets[-1]) != edge_nodes.size or np.any(np.diff(edge_offsets) < 0):
@@ -280,8 +369,10 @@ class RRHypergraph:
         """Rebuild from :meth:`to_arrays` output (e.g. a checkpoint NPZ)."""
         try:
             num_nodes = int(np.asarray(arrays["num_nodes"]).ravel()[0])
-            edge_offsets = np.asarray(arrays["edge_offsets"], dtype=np.int64)
-            edge_nodes = np.asarray(arrays["edge_nodes"], dtype=np.int32)
+            edge_offsets = np.asarray(arrays["edge_offsets"]).astype(
+                np.int64, copy=False
+            )
+            edge_nodes = np.asarray(arrays["edge_nodes"])
         except (KeyError, IndexError, ValueError, TypeError) as exc:
             raise CheckpointError(f"malformed hyper-graph arrays: {exc}") from exc
         if edge_offsets.ndim != 1 or edge_offsets.size == 0 or edge_offsets[0] != 0:
@@ -335,8 +426,12 @@ class RRHypergraph:
         return int(self.node_offsets[node + 1] - self.node_offsets[node])
 
     def degrees(self) -> np.ndarray:
-        """Vector of node degrees in ``H``."""
-        return np.diff(self.node_offsets)
+        """Vector of node degrees in ``H``, always ``int64``.
+
+        The stored offsets may be unsigned under the dtype policy; a
+        signed return keeps idioms like ``np.argsort(-degrees)`` safe.
+        """
+        return np.diff(np.asarray(self.node_offsets, dtype=np.int64))
 
     def coverage(self, seeds: Sequence[int]) -> int:
         """``deg_H(S)``: hyper-edges hit by at least one node of ``seeds``.

@@ -18,7 +18,7 @@ hyper-graph is therefore bit-identical for any ``workers`` value.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -27,10 +27,16 @@ from repro.exceptions import EstimationError
 from repro.obs.context import get_metrics, get_tracer
 from repro.parallel.pool import DEFAULT_CHUNK_SIZE, partition_chunks, run_chunks
 from repro.parallel.supervisor import SupervisionLike
+from repro.rrset.storage import (
+    SlabStore,
+    member_dtype,
+    pickled_size,
+    resolve_storage,
+)
 from repro.runtime.deadline import Deadline, DeadlineLike, as_deadline, deadline_iter
 from repro.utils.rng import SeedLike, child_sequences
 
-__all__ = ["sample_rr_sets"]
+__all__ = ["sample_rr_sets", "sample_rr_csr"]
 
 
 def _chunk_deadline(remaining: Optional[float]) -> Deadline:
@@ -40,21 +46,23 @@ def _chunk_deadline(remaining: Optional[float]) -> Deadline:
     return Deadline.after(float(remaining))
 
 
-def _rr_chunk_task(
+def _sample_chunk(
     model: DiffusionModel,
     count: int,
     seed_seq: np.random.SeedSequence,
     roots: Optional[np.ndarray],
     remaining: Optional[float],
 ) -> List[np.ndarray]:
-    """Sample one chunk of RR sets (runs inline or in a worker process).
+    """Sample one chunk of RR sets — the single shared sampling kernel.
 
     Roots (when not given) are drawn *before* any cascade so the chunk's
     root choices never depend on how far earlier cascades advanced the
     stream — the layout the checkpoint/resume determinism tests pin down.
     The adaptive-stride deadline polling of
     :func:`~repro.runtime.deadline.deadline_iter` bounds expiry overshoot
-    to roughly one RR set's work even on dense graphs.
+    to roughly one RR set's work even on dense graphs.  Both the heap
+    and the slab chunk tasks call exactly this function, so the two
+    storage modes draw identical streams by construction.
     """
     rng = np.random.default_rng(seed_seq)
     if roots is None:
@@ -64,6 +72,85 @@ def _rr_chunk_task(
     for index in deadline_iter(count, budget):
         rr_sets.append(model.sample_rr_set(int(roots[index]), rng))
     return rr_sets
+
+
+def _rr_chunk_task(
+    model: DiffusionModel,
+    count: int,
+    seed_seq: np.random.SeedSequence,
+    roots: Optional[np.ndarray],
+    remaining: Optional[float],
+) -> List[np.ndarray]:
+    """Heap-storage chunk task: the sampled arrays are pickled back."""
+    return _sample_chunk(model, count, seed_seq, roots, remaining)
+
+
+def _rr_slab_chunk_task(
+    payload: Tuple[DiffusionModel, SlabStore, str],
+    index: int,
+    count: int,
+    seed_seq: np.random.SeedSequence,
+    roots: Optional[np.ndarray],
+    remaining: Optional[float],
+):
+    """Shared-storage chunk task: results land in the chunk's slab files.
+
+    Only the returned :class:`~repro.rrset.storage.SlabRef` (a ~100-byte
+    receipt) crosses the process boundary.  Re-dispatch after a worker
+    crash rewrites byte-identical slabs (same child seed stream), so the
+    overwrite is idempotent; see :mod:`repro.rrset.storage`.
+    """
+    model, store, dtype = payload
+    rr_sets = _sample_chunk(model, count, seed_seq, roots, remaining)
+    return store.write_chunk(index, rr_sets, dtype)
+
+
+def _sampling_plan(
+    model: DiffusionModel,
+    count: int,
+    seed: SeedLike,
+    roots: Optional[Sequence[int]],
+    chunk_size: Optional[int],
+    start_at: int,
+):
+    """Validate the request and lay out the deterministic chunk plan.
+
+    Returns ``(sizes, chunk_args)`` with one ``(size, sequence, roots)``
+    tuple per chunk, or ``None`` for an empty request.  Shared by the
+    heap and slab sampling entry points so both execute the *same* plan
+    (identical chunk boundaries and child seed streams).
+    """
+    if count < 0:
+        raise EstimationError(f"count must be non-negative, got {count}")
+    if model.num_nodes == 0:
+        raise EstimationError("cannot sample RR sets of an empty graph")
+    size = DEFAULT_CHUNK_SIZE if chunk_size is None else chunk_size
+    if start_at < 0:
+        raise EstimationError(f"start_at must be non-negative, got {start_at}")
+    if size > 0 and start_at % size != 0:
+        raise EstimationError(
+            f"start_at must be chunk-aligned (a multiple of {size}), got "
+            f"{start_at}: the sampling plan's chunk boundaries are fixed"
+        )
+    root_arr: Optional[np.ndarray] = None
+    if roots is not None:
+        root_arr = np.asarray(roots, dtype=np.int64)
+        if root_arr.shape != (count,):
+            raise EstimationError(
+                f"roots must have length {count}, got {root_arr.shape}"
+            )
+    if count == 0:
+        return None
+
+    sizes = partition_chunks(count, chunk_size)
+    sequences = child_sequences(seed, start_at // size, len(sizes))
+    chunk_args = []
+    offset = 0
+    for size, sequence in zip(sizes, sequences):
+        chunk_roots = None if root_arr is None else root_arr[offset : offset + size]
+        chunk_args.append((size, sequence, chunk_roots))
+        offset += size
+    return sizes, chunk_args
 
 
 def sample_rr_sets(
@@ -128,38 +215,12 @@ def sample_rr_sets(
     (its root is always included).  The list is shorter than ``count``
     only when the deadline expired.
     """
-    if count < 0:
-        raise EstimationError(f"count must be non-negative, got {count}")
-    if model.num_nodes == 0:
-        raise EstimationError("cannot sample RR sets of an empty graph")
-    size = DEFAULT_CHUNK_SIZE if chunk_size is None else chunk_size
-    if start_at < 0:
-        raise EstimationError(f"start_at must be non-negative, got {start_at}")
-    if size > 0 and start_at % size != 0:
-        raise EstimationError(
-            f"start_at must be chunk-aligned (a multiple of {size}), got "
-            f"{start_at}: the sampling plan's chunk boundaries are fixed"
-        )
-    root_arr: Optional[np.ndarray] = None
-    if roots is not None:
-        root_arr = np.asarray(roots, dtype=np.int64)
-        if root_arr.shape != (count,):
-            raise EstimationError(
-                f"roots must have length {count}, got {root_arr.shape}"
-            )
-    if count == 0:
+    plan = _sampling_plan(model, count, seed, roots, chunk_size, start_at)
+    if plan is None:
         return []
+    sizes, chunk_args = plan
 
     budget = as_deadline(deadline)
-    sizes = partition_chunks(count, chunk_size)
-    sequences = child_sequences(seed, start_at // size, len(sizes))
-    chunk_args = []
-    offset = 0
-    for size, sequence in zip(sizes, sequences):
-        chunk_roots = None if root_arr is None else root_arr[offset : offset + size]
-        chunk_args.append((size, sequence, chunk_roots))
-        offset += size
-
     metrics = get_metrics()
     with get_tracer().span(
         "rrset.sample", theta=count, chunks=len(sizes), start_at=start_at
@@ -190,3 +251,138 @@ def sample_rr_sets(
         if not rr_sets:
             budget.check("sampling the first RR set")
     return rr_sets
+
+
+def sample_rr_csr(
+    model: DiffusionModel,
+    count: int,
+    seed: SeedLike = None,
+    roots: Optional[Sequence[int]] = None,
+    deadline: DeadlineLike = None,
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    start_at: int = 0,
+    supervision: "SupervisionLike" = None,
+    storage: Optional[str] = None,
+    slab_dir=None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Generate ``count`` RR sets directly as a CSR pair ``(sizes, members)``.
+
+    Same parameters, plan and streams as :func:`sample_rr_sets` — for a
+    fixed seed the concatenated output is bit-identical across worker
+    counts *and* storage modes — but the result is the flat form the
+    hyper-graph stores: ``int64`` per-edge sizes and the member stream in
+    the dtype policy's member width (see :mod:`repro.rrset.storage`).
+
+    ``storage`` selects the transport:
+
+    * ``"heap"`` (default) — chunks pickle their sampled arrays back to
+      the coordinator (the classic path), which concatenates and casts.
+    * ``"shared"`` — each chunk writes its members into a disjoint
+      memory-mapped slab file under a per-run :class:`SlabStore`
+      directory (``slab_dir`` or ``REPRO_SLAB_DIR`` or ``/dev/shm``),
+      and only a ~100-byte receipt is pickled; the coordinator assembles
+      the CSR arrays straight from the slabs and removes them.  At large
+      ``theta`` this removes the dominant transfer cost of pooled
+      sampling.
+
+    The ``storage.*`` metrics record the actual pickle volume of each
+    mode, which ``python -m repro.rrset.bench --scale`` reports as
+    bytes-pickled-per-chunk.
+    """
+    mode = resolve_storage(storage)
+    dtype = member_dtype(model.num_nodes)
+    metrics = get_metrics()
+
+    if mode == "heap":
+        rr_sets = sample_rr_sets(
+            model,
+            count,
+            seed=seed,
+            roots=roots,
+            deadline=deadline,
+            workers=workers,
+            chunk_size=chunk_size,
+            start_at=start_at,
+            supervision=supervision,
+        )
+        sizes = np.fromiter(
+            (rr.size for rr in rr_sets), dtype=np.int64, count=len(rr_sets)
+        )
+        if rr_sets:
+            members = np.concatenate(rr_sets).astype(dtype, copy=False)
+        else:
+            members = np.empty(0, dtype=dtype)
+        # What the member arrays cost (or would cost, inline) on the
+        # pickle channel: their full sampled width, 8 bytes per member.
+        metrics.inc(
+            "storage.pickled_bytes_total", int(sum(rr.nbytes for rr in rr_sets))
+        )
+        metrics.inc("storage.heap_samples_total")
+        return sizes, members
+
+    plan = _sampling_plan(model, count, seed, roots, chunk_size, start_at)
+    if plan is None:
+        return (
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=dtype),
+        )
+    planned_sizes, base_args = plan
+    chunk_args = [
+        (index, *args) for index, args in enumerate(base_args)
+    ]
+    budget = as_deadline(deadline)
+    store = SlabStore.create(slab_dir)
+    try:
+        with get_tracer().span(
+            "rrset.sample_csr",
+            theta=count,
+            chunks=len(planned_sizes),
+            start_at=start_at,
+            storage="shared",
+            slab_dir=store.directory,
+        ) as span:
+            refs, expired = run_chunks(
+                _rr_slab_chunk_task,
+                (model, store, np.dtype(dtype).str),
+                chunk_args,
+                workers=workers,
+                deadline=budget,
+                inject_site="sampler.chunk",
+                supervision=supervision,
+            )
+            pickled = 0
+            for index, ref in enumerate(refs):
+                pickled += pickled_size(ref)
+                span.event(
+                    "chunk",
+                    index=index,
+                    planned=planned_sizes[index],
+                    produced=ref.count,
+                )
+                metrics.observe("rrset.chunk_items", ref.count)
+            with get_tracer().span(
+                "storage.assemble", chunks=len(refs)
+            ) as assemble_span:
+                sizes, members = store.assemble(refs, dtype)
+                assemble_span.set(
+                    produced=int(sizes.size),
+                    total_members=int(members.size),
+                    slab_bytes=int(members.nbytes + sizes.nbytes),
+                )
+            produced = int(sizes.size)
+            span.set(produced=produced, truncated=expired)
+            metrics.inc("rrset.requested_total", count)
+            metrics.inc("rrset.sampled_total", produced)
+            metrics.inc("rrset.nodes_sampled_total", int(members.size))
+            metrics.inc("storage.slab_chunks_total", len(refs))
+            metrics.inc("storage.slab_bytes_total", int(members.nbytes))
+            metrics.inc("storage.pickled_bytes_total", pickled)
+            metrics.inc("storage.assemblies_total")
+            if expired:
+                metrics.inc("rrset.truncated_total")
+            if produced == 0:
+                budget.check("sampling the first RR set")
+    finally:
+        store.cleanup()
+    return sizes, members

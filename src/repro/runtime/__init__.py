@@ -26,7 +26,13 @@ from repro.runtime.deadline import (
     as_deadline,
     deadline_iter,
 )
-from repro.runtime.faults import FaultInjector, InjectedFault, active_injector, maybe_inject
+from repro.runtime.faults import (
+    FaultInjector,
+    InjectedFault,
+    active_injector,
+    maybe_inject,
+    maybe_inject_process,
+)
 from repro.runtime.retry import backoff_schedule, retry
 
 __all__ = [
@@ -43,5 +49,6 @@ __all__ = [
     "FaultInjector",
     "InjectedFault",
     "maybe_inject",
+    "maybe_inject_process",
     "active_injector",
 ]

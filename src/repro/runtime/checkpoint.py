@@ -10,8 +10,10 @@ input changes the key, so stale checkpoints can never leak into a
 different experiment.
 
 Snapshots are JSON for structured records and NPZ for arrays, both written
-via write-temp-then-rename (:func:`repro.io.serialization.atomic_write_bytes`),
-so a reader never sees a torn file.
+via write-temp-then-rename so a reader never sees a torn file.  Array
+snapshots stream straight to disk (and hash in chunks on both write and
+read): a multi-gigabyte cached hyper-graph is never double-buffered in
+memory.
 
 Integrity: every snapshot gets a ``<file>.sha256`` sidecar written after
 the main file; loads verify the digest before parsing, so silent disk
@@ -28,8 +30,9 @@ for forensics) and return ``None`` so the caller simply recomputes.
 from __future__ import annotations
 
 import hashlib
-import io as _io
 import json
+import os
+import tempfile
 import zipfile
 import zlib
 from pathlib import Path
@@ -45,6 +48,18 @@ __all__ = ["CheckpointStore", "content_key"]
 PathLike = Union[str, Path]
 
 _CHECKPOINT_FORMAT = "repro.checkpoint.v1"
+
+
+def _stream_digest(path: Path, chunk_bytes: int = 1 << 22) -> str:
+    """sha256 of a file computed in fixed-size chunks (bounded memory)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        while True:
+            block = handle.read(chunk_bytes)
+            if not block:
+                break
+            digest.update(block)
+    return digest.hexdigest()
 
 
 def _canonical(value) -> object:
@@ -110,9 +125,11 @@ class CheckpointStore:
         return path.with_name(path.name + ".sha256")
 
     def _write_sidecar(self, path: Path, data: bytes) -> None:
+        self._write_sidecar_digest(path, hashlib.sha256(data).hexdigest())
+
+    def _write_sidecar_digest(self, path: Path, digest: str) -> None:
         from repro.io.serialization import atomic_write_text
 
-        digest = hashlib.sha256(data).hexdigest()
         try:
             atomic_write_text(self._sidecar_path(path), digest + "\n")
         except OSError as exc:
@@ -140,6 +157,37 @@ class CheckpointStore:
                 path=sidecar,
             ) from exc
         actual = hashlib.sha256(data).hexdigest()
+        if actual != expected:
+            get_metrics().inc("checkpoint.integrity_failures_total")
+            raise CheckpointError(
+                f"checkpoint {name!r} failed integrity verification: "
+                f"sha256 {actual[:12]}… does not match sidecar {expected[:12]}…",
+                path=path,
+            )
+
+    def _verify_stream(self, path: Path, name: str) -> None:
+        """Like :meth:`_verify` but hashing the file in chunks.
+
+        Array snapshots can be hundreds of megabytes (a cached
+        million-edge hyper-graph); verifying the streamed digest avoids
+        ever holding a second in-memory copy of the payload.
+        """
+        sidecar = self._sidecar_path(path)
+        try:
+            expected = sidecar.read_text(encoding="utf-8").strip()
+        except FileNotFoundError:
+            return
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot read integrity sidecar of checkpoint {name!r}: {exc}",
+                path=sidecar,
+            ) from exc
+        try:
+            actual = _stream_digest(path)
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot read checkpoint {name!r}: {exc}", path=path
+            ) from exc
         if actual != expected:
             get_metrics().inc("checkpoint.integrity_failures_total")
             raise CheckpointError(
@@ -229,21 +277,35 @@ class CheckpointStore:
         return self._npz_path(name).exists()
 
     def save_arrays(self, name: str, **arrays: np.ndarray) -> Path:
-        """Atomically write an NPZ snapshot (plus sidecar) of the arrays."""
-        from repro.io.serialization import atomic_write_bytes
+        """Atomically write an NPZ snapshot (plus sidecar) of the arrays.
+
+        The archive is streamed to a temporary file in the checkpoint
+        directory and renamed into place, and its digest is computed by
+        re-reading that file in chunks — the snapshot never exists as a
+        second in-memory copy, which matters when the arrays are a
+        multi-gigabyte hyper-graph.
+        """
         from repro.runtime.faults import maybe_inject
 
         maybe_inject("checkpoint.write")
-        buffer = _io.BytesIO()
-        np.savez(buffer, **arrays)
         path = self._npz_path(name)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.directory, prefix=f".{name}.", suffix=".npz.tmp"
+        )
+        tmp = Path(tmp_name)
         try:
-            atomic_write_bytes(path, buffer.getvalue())
+            with os.fdopen(fd, "wb") as handle:
+                np.savez(handle, **arrays)
+                handle.flush()
+                os.fsync(handle.fileno())
+            digest = _stream_digest(tmp)
+            os.replace(tmp, path)
         except OSError as exc:
+            tmp.unlink(missing_ok=True)
             raise CheckpointError(
                 f"cannot write checkpoint {name!r}: {exc}", path=path
             ) from exc
-        self._write_sidecar(path, buffer.getvalue())
+        self._write_sidecar_digest(path, digest)
         get_metrics().inc("checkpoint.writes_total")
         return path
 
@@ -256,19 +318,13 @@ class CheckpointStore:
         ``EOFError``) — as :class:`CheckpointError` with the file path.
         """
         path = self._npz_path(name)
-        try:
-            raw = path.read_bytes()
-        except FileNotFoundError as exc:
+        if not path.exists():
             raise CheckpointError(
                 f"no checkpoint named {name!r} under {self.directory}", path=path
-            ) from exc
-        except OSError as exc:
-            raise CheckpointError(
-                f"cannot read checkpoint {name!r}: {exc}", path=path
-            ) from exc
-        self._verify(path, name, raw)
+            )
+        self._verify_stream(path, name)
         try:
-            with np.load(_io.BytesIO(raw)) as data:
+            with np.load(path) as data:
                 arrays = {key: data[key] for key in data.files}
         except (
             OSError,
@@ -356,6 +412,7 @@ class CheckpointStore:
             "*.npz",
             "*.sha256",
             "*.quarantined",
+            ".*.npz.tmp",
         ):
             for path in self.directory.glob(pattern):
                 path.unlink(missing_ok=True)

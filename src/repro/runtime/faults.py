@@ -47,7 +47,9 @@ supervisor's re-dispatch of the lost chunk succeeds; pass a wider
 from __future__ import annotations
 
 import os
+import shutil
 import signal
+import tempfile
 import time
 from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
 
@@ -61,6 +63,7 @@ __all__ = [
     "active_injector",
     "planned_process_fault",
     "execute_process_fault",
+    "maybe_inject_process",
     "PROCESS_FAULT_MODES",
 ]
 
@@ -143,6 +146,27 @@ def execute_process_fault(directive: str, hang_seconds: float) -> None:
     raise ReproError(f"unknown process fault directive {directive!r}")
 
 
+def maybe_inject_process(site: str, chunk_index: int, attempt: int = 0) -> None:
+    """Worker-side process-fault probe for instrumented *interior* sites.
+
+    :func:`planned_process_fault` covers faults at chunk dispatch (the
+    directive executes before the chunk task runs).  Some chaos scenarios
+    need the fault *inside* the task — e.g. killing a worker between the
+    two file writes of a slab chunk — so call sites there probe the
+    schedule directly with this helper, keyed by the same
+    ``(site, chunk_index, attempt)`` triple.  It consults the injector
+    global of *this* process: a no-op in production and under the
+    ``spawn`` start method; under ``fork`` (the Linux default) workers
+    created inside the ``with`` block inherit the armed injector, so the
+    directive executes deterministically in whichever worker handles the
+    chunk.  Pass ``attempt > 0`` on re-execution so the default
+    ``process_fault_attempts=(0,)`` schedule lets retries through.
+    """
+    planned = planned_process_fault(site, chunk_index, attempt)
+    if planned is not None:
+        execute_process_fault(*planned)
+
+
 class FaultInjector:
     """Deterministic, seeded fault schedule armed as a context manager.
 
@@ -209,8 +233,14 @@ class FaultInjector:
         #: Faults actually fired, as ``(site, invocation)`` pairs.
         self.fired: list[tuple[str, int]] = []
         #: Process directives handed out, as ``(site, chunk, attempt, directive)``.
+        #: Coordinator-planned directives land here immediately; directives
+        #: fired by :func:`maybe_inject_process` inside a forked worker are
+        #: recorded via marker files and folded in when the ``with`` block
+        #: exits (a worker's memory dies with it — often by design).
         self.process_fired: list[tuple[str, int, int, str]] = []
         self._previous: Optional["FaultInjector"] = None
+        self._owner_pid = os.getpid()
+        self._evidence_dir: Optional[str] = None
 
     # ------------------------------------------------------------------
     # context management
@@ -218,6 +248,7 @@ class FaultInjector:
     def __enter__(self) -> "FaultInjector":
         global _ACTIVE
         self._previous = _ACTIVE
+        self._evidence_dir = tempfile.mkdtemp(prefix="repro-fault-evidence-")
         _ACTIVE = self
         return self
 
@@ -225,6 +256,7 @@ class FaultInjector:
         global _ACTIVE
         _ACTIVE = self._previous
         self._previous = None
+        self._absorb_worker_evidence()
 
     # ------------------------------------------------------------------
     # firing
@@ -257,8 +289,39 @@ class FaultInjector:
         directive = self.process_faults.get(site, {}).get(int(chunk_index))
         if directive is None or int(attempt) not in self.process_fault_attempts:
             return None
-        self.process_fired.append((site, int(chunk_index), int(attempt), directive))
+        record = (site, int(chunk_index), int(attempt), directive)
+        self.process_fired.append(record)
+        if self._evidence_dir is not None and os.getpid() != self._owner_pid:
+            # Fired in a forked worker: this object's memory is a copy the
+            # coordinator never sees (and the directive may be about to
+            # SIGKILL us), so leave a marker file for __exit__ to collect.
+            self._write_worker_evidence(record)
         return directive, self.process_hang_seconds
+
+    def _write_worker_evidence(self, record: tuple[str, int, int, str]) -> None:
+        name = "::".join(str(part) for part in record)
+        try:
+            with open(os.path.join(self._evidence_dir, name), "w"):
+                pass
+        except OSError:
+            pass  # evidence is best-effort; the fault itself still fires
+
+    def _absorb_worker_evidence(self) -> None:
+        directory, self._evidence_dir = self._evidence_dir, None
+        if directory is None:
+            return
+        try:
+            names = sorted(os.listdir(directory))
+        except OSError:
+            return
+        for name in names:
+            parts = name.rsplit("::", 3)
+            if len(parts) != 4:
+                continue
+            record = (parts[0], int(parts[1]), int(parts[2]), parts[3])
+            if record not in self.process_fired:
+                self.process_fired.append(record)
+        shutil.rmtree(directory, ignore_errors=True)
 
     def count(self, site: str) -> int:
         """How many times ``site`` has been probed while armed."""

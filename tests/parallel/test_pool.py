@@ -100,6 +100,23 @@ class TestPartitionChunks:
         with pytest.raises(ConfigurationError):
             partition_chunks(10, 0)
 
+    def test_no_zero_length_chunks(self):
+        for count in (1, 63, 64, 65, 128, 129):
+            assert all(size > 0 for size in partition_chunks(count, 64))
+
+    def test_plan_wider_than_chunk_ceiling_rejected(self, monkeypatch):
+        # Shrink the ceiling so the boundary is testable without planning
+        # four billion chunks for real.
+        monkeypatch.setattr("repro.parallel.pool.MAX_CHUNKS", 4)
+        assert len(partition_chunks(256, 64)) == 4  # at the ceiling: fine
+        with pytest.raises(ConfigurationError, match="chunk-index ceiling"):
+            partition_chunks(257, 64)
+
+    def test_huge_theta_rejected_with_actionable_message(self, monkeypatch):
+        monkeypatch.setattr("repro.parallel.pool.MAX_CHUNKS", 10)
+        with pytest.raises(ConfigurationError, match="raise chunk_size"):
+            partition_chunks(10_000, 1)
+
 
 class TestRunChunks:
     CHUNKS = [(0, 5), (5, 5), (10, 3)]

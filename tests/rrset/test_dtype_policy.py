@@ -1,0 +1,213 @@
+"""Dtype-policy integration tests for the compact CSR hyper-graph.
+
+`from_csr` round trips under every dtype combination the policy can
+emit (uint8/uint32 members x uint32/int64 offsets x uint32/int64 edge
+ids, forced by shrinking the storage caps), appends re-choose and widen
+when an extension crosses the uint32 boundary (the satellite-1 overflow
+guard), and a policy-narrowed hyper-graph survives a checkpoint
+save/load with sha256-sidecar integrity intact.
+"""
+
+import numpy as np
+import pytest
+
+from repro.diffusion.independent_cascade import IndependentCascade
+from repro.exceptions import CheckpointError, EstimationError, StorageError
+from repro.graphs.generators import erdos_renyi, path_graph
+from repro.graphs.weights import assign_weighted_cascade
+from repro.rrset import storage as storage_mod
+from repro.rrset.estimator import HypergraphObjective
+from repro.rrset.hypergraph import RRHypergraph
+from repro.rrset.sampler import sample_rr_sets
+from repro.runtime.checkpoint import CheckpointStore
+
+CSR_ATTRS = ("edge_offsets", "edge_nodes", "node_offsets", "node_edges")
+
+
+def _values(hypergraph):
+    """The CSR arrays as canonical int64 — dtype-independent equality."""
+    return [
+        np.asarray(getattr(hypergraph, attr), dtype=np.int64) for attr in CSR_ATTRS
+    ]
+
+
+def _assert_same_values(a, b):
+    for attr, x, y in zip(CSR_ATTRS, _values(a), _values(b)):
+        assert np.array_equal(x, y), attr
+
+
+def _build(n=30, theta=200, seed=4):
+    model = IndependentCascade(
+        assign_weighted_cascade(erdos_renyi(n, 0.12, seed=seed), alpha=1.0)
+    )
+    return RRHypergraph(n, sample_rr_sets(model, theta, seed=seed + 1))
+
+
+class TestPolicyWidths:
+    def test_small_graph_narrows_members_to_uint8(self):
+        hg = _build(n=30)
+        assert hg.edge_nodes.dtype == np.uint8
+        assert hg.edge_offsets.dtype == np.uint32
+        assert hg.node_offsets.dtype == np.uint32
+        assert hg.node_edges.dtype == np.uint32
+
+    def test_medium_graph_uses_uint32_members(self):
+        model = IndependentCascade(
+            assign_weighted_cascade(path_graph(300, probability=0.5), alpha=1.0)
+        )
+        hg = RRHypergraph(300, sample_rr_sets(model, 50, seed=2))
+        assert hg.edge_nodes.dtype == np.uint32
+
+    def test_degrees_always_int64(self):
+        hg = _build()
+        degrees = hg.degrees()
+        assert degrees.dtype == np.int64
+        # argsort(-degrees) must be safe — the bench and UD warm starts
+        # negate this array.
+        assert (-degrees <= 0).all()
+
+
+@pytest.mark.parametrize(
+    "in_offsets,in_members",
+    [
+        (np.int64, np.int64),
+        (np.int64, np.int32),
+        (np.uint32, np.uint8),
+        (np.uint32, np.uint32),
+        (np.int32, np.uint16),
+    ],
+)
+class TestFromCsrRoundTrip:
+    def test_round_trip(self, in_offsets, in_members):
+        base = _build()
+        offsets = np.asarray(base.edge_offsets, dtype=in_offsets)
+        members = np.asarray(base.edge_nodes, dtype=in_members)
+        rebuilt = RRHypergraph.from_csr(base.num_nodes, offsets, members)
+        _assert_same_values(base, rebuilt)
+        # Output widths follow the policy regardless of input widths.
+        assert rebuilt.edge_nodes.dtype == base.edge_nodes.dtype
+        assert rebuilt.edge_offsets.dtype == base.edge_offsets.dtype
+
+
+class TestForcedWideCombos:
+    def test_wide_offsets_and_edge_ids(self, monkeypatch):
+        # Shrink the caps so a toy graph crosses every uint32 boundary.
+        monkeypatch.setattr(storage_mod, "OFFSET_LIMIT", 10)
+        monkeypatch.setattr(storage_mod, "EDGE_ID_LIMIT", 4)
+        base = _build()
+        assert int(base.edge_offsets[-1]) > 10
+        assert base.edge_offsets.dtype == np.int64
+        assert base.node_offsets.dtype == np.int64
+        assert base.node_edges.dtype == np.int64
+        rebuilt = RRHypergraph.from_csr(
+            base.num_nodes, base.edge_offsets, base.edge_nodes
+        )
+        _assert_same_values(base, rebuilt)
+
+    def test_wide_and_narrow_agree(self, monkeypatch):
+        narrow = _build()
+        monkeypatch.setattr(storage_mod, "OFFSET_LIMIT", 10)
+        monkeypatch.setattr(storage_mod, "EDGE_ID_LIMIT", 4)
+        wide = _build()
+        _assert_same_values(narrow, wide)
+
+    def test_objective_identical_across_widths(self, monkeypatch):
+        rng = np.random.default_rng(8)
+        narrow = _build()
+        probs = rng.uniform(0.0, 0.4, size=narrow.num_nodes)
+        value_narrow = HypergraphObjective(narrow, probs).value()
+        monkeypatch.setattr(storage_mod, "OFFSET_LIMIT", 10)
+        monkeypatch.setattr(storage_mod, "EDGE_ID_LIMIT", 4)
+        wide = _build()
+        assert HypergraphObjective(wide, probs).value() == value_narrow
+
+
+class TestExtendOverflowGuard:
+    """Satellite: appends crossing the uint32 boundary widen, not wrap."""
+
+    def _model(self, n=30, seed=4):
+        return IndependentCascade(
+            assign_weighted_cascade(erdos_renyi(n, 0.12, seed=seed), alpha=1.0)
+        )
+
+    def test_extend_across_offset_boundary_widens(self, monkeypatch):
+        model = self._model()
+        first = sample_rr_sets(model, 256, seed=5)
+        second = sample_rr_sets(model, 256, seed=5, start_at=256)
+        reference = RRHypergraph(30, first + second)
+
+        stream = int(sum(rr.size for rr in first))
+        monkeypatch.setattr(storage_mod, "OFFSET_LIMIT", stream + 5)
+        grown = RRHypergraph(30, first)
+        assert grown.edge_offsets.dtype == np.uint32
+        grown = grown.extend(second)
+        assert grown.edge_offsets.dtype == np.int64
+        assert grown.node_offsets.dtype == np.int64
+        _assert_same_values(reference, grown)
+
+    def test_extend_across_edge_id_boundary_widens(self, monkeypatch):
+        model = self._model()
+        first = sample_rr_sets(model, 256, seed=5)
+        second = sample_rr_sets(model, 256, seed=5, start_at=256)
+        reference = RRHypergraph(30, first + second)
+
+        monkeypatch.setattr(storage_mod, "EDGE_ID_LIMIT", 300)
+        grown = RRHypergraph(30, first)
+        assert grown.node_edges.dtype == np.uint32
+        grown = grown.extend(second)
+        assert grown.node_edges.dtype == np.int64
+        _assert_same_values(reference, grown)
+
+    def test_out_of_range_member_rejected_not_wrapped(self):
+        grown = _build()
+        with pytest.raises(EstimationError):
+            grown.extend([np.array([grown.num_nodes + 1])])
+
+    def test_member_limit_overflow_raises_storage_error(self, monkeypatch):
+        monkeypatch.setattr(storage_mod, "MEMBER_SMALL_LIMIT", 4)
+        monkeypatch.setattr(storage_mod, "MEMBER_LIMIT", 8)
+        with pytest.raises(StorageError):
+            RRHypergraph(20, [np.array([0, 15])])
+
+
+class TestCheckpointRoundTrip:
+    """Satellite: narrowed arrays survive checkpoint save/load + sidecars."""
+
+    def _store(self, tmp_path):
+        return CheckpointStore(tmp_path, key="dtype-policy-test")
+
+    def test_round_trip_preserves_values_and_dtypes(self, tmp_path):
+        hg = _build()
+        store = self._store(tmp_path)
+        store.save_arrays("hypergraph", **hg.to_arrays())
+        rebuilt = RRHypergraph.from_arrays(store.load_arrays("hypergraph"))
+        _assert_same_values(hg, rebuilt)
+        assert rebuilt.edge_nodes.dtype == hg.edge_nodes.dtype
+
+    def test_sidecar_written_and_verified(self, tmp_path):
+        hg = _build()
+        store = self._store(tmp_path)
+        path = store.save_arrays("hypergraph", **hg.to_arrays())
+        sidecar = path.with_name(path.name + ".sha256")
+        assert sidecar.exists()
+        digest = sidecar.read_text().strip()
+        assert len(digest) == 64
+
+    def test_corruption_detected_by_sidecar(self, tmp_path):
+        hg = _build()
+        store = self._store(tmp_path)
+        path = store.save_arrays("hypergraph", **hg.to_arrays())
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CheckpointError):
+            store.load_arrays("hypergraph")
+
+    def test_wide_combo_round_trips(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(storage_mod, "OFFSET_LIMIT", 10)
+        monkeypatch.setattr(storage_mod, "EDGE_ID_LIMIT", 4)
+        hg = _build()
+        store = self._store(tmp_path)
+        store.save_arrays("hypergraph", **hg.to_arrays())
+        rebuilt = RRHypergraph.from_arrays(store.load_arrays("hypergraph"))
+        _assert_same_values(hg, rebuilt)

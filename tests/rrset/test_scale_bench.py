@@ -1,0 +1,99 @@
+"""Tests for the scale-storage benchmark (`repro.rrset.bench --scale`).
+
+Runs the real benchmark body at a toy scale so CI exercises the whole
+path — graph build, heap vs shared sampling sweep, hyper-graph assembly,
+UD solve, check evaluation, report rendering — in seconds, and pins the
+``BENCH_scale.json`` schema the docs and the CI regression guard rely on.
+"""
+
+import json
+
+import pytest
+
+from repro.rrset.bench import SCHEMA, format_scale_report, run_scale_benchmark
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_scale_benchmark(
+        graph_scale=0.005, rr_sets=512, budget=5.0, workers=(1, 2), seed=2016
+    )
+
+
+class TestScaleReport:
+    def test_all_checks_pass_at_toy_scale(self, report):
+        assert report["summary"]["checks"], "checks block must not be empty"
+        failed = [k for k, v in report["summary"]["checks"].items() if not v]
+        assert not failed, failed
+        assert report["summary"]["ok"] is True
+
+    def test_schema_and_top_level_keys(self, report):
+        assert report["schema"] == SCHEMA
+        for key in ("summary", "config", "machine", "results", "determinism"):
+            assert key in report, key
+        assert report["summary"]["benchmark"] == "scale-storage"
+
+    def test_expected_checks_present(self, report):
+        assert set(report["summary"]["checks"]) == {
+            "graph_edges_ok",
+            "hypergraph_identical",
+            "solver_identical",
+            "pickled_members_near_zero",
+            "sampling_speedup_ok",
+            "rss_within_budget",
+        }
+
+    def test_shared_rows_cover_worker_sweep(self, report):
+        sampling = report["results"]["sampling"]
+        assert [row["workers"] for row in sampling["shared"]] == [1, 2]
+        assert sampling["heap"]["workers"] == 2
+        # Heap ships members through the pool; shared ships ~100-byte refs.
+        assert sampling["heap"]["pickled_bytes_per_chunk"] > 1024
+        for row in sampling["shared"]:
+            assert row["pickled_bytes_per_chunk"] <= 1024
+
+    def test_digests_identical_across_modes_and_workers(self, report):
+        determinism = report["determinism"]
+        assert determinism["identical"] is True
+        assert len(determinism["digest"]) == 64
+
+    def test_dtypes_recorded_for_all_csr_arrays(self, report):
+        dtypes = report["results"]["hypergraph"]["dtypes"]
+        assert set(dtypes) == {
+            "edge_offsets",
+            "edge_nodes",
+            "node_offsets",
+            "node_edges",
+        }
+
+    def test_report_is_json_serialisable(self, report):
+        json.dumps(report)
+
+    def test_rss_budget_turns_into_failing_check(self):
+        tiny = run_scale_benchmark(
+            graph_scale=0.005,
+            rr_sets=256,
+            budget=5.0,
+            workers=(1,),
+            seed=2016,
+            rss_budget_mb=1.0,
+        )
+        assert tiny["summary"]["checks"]["rss_within_budget"] is False
+        assert tiny["summary"]["ok"] is False
+
+    def test_required_edges_gate(self):
+        gated = run_scale_benchmark(
+            graph_scale=0.005,
+            rr_sets=256,
+            budget=5.0,
+            workers=(1,),
+            seed=2016,
+            required_edges=10**9,
+        )
+        assert gated["summary"]["checks"]["graph_edges_ok"] is False
+
+    def test_format_scale_report_renders_both_modes(self, report):
+        text = format_scale_report(report)
+        assert "heap" in text
+        assert "shared" in text
+        assert "pickled" in text
