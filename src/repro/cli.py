@@ -330,6 +330,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="slab root for --storage shared (default: $REPRO_SLAB_DIR, "
         "else /dev/shm, else the system temp dir)",
     )
+    slv.add_argument(
+        "--backing",
+        choices=("heap", "mmap"),
+        default=None,
+        help="where the assembled hyper-graph CSR lives: 'heap' (default) "
+        "or 'mmap' — disk-backed spill files, keeping coordinator RSS "
+        "independent of theta (requires --storage shared; bit-identical "
+        "results; see docs/performance.md)",
+    )
+    slv.add_argument(
+        "--spill-dir",
+        default=None,
+        metavar="DIR",
+        help="spill root for --backing mmap (default: $REPRO_SPILL_DIR, "
+        "else the system temp dir — unlike --slab-dir, never /dev/shm: "
+        "spill exists to stay off RAM)",
+    )
     _add_workers_argument(slv)
     _add_supervision_arguments(slv)
     _add_constraint_arguments(slv)
@@ -491,6 +508,8 @@ def _cmd_solve(args) -> int:
         constraints=_constraints_from_args(args),
         storage=args.storage,
         slab_dir=args.slab_dir,
+        backing=args.backing,
+        spill_dir=args.spill_dir,
         **options,
     )
     support = result.configuration.support

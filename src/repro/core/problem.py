@@ -132,6 +132,8 @@ class CIMProblem:
         supervision=None,
         storage: Optional[str] = None,
         slab_dir=None,
+        backing: Optional[str] = None,
+        spill_dir=None,
         **adaptive_options,
     ) -> RRHypergraph:
         """Build the random hyper-graph shared by the Section-8 solvers.
@@ -154,6 +156,12 @@ class CIMProblem:
         workers write member streams into memory-mapped slabs under
         ``slab_dir`` (see :mod:`repro.rrset.storage`).  Both modes
         produce bit-identical hyper-graphs.
+
+        ``backing`` selects where the assembled hyper-graph CSR lives:
+        ``"heap"`` (default) or ``"mmap"`` — disk-backed spill files under
+        ``spill_dir`` (``REPRO_SPILL_DIR`` or the system temp dir when
+        unset), for graphs whose hyper-graph exceeds RAM.  Requires
+        ``storage="shared"``; placement never changes the CSR bytes.
         """
         if num_hyperedges == "auto":
             from repro.rrset.adaptive import adaptive_hypergraph
@@ -166,6 +174,8 @@ class CIMProblem:
                 supervision=supervision,
                 storage=storage,
                 slab_dir=slab_dir,
+                backing=backing,
+                spill_dir=spill_dir,
                 **adaptive_options,
             ).hypergraph
         if isinstance(num_hyperedges, str):
@@ -191,4 +201,6 @@ class CIMProblem:
             supervision=supervision,
             storage=storage,
             slab_dir=slab_dir,
+            backing=backing,
+            spill_dir=spill_dir,
         )

@@ -434,6 +434,8 @@ def solve(
     constraints: "ConstraintLike" = None,
     storage: Optional[str] = None,
     slab_dir=None,
+    backing: Optional[str] = None,
+    spill_dir=None,
     **options,
 ) -> SolveResult:
     """Run one CIM strategy end to end.
@@ -499,6 +501,13 @@ def solve(
         ``slab_dir`` (:mod:`repro.rrset.storage`).  Never changes
         results — both modes are bit-identical; ignored when a prebuilt
         ``hypergraph`` is passed.
+    backing / spill_dir:
+        Where the assembled hyper-graph CSR lives: ``"heap"`` (default)
+        or ``"mmap"`` — spill files under ``spill_dir``
+        (``REPRO_SPILL_DIR`` or the system temp dir), keeping the
+        coordinator's resident set independent of θ.  Requires
+        ``storage="shared"``; like ``storage``, never changes results
+        and is ignored with a prebuilt ``hypergraph``.
     options:
         Method-specific knobs (``step``, ``grid_step``, ``max_rounds``...).
     """
@@ -560,6 +569,8 @@ def solve(
             with timings.phase("hypergraph"):
                 adaptive_options.setdefault("storage", storage)
                 adaptive_options.setdefault("slab_dir", slab_dir)
+                adaptive_options.setdefault("backing", backing)
+                adaptive_options.setdefault("spill_dir", spill_dir)
                 adaptive_result = adaptive_hypergraph(
                     problem,
                     seed=seed,
@@ -589,6 +600,8 @@ def solve(
                     supervision=supervision,
                     storage=storage,
                     slab_dir=slab_dir,
+                    backing=backing,
+                    spill_dir=spill_dir,
                 )
             hypergraph_truncated = hypergraph.num_hyperedges < requested
         else:

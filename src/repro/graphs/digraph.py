@@ -21,8 +21,14 @@ from typing import Iterator, Tuple
 import numpy as np
 
 from repro.exceptions import GraphError, NodeNotFoundError
+from repro.utils.spill import empty_array, is_spill_backed, pack_array, unpack_array
 
 __all__ = ["DiGraph"]
+
+#: Edge-array validation and scan chunk (entries, not bytes): large enough
+#: to amortize numpy call overhead, small enough that per-chunk transients
+#: stay a few tens of MB even for multi-hundred-million-edge graphs.
+_SCAN_CHUNK = 1 << 22
 
 
 class DiGraph:
@@ -80,21 +86,46 @@ class DiGraph:
         num_edges = int(out_offsets[-1])
         if out_targets.shape != (num_edges,) or out_probs.shape != (num_edges,):
             raise GraphError("out_targets/out_probs length must equal out_offsets[-1]")
-        if num_edges and (out_targets.min() < 0 or out_targets.max() >= num_nodes):
-            raise GraphError("edge target out of range")
-        if num_edges > 1:
+        if num_edges:
             # Every out-neighbor slice must be strictly increasing: sorted
             # order backs has_edge's binary search, and uniqueness backs the
             # vectorized cascade frontier (which stamps a whole neighbor
-            # batch at once and does no in-batch dedup).
-            slice_start = np.zeros(num_edges, dtype=bool)
-            slice_start[out_offsets[:-1][np.diff(out_offsets) > 0]] = True
-            if np.any((np.diff(out_targets) <= 0) & ~slice_start[1:]):
-                raise GraphError(
-                    "out-neighbor slices must be sorted with no duplicate targets"
-                )
-        if num_edges and (np.any(out_probs < 0.0) or np.any(out_probs > 1.0) or np.any(np.isnan(out_probs))):
-            raise GraphError("edge probabilities must lie in [0, 1]")
+            # batch at once and does no in-batch dedup).  Both edge-length
+            # scans run chunked so validation never materializes an m-sized
+            # transient (the arrays themselves may be memmap-backed and
+            # much larger than memory).
+            slice_starts = out_offsets[:-1][np.diff(out_offsets) > 0]
+            for lo in range(0, num_edges, _SCAN_CHUNK):
+                hi = min(lo + _SCAN_CHUNK, num_edges)
+                chunk = np.asarray(out_targets[lo:hi])
+                if int(chunk.min()) < 0 or int(chunk.max()) >= num_nodes:
+                    raise GraphError("edge target out of range")
+                if lo == 0 and hi == 1:
+                    continue
+                prev = np.asarray(out_targets[max(lo - 1, 0) : hi - 1])
+                flat = chunk[1 if lo == 0 else 0 :] <= prev
+                if np.any(flat):
+                    first = int(
+                        np.searchsorted(slice_starts, (1 if lo == 0 else lo))
+                    )
+                    last = int(np.searchsorted(slice_starts, hi))
+                    exempt = np.zeros(flat.size, dtype=bool)
+                    exempt[
+                        slice_starts[first:last] - (1 if lo == 0 else lo)
+                    ] = True
+                    if np.any(flat & ~exempt):
+                        raise GraphError(
+                            "out-neighbor slices must be sorted with no "
+                            "duplicate targets"
+                        )
+            for lo in range(0, num_edges, _SCAN_CHUNK):
+                chunk = np.asarray(out_probs[lo : lo + _SCAN_CHUNK])
+                if (
+                    np.any(chunk < 0.0)
+                    or np.any(chunk > 1.0)
+                    or np.any(np.isnan(chunk))
+                ):
+                    raise GraphError("edge probabilities must lie in [0, 1]")
 
         self.num_nodes = num_nodes
         self.num_edges = num_edges
@@ -106,9 +137,93 @@ class DiGraph:
     # ------------------------------------------------------------------
     # construction helpers
     # ------------------------------------------------------------------
+    @classmethod
+    def from_csr_pair(
+        cls,
+        num_nodes: int,
+        out_offsets: np.ndarray,
+        out_targets: np.ndarray,
+        out_probs: np.ndarray,
+        in_offsets: np.ndarray,
+        in_sources: np.ndarray,
+        in_probs: np.ndarray,
+    ) -> "DiGraph":
+        """Adopt pre-built out- *and* in-adjacency arrays without rebuilding.
+
+        The trusted constructor for producers that already hold both CSR
+        directions — the streaming generator and the binary graph loader.
+        It skips the O(m log m) transpose derivation and the edge-length
+        scans of ``__init__`` (the producers guarantee sortedness by
+        construction), checking only the O(n) offset invariants, so a
+        memmap-backed LiveJournal-scale graph constructs without pulling
+        its edge arrays through the heap.  Arrays are adopted as given
+        when already at the canonical dtypes (memmaps pass through
+        untouched); in-arrays may alias out-arrays (symmetric graphs).
+        """
+        def adopt(array: np.ndarray, dtype) -> np.ndarray:
+            # ascontiguousarray would re-wrap an np.memmap as a plain
+            # ndarray view, losing the file identity that by-reference
+            # pickling needs — adopt matching arrays untouched instead.
+            if (
+                isinstance(array, np.ndarray)
+                and array.dtype == np.dtype(dtype)
+                and array.flags["C_CONTIGUOUS"]
+            ):
+                return array
+            return np.ascontiguousarray(array, dtype=dtype)
+
+        graph = cls.__new__(cls)
+        graph.num_nodes = int(num_nodes)
+        out_offsets = adopt(out_offsets, np.int64)
+        in_offsets = adopt(in_offsets, np.int64)
+        for name, offsets in (("out", out_offsets), ("in", in_offsets)):
+            if offsets.shape != (graph.num_nodes + 1,):
+                raise GraphError(
+                    f"{name}_offsets must have length n+1={graph.num_nodes + 1}, "
+                    f"got {offsets.shape}"
+                )
+            if offsets[0] != 0 or np.any(np.diff(offsets) < 0):
+                raise GraphError(
+                    f"{name}_offsets must start at 0 and be non-decreasing"
+                )
+        num_edges = int(out_offsets[-1])
+        if int(in_offsets[-1]) != num_edges:
+            raise GraphError(
+                f"in/out CSR edge counts disagree: {int(in_offsets[-1])} != "
+                f"{num_edges}"
+            )
+        graph.num_edges = num_edges
+        graph.out_offsets = out_offsets
+        graph.out_targets = adopt(out_targets, np.int32)
+        graph.out_probs = adopt(out_probs, np.float64)
+        graph.in_offsets = in_offsets
+        graph.in_sources = adopt(in_sources, np.int32)
+        graph.in_probs = adopt(in_probs, np.float64)
+        for name, array in (
+            ("out_targets", graph.out_targets),
+            ("out_probs", graph.out_probs),
+            ("in_sources", graph.in_sources),
+            ("in_probs", graph.in_probs),
+        ):
+            if array.shape != (num_edges,):
+                raise GraphError(
+                    f"{name} length must equal the edge count {num_edges}, "
+                    f"got {array.shape}"
+                )
+        return graph
+
     def _build_in_adjacency(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Derive the transpose adjacency from the out-CSR arrays."""
+        """Derive the transpose adjacency from the out-CSR arrays.
+
+        Destinations inherit the out-arrays' backing: a graph whose CSR
+        lives in spill files gets spill-backed transpose arrays too, so
+        constructing it never doubles heap RSS.  (The ``argsort`` scratch
+        is still an m-sized heap array; the streaming generator and
+        :func:`repro.graphs.io.load_csr` avoid this method entirely for
+        the graphs where that would matter.)
+        """
         n = self.num_nodes
+        backing = "mmap" if is_spill_backed(self.out_targets) else None
         in_degree = np.bincount(self.out_targets, minlength=n).astype(np.int64)
         in_offsets = np.zeros(n + 1, dtype=np.int64)
         np.cumsum(in_degree, out=in_offsets[1:])
@@ -118,8 +233,14 @@ class DiGraph:
         # Stable sort groups edges by target while keeping sources ordered,
         # so each in-neighbor slice comes out sorted as well.
         order = np.argsort(self.out_targets, kind="stable")
-        in_sources = sources[order]
-        in_probs = self.out_probs[order]
+        in_sources = empty_array(
+            self.num_edges, np.int32, backing=backing, name_hint="in-sources"
+        )
+        in_probs = empty_array(
+            self.num_edges, np.float64, backing=backing, name_hint="in-probs"
+        )
+        np.take(sources, order, out=in_sources)
+        np.take(self.out_probs, order, out=in_probs)
         return in_offsets, in_sources, in_probs
 
     # ------------------------------------------------------------------
@@ -223,6 +344,18 @@ class DiGraph:
     # ------------------------------------------------------------------
     # dunder
     # ------------------------------------------------------------------
+    def __getstate__(self):
+        # Spill-backed arrays pickle by reference (path + dtype + shape),
+        # not by value: a worker pool ships the graph once per worker via
+        # the pool initializer, and rehydrating a multi-GB memmap into
+        # pickle bytes would recreate exactly the heap copy the spill
+        # backing exists to avoid.  Heap arrays pickle by value as before.
+        return {slot: pack_array(getattr(self, slot)) for slot in self.__slots__}
+
+    def __setstate__(self, state) -> None:
+        for slot in self.__slots__:
+            object.__setattr__(self, slot, unpack_array(state[slot]))
+
     def __len__(self) -> int:
         return self.num_nodes
 

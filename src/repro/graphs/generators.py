@@ -201,6 +201,8 @@ def powerlaw_configuration(
     average_degree: float = 10.0,
     seed: SeedLike = None,
     directed: bool = True,
+    backing: Optional[str] = None,
+    spill_dir=None,
 ) -> DiGraph:
     """Configuration-model graph with power-law degree distribution.
 
@@ -209,11 +211,20 @@ def powerlaw_configuration(
     rescaled accordingly, then stubs are matched uniformly at random
     (multi-edges and self-loops dropped, which slightly lowers the realized
     degree — acceptable for benchmark analogues).
+
+    ``backing="mmap"`` routes the stub/key stream and the resulting CSR
+    through spill files under ``spill_dir``
+    (:mod:`repro.graphs.streaming`), capping heap usage at O(n) while
+    producing the bit-identical graph; the default keeps everything on
+    the heap.
     """
     if n <= 1:
         raise GraphError("powerlaw_configuration requires n > 1")
     if exponent <= 1.0:
         raise GraphError(f"exponent must exceed 1, got {exponent}")
+    from repro.utils.spill import resolve_backing
+
+    backing_mode = resolve_backing(backing)
     rng = as_generator(seed)
     max_degree = max(2, int(math.sqrt(n) * 2))
     support = np.arange(1, max_degree + 1, dtype=np.float64)
@@ -230,6 +241,16 @@ def powerlaw_configuration(
     )
     if degrees.sum() % 2:
         degrees[int(rng.integers(0, n))] += 1
+
+    if backing_mode == "mmap":
+        # The out-of-core tail consumes the identical RNG stream (its
+        # only remaining draw is the stub shuffle, whose consumption
+        # depends solely on length), so both paths emit the same graph.
+        from repro.graphs.streaming import streaming_configuration_csr
+
+        return streaming_configuration_csr(
+            n, degrees, rng, directed=directed, spill_dir=spill_dir
+        )
 
     stubs = np.repeat(np.arange(n, dtype=np.int64), degrees)
     rng.shuffle(stubs)
@@ -324,38 +345,82 @@ def _analogue(
     exponent: float,
     seed: SeedLike,
     directed: bool,
+    backing: Optional[str] = None,
+    spill_dir=None,
 ) -> DiGraph:
     return powerlaw_configuration(
-        n=n, exponent=exponent, average_degree=average_degree, seed=seed, directed=directed
+        n=n,
+        exponent=exponent,
+        average_degree=average_degree,
+        seed=seed,
+        directed=directed,
+        backing=backing,
+        spill_dir=spill_dir,
     )
 
 
-def wiki_vote_like(scale: float = 1.0, seed: SeedLike = 2016) -> DiGraph:
+def wiki_vote_like(
+    scale: float = 1.0,
+    seed: SeedLike = 2016,
+    backing: Optional[str] = None,
+    spill_dir=None,
+) -> DiGraph:
     """Analogue of SNAP wiki-Vote (n=7115, m=103689, avg deg 14.6, directed).
 
     ``scale`` multiplies the node count; degree shape is preserved.
     """
     n = max(50, int(7115 * scale))
-    return _analogue(n, average_degree=14.6, exponent=2.1, seed=seed, directed=True)
+    return _analogue(
+        n, average_degree=14.6, exponent=2.1, seed=seed, directed=True,
+        backing=backing, spill_dir=spill_dir,
+    )
 
 
-def ca_astroph_like(scale: float = 1.0, seed: SeedLike = 2016) -> DiGraph:
+def ca_astroph_like(
+    scale: float = 1.0,
+    seed: SeedLike = 2016,
+    backing: Optional[str] = None,
+    spill_dir=None,
+) -> DiGraph:
     """Analogue of SNAP ca-AstroPh (n=18772, m=396160 directed, avg 21.1).
 
     The original is an undirected co-authorship network doubled to directed
     edges; the analogue doubles each sampled edge the same way.
     """
     n = max(50, int(18772 * scale))
-    return _analogue(n, average_degree=21.1, exponent=2.3, seed=seed, directed=False)
+    return _analogue(
+        n, average_degree=21.1, exponent=2.3, seed=seed, directed=False,
+        backing=backing, spill_dir=spill_dir,
+    )
 
 
-def com_dblp_like(scale: float = 1.0, seed: SeedLike = 2016) -> DiGraph:
+def com_dblp_like(
+    scale: float = 1.0,
+    seed: SeedLike = 2016,
+    backing: Optional[str] = None,
+    spill_dir=None,
+) -> DiGraph:
     """Analogue of SNAP com-DBLP (n=317080, m~2.1M directed, avg 6.6)."""
     n = max(50, int(317080 * scale))
-    return _analogue(n, average_degree=6.6, exponent=2.6, seed=seed, directed=False)
+    return _analogue(
+        n, average_degree=6.6, exponent=2.6, seed=seed, directed=False,
+        backing=backing, spill_dir=spill_dir,
+    )
 
 
-def com_lj_like(scale: float = 1.0, seed: SeedLike = 2016) -> DiGraph:
-    """Analogue of SNAP com-LiveJournal (n~3.99M, m~69M directed, avg 17.4)."""
+def com_lj_like(
+    scale: float = 1.0,
+    seed: SeedLike = 2016,
+    backing: Optional[str] = None,
+    spill_dir=None,
+) -> DiGraph:
+    """Analogue of SNAP com-LiveJournal (n~3.99M, m~69M directed, avg 17.4).
+
+    At ``scale=1.0`` prefer ``backing="mmap"``: the heap path's transient
+    stub/key stream costs several GB where the streaming path stays O(n).
+    """
     n = max(50, int(3997962 * scale))
-    return _analogue(n, average_degree=17.4, exponent=2.4, seed=seed, directed=False)
+    return _analogue(
+        n, average_degree=17.4, exponent=2.4, seed=seed, directed=False,
+        backing=backing, spill_dir=spill_dir,
+    )

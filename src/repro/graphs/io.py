@@ -1,22 +1,32 @@
-"""SNAP-style edge-list input/output.
+"""Graph input/output: SNAP-style edge lists and binary CSR directories.
 
 The SNAP text format is one edge per line — ``source<TAB>target`` — with
 ``#`` comment lines.  An optional third column carries the edge probability.
 Node ids in the file may be arbitrary non-negative integers; they are
 remapped to a dense ``0..n-1`` range, and :func:`read_edge_list` returns the
 mapping so results can be reported in original ids.
+
+For graphs too large to re-parse (or re-generate) per run there is a
+binary form: :func:`save_csr` writes both CSR directions as plain
+``.npy`` files in a directory, and :func:`load_csr` reopens them —
+``mmap=True`` maps the edge arrays straight from disk (``np.memmap``),
+so a com-LiveJournal-scale graph loads in milliseconds without heap
+copies and round-trips spill-backed graphs exactly.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
 
 from repro.exceptions import GraphError
 from repro.graphs.build import GraphBuilder
 from repro.graphs.digraph import DiGraph
 
-__all__ = ["read_edge_list", "write_edge_list"]
+__all__ = ["read_edge_list", "write_edge_list", "save_csr", "load_csr"]
 
 PathLike = Union[str, Path]
 
@@ -101,3 +111,87 @@ def write_edge_list(
                 handle.write(f"{u}\t{v}\t{prob:.10g}\n")
             else:
                 handle.write(f"{u}\t{v}\n")
+
+
+_CSR_ARRAYS = (
+    "out_offsets",
+    "out_targets",
+    "out_probs",
+    "in_offsets",
+    "in_sources",
+    "in_probs",
+)
+
+
+def save_csr(graph: DiGraph, path: PathLike) -> None:
+    """Write both CSR directions of ``graph`` as ``.npy`` files in a dir.
+
+    Aliased in-arrays (symmetric graphs from the streaming generator
+    share their transpose with the out-adjacency) are recorded in the
+    manifest instead of being written twice, halving the on-disk size
+    and restoring the aliasing on load.
+    """
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+    aliased = bool(
+        graph.in_sources is graph.out_targets
+        and graph.in_offsets is graph.out_offsets
+        and graph.in_probs is graph.out_probs
+    )
+    names = _CSR_ARRAYS[:3] if aliased else _CSR_ARRAYS
+    for name in names:
+        np.save(path / f"{name}.npy", np.asarray(getattr(graph, name)))
+    manifest = {
+        "format": "repro.graphs.csr/1",
+        "num_nodes": int(graph.num_nodes),
+        "num_edges": int(graph.num_edges),
+        "symmetric": aliased,
+    }
+    (path / "graph.json").write_text(json.dumps(manifest, indent=2) + "\n")
+
+
+def load_csr(path: PathLike, mmap: bool = True) -> DiGraph:
+    """Load a :func:`save_csr` directory; ``mmap=True`` maps edge arrays.
+
+    With ``mmap`` the graph's arrays are read-only ``np.memmap``s over
+    the saved files — construction is O(n) (offset validation only, via
+    :meth:`DiGraph.from_csr_pair`) and the arrays pickle by reference
+    into pool workers.  ``mmap=False`` loads plain heap arrays.
+    """
+    path = Path(path)
+    manifest_path = path / "graph.json"
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise GraphError(f"unreadable CSR graph manifest {manifest_path}: {exc}") from exc
+    if manifest.get("format") != "repro.graphs.csr/1":
+        raise GraphError(
+            f"{manifest_path}: unsupported CSR graph format "
+            f"{manifest.get('format')!r}"
+        )
+    mode = "r" if mmap else None
+
+    def load(name: str) -> np.ndarray:
+        try:
+            return np.load(path / f"{name}.npy", mmap_mode=mode)
+        except (OSError, ValueError) as exc:
+            raise GraphError(f"unreadable CSR array {path / name}: {exc}") from exc
+
+    out_offsets = load("out_offsets")
+    out_targets = load("out_targets")
+    out_probs = load("out_probs")
+    if manifest.get("symmetric"):
+        in_offsets, in_sources, in_probs = out_offsets, out_targets, out_probs
+    else:
+        in_offsets = load("in_offsets")
+        in_sources = load("in_sources")
+        in_probs = load("in_probs")
+    return DiGraph.from_csr_pair(
+        int(manifest["num_nodes"]),
+        out_offsets,
+        out_targets,
+        out_probs,
+        in_offsets,
+        in_sources,
+        in_probs,
+    )

@@ -34,7 +34,12 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.constraints import ResolvedConstraints
 
-from repro.exceptions import CheckpointError, EstimationError, WorkerPoolError
+from repro.exceptions import (
+    CheckpointError,
+    EstimationError,
+    StorageError,
+    WorkerPoolError,
+)
 from repro.obs.context import get_metrics, get_tracer
 from repro.parallel.pool import DEFAULT_CHUNK_SIZE
 from repro.parallel.supervisor import SupervisionLike
@@ -217,6 +222,8 @@ def adaptive_hypergraph(
     constraints: Optional["ResolvedConstraints"] = None,
     storage: Optional[str] = None,
     slab_dir: Optional[Union[str, Path]] = None,
+    backing: Optional[str] = None,
+    spill_dir: Optional[Union[str, Path]] = None,
 ) -> AdaptiveResult:
     """Sample adaptively and return the certified CD solution.
 
@@ -300,6 +307,13 @@ def adaptive_hypergraph(
         arrays.  Never part of the checkpoint content key: both modes
         produce bit-identical hyper-graphs, so checkpoints written under
         one mode resume under the other.
+    backing, spill_dir:
+        With ``storage="shared"``, ``backing="mmap"`` assembles each
+        instalment's CSR into disk-backed spill files under ``spill_dir``
+        instead of the heap (see :func:`~repro.rrset.sampler.sample_rr_csr`);
+        extensions inherit the placement.  Like ``storage``/``slab_dir``,
+        never part of the checkpoint content key — placement does not
+        change a single byte of the hyper-graph.
     """
     # Function-level imports: repro.core imports repro.rrset at module
     # scope, so the reverse edge must be deferred to call time.
@@ -317,6 +331,13 @@ def adaptive_hypergraph(
             constraints = None
 
     storage_mode = resolve_storage(storage)
+    from repro.utils.spill import resolve_backing
+
+    if resolve_backing(backing) == "mmap" and storage_mode != "shared":
+        raise StorageError(
+            "backing='mmap' requires storage='shared' (the heap transport "
+            "assembles on the coordinator heap)"
+        )
     n = problem.num_nodes
     if n <= 0:
         raise EstimationError("cannot sample RR sets of an empty graph")
@@ -437,6 +458,8 @@ def adaptive_hypergraph(
                                 supervision=supervision,
                                 storage="shared",
                                 slab_dir=slab_dir,
+                                backing=backing,
+                                spill_dir=spill_dir,
                             )
                         else:
                             rr_sets = sample_rr_sets(

@@ -38,17 +38,25 @@ under the ``solver_matrix`` key (its checks folded into the top-level
     PYTHONPATH=src python -m repro.rrset.bench --solvers
     PYTHONPATH=src python -m repro.rrset.bench --solvers --smoke
 
-``--scale`` runs the million-node storage benchmark instead: the
-com-DBLP analogue at published SNAP size (~2.1M directed edges) sampled
-through both RR-set transports — heap pickling and shared memory-mapped
-slabs (:mod:`repro.rrset.storage`) — across a worker sweep, followed by
-hyper-graph assembly and an end-to-end UD solve on each mode's arrays.
-The record (``BENCH_scale.json``) pins bit-identity across modes and
-worker counts, ~zero pickled bytes per chunk in shared mode, wall-clock
-scaling (CPU-gated), peak RSS, and the narrowed CSR dtypes::
+``--scale`` runs the out-of-core storage benchmark instead: a SNAP
+analogue — the com-LiveJournal one at published size (~4M nodes, ~34M
+undirected edges) by default, com-DBLP in ``--smoke`` — generated
+straight into disk-backed spill files (``--backing mmap``, the
+streaming configuration model of :mod:`repro.graphs.streaming`),
+sampled through both RR-set transports — heap pickling and shared
+memory-mapped slabs (:mod:`repro.rrset.storage`) — across a worker
+sweep, assembled into a hyper-graph on the selected backing, and
+solved end to end with UD.  The record (``BENCH_scale.json``, schema
+``repro.rrset.bench/3``) pins bit-identity across transports, worker
+counts *and* backings (an always-run smoke-scale heap-vs-mmap digest
+cross-check), ~zero pickled bytes per chunk in shared mode, wall-clock
+scaling (CPU-gated, with the machine-derived skip reason recorded),
+the coordinator's peak RSS against a budget (measured *before* the
+heap baseline runs, so the mmap path owns the high-water mark), spill
+volume, and the narrowed CSR dtypes::
 
     PYTHONPATH=src python -m repro.rrset.bench --scale
-    PYTHONPATH=src python -m repro.rrset.bench --scale --smoke --rss-budget 4096
+    PYTHONPATH=src python -m repro.rrset.bench --scale --smoke --backing mmap
 
 ``docs/performance.md`` documents the JSON schema and how to interpret
 the numbers; ``benchmarks/test_cd_kernel.py`` wraps the same functions in
@@ -89,6 +97,7 @@ from repro.rrset.sampler import sample_rr_sets
 
 __all__ = [
     "SCHEMA",
+    "SCALE_SCHEMA",
     "build_cd_workload",
     "run_kernel_benchmark",
     "run_adaptive_benchmark",
@@ -104,6 +113,13 @@ __all__ = [
 ]
 
 SCHEMA = "repro.rrset.bench/2"
+
+#: The ``--scale`` report has its own schema line: /3 added the graph
+#: name, the CSR backing (heap vs spill-mmap), spill volume, the
+#: always-run backing digest cross-check, and the machine-derived
+#: speedup skip reason.  The kernel/adaptive/solver reports are
+#: unchanged and stay on /2.
+SCALE_SCHEMA = "repro.rrset.bench/3"
 
 #: Default benchmark shape: theta large enough that an O(theta) scan
 #: dominates a pair step (the regression this harness exists to catch);
@@ -759,82 +775,226 @@ def run_solver_benchmark(
     }
 
 
-#: Scale-benchmark shapes (``--scale``).  FULL is the million-node push:
-#: the com-DBLP analogue at published SNAP size (~317k nodes, ~2.1M
-#: directed edges); SMOKE shrinks the graph to CI scale but exercises the
-#: identical code path (slab store, dtype policy, worker sweep).
-SCALE = dict(graph_scale=1.0, rr_sets=20_000, budget=50.0)
-SCALE_SMOKE = dict(graph_scale=0.02, rr_sets=2_000, budget=10.0)
+#: Scale-benchmark shapes (``--scale``).  FULL is the out-of-core push:
+#: the com-LiveJournal analogue at published SNAP size (~4M nodes, ~34M
+#: undirected edges) generated and assembled on the spill-mmap backing;
+#: SMOKE shrinks to the com-DBLP analogue at CI scale but exercises the
+#: identical code path (streaming generator when ``backing="mmap"``,
+#: slab store, dtype policy, worker sweep, RSS budget).  Both carry a
+#: real default RSS budget so the guard is armed even when the CLI
+#: passes no ``--rss-budget``.
+SCALE = dict(
+    graph="com_lj_like",
+    graph_scale=1.0,
+    rr_sets=20_000,
+    budget=50.0,
+    backing="mmap",
+    rss_budget_mb=8192.0,
+)
+SCALE_SMOKE = dict(
+    graph="com_dblp_like",
+    graph_scale=0.02,
+    rr_sets=2_000,
+    budget=10.0,
+    backing="mmap",
+    rss_budget_mb=2048.0,
+)
 
 _SCALE_WORKERS = (1, 2, 4)
 _SCALE_SMOKE_WORKERS = (1, 2)
+
+#: Generators the scale benchmark knows how to build, by config name.
+_SCALE_GRAPHS = ("com_dblp_like", "com_lj_like")
 
 #: Pickle volume allowed per chunk in shared mode: a SlabRef is ~100
 #: bytes; anything over 1 KiB means member payloads leaked back into the
 #: pickle stream.
 _PICKLE_PER_CHUNK_LIMIT = 1024
 
+#: Shape of the always-run backing cross-check: small enough to finish
+#: in seconds at full scale, large enough to span several slab chunks.
+_BACKING_CHECK = dict(graph_scale=0.005, rr_sets=512)
+
 
 def _peak_rss_mb() -> Optional[float]:
     """Peak RSS of this process and its pool workers, in MiB."""
-    try:
-        import resource
-    except ImportError:  # pragma: no cover - non-POSIX
-        return None
-    peak = max(
-        resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
-        resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss,
-    )
-    if sys.platform == "darwin":  # pragma: no cover - ru_maxrss is bytes there
-        return peak / (1024.0 * 1024.0)
-    return peak / 1024.0
+    from repro.utils.spill import peak_rss_mb
+
+    return peak_rss_mb()
 
 
-def _digest_csr(sizes: np.ndarray, members: np.ndarray) -> str:
-    """Canonical content hash of a CSR stream (dtype-independent)."""
+def _digest_csr(sizes: np.ndarray, members: np.ndarray, chunk: int = 1 << 22) -> str:
+    """Canonical content hash of a CSR stream (dtype-independent).
+
+    Hashed in bounded chunks so digesting a spill-backed member stream
+    never materialises an int64 copy of the whole array on the heap.
+    """
     hasher = hashlib.sha256()
-    hasher.update(np.ascontiguousarray(sizes, dtype=np.int64).tobytes())
-    hasher.update(np.ascontiguousarray(members, dtype=np.int64).tobytes())
+    for array in (sizes, members):
+        array = np.asarray(array)
+        for start in range(0, array.size, chunk):
+            hasher.update(
+                np.ascontiguousarray(array[start : start + chunk], dtype=np.int64).tobytes()
+            )
     return hasher.hexdigest()
+
+
+def _backing_cross_check(seed: int) -> Dict:
+    """Heap-vs-mmap CSR digest identity at smoke scale, always run.
+
+    The full-scale cells exercise one backing each; this tiny instance
+    assembles the *same* chunk plan through both backings and pins the
+    sha256 of the resulting CSR streams equal, so a placement-dependent
+    byte anywhere in the assemble path fails the report even when the
+    expensive cells run mmap-only.
+    """
+    from repro.graphs.generators import com_dblp_like
+    from repro.rrset.sampler import sample_rr_csr
+
+    graph = assign_weighted_cascade(
+        com_dblp_like(scale=_BACKING_CHECK["graph_scale"], seed=seed), alpha=1.0
+    )
+    population = paper_mixture(graph.num_nodes, seed=seed + 1)
+    problem = CIMProblem(IndependentCascade(graph), population, budget=5.0)
+    digests = {}
+    for mode in ("heap", "mmap"):
+        sizes, members = sample_rr_csr(
+            problem.model,
+            _BACKING_CHECK["rr_sets"],
+            seed=seed + 2,
+            workers=2,
+            storage="shared",
+            backing=mode,
+        )
+        digests[mode] = _digest_csr(sizes, members)
+    return {
+        "graph_scale": _BACKING_CHECK["graph_scale"],
+        "rr_sets": _BACKING_CHECK["rr_sets"],
+        "digests": digests,
+        "identical": digests["heap"] == digests["mmap"],
+    }
 
 
 def run_scale_benchmark(
     graph_scale: float,
     rr_sets: int,
     budget: float,
+    graph: str = "com_dblp_like",
+    backing: Optional[str] = None,
+    spill_dir: Optional[str] = None,
     workers: Sequence[int] = _SCALE_WORKERS,
     seed: int = SEED,
     rss_budget_mb: Optional[float] = None,
     required_edges: int = 0,
+    required_nodes: int = 0,
     **_ignored,
 ) -> Dict:
     """End-to-end solve at SNAP scale: shared slabs vs heap pickling.
 
-    Builds the com-DBLP analogue at ``graph_scale`` (1.0 reproduces the
-    published ~2.1M directed edges), samples the same chunk plan through
-    both storage modes — heap once at the largest worker count, shared at
-    every count in ``workers`` — then assembles the hyper-graph and runs
-    a UD solve on each mode's arrays.  The named checks pin the contract:
-    every sampled stream is bit-identical across modes and worker counts,
-    the shared mode pickles ~nothing per chunk (only SlabRefs cross the
-    pool), both solves return the same discounts, and — when the machine
-    actually has cores to scale onto — sampling speeds up at least 1.6x
-    from 1 to the largest worker count.  ``rss_budget_mb`` turns the
-    recorded peak RSS into a regression-guard check.
+    Builds the ``graph`` analogue (``com_lj_like`` at ``graph_scale=1.0``
+    reproduces the published ~4M nodes / ~34M undirected edges) on the
+    selected ``backing`` — ``"mmap"`` generates the graph through the
+    bounded-memory streaming configuration model and assembles the
+    hyper-graph CSR into spill files under ``spill_dir`` — samples the
+    same chunk plan through the shared-slab transport at every count in
+    ``workers``, assembles + UD-solves on the selected backing, and only
+    *then* runs the heap-pickling baseline at the largest worker count
+    (sampling, assembly, solve).  The ordering matters: ``peak_rss_mb``
+    is a process-lifetime high-water mark, so it is snapshotted after
+    the mmap-path solve and before the heap baseline allocates — the
+    recorded peak belongs to the out-of-core path alone.
+
+    The named checks pin the contract: every sampled stream is
+    bit-identical across transports, worker counts and backings (the
+    always-run smoke-scale cross-check of :func:`_backing_cross_check`),
+    shared mode pickles ~nothing per chunk, both solves return the same
+    discounts, sampling scales when the machine has the cores (the
+    machine-derived skip reason is recorded otherwise), and the
+    coordinator's peak RSS stays under ``rss_budget_mb``.
     """
     from repro.core.solvers import solve
-    from repro.graphs.generators import com_dblp_like
+    from repro.graphs import generators
     from repro.parallel.pool import partition_chunks
     from repro.rrset.sampler import sample_rr_csr
+    from repro.utils.spill import resolve_backing
+
+    if graph not in _SCALE_GRAPHS:
+        raise ValueError(f"graph must be one of {_SCALE_GRAPHS}, got {graph!r}")
+    backing_mode = resolve_backing(backing)
+    generator = getattr(generators, graph)
 
     start = time.perf_counter()
-    graph = assign_weighted_cascade(com_dblp_like(scale=graph_scale, seed=seed), alpha=1.0)
+    base = generator(scale=graph_scale, seed=seed, backing=backing_mode, spill_dir=spill_dir)
+    weighted = assign_weighted_cascade(base, alpha=1.0)
     graph_seconds = time.perf_counter() - start
-    nodes = graph.num_nodes
+    nodes = weighted.num_nodes
     population = paper_mixture(nodes, seed=seed + 1)
-    problem = CIMProblem(IndependentCascade(graph), population, budget=budget)
+    problem = CIMProblem(IndependentCascade(weighted), population, budget=budget)
     chunks = len(partition_chunks(rr_sets))
     max_workers = max(workers)
+
+    # -- shared slabs at every worker count, on the selected backing ----
+    shared_rows: List[Dict] = []
+    shared_arrays = None
+    for count in workers:
+        registry = MetricsRegistry()
+        with observe(metrics=registry):
+            start = time.perf_counter()
+            sizes, members = sample_rr_csr(
+                problem.model,
+                rr_sets,
+                seed=seed + 2,
+                workers=count,
+                storage="shared",
+                backing=backing_mode,
+                spill_dir=spill_dir,
+            )
+            seconds = time.perf_counter() - start
+        counters = registry.snapshot()["counters"]
+        pickled = int(counters.get("storage.pickled_bytes_total", 0))
+        row_chunks = int(counters.get("storage.slab_chunks_total", 0))
+        shared_rows.append(
+            {
+                "workers": count,
+                "seconds": seconds,
+                "pickled_bytes": pickled,
+                "pickled_bytes_per_chunk": pickled / max(row_chunks, 1),
+                "slab_bytes": int(counters.get("storage.slab_bytes_total", 0)),
+                "spill_bytes": int(counters.get("storage.spill_bytes_total", 0)),
+                "chunks": row_chunks,
+                "digest": _digest_csr(sizes, members),
+            }
+        )
+        if count == max_workers:
+            shared_arrays = (sizes, members)
+    shared_sizes, shared_members = shared_arrays
+
+    cpu_count = os.cpu_count() or 1
+    cpu_limited = cpu_count < max_workers
+    speedup_skip_reason = (
+        f"cpu_count={cpu_count} < max_workers={max_workers}" if cpu_limited else None
+    )
+    t_serial = next(r["seconds"] for r in shared_rows if r["workers"] == workers[0])
+    t_wide = next(r["seconds"] for r in shared_rows if r["workers"] == max_workers)
+    sampling_speedup = t_serial / max(t_wide, 1e-12)
+
+    # -- hypergraph assembly + UD solve on the selected backing ---------
+    def build(sizes: np.ndarray, members: np.ndarray) -> RRHypergraph:
+        offsets = np.zeros(sizes.size + 1, dtype=np.int64)
+        np.cumsum(sizes, out=offsets[1:])
+        return RRHypergraph.from_csr(nodes, offsets, members)
+
+    start = time.perf_counter()
+    hg_shared = build(shared_sizes, shared_members)
+    hypergraph_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    result_shared = solve(problem, "ud", hypergraph=hg_shared, seed=seed + 3)
+    solve_seconds = time.perf_counter() - start
+
+    # Snapshot the high-water mark *now*: everything above ran on the
+    # selected backing, everything below deliberately goes to the heap.
+    peak_rss = _peak_rss_mb()
 
     # -- heap baseline: members pickled back through the pool -----------
     registry = MetricsRegistry()
@@ -854,55 +1014,7 @@ def run_scale_benchmark(
         "digest": _digest_csr(heap_sizes, heap_members),
     }
 
-    # -- shared slabs at every worker count -----------------------------
-    shared_rows: List[Dict] = []
-    shared_arrays = None
-    for count in workers:
-        registry = MetricsRegistry()
-        with observe(metrics=registry):
-            start = time.perf_counter()
-            sizes, members = sample_rr_csr(
-                problem.model, rr_sets, seed=seed + 2, workers=count, storage="shared"
-            )
-            seconds = time.perf_counter() - start
-        counters = registry.snapshot()["counters"]
-        pickled = int(counters.get("storage.pickled_bytes_total", 0))
-        row_chunks = int(counters.get("storage.slab_chunks_total", 0))
-        shared_rows.append(
-            {
-                "workers": count,
-                "seconds": seconds,
-                "pickled_bytes": pickled,
-                "pickled_bytes_per_chunk": pickled / max(row_chunks, 1),
-                "slab_bytes": int(counters.get("storage.slab_bytes_total", 0)),
-                "chunks": row_chunks,
-                "digest": _digest_csr(sizes, members),
-            }
-        )
-        if count == max_workers:
-            shared_arrays = (sizes, members)
-    shared_sizes, shared_members = shared_arrays
-
-    cpu_count = os.cpu_count() or 1
-    cpu_limited = cpu_count < max_workers
-    t_serial = next(r["seconds"] for r in shared_rows if r["workers"] == workers[0])
-    t_wide = next(r["seconds"] for r in shared_rows if r["workers"] == max_workers)
-    sampling_speedup = t_serial / max(t_wide, 1e-12)
-
-    # -- hypergraph assembly + UD solve on each mode's arrays -----------
-    def build(sizes: np.ndarray, members: np.ndarray) -> RRHypergraph:
-        offsets = np.zeros(sizes.size + 1, dtype=np.int64)
-        np.cumsum(sizes, out=offsets[1:])
-        return RRHypergraph.from_csr(nodes, offsets, members)
-
-    start = time.perf_counter()
-    hg_shared = build(shared_sizes, shared_members)
-    hypergraph_seconds = time.perf_counter() - start
     hg_heap = build(heap_sizes, heap_members)
-
-    start = time.perf_counter()
-    result_shared = solve(problem, "ud", hypergraph=hg_shared, seed=seed + 3)
-    solve_seconds = time.perf_counter() - start
     result_heap = solve(problem, "ud", hypergraph=hg_heap, seed=seed + 3)
     solver_identical = bool(
         np.array_equal(
@@ -911,18 +1023,22 @@ def run_scale_benchmark(
         )
     )
 
-    peak_rss = _peak_rss_mb()
+    backing_check = _backing_cross_check(seed)
+
     digests = [heap_row["digest"]] + [row["digest"] for row in shared_rows]
     checks = {
-        "graph_edges_ok": graph.num_edges >= required_edges,
+        "graph_nodes_ok": nodes >= required_nodes,
+        "graph_edges_ok": weighted.num_edges >= required_edges,
         "hypergraph_identical": len(set(digests)) == 1,
+        "backing_identical": bool(backing_check["identical"]),
         "solver_identical": solver_identical,
         "pickled_members_near_zero": all(
             row["pickled_bytes_per_chunk"] <= _PICKLE_PER_CHUNK_LIMIT
             for row in shared_rows
         ),
         # The worker sweep can only demonstrate scaling on a machine that
-        # has the cores; a CPU-starved box still validates bit-identity.
+        # has the cores; a CPU-starved box still validates bit-identity
+        # (the recorded skip reason says exactly which gate fired).
         "sampling_speedup_ok": (sampling_speedup >= 1.6) if not cpu_limited else True,
         "rss_within_budget": (
             True
@@ -931,7 +1047,7 @@ def run_scale_benchmark(
         ),
     }
     return {
-        "schema": SCHEMA,
+        "schema": SCALE_SCHEMA,
         "summary": _summary(
             "scale-storage",
             baseline_seconds=heap_seconds,
@@ -939,14 +1055,17 @@ def run_scale_benchmark(
             checks=checks,
         ),
         "config": {
-            "graph": "com_dblp_like",
+            "graph": graph,
             "graph_scale": graph_scale,
             "rr_sets": rr_sets,
             "budget": budget,
+            "backing": backing_mode,
+            "spill_dir": str(spill_dir) if spill_dir is not None else None,
             "seed": seed,
             "workers": list(workers),
             "rss_budget_mb": rss_budget_mb,
             "required_edges": required_edges,
+            "required_nodes": required_nodes,
         },
         "machine": {
             "cpu_count": cpu_count,
@@ -956,7 +1075,7 @@ def run_scale_benchmark(
         "results": {
             "graph": {
                 "nodes": int(nodes),
-                "edges": int(graph.num_edges),
+                "edges": int(weighted.num_edges),
                 "build_seconds": graph_seconds,
             },
             "sampling": {
@@ -964,6 +1083,7 @@ def run_scale_benchmark(
                 "shared": shared_rows,
                 "speedup": sampling_speedup,
                 "cpu_limited": cpu_limited,
+                "speedup_skip_reason": speedup_skip_reason,
             },
             "hypergraph": {
                 "build_seconds": hypergraph_seconds,
@@ -987,6 +1107,7 @@ def run_scale_benchmark(
                 "peak_rss_mb": peak_rss,
                 "rss_budget_mb": rss_budget_mb,
             },
+            "backing_check": backing_check,
         },
         "determinism": {
             "workers": list(workers),
@@ -1002,7 +1123,8 @@ def format_scale_report(report: Dict) -> str:
     res = report["results"]
     sampling = res["sampling"]
     lines = [
-        f"scale storage — {cfg['graph']} x{cfg['graph_scale']:g}: "
+        f"scale storage — {cfg['graph']} x{cfg['graph_scale']:g} "
+        f"[backing={cfg.get('backing', 'heap')}]: "
         f"n={res['graph']['nodes']} m={res['graph']['edges']} "
         f"theta={cfg['rr_sets']} (cpus={report['machine']['cpu_count']})",
         f"{'mode':>8s} {'workers':>8s} {'seconds':>9s} {'pickled/chunk':>14s}",
@@ -1028,12 +1150,25 @@ def format_scale_report(report: Dict) -> str:
             res["solve"]["objective_value"],
         )
     )
+    skip = res["sampling"].get("speedup_skip_reason")
+    if skip:
+        lines.append(f"sampling speedup check skipped: {skip}")
     peak = res["memory"]["peak_rss_mb"]
     if peak is not None:
         budget = res["memory"]["rss_budget_mb"]
         lines.append(
             "peak rss %.0f MiB%s"
             % (peak, f" (budget {budget:.0f})" if budget is not None else "")
+        )
+    backing_check = res.get("backing_check")
+    if backing_check is not None:
+        lines.append(
+            "backing cross-check (scale %g, theta %d): heap==mmap %s"
+            % (
+                backing_check["graph_scale"],
+                backing_check["rr_sets"],
+                backing_check["identical"],
+            )
         )
     checks = report["summary"]["checks"]
     lines.append("checks: " + " ".join(f"{name}={ok}" for name, ok in checks.items()))
@@ -1206,9 +1341,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--scale",
         action="store_true",
-        help="benchmark shared-slab vs heap storage on the SNAP-size "
-        "com-DBLP analogue (end-to-end solve, worker sweep, peak RSS); "
-        "writes BENCH_scale.json",
+        help="benchmark shared-slab vs heap storage on a SNAP-size "
+        "analogue (end-to-end solve, worker sweep, peak RSS); "
+        "com-LiveJournal on the spill-mmap backing by default, com-DBLP "
+        "in --smoke; writes BENCH_scale.json (schema repro.rrset.bench/3)",
     )
     parser.add_argument(
         "--scale-factor",
@@ -1218,12 +1354,34 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "0.02 smoke)",
     )
     parser.add_argument(
+        "--scale-graph",
+        choices=("com_dblp_like", "com_lj_like"),
+        default=None,
+        help="which SNAP analogue --scale builds (default com_lj_like "
+        "full, com_dblp_like smoke)",
+    )
+    parser.add_argument(
+        "--backing",
+        choices=("heap", "mmap"),
+        default=None,
+        help="CSR backing for the --scale graph + hyper-graph: 'mmap' "
+        "(default) streams the graph build and assembles into disk-backed "
+        "spill files, 'heap' keeps everything in RAM",
+    )
+    parser.add_argument(
+        "--spill-dir",
+        default=None,
+        metavar="DIR",
+        help="spill root for --backing mmap (default: $REPRO_SPILL_DIR, "
+        "else the system temp dir)",
+    )
+    parser.add_argument(
         "--rss-budget",
         type=float,
         default=None,
         metavar="MIB",
         help="fail --scale when peak RSS exceeds this many MiB "
-        "(regression guard)",
+        "(default 8192 full, 2048 smoke; pass 0 to disable the guard)",
     )
     parser.add_argument(
         "--epsilon",
@@ -1295,14 +1453,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             scale_shape["rr_sets"] = args.rr_sets
         if args.budget is not None:
             scale_shape["budget"] = args.budget
+        if args.scale_graph is not None:
+            scale_shape["graph"] = args.scale_graph
+        if args.backing is not None:
+            scale_shape["backing"] = args.backing
+        if args.spill_dir is not None:
+            scale_shape["spill_dir"] = args.spill_dir
+        if args.rss_budget is not None:
+            scale_shape["rss_budget_mb"] = args.rss_budget or None
         if args.workers is None:
             workers = _SCALE_SMOKE_WORKERS if args.smoke else _SCALE_WORKERS
+        if args.smoke:
+            required_edges, required_nodes = 0, 0
+        elif scale_shape["graph"] == "com_lj_like":
+            # The published com-LiveJournal size: ~4M nodes, >=30M
+            # undirected edges (the acceptance floor of the scale cell).
+            required_edges, required_nodes = 30_000_000, 3_900_000
+        else:
+            required_edges, required_nodes = 2_000_000, 300_000
         out = args.out or "BENCH_scale.json"
         report = run_scale_benchmark(
             workers=workers,
             seed=args.seed,
-            rss_budget_mb=args.rss_budget,
-            required_edges=0 if args.smoke else 2_000_000,
+            required_edges=required_edges,
+            required_nodes=required_nodes,
             **scale_shape,
         )
         write_report(report, out)

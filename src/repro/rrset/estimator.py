@@ -156,8 +156,23 @@ class HypergraphObjective:
         if np.any(probs < 0.0) or np.any(probs > 1.0) or np.any(np.isnan(probs)):
             raise EstimationError("seed probabilities must lie in [0, 1]")
         self._probs = probs
-        self._zero_count = np.zeros(hypergraph.num_hyperedges, dtype=np.int64)
-        self._nonzero_prod = np.ones(hypergraph.num_hyperedges, dtype=np.float64)
+        # Per-edge survival state inherits the hyper-graph's backing: on
+        # a spill-backed hyper-graph these theta-sized arrays land in
+        # spill files too (rebuild and the delta updates all write
+        # in-place, so the placement survives the objective's lifetime).
+        from repro.utils.spill import empty_array, is_spill_backed
+
+        backing = "mmap" if is_spill_backed(hypergraph.edge_nodes) else None
+        self._zero_count = empty_array(
+            hypergraph.num_hyperedges, np.int64, backing=backing,
+            name_hint="zero-count",
+        )
+        self._zero_count[:] = 0
+        self._nonzero_prod = empty_array(
+            hypergraph.num_hyperedges, np.float64, backing=backing,
+            name_hint="nonzero-prod",
+        )
+        self._nonzero_prod[:] = 1.0
 
         # Reduceat geometry, fixed by the immutable hyper-graph: segment
         # starts of the *non-empty* hyper-edges in the member stream.  An

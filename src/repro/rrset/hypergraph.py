@@ -36,12 +36,13 @@ from typing import Iterable, Optional, Sequence, Union
 import numpy as np
 
 from repro.diffusion.base import DiffusionModel
-from repro.exceptions import CheckpointError, EstimationError
+from repro.exceptions import CheckpointError, EstimationError, StorageError
 from repro.obs.context import get_metrics, get_tracer
 from repro.rrset.sampler import sample_rr_csr, sample_rr_sets
 from repro.rrset.storage import DtypePolicy, resolve_storage
 from repro.runtime.deadline import DeadlineLike
 from repro.utils.rng import SeedLike
+from repro.utils.spill import empty_array, is_spill_backed, resolve_backing
 
 __all__ = ["RRHypergraph"]
 
@@ -108,6 +109,11 @@ class RRHypergraph:
         # Inverted index: node -> hyper-edge ids containing it.  Stable
         # argsort of the member stream groups positions by node while
         # keeping hyper-edge ids ascending within each node's slice.
+        # The destination inherits the member stream's backing (a
+        # spill-backed assembly gets a spill-backed inverted index); the
+        # repeat/argsort scratch stays on the heap — the hyper-graph
+        # member stream is small next to the graph it samples from.
+        backing = "mmap" if is_spill_backed(self.edge_nodes) else None
         degree = np.bincount(self.edge_nodes, minlength=num_nodes)
         node_offsets = np.zeros(num_nodes + 1, dtype=np.int64)
         np.cumsum(degree, out=node_offsets[1:])
@@ -117,7 +123,11 @@ class RRHypergraph:
             np.arange(self.num_hyperedges, dtype=policy.edge_ids), sizes
         )
         order = np.argsort(self.edge_nodes, kind="stable")
-        self.node_edges = edge_ids[order]
+        self.node_edges = empty_array(
+            int(edge_nodes.size), policy.edge_ids, backing=backing,
+            name_hint="node-edges",
+        )
+        np.take(edge_ids, order, out=self.node_edges)
 
         # Lazily allocated scratch for stamp-based coverage counting.
         self._cover_stamp = None
@@ -138,6 +148,8 @@ class RRHypergraph:
         supervision=None,
         storage: Optional[str] = None,
         slab_dir=None,
+        backing: Optional[str] = None,
+        spill_dir=None,
     ) -> "RRHypergraph":
         """Sample ``num_hyperedges`` RR sets from ``model`` and index them.
 
@@ -159,7 +171,17 @@ class RRHypergraph:
         slab files (:mod:`repro.rrset.storage`) instead of pickling the
         member arrays back — same bits, a fraction of the transfer cost
         at large ``theta``; ``slab_dir`` overrides where the slabs live.
+
+        ``backing="mmap"`` (shared storage only) assembles the CSR
+        arrays into spill files under ``spill_dir`` instead of the heap,
+        and the derived inverted index follows; the hyper-graph's
+        contents are bit-identical to a heap-backed build.
         """
+        if resolve_backing(backing) == "mmap" and resolve_storage(storage) != "shared":
+            raise StorageError(
+                "backing='mmap' requires storage='shared' (the heap transport "
+                "assembles on the coordinator heap)"
+            )
         with get_tracer().span("hypergraph.build", theta=num_hyperedges) as span:
             if resolve_storage(storage) == "shared":
                 sizes, members = sample_rr_csr(
@@ -172,6 +194,8 @@ class RRHypergraph:
                     supervision=supervision,
                     storage="shared",
                     slab_dir=slab_dir,
+                    backing=backing,
+                    spill_dir=spill_dir,
                 )
                 edge_offsets = np.zeros(sizes.size + 1, dtype=np.int64)
                 np.cumsum(sizes, out=edge_offsets[1:])
@@ -273,7 +297,14 @@ class RRHypergraph:
             np.cumsum(new_sizes, out=offsets64[old_m + 1 :])
             offsets64[old_m + 1 :] += old_stream
             out.edge_offsets = offsets64.astype(policy.offsets, copy=False)
-            edge_nodes = np.empty(total_members, dtype=policy.members)
+            # Extended arrays inherit the existing backing: a spill-backed
+            # hyper-graph stays spill-backed through every instalment,
+            # including ones that widen the dtype policy mid-extend.
+            backing = "mmap" if is_spill_backed(self.edge_nodes) else None
+            edge_nodes = empty_array(
+                total_members, policy.members, backing=backing,
+                name_hint="edge-nodes",
+            )
             edge_nodes[:old_stream] = self.edge_nodes
             edge_nodes[old_stream:] = new_nodes
             out.edge_nodes = edge_nodes
@@ -288,7 +319,10 @@ class RRHypergraph:
             node_offsets64 = np.zeros(n + 1, dtype=np.int64)
             np.cumsum(old_counts + new_degree, out=node_offsets64[1:])
             out.node_offsets = node_offsets64.astype(policy.offsets, copy=False)
-            node_edges = np.empty(total_members, dtype=policy.edge_ids)
+            node_edges = empty_array(
+                total_members, policy.edge_ids, backing=backing,
+                name_hint="node-edges",
+            )
             if old_stream:
                 # Destinations are positions below total_members, so the
                 # offset width holds them exactly.

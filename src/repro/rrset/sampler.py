@@ -265,6 +265,8 @@ def sample_rr_csr(
     supervision: "SupervisionLike" = None,
     storage: Optional[str] = None,
     slab_dir=None,
+    backing: Optional[str] = None,
+    spill_dir=None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Generate ``count`` RR sets directly as a CSR pair ``(sizes, members)``.
 
@@ -289,8 +291,25 @@ def sample_rr_csr(
     The ``storage.*`` metrics record the actual pickle volume of each
     mode, which ``python -m repro.rrset.bench --scale`` reports as
     bytes-pickled-per-chunk.
+
+    ``backing`` selects where the *assembled* CSR arrays live:
+    ``"heap"``/``None`` allocates ordinary arrays, ``"mmap"`` (shared
+    storage only) copies slab contents straight into spill files under
+    ``spill_dir`` (or ``REPRO_SPILL_DIR`` or the system temp dir), so
+    the coordinator's resident set stays independent of ``theta``.
+    Contents are bit-identical either way.
     """
+    from repro.utils.spill import peak_rss_mb, resolve_backing
+
     mode = resolve_storage(storage)
+    backing_mode = resolve_backing(backing)
+    if backing_mode == "mmap" and mode != "shared":
+        from repro.exceptions import StorageError
+
+        raise StorageError(
+            "backing='mmap' requires storage='shared' (heap transport "
+            "concatenates on the coordinator heap)"
+        )
     dtype = member_dtype(model.num_nodes)
     metrics = get_metrics()
 
@@ -362,14 +381,19 @@ def sample_rr_csr(
                 )
                 metrics.observe("rrset.chunk_items", ref.count)
             with get_tracer().span(
-                "storage.assemble", chunks=len(refs)
+                "storage.assemble", chunks=len(refs), backing=backing_mode
             ) as assemble_span:
-                sizes, members = store.assemble(refs, dtype)
+                sizes, members = store.assemble(
+                    refs, dtype, backing=backing_mode, spill_dir=spill_dir
+                )
                 assemble_span.set(
                     produced=int(sizes.size),
                     total_members=int(members.size),
                     slab_bytes=int(members.nbytes + sizes.nbytes),
                 )
+            rss = peak_rss_mb()
+            if rss is not None:
+                metrics.set_gauge("storage.peak_rss_mb", rss)
             produced = int(sizes.size)
             span.set(produced=produced, truncated=expired)
             metrics.inc("rrset.requested_total", count)

@@ -54,6 +54,12 @@ import numpy as np
 
 from repro.exceptions import StorageError
 from repro.runtime.faults import maybe_inject, maybe_inject_process
+from repro.utils.spill import (  # noqa: F401 - re-exported storage vocabulary
+    BACKING_MODES,
+    SPILL_DIR_ENV_VAR,
+    empty_array,
+    resolve_backing,
+)
 
 __all__ = [
     "MEMBER_SMALL_LIMIT",
@@ -62,6 +68,8 @@ __all__ = [
     "OFFSET_LIMIT",
     "STORAGE_MODES",
     "SLAB_DIR_ENV_VAR",
+    "BACKING_MODES",
+    "SPILL_DIR_ENV_VAR",
     "member_dtype",
     "edge_id_dtype",
     "offset_dtype",
@@ -69,6 +77,7 @@ __all__ = [
     "SlabRef",
     "SlabStore",
     "resolve_storage",
+    "resolve_backing",
     "pickled_size",
 ]
 
@@ -251,19 +260,27 @@ class SlabStore:
         sizes = np.fromiter(
             (m.size for m in rr_sets), dtype=np.int64, count=len(rr_sets)
         )
-        if rr_sets:
-            stream = np.concatenate([np.asarray(m) for m in rr_sets])
-        else:
-            stream = np.empty(0, dtype=np.int64)
-        if stream.size:
-            hi = int(stream.max())
-            limit = 1 << (8 * target.itemsize)
-            if int(stream.min()) < 0 or hi >= limit:
-                raise StorageError(
-                    f"chunk {index}: member id {hi} does not fit slab dtype "
-                    f"{target.name}"
-                )
-        _atomic_save(members_path, stream.astype(target, copy=False))
+        # Range-check each RR set, then copy it straight into a buffer
+        # already at the slab dtype.  Concatenating at the sets' native
+        # int64 first and casting after would double the worker's peak
+        # memory per chunk (an int64 staging copy next to the narrow
+        # result); copy-with-cast into the narrow buffer needs only the
+        # result.
+        stream = np.empty(int(sizes.sum()), dtype=target)
+        limit = 1 << (8 * target.itemsize)
+        cursor = 0
+        for members in rr_sets:
+            members = np.asarray(members)
+            if members.size:
+                hi = int(members.max())
+                if int(members.min()) < 0 or hi >= limit:
+                    raise StorageError(
+                        f"chunk {index}: member id {hi} does not fit slab dtype "
+                        f"{target.name}"
+                    )
+            stream[cursor : cursor + members.size] = members
+            cursor += members.size
+        _atomic_save(members_path, stream)
         if attempt == 0:
             maybe_inject("storage.slab_write")
         maybe_inject_process("storage.slab_write", index, attempt)
@@ -299,7 +316,12 @@ class SlabStore:
         return sizes, members
 
     def assemble(
-        self, refs: Sequence[SlabRef], dtype: Union[str, np.dtype]
+        self,
+        refs: Sequence[SlabRef],
+        dtype: Union[str, np.dtype],
+        out: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+        backing: Optional[str] = None,
+        spill_dir: Union[str, Path, None] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Concatenate chunk slabs, in plan order, into final CSR inputs.
 
@@ -307,12 +329,40 @@ class SlabStore:
         member stream in ``dtype``.  Each slab is memory-mapped and
         copied straight into its extent of the pre-allocated output —
         one pass, no intermediate list, no pickling.
+
+        The destination is chosen by ``out``/``backing``: pass
+        ``out=(sizes, members)`` to fill caller-owned arrays (they must
+        match the totals and dtypes exactly), or ``backing="mmap"`` to
+        allocate both destinations as spill files under ``spill_dir``
+        (resolution: arg > ``REPRO_SPILL_DIR`` > system temp) so slab
+        contents never transit the coordinator heap.  The default,
+        ``backing=None``/``"heap"``, keeps the classic in-heap arrays.
+        Contents are bit-identical in every mode.
         """
         target = np.dtype(dtype)
         total_edges = sum(ref.count for ref in refs)
         total_members = sum(ref.total_members for ref in refs)
-        sizes = np.empty(total_edges, dtype=np.int64)
-        members = np.empty(total_members, dtype=target)
+        if out is not None:
+            sizes, members = out
+            if sizes.shape != (total_edges,) or sizes.dtype != np.int64:
+                raise StorageError(
+                    f"assemble out sizes must be int64[{total_edges}], got "
+                    f"{sizes.dtype}{list(sizes.shape)}"
+                )
+            if members.shape != (total_members,) or members.dtype != target:
+                raise StorageError(
+                    f"assemble out members must be {target.name}"
+                    f"[{total_members}], got {members.dtype}{list(members.shape)}"
+                )
+        else:
+            sizes = empty_array(
+                total_edges, np.int64, backing=backing, spill_dir=spill_dir,
+                name_hint="rr-sizes",
+            )
+            members = empty_array(
+                total_members, target, backing=backing, spill_dir=spill_dir,
+                name_hint="rr-members",
+            )
         edge_at = 0
         member_at = 0
         for ref in refs:

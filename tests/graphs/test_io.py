@@ -1,5 +1,6 @@
 """Unit tests for edge-list IO."""
 
+import numpy as np
 import pytest
 
 from repro.exceptions import GraphError
@@ -78,3 +79,84 @@ class TestReading:
         path.write_text("a\tb\n")
         with pytest.raises(GraphError):
             read_edge_list(path)
+
+
+class TestCsrRoundTrip:
+    """`save_csr` / `load_csr`: the binary form for re-parse-free loads."""
+
+    def _graph(self, directed=True, backing=None):
+        from repro.graphs.generators import powerlaw_configuration
+
+        return powerlaw_configuration(
+            150, average_degree=5.0, seed=9, directed=directed, backing=backing
+        )
+
+    def _assert_same(self, a, b):
+        assert a.num_nodes == b.num_nodes
+        assert a.num_edges == b.num_edges
+        for name in (
+            "out_offsets",
+            "out_targets",
+            "out_probs",
+            "in_offsets",
+            "in_sources",
+            "in_probs",
+        ):
+            assert np.array_equal(
+                np.asarray(getattr(a, name)), np.asarray(getattr(b, name))
+            ), name
+
+    @pytest.mark.parametrize("mmap", [True, False])
+    def test_round_trip(self, tmp_path, mmap):
+        from repro.graphs.io import load_csr, save_csr
+
+        graph = self._graph()
+        save_csr(graph, tmp_path / "csr")
+        loaded = load_csr(tmp_path / "csr", mmap=mmap)
+        self._assert_same(graph, loaded)
+
+    def test_mmap_load_maps_edge_arrays(self, tmp_path):
+        from repro.graphs.io import load_csr, save_csr
+        from repro.utils.spill import is_spill_backed
+
+        save_csr(self._graph(), tmp_path / "csr")
+        loaded = load_csr(tmp_path / "csr", mmap=True)
+        assert is_spill_backed(loaded.out_targets)
+        assert is_spill_backed(loaded.in_probs)
+
+    def test_symmetric_aliasing_saved_once_and_restored(self, tmp_path):
+        from repro.graphs.io import load_csr, save_csr
+
+        graph = self._graph(directed=False, backing="mmap")
+        assert graph.in_sources is graph.out_targets  # the streaming alias
+        save_csr(graph, tmp_path / "csr")
+        # Only the out-direction files exist on disk...
+        assert not (tmp_path / "csr" / "in_sources.npy").exists()
+        loaded = load_csr(tmp_path / "csr")
+        self._assert_same(graph, loaded)
+        # ...and the alias is restored, not duplicated.
+        assert loaded.in_sources is loaded.out_targets
+
+    def test_spill_backed_graph_round_trips(self, tmp_path):
+        from repro.graphs.io import load_csr, save_csr
+
+        graph = self._graph(backing="mmap")
+        save_csr(graph, tmp_path / "csr")
+        self._assert_same(graph, load_csr(tmp_path / "csr"))
+
+    def test_missing_manifest_raises(self, tmp_path):
+        from repro.graphs.io import load_csr
+
+        with pytest.raises(GraphError):
+            load_csr(tmp_path / "nope")
+
+    def test_unsupported_format_raises(self, tmp_path):
+        import json
+
+        from repro.graphs.io import load_csr
+
+        target = tmp_path / "csr"
+        target.mkdir()
+        (target / "graph.json").write_text(json.dumps({"format": "other/9"}))
+        with pytest.raises(GraphError):
+            load_csr(target)

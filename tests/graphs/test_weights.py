@@ -90,3 +90,46 @@ class TestTrivalency:
             assign_trivalency_probabilities(g, values=())
         with pytest.raises(GraphError):
             assign_trivalency_probabilities(g, values=(2.0,))
+
+
+class TestWeightedCascadeSpill:
+    """The spill fast path must be bit-identical to the heap gather."""
+
+    def _pair(self, directed, seed=11):
+        from repro.graphs.generators import powerlaw_configuration
+
+        heap = powerlaw_configuration(
+            200, average_degree=6.0, seed=seed, directed=directed
+        )
+        mmap = powerlaw_configuration(
+            200, average_degree=6.0, seed=seed, directed=directed, backing="mmap"
+        )
+        return heap, mmap
+
+    @pytest.mark.parametrize("directed", [True, False])
+    @pytest.mark.parametrize("alpha", [0.7, 1.0])
+    def test_bit_identical_to_heap_path(self, directed, alpha):
+        heap, mmap = self._pair(directed)
+        wc_heap = assign_weighted_cascade(heap, alpha=alpha)
+        wc_mmap = assign_weighted_cascade(mmap, alpha=alpha)
+        for name in ("out_probs", "in_probs"):
+            a = np.asarray(getattr(wc_heap, name))
+            b = np.asarray(getattr(wc_mmap, name))
+            assert a.dtype == b.dtype, name
+            assert np.array_equal(a, b), name
+
+    def test_result_keeps_spill_placement_and_shares_adjacency(self):
+        from repro.utils.spill import is_spill_backed
+
+        _, mmap = self._pair(directed=True)
+        wc = assign_weighted_cascade(mmap, alpha=0.85)
+        assert is_spill_backed(wc.out_probs)
+        assert is_spill_backed(wc.in_probs)
+        # Adjacency is adopted, not copied: same spill files.
+        assert wc.out_targets is mmap.out_targets
+        assert wc.in_sources is mmap.in_sources
+
+    def test_invalid_alpha_still_rejected_on_spill_graphs(self):
+        _, mmap = self._pair(directed=True)
+        with pytest.raises(GraphError):
+            assign_weighted_cascade(mmap, alpha=0.0)

@@ -1,22 +1,49 @@
 """Tests for the scale-storage benchmark (`repro.rrset.bench --scale`).
 
 Runs the real benchmark body at a toy scale so CI exercises the whole
-path — graph build, heap vs shared sampling sweep, hyper-graph assembly,
-UD solve, check evaluation, report rendering — in seconds, and pins the
-``BENCH_scale.json`` schema the docs and the CI regression guard rely on.
+path — graph build (heap and streaming/mmap), sampling sweep through
+both transports, spill-backed hyper-graph assembly, UD solve, the
+backing cross-check, check evaluation, report rendering — in seconds,
+and pins the ``BENCH_scale.json`` schema (``repro.rrset.bench/3``) the
+docs and the CI regression guard rely on.
 """
 
 import json
 
 import pytest
 
-from repro.rrset.bench import SCHEMA, format_scale_report, run_scale_benchmark
+from repro.rrset.bench import SCALE_SCHEMA, format_scale_report, run_scale_benchmark
+
+EXPECTED_CHECKS = {
+    "graph_nodes_ok",
+    "graph_edges_ok",
+    "hypergraph_identical",
+    "backing_identical",
+    "solver_identical",
+    "pickled_members_near_zero",
+    "sampling_speedup_ok",
+    "rss_within_budget",
+}
 
 
 @pytest.fixture(scope="module")
 def report():
     return run_scale_benchmark(
         graph_scale=0.005, rr_sets=512, budget=5.0, workers=(1, 2), seed=2016
+    )
+
+
+@pytest.fixture(scope="module")
+def mmap_report(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("scale-spill")
+    return run_scale_benchmark(
+        graph_scale=0.005,
+        rr_sets=512,
+        budget=5.0,
+        workers=(1, 2),
+        seed=2016,
+        backing="mmap",
+        spill_dir=tmp,
     )
 
 
@@ -28,20 +55,23 @@ class TestScaleReport:
         assert report["summary"]["ok"] is True
 
     def test_schema_and_top_level_keys(self, report):
-        assert report["schema"] == SCHEMA
+        assert report["schema"] == SCALE_SCHEMA
         for key in ("summary", "config", "machine", "results", "determinism"):
             assert key in report, key
         assert report["summary"]["benchmark"] == "scale-storage"
 
     def test_expected_checks_present(self, report):
-        assert set(report["summary"]["checks"]) == {
-            "graph_edges_ok",
-            "hypergraph_identical",
-            "solver_identical",
-            "pickled_members_near_zero",
-            "sampling_speedup_ok",
-            "rss_within_budget",
-        }
+        assert set(report["summary"]["checks"]) == EXPECTED_CHECKS
+
+    def test_config_records_backing(self, report):
+        assert report["config"]["backing"] == "heap"
+        assert report["config"]["graph"] == "com_dblp_like"
+
+    def test_backing_cross_check_always_present(self, report):
+        check = report["results"]["backing_check"]
+        assert check["identical"] is True
+        assert set(check["digests"]) == {"heap", "mmap"}
+        assert check["digests"]["heap"] == check["digests"]["mmap"]
 
     def test_shared_rows_cover_worker_sweep(self, report):
         sampling = report["results"]["sampling"]
@@ -51,6 +81,17 @@ class TestScaleReport:
         assert sampling["heap"]["pickled_bytes_per_chunk"] > 1024
         for row in sampling["shared"]:
             assert row["pickled_bytes_per_chunk"] <= 1024
+
+    def test_speedup_skip_reason_is_machine_derived(self, report):
+        import os
+
+        sampling = report["results"]["sampling"]
+        if sampling["cpu_limited"]:
+            assert sampling["speedup_skip_reason"] == (
+                f"cpu_count={os.cpu_count() or 1} < max_workers=2"
+            )
+        else:
+            assert sampling["speedup_skip_reason"] is None
 
     def test_digests_identical_across_modes_and_workers(self, report):
         determinism = report["determinism"]
@@ -92,8 +133,45 @@ class TestScaleReport:
         )
         assert gated["summary"]["checks"]["graph_edges_ok"] is False
 
+    def test_required_nodes_gate(self):
+        gated = run_scale_benchmark(
+            graph_scale=0.005,
+            rr_sets=256,
+            budget=5.0,
+            workers=(1,),
+            seed=2016,
+            required_nodes=10**9,
+        )
+        assert gated["summary"]["checks"]["graph_nodes_ok"] is False
+
+    def test_unknown_graph_rejected(self):
+        with pytest.raises(ValueError):
+            run_scale_benchmark(
+                graph_scale=0.005,
+                rr_sets=64,
+                budget=5.0,
+                workers=(1,),
+                seed=2016,
+                graph="erdos_renyi",
+            )
+
     def test_format_scale_report_renders_both_modes(self, report):
         text = format_scale_report(report)
         assert "heap" in text
         assert "shared" in text
         assert "pickled" in text
+        assert "backing" in text
+
+
+class TestScaleReportMmap:
+    def test_mmap_cell_passes_and_matches_heap_digest(self, report, mmap_report):
+        failed = [k for k, v in mmap_report["summary"]["checks"].items() if not v]
+        assert not failed, failed
+        assert mmap_report["config"]["backing"] == "mmap"
+        # Same seed, same chunk plan: the spill-assembled streams hash to
+        # the heap cell's digest exactly.
+        assert mmap_report["determinism"]["digest"] == report["determinism"]["digest"]
+
+    def test_mmap_rows_record_spill_volume(self, mmap_report):
+        for row in mmap_report["results"]["sampling"]["shared"]:
+            assert row["spill_bytes"] > 0

@@ -231,3 +231,90 @@ class TestSampleRRCsr:
                 np.asarray(getattr(via_csr, attr), dtype=np.int64),
                 np.asarray(getattr(via_list, attr), dtype=np.int64),
             ), attr
+
+
+class TestAssembleBacking:
+    """`assemble` destination control: `out=` and `backing=` (spill-mmap)."""
+
+    def _refs(self, store):
+        return [
+            store.write_chunk(0, [np.array([1, 2])], np.uint8),
+            store.write_chunk(1, [np.array([3]), np.array([4, 5])], np.uint8),
+        ]
+
+    def test_mmap_backing_matches_heap(self, tmp_path):
+        from repro.utils.spill import is_spill_backed
+
+        with SlabStore.create(tmp_path) as store:
+            refs = self._refs(store)
+            heap_sizes, heap_members = store.assemble(refs, np.uint8)
+            mm_sizes, mm_members = store.assemble(
+                refs, np.uint8, backing="mmap", spill_dir=tmp_path
+            )
+        assert np.array_equal(heap_sizes, mm_sizes)
+        assert np.array_equal(heap_members, mm_members)
+        assert mm_members.dtype == heap_members.dtype
+        assert is_spill_backed(mm_sizes)
+        assert is_spill_backed(mm_members)
+        assert not is_spill_backed(heap_members)
+
+    def test_out_arrays_filled_in_place(self, tmp_path):
+        with SlabStore.create(tmp_path) as store:
+            refs = self._refs(store)
+            sizes = np.empty(3, dtype=np.int64)
+            members = np.empty(5, dtype=np.uint8)
+            got_sizes, got_members = store.assemble(
+                refs, np.uint8, out=(sizes, members)
+            )
+        assert got_sizes is sizes
+        assert got_members is members
+        assert sizes.tolist() == [2, 1, 2]
+        assert members.tolist() == [1, 2, 3, 4, 5]
+
+    def test_out_shape_and_dtype_validated(self, tmp_path):
+        with SlabStore.create(tmp_path) as store:
+            refs = self._refs(store)
+            with pytest.raises(StorageError):
+                store.assemble(
+                    refs,
+                    np.uint8,
+                    out=(np.empty(2, dtype=np.int64), np.empty(5, dtype=np.uint8)),
+                )
+            with pytest.raises(StorageError):
+                store.assemble(
+                    refs,
+                    np.uint8,
+                    out=(np.empty(3, dtype=np.int64), np.empty(5, dtype=np.uint32)),
+                )
+
+    def test_invalid_backing_rejected(self, tmp_path):
+        with SlabStore.create(tmp_path) as store:
+            refs = self._refs(store)
+            with pytest.raises(StorageError):
+                store.assemble(refs, np.uint8, backing="shm")
+
+    def test_sample_rr_csr_mmap_backing_bit_identical(self, tmp_path):
+        from repro.utils.spill import is_spill_backed
+
+        model = _model()
+        heap_sizes, heap_members = sample_rr_csr(
+            model, 400, seed=13, workers=2, storage="shared", slab_dir=tmp_path
+        )
+        mm_sizes, mm_members = sample_rr_csr(
+            model,
+            400,
+            seed=13,
+            workers=2,
+            storage="shared",
+            slab_dir=tmp_path,
+            backing="mmap",
+            spill_dir=tmp_path,
+        )
+        assert np.array_equal(heap_sizes, mm_sizes)
+        assert np.array_equal(heap_members, mm_members)
+        assert is_spill_backed(mm_members)
+
+    def test_mmap_backing_requires_shared_storage(self):
+        model = _model()
+        with pytest.raises(StorageError):
+            sample_rr_csr(model, 64, seed=1, storage="heap", backing="mmap")
